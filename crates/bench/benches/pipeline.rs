@@ -1,0 +1,49 @@
+//! Benchmarks of the estimation pipeline itself: compilation of the
+//! workload programs (Table I's toolchain substitute), differential
+//! calibration of one class (Table II), and applying the Eq. 1 model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfp_cc::{compile, CompileOptions, FloatMode};
+use nfp_core::{calibrate_class, paper_table1};
+use nfp_testbed::Testbed;
+
+fn bench_compile(c: &mut Criterion) {
+    let hevc_src = nfp_workloads::hevc::minic::decoder_source();
+    let fse_src = nfp_workloads::fse::minic::fse_source();
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+    group.bench_function("hevc_decoder_hard", |b| {
+        b.iter(|| compile(&hevc_src, &CompileOptions::new(FloatMode::Hard)).unwrap())
+    });
+    group.bench_function("fse_soft", |b| {
+        b.iter(|| compile(&fse_src, &CompileOptions::new(FloatMode::Soft)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let testbed = Testbed::new();
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(10);
+    // Table II differential pair for one cheap and one expensive class.
+    group.bench_function("integer_arithmetic_class", |b| {
+        b.iter(|| calibrate_class(&testbed, "Integer Arithmetic", 20_000, 1).unwrap())
+    });
+    group.bench_function("memory_load_class", |b| {
+        b.iter(|| calibrate_class(&testbed, "Memory Load", 5_000, 2).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    // Eq. 1 is a 9-element dot product; this documents just how cheap
+    // the estimation step is compared to any simulation.
+    let model = paper_table1();
+    let counts: Vec<u64> = (0..9).map(|i| 1_000_000 + i * 37).collect();
+    c.bench_function("eq1_estimate", |b| {
+        b.iter(|| model.estimate(criterion::black_box(&counts)))
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_calibration, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Fig. 1 micro-benchmark: simulation speed of the three simulator
+//! layers on the same workload.
+//!
+//! * bare ISS (functional only — the fastest point of Fig. 1's x-axis),
+//! * ISS with the paper's category counters (the proposed layer;
+//!   the overhead of counting is the paper's "only slightly increased
+//!   simulation times"),
+//! * the detailed hardware model (the CAS-like slow/accurate end).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nfp_cc::FloatMode;
+use nfp_sim::{Machine, MachineConfig};
+use nfp_testbed::{HwModel, HwObserver};
+use nfp_workloads::{hevc_kernels, machine_for, Kernel, Preset, INPUT_BASE};
+
+fn kernel() -> Kernel {
+    hevc_kernels(&Preset::quick()).into_iter().next().unwrap()
+}
+
+fn instret(kernel: &Kernel) -> u64 {
+    let mut machine = machine_for(kernel, FloatMode::Hard);
+    machine.run(u64::MAX).unwrap().instret
+}
+
+fn bench_sim_layers(c: &mut Criterion) {
+    let kernel = kernel();
+    let n = instret(&kernel);
+    let mut group = c.benchmark_group("sim_speed");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+
+    group.bench_function("bare_iss", |b| {
+        b.iter(|| {
+            let program = nfp_workloads::program(kernel.workload, FloatMode::Hard);
+            let mut machine = Machine::new(MachineConfig {
+                count_categories: false,
+                ..MachineConfig::default()
+            });
+            machine.load_image(program.base, &program.words);
+            machine.bus.write_bytes(INPUT_BASE, &kernel.input);
+            machine.run(u64::MAX).unwrap().instret
+        })
+    });
+
+    group.bench_function("iss_with_counters", |b| {
+        b.iter(|| {
+            let mut machine = machine_for(&kernel, FloatMode::Hard);
+            machine.run(u64::MAX).unwrap().instret
+        })
+    });
+
+    group.bench_function("detailed_hw_model", |b| {
+        b.iter(|| {
+            let mut machine = machine_for(&kernel, FloatMode::Hard);
+            let mut obs = HwObserver::new(HwModel::default());
+            machine.run_observed(u64::MAX, &mut obs).unwrap();
+            obs.totals().cycles
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_layers);
+criterion_main!(benches);

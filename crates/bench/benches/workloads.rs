@@ -1,0 +1,39 @@
+//! Native workload benchmarks: encoder, reference decoder, and FSE on
+//! the host (useful to separate simulator cost from algorithm cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfp_workloads::hevc::{decode, encode, Config};
+use nfp_workloads::synth::{loss_mask, test_image, test_sequence, Scene};
+use nfp_workloads::fse;
+
+fn bench_hevc(c: &mut Criterion) {
+    let frames = test_sequence(Scene::MovingObject, 64, 48, 6);
+    let encoded = encode(&frames, Config::Lowdelay, 32);
+    let mut group = c.benchmark_group("hevc_native");
+    group.sample_size(10);
+    group.bench_function("encode_lowdelay_qp32", |b| {
+        b.iter(|| encode(&frames, Config::Lowdelay, 32))
+    });
+    group.bench_function("decode_lowdelay_qp32", |b| {
+        b.iter(|| decode(&encoded.bytes).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fse(c: &mut Criterion) {
+    let img = test_image(48, 48, 3);
+    let mask = loss_mask(48, 48, 4, 3);
+    let mut group = c.benchmark_group("fse_native");
+    group.sample_size(10);
+    group.bench_function("conceal_48x48_4blocks", |b| {
+        b.iter(|| {
+            let mut work = img.clone();
+            fse::conceal(&mut work, &mask, fse::ITERATIONS);
+            work
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hevc, bench_fse);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! `repro`: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro table1                 # Table I  — calibrated specific costs
+//! repro fig4                   # Fig. 4   — measured vs estimated, showcase kernels
+//! repro table3                 # Table III — estimation-error summary (M = 120)
+//! repro table4                 # Table IV — the FPU trade-off
+//! repro fig1                   # Fig. 1   — simulation speed vs accuracy
+//! repro ablation-categories    # E6 — model granularity
+//! repro ablation-calibration   # E7 — calibration sensitivity
+//! repro all                    # everything above
+//! repro all --quick            # reduced workload sizes (fast smoke run)
+//! ```
+
+use nfp_bench::{
+    report_ablation_calibration, report_ablation_categories, report_fig1, report_fig4,
+    report_table1, report_table3, report_table4, Evaluation, KernelResult,
+};
+use nfp_workloads::{all_kernels, fse_kernels, hevc_kernels, Kernel, Preset};
+
+fn preset_from_args(args: &[String]) -> Preset {
+    if args.iter().any(|a| a == "--quick") {
+        Preset::quick()
+    } else {
+        Preset::paper()
+    }
+}
+
+fn showcase_kernels(preset: &Preset) -> Vec<Kernel> {
+    // Fig. 4's four representative cases: one FSE kernel and one HEVC
+    // kernel, each in float and fixed variants.
+    let fse = fse_kernels(preset).into_iter().next().expect("fse kernels");
+    let hevc = hevc_kernels(preset)
+        .into_iter()
+        .find(|k| k.name.contains("movobj_lowdelay_qp32"))
+        .expect("representative hevc kernel");
+    vec![fse, hevc]
+}
+
+fn run_results(eval: &Evaluation, kernels: &[Kernel]) -> Vec<KernelResult> {
+    eprintln!(
+        "  running {} kernels x 2 variants across {} threads...",
+        kernels.len(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    eval.run_all_parallel(kernels).expect("kernel sweep")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let preset = preset_from_args(&args);
+
+    eprintln!("calibrating the cost model (Table II differential kernels)...");
+    let eval = Evaluation::new().expect("calibration");
+
+    let mut ran_any = false;
+    let want = |name: &str| command == name || command == "all";
+
+    if want("table1") {
+        ran_any = true;
+        println!("{}", report_table1(&eval));
+    }
+    if want("fig4") {
+        ran_any = true;
+        let kernels = showcase_kernels(&preset);
+        let results = run_results(&eval, &kernels);
+        println!("{}", report_fig4(&results));
+    }
+    if want("table3") {
+        ran_any = true;
+        let kernels = all_kernels(&preset);
+        eprintln!(
+            "running {} kernels x 2 variants (this is the paper's full M = {} set)...",
+            kernels.len(),
+            kernels.len() * 2
+        );
+        let results = run_results(&eval, &kernels);
+        println!("{}", report_table3(&results));
+        println!("{}", report_table4(&results));
+    }
+    if want("table4") && command != "all" {
+        ran_any = true;
+        let kernels = all_kernels(&preset);
+        let results = run_results(&eval, &kernels);
+        println!("{}", report_table4(&results));
+    }
+    if want("fig1") {
+        ran_any = true;
+        let kernels = hevc_kernels(&preset);
+        let kernel = &kernels[0];
+        let (text, _) = report_fig1(&eval, kernel);
+        println!("{text}");
+    }
+    if want("ablation-categories") {
+        ran_any = true;
+        // A representative subset keeps the three-fold calibration and
+        // six-fold kernel sweep affordable.
+        let mut subset = Vec::new();
+        subset.extend(hevc_kernels(&preset).into_iter().take(3));
+        subset.extend(fse_kernels(&preset).into_iter().take(2));
+        let text = report_ablation_categories(&eval, &subset).expect("ablation");
+        println!("{text}");
+    }
+    if want("ablation-calibration") {
+        ran_any = true;
+        let text = report_ablation_calibration(&eval.testbed).expect("ablation");
+        println!("{text}");
+    }
+    if want("cache") {
+        ran_any = true;
+        let mut subset = Vec::new();
+        subset.extend(hevc_kernels(&preset).into_iter().take(3));
+        subset.extend(fse_kernels(&preset).into_iter().take(1));
+        let text = nfp_bench::report_cache_extension(&subset).expect("cache extension");
+        println!("{text}");
+    }
+    if !ran_any {
+        eprintln!(
+            "unknown command `{command}`; expected table1|fig4|table3|table4|fig1|ablation-categories|ablation-calibration|cache|all"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,226 @@
+//! The evaluation pipeline: calibration, per-kernel counting,
+//! estimation, and ground-truth measurement.
+
+use nfp_cc::FloatMode;
+use nfp_core::{calibrate, Calibration, ClassCounter, Classifier, Estimate, Paper};
+use nfp_sim::SimError;
+use nfp_testbed::{HwTotals, Measurement, Testbed};
+use nfp_workloads::{machine_for, Kernel, KERNEL_BUDGET};
+
+/// Float ("with FPU") or fixed ("-msoft-float") kernel variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Float,
+    Fixed,
+}
+
+impl Mode {
+    /// Both variants, paper order.
+    pub const BOTH: [Mode; 2] = [Mode::Float, Mode::Fixed];
+
+    /// The compiler mode of this variant.
+    pub fn float_mode(self) -> FloatMode {
+        match self {
+            Mode::Float => FloatMode::Hard,
+            Mode::Fixed => FloatMode::Soft,
+        }
+    }
+
+    /// Suffix used in kernel result names.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Mode::Float => "float",
+            Mode::Fixed => "fixed",
+        }
+    }
+}
+
+/// Everything the pipeline learns about one kernel variant.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// `<kernel>_<float|fixed>`.
+    pub name: String,
+    /// The kernel's registry name (without variant suffix).
+    pub base_name: String,
+    /// Variant.
+    pub mode: Mode,
+    /// Per-class instruction counts from the ISS.
+    pub counts: Vec<u64>,
+    /// Model estimate (Eq. 1).
+    pub estimate: Estimate,
+    /// Instrument-reported ground truth.
+    pub measured: Measurement,
+    /// True (noise-free) hardware totals, for introspection.
+    pub totals: HwTotals,
+    /// Dynamic instruction count.
+    pub instret: u64,
+}
+
+impl KernelResult {
+    /// Signed relative time error (Eq. 3).
+    pub fn time_error(&self) -> f64 {
+        nfp_core::relative_error(self.estimate.time_s, self.measured.time_s)
+    }
+
+    /// Signed relative energy error (Eq. 3).
+    pub fn energy_error(&self) -> f64 {
+        nfp_core::relative_error(self.estimate.energy_j, self.measured.energy_j)
+    }
+}
+
+/// A calibrated evaluation context.
+pub struct Evaluation {
+    /// The virtual board.
+    pub testbed: Testbed,
+    /// Calibration output (Table I).
+    pub calibration: Calibration,
+}
+
+impl Evaluation {
+    /// Calibrates the paper's nine-class model on a fresh testbed.
+    pub fn new() -> Result<Self, SimError> {
+        let testbed = Testbed::new();
+        let calibration = calibrate(&testbed, &Paper, 0xcafe)?;
+        Ok(Evaluation {
+            testbed,
+            calibration,
+        })
+    }
+
+    /// Runs one kernel variant through the full pipeline: ISS counting
+    /// pass (verifying functional output), estimation, and measured
+    /// testbed pass.
+    pub fn run_kernel(&self, kernel: &Kernel, mode: Mode) -> Result<KernelResult, SimError> {
+        self.run_kernel_with(kernel, mode, &Paper, &self.calibration.model)
+    }
+
+    /// Like [`Evaluation::run_kernel`] with an explicit classifier and
+    /// model (for the granularity ablation).
+    pub fn run_kernel_with<C: Classifier + Clone>(
+        &self,
+        kernel: &Kernel,
+        mode: Mode,
+        classifier: &C,
+        model: &nfp_core::CostModel,
+    ) -> Result<KernelResult, SimError> {
+        // Pass 1: fast ISS with per-class counters.
+        let mut counter = ClassCounter::new(classifier.clone());
+        let mut machine = machine_for(kernel, mode.float_mode());
+        let run = machine.run_observed(KERNEL_BUDGET, &mut counter)?;
+        assert_eq!(
+            run.exit_code, 0,
+            "{}: kernel reported failure",
+            kernel.name
+        );
+        assert_eq!(
+            run.words, kernel.expected_words,
+            "{} [{mode:?}]: functional output mismatch",
+            kernel.name
+        );
+        let counts = counter.counts().to_vec();
+        let estimate = model.estimate(&counts);
+
+        // Pass 2: ground-truth measurement on the virtual board.
+        let mut machine = machine_for(kernel, mode.float_mode());
+        let measured = self.testbed.run(&mut machine, kernel.seed, KERNEL_BUDGET)?;
+
+        Ok(KernelResult {
+            name: format!("{}_{}", kernel.name, mode.suffix()),
+            base_name: kernel.name.clone(),
+            mode,
+            counts,
+            estimate,
+            measured: measured.measurement,
+            totals: measured.totals,
+            instret: run.instret,
+        })
+    }
+
+    /// Runs every kernel in both variants (the paper's M = 2×|kernels|
+    /// evaluation set).
+    pub fn run_all(&self, kernels: &[Kernel]) -> Result<Vec<KernelResult>, SimError> {
+        let mut results = Vec::with_capacity(kernels.len() * 2);
+        for kernel in kernels {
+            for mode in Mode::BOTH {
+                results.push(self.run_kernel(kernel, mode)?);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Like [`Evaluation::run_all`] but sweeping kernels across worker
+    /// threads (each kernel variant runs on its own independent
+    /// simulator instance; results keep deterministic order).
+    pub fn run_all_parallel(&self, kernels: &[Kernel]) -> Result<Vec<KernelResult>, SimError> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let jobs: Vec<(usize, &Kernel, Mode)> = kernels
+            .iter()
+            .flat_map(|k| Mode::BOTH.map(|m| (k, m)))
+            .enumerate()
+            .map(|(i, (k, m))| (i, k, m))
+            .collect();
+        let slots: Vec<Mutex<Option<Result<KernelResult, SimError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(jobs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(slot, kernel, mode)) = jobs.get(i) else {
+                        break;
+                    };
+                    let result = self.run_kernel(kernel, mode);
+                    *slots[slot].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("slot lock").expect("job completed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfp_workloads::Preset;
+
+    #[test]
+    fn pipeline_produces_consistent_results_for_one_kernel() {
+        let eval = Evaluation::new().unwrap();
+        let kernels = nfp_workloads::hevc_kernels(&Preset::quick());
+        let r = eval.run_kernel(&kernels[0], Mode::Float).unwrap();
+        assert!(r.estimate.time_s > 0.0);
+        assert!(r.estimate.energy_j > 0.0);
+        assert!(r.measured.time_s > 0.0);
+        assert!(r.measured.energy_j > 0.0);
+        assert_eq!(r.counts.iter().sum::<u64>(), r.instret);
+        // The estimate should already be in the right ballpark.
+        assert!(
+            r.time_error().abs() < 0.25,
+            "time error {:.1}%",
+            r.time_error() * 100.0
+        );
+        assert!(
+            r.energy_error().abs() < 0.25,
+            "energy error {:.1}%",
+            r.energy_error() * 100.0
+        );
+    }
+
+    #[test]
+    fn fixed_variant_runs_longer_on_fse() {
+        let eval = Evaluation::new().unwrap();
+        let kernels = nfp_workloads::fse_kernels(&Preset::quick());
+        let float = eval.run_kernel(&kernels[0], Mode::Float).unwrap();
+        let fixed = eval.run_kernel(&kernels[0], Mode::Fixed).unwrap();
+        assert!(fixed.measured.time_s > 3.0 * float.measured.time_s);
+    }
+}

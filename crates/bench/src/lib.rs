@@ -1,0 +1,20 @@
+//! `nfp-bench`: the reproduction harness.
+//!
+//! [`Evaluation`] runs the paper's full workflow — calibrate the cost
+//! model (Table I), count instructions per kernel on the ISS, estimate
+//! with Eq. 1, measure ground truth on the virtual testbed — and the
+//! report functions render every table and figure of the paper:
+//!
+//! * [`report_table1`] — specific times/energies vs the paper's values;
+//! * [`report_fig4`]   — measured vs estimated for four showcase kernels;
+//! * [`report_table3`] — mean/max absolute estimation error over all kernels;
+//! * [`report_table4`] — the FPU design trade-off;
+//! * [`report_fig1`]   — simulation-speed vs accuracy landscape;
+//! * [`report_ablation_categories`] / [`report_ablation_calibration`] —
+//!   additional ablations.
+
+pub mod evaluation;
+pub mod reports;
+
+pub use evaluation::{Evaluation, KernelResult, Mode};
+pub use reports::*;

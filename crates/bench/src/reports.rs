@@ -1,0 +1,439 @@
+//! Renders every table and figure of the paper as text, side by side
+//! with the paper's published numbers where applicable.
+
+use crate::evaluation::{Evaluation, KernelResult, Mode};
+use nfp_core::{
+    calibrate, calibrate_class, paper_table1, Coarse, ErrorSummary, Fine, Paper,
+};
+use nfp_sim::MachineConfig;
+use nfp_testbed::{AreaModel, HwObserver, Testbed};
+use nfp_workloads::{machine_for, Kernel, KERNEL_BUDGET};
+use std::fmt::Write;
+
+/// Table I: calibrated specific times and energies vs the paper's,
+/// with the automated consistency check (paper §V) appended.
+pub fn report_table1(eval: &Evaluation) -> String {
+    let paper = paper_table1();
+    let mut out = String::new();
+    writeln!(out, "TABLE I — instruction categories and specific costs").unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>10} {:>10}   {:>10} {:>10}",
+        "Category", "t_c [ns]", "paper", "e_c [nJ]", "paper"
+    )
+    .unwrap();
+    for (i, detail) in eval.calibration.details.iter().enumerate() {
+        writeln!(
+            out,
+            "{:<22} {:>10.1} {:>10.0}   {:>10.1} {:>10.0}",
+            detail.class,
+            eval.calibration.model.time_s[i] * 1e9,
+            paper.time_s[i] * 1e9,
+            eval.calibration.model.energy_j[i] * 1e9,
+            paper.energy_j[i] * 1e9,
+        )
+        .unwrap();
+    }
+    let findings = nfp_core::check_structure(&eval.calibration);
+    match nfp_core::validate(&eval.testbed, &eval.calibration, 0.10) {
+        Ok((validation, warnings)) => {
+            writeln!(
+                out,
+                "
+consistency: {} structural finding(s); mixed-kernel residuals time {:+.2}%, energy {:+.2}%",
+                findings.len(),
+                validation.time_residual * 100.0,
+                validation.energy_residual * 100.0
+            )
+            .unwrap();
+            for f in findings.iter().chain(&warnings) {
+                writeln!(out, "  {f}").unwrap();
+            }
+        }
+        Err(e) => writeln!(out, "
+consistency validation failed: {e}").unwrap(),
+    }
+    out
+}
+
+/// Fig. 4: measured vs estimated energy and time for showcase kernels
+/// (FSE float/fixed and HEVC float/fixed, like the paper's bars).
+pub fn report_fig4(results: &[KernelResult]) -> String {
+    let mut out = String::new();
+    writeln!(out, "FIG. 4 — measurement vs estimation, showcase kernels").unwrap();
+    writeln!(
+        out,
+        "{:<34} {:>11} {:>11} {:>8}   {:>9} {:>9} {:>8}",
+        "Kernel", "E_meas[mJ]", "E_est[mJ]", "err", "T_meas[s]", "T_est[s]", "err"
+    )
+    .unwrap();
+    for r in results {
+        writeln!(
+            out,
+            "{:<34} {:>11.2} {:>11.2} {:>7.2}%   {:>9.3} {:>9.3} {:>7.2}%",
+            r.name,
+            r.measured.energy_j * 1e3,
+            r.estimate.energy_j * 1e3,
+            r.energy_error() * 100.0,
+            r.measured.time_s,
+            r.estimate.time_s,
+            r.time_error() * 100.0,
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Table III: mean and maximum absolute estimation errors.
+pub fn report_table3(results: &[KernelResult]) -> String {
+    let e_summary =
+        ErrorSummary::from_errors(&results.iter().map(|r| r.energy_error()).collect::<Vec<_>>());
+    let t_summary =
+        ErrorSummary::from_errors(&results.iter().map(|r| r.time_error()).collect::<Vec<_>>());
+    let mut out = String::new();
+    writeln!(
+        out,
+        "TABLE III — estimation errors over M = {} kernels",
+        results.len()
+    )
+    .unwrap();
+    writeln!(out, "{:<28} {:>10} {:>10}", "", "Energy", "Time").unwrap();
+    writeln!(
+        out,
+        "{:<28} {:>9.2}% {:>9.2}%   (paper: 2.68% / 2.72%)",
+        "Mean absolute error",
+        e_summary.mean_abs * 100.0,
+        t_summary.mean_abs * 100.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<28} {:>9.2}% {:>9.2}%   (paper: 6.32% / 6.95%)",
+        "Maximum absolute error",
+        e_summary.max_abs * 100.0,
+        t_summary.max_abs * 100.0
+    )
+    .unwrap();
+    out
+}
+
+/// Table IV: non-functional property changes when introducing an FPU.
+pub fn report_table4(results: &[KernelResult]) -> String {
+    let tradeoff_for = |prefix: &str| {
+        let mut without = Vec::new();
+        let mut with = Vec::new();
+        for r in results {
+            if !r.base_name.starts_with(prefix) {
+                continue;
+            }
+            let nfp = nfp_core::KernelNfp {
+                time_s: r.measured.time_s,
+                energy_j: r.measured.energy_j,
+            };
+            match r.mode {
+                Mode::Fixed => without.push((r.base_name.clone(), nfp)),
+                Mode::Float => with.push((r.base_name.clone(), nfp)),
+            }
+        }
+        without.sort_by(|a, b| a.0.cmp(&b.0));
+        with.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            without.iter().map(|p| &p.0).collect::<Vec<_>>(),
+            with.iter().map(|p| &p.0).collect::<Vec<_>>(),
+            "paired kernel sets"
+        );
+        nfp_core::fpu_tradeoff(
+            &without.into_iter().map(|p| p.1).collect::<Vec<_>>(),
+            &with.into_iter().map(|p| p.1).collect::<Vec<_>>(),
+        )
+    };
+    let fse = tradeoff_for("fse");
+    let hevc = tradeoff_for("hevc");
+    let base_le = AreaModel::baseline().logical_elements();
+    let fpu_le = AreaModel::with_fpu().logical_elements();
+    let mut out = String::new();
+    writeln!(out, "TABLE IV — change when introducing an FPU").unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>12} {:>16}",
+        "", "FSE", "HEVC Decoding"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>11.1}% {:>15.1}%   (paper: -92.6% / -42.9%)",
+        "Energy consumption",
+        fse.energy_change * 100.0,
+        hevc.energy_change * 100.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>11.1}% {:>15.1}%   (paper: -92.8% / -43.5%)",
+        "Processing time",
+        fse.time_change * 100.0,
+        hevc.time_change * 100.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>11.1}% {:>15.1}%   (paper: +109% / +109%; {} -> {} LEs)",
+        "# logical elements",
+        fse.area_change * 100.0,
+        hevc.area_change * 100.0,
+        base_le,
+        fpu_le,
+    )
+    .unwrap();
+    out
+}
+
+/// One point of the Fig. 1 landscape.
+#[derive(Debug, Clone)]
+pub struct Fig1Point {
+    /// Simulator class.
+    pub name: &'static str,
+    /// Simulated instructions per host second.
+    pub mips: f64,
+    /// NFP estimation error of this layer (None = no NFP at all).
+    pub accuracy: Option<f64>,
+}
+
+/// Fig. 1: simulation speed vs non-functional-property accuracy for
+/// three simulator classes run on the same kernel: the detailed
+/// hardware model ("CAS-like", defines ground truth), the ISS with the
+/// mechanistic model (this paper), and the bare ISS (functional only).
+pub fn report_fig1(eval: &Evaluation, kernel: &Kernel) -> (String, Vec<Fig1Point>) {
+    let mode = Mode::Float;
+    let run_timed = |count: bool, detailed: bool| -> (f64, u64) {
+        let mut machine = machine_for(kernel, mode.float_mode());
+        if !count {
+            machine = {
+                let program = nfp_workloads::program(kernel.workload, mode.float_mode());
+                let mut m = nfp_sim::Machine::new(MachineConfig {
+                    count_categories: false,
+                    ..MachineConfig::default()
+                });
+                m.load_image(program.base, &program.words);
+                m.bus
+                    .write_bytes(nfp_workloads::INPUT_BASE, &kernel.input);
+                m
+            };
+        }
+        let start = std::time::Instant::now();
+        let instret = if detailed {
+            let mut obs = HwObserver::new(eval.testbed.hw.clone());
+            machine.run_observed(KERNEL_BUDGET, &mut obs).unwrap().instret
+        } else {
+            machine.run(KERNEL_BUDGET).unwrap().instret
+        };
+        let dt = start.elapsed().as_secs_f64().max(1e-9);
+        (instret as f64 / dt, instret)
+    };
+
+    // NFP accuracy of the mechanistic layer on this kernel.
+    let result = eval.run_kernel(kernel, mode).unwrap();
+    let model_err = result.time_error().abs().max(result.energy_error().abs());
+
+    let (mips_detailed, _) = run_timed(false, true);
+    let (mips_model, _) = run_timed(true, false);
+    let (mips_bare, _) = run_timed(false, false);
+
+    let points = vec![
+        Fig1Point {
+            name: "detailed HW model (CAS-like)",
+            mips: mips_detailed,
+            accuracy: Some(0.0),
+        },
+        Fig1Point {
+            name: "ISS + mechanistic model",
+            mips: mips_model,
+            accuracy: Some(model_err),
+        },
+        Fig1Point {
+            name: "bare ISS (functional only)",
+            mips: mips_bare,
+            accuracy: None,
+        },
+    ];
+    let mut out = String::new();
+    writeln!(
+        out,
+        "FIG. 1 — simulation speed vs NFP accuracy ({})",
+        kernel.name
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<32} {:>14} {:>18}",
+        "Simulator", "speed [MIPS]", "NFP error"
+    )
+    .unwrap();
+    for p in &points {
+        let acc = match p.accuracy {
+            Some(e) => format!("{:.2}%", e * 100.0),
+            None => "n/a (no NFP)".to_string(),
+        };
+        writeln!(out, "{:<32} {:>14.1} {:>18}", p.name, p.mips / 1e6, acc).unwrap();
+    }
+    (out, points)
+}
+
+/// Ablation E6: estimation error as a function of category
+/// granularity (1 class / the paper's 9 / 11 with mul+div split).
+pub fn report_ablation_categories(
+    eval: &Evaluation,
+    kernels: &[Kernel],
+) -> Result<String, nfp_sim::SimError> {
+    let mut out = String::new();
+    writeln!(out, "ABLATION — model granularity (mean |error| over kernels)").unwrap();
+    writeln!(
+        out,
+        "{:<28} {:>8} {:>10} {:>10}",
+        "Model", "classes", "energy", "time"
+    )
+    .unwrap();
+
+    macro_rules! run_with {
+        ($name:expr, $classifier:expr) => {{
+            let classifier = $classifier;
+            let cal = calibrate(&eval.testbed, &classifier, 0xcafe)?;
+            let mut e_errs = Vec::new();
+            let mut t_errs = Vec::new();
+            for kernel in kernels {
+                for mode in Mode::BOTH {
+                    let r = eval.run_kernel_with(kernel, mode, &classifier, &cal.model)?;
+                    e_errs.push(r.energy_error());
+                    t_errs.push(r.time_error());
+                }
+            }
+            let e = ErrorSummary::from_errors(&e_errs);
+            let t = ErrorSummary::from_errors(&t_errs);
+            writeln!(
+                out,
+                "{:<28} {:>8} {:>9.2}% {:>9.2}%",
+                $name,
+                classifier_class_count(&classifier),
+                e.mean_abs * 100.0,
+                t.mean_abs * 100.0
+            )
+            .unwrap();
+        }};
+    }
+    fn classifier_class_count<C: nfp_core::Classifier>(c: &C) -> usize {
+        c.class_count()
+    }
+
+    run_with!("single class (coarse)", Coarse);
+    run_with!("Table I categories (paper)", Paper);
+    run_with!("+ int mul/div split (fine)", Fine);
+    Ok(out)
+}
+
+/// Ablation E7: calibration sensitivity — derived specific time of the
+/// integer-arithmetic class as a function of calibration loop length,
+/// and of the power-meter noise level.
+pub fn report_ablation_calibration(testbed: &Testbed) -> Result<String, nfp_sim::SimError> {
+    let mut out = String::new();
+    writeln!(out, "ABLATION — calibration sensitivity (Integer Arithmetic)").unwrap();
+    writeln!(
+        out,
+        "{:<26} {:>12} {:>12}",
+        "Loop iterations", "t_c [ns]", "e_c [nJ]"
+    )
+    .unwrap();
+    for iters in [1_000u32, 10_000, 100_000, 400_000] {
+        let cal = calibrate_class(testbed, "Integer Arithmetic", iters, 5)?;
+        writeln!(
+            out,
+            "{:<26} {:>12.2} {:>12.2}",
+            iters,
+            cal.time_s * 1e9,
+            cal.energy_j * 1e9
+        )
+        .unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "{:<26} {:>12} {:>12}",
+        "Meter noise sigma", "t_c [ns]", "e_c [nJ]"
+    )
+    .unwrap();
+    for sigma in [0.0, 0.02, 0.10, 0.30] {
+        let mut tb = testbed.clone();
+        tb.meter.sample_sigma = sigma;
+        let cal = calibrate_class(&tb, "Integer Arithmetic", 200_000, 6)?;
+        writeln!(
+            out,
+            "{:<26} {:>12.2} {:>12.2}",
+            format!("{sigma:.2}"),
+            cal.time_s * 1e9,
+            cal.energy_j * 1e9
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// Extension E8: what happens to the constant-cost model when the core
+/// gains a data cache (the paper's stated future work). Calibrates and
+/// evaluates on a cacheless and on a cached board; with the cache,
+/// per-access memory cost becomes history-dependent and the Eq. 1
+/// assumption breaks down visibly.
+pub fn report_cache_extension(kernels: &[Kernel]) -> Result<String, nfp_sim::SimError> {
+    use nfp_testbed::CacheConfig;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "EXTENSION E8 — cache vs the constant-cost model (mean |error|)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<30} {:>10} {:>10}",
+        "Board configuration", "energy", "time"
+    )
+    .unwrap();
+    for (name, testbed) in [
+        ("cacheless (paper's config)", Testbed::new()),
+        (
+            "with 4 KiB D-cache",
+            Testbed::with_cache(CacheConfig::default()),
+        ),
+    ] {
+        let calibration = calibrate(&testbed, &Paper, 0xcafe)?;
+        let eval = Evaluation {
+            testbed,
+            calibration,
+        };
+        let mut e_errs = Vec::new();
+        let mut t_errs = Vec::new();
+        for kernel in kernels {
+            for mode in Mode::BOTH {
+                let r = eval.run_kernel(kernel, mode)?;
+                e_errs.push(r.energy_error());
+                t_errs.push(r.time_error());
+            }
+        }
+        let e = nfp_core::ErrorSummary::from_errors(&e_errs);
+        let t = nfp_core::ErrorSummary::from_errors(&t_errs);
+        writeln!(
+            out,
+            "{:<30} {:>9.2}% {:>9.2}%",
+            name,
+            e.mean_abs * 100.0,
+            t.mean_abs * 100.0
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nWith a cache, calibration loops always hit while real workloads mix\n\
+         hits and misses: a single t_c(Memory Load) can no longer represent\n\
+         both, which is exactly why the paper's first model targets a\n\
+         cacheless core and defers caches to future work."
+    )
+    .unwrap();
+    Ok(out)
+}

@@ -1,0 +1,71 @@
+//! Report-rendering tests over fabricated results (no simulation), plus
+//! a smoke test of the full report path on a tiny kernel.
+
+use nfp_bench::{report_fig4, report_table3, report_table4, KernelResult, Mode};
+use nfp_core::Estimate;
+use nfp_testbed::{HwTotals, Measurement};
+
+fn result(base: &str, mode: Mode, t_meas: f64, e_meas: f64, t_est: f64, e_est: f64) -> KernelResult {
+    KernelResult {
+        name: format!("{base}_{}", mode.suffix()),
+        base_name: base.to_string(),
+        mode,
+        counts: vec![0; 9],
+        estimate: Estimate {
+            time_s: t_est,
+            energy_j: e_est,
+        },
+        measured: Measurement {
+            time_s: t_meas,
+            energy_j: e_meas,
+        },
+        totals: HwTotals::default(),
+        instret: 1,
+    }
+}
+
+#[test]
+fn table3_report_contains_summary_lines() {
+    let results = vec![
+        result("fse_a", Mode::Float, 1.0, 1.0, 1.02, 0.99),
+        result("fse_a", Mode::Fixed, 10.0, 10.0, 9.7, 10.2),
+    ];
+    let text = report_table3(&results);
+    assert!(text.contains("TABLE III"));
+    assert!(text.contains("Mean absolute error"));
+    assert!(text.contains("Maximum absolute error"));
+    assert!(text.contains("M = 2"));
+    assert!(text.contains("paper: 2.68%"));
+}
+
+#[test]
+fn table4_report_computes_signed_changes() {
+    let results = vec![
+        result("fse_a", Mode::Fixed, 10.0, 20.0, 0.0, 0.0),
+        result("fse_a", Mode::Float, 1.0, 2.0, 0.0, 0.0),
+        result("hevc_b", Mode::Fixed, 2.0, 4.0, 0.0, 0.0),
+        result("hevc_b", Mode::Float, 1.0, 2.0, 0.0, 0.0),
+    ];
+    let text = report_table4(&results);
+    assert!(text.contains("TABLE IV"));
+    // FSE: -90 % both; HEVC: -50 % both.
+    assert!(text.contains("-90.0%"), "{text}");
+    assert!(text.contains("-50.0%"), "{text}");
+    assert!(text.contains("logical elements"));
+}
+
+#[test]
+fn fig4_report_lists_each_kernel_with_errors() {
+    let results = vec![result("hevc_x", Mode::Float, 2.0, 3.0, 1.9, 3.15)];
+    let text = report_fig4(&results);
+    assert!(text.contains("hevc_x_float"));
+    assert!(text.contains("-5.00%")); // time error
+    assert!(text.contains("5.00%")); // energy error
+}
+
+#[test]
+fn kernel_result_error_helpers() {
+    let r = result("k", Mode::Float, 100.0, 200.0, 103.0, 194.0);
+    assert!((r.time_error() - 0.03).abs() < 1e-12);
+    assert!((r.energy_error() + 0.03).abs() < 1e-12);
+}

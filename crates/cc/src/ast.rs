@@ -1,0 +1,290 @@
+//! Abstract syntax tree for the mini-C dialect.
+
+use std::fmt;
+
+/// Scalar and pointer types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// No value (function returns only).
+    Void,
+    /// 8-bit unsigned (`uchar`), promoted to `int` in arithmetic.
+    UChar,
+    /// 32-bit signed.
+    Int,
+    /// 32-bit unsigned.
+    UInt,
+    /// 64-bit unsigned.
+    U64,
+    /// IEEE-754 binary64.
+    Double,
+    /// Pointer to `T`.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// Size of a value of this type in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::UChar => 1,
+            Type::Int | Type::UInt | Type::Ptr(_) => 4,
+            Type::U64 | Type::Double => 8,
+        }
+    }
+
+    /// Required alignment in bytes.
+    pub fn align(&self) -> u32 {
+        self.size().max(1)
+    }
+
+    /// Number of 32-bit words a value occupies in registers / the
+    /// argument list.
+    pub fn words(&self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::U64 | Type::Double => 2,
+            _ => 1,
+        }
+    }
+
+    /// True for the integer-like single-word types (incl. pointers).
+    pub fn is_word(&self) -> bool {
+        matches!(self, Type::UChar | Type::Int | Type::UInt | Type::Ptr(_))
+    }
+
+    /// True for any integer type.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Type::UChar | Type::Int | Type::UInt | Type::U64)
+    }
+
+    /// True if comparisons on this type are unsigned.
+    pub fn is_unsigned(&self) -> bool {
+        matches!(self, Type::UChar | Type::UInt | Type::U64 | Type::Ptr(_))
+    }
+
+    /// Pointer to this type.
+    pub fn ptr(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::UChar => write!(f, "uchar"),
+            Type::Int => write!(f, "int"),
+            Type::UInt => write!(f, "uint"),
+            Type::U64 => write!(f, "u64"),
+            Type::Double => write!(f, "double"),
+            Type::Ptr(inner) => write!(f, "{inner}*"),
+        }
+    }
+}
+
+/// Binary operators (compound assignments are desugared by the parser).
+#[allow(missing_docs)] // variants mirror the C operators
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    And,
+    Or,
+    Xor,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise not.
+    Not,
+    /// Logical not (yields `int` 0/1).
+    LogNot,
+}
+
+/// Expressions. `line` fields are carried on statements only; expression
+/// diagnostics reference the enclosing statement.
+#[allow(missing_docs)] // literal/variable variants are self-describing
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    IntLit(i64),
+    UIntLit(u64),
+    FloatLit(f64),
+    Var(String),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `lhs = rhs` (an expression, value = rhs after conversion)
+    Assign(Box<Expr>, Box<Expr>),
+    /// `f(args…)`
+    Call(String, Vec<Expr>),
+    /// `base[index]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `*ptr`
+    Deref(Box<Expr>),
+    /// `&lvalue`
+    AddrOf(Box<Expr>),
+    /// `(T) expr`
+    Cast(Type, Box<Expr>),
+}
+
+/// Statements.
+#[allow(missing_docs)] // fields mirror the surface syntax
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Scalar declaration with optional initialiser.
+    Decl {
+        ty: Type,
+        name: String,
+        init: Option<Expr>,
+        line: u32,
+    },
+    /// Local array declaration (zero length is rejected by the parser).
+    ArrayDecl {
+        elem: Type,
+        name: String,
+        len: u32,
+        line: u32,
+    },
+    Expr(Expr, u32),
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+        line: u32,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        line: u32,
+    },
+    /// `for(init; cond; step) body` — init/step optional.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        line: u32,
+    },
+    Return(Option<Expr>, u32),
+    Break(u32),
+    Continue(u32),
+    Block(Vec<Stmt>),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Declared type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Return type (`void` for procedures).
+    pub ret: Type,
+    /// Function name (also its link symbol).
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// Constant initialiser of a global.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialised.
+    Zero,
+    /// Single scalar literal (possibly negated).
+    Scalar(f64, i64, bool /* is_float */),
+    /// Array of integer/float literals.
+    List(Vec<(f64, i64, bool)>),
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Element type.
+    pub ty: Type,
+    /// Global name (also its link symbol).
+    pub name: String,
+    /// Number of elements; 1 for scalars.
+    pub count: u32,
+    /// True if declared with `[]` (array), affecting decay.
+    pub is_array: bool,
+    /// Constant initialiser.
+    pub init: GlobalInit,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Unit {
+    /// Global variables in declaration order.
+    pub globals: Vec<Global>,
+    /// Function definitions in declaration order.
+    pub functions: Vec<Function>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes_and_words() {
+        assert_eq!(Type::UChar.size(), 1);
+        assert_eq!(Type::Int.size(), 4);
+        assert_eq!(Type::Double.size(), 8);
+        assert_eq!(Type::Int.ptr().size(), 4);
+        assert_eq!(Type::Double.words(), 2);
+        assert_eq!(Type::U64.words(), 2);
+        assert_eq!(Type::Void.words(), 0);
+    }
+
+    #[test]
+    fn signedness() {
+        assert!(Type::UInt.is_unsigned());
+        assert!(Type::U64.is_unsigned());
+        assert!(!Type::Int.is_unsigned());
+        assert!(Type::Int.ptr().is_unsigned());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::Double.ptr().to_string(), "double*");
+        assert_eq!(Type::UChar.ptr().ptr().to_string(), "uchar**");
+    }
+}

@@ -1,0 +1,1628 @@
+//! Expression, condition, and statement generation plus the
+//! per-function driver. See `mod.rs` for the overall strategy.
+
+use super::*;
+
+/// Integer branch condition for a comparison operator.
+fn icond_for(op: BinOp, unsigned: bool) -> ICond {
+    match (op, unsigned) {
+        (BinOp::Lt, false) => ICond::L,
+        (BinOp::Le, false) => ICond::Le,
+        (BinOp::Gt, false) => ICond::G,
+        (BinOp::Ge, false) => ICond::Ge,
+        (BinOp::Lt, true) => ICond::Cs,
+        (BinOp::Le, true) => ICond::Leu,
+        (BinOp::Gt, true) => ICond::Gu,
+        (BinOp::Ge, true) => ICond::Cc,
+        (BinOp::Eq, _) => ICond::E,
+        (BinOp::Ne, _) => ICond::Ne,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// FP branch condition for a comparison operator.
+fn fcond_for(op: BinOp) -> FCond {
+    match op {
+        BinOp::Lt => FCond::L,
+        BinOp::Le => FCond::Le,
+        BinOp::Gt => FCond::G,
+        BinOp::Ge => FCond::Ge,
+        BinOp::Eq => FCond::E,
+        BinOp::Ne => FCond::Ne,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+impl<'a> FnGen<'a> {
+    // ---- loads and stores by type ----
+
+    /// Loads a value of `ty` from `[base + off]`.
+    fn load_from(&mut self, base: Reg, off: i32, ty: &Type) -> GResult<Loc> {
+        match self.width_of(ty) {
+            Width::W => {
+                let r = self.alloc_word()?;
+                let (size, signed) = match ty {
+                    Type::UChar => (MemSize::Byte, false),
+                    _ => (MemSize::Word, false),
+                };
+                self.e.push(Instr::Load {
+                    size,
+                    signed,
+                    rd: r,
+                    rs1: base,
+                    op2: Operand::Imm(off),
+                });
+                Ok(Loc::W(r))
+            }
+            Width::Pair => {
+                let hi = self.alloc_word()?;
+                let lo = self.alloc_word()?;
+                self.e.push(Instr::Load {
+                    size: MemSize::Word,
+                    signed: false,
+                    rd: hi,
+                    rs1: base,
+                    op2: Operand::Imm(off),
+                });
+                self.e.push(Instr::Load {
+                    size: MemSize::Word,
+                    signed: false,
+                    rd: lo,
+                    rs1: base,
+                    op2: Operand::Imm(off + 4),
+                });
+                Ok(Loc::Pair(hi, lo))
+            }
+            Width::F => {
+                let f = self.alloc_fpair()?;
+                self.e.push(Instr::LoadF {
+                    double: true,
+                    rd: f,
+                    rs1: base,
+                    op2: Operand::Imm(off),
+                });
+                Ok(Loc::F(f))
+            }
+        }
+    }
+
+    /// Stores `val` (of type `ty`) to `[base + off]`, returning the
+    /// value of the assignment expression.
+    fn store_to(&mut self, base: Reg, off: i32, ty: &Type, val: Loc) -> GResult<Loc> {
+        match self.width_of(ty) {
+            Width::W => {
+                let r = self.ensure_w(val)?;
+                let size = match ty {
+                    Type::UChar => MemSize::Byte,
+                    _ => MemSize::Word,
+                };
+                self.e.push(Instr::Store {
+                    size,
+                    rd: r,
+                    rs1: base,
+                    op2: Operand::Imm(off),
+                });
+                if *ty == Type::UChar {
+                    // The value of a uchar assignment is the truncated
+                    // byte.
+                    self.e.alu(AluOp::And, r, 0xff, r);
+                }
+                Ok(Loc::W(r))
+            }
+            Width::Pair => {
+                let (hi, lo) = self.ensure_pair(val)?;
+                self.e.push(Instr::Store {
+                    size: MemSize::Word,
+                    rd: hi,
+                    rs1: base,
+                    op2: Operand::Imm(off),
+                });
+                self.e.push(Instr::Store {
+                    size: MemSize::Word,
+                    rd: lo,
+                    rs1: base,
+                    op2: Operand::Imm(off + 4),
+                });
+                Ok(Loc::Pair(hi, lo))
+            }
+            Width::F => {
+                let f = self.ensure_f(val)?;
+                self.e.push(Instr::StoreF {
+                    double: true,
+                    rd: f,
+                    rs1: base,
+                    op2: Operand::Imm(off),
+                });
+                Ok(Loc::F(f))
+            }
+        }
+    }
+
+    /// Moves a hard-mode double's raw bits into an integer pair.
+    fn f_to_bits(&mut self, loc: Loc) -> GResult<Loc> {
+        let f = self.ensure_f(loc)?;
+        self.e.push(Instr::StoreF {
+            double: true,
+            rd: f,
+            rs1: SP,
+            op2: Operand::Imm(SCRATCH_OFF as i32),
+        });
+        self.free_fpairs.push(f);
+        let hi = self.alloc_word()?;
+        let lo = self.alloc_word()?;
+        self.ld_frame(hi, SCRATCH_OFF, MemSize::Word, false);
+        self.ld_frame(lo, SCRATCH_OFF + 4, MemSize::Word, false);
+        Ok(Loc::Pair(hi, lo))
+    }
+
+    /// Moves an integer pair's bits into an FPU double register.
+    fn bits_to_f(&mut self, loc: Loc) -> GResult<Loc> {
+        let (hi, lo) = self.ensure_pair(loc)?;
+        self.st_frame(hi, SCRATCH_OFF, MemSize::Word);
+        self.st_frame(lo, SCRATCH_OFF + 4, MemSize::Word);
+        self.free_words.push(hi);
+        self.free_words.push(lo);
+        let f = self.alloc_fpair()?;
+        self.e.push(Instr::LoadF {
+            double: true,
+            rd: f,
+            rs1: SP,
+            op2: Operand::Imm(SCRATCH_OFF as i32),
+        });
+        Ok(Loc::F(f))
+    }
+
+    // ---- expressions ----
+
+    /// Evaluates `e`, pushing its value. Returns `false` for `void`
+    /// calls, which push nothing.
+    fn gen_expr(&mut self, e: &Typed) -> GResult<bool> {
+        match &e.kind {
+            TKind::ConstWord(v) => {
+                self.push_loc(Loc::ImmW(*v));
+                Ok(true)
+            }
+            TKind::ConstU64(v) => {
+                self.push_loc(Loc::ImmPair(*v));
+                Ok(true)
+            }
+            TKind::ConstDouble(d) => {
+                self.push_loc(Loc::ImmPair(d.to_bits()));
+                Ok(true)
+            }
+            TKind::Local(id) => {
+                let off = self.local_off[*id];
+                let ty = self.func.locals[*id].ty.clone();
+                let (base, imm) = self.frame_addr(off);
+                let loc = self.load_from(base, imm, &ty)?;
+                self.push_loc(loc);
+                Ok(true)
+            }
+            TKind::Global(name) => {
+                let addr = self.alloc_word()?;
+                self.e.load_sym(name, addr);
+                let loc = self.load_from(addr, 0, &e.ty)?;
+                self.free_words.push(addr);
+                self.push_loc(loc);
+                Ok(true)
+            }
+            TKind::AddrLocal(id) => {
+                let off = self.local_off[*id];
+                let r = self.alloc_word()?;
+                if off <= 4095 {
+                    self.e.alu(AluOp::Add, SP, off as i32, r);
+                } else {
+                    self.e.set32(off, r);
+                    self.e.alu(AluOp::Add, SP, r, r);
+                }
+                self.push_loc(Loc::W(r));
+                Ok(true)
+            }
+            TKind::AddrGlobal(name) => {
+                let r = self.alloc_word()?;
+                self.e.load_sym(name, r);
+                self.push_loc(Loc::W(r));
+                Ok(true)
+            }
+            TKind::Load(addr) => {
+                self.gen_expr(addr)?;
+                let a = self.pop_loc();
+                let r = self.ensure_w(a)?;
+                let loc = self.load_from(r, 0, &e.ty)?;
+                self.free_words.push(r);
+                self.push_loc(loc);
+                Ok(true)
+            }
+            TKind::Unary(op, inner) => {
+                self.gen_unary(*op, inner, &e.ty)?;
+                Ok(true)
+            }
+            TKind::Binary(op, a, b) => {
+                if op.is_comparison() || matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+                    let r = self.materialize_cond(e)?;
+                    self.push_loc(r);
+                } else {
+                    let loc = self.gen_binary(*op, a, b, &e.ty)?;
+                    self.push_loc(loc);
+                }
+                Ok(true)
+            }
+            TKind::Ternary(c, a, b) => {
+                self.gen_ternary(c, a, b, &e.ty)?;
+                Ok(true)
+            }
+            TKind::Assign(lv, rhs) => {
+                let loc = self.gen_assign(lv, rhs, &e.ty)?;
+                self.push_loc(loc);
+                Ok(true)
+            }
+            TKind::Call(name, args) => {
+                let result = self.gen_call(name, args, &e.ty)?;
+                match result {
+                    Some(loc) => {
+                        self.push_loc(loc);
+                        Ok(true)
+                    }
+                    None => Ok(false),
+                }
+            }
+            TKind::Cast { from, inner } => {
+                self.gen_expr(inner)?;
+                let v = self.pop_loc();
+                let out = self.gen_cast(from, &e.ty, v)?;
+                self.push_loc(out);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Evaluates `e` and pops its value (must not be void).
+    fn gen_value(&mut self, e: &Typed) -> GResult<Loc> {
+        if !self.gen_expr(e)? {
+            return self.err("void value used where a value is required");
+        }
+        Ok(self.pop_loc())
+    }
+
+    fn gen_unary(&mut self, op: UnOp, inner: &Typed, ty: &Type) -> GResult<()> {
+        match op {
+            UnOp::LogNot => {
+                // !e is the inverse boolean of e.
+                let lt = self.e.new_label();
+                let lf = self.e.new_label();
+                let end = self.e.new_label();
+                let r = self.alloc_word()?;
+                self.gen_cond(inner, lf, lt)?; // swapped
+                self.e.bind(lt);
+                self.e.mov(1, r);
+                self.e.ba(end);
+                self.e.bind(lf);
+                self.e.mov(0, r);
+                self.e.bind(end);
+                self.push_loc(Loc::W(r));
+                Ok(())
+            }
+            UnOp::Neg => {
+                let v = self.gen_value(inner)?;
+                match self.width_of(ty) {
+                    Width::W => {
+                        let r = self.ensure_w(v)?;
+                        self.e.alu(AluOp::Sub, G0, r, r);
+                        self.push_loc(Loc::W(r));
+                    }
+                    Width::Pair if *ty == Type::Double => {
+                        // Soft-float negate: flip the sign bit.
+                        let (hi, lo) = self.ensure_pair(v)?;
+                        let m = self.alloc_word()?;
+                        self.e.set32(0x8000_0000, m);
+                        self.e.alu(AluOp::Xor, hi, m, hi);
+                        self.free_words.push(m);
+                        self.push_loc(Loc::Pair(hi, lo));
+                    }
+                    Width::Pair => {
+                        let (hi, lo) = self.ensure_pair(v)?;
+                        self.e.alu(AluOp::SubCc, G0, lo, lo);
+                        self.e.alu(AluOp::SubX, G0, hi, hi);
+                        self.push_loc(Loc::Pair(hi, lo));
+                    }
+                    Width::F => {
+                        let f = self.ensure_f(v)?;
+                        let fs = f; // in place: negate the high single
+                        self.e.push(Instr::FpOp {
+                            op: FpOp::FNegS,
+                            rd: fs,
+                            rs1: FReg::new(0),
+                            rs2: fs,
+                        });
+                        self.push_loc(Loc::F(f));
+                    }
+                }
+                Ok(())
+            }
+            UnOp::Not => {
+                let v = self.gen_value(inner)?;
+                match self.width_of(ty) {
+                    Width::W => {
+                        let r = self.ensure_w(v)?;
+                        self.e.alu(AluOp::XNor, r, G0, r);
+                        self.push_loc(Loc::W(r));
+                    }
+                    _ => {
+                        let (hi, lo) = self.ensure_pair(v)?;
+                        self.e.alu(AluOp::XNor, hi, G0, hi);
+                        self.e.alu(AluOp::XNor, lo, G0, lo);
+                        self.push_loc(Loc::Pair(hi, lo));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn gen_ternary(&mut self, c: &Typed, a: &Typed, b: &Typed, ty: &Type) -> GResult<()> {
+        let lt = self.e.new_label();
+        let lf = self.e.new_label();
+        let end = self.e.new_label();
+        // Pre-allocate the join location so both arms write the same
+        // registers.
+        let dst = match self.width_of(ty) {
+            Width::W => Loc::W(self.alloc_word()?),
+            Width::Pair => {
+                let hi = self.alloc_word()?;
+                let lo = self.alloc_word()?;
+                Loc::Pair(hi, lo)
+            }
+            Width::F => Loc::F(self.alloc_fpair()?),
+        };
+        self.gen_cond(c, lt, lf)?;
+        self.e.bind(lt);
+        let va = self.gen_value(a)?;
+        self.move_into(va, dst)?;
+        self.e.ba(end);
+        self.e.bind(lf);
+        let vb = self.gen_value(b)?;
+        self.move_into(vb, dst)?;
+        self.e.bind(end);
+        self.push_loc(dst);
+        Ok(())
+    }
+
+    /// Moves `src` into the fixed registers of `dst`, freeing `src`.
+    fn move_into(&mut self, src: Loc, dst: Loc) -> GResult<()> {
+        match dst {
+            Loc::W(rd) => match src {
+                Loc::ImmW(v) => self.e.set32(v, rd),
+                other => {
+                    let r = self.ensure_w(other)?;
+                    self.e.mov(r, rd);
+                    if r != rd {
+                        self.free_words.push(r);
+                    }
+                }
+            },
+            Loc::Pair(dhi, dlo) => match src {
+                Loc::ImmPair(v) => {
+                    self.e.set32((v >> 32) as u32, dhi);
+                    self.e.set32(v as u32, dlo);
+                }
+                other => {
+                    let (hi, lo) = self.ensure_pair(other)?;
+                    self.e.mov(hi, dhi);
+                    self.e.mov(lo, dlo);
+                    if hi != dhi {
+                        self.free_words.push(hi);
+                    }
+                    if lo != dlo {
+                        self.free_words.push(lo);
+                    }
+                }
+            },
+            Loc::F(fd) => {
+                let f = self.ensure_f(src)?;
+                if f != fd {
+                    self.e.push(Instr::FpOp {
+                        op: FpOp::FMovS,
+                        rd: fd,
+                        rs1: FReg::new(0),
+                        rs2: f,
+                    });
+                    self.e.push(Instr::FpOp {
+                        op: FpOp::FMovS,
+                        rd: FReg::new(fd.num() + 1),
+                        rs1: FReg::new(0),
+                        rs2: FReg::new(f.num() + 1),
+                    });
+                    self.free_fpairs.push(f);
+                }
+            }
+            other => return self.err(format!("bad move destination {other:?}")),
+        }
+        Ok(())
+    }
+
+    // ---- binary operations ----
+
+    fn gen_binary(&mut self, op: BinOp, a: &Typed, b: &Typed, ty: &Type) -> GResult<Loc> {
+        // Pointer arithmetic: scale the integer offset by element size.
+        if let Type::Ptr(elem) = &a.ty {
+            debug_assert_eq!(op, BinOp::Add);
+            self.gen_expr(a)?;
+            self.gen_expr(b)?;
+            let idx = self.pop_loc();
+            let base = self.pop_loc();
+            let size = elem.size().max(1);
+            let base_r = self.ensure_w(base)?;
+            match idx {
+                Loc::ImmW(v) => {
+                    let byte_off = (v as i32).wrapping_mul(size as i32);
+                    if Operand::fits_simm13(byte_off) {
+                        self.e.alu(AluOp::Add, base_r, byte_off, base_r);
+                    } else {
+                        let t = self.alloc_word()?;
+                        self.e.set32(byte_off as u32, t);
+                        self.e.alu(AluOp::Add, base_r, t, base_r);
+                        self.free_words.push(t);
+                    }
+                }
+                other => {
+                    let i = self.ensure_w(other)?;
+                    match size {
+                        1 => {}
+                        4 => self.e.alu(AluOp::Sll, i, 2, i),
+                        8 => self.e.alu(AluOp::Sll, i, 3, i),
+                        s => {
+                            let t = self.alloc_word()?;
+                            self.e.set32(s, t);
+                            self.e.alu(AluOp::SMul, i, t, i);
+                            self.free_words.push(t);
+                        }
+                    }
+                    self.e.alu(AluOp::Add, base_r, i, base_r);
+                    self.free_words.push(i);
+                }
+            }
+            return Ok(Loc::W(base_r));
+        }
+
+        match self.width_of(ty) {
+            Width::W => self.gen_binary_word(op, a, b, ty),
+            Width::Pair if *ty == Type::Double => self.gen_binary_soft_double(op, a, b),
+            Width::Pair => self.gen_binary_u64(op, a, b),
+            Width::F => self.gen_binary_hard_double(op, a, b),
+        }
+    }
+
+    fn gen_binary_word(&mut self, op: BinOp, a: &Typed, b: &Typed, ty: &Type) -> GResult<Loc> {
+        self.gen_expr(a)?;
+        self.gen_expr(b)?;
+        let vb = self.pop_loc();
+        let va = self.pop_loc();
+        let ra = self.ensure_w(va)?;
+        let unsigned = ty.is_unsigned();
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl
+            | BinOp::Shr | BinOp::Mul => {
+                let alu = match op {
+                    BinOp::Add => AluOp::Add,
+                    BinOp::Sub => AluOp::Sub,
+                    BinOp::And => AluOp::And,
+                    BinOp::Or => AluOp::Or,
+                    BinOp::Xor => AluOp::Xor,
+                    BinOp::Shl => AluOp::Sll,
+                    BinOp::Shr => {
+                        if unsigned {
+                            AluOp::Srl
+                        } else {
+                            AluOp::Sra
+                        }
+                    }
+                    BinOp::Mul => {
+                        if unsigned {
+                            AluOp::UMul
+                        } else {
+                            AluOp::SMul
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                let (op2, reg) = self.operand_w(vb)?;
+                self.e.alu(alu, ra, op2, ra);
+                if let Some(r) = reg {
+                    self.free_words.push(r);
+                }
+                Ok(Loc::W(ra))
+            }
+            BinOp::Div => {
+                let (op2, reg) = self.operand_w(vb)?;
+                self.emit_divide(ra, op2, unsigned, ra);
+                if let Some(r) = reg {
+                    self.free_words.push(r);
+                }
+                Ok(Loc::W(ra))
+            }
+            BinOp::Rem => {
+                // r = a - (a / b) * b
+                let rb = self.ensure_w(vb)?;
+                let q = self.alloc_word()?;
+                self.emit_divide(ra, Operand::Reg(rb), unsigned, q);
+                self.e.alu(AluOp::SMul, q, rb, q);
+                self.e.alu(AluOp::Sub, ra, q, ra);
+                self.free_words.push(q);
+                self.free_words.push(rb);
+                Ok(Loc::W(ra))
+            }
+            other => self.err(format!("unexpected word op {other:?}")),
+        }
+    }
+
+    /// `dst = dividend / divisor` with the mandated `wr %y` setup and
+    /// the three architectural delay slots before the divide.
+    fn emit_divide(&mut self, dividend: Reg, divisor: Operand, unsigned: bool, dst: Reg) {
+        let g5 = Reg::g(5);
+        if unsigned {
+            self.e.push(Instr::WrY {
+                rs1: G0,
+                op2: Operand::Imm(0),
+            });
+        } else {
+            self.e.alu(AluOp::Sra, dividend, 31, g5);
+            self.e.push(Instr::WrY {
+                rs1: g5,
+                op2: Operand::Imm(0),
+            });
+        }
+        self.e.nop();
+        self.e.nop();
+        self.e.nop();
+        let op = if unsigned { AluOp::UDiv } else { AluOp::SDiv };
+        self.e.alu(op, dividend, divisor, dst);
+    }
+
+    fn gen_binary_u64(&mut self, op: BinOp, a: &Typed, b: &Typed) -> GResult<Loc> {
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor => {
+                self.gen_expr(a)?;
+                self.gen_expr(b)?;
+                let vb = self.pop_loc();
+                let va = self.pop_loc();
+                let (ahi, alo) = self.ensure_pair(va)?;
+                let (bhi, blo) = self.ensure_pair(vb)?;
+                match op {
+                    BinOp::Add => {
+                        self.e.alu(AluOp::AddCc, alo, blo, alo);
+                        self.e.alu(AluOp::AddX, ahi, bhi, ahi);
+                    }
+                    BinOp::Sub => {
+                        self.e.alu(AluOp::SubCc, alo, blo, alo);
+                        self.e.alu(AluOp::SubX, ahi, bhi, ahi);
+                    }
+                    BinOp::And => {
+                        self.e.alu(AluOp::And, alo, blo, alo);
+                        self.e.alu(AluOp::And, ahi, bhi, ahi);
+                    }
+                    BinOp::Or => {
+                        self.e.alu(AluOp::Or, alo, blo, alo);
+                        self.e.alu(AluOp::Or, ahi, bhi, ahi);
+                    }
+                    BinOp::Xor => {
+                        self.e.alu(AluOp::Xor, alo, blo, alo);
+                        self.e.alu(AluOp::Xor, ahi, bhi, ahi);
+                    }
+                    _ => unreachable!(),
+                }
+                self.free_words.push(bhi);
+                self.free_words.push(blo);
+                Ok(Loc::Pair(ahi, alo))
+            }
+            BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                let name = match op {
+                    BinOp::Mul => "__muldi3",
+                    BinOp::Div => "__udivdi3",
+                    _ => "__umoddi3",
+                };
+                self.gen_expr(a)?;
+                self.gen_expr(b)?;
+                let vb = self.pop_loc();
+                let va = self.pop_loc();
+                let r = self.emit_call(
+                    name,
+                    vec![(va, Width::Pair), (vb, Width::Pair)],
+                    Some(Width::Pair),
+                )?;
+                Ok(r.unwrap())
+            }
+            BinOp::Shl | BinOp::Shr => {
+                self.gen_expr(a)?;
+                self.gen_expr(b)?;
+                let vb = self.pop_loc();
+                let va = self.pop_loc();
+                if let Loc::ImmW(k) = vb {
+                    return self.gen_u64_shift_const(va, op, k & 63);
+                }
+                let name = if op == BinOp::Shl {
+                    "__ashldi3"
+                } else {
+                    "__lshrdi3"
+                };
+                let r = self.emit_call(
+                    name,
+                    vec![(va, Width::Pair), (vb, Width::W)],
+                    Some(Width::Pair),
+                )?;
+                Ok(r.unwrap())
+            }
+            other => self.err(format!("unexpected u64 op {other:?}")),
+        }
+    }
+
+    /// Inline u64 shift by a compile-time constant.
+    fn gen_u64_shift_const(&mut self, v: Loc, op: BinOp, k: u32) -> GResult<Loc> {
+        if let Loc::ImmPair(x) = v {
+            let r = match op {
+                BinOp::Shl => x.wrapping_shl(k),
+                _ => x.wrapping_shr(k),
+            };
+            return Ok(Loc::ImmPair(r));
+        }
+        let (hi, lo) = self.ensure_pair(v)?;
+        match (op, k) {
+            (_, 0) => {}
+            (BinOp::Shl, 32) => {
+                self.e.mov(lo, hi);
+                self.e.mov(0, lo);
+            }
+            (BinOp::Shl, k) if k > 32 => {
+                self.e.alu(AluOp::Sll, lo, (k - 32) as i32, hi);
+                self.e.mov(0, lo);
+            }
+            (BinOp::Shl, k) => {
+                let t = self.alloc_word()?;
+                self.e.alu(AluOp::Srl, lo, (32 - k) as i32, t);
+                self.e.alu(AluOp::Sll, hi, k as i32, hi);
+                self.e.alu(AluOp::Or, hi, t, hi);
+                self.e.alu(AluOp::Sll, lo, k as i32, lo);
+                self.free_words.push(t);
+            }
+            (BinOp::Shr, 32) => {
+                self.e.mov(hi, lo);
+                self.e.mov(0, hi);
+            }
+            (BinOp::Shr, k) if k > 32 => {
+                self.e.alu(AluOp::Srl, hi, (k - 32) as i32, lo);
+                self.e.mov(0, hi);
+            }
+            (BinOp::Shr, k) => {
+                let t = self.alloc_word()?;
+                self.e.alu(AluOp::Sll, hi, (32 - k) as i32, t);
+                self.e.alu(AluOp::Srl, lo, k as i32, lo);
+                self.e.alu(AluOp::Or, lo, t, lo);
+                self.e.alu(AluOp::Srl, hi, k as i32, hi);
+                self.free_words.push(t);
+            }
+            _ => unreachable!(),
+        }
+        Ok(Loc::Pair(hi, lo))
+    }
+
+    fn gen_binary_hard_double(&mut self, op: BinOp, a: &Typed, b: &Typed) -> GResult<Loc> {
+        self.gen_expr(a)?;
+        self.gen_expr(b)?;
+        let vb = self.pop_loc();
+        let va = self.pop_loc();
+        let fa = self.ensure_f(va)?;
+        let fb = self.ensure_f(vb)?;
+        let fpop = match op {
+            BinOp::Add => FpOp::FAddD,
+            BinOp::Sub => FpOp::FSubD,
+            BinOp::Mul => FpOp::FMulD,
+            BinOp::Div => FpOp::FDivD,
+            other => return self.err(format!("unexpected double op {other:?}")),
+        };
+        self.e.push(Instr::FpOp {
+            op: fpop,
+            rd: fa,
+            rs1: fa,
+            rs2: fb,
+        });
+        self.free_fpairs.push(fb);
+        Ok(Loc::F(fa))
+    }
+
+    fn gen_binary_soft_double(&mut self, op: BinOp, a: &Typed, b: &Typed) -> GResult<Loc> {
+        let name = match op {
+            BinOp::Add => "__adddf3",
+            BinOp::Sub => "__subdf3",
+            BinOp::Mul => "__muldf3",
+            BinOp::Div => "__divdf3",
+            other => return self.err(format!("unexpected double op {other:?}")),
+        };
+        self.gen_expr(a)?;
+        self.gen_expr(b)?;
+        let vb = self.pop_loc();
+        let va = self.pop_loc();
+        let r = self.emit_call(
+            name,
+            vec![(va, Width::Pair), (vb, Width::Pair)],
+            Some(Width::Pair),
+        )?;
+        Ok(r.unwrap())
+    }
+
+    // ---- conditions ----
+
+    /// Evaluates `e` as a branch: jumps to `lt` when true, `lf` when
+    /// false. Leaves the value stack unchanged.
+    fn gen_cond(&mut self, e: &Typed, lt: Label, lf: Label) -> GResult<()> {
+        match &e.kind {
+            TKind::ConstWord(v) => {
+                self.e.ba(if *v != 0 { lt } else { lf });
+                Ok(())
+            }
+            TKind::Unary(UnOp::LogNot, inner) => self.gen_cond(inner, lf, lt),
+            TKind::Binary(BinOp::LogAnd, a, b) => {
+                let mid = self.e.new_label();
+                self.gen_cond(a, mid, lf)?;
+                self.e.bind(mid);
+                self.gen_cond(b, lt, lf)
+            }
+            TKind::Binary(BinOp::LogOr, a, b) => {
+                let mid = self.e.new_label();
+                self.gen_cond(a, lt, mid)?;
+                self.e.bind(mid);
+                self.gen_cond(b, lt, lf)
+            }
+            TKind::Binary(op, a, b) if op.is_comparison() => {
+                self.gen_compare(*op, a, b, lt, lf)
+            }
+            _ => {
+                // Truthiness of a plain value.
+                if e.ty == Type::Double {
+                    let zero = Typed {
+                        ty: Type::Double,
+                        kind: TKind::ConstDouble(0.0),
+                    };
+                    let ne = Typed {
+                        ty: Type::Int,
+                        kind: TKind::Binary(BinOp::Ne, Box::new(e.clone()), Box::new(zero)),
+                    };
+                    return self.gen_cond(&ne, lt, lf);
+                }
+                let v = self.gen_value(e)?;
+                match v {
+                    Loc::ImmPair(x) => {
+                        self.e.ba(if x != 0 { lt } else { lf });
+                    }
+                    Loc::Pair(..) | Loc::SpillPair(_) => {
+                        let (hi, lo) = self.ensure_pair(v)?;
+                        self.e.alu(AluOp::OrCc, hi, lo, G0);
+                        self.e.branch(ICond::Ne, lt);
+                        self.e.ba(lf);
+                        self.free_words.push(hi);
+                        self.free_words.push(lo);
+                    }
+                    other => {
+                        let r = self.ensure_w(other)?;
+                        self.e.cmp(r, 0);
+                        self.e.branch(ICond::Ne, lt);
+                        self.e.ba(lf);
+                        self.free_words.push(r);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn gen_compare(&mut self, op: BinOp, a: &Typed, b: &Typed, lt: Label, lf: Label) -> GResult<()> {
+        match (&a.ty, self.mode) {
+            (Type::U64, _) => self.gen_compare_u64(op, a, b, lt, lf),
+            (Type::Double, FloatMode::Hard) => {
+                self.gen_expr(a)?;
+                self.gen_expr(b)?;
+                let vb = self.pop_loc();
+                let va = self.pop_loc();
+                let fa = self.ensure_f(va)?;
+                let fb = self.ensure_f(vb)?;
+                self.e.push(Instr::FCmp {
+                    double: true,
+                    exception: false,
+                    rs1: fa,
+                    rs2: fb,
+                });
+                // The architecture requires one instruction between
+                // FCMP and FBfcc.
+                self.e.nop();
+                self.e.fbranch(fcond_for(op), lt);
+                self.e.ba(lf);
+                self.free_fpairs.push(fa);
+                self.free_fpairs.push(fb);
+                Ok(())
+            }
+            (Type::Double, FloatMode::Soft) => {
+                // Map onto the runtime predicates (<, <=, ==), possibly
+                // with swapped operands or an inverted branch.
+                let (name, swap, invert) = match op {
+                    BinOp::Lt => ("__dlt", false, false),
+                    BinOp::Le => ("__dle", false, false),
+                    BinOp::Gt => ("__dlt", true, false),
+                    BinOp::Ge => ("__dle", true, false),
+                    BinOp::Eq => ("__deq", false, false),
+                    BinOp::Ne => ("__deq", false, true),
+                    _ => unreachable!(),
+                };
+                self.gen_expr(a)?;
+                self.gen_expr(b)?;
+                let vb = self.pop_loc();
+                let va = self.pop_loc();
+                let (first, second) = if swap { (vb, va) } else { (va, vb) };
+                let r = self
+                    .emit_call(
+                        name,
+                        vec![(first, Width::Pair), (second, Width::Pair)],
+                        Some(Width::W),
+                    )?
+                    .unwrap();
+                let rr = self.ensure_w(r)?;
+                self.e.cmp(rr, 0);
+                let (t, f) = if invert { (lf, lt) } else { (lt, lf) };
+                self.e.branch(ICond::Ne, t);
+                self.e.ba(f);
+                self.free_words.push(rr);
+                Ok(())
+            }
+            _ => {
+                // Word-sized integers and pointers.
+                self.gen_expr(a)?;
+                self.gen_expr(b)?;
+                let vb = self.pop_loc();
+                let va = self.pop_loc();
+                let ra = self.ensure_w(va)?;
+                let (op2, rb) = self.operand_w(vb)?;
+                self.e.cmp(ra, op2);
+                self.e.branch(icond_for(op, a.ty.is_unsigned()), lt);
+                self.e.ba(lf);
+                self.free_words.push(ra);
+                if let Some(r) = rb {
+                    self.free_words.push(r);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn gen_compare_u64(
+        &mut self,
+        op: BinOp,
+        a: &Typed,
+        b: &Typed,
+        lt: Label,
+        lf: Label,
+    ) -> GResult<()> {
+        self.gen_expr(a)?;
+        self.gen_expr(b)?;
+        let vb = self.pop_loc();
+        let va = self.pop_loc();
+        let (ahi, alo) = self.ensure_pair(va)?;
+        let (bhi, blo) = self.ensure_pair(vb)?;
+        match op {
+            BinOp::Eq | BinOp::Ne => {
+                let (t, f) = if op == BinOp::Eq { (lt, lf) } else { (lf, lt) };
+                self.e.cmp(ahi, bhi);
+                self.e.branch(ICond::Ne, f);
+                self.e.cmp(alo, blo);
+                self.e.branch(ICond::E, t);
+                self.e.ba(f);
+            }
+            _ => {
+                // High words decide unless equal; low words compared
+                // unsigned.
+                let (hi_less, hi_greater) = match op {
+                    BinOp::Lt | BinOp::Le => (lt, lf),
+                    _ => (lf, lt),
+                };
+                let low_cond = match op {
+                    BinOp::Lt => ICond::Cs,
+                    BinOp::Le => ICond::Leu,
+                    BinOp::Gt => ICond::Gu,
+                    BinOp::Ge => ICond::Cc,
+                    _ => unreachable!(),
+                };
+                self.e.cmp(ahi, bhi);
+                self.e.branch(ICond::Cs, hi_less);
+                self.e.branch(ICond::Gu, hi_greater);
+                self.e.cmp(alo, blo);
+                self.e.branch(low_cond, lt);
+                self.e.ba(lf);
+            }
+        }
+        self.free_words.push(ahi);
+        self.free_words.push(alo);
+        self.free_words.push(bhi);
+        self.free_words.push(blo);
+        Ok(())
+    }
+
+    /// Materialises a boolean expression into a register (0/1).
+    fn materialize_cond(&mut self, e: &Typed) -> GResult<Loc> {
+        let lt = self.e.new_label();
+        let lf = self.e.new_label();
+        let end = self.e.new_label();
+        let r = self.alloc_word()?;
+        self.gen_cond(e, lt, lf)?;
+        self.e.bind(lt);
+        self.e.mov(1, r);
+        self.e.ba(end);
+        self.e.bind(lf);
+        self.e.mov(0, r);
+        self.e.bind(end);
+        Ok(Loc::W(r))
+    }
+
+    // ---- assignment ----
+
+    fn gen_assign(&mut self, lv: &LValue, rhs: &Typed, ty: &Type) -> GResult<Loc> {
+        match lv {
+            LValue::Local(id) => {
+                let v = self.gen_value(rhs)?;
+                let off = self.local_off[*id];
+                let (base, imm) = self.frame_addr(off);
+                self.store_to(base, imm, ty, v)
+            }
+            LValue::Global(name) => {
+                let v = self.gen_value(rhs)?;
+                let addr = self.alloc_word()?;
+                self.e.load_sym(name, addr);
+                let out = self.store_to(addr, 0, ty, v)?;
+                self.free_words.push(addr);
+                Ok(out)
+            }
+            LValue::Mem { addr, elem } => {
+                let v = self.gen_value(rhs)?;
+                self.push_loc(v); // keep it spill-safe while computing the address
+                self.gen_expr(addr)?;
+                let a = self.pop_loc();
+                let v = self.pop_loc();
+                let ar = self.ensure_w(a)?;
+                let out = self.store_to(ar, 0, elem, v)?;
+                self.free_words.push(ar);
+                Ok(out)
+            }
+        }
+    }
+
+    // ---- casts ----
+
+    fn gen_cast(&mut self, from: &Type, to: &Type, v: Loc) -> GResult<Loc> {
+        use Type::*;
+        if from == to {
+            return Ok(v);
+        }
+        match (from, to) {
+            // Word-to-word: only uchar narrowing changes bits.
+            (a, UChar) if a.is_word() => {
+                if let Loc::ImmW(x) = v {
+                    return Ok(Loc::ImmW(x & 0xff));
+                }
+                let r = self.ensure_w(v)?;
+                self.e.alu(AluOp::And, r, 0xff, r);
+                Ok(Loc::W(r))
+            }
+            (a, b) if a.is_word() && b.is_word() => Ok(v),
+
+            // Word to u64.
+            (Int, U64) => {
+                if let Loc::ImmW(x) = v {
+                    return Ok(Loc::ImmPair(x as i32 as i64 as u64));
+                }
+                let lo = self.ensure_w(v)?;
+                let hi = self.alloc_word()?;
+                self.e.alu(AluOp::Sra, lo, 31, hi);
+                Ok(Loc::Pair(hi, lo))
+            }
+            (a, U64) if a.is_word() => {
+                if let Loc::ImmW(x) = v {
+                    return Ok(Loc::ImmPair(x as u64));
+                }
+                let lo = self.ensure_w(v)?;
+                let hi = self.alloc_word()?;
+                self.e.mov(0, hi);
+                Ok(Loc::Pair(hi, lo))
+            }
+
+            // U64 to word.
+            (U64, b) if b.is_word() => {
+                if let Loc::ImmPair(x) = v {
+                    let w = x as u32;
+                    return Ok(Loc::ImmW(if *b == UChar { w & 0xff } else { w }));
+                }
+                let (hi, lo) = self.ensure_pair(v)?;
+                self.free_words.push(hi);
+                if *b == UChar {
+                    self.e.alu(AluOp::And, lo, 0xff, lo);
+                }
+                Ok(Loc::W(lo))
+            }
+
+            // Integer to double.
+            (Int, Double) => match self.mode {
+                FloatMode::Hard => {
+                    let r = self.ensure_w(v)?;
+                    self.st_frame(r, SCRATCH_OFF, MemSize::Word);
+                    self.free_words.push(r);
+                    let f = self.alloc_fpair()?;
+                    self.e.push(Instr::LoadF {
+                        double: false,
+                        rd: f,
+                        rs1: SP,
+                        op2: Operand::Imm(SCRATCH_OFF as i32),
+                    });
+                    self.e.push(Instr::FpOp {
+                        op: FpOp::FiToD,
+                        rd: f,
+                        rs1: FReg::new(0),
+                        rs2: f,
+                    });
+                    Ok(Loc::F(f))
+                }
+                FloatMode::Soft => Ok(self
+                    .emit_call("__floatsidf", vec![(v, Width::W)], Some(Width::Pair))?
+                    .unwrap()),
+            },
+            (UChar, Double) => {
+                // Always non-negative; the signed path is exact.
+                self.gen_cast(&Int, &Double, v)
+            }
+            (UInt, Double) => match self.mode {
+                FloatMode::Hard => {
+                    let r = self.ensure_w(v)?;
+                    self.st_frame(r, SCRATCH_OFF, MemSize::Word);
+                    let f = self.alloc_fpair()?;
+                    self.e.push(Instr::LoadF {
+                        double: false,
+                        rd: f,
+                        rs1: SP,
+                        op2: Operand::Imm(SCRATCH_OFF as i32),
+                    });
+                    self.e.push(Instr::FpOp {
+                        op: FpOp::FiToD,
+                        rd: f,
+                        rs1: FReg::new(0),
+                        rs2: f,
+                    });
+                    // If the value had the sign bit set, compensate by
+                    // adding 2^32.
+                    let done = self.e.new_label();
+                    self.e.cmp(r, 0);
+                    self.e.branch(ICond::Pos, done);
+                    let k = self.ensure_f(Loc::ImmPair(4294967296.0f64.to_bits()))?;
+                    self.e.push(Instr::FpOp {
+                        op: FpOp::FAddD,
+                        rd: f,
+                        rs1: f,
+                        rs2: k,
+                    });
+                    self.e.bind(done);
+                    self.free_fpairs.push(k);
+                    self.free_words.push(r);
+                    Ok(Loc::F(f))
+                }
+                FloatMode::Soft => Ok(self
+                    .emit_call("__floatunsidf", vec![(v, Width::W)], Some(Width::Pair))?
+                    .unwrap()),
+            },
+            (U64, Double) => {
+                let bits = self
+                    .emit_call("__floatundidf", vec![(v, Width::Pair)], Some(Width::Pair))?
+                    .unwrap();
+                match self.mode {
+                    FloatMode::Hard => self.bits_to_f(bits),
+                    FloatMode::Soft => Ok(bits),
+                }
+            }
+
+            // Double to integer (truncating).
+            (Double, Int) => match self.mode {
+                FloatMode::Hard => {
+                    let f = self.ensure_f(v)?;
+                    self.e.push(Instr::FpOp {
+                        op: FpOp::FdToI,
+                        rd: f,
+                        rs1: FReg::new(0),
+                        rs2: f,
+                    });
+                    self.e.push(Instr::StoreF {
+                        double: false,
+                        rd: f,
+                        rs1: SP,
+                        op2: Operand::Imm(SCRATCH_OFF as i32),
+                    });
+                    self.free_fpairs.push(f);
+                    let r = self.alloc_word()?;
+                    self.ld_frame(r, SCRATCH_OFF, MemSize::Word, false);
+                    Ok(Loc::W(r))
+                }
+                FloatMode::Soft => Ok(self
+                    .emit_call("__fixdfsi", vec![(v, Width::Pair)], Some(Width::W))?
+                    .unwrap()),
+            },
+            (Double, UInt) => match self.mode {
+                FloatMode::Hard => {
+                    // if (d < 2^31) (uint)(int)d
+                    // else 0x80000000 + (int)(d - 2^31)
+                    let fa = self.ensure_f(v)?;
+                    let fk = self.ensure_f(Loc::ImmPair(2147483648.0f64.to_bits()))?;
+                    let big = self.e.new_label();
+                    let done = self.e.new_label();
+                    self.e.push(Instr::FCmp {
+                        double: true,
+                        exception: false,
+                        rs1: fa,
+                        rs2: fk,
+                    });
+                    self.e.nop();
+                    self.e.fbranch(FCond::Uge, big);
+                    // small path
+                    self.e.push(Instr::FpOp {
+                        op: FpOp::FdToI,
+                        rd: fa,
+                        rs1: FReg::new(0),
+                        rs2: fa,
+                    });
+                    self.e.push(Instr::StoreF {
+                        double: false,
+                        rd: fa,
+                        rs1: SP,
+                        op2: Operand::Imm(SCRATCH_OFF as i32),
+                    });
+                    let r = self.alloc_word()?;
+                    self.ld_frame(r, SCRATCH_OFF, MemSize::Word, false);
+                    self.e.ba(done);
+                    // big path
+                    self.e.bind(big);
+                    self.e.push(Instr::FpOp {
+                        op: FpOp::FSubD,
+                        rd: fa,
+                        rs1: fa,
+                        rs2: fk,
+                    });
+                    self.e.push(Instr::FpOp {
+                        op: FpOp::FdToI,
+                        rd: fa,
+                        rs1: FReg::new(0),
+                        rs2: fa,
+                    });
+                    self.e.push(Instr::StoreF {
+                        double: false,
+                        rd: fa,
+                        rs1: SP,
+                        op2: Operand::Imm(SCRATCH_OFF as i32),
+                    });
+                    self.ld_frame(r, SCRATCH_OFF, MemSize::Word, false);
+                    let t = Reg::g(5);
+                    self.e.push(Instr::Sethi {
+                        rd: t,
+                        imm22: 0x8000_0000u32 >> 10,
+                    });
+                    self.e.alu(AluOp::Add, r, t, r);
+                    self.e.bind(done);
+                    self.free_fpairs.push(fa);
+                    self.free_fpairs.push(fk);
+                    Ok(Loc::W(r))
+                }
+                FloatMode::Soft => Ok(self
+                    .emit_call("__fixunsdfsi", vec![(v, Width::Pair)], Some(Width::W))?
+                    .unwrap()),
+            },
+            (Double, UChar) => {
+                let w = self.gen_cast(&Double, &Int, v)?;
+                self.gen_cast(&Int, &UChar, w)
+            }
+            (Double, U64) => {
+                let bits = match self.mode {
+                    FloatMode::Hard => self.f_to_bits(v)?,
+                    FloatMode::Soft => v,
+                };
+                Ok(self
+                    .emit_call("__fixunsdfdi", vec![(bits, Width::Pair)], Some(Width::Pair))?
+                    .unwrap())
+            }
+            (a, b) => self.err(format!("unsupported cast {a} -> {b}")),
+        }
+    }
+
+    // ---- calls ----
+
+    fn gen_call(&mut self, name: &str, args: &[Typed], ret: &Type) -> GResult<Option<Loc>> {
+        // Compiler intrinsics first.
+        match name {
+            "putchar" | "emit" => {
+                let v = self.gen_value(&args[0])?;
+                let r = self.ensure_w(v)?;
+                let addr = self.alloc_word()?;
+                let dest = if name == "putchar" {
+                    CONSOLE_TX
+                } else {
+                    CONSOLE_EMIT
+                };
+                self.e.set32(dest, addr);
+                self.e.push(Instr::Store {
+                    size: MemSize::Word,
+                    rd: r,
+                    rs1: addr,
+                    op2: Operand::Imm(0),
+                });
+                self.free_words.push(r);
+                self.free_words.push(addr);
+                return Ok(None);
+            }
+            "sqrt" => {
+                let v = self.gen_value(&args[0])?;
+                return match self.mode {
+                    FloatMode::Hard => {
+                        let f = self.ensure_f(v)?;
+                        self.e.push(Instr::FpOp {
+                            op: FpOp::FSqrtD,
+                            rd: f,
+                            rs1: FReg::new(0),
+                            rs2: f,
+                        });
+                        Ok(Some(Loc::F(f)))
+                    }
+                    FloatMode::Soft => Ok(Some(
+                        self.emit_call("__sqrtdf2", vec![(v, Width::Pair)], Some(Width::Pair))?
+                            .unwrap(),
+                    )),
+                };
+            }
+            "fabs" => {
+                let v = self.gen_value(&args[0])?;
+                return match self.mode {
+                    FloatMode::Hard => {
+                        let f = self.ensure_f(v)?;
+                        self.e.push(Instr::FpOp {
+                            op: FpOp::FAbsS,
+                            rd: f,
+                            rs1: FReg::new(0),
+                            rs2: f,
+                        });
+                        Ok(Some(Loc::F(f)))
+                    }
+                    FloatMode::Soft => {
+                        let (hi, lo) = self.ensure_pair(v)?;
+                        let m = self.alloc_word()?;
+                        self.e.set32(0x8000_0000, m);
+                        self.e.alu(AluOp::AndN, hi, m, hi);
+                        self.free_words.push(m);
+                        Ok(Some(Loc::Pair(hi, lo)))
+                    }
+                };
+            }
+            "__umulw" => {
+                let a = self.gen_value(&args[0])?;
+                self.push_loc(a);
+                let b = self.gen_value(&args[1])?;
+                let a = {
+                    
+                    self.stack.pop().expect("arg on stack")
+                };
+                let ra = self.ensure_w(a)?;
+                let (op2, rb) = self.operand_w(b)?;
+                self.e.alu(AluOp::UMul, ra, op2, ra);
+                let hi = self.alloc_word()?;
+                self.e.push(Instr::RdY { rd: hi });
+                if let Some(r) = rb {
+                    self.free_words.push(r);
+                }
+                return Ok(Some(Loc::Pair(hi, ra)));
+            }
+            "__dbits" => {
+                let v = self.gen_value(&args[0])?;
+                return match self.mode {
+                    FloatMode::Hard => Ok(Some(self.f_to_bits(v)?)),
+                    FloatMode::Soft => Ok(Some(v)),
+                };
+            }
+            "__bitsd" => {
+                let v = self.gen_value(&args[0])?;
+                return match self.mode {
+                    FloatMode::Hard => Ok(Some(self.bits_to_f(v)?)),
+                    FloatMode::Soft => Ok(Some(v)),
+                };
+            }
+            _ => {}
+        }
+
+        // General call: evaluate arguments left to right on the value
+        // stack, then hand them to the ABI lowering.
+        let mut widths = Vec::with_capacity(args.len());
+        for arg in args {
+            if !self.gen_expr(arg)? {
+                return self.err(format!("void argument in call to `{name}`"));
+            }
+            widths.push(self.width_of(&arg.ty));
+        }
+        let mut locs: Vec<Loc> = Vec::with_capacity(args.len());
+        for _ in args {
+            locs.push(self.pop_loc());
+        }
+        locs.reverse();
+        let pairs: Vec<(Loc, Width)> = locs.into_iter().zip(widths).collect();
+        let ret_width = match ret {
+            Type::Void => None,
+            t => Some(self.width_of(t)),
+        };
+        self.emit_call(name, pairs, ret_width)
+    }
+
+    // ---- statements ----
+
+    fn gen_stmts(&mut self, stmts: &[CStmt]) -> GResult<()> {
+        for s in stmts {
+            self.gen_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, s: &CStmt) -> GResult<()> {
+        match s {
+            CStmt::Expr(e) => {
+                if self.gen_expr(e)? {
+                    let v = self.pop_loc();
+                    self.free_loc(v);
+                }
+                Ok(())
+            }
+            CStmt::Block(stmts) => self.gen_stmts(stmts),
+            CStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let lt = self.e.new_label();
+                let lf = self.e.new_label();
+                let end = self.e.new_label();
+                self.gen_cond(cond, lt, lf)?;
+                self.e.bind(lt);
+                self.gen_stmts(then_branch)?;
+                if else_branch.is_empty() {
+                    self.e.bind(lf);
+                } else {
+                    self.e.ba(end);
+                    self.e.bind(lf);
+                    self.gen_stmts(else_branch)?;
+                    self.e.bind(end);
+                }
+                Ok(())
+            }
+            CStmt::While { cond, body } => {
+                let top = self.e.new_label();
+                let lbody = self.e.new_label();
+                let end = self.e.new_label();
+                self.e.bind(top);
+                self.gen_cond(cond, lbody, end)?;
+                self.e.bind(lbody);
+                self.loops.push((top, end));
+                self.gen_stmts(body)?;
+                self.loops.pop();
+                self.e.ba(top);
+                self.e.bind(end);
+                Ok(())
+            }
+            CStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.gen_stmt(init)?;
+                }
+                let top = self.e.new_label();
+                let lbody = self.e.new_label();
+                let lstep = self.e.new_label();
+                let end = self.e.new_label();
+                self.e.bind(top);
+                if let Some(c) = cond { self.gen_cond(c, lbody, end)? }
+                self.e.bind(lbody);
+                self.loops.push((lstep, end));
+                self.gen_stmts(body)?;
+                self.loops.pop();
+                self.e.bind(lstep);
+                if let Some(stp) = step {
+                    if self.gen_expr(stp)? {
+                        let v = self.pop_loc();
+                        self.free_loc(v);
+                    }
+                }
+                self.e.ba(top);
+                self.e.bind(end);
+                Ok(())
+            }
+            CStmt::Return(value) => {
+                if let Some(v) = value {
+                    let loc = self.gen_value(v)?;
+                    self.move_to_return(loc, &v.ty)?;
+                }
+                self.e.ba(self.epilogue);
+                Ok(())
+            }
+            CStmt::Break => match self.loops.last() {
+                Some(&(_, brk)) => {
+                    self.e.ba(brk);
+                    Ok(())
+                }
+                None => self.err("break outside loop"),
+            },
+            CStmt::Continue => match self.loops.last() {
+                Some(&(cont, _)) => {
+                    self.e.ba(cont);
+                    Ok(())
+                }
+                None => self.err("continue outside loop"),
+            },
+        }
+    }
+
+    /// Moves a value into the return registers (`%o0` / `%o0:%o1`).
+    fn move_to_return(&mut self, loc: Loc, ty: &Type) -> GResult<()> {
+        match self.width_of(ty) {
+            Width::W => match loc {
+                Loc::ImmW(v) => self.e.set32(v, Reg::o(0)),
+                other => {
+                    let r = self.ensure_w(other)?;
+                    self.e.mov(r, Reg::o(0));
+                    self.free_words.push(r);
+                }
+            },
+            Width::Pair => match loc {
+                Loc::ImmPair(v) => {
+                    self.e.set32((v >> 32) as u32, Reg::o(0));
+                    self.e.set32(v as u32, Reg::o(1));
+                }
+                other => {
+                    let (hi, lo) = self.ensure_pair(other)?;
+                    self.e.mov(hi, Reg::o(0));
+                    self.e.mov(lo, Reg::o(1));
+                    self.free_words.push(hi);
+                    self.free_words.push(lo);
+                }
+            },
+            Width::F => match loc {
+                // Constant doubles return their raw bits directly.
+                Loc::ImmPair(v) => {
+                    self.e.set32((v >> 32) as u32, Reg::o(0));
+                    self.e.set32(v as u32, Reg::o(1));
+                }
+                other => {
+                    let f = self.ensure_f(other)?;
+                    self.e.push(Instr::StoreF {
+                        double: true,
+                        rd: f,
+                        rs1: SP,
+                        op2: Operand::Imm(SCRATCH_OFF as i32),
+                    });
+                    self.free_fpairs.push(f);
+                    self.ld_frame(Reg::o(0), SCRATCH_OFF, MemSize::Word, false);
+                    self.ld_frame(Reg::o(1), SCRATCH_OFF + 4, MemSize::Word, false);
+                }
+            },
+        }
+        Ok(())
+    }
+}
+
+/// Size in bytes a local slot occupies (word-aligned).
+fn slot_size(def: &crate::sema::LocalDef) -> u32 {
+    match def.array_len {
+        Some(len) => {
+            let bytes = len * def.ty.size();
+            (bytes + 3) & !3
+        }
+        None => def.ty.size().max(4),
+    }
+}
+
+/// Generates code for one checked function.
+pub fn gen_function(
+    func: &CFunc,
+    mode: FloatMode,
+    pool: &mut DoublePool,
+) -> Result<FuncCode, CodegenError> {
+    // Lay out locals.
+    let mut local_off = Vec::with_capacity(func.locals.len());
+    let mut off = LOCALS_OFF;
+    for def in &func.locals {
+        let align = def.ty.align().max(4);
+        off = (off + align - 1) & !(align - 1);
+        local_off.push(off);
+        off += slot_size(def);
+    }
+    let frame = (off + 7) & !7;
+
+    let mut e = Emitter::new();
+    let epilogue = e.new_label();
+    let mut g = FnGen {
+        e,
+        mode,
+        func,
+        pool,
+        stack: Vec::new(),
+        free_words: vec![
+            Reg::g(1),
+            Reg::g(2),
+            Reg::g(3),
+            Reg::g(4),
+            Reg::l(0),
+            Reg::l(1),
+            Reg::l(2),
+            Reg::l(3),
+            Reg::l(4),
+            Reg::l(5),
+            Reg::l(6),
+            Reg::l(7),
+        ],
+        free_fpairs: (1..16).map(|i| FReg::new(i * 2)).collect(),
+        free_spills: (0..SPILL_SLOTS).collect(),
+        local_off,
+        epilogue,
+        loops: Vec::new(),
+    };
+
+    // Prologue: allocate the frame, save the return address, home the
+    // incoming arguments.
+    if frame <= 4095 {
+        g.e.alu(AluOp::Sub, SP, frame as i32, SP);
+    } else {
+        let g5 = Reg::g(5);
+        g.e.set32(frame, g5);
+        g.e.alu(AluOp::Sub, SP, g5, SP);
+    }
+    g.st_frame(nfp_sparc::regs::O7, O7_OFF, MemSize::Word);
+    let mut word = 0u32;
+    for pi in 0..func.param_count {
+        let def = &func.locals[pi];
+        let slot = g.local_off[pi];
+        let words = def.ty.words();
+        for k in 0..words {
+            let dst_off = slot + k * 4;
+            let size = if def.ty == Type::UChar {
+                MemSize::Byte
+            } else {
+                MemSize::Word
+            };
+            if word < 6 {
+                g.st_frame(Reg::o(word as u8), dst_off, size);
+            } else {
+                // Incoming stack argument: it lives in the caller's
+                // outgoing area, just above our frame.
+                let g5 = Reg::g(5);
+                let src = frame + OUT_ARGS_OFF + (word - 6) * 4;
+                g.ld_frame(g5, src, MemSize::Word, false);
+                g.st_frame(g5, dst_off, size);
+            }
+            word += 1;
+        }
+    }
+
+    g.gen_stmts(&func.body)?;
+    debug_assert!(g.stack.is_empty(), "value stack left non-empty");
+
+    // Epilogue.
+    g.e.bind(epilogue);
+    g.ld_frame(nfp_sparc::regs::O7, O7_OFF, MemSize::Word, false);
+    if frame <= 4095 {
+        g.e.alu(AluOp::Add, SP, frame as i32, SP);
+    } else {
+        let g5 = Reg::g(5);
+        g.e.set32(frame, g5);
+        g.e.alu(AluOp::Add, SP, g5, SP);
+    }
+    g.e.push(Instr::Jmpl {
+        rd: G0,
+        rs1: nfp_sparc::regs::O7,
+        op2: Operand::Imm(8),
+    });
+    g.e.nop();
+
+    Ok(g.e.finish(&func.name))
+}

@@ -1,0 +1,255 @@
+//! Function-level code emitter: instruction items with local labels and
+//! symbolic relocations, resolved by the linker.
+
+use nfp_sparc::cond::{FCond, ICond};
+use nfp_sparc::{AluOp, Instr, Operand, Reg};
+
+/// A local label within one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+/// One emitted item. Every variant except `Label` occupies exactly one
+/// instruction word.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A fully resolved instruction.
+    I(Instr),
+    /// Definition of a local label (occupies no space).
+    Label(Label),
+    /// Conditional branch to a local label.
+    Branch { cond: ICond, target: Label },
+    /// FP conditional branch to a local label.
+    FBranch { cond: FCond, target: Label },
+    /// Call to a global symbol.
+    CallSym(String),
+    /// `sethi %hi(sym), rd`.
+    SetHi { sym: String, rd: Reg },
+    /// `or rd, %lo(sym), rd`.
+    OrLo { sym: String, rd: Reg },
+}
+
+/// Code for one function, pre-linking.
+#[derive(Debug, Clone)]
+pub struct FuncCode {
+    /// Link symbol.
+    pub name: String,
+    /// Emitted items.
+    pub items: Vec<Item>,
+}
+
+impl FuncCode {
+    /// Number of instruction words this function occupies.
+    pub fn len_words(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| !matches!(i, Item::Label(_)))
+            .count()
+    }
+
+    /// Names of all symbols this function references.
+    pub fn referenced_symbols(&self) -> impl Iterator<Item = &str> {
+        self.items.iter().filter_map(|i| match i {
+            Item::CallSym(s) => Some(s.as_str()),
+            Item::SetHi { sym, .. } => Some(sym.as_str()),
+            Item::OrLo { sym, .. } => Some(sym.as_str()),
+            _ => None,
+        })
+    }
+}
+
+/// Emitter used by the code generator.
+pub struct Emitter {
+    /// Items emitted so far.
+    pub items: Vec<Item>,
+    next_label: u32,
+}
+
+impl Emitter {
+    /// An empty emitter.
+    pub fn new() -> Self {
+        Emitter {
+            items: Vec::new(),
+            next_label: 0,
+        }
+    }
+
+    /// Allocates a fresh local label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` at the current position.
+    pub fn bind(&mut self, label: Label) {
+        self.items.push(Item::Label(label));
+    }
+
+    /// Emits a resolved instruction.
+    pub fn push(&mut self, i: Instr) {
+        self.items.push(Item::I(i));
+    }
+
+    /// Emits a `nop`.
+    pub fn nop(&mut self) {
+        self.push(Instr::NOP);
+    }
+
+    /// ALU op.
+    pub fn alu(&mut self, op: AluOp, rs1: Reg, op2: impl Into<Operand>, rd: Reg) {
+        self.push(Instr::Alu {
+            op,
+            rd,
+            rs1,
+            op2: op2.into(),
+        });
+    }
+
+    /// `mov` synthesised as `or %g0, src, rd`.
+    pub fn mov(&mut self, src: impl Into<Operand>, rd: Reg) {
+        let src = src.into();
+        // Skip no-op register self-moves.
+        if let Operand::Reg(r) = src {
+            if r == rd {
+                return;
+            }
+        }
+        self.alu(AluOp::Or, nfp_sparc::regs::G0, src, rd);
+    }
+
+    /// Materialises an arbitrary 32-bit constant (1-2 instructions).
+    pub fn set32(&mut self, value: u32, rd: Reg) {
+        if Operand::fits_simm13(value as i32) {
+            self.mov(value as i32, rd);
+            return;
+        }
+        self.push(Instr::Sethi {
+            rd,
+            imm22: value >> 10,
+        });
+        if value & 0x3ff != 0 {
+            self.alu(AluOp::Or, rd, (value & 0x3ff) as i32, rd);
+        }
+    }
+
+    /// `cmp rs1, op2` = `subcc rs1, op2, %g0`.
+    pub fn cmp(&mut self, rs1: Reg, op2: impl Into<Operand>) {
+        self.alu(AluOp::SubCc, rs1, op2, nfp_sparc::regs::G0);
+    }
+
+    /// Conditional branch with its delay-slot `nop`.
+    pub fn branch(&mut self, cond: ICond, target: Label) {
+        self.items.push(Item::Branch { cond, target });
+        self.nop();
+    }
+
+    /// Unconditional branch with its delay-slot `nop`.
+    pub fn ba(&mut self, target: Label) {
+        self.branch(ICond::A, target);
+    }
+
+    /// FP conditional branch with its delay-slot `nop`.
+    pub fn fbranch(&mut self, cond: FCond, target: Label) {
+        self.items.push(Item::FBranch { cond, target });
+        self.nop();
+    }
+
+    /// Call to a symbol with its delay-slot `nop`.
+    pub fn call(&mut self, sym: &str) {
+        self.items.push(Item::CallSym(sym.to_string()));
+        self.nop();
+    }
+
+    /// Materialises the address of `sym` into `rd` (2 instructions).
+    pub fn load_sym(&mut self, sym: &str, rd: Reg) {
+        self.items.push(Item::SetHi {
+            sym: sym.to_string(),
+            rd,
+        });
+        self.items.push(Item::OrLo {
+            sym: sym.to_string(),
+            rd,
+        });
+    }
+
+    /// Finalises into a [`FuncCode`].
+    pub fn finish(self, name: &str) -> FuncCode {
+        FuncCode {
+            name: name.to_string(),
+            items: self.items,
+        }
+    }
+}
+
+impl Default for Emitter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfp_sparc::Reg;
+
+    #[test]
+    fn label_allocation_is_unique() {
+        let mut e = Emitter::new();
+        let a = e.new_label();
+        let b = e.new_label();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn set32_small_uses_one_instruction() {
+        let mut e = Emitter::new();
+        e.set32(100, Reg::l(0));
+        assert_eq!(e.items.len(), 1);
+        e.set32(0x12345678, Reg::l(0));
+        assert_eq!(e.items.len(), 3);
+        // exactly hi-aligned value: sethi only
+        let mut e2 = Emitter::new();
+        e2.set32(0x40000, Reg::l(0)); // 1 << 18: %hi-only, no %lo bits
+        assert_eq!(e2.items.len(), 1);
+        assert!(matches!(e2.items[0], Item::I(Instr::Sethi { .. })));
+    }
+
+    #[test]
+    fn self_move_is_elided() {
+        let mut e = Emitter::new();
+        e.mov(Reg::l(0), Reg::l(0));
+        assert!(e.items.is_empty());
+    }
+
+    #[test]
+    fn branches_carry_delay_nops() {
+        let mut e = Emitter::new();
+        let l = e.new_label();
+        e.ba(l);
+        assert_eq!(e.items.len(), 2);
+        assert!(matches!(e.items[1], Item::I(i) if i.is_nop()));
+    }
+
+    #[test]
+    fn len_words_ignores_labels() {
+        let mut e = Emitter::new();
+        let l = e.new_label();
+        e.bind(l);
+        e.nop();
+        let l2 = e.new_label();
+        e.bind(l2);
+        let f = e.finish("f");
+        assert_eq!(f.len_words(), 1);
+    }
+
+    #[test]
+    fn referenced_symbols() {
+        let mut e = Emitter::new();
+        e.call("foo");
+        e.load_sym("bar", Reg::l(0));
+        let f = e.finish("f");
+        let syms: Vec<_> = f.referenced_symbols().collect();
+        assert_eq!(syms, vec!["foo", "bar", "bar"]);
+    }
+}

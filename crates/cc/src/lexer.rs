@@ -1,0 +1,600 @@
+//! Lexer for the mini-C dialect, with object-like `#define` support.
+//!
+//! The dialect is the subset of C needed to write the paper's
+//! workloads and the soft-float runtime: scalar types (`uchar`, `int`,
+//! `uint`, `u64`, `double`), pointers, one-dimensional arrays, and the
+//! usual expression and statement forms. `#define NAME tokens…` performs
+//! simple token substitution (no function-like macros).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Token kinds.
+#[allow(missing_docs)] // names mirror the lexemes
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Ident(String),
+    // keywords
+    KwVoid,
+    KwUChar,
+    KwInt,
+    KwUInt,
+    KwU64,
+    KwDouble,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Question,
+    Colon,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::UInt(v) => write!(f, "{v}u"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexical error with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "void" => Tok::KwVoid,
+        "uchar" => Tok::KwUChar,
+        "int" => Tok::KwInt,
+        "uint" => Tok::KwUInt,
+        "u64" => Tok::KwU64,
+        "double" => Tok::KwDouble,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "for" => Tok::KwFor,
+        "return" => Tok::KwReturn,
+        "break" => Tok::KwBreak,
+        "continue" => Tok::KwContinue,
+        _ => return None,
+    })
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, LexError> {
+        Err(LexError {
+            message: message.into(),
+            line: self.line,
+        })
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    /// Skips whitespace and comments; returns false at end of input.
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start_line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(LexError {
+                                message: "unterminated block comment".into(),
+                                line: start_line,
+                            });
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Tok, LexError> {
+        let start = self.pos;
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.bump();
+            self.bump();
+            let hstart = self.pos;
+            while self.peek().is_ascii_hexdigit() {
+                self.bump();
+            }
+            if self.pos == hstart {
+                return self.err("hex literal needs digits");
+            }
+            let text = std::str::from_utf8(&self.src[hstart..self.pos]).unwrap();
+            let v = u64::from_str_radix(text, 16)
+                .map_err(|_| LexError {
+                    message: "hex literal too large".into(),
+                    line: self.line,
+                })?;
+            if self.peek() == b'u' || self.peek() == b'U' {
+                self.bump();
+                return Ok(Tok::UInt(v));
+            }
+            return Ok(Tok::Int(v as i64));
+        }
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let is_float = (self.peek() == b'.' && self.peek2().is_ascii_digit())
+            || self.peek() == b'e'
+            || self.peek() == b'E';
+        if is_float {
+            if self.peek() == b'.' {
+                self.bump();
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            }
+            if self.peek() == b'e' || self.peek() == b'E' {
+                self.bump();
+                if self.peek() == b'+' || self.peek() == b'-' {
+                    self.bump();
+                }
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let v: f64 = text.parse().map_err(|_| LexError {
+                message: format!("bad float literal `{text}`"),
+                line: self.line,
+            })?;
+            return Ok(Tok::Float(v));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let v: u64 = text.parse().map_err(|_| LexError {
+            message: format!("integer literal `{text}` too large"),
+            line: self.line,
+        })?;
+        if self.peek() == b'u' || self.peek() == b'U' {
+            self.bump();
+            return Ok(Tok::UInt(v));
+        }
+        Ok(Tok::Int(v as i64))
+    }
+
+    fn lex_char(&mut self) -> Result<Tok, LexError> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            b'\\' => match self.bump() {
+                b'n' => b'\n',
+                b't' => b'\t',
+                b'0' => 0,
+                b'\\' => b'\\',
+                b'\'' => b'\'',
+                other => return self.err(format!("unknown escape `\\{}`", other as char)),
+            },
+            0 => return self.err("unterminated character literal"),
+            c => c,
+        };
+        if self.bump() != b'\'' {
+            return self.err("unterminated character literal");
+        }
+        Ok(Tok::Int(c as i64))
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        self.skip_trivia()?;
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let line = self.line;
+        let c = self.peek();
+        let tok = match c {
+            b'0'..=b'9' => self.lex_number()?,
+            b'\'' => self.lex_char()?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = self.pos;
+                while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                keyword(text).unwrap_or_else(|| Tok::Ident(text.to_string()))
+            }
+            _ => {
+                self.bump();
+                let two = |l: &mut Self, second: u8, yes: Tok, no: Tok| {
+                    if l.peek() == second {
+                        l.bump();
+                        yes
+                    } else {
+                        no
+                    }
+                };
+                match c {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b',' => Tok::Comma,
+                    b';' => Tok::Semi,
+                    b'?' => Tok::Question,
+                    b':' => Tok::Colon,
+                    b'~' => Tok::Tilde,
+                    b'+' => two(self, b'=', Tok::PlusAssign, Tok::Plus),
+                    b'-' => two(self, b'=', Tok::MinusAssign, Tok::Minus),
+                    b'*' => two(self, b'=', Tok::StarAssign, Tok::Star),
+                    b'/' => two(self, b'=', Tok::SlashAssign, Tok::Slash),
+                    b'%' => two(self, b'=', Tok::PercentAssign, Tok::Percent),
+                    b'^' => two(self, b'=', Tok::CaretAssign, Tok::Caret),
+                    b'!' => two(self, b'=', Tok::NotEq, Tok::Bang),
+                    b'=' => two(self, b'=', Tok::EqEq, Tok::Assign),
+                    b'&' => {
+                        if self.peek() == b'&' {
+                            self.bump();
+                            Tok::AndAnd
+                        } else {
+                            two(self, b'=', Tok::AmpAssign, Tok::Amp)
+                        }
+                    }
+                    b'|' => {
+                        if self.peek() == b'|' {
+                            self.bump();
+                            Tok::OrOr
+                        } else {
+                            two(self, b'=', Tok::PipeAssign, Tok::Pipe)
+                        }
+                    }
+                    b'<' => {
+                        if self.peek() == b'<' {
+                            self.bump();
+                            two(self, b'=', Tok::ShlAssign, Tok::Shl)
+                        } else {
+                            two(self, b'=', Tok::Le, Tok::Lt)
+                        }
+                    }
+                    b'>' => {
+                        if self.peek() == b'>' {
+                            self.bump();
+                            two(self, b'=', Tok::ShrAssign, Tok::Shr)
+                        } else {
+                            two(self, b'=', Tok::Ge, Tok::Gt)
+                        }
+                    }
+                    other => {
+                        return self.err(format!("unexpected character `{}`", other as char))
+                    }
+                }
+            }
+        };
+        Ok(Some(Token { tok, line }))
+    }
+}
+
+/// Replaces block comments with spaces (preserving newlines) so the
+/// subsequent line-oriented pass never sees one spanning lines.
+fn strip_block_comments(source: &str) -> Result<String, LexError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            line += 1;
+        }
+        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let start_line = line;
+            i += 2;
+            loop {
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated block comment".into(),
+                        line: start_line,
+                    });
+                }
+                if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            out.push(b' ');
+            out.push(b' ');
+            continue;
+        }
+        // Line comments may contain `/*`; pass them through untouched
+        // so the per-line lexer skips them as a unit.
+        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out.push(bytes[i]);
+                i += 1;
+            }
+            continue;
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    Ok(String::from_utf8(out).expect("comment stripping preserves UTF-8"))
+}
+
+/// Tokenises `source`, expanding `#define` macros.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let source = &strip_block_comments(source)?;
+    let mut defines: HashMap<String, Vec<Tok>> = HashMap::new();
+    let mut out = Vec::new();
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let line_num = lineno as u32 + 1;
+        let trimmed = raw_line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("#define") {
+            let mut lx = Lexer {
+                src: rest.as_bytes(),
+                pos: 0,
+                line: line_num,
+            };
+            let name = match lx.next_token()? {
+                Some(Token {
+                    tok: Tok::Ident(n), ..
+                }) => n,
+                _ => {
+                    return Err(LexError {
+                        message: "#define requires a name".into(),
+                        line: line_num,
+                    })
+                }
+            };
+            let mut body = Vec::new();
+            while let Some(t) = lx.next_token()? {
+                body.push(t.tok);
+            }
+            // Expand defines inside the body so chained defines work.
+            let body = body
+                .into_iter()
+                .flat_map(|t| match &t {
+                    Tok::Ident(n) => defines.get(n).cloned().unwrap_or_else(|| vec![t]),
+                    _ => vec![t],
+                })
+                .collect();
+            defines.insert(name, body);
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            return Err(LexError {
+                message: format!("unsupported preprocessor directive: {trimmed}"),
+                line: line_num,
+            });
+        }
+        let mut lx = Lexer {
+            src: raw_line.as_bytes(),
+            pos: 0,
+            line: line_num,
+        };
+        // Block comments spanning lines are handled by a pre-pass below;
+        // here we only lex single lines, so reject unterminated ones.
+        while let Some(t) = lx.next_token()? {
+            match &t.tok {
+                Tok::Ident(n) if defines.contains_key(n) => {
+                    for dt in &defines[n] {
+                        out.push(Token {
+                            tok: dt.clone(),
+                            line: t.line,
+                        });
+                    }
+                }
+                _ => out.push(t),
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line: source.lines().count() as u32 + 1,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 0x2a 7u 0xffu 3.5 1e3 2.5e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(42),
+                Tok::UInt(7),
+                Tok::UInt(255),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(
+            toks(r"'A' '\n' '\0'"),
+            vec![Tok::Int(65), Tok::Int(10), Tok::Int(0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a <<= b >> c <= d < e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::ShlAssign,
+                Tok::Ident("b".into()),
+                Tok::Shr,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Lt,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 // line\n2 /* inline */ 3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(
+            toks("int intx"),
+            vec![Tok::KwInt, Tok::Ident("intx".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn defines_expand() {
+        let src = "#define N 16\n#define M N\nint a[M];";
+        assert_eq!(
+            toks(src),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("a".into()),
+                Tok::LBracket,
+                Tok::Int(16),
+                Tok::RBracket,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = lex("int a;\n$").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        assert!(lex("#include <stdio.h>").is_err());
+    }
+}

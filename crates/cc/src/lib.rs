@@ -1,0 +1,196 @@
+#![warn(missing_docs)]
+//! `nfp-cc`: a mini-C compiler targeting the SPARC V8 simulator.
+//!
+//! This crate is the reproduction's substitute for the paper's
+//! cross-compilation toolchain (`sparc-elf-gcc`, optionally with
+//! `-msoft-float`). It compiles a small C dialect — enough to express
+//! the HEVC-like decoder, the FSE extrapolator, and an IEEE-754
+//! soft-float library — to flat SPARC V8 machine code that boots
+//! directly on `nfp_sim::Machine`.
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`sema`] → [`codegen`] →
+//! [`link()`], with two float-lowering modes ([`FloatMode::Hard`] /
+//! [`FloatMode::Soft`]) reproducing the paper's float/fixed kernel
+//! pairs (Section VI-C).
+//!
+//! ```
+//! use nfp_cc::{compile, CompileOptions, FloatMode};
+//!
+//! let program = compile(
+//!     "int main() { return 6 * 7; }",
+//!     &CompileOptions::new(FloatMode::Hard),
+//! )
+//! .unwrap();
+//! assert!(program.words.len() > 4);
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod emit;
+pub mod lexer;
+pub mod link;
+pub mod parser;
+pub mod runtime_asm;
+pub mod sema;
+
+pub use ast::Type;
+pub use codegen::{gen_function, CodegenError, DoublePool, FloatMode};
+pub use link::{link, start_stub, LinkError, Program};
+pub use parser::{parse, ParseError};
+pub use sema::{check, CheckedUnit, SemaError};
+
+use std::sync::OnceLock;
+
+/// The soft-float runtime source (mini-C), compiled into every program
+/// that references it.
+pub const SOFTFLOAT_SOURCE: &str = include_str!("../runtime/softfloat.mc");
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Float lowering mode.
+    pub float_mode: FloatMode,
+    /// Image load address (defaults to the simulator's RAM base).
+    pub base: u32,
+}
+
+impl CompileOptions {
+    /// Options with the default load address.
+    pub fn new(float_mode: FloatMode) -> Self {
+        CompileOptions {
+            float_mode,
+            base: 0x4000_0000,
+        }
+    }
+}
+
+/// Any error the pipeline can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CcError {
+    /// Lexing or parsing failed.
+    Parse(ParseError),
+    /// Type checking failed.
+    Sema(SemaError),
+    /// Code generation failed.
+    Codegen(CodegenError),
+    /// Linking failed.
+    Link(LinkError),
+}
+
+impl std::fmt::Display for CcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcError::Parse(e) => write!(f, "parse error: {e}"),
+            CcError::Sema(e) => write!(f, "type error: {e}"),
+            CcError::Codegen(e) => write!(f, "codegen error: {e}"),
+            CcError::Link(e) => write!(f, "link error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CcError {}
+
+impl From<ParseError> for CcError {
+    fn from(e: ParseError) -> Self {
+        CcError::Parse(e)
+    }
+}
+impl From<SemaError> for CcError {
+    fn from(e: SemaError) -> Self {
+        CcError::Sema(e)
+    }
+}
+impl From<CodegenError> for CcError {
+    fn from(e: CodegenError) -> Self {
+        CcError::Codegen(e)
+    }
+}
+impl From<LinkError> for CcError {
+    fn from(e: LinkError) -> Self {
+        CcError::Link(e)
+    }
+}
+
+fn softfloat_unit() -> &'static CheckedUnit {
+    static UNIT: OnceLock<CheckedUnit> = OnceLock::new();
+    UNIT.get_or_init(|| {
+        let parsed = parse(SOFTFLOAT_SOURCE).expect("soft-float runtime must parse");
+        check(&parsed).expect("soft-float runtime must type-check")
+    })
+}
+
+/// Compiles a mini-C translation unit into a bootable program image.
+///
+/// The image contains a `_start` stub that calls `main` and halts with
+/// its return value as the exit code, the user's functions, the
+/// assembly runtime, and the soft-float library (unreferenced runtime
+/// functions are dropped by the linker's reachability pass).
+pub fn compile(source: &str, opts: &CompileOptions) -> Result<Program, CcError> {
+    let unit = parse(source)?;
+    let checked = check(&unit)?;
+    let mut pool = DoublePool::default();
+    let mut funcs = vec![start_stub()];
+    for f in &checked.functions {
+        funcs.push(gen_function(f, opts.float_mode, &mut pool)?);
+    }
+    // The runtime library: integer-only code, identical under either
+    // float mode; compiled soft to guarantee no FPU instructions.
+    let rt = softfloat_unit();
+    for f in &rt.functions {
+        funcs.push(gen_function(f, FloatMode::Soft, &mut pool)?);
+    }
+    funcs.extend(runtime_asm::runtime_functions());
+    let mut globals = checked.globals.clone();
+    globals.extend(rt.globals.iter().cloned());
+    Ok(link(funcs, &globals, &pool, opts.base)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_world_compiles_both_modes() {
+        for mode in [FloatMode::Hard, FloatMode::Soft] {
+            let p = compile("int main() { return 0; }", &CompileOptions::new(mode)).unwrap();
+            assert_eq!(p.base, 0x4000_0000);
+            assert_eq!(p.symbol("_start"), Some(p.base));
+            assert!(p.symbol("main").is_some());
+        }
+    }
+
+    #[test]
+    fn soft_float_program_links_runtime() {
+        let p = compile(
+            "double g = 1.5;\nint main() { g = g * 2.0; return 0; }",
+            &CompileOptions::new(FloatMode::Soft),
+        )
+        .unwrap();
+        assert!(p.symbol("__muldf3").is_some());
+        assert!(p.symbol("__df_round").is_some());
+    }
+
+    #[test]
+    fn hard_float_program_drops_soft_runtime() {
+        let p = compile(
+            "double g = 1.5;\nint main() { g = g * 2.0; return 0; }",
+            &CompileOptions::new(FloatMode::Hard),
+        )
+        .unwrap();
+        assert!(p.symbol("__muldf3").is_none());
+    }
+
+    #[test]
+    fn missing_main_is_a_link_error() {
+        let err = compile("int f() { return 1; }", &CompileOptions::new(FloatMode::Hard))
+            .unwrap_err();
+        assert!(matches!(err, CcError::Link(LinkError::Undefined { .. })));
+    }
+
+    #[test]
+    fn error_types_render() {
+        let err = compile("int main() { return x; }", &CompileOptions::new(FloatMode::Hard))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown variable"));
+    }
+}

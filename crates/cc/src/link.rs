@@ -1,0 +1,467 @@
+//! Linker: lays out compiled functions and global data into a flat
+//! boot image and resolves all relocations.
+//!
+//! The image starts with the `_start` stub at the load base (the
+//! simulator's entry point), followed by every function reachable from
+//! it, then an 8-aligned data section holding referenced globals and
+//! the double-constant pool. Unreachable functions and globals are
+//! dropped.
+
+use crate::ast::{Global, GlobalInit, Type};
+use crate::codegen::DoublePool;
+use crate::emit::{FuncCode, Item, Label};
+use nfp_sparc::cond::ICond;
+use nfp_sparc::regs::G0;
+use nfp_sparc::{encode, AluOp, Instr, Operand, Reg};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Link-time error.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkError {
+    /// A referenced symbol has no definition.
+    Undefined { symbol: String, referenced_from: String },
+    /// Two definitions share one name.
+    Duplicate { symbol: String },
+    /// A global initialiser does not fit its type.
+    BadInitialiser { symbol: String, reason: String },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Undefined {
+                symbol,
+                referenced_from,
+            } => write!(f, "undefined symbol `{symbol}` referenced from `{referenced_from}`"),
+            LinkError::Duplicate { symbol } => write!(f, "duplicate symbol `{symbol}`"),
+            LinkError::BadInitialiser { symbol, reason } => {
+                write!(f, "bad initialiser for `{symbol}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// A linked, loadable program image.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Load address of the first word.
+    pub base: u32,
+    /// The image, text followed by data.
+    pub words: Vec<u32>,
+    /// Symbol table (functions and data), for debugging.
+    pub symbols: HashMap<String, u32>,
+    /// Number of text words (the rest is data).
+    pub text_words: usize,
+}
+
+impl Program {
+    /// Address of a symbol, if present.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Disassembles the text section.
+    pub fn disassemble(&self) -> String {
+        nfp_sparc::disasm::disassemble_block(&self.words[..self.text_words], self.base)
+    }
+}
+
+fn global_bytes(g: &Global) -> Result<Vec<u8>, LinkError> {
+    let elem_size = g.ty.size() as usize;
+    let total = elem_size * g.count as usize;
+    let mut bytes = vec![0u8; total];
+    let write_elem = |bytes: &mut [u8], idx: usize, fv: f64, iv: i64, is_f: bool| -> Result<(), LinkError> {
+        let start = idx * elem_size;
+        match g.ty {
+            Type::Double => {
+                let v = if is_f { fv } else { iv as f64 };
+                bytes[start..start + 8].copy_from_slice(&v.to_bits().to_be_bytes());
+            }
+            Type::U64 => {
+                if is_f {
+                    return Err(LinkError::BadInitialiser {
+                        symbol: g.name.clone(),
+                        reason: "float literal for u64".into(),
+                    });
+                }
+                bytes[start..start + 8].copy_from_slice(&(iv as u64).to_be_bytes());
+            }
+            Type::Int | Type::UInt | Type::Ptr(_) => {
+                if is_f {
+                    return Err(LinkError::BadInitialiser {
+                        symbol: g.name.clone(),
+                        reason: "float literal for integer".into(),
+                    });
+                }
+                bytes[start..start + 4].copy_from_slice(&(iv as u32).to_be_bytes());
+            }
+            Type::UChar => {
+                if is_f {
+                    return Err(LinkError::BadInitialiser {
+                        symbol: g.name.clone(),
+                        reason: "float literal for uchar".into(),
+                    });
+                }
+                bytes[start] = iv as u8;
+            }
+            Type::Void => unreachable!("void global rejected by the parser"),
+        }
+        Ok(())
+    };
+    match &g.init {
+        GlobalInit::Zero => {}
+        GlobalInit::Scalar(fv, iv, is_f) => write_elem(&mut bytes, 0, *fv, *iv, *is_f)?,
+        GlobalInit::List(items) => {
+            for (i, (fv, iv, is_f)) in items.iter().enumerate() {
+                write_elem(&mut bytes, i, *fv, *iv, *is_f)?;
+            }
+        }
+    }
+    Ok(bytes)
+}
+
+/// The `_start` stub: call `main`, then `ta 0` with `%o0` holding the
+/// exit code main returned.
+pub fn start_stub() -> FuncCode {
+    FuncCode {
+        name: "_start".to_string(),
+        items: vec![
+            Item::CallSym("main".to_string()),
+            Item::I(Instr::NOP),
+            Item::I(Instr::Ticc {
+                cond: ICond::A,
+                rs1: G0,
+                op2: Operand::Imm(0),
+            }),
+            Item::I(Instr::NOP),
+        ],
+    }
+}
+
+/// Links functions and globals into a program image at `base`.
+pub fn link(
+    funcs: Vec<FuncCode>,
+    globals: &[Global],
+    pool: &DoublePool,
+    base: u32,
+) -> Result<Program, LinkError> {
+    // Symbol universe.
+    let mut func_by_name: HashMap<&str, &FuncCode> = HashMap::new();
+    for f in &funcs {
+        if func_by_name.insert(f.name.as_str(), f).is_some() {
+            return Err(LinkError::Duplicate {
+                symbol: f.name.clone(),
+            });
+        }
+    }
+    let mut global_by_name: HashMap<&str, &Global> = HashMap::new();
+    for g in globals {
+        if global_by_name.insert(g.name.as_str(), g).is_some()
+            || func_by_name.contains_key(g.name.as_str())
+        {
+            return Err(LinkError::Duplicate {
+                symbol: g.name.clone(),
+            });
+        }
+    }
+    let pool_syms: HashSet<&str> = pool.entries.iter().map(|(n, _)| n.as_str()).collect();
+
+    // Reachability from _start.
+    let mut reachable_funcs: Vec<&FuncCode> = Vec::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut used_globals: HashSet<&str> = HashSet::new();
+    let mut used_pool: HashSet<&str> = HashSet::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    queue.push_back("_start");
+    seen.insert("_start");
+    while let Some(name) = queue.pop_front() {
+        let f = func_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| LinkError::Undefined {
+                symbol: name.to_string(),
+                referenced_from: "<reachability>".to_string(),
+            })?;
+        reachable_funcs.push(f);
+        for sym in f.referenced_symbols() {
+            if func_by_name.contains_key(sym) {
+                if seen.insert(sym) {
+                    queue.push_back(sym);
+                }
+            } else if global_by_name.contains_key(sym) {
+                used_globals.insert(sym);
+            } else if pool_syms.contains(sym) {
+                used_pool.insert(sym);
+            } else {
+                return Err(LinkError::Undefined {
+                    symbol: sym.to_string(),
+                    referenced_from: f.name.clone(),
+                });
+            }
+        }
+    }
+    // Deterministic order: _start first, then original order.
+    let order: HashMap<&str, usize> = funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
+    reachable_funcs.sort_by_key(|f| {
+        if f.name == "_start" {
+            (0, 0)
+        } else {
+            (1, order[f.name.as_str()])
+        }
+    });
+
+    // Text layout.
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut addr = base;
+    let mut func_addrs: Vec<(&FuncCode, u32)> = Vec::new();
+    for f in &reachable_funcs {
+        symbols.insert(f.name.clone(), addr);
+        func_addrs.push((f, addr));
+        addr += (f.len_words() as u32) * 4;
+    }
+    let text_end = addr;
+    let text_words = ((text_end - base) / 4) as usize;
+
+    // Data layout: globals in declaration order, then the pool.
+    let mut data_addr = (text_end + 7) & !7;
+    let mut global_layout: Vec<(&Global, u32)> = Vec::new();
+    for g in globals {
+        if !used_globals.contains(g.name.as_str()) {
+            continue;
+        }
+        let align = g.ty.align().max(4);
+        data_addr = (data_addr + align - 1) & !(align - 1);
+        symbols.insert(g.name.clone(), data_addr);
+        global_layout.push((g, data_addr));
+        let size = g.ty.size() * g.count;
+        data_addr += (size + 3) & !3;
+    }
+    let mut pool_layout: Vec<(u32, u64)> = Vec::new();
+    for (name, bits) in &pool.entries {
+        if !used_pool.contains(name.as_str()) {
+            continue;
+        }
+        data_addr = (data_addr + 7) & !7;
+        symbols.insert(name.clone(), data_addr);
+        pool_layout.push((data_addr, *bits));
+        data_addr += 8;
+    }
+    let image_words = ((data_addr - base) / 4 + 1) as usize;
+    let mut words = vec![0u32; image_words];
+
+    // Emit text.
+    for (f, faddr) in &func_addrs {
+        // Local label positions (word offsets within the function).
+        let mut label_pos: HashMap<Label, u32> = HashMap::new();
+        let mut w = 0u32;
+        for item in &f.items {
+            match item {
+                Item::Label(l) => {
+                    label_pos.insert(*l, w);
+                }
+                _ => w += 1,
+            }
+        }
+        let lookup = |sym: &str| -> Result<u32, LinkError> {
+            symbols.get(sym).copied().ok_or_else(|| LinkError::Undefined {
+                symbol: sym.to_string(),
+                referenced_from: f.name.clone(),
+            })
+        };
+        let mut w = 0u32;
+        for item in &f.items {
+            let pc = faddr + w * 4;
+            let word = match item {
+                Item::Label(_) => continue,
+                Item::I(i) => encode(*i),
+                Item::Branch { cond, target } => {
+                    let t = label_pos[target];
+                    encode(Instr::Branch {
+                        cond: *cond,
+                        annul: false,
+                        disp22: t as i32 - w as i32,
+                    })
+                }
+                Item::FBranch { cond, target } => {
+                    let t = label_pos[target];
+                    encode(Instr::FBranch {
+                        cond: *cond,
+                        annul: false,
+                        disp22: t as i32 - w as i32,
+                    })
+                }
+                Item::CallSym(sym) => {
+                    let t = lookup(sym)?;
+                    encode(Instr::Call {
+                        disp30: ((t as i64 - pc as i64) / 4) as i32,
+                    })
+                }
+                Item::SetHi { sym, rd } => {
+                    let t = lookup(sym)?;
+                    encode(Instr::Sethi {
+                        rd: *rd,
+                        imm22: t >> 10,
+                    })
+                }
+                Item::OrLo { sym, rd } => {
+                    let t = lookup(sym)?;
+                    encode(Instr::Alu {
+                        op: AluOp::Or,
+                        rd: *rd,
+                        rs1: *rd,
+                        op2: Operand::Imm((t & 0x3ff) as i32),
+                    })
+                }
+            };
+            words[((pc - base) / 4) as usize] = word;
+            w += 1;
+        }
+    }
+
+    // Emit data.
+    let mut write_bytes = |addr: u32, bytes: &[u8]| {
+        for (i, b) in bytes.iter().enumerate() {
+            let byte_off = (addr - base) as usize + i;
+            let wi = byte_off / 4;
+            let shift = 24 - 8 * (byte_off % 4);
+            words[wi] |= (*b as u32) << shift;
+        }
+    };
+    for (g, gaddr) in &global_layout {
+        let bytes = global_bytes(g)?;
+        write_bytes(*gaddr, &bytes);
+    }
+    for (paddr, bits) in &pool_layout {
+        write_bytes(*paddr, &bits.to_be_bytes());
+    }
+
+    Ok(Program {
+        base,
+        words,
+        symbols,
+        text_words,
+    })
+}
+
+/// `Reg` is re-exported for doc purposes in stubs.
+#[allow(dead_code)]
+fn _reg_is_used(_: Reg) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::Emitter;
+
+    fn leaf(name: &str) -> FuncCode {
+        let mut e = Emitter::new();
+        e.mov(7, Reg::o(0));
+        e.push(Instr::Jmpl {
+            rd: G0,
+            rs1: nfp_sparc::regs::O7,
+            op2: Operand::Imm(8),
+        });
+        e.nop();
+        e.finish(name)
+    }
+
+    #[test]
+    fn start_first_and_dead_code_dropped() {
+        let mut e = Emitter::new();
+        e.call("used");
+        e.push(Instr::Jmpl {
+            rd: G0,
+            rs1: nfp_sparc::regs::O7,
+            op2: Operand::Imm(8),
+        });
+        e.nop();
+        let main = e.finish("main");
+        let prog = link(
+            vec![start_stub(), leaf("unused"), main, leaf("used")],
+            &[],
+            &DoublePool::default(),
+            0x4000_0000,
+        )
+        .unwrap();
+        assert_eq!(prog.symbol("_start"), Some(0x4000_0000));
+        assert!(prog.symbol("used").is_some());
+        assert_eq!(prog.symbol("unused"), None);
+    }
+
+    #[test]
+    fn undefined_symbol_reports_referent() {
+        let mut e = Emitter::new();
+        e.call("missing");
+        let main = e.finish("main");
+        let err = link(
+            vec![start_stub(), main],
+            &[],
+            &DoublePool::default(),
+            0x4000_0000,
+        )
+        .unwrap_err();
+        match err {
+            LinkError::Undefined {
+                symbol,
+                referenced_from,
+            } => {
+                assert_eq!(symbol, "missing");
+                assert_eq!(referenced_from, "main");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let err = link(
+            vec![start_stub(), leaf("main"), leaf("main")],
+            &[],
+            &DoublePool::default(),
+            0x4000_0000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LinkError::Duplicate { .. }));
+    }
+
+    #[test]
+    fn global_data_is_emitted_big_endian() {
+        use crate::ast::{Global, GlobalInit};
+        let mut e = Emitter::new();
+        e.load_sym("tbl", Reg::o(0));
+        e.push(Instr::Jmpl {
+            rd: G0,
+            rs1: nfp_sparc::regs::O7,
+            op2: Operand::Imm(8),
+        });
+        e.nop();
+        let main = e.finish("main");
+        let globals = vec![Global {
+            ty: Type::Int,
+            name: "tbl".into(),
+            count: 3,
+            is_array: true,
+            init: GlobalInit::List(vec![(0.0, 0x0102_0304, false), (0.0, -1, false)]),
+            line: 1,
+        }];
+        let prog = link(
+            vec![start_stub(), main],
+            &globals,
+            &DoublePool::default(),
+            0x4000_0000,
+        )
+        .unwrap();
+        let tbl = prog.symbol("tbl").unwrap();
+        let wi = ((tbl - prog.base) / 4) as usize;
+        assert_eq!(prog.words[wi], 0x0102_0304);
+        assert_eq!(prog.words[wi + 1], 0xffff_ffff);
+        assert_eq!(prog.words[wi + 2], 0); // zero-filled tail
+    }
+}

@@ -1,0 +1,672 @@
+//! Recursive-descent parser for the mini-C dialect.
+//!
+//! Grammar (precedence climbing for expressions):
+//!
+//! ```text
+//! unit       := (global | function)*
+//! function   := type ident '(' params ')' block
+//! global     := type ident ('[' int ']')? ('=' init)? ';'
+//! init       := literal | '{' literal (',' literal)* '}'
+//! stmt       := decl | if | while | for | return | break | continue
+//!             | block | expr ';'
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Tok, Token};
+use std::fmt;
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, want: Tok) -> PResult<()> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {want:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, want: Tok) -> bool {
+        if *self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Parses a base type keyword followed by `*`s; `None` if the next
+    /// token does not start a type.
+    fn try_type(&mut self) -> Option<Type> {
+        let base = match self.peek() {
+            Tok::KwVoid => Type::Void,
+            Tok::KwUChar => Type::UChar,
+            Tok::KwInt => Type::Int,
+            Tok::KwUInt => Type::UInt,
+            Tok::KwU64 => Type::U64,
+            Tok::KwDouble => Type::Double,
+            _ => return None,
+        };
+        self.bump();
+        let mut ty = base;
+        while self.eat(Tok::Star) {
+            ty = ty.ptr();
+        }
+        Some(ty)
+    }
+
+    fn type_required(&mut self) -> PResult<Type> {
+        match self.try_type() {
+            Some(t) => Ok(t),
+            None => self.err(format!("expected a type, found {:?}", self.peek())),
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> PResult<Expr> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(BinOp::Add),
+            Tok::MinusAssign => Some(BinOp::Sub),
+            Tok::StarAssign => Some(BinOp::Mul),
+            Tok::SlashAssign => Some(BinOp::Div),
+            Tok::PercentAssign => Some(BinOp::Rem),
+            Tok::AmpAssign => Some(BinOp::And),
+            Tok::PipeAssign => Some(BinOp::Or),
+            Tok::CaretAssign => Some(BinOp::Xor),
+            Tok::ShlAssign => Some(BinOp::Shl),
+            Tok::ShrAssign => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assignment()?;
+        let rhs = match op {
+            // Compound assignment desugars to `lhs = lhs op rhs`; the
+            // lvalue is duplicated, which is fine because the dialect
+            // has no side-effecting lvalue expressions.
+            Some(op) => Expr::Binary(op, Box::new(lhs.clone()), Box::new(rhs)),
+            None => rhs,
+        };
+        Ok(Expr::Assign(Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn ternary(&mut self) -> PResult<Expr> {
+        let cond = self.binary(0)?;
+        if self.eat(Tok::Question) {
+            let a = self.expr()?;
+            self.expect(Tok::Colon)?;
+            let b = self.ternary()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence levels, loosest first.
+    fn binop_at(&self, level: u8) -> Option<BinOp> {
+        let op = match (level, self.peek()) {
+            (0, Tok::OrOr) => BinOp::LogOr,
+            (1, Tok::AndAnd) => BinOp::LogAnd,
+            (2, Tok::Pipe) => BinOp::Or,
+            (3, Tok::Caret) => BinOp::Xor,
+            (4, Tok::Amp) => BinOp::And,
+            (5, Tok::EqEq) => BinOp::Eq,
+            (5, Tok::NotEq) => BinOp::Ne,
+            (6, Tok::Lt) => BinOp::Lt,
+            (6, Tok::Le) => BinOp::Le,
+            (6, Tok::Gt) => BinOp::Gt,
+            (6, Tok::Ge) => BinOp::Ge,
+            (7, Tok::Shl) => BinOp::Shl,
+            (7, Tok::Shr) => BinOp::Shr,
+            (8, Tok::Plus) => BinOp::Add,
+            (8, Tok::Minus) => BinOp::Sub,
+            (9, Tok::Star) => BinOp::Mul,
+            (9, Tok::Slash) => BinOp::Div,
+            (9, Tok::Percent) => BinOp::Rem,
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn binary(&mut self, level: u8) -> PResult<Expr> {
+        if level > 9 {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::LogNot, Box::new(self.unary()?)))
+            }
+            Tok::Star => {
+                self.bump();
+                Ok(Expr::Deref(Box::new(self.unary()?)))
+            }
+            Tok::Amp => {
+                self.bump();
+                Ok(Expr::AddrOf(Box::new(self.unary()?)))
+            }
+            Tok::LParen => {
+                // Either a cast or a parenthesised expression.
+                let save = self.pos;
+                self.bump();
+                if let Some(ty) = self.try_type() {
+                    if self.eat(Tok::RParen) {
+                        return Ok(Expr::Cast(ty, Box::new(self.unary()?)));
+                    }
+                }
+                self.pos = save;
+                self.postfix()
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(Tok::LBracket) {
+                let idx = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::IntLit(v)),
+            Tok::UInt(v) => Ok(Expr::UIntLit(v)),
+            Tok::Float(v) => Ok(Expr::FloatLit(v)),
+            Tok::Ident(name) => {
+                if self.eat(Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(Tok::RParen) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(ParseError {
+                message: format!("expected expression, found {other:?}"),
+                line,
+            }),
+        }
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(Tok::RBrace) {
+            if *self.peek() == Tok::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            Tok::LBrace => Ok(Stmt::Block(self.block()?)),
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_branch = self.stmt_as_block()?;
+                let else_branch = if self.eat(Tok::KwElse) {
+                    self.stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    line,
+                })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if self.eat(Tok::Semi) {
+                    None
+                } else {
+                    let s = self.decl_or_expr_stmt()?;
+                    Some(Box::new(s))
+                };
+                let cond = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    line,
+                })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(value, line))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break(line))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue(line))
+            }
+            _ => self.decl_or_expr_stmt(),
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> PResult<Vec<Stmt>> {
+        if *self.peek() == Tok::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// Declaration or expression statement, consuming the trailing `;`.
+    fn decl_or_expr_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        if let Some(ty) = self.try_type() {
+            let name = self.ident()?;
+            if self.eat(Tok::LBracket) {
+                let len = match self.bump() {
+                    Tok::Int(v) if v > 0 && v <= (1 << 24) => v as u32,
+                    other => {
+                        return self.err(format!(
+                            "array length must be a positive integer literal, found {other:?}"
+                        ))
+                    }
+                };
+                self.expect(Tok::RBracket)?;
+                self.expect(Tok::Semi)?;
+                return Ok(Stmt::ArrayDecl {
+                    elem: ty,
+                    name,
+                    len,
+                    line,
+                });
+            }
+            let init = if self.eat(Tok::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Decl {
+                ty,
+                name,
+                init,
+                line,
+            });
+        }
+        let e = self.expr()?;
+        self.expect(Tok::Semi)?;
+        Ok(Stmt::Expr(e, line))
+    }
+
+    // ---- top level ----
+
+    fn literal_init(&mut self) -> PResult<(f64, i64, bool)> {
+        let neg = self.eat(Tok::Minus);
+        match self.bump() {
+            Tok::Int(v) => Ok((0.0, if neg { -v } else { v }, false)),
+            Tok::UInt(v) => Ok((0.0, if neg { -(v as i64) } else { v as i64 }, false)),
+            Tok::Float(v) => Ok((if neg { -v } else { v }, 0, true)),
+            other => self.err(format!("expected literal initialiser, found {other:?}")),
+        }
+    }
+
+    fn unit(&mut self) -> PResult<Unit> {
+        let mut unit = Unit::default();
+        while *self.peek() != Tok::Eof {
+            let line = self.line();
+            let ty = self.type_required()?;
+            let name = self.ident()?;
+            if self.eat(Tok::LParen) {
+                // function definition
+                let mut params = Vec::new();
+                if !self.eat(Tok::RParen) {
+                    loop {
+                        let pty = self.type_required()?;
+                        let pname = self.ident()?;
+                        params.push(Param {
+                            ty: pty,
+                            name: pname,
+                        });
+                        if self.eat(Tok::RParen) {
+                            break;
+                        }
+                        self.expect(Tok::Comma)?;
+                    }
+                }
+                let body = self.block()?;
+                unit.functions.push(Function {
+                    ret: ty,
+                    name,
+                    params,
+                    body,
+                    line,
+                });
+                continue;
+            }
+            // global variable
+            if ty == Type::Void {
+                return self.err("global of type void");
+            }
+            let (count, is_array) = if self.eat(Tok::LBracket) {
+                let len = match self.bump() {
+                    Tok::Int(v) if v > 0 && v <= (1 << 24) => v as u32,
+                    other => {
+                        return self.err(format!(
+                            "array length must be a positive integer literal, found {other:?}"
+                        ))
+                    }
+                };
+                self.expect(Tok::RBracket)?;
+                (len, true)
+            } else {
+                (1, false)
+            };
+            let init = if self.eat(Tok::Assign) {
+                if self.eat(Tok::LBrace) {
+                    let mut items = Vec::new();
+                    loop {
+                        items.push(self.literal_init()?);
+                        if self.eat(Tok::RBrace) {
+                            break;
+                        }
+                        self.expect(Tok::Comma)?;
+                        // allow trailing comma
+                        if self.eat(Tok::RBrace) {
+                            break;
+                        }
+                    }
+                    if !is_array {
+                        return self.err("brace initialiser on a scalar global");
+                    }
+                    if items.len() as u32 > count {
+                        return self.err(format!(
+                            "too many initialisers ({} for array of {count})",
+                            items.len()
+                        ));
+                    }
+                    GlobalInit::List(items)
+                } else {
+                    let (fv, iv, is_f) = self.literal_init()?;
+                    if is_array {
+                        return self.err("array global needs a brace initialiser");
+                    }
+                    GlobalInit::Scalar(fv, iv, is_f)
+                }
+            } else {
+                GlobalInit::Zero
+            };
+            self.expect(Tok::Semi)?;
+            unit.globals.push(Global {
+                ty,
+                name,
+                count,
+                is_array,
+                init,
+                line,
+            });
+        }
+        Ok(unit)
+    }
+}
+
+/// Parses a translation unit from source text.
+pub fn parse(source: &str) -> PResult<Unit> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.unit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Unit {
+        parse(src).expect("parse failed")
+    }
+
+    #[test]
+    fn function_with_params() {
+        let u = parse_ok("int add(int a, int b) { return a + b; }");
+        assert_eq!(u.functions.len(), 1);
+        let f = &u.functions[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Type::Int);
+        assert!(matches!(f.body[0], Stmt::Return(Some(_), _)));
+    }
+
+    #[test]
+    fn precedence() {
+        let u = parse_ok("int f() { return 1 + 2 * 3; }");
+        match &u.functions[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(BinOp::Add, _, rhs)), _) => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_vs_parens() {
+        let u = parse_ok("int f(int x) { return (int)(x) + (x); }");
+        match &u.functions[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(BinOp::Add, lhs, _)), _) => {
+                assert!(matches!(**lhs, Expr::Cast(Type::Int, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pointer_types_and_deref() {
+        let u = parse_ok("uint f(uchar* p, double** q) { return *p; }");
+        assert_eq!(u.functions[0].params[0].ty, Type::UChar.ptr());
+        assert_eq!(u.functions[0].params[1].ty, Type::Double.ptr().ptr());
+    }
+
+    #[test]
+    fn globals() {
+        let u = parse_ok(
+            "int x = 5;\nuint mask = 0xffu;\ndouble pi = 3.25;\nint tbl[4] = {1, -2, 3};\nuchar buf[64];",
+        );
+        assert_eq!(u.globals.len(), 5);
+        assert_eq!(u.globals[0].init, GlobalInit::Scalar(0.0, 5, false));
+        assert_eq!(u.globals[2].init, GlobalInit::Scalar(3.25, 0, true));
+        match &u.globals[3].init {
+            GlobalInit::List(items) => assert_eq!(items[1], (0.0, -2, false)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(u.globals[4].init, GlobalInit::Zero);
+        assert_eq!(u.globals[4].count, 64);
+    }
+
+    #[test]
+    fn control_flow() {
+        let u = parse_ok(
+            "void f(int n) { for (int i = 0; i < n; i = i + 1) { if (i == 3) break; else continue; } while (n) n = n - 1; }",
+        );
+        assert!(matches!(u.functions[0].body[0], Stmt::For { .. }));
+        assert!(matches!(u.functions[0].body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn compound_assign_desugars() {
+        let u = parse_ok("void f(int a) { a += 2; }");
+        match &u.functions[0].body[0] {
+            Stmt::Expr(Expr::Assign(lhs, rhs), _) => {
+                assert!(matches!(**lhs, Expr::Var(_)));
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        parse_ok("int f(int a, int b) { return a && b ? a | b : a ^ ~b; }");
+    }
+
+    #[test]
+    fn array_indexing_chain() {
+        parse_ok("int f(int* p) { return p[1] + p[2]; }");
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = parse("int f() {\n return 1 +; \n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("int f( { }").is_err());
+        assert!(parse("int a[0];").is_err());
+        assert!(parse("double d = {1.0};").is_err());
+    }
+
+    #[test]
+    fn multiline_block_comment() {
+        parse_ok("/* multi\nline\ncomment */ int x = 1;");
+    }
+}

@@ -1,0 +1,203 @@
+//! Hand-written assembly runtime (the libgcc analogue): 64-bit shift,
+//! multiply, and divide helpers the code generator calls for `u64`
+//! operations that have no short inline expansion.
+//!
+//! ABI: `u64` arguments arrive as (hi, lo) register pairs starting at
+//! `%o0`; results return in `%o0:%o1`. All helpers are leaf functions
+//! touching only `%o` and `%g1-%g4`, so they need no stack frame.
+
+use crate::emit::{Emitter, FuncCode};
+use nfp_sparc::cond::ICond;
+use nfp_sparc::regs::G0;
+use nfp_sparc::{AluOp, Instr, Operand, Reg};
+
+fn retl(e: &mut Emitter) {
+    e.push(Instr::Jmpl {
+        rd: G0,
+        rs1: nfp_sparc::regs::O7,
+        op2: Operand::Imm(8),
+    });
+    e.nop();
+}
+
+/// `__muldi3(a, b) -> a * b (mod 2^64)`.
+///
+/// `lo = low32(a_lo * b_lo)`,
+/// `hi = high32(a_lo * b_lo) + a_hi * b_lo + a_lo * b_hi`.
+fn muldi3() -> FuncCode {
+    let mut e = Emitter::new();
+    let (ah, al, bh, bl) = (Reg::o(0), Reg::o(1), Reg::o(2), Reg::o(3));
+    let (g1, g2, g3) = (Reg::g(1), Reg::g(2), Reg::g(3));
+    e.alu(AluOp::UMul, al, bl, g1); // g1 = low(al*bl), %y = high
+    e.push(Instr::RdY { rd: g2 }); // g2 = high(al*bl)
+    e.alu(AluOp::UMul, ah, bl, g3); // cross product 1 (low 32 bits)
+    e.alu(AluOp::Add, g2, g3, g2);
+    e.alu(AluOp::UMul, al, bh, g3); // cross product 2
+    e.alu(AluOp::Add, g2, g3, ah); // hi result
+    e.mov(g1, al); // lo result
+    retl(&mut e);
+    e.finish("__muldi3")
+}
+
+/// `__ashldi3(a, n) -> a << (n & 63)`.
+fn ashldi3() -> FuncCode {
+    let mut e = Emitter::new();
+    let (hi, lo, n) = (Reg::o(0), Reg::o(1), Reg::o(2));
+    let g1 = Reg::g(1);
+    let g2 = Reg::g(2);
+    let done = e.new_label();
+    let big = e.new_label();
+    e.alu(AluOp::And, n, 63, n);
+    e.cmp(n, 0);
+    e.branch(ICond::E, done);
+    e.cmp(n, 32);
+    e.branch(ICond::Cc, big); // unsigned >= 32
+    // 1..31: hi = (hi << n) | (lo >> (32 - n)); lo <<= n
+    e.mov(32, g1);
+    e.alu(AluOp::Sub, g1, n, g1);
+    e.alu(AluOp::Srl, lo, g1, g2);
+    e.alu(AluOp::Sll, hi, n, hi);
+    e.alu(AluOp::Or, hi, g2, hi);
+    e.alu(AluOp::Sll, lo, n, lo);
+    e.ba(done);
+    e.bind(big); // 32..63: hi = lo << (n - 32); lo = 0
+    e.alu(AluOp::Sub, n, 32, n);
+    e.alu(AluOp::Sll, lo, n, hi);
+    e.mov(0, lo);
+    e.bind(done);
+    retl(&mut e);
+    e.finish("__ashldi3")
+}
+
+/// `__lshrdi3(a, n) -> a >> (n & 63)` (logical).
+fn lshrdi3() -> FuncCode {
+    let mut e = Emitter::new();
+    let (hi, lo, n) = (Reg::o(0), Reg::o(1), Reg::o(2));
+    let g1 = Reg::g(1);
+    let g2 = Reg::g(2);
+    let done = e.new_label();
+    let big = e.new_label();
+    e.alu(AluOp::And, n, 63, n);
+    e.cmp(n, 0);
+    e.branch(ICond::E, done);
+    e.cmp(n, 32);
+    e.branch(ICond::Cc, big);
+    // 1..31: lo = (lo >> n) | (hi << (32 - n)); hi >>= n
+    e.mov(32, g1);
+    e.alu(AluOp::Sub, g1, n, g1);
+    e.alu(AluOp::Sll, hi, g1, g2);
+    e.alu(AluOp::Srl, lo, n, lo);
+    e.alu(AluOp::Or, lo, g2, lo);
+    e.alu(AluOp::Srl, hi, n, hi);
+    e.ba(done);
+    e.bind(big); // 32..63: lo = hi >> (n - 32); hi = 0
+    e.alu(AluOp::Sub, n, 32, n);
+    e.alu(AluOp::Srl, hi, n, lo);
+    e.mov(0, hi);
+    e.bind(done);
+    retl(&mut e);
+    e.finish("__lshrdi3")
+}
+
+/// Shared 64/64 restoring division. Quotient ends in `%o0:%o1`,
+/// remainder in `%g1:%g2`. With `want_rem` the remainder is moved to
+/// the result registers.
+fn udivmod(name: &str, want_rem: bool) -> FuncCode {
+    let mut e = Emitter::new();
+    // quotient accumulates in (o0, o1) over the dividend, divisor in
+    // (o2, o3), remainder in (g1, g2), counter g3, scratch g4.
+    let (qh, ql, dh, dl) = (Reg::o(0), Reg::o(1), Reg::o(2), Reg::o(3));
+    let (rh, rl, cnt, t) = (Reg::g(1), Reg::g(2), Reg::g(3), Reg::g(4));
+    let looptop = e.new_label();
+    let skip = e.new_label();
+    let take = e.new_label();
+    e.mov(0, rh);
+    e.mov(0, rl);
+    e.mov(64, cnt);
+    e.bind(looptop);
+    // rem = (rem << 1) | msb(quot); quot <<= 1
+    e.alu(AluOp::Srl, qh, 31, t);
+    e.alu(AluOp::AddCc, rl, rl, rl);
+    e.alu(AluOp::AddX, rh, rh, rh);
+    e.alu(AluOp::Or, rl, t, rl);
+    e.alu(AluOp::AddCc, ql, ql, ql);
+    e.alu(AluOp::AddX, qh, qh, qh);
+    // if rem >= divisor { rem -= divisor; quot |= 1 }
+    e.cmp(rh, dh);
+    e.branch(ICond::Cs, skip); // rem_hi < div_hi
+    e.branch(ICond::Gu, take); // rem_hi > div_hi
+    e.cmp(rl, dl);
+    e.branch(ICond::Cs, skip);
+    e.bind(take);
+    e.alu(AluOp::SubCc, rl, dl, rl);
+    e.alu(AluOp::SubX, rh, dh, rh);
+    e.alu(AluOp::Or, ql, 1, ql);
+    e.bind(skip);
+    e.alu(AluOp::SubCc, cnt, 1, cnt);
+    e.branch(ICond::Ne, looptop);
+    if want_rem {
+        e.mov(rh, qh);
+        e.mov(rl, ql);
+    }
+    retl(&mut e);
+    e.finish(name)
+}
+
+/// All assembly runtime functions.
+pub fn runtime_functions() -> Vec<FuncCode> {
+    vec![
+        muldi3(),
+        ashldi3(),
+        lshrdi3(),
+        udivmod("__udivdi3", false),
+        udivmod("__umoddi3", true),
+    ]
+}
+
+/// Names of the assembly runtime entry points (used by tests).
+pub fn runtime_names() -> Vec<&'static str> {
+    vec![
+        "__muldi3",
+        "__ashldi3",
+        "__lshrdi3",
+        "__udivdi3",
+        "__umoddi3",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_helpers_are_leaf_functions() {
+        for f in runtime_functions() {
+            assert_eq!(
+                f.referenced_symbols().count(),
+                0,
+                "{} should not reference other symbols",
+                f.name
+            );
+            // no save/restore, no stack traffic
+            for item in &f.items {
+                if let crate::emit::Item::I(i) = item {
+                    assert!(
+                        !matches!(i, Instr::Save { .. } | Instr::Restore { .. }),
+                        "{}: unexpected window op",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_match() {
+        let fns = runtime_functions();
+        let names = runtime_names();
+        assert_eq!(fns.len(), names.len());
+        for (f, n) in fns.iter().zip(names) {
+            assert_eq!(f.name, n);
+        }
+    }
+}

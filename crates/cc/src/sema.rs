@@ -1,0 +1,1202 @@
+//! Semantic analysis: name resolution, type checking, implicit
+//! conversion insertion, and light constant folding.
+//!
+//! Produces a `CheckedUnit` the code generator consumes without further
+//! validation.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Semantic error with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Index of a local slot within a function (parameters first).
+pub type LocalId = usize;
+
+/// A local variable or array slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDef {
+    /// Declared name.
+    pub name: String,
+    /// Element type (for arrays) or value type.
+    pub ty: Type,
+    /// `Some(len)` makes this an array of `len` elements of `ty`.
+    pub array_len: Option<u32>,
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Typed {
+    /// Result type after conversions.
+    pub ty: Type,
+    /// The expression itself.
+    pub kind: TKind,
+}
+
+/// Lvalue targets of assignments.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    Local(LocalId),
+    Global(String),
+    /// Store through a computed address of element type `elem`.
+    Mem { addr: Box<Typed>, elem: Type },
+}
+
+/// Typed expression kinds.
+#[allow(missing_docs)] // operator/operand fields mirror the AST
+#[derive(Debug, Clone, PartialEq)]
+pub enum TKind {
+    /// Word-sized integer constant (bits, already truncated).
+    ConstWord(u32),
+    /// 64-bit constant.
+    ConstU64(u64),
+    /// Double constant.
+    ConstDouble(f64),
+    /// Read a scalar local.
+    Local(LocalId),
+    /// Read a scalar global.
+    Global(String),
+    /// Address of a local array (decay) or `&local`.
+    AddrLocal(LocalId),
+    /// Address of a global array (decay) or `&global`.
+    AddrGlobal(String),
+    Unary(UnOp, Box<Typed>),
+    Binary(BinOp, Box<Typed>, Box<Typed>),
+    Ternary(Box<Typed>, Box<Typed>, Box<Typed>),
+    Assign(LValue, Box<Typed>),
+    Call(String, Vec<Typed>),
+    /// Load of `ty` through a pointer.
+    Load(Box<Typed>),
+    /// Conversion; `from` records the source type.
+    Cast { from: Type, inner: Box<Typed> },
+}
+
+/// Checked statements.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum CStmt {
+    Expr(Typed),
+    If {
+        cond: Typed,
+        then_branch: Vec<CStmt>,
+        else_branch: Vec<CStmt>,
+    },
+    While {
+        cond: Typed,
+        body: Vec<CStmt>,
+    },
+    For {
+        init: Option<Box<CStmt>>,
+        cond: Option<Typed>,
+        step: Option<Typed>,
+        body: Vec<CStmt>,
+    },
+    Return(Option<Typed>),
+    Break,
+    Continue,
+    Block(Vec<CStmt>),
+}
+
+/// A checked function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CFunc {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Number of leading `locals` entries that are parameters.
+    pub param_count: usize,
+    /// All local slots (parameters first, then declarations).
+    pub locals: Vec<LocalDef>,
+    /// Checked body.
+    pub body: Vec<CStmt>,
+}
+
+/// A checked translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedUnit {
+    /// Globals (unchanged from the parse).
+    pub globals: Vec<Global>,
+    /// Checked functions.
+    pub functions: Vec<CFunc>,
+}
+
+/// Function signature: parameter types and return type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    /// Parameter types in order.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+}
+
+/// Signatures of compiler builtins and the assembly runtime, available
+/// to every translation unit.
+pub fn builtin_signatures() -> HashMap<String, Signature> {
+    let mut m = HashMap::new();
+    let mut add = |name: &str, params: Vec<Type>, ret: Type| {
+        m.insert(name.to_string(), Signature { params, ret });
+    };
+    add("sqrt", vec![Type::Double], Type::Double);
+    add("fabs", vec![Type::Double], Type::Double);
+    add("putchar", vec![Type::Int], Type::Void);
+    add("emit", vec![Type::UInt], Type::Void);
+    // 32x32 -> 64 widening multiply (single `umul` instruction).
+    add("__umulw", vec![Type::UInt, Type::UInt], Type::U64);
+    // Raw bit reinterpretation between double and u64 (free in soft
+    // mode; an FP<->integer register move in hard mode).
+    add("__dbits", vec![Type::Double], Type::U64);
+    add("__bitsd", vec![Type::U64], Type::Double);
+    // Assembly runtime helpers (also reachable from user code).
+    add("__muldi3", vec![Type::U64, Type::U64], Type::U64);
+    add("__udivdi3", vec![Type::U64, Type::U64], Type::U64);
+    add("__umoddi3", vec![Type::U64, Type::U64], Type::U64);
+    add("__ashldi3", vec![Type::U64, Type::Int], Type::U64);
+    add("__lshrdi3", vec![Type::U64, Type::Int], Type::U64);
+    m
+}
+
+struct Ctx {
+    sigs: HashMap<String, Signature>,
+    globals: HashMap<String, (Type, bool /* is_array */)>,
+    locals: Vec<LocalDef>,
+    scopes: Vec<HashMap<String, LocalId>>,
+    loop_depth: usize,
+    ret: Type,
+    line: u32,
+}
+
+type SResult<T> = Result<T, SemaError>;
+
+impl Ctx {
+    fn err<T>(&self, message: impl Into<String>) -> SResult<T> {
+        Err(SemaError {
+            message: message.into(),
+            line: self.line,
+        })
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<LocalId> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|scope| scope.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, array_len: Option<u32>) -> SResult<LocalId> {
+        let scope = self.scopes.last_mut().expect("scope stack non-empty");
+        if scope.contains_key(name) {
+            return Err(SemaError {
+                message: format!("duplicate declaration of `{name}` in this scope"),
+                line: self.line,
+            });
+        }
+        let id = self.locals.len();
+        self.locals.push(LocalDef {
+            name: name.to_string(),
+            ty,
+            array_len,
+        });
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// The usual arithmetic conversions of the dialect:
+    /// double > u64 > uint > int, with uchar promoted to int.
+    fn common_type(&self, a: &Type, b: &Type) -> SResult<Type> {
+        use Type::*;
+        if !a.is_integer() && *a != Double || !b.is_integer() && *b != Double {
+            return self.err(format!("invalid operands of types {a} and {b}"));
+        }
+        // u64 <-> double mixing needs an explicit cast: the implicit
+        // direction is ambiguous and the conversion is a runtime call.
+        if (*a == U64 && *b == Double) || (*a == Double && *b == U64) {
+            return self.err("no implicit conversion between u64 and double; cast explicitly");
+        }
+        Ok(if *a == Double || *b == Double {
+            Double
+        } else if *a == U64 || *b == U64 {
+            U64
+        } else if *a == UInt || *b == UInt {
+            UInt
+        } else {
+            Int
+        })
+    }
+
+    /// Inserts an implicit conversion from `e.ty` to `to`, if legal.
+    fn convert(&self, e: Typed, to: &Type) -> SResult<Typed> {
+        if e.ty == *to {
+            return Ok(e);
+        }
+        let legal = match (&e.ty, to) {
+            // u64 <-> double requires an explicit cast (see common_type).
+            (Type::U64, Type::Double) | (Type::Double, Type::U64) => false,
+            (a, b) if (a.is_integer() || *a == Type::Double)
+                && (b.is_integer() || *b == Type::Double) => true,
+            // Pointers convert implicitly only between identical types
+            // (handled above); anything else needs a cast.
+            _ => false,
+        };
+        if !legal {
+            return self.err(format!("cannot implicitly convert {} to {to}", e.ty));
+        }
+        Ok(cast_to(e, to.clone()))
+    }
+}
+
+/// Wraps `e` in a cast node (with constant folding for literals).
+fn cast_to(e: Typed, to: Type) -> Typed {
+    // Fold casts of constants immediately.
+    let folded = match (&e.kind, &to) {
+        (TKind::ConstWord(v), t) if t.is_word() => Some(TKind::ConstWord(truncate_word(*v, t))),
+        (TKind::ConstWord(v), Type::U64) => {
+            // Sign-extend signed sources.
+            let bits = if e.ty == Type::Int {
+                *v as i32 as i64 as u64
+            } else {
+                *v as u64
+            };
+            Some(TKind::ConstU64(bits))
+        }
+        (TKind::ConstWord(v), Type::Double) => {
+            let d = if e.ty == Type::Int {
+                *v as i32 as f64
+            } else {
+                *v as f64
+            };
+            Some(TKind::ConstDouble(d))
+        }
+        (TKind::ConstU64(v), t) if t.is_word() => {
+            Some(TKind::ConstWord(truncate_word(*v as u32, t)))
+        }
+        (TKind::ConstU64(v), Type::Double) => Some(TKind::ConstDouble(*v as f64)),
+        (TKind::ConstDouble(v), Type::Int) => Some(TKind::ConstWord(*v as i32 as u32)),
+        (TKind::ConstDouble(v), Type::UInt) => Some(TKind::ConstWord(*v as u32)),
+        (TKind::ConstDouble(v), Type::U64) => Some(TKind::ConstU64(*v as u64)),
+        _ => None,
+    };
+    match folded {
+        Some(kind) => Typed { ty: to, kind },
+        None => Typed {
+            ty: to.clone(),
+            kind: TKind::Cast {
+                from: e.ty.clone(),
+                inner: Box::new(e),
+            },
+        },
+    }
+}
+
+fn truncate_word(v: u32, t: &Type) -> u32 {
+    match t {
+        Type::UChar => v & 0xff,
+        _ => v,
+    }
+}
+
+fn fold_int_binary(op: BinOp, a: u32, b: u32, ty: &Type) -> Option<u32> {
+    let signed = *ty == Type::Int;
+    let r = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            if signed {
+                (a as i32).wrapping_div(b as i32) as u32
+            } else {
+                a / b
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            if signed {
+                (a as i32).wrapping_rem(b as i32) as u32
+            } else {
+                a % b
+            }
+        }
+        BinOp::Shl => a.wrapping_shl(b & 31),
+        BinOp::Shr => {
+            if signed {
+                ((a as i32).wrapping_shr(b & 31)) as u32
+            } else {
+                a.wrapping_shr(b & 31)
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Lt => {
+            (if signed {
+                (a as i32) < (b as i32)
+            } else {
+                a < b
+            }) as u32
+        }
+        BinOp::Le => {
+            (if signed {
+                (a as i32) <= (b as i32)
+            } else {
+                a <= b
+            }) as u32
+        }
+        BinOp::Gt => {
+            (if signed {
+                (a as i32) > (b as i32)
+            } else {
+                a > b
+            }) as u32
+        }
+        BinOp::Ge => {
+            (if signed {
+                (a as i32) >= (b as i32)
+            } else {
+                a >= b
+            }) as u32
+        }
+        BinOp::Eq => (a == b) as u32,
+        BinOp::Ne => (a != b) as u32,
+        BinOp::LogAnd => ((a != 0) && (b != 0)) as u32,
+        BinOp::LogOr => ((a != 0) || (b != 0)) as u32,
+    };
+    Some(r)
+}
+
+impl Ctx {
+    fn check_expr(&mut self, e: &Expr) -> SResult<Typed> {
+        match e {
+            Expr::IntLit(v) => {
+                if *v > u32::MAX as i64 || *v < i32::MIN as i64 {
+                    return self.err(format!("integer literal {v} out of 32-bit range"));
+                }
+                Ok(Typed {
+                    ty: Type::Int,
+                    kind: TKind::ConstWord(*v as u32),
+                })
+            }
+            Expr::UIntLit(v) => {
+                if *v > u32::MAX as u64 {
+                    Ok(Typed {
+                        ty: Type::U64,
+                        kind: TKind::ConstU64(*v),
+                    })
+                } else {
+                    Ok(Typed {
+                        ty: Type::UInt,
+                        kind: TKind::ConstWord(*v as u32),
+                    })
+                }
+            }
+            Expr::FloatLit(v) => Ok(Typed {
+                ty: Type::Double,
+                kind: TKind::ConstDouble(*v),
+            }),
+            Expr::Var(name) => {
+                if let Some(id) = self.lookup_local(name) {
+                    let def = &self.locals[id];
+                    if def.array_len.is_some() {
+                        // Array decays to a pointer to its first element.
+                        return Ok(Typed {
+                            ty: def.ty.clone().ptr(),
+                            kind: TKind::AddrLocal(id),
+                        });
+                    }
+                    return Ok(Typed {
+                        ty: def.ty.clone(),
+                        kind: TKind::Local(id),
+                    });
+                }
+                if let Some((ty, is_array)) = self.globals.get(name) {
+                    if *is_array {
+                        return Ok(Typed {
+                            ty: ty.clone().ptr(),
+                            kind: TKind::AddrGlobal(name.clone()),
+                        });
+                    }
+                    return Ok(Typed {
+                        ty: ty.clone(),
+                        kind: TKind::Global(name.clone()),
+                    });
+                }
+                self.err(format!("unknown variable `{name}`"))
+            }
+            Expr::Unary(op, inner) => {
+                let inner = self.check_expr(inner)?;
+                match op {
+                    UnOp::Neg => {
+                        let ty = if inner.ty == Type::Double {
+                            Type::Double
+                        } else if inner.ty == Type::U64 {
+                            Type::U64
+                        } else if inner.ty.is_integer() {
+                            // Promote; negation of uint stays uint like C.
+                            if inner.ty == Type::UInt { Type::UInt } else { Type::Int }
+                        } else {
+                            return self.err(format!("cannot negate {}", inner.ty));
+                        };
+                        let inner = self.convert(inner, &ty)?;
+                        if let TKind::ConstWord(v) = inner.kind {
+                            return Ok(Typed {
+                                ty,
+                                kind: TKind::ConstWord(v.wrapping_neg()),
+                            });
+                        }
+                        if let TKind::ConstDouble(v) = inner.kind {
+                            return Ok(Typed {
+                                ty,
+                                kind: TKind::ConstDouble(-v),
+                            });
+                        }
+                        if let TKind::ConstU64(v) = inner.kind {
+                            return Ok(Typed {
+                                ty,
+                                kind: TKind::ConstU64(v.wrapping_neg()),
+                            });
+                        }
+                        Ok(Typed {
+                            ty,
+                            kind: TKind::Unary(UnOp::Neg, Box::new(inner)),
+                        })
+                    }
+                    UnOp::Not => {
+                        if !inner.ty.is_integer() {
+                            return self.err(format!("cannot apply ~ to {}", inner.ty));
+                        }
+                        let ty = if inner.ty == Type::U64 {
+                            Type::U64
+                        } else if inner.ty == Type::UInt {
+                            Type::UInt
+                        } else {
+                            Type::Int
+                        };
+                        let inner = self.convert(inner, &ty)?;
+                        if let TKind::ConstWord(v) = inner.kind {
+                            return Ok(Typed {
+                                ty,
+                                kind: TKind::ConstWord(!v),
+                            });
+                        }
+                        Ok(Typed {
+                            ty,
+                            kind: TKind::Unary(UnOp::Not, Box::new(inner)),
+                        })
+                    }
+                    UnOp::LogNot => {
+                        let inner = self.truthy(inner)?;
+                        Ok(Typed {
+                            ty: Type::Int,
+                            kind: TKind::Unary(UnOp::LogNot, Box::new(inner)),
+                        })
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => self.check_binary(*op, a, b),
+            Expr::Ternary(c, a, b) => {
+                let c_checked = self.clone_check(c)?;
+                let c = self.truthy(c_checked)?;
+                let a = self.check_expr(a)?;
+                let b = self.check_expr(b)?;
+                let ty = if a.ty == b.ty {
+                    a.ty.clone()
+                } else {
+                    self.common_type(&a.ty, &b.ty)?
+                };
+                let a = self.convert(a, &ty)?;
+                let b = self.convert(b, &ty)?;
+                Ok(Typed {
+                    ty,
+                    kind: TKind::Ternary(Box::new(c), Box::new(a), Box::new(b)),
+                })
+            }
+            Expr::Assign(lhs, rhs) => {
+                let (lv, lty) = self.check_lvalue(lhs)?;
+                let rhs = self.check_expr(rhs)?;
+                let rhs = self
+                    .convert(rhs, &lty)
+                    .map_err(|e| SemaError {
+                        message: format!("in assignment: {}", e.message),
+                        line: e.line,
+                    })?;
+                Ok(Typed {
+                    ty: lty,
+                    kind: TKind::Assign(lv, Box::new(rhs)),
+                })
+            }
+            Expr::Call(name, args) => {
+                let sig = match self.sigs.get(name) {
+                    Some(s) => s.clone(),
+                    None => return self.err(format!("unknown function `{name}`")),
+                };
+                if sig.params.len() != args.len() {
+                    return self.err(format!(
+                        "`{name}` expects {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    ));
+                }
+                let mut targs = Vec::with_capacity(args.len());
+                for (arg, pty) in args.iter().zip(&sig.params) {
+                    let a = self.check_expr(arg)?;
+                    let a = if a.ty == *pty {
+                        a
+                    } else {
+                        self.convert(a, pty).map_err(|e| SemaError {
+                            message: format!("in call to `{name}`: {}", e.message),
+                            line: e.line,
+                        })?
+                    };
+                    targs.push(a);
+                }
+                let arg_words: u32 = sig.params.iter().map(|p| p.words()).sum();
+                if arg_words > 16 {
+                    return self.err(format!(
+                        "`{name}` passes {arg_words} argument words; the ABI supports at most 16"
+                    ));
+                }
+                Ok(Typed {
+                    ty: sig.ret.clone(),
+                    kind: TKind::Call(name.clone(), targs),
+                })
+            }
+            Expr::Index(base, idx) => {
+                let addr = self.element_addr(base, idx)?;
+                let elem = match &addr.ty {
+                    Type::Ptr(inner) => (**inner).clone(),
+                    _ => unreachable!(),
+                };
+                Ok(Typed {
+                    ty: elem,
+                    kind: TKind::Load(Box::new(addr)),
+                })
+            }
+            Expr::Deref(inner) => {
+                let p = self.check_expr(inner)?;
+                match &p.ty {
+                    Type::Ptr(elem) if **elem != Type::Void => Ok(Typed {
+                        ty: (**elem).clone(),
+                        kind: TKind::Load(Box::new(p)),
+                    }),
+                    other => self.err(format!("cannot dereference {other}")),
+                }
+            }
+            Expr::AddrOf(inner) => match &**inner {
+                Expr::Var(name) => {
+                    if let Some(id) = self.lookup_local(name) {
+                        let def = &self.locals[id];
+                        if def.array_len.is_some() {
+                            return self.err("&array is the array itself; drop the &");
+                        }
+                        return Ok(Typed {
+                            ty: def.ty.clone().ptr(),
+                            kind: TKind::AddrLocal(id),
+                        });
+                    }
+                    if let Some((ty, is_array)) = self.globals.get(name) {
+                        if *is_array {
+                            return self.err("&array is the array itself; drop the &");
+                        }
+                        return Ok(Typed {
+                            ty: ty.clone().ptr(),
+                            kind: TKind::AddrGlobal(name.clone()),
+                        });
+                    }
+                    self.err(format!("unknown variable `{name}`"))
+                }
+                Expr::Index(base, idx) => self.element_addr(base, idx),
+                Expr::Deref(p) => self.check_expr(p),
+                _ => self.err("& requires a variable, array element, or *pointer"),
+            },
+            Expr::Cast(to, inner) => {
+                let v = self.check_expr(inner)?;
+                let ok = match (&v.ty, to) {
+                    (a, b) if a == b => true,
+                    (a, b)
+                        if (a.is_integer() || *a == Type::Double)
+                            && (b.is_integer() || *b == Type::Double) =>
+                    {
+                        true
+                    }
+                    (Type::Ptr(_), Type::Ptr(_)) => true,
+                    (Type::Ptr(_), Type::UInt | Type::Int) => true,
+                    (Type::UInt | Type::Int, Type::Ptr(_)) => true,
+                    _ => false,
+                };
+                if !ok {
+                    return self.err(format!("cannot cast {} to {to}", v.ty));
+                }
+                Ok(cast_to(v, to.clone()))
+            }
+        }
+    }
+
+    // Helper because `self.truthy(self.check_expr(c)?)` borrows twice.
+    fn clone_check(&mut self, e: &Expr) -> SResult<Typed> {
+        self.check_expr(e)
+    }
+
+    /// Validates a value used in boolean context.
+    fn truthy(&self, e: Typed) -> SResult<Typed> {
+        match &e.ty {
+            t if t.is_integer() => Ok(e),
+            Type::Double => Ok(e),
+            Type::Ptr(_) => Ok(e),
+            other => self.err(format!("{other} cannot be used as a condition")),
+        }
+    }
+
+    /// Address of `base[idx]` as a typed pointer expression.
+    fn element_addr(&mut self, base: &Expr, idx: &Expr) -> SResult<Typed> {
+        let b = self.check_expr(base)?;
+        let elem = match &b.ty {
+            Type::Ptr(e) if **e != Type::Void => (**e).clone(),
+            other => return self.err(format!("cannot index {other}")),
+        };
+        let i = self.check_expr(idx)?;
+        if !matches!(i.ty, Type::Int | Type::UInt | Type::UChar) {
+            return self.err(format!("index must be a 32-bit integer, found {}", i.ty));
+        }
+        let i = self.convert(i, &Type::Int)?;
+        // Represent as pointer arithmetic: base + idx (codegen scales).
+        Ok(Typed {
+            ty: elem.ptr(),
+            kind: TKind::Binary(BinOp::Add, Box::new(b), Box::new(i)),
+        })
+    }
+
+    fn check_lvalue(&mut self, e: &Expr) -> SResult<(LValue, Type)> {
+        match e {
+            Expr::Var(name) => {
+                if let Some(id) = self.lookup_local(name) {
+                    let def = &self.locals[id];
+                    if def.array_len.is_some() {
+                        return self.err("cannot assign to an array");
+                    }
+                    return Ok((LValue::Local(id), def.ty.clone()));
+                }
+                if let Some((ty, is_array)) = self.globals.get(name) {
+                    if *is_array {
+                        return self.err("cannot assign to an array");
+                    }
+                    return Ok((LValue::Global(name.clone()), ty.clone()));
+                }
+                self.err(format!("unknown variable `{name}`"))
+            }
+            Expr::Deref(p) => {
+                let p = self.check_expr(p)?;
+                match p.ty.clone() {
+                    Type::Ptr(elem) if *elem != Type::Void => Ok((
+                        LValue::Mem {
+                            addr: Box::new(p),
+                            elem: (*elem).clone(),
+                        },
+                        *elem,
+                    )),
+                    other => self.err(format!("cannot store through {other}")),
+                }
+            }
+            Expr::Index(base, idx) => {
+                let addr = self.element_addr(base, idx)?;
+                let elem = match &addr.ty {
+                    Type::Ptr(e) => (**e).clone(),
+                    _ => unreachable!(),
+                };
+                Ok((
+                    LValue::Mem {
+                        addr: Box::new(addr),
+                        elem: elem.clone(),
+                    },
+                    elem,
+                ))
+            }
+            _ => self.err("expression is not assignable"),
+        }
+    }
+
+    fn check_binary(&mut self, op: BinOp, a: &Expr, b: &Expr) -> SResult<Typed> {
+        let ta = self.check_expr(a)?;
+        let tb = self.check_expr(b)?;
+
+        // Logical operators: operands independently truthy, result int.
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            let ta = self.truthy(ta)?;
+            let tb = self.truthy(tb)?;
+            return Ok(Typed {
+                ty: Type::Int,
+                kind: TKind::Binary(op, Box::new(ta), Box::new(tb)),
+            });
+        }
+
+        // Pointer arithmetic and comparisons.
+        if let Type::Ptr(_) = ta.ty {
+            match op {
+                BinOp::Add | BinOp::Sub => {
+                    if !matches!(tb.ty, Type::Int | Type::UInt | Type::UChar) {
+                        return self
+                            .err(format!("pointer arithmetic needs an int offset, got {}", tb.ty));
+                    }
+                    let tb = self.convert(tb, &Type::Int)?;
+                    let tb = if op == BinOp::Sub {
+                        Typed {
+                            ty: Type::Int,
+                            kind: TKind::Unary(UnOp::Neg, Box::new(tb)),
+                        }
+                    } else {
+                        tb
+                    };
+                    return Ok(Typed {
+                        ty: ta.ty.clone(),
+                        kind: TKind::Binary(BinOp::Add, Box::new(ta), Box::new(tb)),
+                    });
+                }
+                _ if op.is_comparison() => {
+                    if ta.ty != tb.ty {
+                        return self
+                            .err(format!("comparing {} with {}", ta.ty, tb.ty));
+                    }
+                    return Ok(Typed {
+                        ty: Type::Int,
+                        kind: TKind::Binary(op, Box::new(ta), Box::new(tb)),
+                    });
+                }
+                _ => return self.err(format!("invalid pointer operation {op:?}")),
+            }
+        }
+        if matches!(tb.ty, Type::Ptr(_)) {
+            return self.err("pointer must be the left operand");
+        }
+
+        // Shifts keep the left operand's (promoted) type.
+        if matches!(op, BinOp::Shl | BinOp::Shr) {
+            let lty = match &ta.ty {
+                Type::UChar => Type::Int,
+                t if t.is_integer() => t.clone(),
+                other => return self.err(format!("cannot shift {other}")),
+            };
+            let ta = self.convert(ta, &lty)?;
+            let tb = self.convert(tb, &Type::Int)?;
+            if let (TKind::ConstWord(x), TKind::ConstWord(s)) = (&ta.kind, &tb.kind) {
+                if lty.is_word() {
+                    if let Some(r) = fold_int_binary(op, *x, *s, &lty) {
+                        return Ok(Typed {
+                            ty: lty,
+                            kind: TKind::ConstWord(r),
+                        });
+                    }
+                }
+            }
+            return Ok(Typed {
+                ty: lty,
+                kind: TKind::Binary(op, Box::new(ta), Box::new(tb)),
+            });
+        }
+
+        // Usual arithmetic conversions.
+        let ty = self.common_type(&ta.ty, &tb.ty)?;
+        let ta = self.convert(ta, &ty)?;
+        let tb = self.convert(tb, &ty)?;
+
+        if ty == Type::Double && matches!(op, BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor) {
+            return self.err(format!("{op:?} is not defined on double"));
+        }
+
+        // Constant folding for 32-bit operands.
+        if ty.is_word() {
+            if let (TKind::ConstWord(x), TKind::ConstWord(y)) = (&ta.kind, &tb.kind) {
+                if let Some(r) = fold_int_binary(op, *x, *y, &ty) {
+                    let rty = if op.is_comparison() { Type::Int } else { ty };
+                    return Ok(Typed {
+                        ty: rty,
+                        kind: TKind::ConstWord(r),
+                    });
+                }
+            }
+        }
+
+        let rty = if op.is_comparison() { Type::Int } else { ty };
+        Ok(Typed {
+            ty: rty,
+            kind: TKind::Binary(op, Box::new(ta), Box::new(tb)),
+        })
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt]) -> SResult<Vec<CStmt>> {
+        self.scopes.push(HashMap::new());
+        let result = stmts.iter().map(|s| self.check_stmt(s)).collect();
+        self.scopes.pop();
+        result
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> SResult<CStmt> {
+        match s {
+            Stmt::Decl {
+                ty,
+                name,
+                init,
+                line,
+            } => {
+                self.line = *line;
+                if *ty == Type::Void {
+                    return self.err("variable of type void");
+                }
+                // Check the initialiser BEFORE declaring, so
+                // `int x = x;` does not see itself.
+                let init_val = match init {
+                    Some(e) => Some(self.check_expr(e)?),
+                    None => None,
+                };
+                let id = self.declare(name, ty.clone(), None)?;
+                match init_val {
+                    Some(v) => {
+                        let v = self.convert(v, ty)?;
+                        Ok(CStmt::Expr(Typed {
+                            ty: ty.clone(),
+                            kind: TKind::Assign(LValue::Local(id), Box::new(v)),
+                        }))
+                    }
+                    None => Ok(CStmt::Block(Vec::new())),
+                }
+            }
+            Stmt::ArrayDecl {
+                elem,
+                name,
+                len,
+                line,
+            } => {
+                self.line = *line;
+                if *elem == Type::Void {
+                    return self.err("array of void");
+                }
+                self.declare(name, elem.clone(), Some(*len))?;
+                Ok(CStmt::Block(Vec::new()))
+            }
+            Stmt::Expr(e, line) => {
+                self.line = *line;
+                Ok(CStmt::Expr(self.check_expr(e)?))
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                line,
+            } => {
+                self.line = *line;
+                let cond = self.check_expr(cond)?;
+                let cond = self.truthy(cond)?;
+                Ok(CStmt::If {
+                    cond,
+                    then_branch: self.check_stmts(then_branch)?,
+                    else_branch: self.check_stmts(else_branch)?,
+                })
+            }
+            Stmt::While { cond, body, line } => {
+                self.line = *line;
+                let cond = self.check_expr(cond)?;
+                let cond = self.truthy(cond)?;
+                self.loop_depth += 1;
+                let body = self.check_stmts(body)?;
+                self.loop_depth -= 1;
+                Ok(CStmt::While { cond, body })
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
+                self.line = *line;
+                // The for header opens a scope so `for (int i = …)`
+                // scopes `i` to the loop.
+                self.scopes.push(HashMap::new());
+                let init = match init {
+                    Some(s) => Some(Box::new(self.check_stmt(s)?)),
+                    None => None,
+                };
+                let cond = match cond {
+                    Some(c) => {
+                        let c = self.check_expr(c)?;
+                        Some(self.truthy(c)?)
+                    }
+                    None => None,
+                };
+                let step = match step {
+                    Some(e) => Some(self.check_expr(e)?),
+                    None => None,
+                };
+                self.loop_depth += 1;
+                let body = self.check_stmts(body)?;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Ok(CStmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Stmt::Return(value, line) => {
+                self.line = *line;
+                match (value, self.ret.clone()) {
+                    (None, Type::Void) => Ok(CStmt::Return(None)),
+                    (None, other) => {
+                        self.err(format!("function returns {other}; value required"))
+                    }
+                    (Some(_), Type::Void) => self.err("void function cannot return a value"),
+                    (Some(e), ret) => {
+                        let v = self.check_expr(e)?;
+                        let v = self.convert(v, &ret)?;
+                        Ok(CStmt::Return(Some(v)))
+                    }
+                }
+            }
+            Stmt::Break(line) => {
+                self.line = *line;
+                if self.loop_depth == 0 {
+                    return self.err("break outside a loop");
+                }
+                Ok(CStmt::Break)
+            }
+            Stmt::Continue(line) => {
+                self.line = *line;
+                if self.loop_depth == 0 {
+                    return self.err("continue outside a loop");
+                }
+                Ok(CStmt::Continue)
+            }
+            Stmt::Block(stmts) => Ok(CStmt::Block(self.check_stmts(stmts)?)),
+        }
+    }
+}
+
+/// Checks a parsed unit, returning a typed unit ready for codegen.
+pub fn check(unit: &Unit) -> Result<CheckedUnit, SemaError> {
+    let mut sigs = builtin_signatures();
+    let mut globals = HashMap::new();
+
+    for g in &unit.globals {
+        if globals
+            .insert(g.name.clone(), (g.ty.clone(), g.is_array))
+            .is_some()
+        {
+            return Err(SemaError {
+                message: format!("duplicate global `{}`", g.name),
+                line: g.line,
+            });
+        }
+    }
+    for f in &unit.functions {
+        let sig = Signature {
+            params: f.params.iter().map(|p| p.ty.clone()).collect(),
+            ret: f.ret.clone(),
+        };
+        if sigs.insert(f.name.clone(), sig).is_some() {
+            return Err(SemaError {
+                message: format!("duplicate function `{}`", f.name),
+                line: f.line,
+            });
+        }
+    }
+
+    let mut functions = Vec::with_capacity(unit.functions.len());
+    for f in &unit.functions {
+        let mut ctx = Ctx {
+            sigs: sigs.clone(),
+            globals: globals.clone(),
+            locals: Vec::new(),
+            scopes: vec![HashMap::new()],
+            loop_depth: 0,
+            ret: f.ret.clone(),
+            line: f.line,
+        };
+        for p in &f.params {
+            if p.ty == Type::Void {
+                return Err(SemaError {
+                    message: format!("parameter `{}` of type void", p.name),
+                    line: f.line,
+                });
+            }
+            ctx.declare(&p.name, p.ty.clone(), None)?;
+        }
+        let param_count = f.params.len();
+        let mut body = ctx.check_stmts(&f.body)?;
+        // Guarantee a trailing return so codegen's epilogue is always
+        // reached with a defined value.
+        match f.ret {
+            Type::Void => body.push(CStmt::Return(None)),
+            _ => body.push(CStmt::Return(Some(Typed {
+                ty: f.ret.clone(),
+                kind: match f.ret {
+                    Type::U64 => TKind::ConstU64(0),
+                    Type::Double => TKind::ConstDouble(0.0),
+                    _ => TKind::ConstWord(0),
+                },
+            }))),
+        }
+        functions.push(CFunc {
+            name: f.name.clone(),
+            ret: f.ret.clone(),
+            param_count,
+            locals: ctx.locals,
+            body,
+        });
+    }
+    Ok(CheckedUnit {
+        globals: unit.globals.clone(),
+        functions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_ok(src: &str) -> CheckedUnit {
+        check(&parse(src).expect("parse")).expect("check")
+    }
+
+    fn check_err(src: &str) -> SemaError {
+        check(&parse(src).expect("parse")).expect_err("expected sema error")
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        let u = check_ok("double f(int a, double b) { return a + b; }");
+        match &u.functions[0].body[0] {
+            CStmt::Return(Some(t)) => assert_eq!(t.ty, Type::Double),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn uchar_promotes_to_int() {
+        let u = check_ok("int f(uchar c) { return c + 1; }");
+        match &u.functions[0].body[0] {
+            CStmt::Return(Some(t)) => assert_eq!(t.ty, Type::Int),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparisons_yield_int() {
+        let u = check_ok("int f(double a, double b) { return a < b; }");
+        match &u.functions[0].body[0] {
+            CStmt::Return(Some(t)) => assert_eq!(t.ty, Type::Int),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_decay_and_indexing() {
+        check_ok("int g[8] = {1,2,3};\nint f(int i) { return g[i] + g[0]; }");
+        check_ok("int f() { int a[4]; a[0] = 1; return a[0]; }");
+    }
+
+    #[test]
+    fn pointer_arith_scales_only_int_offsets() {
+        check_ok("double f(double* p, int i) { return p[i] + *(p + 1); }");
+        assert!(check_err("double f(double* p, double d) { return *(p + d); }")
+            .message
+            .contains("offset"));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let u = check_ok("int f() { return 3 * 4 + (1 << 4); }");
+        match &u.functions[0].body[0] {
+            CStmt::Return(Some(Typed {
+                kind: TKind::ConstWord(28),
+                ..
+            })) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(check_err("int f() { return g(); }").message.contains("unknown function"));
+        assert!(check_err("int f() { return x; }").message.contains("unknown variable"));
+        assert!(check_err("int f(int a) { break; return a; }")
+            .message
+            .contains("break"));
+        assert!(check_err("void f(int* p, double* q) { p = q; }")
+            .message
+            .contains("convert"));
+        assert!(check_err("int f(int a, int a) { return 0; }")
+            .message
+            .contains("duplicate"));
+        assert!(check_err("void f() { return 1; }")
+            .message
+            .contains("void function"));
+    }
+
+    #[test]
+    fn scoping() {
+        check_ok("int f() { int x = 1; { int x = 2; } return x; }");
+        assert!(check_err("int f() { { int y = 1; } return y; }")
+            .message
+            .contains("unknown variable"));
+    }
+
+    #[test]
+    fn builtins_have_signatures() {
+        check_ok("double f(double x) { return sqrt(fabs(x)); }");
+        check_ok("u64 f(uint a, uint b) { return __umulw(a, b); }");
+        assert!(check_err("double f(double x) { return sqrt(x, x); }")
+            .message
+            .contains("arguments"));
+    }
+
+    #[test]
+    fn implicit_return_appended() {
+        let u = check_ok("int f() { }");
+        assert!(matches!(
+            u.functions[0].body.last(),
+            Some(CStmt::Return(Some(_)))
+        ));
+    }
+
+    #[test]
+    fn u64_operations() {
+        check_ok("u64 f(u64 a, u64 b) { return (a + b) * (a - b); }");
+        check_ok("u64 f(u64 a) { return a << 3 >> 2; }");
+        check_ok("int f(u64 a, u64 b) { return a < b; }");
+    }
+
+    #[test]
+    fn assignment_conversion() {
+        check_ok("void f() { uchar c; c = 300; }"); // truncation is allowed
+        check_ok("void f(double* p) { *p = 1; }"); // int -> double
+    }
+
+    #[test]
+    fn arg_word_limit() {
+        let many = "void g(double a, double b, double c, double d, double e, double f, double h, double i, double j) {}\nvoid f() { g(1.0,2.0,3.0,4.0,5.0,6.0,7.0,8.0,9.0); }";
+        assert!(check_err(many).message.contains("argument words"));
+    }
+}

@@ -1,0 +1,326 @@
+//! Differential fuzzing of the compiler: random expression trees are
+//! rendered to mini-C, compiled, executed on the simulator, and
+//! compared against a native Rust evaluation of the same tree with the
+//! target's semantics (wrapping i32/u64 arithmetic, masked shifts).
+
+use nfp_cc::{compile, CompileOptions, FloatMode};
+use nfp_sim::{Machine, MachineConfig};
+use proptest::prelude::*;
+
+const INPUT_BASE: u32 = 0x4100_0000;
+
+/// Random integer expression over four i32 variables.
+#[derive(Debug, Clone)]
+enum IExpr {
+    Var(usize),
+    Lit(i32),
+    Add(Box<IExpr>, Box<IExpr>),
+    Sub(Box<IExpr>, Box<IExpr>),
+    Mul(Box<IExpr>, Box<IExpr>),
+    /// Division by a small positive constant (avoids UB corners).
+    DivC(Box<IExpr>, i32),
+    RemC(Box<IExpr>, i32),
+    And(Box<IExpr>, Box<IExpr>),
+    Or(Box<IExpr>, Box<IExpr>),
+    Xor(Box<IExpr>, Box<IExpr>),
+    ShlC(Box<IExpr>, u32),
+    ShrC(Box<IExpr>, u32),
+    Neg(Box<IExpr>),
+    Not(Box<IExpr>),
+    Lt(Box<IExpr>, Box<IExpr>),
+    Eq(Box<IExpr>, Box<IExpr>),
+    Ternary(Box<IExpr>, Box<IExpr>, Box<IExpr>),
+}
+
+impl IExpr {
+    fn render(&self) -> String {
+        match self {
+            IExpr::Var(i) => format!("v{i}"),
+            IExpr::Lit(v) => {
+                if *v < 0 {
+                    format!("(-{})", (*v as i64).abs())
+                } else {
+                    format!("{v}")
+                }
+            }
+            IExpr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            IExpr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            IExpr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            IExpr::DivC(a, c) => format!("({} / {c})", a.render()),
+            IExpr::RemC(a, c) => format!("({} % {c})", a.render()),
+            IExpr::And(a, b) => format!("({} & {})", a.render(), b.render()),
+            IExpr::Or(a, b) => format!("({} | {})", a.render(), b.render()),
+            IExpr::Xor(a, b) => format!("({} ^ {})", a.render(), b.render()),
+            IExpr::ShlC(a, k) => format!("({} << {k})", a.render()),
+            IExpr::ShrC(a, k) => format!("({} >> {k})", a.render()),
+            IExpr::Neg(a) => format!("(-{})", a.render()),
+            IExpr::Not(a) => format!("(~{})", a.render()),
+            IExpr::Lt(a, b) => format!("({} < {})", a.render(), b.render()),
+            IExpr::Eq(a, b) => format!("({} == {})", a.render(), b.render()),
+            IExpr::Ternary(c, a, b) => {
+                format!("({} ? {} : {})", c.render(), a.render(), b.render())
+            }
+        }
+    }
+
+    /// Native evaluation with the target's semantics.
+    fn eval(&self, vars: &[i32; 4]) -> i32 {
+        match self {
+            IExpr::Var(i) => vars[*i],
+            IExpr::Lit(v) => *v,
+            IExpr::Add(a, b) => a.eval(vars).wrapping_add(b.eval(vars)),
+            IExpr::Sub(a, b) => a.eval(vars).wrapping_sub(b.eval(vars)),
+            IExpr::Mul(a, b) => a.eval(vars).wrapping_mul(b.eval(vars)),
+            IExpr::DivC(a, c) => a.eval(vars).wrapping_div(*c),
+            IExpr::RemC(a, c) => a.eval(vars).wrapping_rem(*c),
+            IExpr::And(a, b) => a.eval(vars) & b.eval(vars),
+            IExpr::Or(a, b) => a.eval(vars) | b.eval(vars),
+            IExpr::Xor(a, b) => a.eval(vars) ^ b.eval(vars),
+            IExpr::ShlC(a, k) => a.eval(vars).wrapping_shl(*k),
+            IExpr::ShrC(a, k) => a.eval(vars).wrapping_shr(*k),
+            IExpr::Neg(a) => a.eval(vars).wrapping_neg(),
+            IExpr::Not(a) => !a.eval(vars),
+            IExpr::Lt(a, b) => (a.eval(vars) < b.eval(vars)) as i32,
+            IExpr::Eq(a, b) => (a.eval(vars) == b.eval(vars)) as i32,
+            IExpr::Ternary(c, a, b) => {
+                if c.eval(vars) != 0 {
+                    a.eval(vars)
+                } else {
+                    b.eval(vars)
+                }
+            }
+        }
+    }
+}
+
+fn iexpr_strategy() -> impl Strategy<Value = IExpr> {
+    let leaf = prop_oneof![
+        (0usize..4).prop_map(IExpr::Var),
+        any::<i32>().prop_map(IExpr::Lit),
+        (-100i32..100).prop_map(IExpr::Lit),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Mul(a.into(), b.into())),
+            (inner.clone(), 1i32..16).prop_map(|(a, c)| IExpr::DivC(a.into(), c)),
+            (inner.clone(), 1i32..16).prop_map(|(a, c)| IExpr::RemC(a.into(), c)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Or(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Xor(a.into(), b.into())),
+            (inner.clone(), 0u32..32).prop_map(|(a, k)| IExpr::ShlC(a.into(), k)),
+            (inner.clone(), 0u32..32).prop_map(|(a, k)| IExpr::ShrC(a.into(), k)),
+            inner.clone().prop_map(|a| IExpr::Neg(a.into())),
+            inner.clone().prop_map(|a| IExpr::Not(a.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Lt(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Eq(a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| IExpr::Ternary(c.into(), a.into(), b.into())),
+        ]
+    })
+}
+
+fn run_int_expr(expr: &IExpr, vars: [i32; 4]) -> i32 {
+    let src = format!(
+        "int main() {{\n\
+           uint* in = (uint*)0x41000000;\n\
+           int v0 = (int)in[0]; int v1 = (int)in[1];\n\
+           int v2 = (int)in[2]; int v3 = (int)in[3];\n\
+           emit((uint)({}));\n\
+           return 0;\n\
+         }}",
+        expr.render()
+    );
+    let program =
+        compile(&src, &CompileOptions::new(FloatMode::Hard)).expect("generated source compiles");
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load_image(program.base, &program.words);
+    let mut input = Vec::new();
+    for v in vars {
+        input.extend_from_slice(&(v as u32).to_be_bytes());
+    }
+    machine.bus.write_bytes(INPUT_BASE, &input);
+    let result = machine.run(50_000_000).expect("run failed");
+    result.words[0] as i32
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_int_expressions_match_native(
+        expr in iexpr_strategy(),
+        vars in [any::<i32>(), any::<i32>(), any::<i32>(), any::<i32>()],
+    ) {
+        let want = expr.eval(&vars);
+        let got = run_int_expr(&expr, vars);
+        prop_assert_eq!(got, want, "expr: {}", expr.render());
+    }
+
+    #[test]
+    fn random_u64_chains_match_native(
+        vals in prop::collection::vec(any::<u64>(), 4),
+        shifts in prop::collection::vec(0u32..64, 3),
+    ) {
+        // u64 pipeline: mixes add/sub/mul/shift/xor through variables.
+        let src = format!(
+            "int main() {{\n\
+               uint* in = (uint*)0x41000000;\n\
+               u64 a = ((u64)in[0] << 32) | (u64)in[1];\n\
+               u64 b = ((u64)in[2] << 32) | (u64)in[3];\n\
+               u64 c = ((u64)in[4] << 32) | (u64)in[5];\n\
+               u64 d = ((u64)in[6] << 32) | (u64)in[7];\n\
+               u64 r = (a + b) * c;\n\
+               r = r ^ (d >> {s0});\n\
+               r = r - (a << {s1});\n\
+               r = r + (r >> {s2});\n\
+               r = r * 0x9e3779b97f4a7c15u;\n\
+               emit((uint)(r >> 32)); emit((uint)r);\n\
+               return 0;\n\
+             }}",
+            s0 = shifts[0], s1 = shifts[1], s2 = shifts[2],
+        );
+        let (a, b, c, d) = (vals[0], vals[1], vals[2], vals[3]);
+        let mut r = a.wrapping_add(b).wrapping_mul(c);
+        r ^= d >> shifts[0];
+        r = r.wrapping_sub(a.wrapping_shl(shifts[1]));
+        r = r.wrapping_add(r >> shifts[2]);
+        r = r.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+
+        let program = compile(&src, &CompileOptions::new(FloatMode::Hard)).unwrap();
+        let mut machine = Machine::new(MachineConfig::default());
+        machine.load_image(program.base, &program.words);
+        let mut input = Vec::new();
+        for v in [a, b, c, d] {
+            input.extend_from_slice(&v.to_be_bytes());
+        }
+        machine.bus.write_bytes(INPUT_BASE, &input);
+        let result = machine.run(50_000_000).unwrap();
+        let got = ((result.words[0] as u64) << 32) | result.words[1] as u64;
+        prop_assert_eq!(got, r);
+    }
+}
+
+/// Random double expressions: native, hard-float simulated, and
+/// soft-float simulated must agree bit-for-bit.
+#[derive(Debug, Clone)]
+enum DExpr {
+    Var(usize),
+    Lit(f64),
+    Add(Box<DExpr>, Box<DExpr>),
+    Sub(Box<DExpr>, Box<DExpr>),
+    Mul(Box<DExpr>, Box<DExpr>),
+    Div(Box<DExpr>, Box<DExpr>),
+    Neg(Box<DExpr>),
+    Abs(Box<DExpr>),
+    Sqrt(Box<DExpr>),
+}
+
+impl DExpr {
+    fn render(&self) -> String {
+        match self {
+            DExpr::Var(i) => format!("v{i}"),
+            DExpr::Lit(v) => {
+                if v.is_finite() && *v >= 0.0 {
+                    format!("{v:?}")
+                } else {
+                    // negative literals parenthesised; non-finite avoided
+                    format!("({v:?})")
+                }
+            }
+            DExpr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            DExpr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            DExpr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            DExpr::Div(a, b) => format!("({} / {})", a.render(), b.render()),
+            DExpr::Neg(a) => format!("(-{})", a.render()),
+            DExpr::Abs(a) => format!("fabs({})", a.render()),
+            DExpr::Sqrt(a) => format!("sqrt({})", a.render()),
+        }
+    }
+
+    fn eval(&self, vars: &[f64; 3]) -> f64 {
+        match self {
+            DExpr::Var(i) => vars[*i],
+            DExpr::Lit(v) => *v,
+            DExpr::Add(a, b) => a.eval(vars) + b.eval(vars),
+            DExpr::Sub(a, b) => a.eval(vars) - b.eval(vars),
+            DExpr::Mul(a, b) => a.eval(vars) * b.eval(vars),
+            DExpr::Div(a, b) => a.eval(vars) / b.eval(vars),
+            DExpr::Neg(a) => -a.eval(vars),
+            DExpr::Abs(a) => a.eval(vars).abs(),
+            DExpr::Sqrt(a) => a.eval(vars).sqrt(),
+        }
+    }
+}
+
+fn dexpr_strategy() -> impl Strategy<Value = DExpr> {
+    let leaf = prop_oneof![
+        (0usize..3).prop_map(DExpr::Var),
+        (-1.0e12f64..1.0e12).prop_map(DExpr::Lit),
+        (-10.0f64..10.0).prop_map(DExpr::Lit),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| DExpr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| DExpr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| DExpr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| DExpr::Div(a.into(), b.into())),
+            inner.clone().prop_map(|a| DExpr::Neg(a.into())),
+            inner.clone().prop_map(|a| DExpr::Abs(a.into())),
+            inner.clone().prop_map(|a| DExpr::Sqrt(a.into())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_double_expressions_match_native_in_both_modes(
+        expr in dexpr_strategy(),
+        vars in [-1.0e6f64..1.0e6, -1.0e6f64..1.0e6, -1.0e6f64..1.0e6],
+    ) {
+        let src = format!(
+            "int main() {{\n\
+               uint* in = (uint*)0x41000000;\n\
+               double v0 = __bitsd(((u64)in[0] << 32) | (u64)in[1]);\n\
+               double v1 = __bitsd(((u64)in[2] << 32) | (u64)in[3]);\n\
+               double v2 = __bitsd(((u64)in[4] << 32) | (u64)in[5]);\n\
+               u64 r = __dbits({});\n\
+               emit((uint)(r >> 32)); emit((uint)r);\n\
+               return 0;\n\
+             }}",
+            expr.render()
+        );
+        let want = expr.eval(&vars);
+        for mode in [FloatMode::Hard, FloatMode::Soft] {
+            let program = compile(&src, &CompileOptions::new(mode)).unwrap();
+            let mut machine = Machine::new(MachineConfig {
+                fpu_enabled: mode == FloatMode::Hard,
+                ..MachineConfig::default()
+            });
+            machine.load_image(program.base, &program.words);
+            let mut input = Vec::new();
+            for v in vars {
+                input.extend_from_slice(&v.to_bits().to_be_bytes());
+            }
+            machine.bus.write_bytes(INPUT_BASE, &input);
+            let result = machine.run(200_000_000).unwrap();
+            let got = f64::from_bits(((result.words[0] as u64) << 32) | result.words[1] as u64);
+            if want.is_nan() {
+                prop_assert!(got.is_nan(), "{mode:?}: {} => {got:e}, want NaN", expr.render());
+            } else {
+                prop_assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{:?}: {} => {:e}, want {:e}",
+                    mode,
+                    expr.render(),
+                    got,
+                    want
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! End-to-end execution tests: compile mini-C, boot the image on the
+//! instruction-set simulator, and check observable behaviour (exit
+//! codes and emitted words).
+
+use nfp_cc::{compile, CompileOptions, FloatMode};
+use nfp_sim::{Machine, MachineConfig};
+
+/// Compiles and runs `src`, returning the exit code.
+fn run(src: &str, mode: FloatMode) -> u32 {
+    run_full(src, mode).0
+}
+
+/// Compiles and runs `src`, returning (exit code, emitted words, text).
+fn run_full(src: &str, mode: FloatMode) -> (u32, Vec<u32>, String) {
+    let program = compile(src, &CompileOptions::new(mode)).expect("compile failed");
+    let mut machine = Machine::new(MachineConfig {
+        fpu_enabled: mode == FloatMode::Hard,
+        ..MachineConfig::default()
+    });
+    machine.load_image(program.base, &program.words);
+    let result = machine.run(2_000_000_000).expect("run failed");
+    (result.exit_code, result.words, result.text)
+}
+
+fn run_both(src: &str) -> u32 {
+    let hard = run(src, FloatMode::Hard);
+    let soft = run(src, FloatMode::Soft);
+    assert_eq!(hard, soft, "hard/soft divergence for:\n{src}");
+    hard
+}
+
+/// Runs a program and interprets the two emitted words as an f64.
+fn run_double(src: &str, mode: FloatMode) -> f64 {
+    let (_, words, _) = run_full(src, mode);
+    assert_eq!(words.len(), 2, "expected exactly one emitted double");
+    f64::from_bits(((words[0] as u64) << 32) | words[1] as u64)
+}
+
+/// Emits the bits of a double expression from inside the program.
+fn double_expr(body: &str) -> String {
+    format!(
+        "void emit64(u64 v) {{ emit((uint)(v >> 32)); emit((uint)v); }}\n\
+         int main() {{ double r = {body}; emit64(__dbits(r)); return 0; }}"
+    )
+}
+
+#[test]
+fn return_constant() {
+    assert_eq!(run_both("int main() { return 42; }"), 42);
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(run_both("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11);
+    assert_eq!(run_both("int main() { int a = 7; int b = 3; return a % b; }"), 1);
+    assert_eq!(
+        run_both("int main() { int a = -17; int b = 5; return a / b + 10; }"),
+        7 // -3 + 10
+    );
+}
+
+#[test]
+fn unsigned_arithmetic() {
+    assert_eq!(
+        run_both("int main() { uint a = 0xffffffffu; uint b = 2u; return (int)(a / b); }"),
+        0x7fff_ffff
+    );
+    assert_eq!(
+        run_both("int main() { uint a = 7u; return (int)(a % 4u); }"),
+        3
+    );
+}
+
+#[test]
+fn shifts_match_c_semantics() {
+    assert_eq!(run_both("int main() { int a = -8; return (a >> 2) + 10; }"), 8);
+    assert_eq!(
+        run_both("int main() { uint a = 0x80000000u; return (int)(a >> 28); }"),
+        8
+    );
+    assert_eq!(run_both("int main() { return 1 << 20 >> 18; }"), 4);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(
+        run_both("int main() { int a = 3; int b = 5; return (a < b) + (a > b) * 10 + (a == 3) * 100; }"),
+        101
+    );
+    assert_eq!(
+        run_both("int main() { int a = 0; int b = 7; return (a && b) + 2 * (a || b) + 4 * !a; }"),
+        6
+    );
+    // signed vs unsigned comparison
+    assert_eq!(
+        run_both("int main() { int a = -1; uint b = 1u; return (a < 1) + 2 * ((uint)a < b); }"),
+        1
+    );
+}
+
+#[test]
+fn short_circuit_side_effects() {
+    let src = "int g = 0;\nint bump() { g = g + 1; return 1; }\nint main() { int x = 0 && bump(); int y = 1 || bump(); return g * 10 + x + y; }";
+    assert_eq!(run_both(src), 1);
+}
+
+#[test]
+fn while_and_for_loops() {
+    assert_eq!(
+        run_both("int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) s = s + i; return s; }"),
+        55
+    );
+    assert_eq!(
+        run_both("int main() { int n = 100; int c = 0; while (n > 1) { if (n % 2 == 0) n = n / 2; else n = 3 * n + 1; c = c + 1; } return c; }"),
+        25 // Collatz steps for 100
+    );
+}
+
+#[test]
+fn break_and_continue() {
+    assert_eq!(
+        run_both("int main() { int s = 0; for (int i = 0; i < 20; i = i + 1) { if (i % 2 == 1) continue; if (i == 10) break; s = s + i; } return s; }"),
+        20 // 0+2+4+6+8
+    );
+}
+
+#[test]
+fn recursion_fibonacci() {
+    assert_eq!(
+        run_both("int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\nint main() { return fib(12); }"),
+        144
+    );
+}
+
+#[test]
+fn local_arrays_and_pointers() {
+    let src = "int main() { int a[8]; for (int i = 0; i < 8; i = i + 1) a[i] = i * i; int* p = a; int s = 0; for (int i = 0; i < 8; i = i + 1) s = s + p[i]; return s; }";
+    assert_eq!(run_both(src), 140);
+}
+
+#[test]
+fn global_arrays_with_initialisers() {
+    let src = "int tbl[5] = {10, 20, 30, 40, 50};\nint main() { int s = 0; for (int i = 0; i < 5; i = i + 1) s = s + tbl[i]; return s; }";
+    assert_eq!(run_both(src), 150);
+}
+
+#[test]
+fn uchar_semantics() {
+    assert_eq!(
+        run_both("int main() { uchar c = 200; c = c + 100; return c; }"),
+        44 // (200 + 100) & 0xff
+    );
+    let src = "uchar buf[4];\nint main() { buf[0] = 0xff; buf[1] = 1; return buf[0] + buf[1]; }";
+    assert_eq!(run_both(src), 256);
+}
+
+#[test]
+fn pointer_writes_through_functions() {
+    let src = "void put(int* p, int v) { *p = v; }\nint main() { int x = 0; put(&x, 99); return x; }";
+    assert_eq!(run_both(src), 99);
+}
+
+#[test]
+fn uchar_pointer_byte_access() {
+    let src = "int main() { uint w = 0u; uchar* p = (uchar*)&w; p[0] = 0x12; p[3] = 0x34; return (int)(w >> 24) + (int)(w & 0xffu); }";
+    // big-endian: byte 0 is the MSB
+    assert_eq!(run_both(src), 0x12 + 0x34);
+}
+
+#[test]
+fn ternary_expressions() {
+    assert_eq!(
+        run_both("int main() { int a = 5; return a > 3 ? a * 2 : a - 1; }"),
+        10
+    );
+    assert_eq!(
+        run_both("int main() { int a = 2; return a > 3 ? a * 2 : a - 1; }"),
+        1
+    );
+}
+
+#[test]
+fn u64_arithmetic() {
+    assert_eq!(
+        run_both("int main() { u64 a = 0xffffffffu; a = a + 1u; return (int)(a >> 32); }"),
+        1
+    );
+    assert_eq!(
+        run_both("int main() { u64 a = 1u; a = a << 40; a = a - 1u; return (int)(a >> 36) & 0xf; }"),
+        0xf
+    );
+    // 64-bit multiply through __muldi3
+    assert_eq!(
+        run_both("int main() { u64 a = 0x100000001u; u64 b = 0x100000001u; u64 c = a * b; return (int)(c >> 32); }"),
+        2 // (2^32+1)^2 = 2^64 + 2^33 + 1 -> high word 2
+    );
+    // 64-bit divide / modulo
+    assert_eq!(
+        run_both("int main() { u64 a = 0xde0b6b3a7640000u; u64 b = 1000000u; return (int)(a / b / 1000000u); }"),
+        1_000_000 // 10^18 / 10^6 / 10^6
+    );
+    assert_eq!(
+        run_both("int main() { u64 a = 1000003u; u64 b = 1000u; return (int)(a % b); }"),
+        3
+    );
+}
+
+#[test]
+fn u64_variable_shifts() {
+    let src = "int main() { u64 a = 0x8000000000000000u; int total = 0; for (int i = 0; i < 64; i = i + 8) { u64 s = a >> i; total = total + (int)(s >> 32 != 0u); } return total; }";
+    assert_eq!(run_both(src), 4); // shifts 0,8,16,24 keep a bit in the high word
+}
+
+#[test]
+fn u64_comparisons() {
+    let src = "int main() {
+        u64 a = 0x100000000u; u64 b = 0xffffffffu;
+        int r = 0;
+        if (a > b) r = r + 1;
+        if (b < a) r = r + 2;
+        if (a >= a) r = r + 4;
+        if (a <= b) r = r + 8;
+        if (a == a) r = r + 16;
+        if (a != b) r = r + 32;
+        return r;
+    }";
+    assert_eq!(run_both(src), 1 + 2 + 4 + 16 + 32);
+}
+
+#[test]
+fn widening_multiply_intrinsic() {
+    assert_eq!(
+        run_both("int main() { u64 p = __umulw(0x10000u, 0x10000u); return (int)(p >> 32); }"),
+        1
+    );
+}
+
+#[test]
+fn emitted_words_and_text() {
+    let (code, words, text) = run_full(
+        "int main() { putchar('h'); putchar('i'); emit(123u); emit(456u); return 7; }",
+        FloatMode::Hard,
+    );
+    assert_eq!(code, 7);
+    assert_eq!(text, "hi");
+    assert_eq!(words, vec![123, 456]);
+}
+
+#[test]
+fn double_arithmetic_matches_native_hard_and_soft() {
+    let cases = [
+        ("1.5 + 2.25", 1.5f64 + 2.25),
+        ("1.0 / 3.0", 1.0f64 / 3.0),
+        ("2.5 * -0.125", 2.5f64 * -0.125),
+        ("1.0e300 * 1.0e300", f64::INFINITY),
+        ("1.0e-300 * 1.0e-300", 1.0e-300f64 * 1.0e-300),
+        ("sqrt(2.0)", 2.0f64.sqrt()),
+        ("fabs(-3.5)", 3.5),
+        ("1.0 - 1.0", 0.0),
+    ];
+    for (expr, want) in cases {
+        for mode in [FloatMode::Hard, FloatMode::Soft] {
+            let got = run_double(&double_expr(expr), mode);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{expr} in {mode:?}: got {got:e}, want {want:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn double_comparisons() {
+    let src = "int main() {
+        double a = 1.5; double b = 2.5;
+        int r = 0;
+        if (a < b) r = r + 1;
+        if (b > a) r = r + 2;
+        if (a <= 1.5) r = r + 4;
+        if (a >= 1.5) r = r + 8;
+        if (a == 1.5) r = r + 16;
+        if (a != b) r = r + 32;
+        return r;
+    }";
+    assert_eq!(run_both(src), 63);
+}
+
+#[test]
+fn double_conversions() {
+    assert_eq!(run_both("int main() { double d = -7.9; return (int)d + 100; }"), 93);
+    assert_eq!(run_both("int main() { int i = -3; double d = (double)i; return (int)(d * -2.0); }"), 6);
+    assert_eq!(
+        run_both("int main() { uint u = 0xc0000000u; double d = (double)u; return (int)(d / 65536.0 / 65536.0 * 4.0); }"),
+        3
+    );
+    assert_eq!(
+        run_both("int main() { double d = 3000000000.5; uint u = (uint)d; return (int)(u >> 24); }"),
+        0xb2 // 3000000000 = 0xB2D05E00
+    );
+    assert_eq!(
+        run_both("int main() { u64 x = 0x123456789abcdefu; double d = (double)x; u64 y = (u64)d; return (int)(y >> 48); }"),
+        0x123 // round-trips the top bits
+    );
+}
+
+#[test]
+fn double_in_loops_accumulates_identically() {
+    // A numerically non-trivial loop: harmonic sum.
+    let body = "0.0;\n    for (int k = 1; k <= 50; k = k + 1) r = r + 1.0 / (double)k";
+    let src = format!(
+        "void emit64(u64 v) {{ emit((uint)(v >> 32)); emit((uint)v); }}\n\
+         int main() {{ double r = {body}; emit64(__dbits(r)); return 0; }}"
+    );
+    let mut want = 0.0f64;
+    for k in 1..=50 {
+        want += 1.0 / k as f64;
+    }
+    for mode in [FloatMode::Hard, FloatMode::Soft] {
+        let (_, words, _) = run_full(&src, mode);
+        let got = f64::from_bits(((words[0] as u64) << 32) | words[1] as u64);
+        assert_eq!(got.to_bits(), want.to_bits(), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn many_arguments_spill_to_stack() {
+    let src = "int sum8(int a, int b, int c, int d, int e, int f, int g, int h) { return a + b + c + d + e + f + g + h; }\nint main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }";
+    assert_eq!(run_both(src), 36);
+}
+
+#[test]
+fn mixed_width_arguments() {
+    let src = "int f(double a, int b, u64 c, int d) { return (int)a + b + (int)(c >> 32) + d; }\nint main() { u64 big = 5u; big = big << 32; return f(2.5, 10, big, 4); }";
+    assert_eq!(run_both(src), 2 + 10 + 5 + 4);
+}
+
+#[test]
+fn global_scalars_persist_across_calls() {
+    let src = "uint state = 1u;\nuint next() { state = state * 1103515245u + 12345u; return state; }\nint main() { int n = 0; for (int i = 0; i < 10; i = i + 1) { uint v = next(); n = n + (int)(v >> 31); } return n; }";
+    // Reference LCG in Rust.
+    let mut state = 1u32;
+    let mut want = 0;
+    for _ in 0..10 {
+        state = state.wrapping_mul(1103515245).wrapping_add(12345);
+        want += (state >> 31) as i32;
+    }
+    assert_eq!(run_both(src) as i32, want);
+}
+
+#[test]
+fn soft_binary_runs_without_fpu() {
+    // The whole point of -msoft-float: the binary must execute on a
+    // machine with the FPU disabled.
+    let program = compile(
+        &double_expr("sqrt(3.0) * 2.0 - 1.0e-3"),
+        &CompileOptions::new(FloatMode::Soft),
+    )
+    .unwrap();
+    let mut machine = Machine::new(MachineConfig {
+        fpu_enabled: false,
+        ..MachineConfig::default()
+    });
+    machine.load_image(program.base, &program.words);
+    let result = machine.run(100_000_000).expect("soft binary trapped on FPU-less core");
+    let got = f64::from_bits(((result.words[0] as u64) << 32) | result.words[1] as u64);
+    let want = 3.0f64.sqrt() * 2.0 - 1.0e-3;
+    assert_eq!(got.to_bits(), want.to_bits());
+}
+
+#[test]
+fn hard_binary_requires_fpu() {
+    let program = compile(
+        &double_expr("sqrt(3.0)"),
+        &CompileOptions::new(FloatMode::Hard),
+    )
+    .unwrap();
+    let mut machine = Machine::new(MachineConfig {
+        fpu_enabled: false,
+        ..MachineConfig::default()
+    });
+    machine.load_image(program.base, &program.words);
+    assert!(machine.run(100_000_000).is_err());
+}
+
+#[test]
+fn deep_expression_spills() {
+    // Expression deep enough to exhaust the 12 temp registers.
+    let src = "int main() { int a = 1;
+        return ((a+1)*2+((a+2)*3+((a+3)*4+((a+4)*5+((a+5)*6+((a+6)*7
+          +((a+7)*8+((a+8)*9+((a+9)*10+(a+10)*11))))))))) % 251; }";
+    let native = {
+        let a: i64 = 1;
+        let v = (a + 1) * 2
+            + ((a + 2) * 3
+                + ((a + 3) * 4
+                    + ((a + 4) * 5
+                        + ((a + 5) * 6
+                            + ((a + 6) * 7
+                                + ((a + 7) * 8
+                                    + ((a + 8) * 9
+                                        + ((a + 9) * 10 + (a + 10) * 11))))))));
+        (v % 251) as u32
+    };
+    assert_eq!(run_both(src), native);
+}
+
+#[test]
+fn comment_define_and_char_literals() {
+    let src = "#define BASE 40\n// line comment\n/* block */\nint main() { return BASE + 'A' - '?'; }";
+    assert_eq!(run_both(src), 42);
+}
+
+#[test]
+fn instruction_counts_differ_between_modes() {
+    // Soft-float executes far more instructions for the same result.
+    let src = double_expr("(1.25 * 3.5 + 0.125) / 0.75");
+    let count = |mode| {
+        let program = compile(&src, &CompileOptions::new(mode)).unwrap();
+        let mut machine = Machine::new(MachineConfig {
+            fpu_enabled: true,
+            ..MachineConfig::default()
+        });
+        machine.load_image(program.base, &program.words);
+        machine.run(100_000_000).unwrap().instret
+    };
+    let hard = count(FloatMode::Hard);
+    let soft = count(FloatMode::Soft);
+    assert!(
+        soft > hard * 3,
+        "soft ({soft}) should be much slower than hard ({hard})"
+    );
+}

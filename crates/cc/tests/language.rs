@@ -1,0 +1,267 @@
+//! Broader language-feature execution tests and diagnostics coverage
+//! for the mini-C dialect.
+
+use nfp_cc::{compile, CcError, CompileOptions, FloatMode};
+use nfp_sim::{Machine, MachineConfig};
+
+fn run(src: &str, mode: FloatMode) -> (u32, Vec<u32>) {
+    let program = compile(src, &CompileOptions::new(mode)).expect("compile failed");
+    let mut machine = Machine::new(MachineConfig {
+        fpu_enabled: mode == FloatMode::Hard,
+        ..MachineConfig::default()
+    });
+    machine.load_image(program.base, &program.words);
+    let result = machine.run(1_000_000_000).expect("run failed");
+    (result.exit_code, result.words)
+}
+
+fn run_both(src: &str) -> u32 {
+    let (hard, hw) = run(src, FloatMode::Hard);
+    let (soft, sw) = run(src, FloatMode::Soft);
+    assert_eq!(hard, soft, "exit codes diverge");
+    assert_eq!(hw, sw, "emitted words diverge");
+    hard
+}
+
+fn compile_err(src: &str) -> CcError {
+    compile(src, &CompileOptions::new(FloatMode::Hard)).expect_err("expected a compile error")
+}
+
+#[test]
+fn global_double_arrays() {
+    let src = "double w[4] = {0.5, 1.5, -2.0, 8.0};\n\
+               int main() { double s = 0.0; for (int i = 0; i < 4; i = i + 1) s = s + w[i]; return (int)s; }";
+    assert_eq!(run_both(src), 8);
+}
+
+#[test]
+fn double_parameters_and_returns_through_deep_calls() {
+    let src = "double scale(double x, double f) { return x * f; }\n\
+               double twice(double x) { return scale(x, 2.0); }\n\
+               double chain(double x) { return twice(twice(twice(x))); }\n\
+               int main() { return (int)chain(3.0); }";
+    assert_eq!(run_both(src), 24);
+}
+
+#[test]
+fn ternary_of_double_and_u64() {
+    assert_eq!(
+        run_both("int main() { int c = 1; double d = c ? 2.5 : -7.5; return (int)(d * 4.0); }"),
+        10
+    );
+    assert_eq!(
+        run_both("int main() { int c = 0; u64 v = c ? 5u : 0x700000000u; return (int)(v >> 32); }"),
+        7
+    );
+}
+
+#[test]
+fn pointer_to_pointer() {
+    let src = "void set(int** pp, int* q) { *pp = q; }\n\
+               int main() { int a = 3; int b = 9; int* p = &a; set(&p, &b); return *p; }";
+    assert_eq!(run_both(src), 9);
+}
+
+#[test]
+fn recursion_with_many_locals() {
+    // Each frame holds an array; checks frame isolation across depth.
+    let src = "int f(int n) {
+        int scratch[16];
+        for (int i = 0; i < 16; i = i + 1) scratch[i] = n * 16 + i;
+        int r = 0;
+        if (n > 0) r = f(n - 1);
+        for (int i = 0; i < 16; i = i + 1) {
+            if (scratch[i] != n * 16 + i) return -1;
+        }
+        return r + n;
+    }
+    int main() { return f(10); }";
+    assert_eq!(run_both(src), 55);
+}
+
+#[test]
+fn logical_operators_on_doubles() {
+    let src = "int main() { double a = 0.0; double b = 2.0; return (a && b) + 2 * (a || b) + 4 * !b; }";
+    assert_eq!(run_both(src), 2);
+}
+
+#[test]
+fn compound_assignment_operators() {
+    let src = "int main() {
+        int x = 100;
+        x += 10; x -= 4; x *= 2; x /= 3; x %= 50;
+        uint m = 0xf0u;
+        m |= 0x0fu; m &= 0x3fu; m ^= 0x01u; m <<= 2; m >>= 1;
+        return x * 1000 + (int)m;
+    }";
+    let x = ((((100 + 10) - 4) * 2) / 3) % 50;
+    let mut m: u32 = 0xf0;
+    m |= 0x0f;
+    m &= 0x3f;
+    m ^= 0x01;
+    m <<= 2;
+    m >>= 1;
+    assert_eq!(run_both(src), (x * 1000 + m as i32) as u32);
+}
+
+#[test]
+fn while_with_complex_condition() {
+    let src = "int main() {
+        int a = 0; int b = 100;
+        while (a < 20 && b > 50 || a == 0) { a = a + 3; b = b - 7; }
+        return a * 100 + b;
+    }";
+    // native mirror
+    let (mut a, mut b) = (0i32, 100i32);
+    while (a < 20 && b > 50) || a == 0 {
+        a += 3;
+        b -= 7;
+    }
+    assert_eq!(run_both(src), (a * 100 + b) as u32);
+}
+
+#[test]
+fn uchar_buffers_with_wraparound_arithmetic() {
+    let src = "uchar ring[8];\n\
+               int main() {
+        for (int i = 0; i < 100; i = i + 1) {
+            ring[i % 8] = (uchar)(ring[i % 8] + i);
+        }
+        int s = 0;
+        for (int i = 0; i < 8; i = i + 1) s = s + ring[i];
+        return s;
+    }";
+    let mut ring = [0u8; 8];
+    for i in 0..100 {
+        ring[i % 8] = ring[i % 8].wrapping_add(i as u8);
+    }
+    let want: u32 = ring.iter().map(|&b| b as u32).sum();
+    assert_eq!(run_both(src), want);
+}
+
+#[test]
+fn mixed_double_u64_casts() {
+    let src = "int main() {
+        u64 big = 0x4000000000u;           // 2^38
+        double d = (double)big;
+        d = d / 1048576.0;                 // 2^18 exactly
+        u64 back = (u64)d;
+        return (int)back;
+    }";
+    assert_eq!(run_both(src), 1 << 18);
+}
+
+#[test]
+fn fabs_and_sqrt_on_expressions() {
+    let src = "int main() { double x = -16.0; return (int)sqrt(fabs(x)) + (int)fabs(-2.5); }";
+    assert_eq!(run_both(src), 6);
+}
+
+#[test]
+fn define_constants_compose() {
+    let src = "#define WIDTH 8\n#define AREA WIDTH\nint main() { return AREA * WIDTH; }";
+    assert_eq!(run_both(src), 64);
+}
+
+// ---- diagnostics ----
+
+#[test]
+fn type_errors_are_reported() {
+    assert!(compile_err("int main() { int* p; double d = 0.0; p = &d; return 0; }")
+        .to_string()
+        .contains("convert"));
+    assert!(compile_err("int main() { u64 a = 1u; double d = 1.0; return (int)(a + d); }")
+        .to_string()
+        .contains("cast explicitly"));
+    assert!(compile_err("int main() { return *5; }")
+        .to_string()
+        .contains("dereference"));
+}
+
+#[test]
+fn parse_errors_are_reported_with_lines() {
+    let e = compile_err("int main() {\n  int x = ;\n}");
+    assert!(e.to_string().contains("line 2"), "{e}");
+    assert!(compile_err("int main() { if x { } }").to_string().contains("expected"));
+}
+
+#[test]
+fn link_errors_identify_the_caller() {
+    let e = compile_err("int main() { return helper(); }\nint helper();");
+    // `helper` declared? The dialect has no prototypes: this is a parse
+    // error (function needs a body).
+    assert!(e.to_string().contains("expected"), "{e}");
+    let e2 = compile_err("void f() { g(); }\nvoid g() { f(); }\nint notmain() { return 0; }");
+    assert!(e2.to_string().contains("_start") || e2.to_string().contains("main"), "{e2}");
+}
+
+#[test]
+fn lexer_rejects_bad_tokens() {
+    assert!(compile_err("int main() { return 1 $ 2; }")
+        .to_string()
+        .contains("unexpected character"));
+    assert!(compile_err("#include <stdio.h>\nint main() { return 0; }")
+        .to_string()
+        .contains("unsupported preprocessor"));
+}
+
+#[test]
+fn division_by_zero_constant_is_not_folded_into_ub() {
+    // 1/0 in dead code must not break compilation; at runtime it traps.
+    let program = compile(
+        "int main() { int z = 0; return 1 / z; }",
+        &CompileOptions::new(FloatMode::Hard),
+    )
+    .unwrap();
+    let mut machine = Machine::boot(&program.words);
+    assert!(machine.run(10_000).is_err());
+}
+
+#[test]
+fn emitted_program_symbols_include_functions() {
+    let program = compile(
+        "int helper(int v) { return v + 1; }\nint main() { return helper(1); }",
+        &CompileOptions::new(FloatMode::Hard),
+    )
+    .unwrap();
+    assert!(program.symbol("main").is_some());
+    assert!(program.symbol("helper").is_some());
+    assert!(program.symbol("_start") == Some(program.base));
+    // Disassembly renders every text word.
+    let dump = program.disassemble();
+    assert_eq!(dump.lines().count(), program.text_words);
+}
+
+#[test]
+fn double_constant_pool_is_deduplicated_and_aligned() {
+    // The same literal appearing many times must intern to one pool
+    // entry, and pool entries must be 8-aligned for `lddf`.
+    let src = "double f(double x) { return x * 3.25 + 3.25 - 3.25 / 3.25; }\n\
+               int main() { return (int)f(2.0); }";
+    let program = compile(src, &CompileOptions::new(FloatMode::Hard)).unwrap();
+    let pool_syms: Vec<(&String, &u32)> = program
+        .symbols
+        .iter()
+        .filter(|(n, _)| n.starts_with("__dconst"))
+        .collect();
+    assert_eq!(pool_syms.len(), 1, "{pool_syms:?}");
+    for (_, &addr) in &pool_syms {
+        assert_eq!(addr % 8, 0, "pool entry misaligned");
+    }
+    // And the program still computes correctly.
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load_image(program.base, &program.words);
+    let r = machine.run(1_000_000).unwrap();
+    assert_eq!(r.exit_code, (2.0f64 * 3.25 + 3.25 - 1.0) as u32);
+}
+
+#[test]
+fn globals_are_reachability_pruned() {
+    let src = "int used = 5;\nint unused[1000];\nint main() { return used; }";
+    let program = compile(src, &CompileOptions::new(FloatMode::Hard)).unwrap();
+    assert!(program.symbol("used").is_some());
+    assert_eq!(program.symbol("unused"), None);
+    // The image must be far smaller than the 4 KB the dead array
+    // would occupy.
+    assert!(program.words.len() < 500, "{} words", program.words.len());
+}

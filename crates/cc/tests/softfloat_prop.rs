@@ -1,0 +1,197 @@
+//! Property-based differential testing of the soft-float runtime: for
+//! random 64-bit patterns (covering NaN, infinities, subnormals and
+//! zeros), every operation computed by the simulated soft-float
+//! library must match the host's IEEE-754 double arithmetic bit for
+//! bit (NaN results compared as "is NaN", since payloads are
+//! implementation-defined).
+
+use nfp_cc::{compile, CompileOptions, FloatMode, Program};
+use nfp_sim::{Machine, MachineConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Address the harness writes test vectors to (inside RAM, well above
+/// any image).
+const INPUT_BASE: u32 = 0x4100_0000;
+
+const DRIVER: &str = "
+void emit64(u64 v) { emit((uint)(v >> 32)); emit((uint)v); }
+int main() {
+    uint* in = (uint*)0x41000000;
+    int n = (int)in[0];
+    int op = (int)in[1];
+    uint* p = in + 2;
+    for (int i = 0; i < n; i = i + 1) {
+        u64 a = ((u64)p[0] << 32) | (u64)p[1];
+        u64 b = ((u64)p[2] << 32) | (u64)p[3];
+        p = p + 4;
+        double x = __bitsd(a);
+        double y = __bitsd(b);
+        double r;
+        if (op == 0) { r = x + y; }
+        else if (op == 1) { r = x - y; }
+        else if (op == 2) { r = x * y; }
+        else if (op == 3) { r = x / y; }
+        else if (op == 4) { r = sqrt(x); }
+        else { r = fabs(x); }
+        emit64(__dbits(r));
+        emit((uint)(x < y) | ((uint)(x <= y) << 1) | ((uint)(x == y) << 2)
+             | ((uint)(x != y) << 3) | ((uint)(x > y) << 4) | ((uint)(x >= y) << 5));
+    }
+    return 0;
+}
+";
+
+fn driver_program() -> &'static Program {
+    static PROG: OnceLock<Program> = OnceLock::new();
+    PROG.get_or_init(|| {
+        compile(DRIVER, &CompileOptions::new(FloatMode::Soft)).expect("driver compiles")
+    })
+}
+
+/// Runs a batch of (a, b) operand pairs through operation `op` on the
+/// FPU-less simulated core.
+fn run_batch(op: u32, pairs: &[(u64, u64)]) -> Vec<(u64, u32)> {
+    let program = driver_program();
+    let mut machine = Machine::new(MachineConfig {
+        fpu_enabled: false,
+        ..MachineConfig::default()
+    });
+    machine.load_image(program.base, &program.words);
+    let mut input = Vec::with_capacity(8 + pairs.len() * 16);
+    input.extend_from_slice(&(pairs.len() as u32).to_be_bytes());
+    input.extend_from_slice(&op.to_be_bytes());
+    for (a, b) in pairs {
+        input.extend_from_slice(&a.to_be_bytes());
+        input.extend_from_slice(&b.to_be_bytes());
+    }
+    machine.bus.write_bytes(INPUT_BASE, &input);
+    let result = machine
+        .run(200_000_000 + pairs.len() as u64 * 1_000_000)
+        .expect("batch run failed");
+    result
+        .words
+        .chunks_exact(3)
+        .map(|c| (((c[0] as u64) << 32) | c[1] as u64, c[2]))
+        .collect()
+}
+
+fn native(op: u32, a: f64, b: f64) -> f64 {
+    match op {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        3 => a / b,
+        4 => a.sqrt(),
+        _ => a.abs(),
+    }
+}
+
+fn native_cmp_bits(a: f64, b: f64) -> u32 {
+    (a < b) as u32
+        | ((a <= b) as u32) << 1
+        | ((a == b) as u32) << 2
+        | ((a != b) as u32) << 3
+        | ((a > b) as u32) << 4
+        | ((a >= b) as u32) << 5
+}
+
+fn check_batch(op: u32, pairs: &[(u64, u64)]) {
+    let results = run_batch(op, pairs);
+    assert_eq!(results.len(), pairs.len());
+    for ((abits, bbits), (got_bits, got_cmp)) in pairs.iter().zip(results) {
+        let a = f64::from_bits(*abits);
+        let b = f64::from_bits(*bbits);
+        let want = native(op, a, b);
+        let got = f64::from_bits(got_bits);
+        if want.is_nan() {
+            assert!(
+                got.is_nan(),
+                "op {op}: {a:e} ({abits:#x}), {b:e} ({bbits:#x}): expected NaN, got {got:e}"
+            );
+        } else {
+            assert_eq!(
+                got_bits,
+                want.to_bits(),
+                "op {op}: {a:e} ({abits:#x}), {b:e} ({bbits:#x}): got {got:e}, want {want:e}"
+            );
+        }
+        assert_eq!(
+            got_cmp,
+            native_cmp_bits(a, b),
+            "comparison bits for {a:e} vs {b:e}"
+        );
+    }
+}
+
+/// Deliberately nasty values: zeros, subnormals, boundaries, NaN, inf.
+fn edge_values() -> Vec<u64> {
+    vec![
+        0x0000_0000_0000_0000, // +0
+        0x8000_0000_0000_0000, // -0
+        0x0000_0000_0000_0001, // smallest subnormal
+        0x800f_ffff_ffff_ffff, // largest negative subnormal
+        0x0010_0000_0000_0000, // smallest normal
+        0x3ff0_0000_0000_0000, // 1.0
+        0x3ff0_0000_0000_0001, // 1.0 + ulp
+        0xbff0_0000_0000_0000, // -1.0
+        0x7fef_ffff_ffff_ffff, // max finite
+        0x7ff0_0000_0000_0000, // +inf
+        0xfff0_0000_0000_0000, // -inf
+        0x7ff8_0000_0000_0000, // qNaN
+        0x7ff0_0000_0000_0001, // sNaN
+        0x4340_0000_0000_0000, // 2^53
+        0x4330_0000_0000_0001, // 2^52 + ulp
+        0x3cb0_0000_0000_0000, // 2^-52
+        0x4059_0000_0000_0000, // 100.0
+        0x3fd5_5555_5555_5555, // ~1/3
+    ]
+}
+
+#[test]
+fn edge_case_matrix_all_ops() {
+    let values = edge_values();
+    let mut pairs = Vec::new();
+    for &a in &values {
+        for &b in &values {
+            pairs.push((a, b));
+        }
+    }
+    for op in 0..6 {
+        check_batch(op, &pairs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_bit_patterns_match_native(
+        pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 32),
+        op in 0u32..6,
+    ) {
+        check_batch(op, &pairs);
+    }
+
+    #[test]
+    fn random_normal_arithmetic_matches_native(
+        pairs in prop::collection::vec(
+            (
+                (-1.0e300f64..1.0e300).prop_map(f64::to_bits),
+                (-1.0e300f64..1.0e300).prop_map(f64::to_bits),
+            ),
+            32,
+        ),
+        op in 0u32..4,
+    ) {
+        check_batch(op, &pairs);
+    }
+
+    #[test]
+    fn subnormal_neighbourhood(
+        pairs in prop::collection::vec((0u64..0x20_0000_0000_0000, 0u64..0x20_0000_0000_0000), 32),
+        op in 0u32..4,
+    ) {
+        check_batch(op, &pairs);
+    }
+}

@@ -1,0 +1,98 @@
+//! Design-space exploration: the paper's Table IV use case.
+//!
+//! Given per-kernel (time, energy) results for two hardware
+//! configurations — here: without and with an FPU — compute the mean
+//! relative change of each non-functional property plus the area
+//! change, so a developer can decide whether the FPU is worth its
+//! logical elements (Section VI-D).
+
+use nfp_testbed::AreaModel;
+
+/// One kernel's non-functional properties under one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelNfp {
+    /// Processing time in seconds.
+    pub time_s: f64,
+    /// Energy in joules.
+    pub energy_j: f64,
+}
+
+/// Table IV row set for one algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpuTradeoff {
+    /// Mean relative change of energy when introducing the FPU
+    /// (negative = saving; paper: −92.6 % for FSE).
+    pub energy_change: f64,
+    /// Mean relative change of processing time.
+    pub time_change: f64,
+    /// Relative change in logical elements (paper: +109 %).
+    pub area_change: f64,
+}
+
+/// Computes the FPU trade-off over paired kernel results:
+/// `without[i]` and `with[i]` must describe the same kernel compiled
+/// for the FPU-less (soft-float) and FPU (hard-float) configurations.
+///
+/// # Panics
+/// Panics if the slices are empty or of different lengths.
+pub fn fpu_tradeoff(without: &[KernelNfp], with: &[KernelNfp]) -> FpuTradeoff {
+    assert_eq!(without.len(), with.len(), "kernel sets must pair up");
+    assert!(!without.is_empty(), "no kernels");
+    let mut e_sum = 0.0;
+    let mut t_sum = 0.0;
+    for (a, b) in without.iter().zip(with) {
+        e_sum += (b.energy_j - a.energy_j) / a.energy_j;
+        t_sum += (b.time_s - a.time_s) / a.time_s;
+    }
+    let n = without.len() as f64;
+    FpuTradeoff {
+        energy_change: e_sum / n,
+        time_change: t_sum / n,
+        area_change: AreaModel::baseline().relative_change_to(&AreaModel::with_fpu()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tradeoff_averages_relative_changes() {
+        let without = [
+            KernelNfp {
+                time_s: 10.0,
+                energy_j: 10.0,
+            },
+            KernelNfp {
+                time_s: 20.0,
+                energy_j: 20.0,
+            },
+        ];
+        let with = [
+            KernelNfp {
+                time_s: 1.0,
+                energy_j: 2.0,
+            },
+            KernelNfp {
+                time_s: 2.0,
+                energy_j: 4.0,
+            },
+        ];
+        let t = fpu_tradeoff(&without, &with);
+        assert!((t.time_change + 0.9).abs() < 1e-12);
+        assert!((t.energy_change + 0.8).abs() < 1e-12);
+        assert!(t.area_change > 1.0); // FPU roughly doubles the area
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        fpu_tradeoff(
+            &[KernelNfp {
+                time_s: 1.0,
+                energy_j: 1.0,
+            }],
+            &[],
+        );
+    }
+}

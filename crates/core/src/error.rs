@@ -1,0 +1,76 @@
+//! Estimation-error metrics (paper Eq. 3 and Table III).
+
+/// Relative estimation error `ε = (x̂ − x_meas) / x_meas` (Eq. 3).
+pub fn relative_error(estimated: f64, measured: f64) -> f64 {
+    (estimated - measured) / measured
+}
+
+/// Error summary over a kernel set (the two rows of Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Mean absolute relative error, `ε̄ = (1/M) Σ |ε_m|`.
+    pub mean_abs: f64,
+    /// Maximum absolute relative error, `ε_max = max |ε_m|`.
+    pub max_abs: f64,
+    /// Number of kernels M.
+    pub kernels: usize,
+}
+
+impl ErrorSummary {
+    /// Summarises a slice of signed relative errors.
+    ///
+    /// # Panics
+    /// Panics on an empty slice — a summary over zero kernels is
+    /// meaningless.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        assert!(!errors.is_empty(), "no kernels to summarise");
+        let mean_abs = errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64;
+        let max_abs = errors.iter().map(|e| e.abs()).fold(0.0, f64::max);
+        ErrorSummary {
+            mean_abs,
+            max_abs,
+            kernels: errors.len(),
+        }
+    }
+
+    /// Summarises (estimated, measured) pairs.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        let errors: Vec<f64> = pairs
+            .iter()
+            .map(|&(est, meas)| relative_error(est, meas))
+            .collect();
+        Self::from_errors(&errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_signs() {
+        assert!((relative_error(103.0, 100.0) - 0.03).abs() < 1e-12);
+        assert!((relative_error(97.0, 100.0) + 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mean_and_max() {
+        let s = ErrorSummary::from_errors(&[0.01, -0.03, 0.02]);
+        assert!((s.mean_abs - 0.02).abs() < 1e-12);
+        assert!((s.max_abs - 0.03).abs() < 1e-12);
+        assert_eq!(s.kernels, 3);
+    }
+
+    #[test]
+    fn summary_from_pairs() {
+        let s = ErrorSummary::from_pairs(&[(102.0, 100.0), (196.0, 200.0)]);
+        assert!((s.mean_abs - 0.02).abs() < 1e-12);
+        assert!((s.max_abs - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_summary_panics() {
+        ErrorSummary::from_errors(&[]);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! `nfp-core`: the paper's primary contribution — mechanistic
+//! estimation of non-functional properties (processing time and
+//! energy) from instruction-accurate simulation.
+//!
+//! Workflow (paper Sections IV–V):
+//!
+//! 1. **Calibrate** per-class specific costs on the (virtual) hardware
+//!    testbed with differential reference/test kernels —
+//!    [`calibration::calibrate`] regenerates Table I.
+//! 2. **Count** instructions per class on the fast ISS —
+//!    [`model::ClassCounter`] attached to an `nfp_sim::Machine`, or the
+//!    simulator's built-in Table I counters.
+//! 3. **Estimate** `Ê = Σ e_c·n_c`, `T̂ = Σ t_c·n_c` —
+//!    [`model::CostModel::estimate`] (Eq. 1).
+//! 4. **Evaluate** against testbed measurements with
+//!    [`error::ErrorSummary`] (Eq. 3, Table III) and drive design
+//!    decisions with [`dse::fpu_tradeoff`] (Table IV).
+//!
+//! The [`model::Coarse`] and [`model::Fine`] classifiers support the
+//! category-granularity ablation.
+
+pub mod calibration;
+pub mod consistency;
+pub mod dse;
+pub mod error;
+pub mod model;
+
+pub use calibration::{calibrate, calibrate_class, Calibration, ClassCalibration, UNROLL};
+pub use consistency::{check_structure, validate, Finding, Severity, Validation};
+pub use dse::{fpu_tradeoff, FpuTradeoff, KernelNfp};
+pub use error::{relative_error, ErrorSummary};
+pub use model::{
+    paper_table1, Classifier, ClassCounter, Coarse, CostModel, Estimate, Fine, Paper,
+};

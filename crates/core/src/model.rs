@@ -1,0 +1,266 @@
+//! The mechanistic cost model (paper Eq. 1) and instruction
+//! classifiers.
+//!
+//! `Ê = Σ_c e_c·n_c` and `T̂ = Σ_c t_c·n_c`: per-class specific
+//! energies/times multiplied by dynamic instruction counts. The paper
+//! uses nine classes (Table I); the [`Coarse`] and [`Fine`]
+//! classifiers exist for the granularity ablation (what happens with
+//! one class, or with integer multiply/divide split out).
+
+use nfp_sim::{ExecInfo, Observer};
+use nfp_sparc::{AluOp, Category, Instr, CATEGORY_COUNT};
+
+/// Maps instructions onto model classes. Classification must be
+/// static (a property of the decoded instruction), because the ISS
+/// counts instructions without dynamic context.
+pub trait Classifier {
+    /// Number of classes.
+    fn class_count(&self) -> usize;
+    /// Class index of an instruction.
+    fn classify(&self, instr: &Instr) -> usize;
+    /// Human-readable class name.
+    fn class_name(&self, class: usize) -> &'static str;
+}
+
+/// The paper's nine Table I categories.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Paper;
+
+impl Classifier for Paper {
+    fn class_count(&self) -> usize {
+        CATEGORY_COUNT
+    }
+    fn classify(&self, instr: &Instr) -> usize {
+        instr.category().index()
+    }
+    fn class_name(&self, class: usize) -> &'static str {
+        Category::ALL[class].name()
+    }
+}
+
+/// A single class: every instruction costs the same (the crudest
+/// mechanistic model; ablation baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Coarse;
+
+impl Classifier for Coarse {
+    fn class_count(&self) -> usize {
+        1
+    }
+    fn classify(&self, _instr: &Instr) -> usize {
+        0
+    }
+    fn class_name(&self, _class: usize) -> &'static str {
+        "Any instruction"
+    }
+}
+
+/// Eleven classes: Table I with integer multiply and divide split out
+/// of "Integer Arithmetic" (they have very different latencies on the
+/// iterative LEON3 units).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fine;
+
+/// Class indices of [`Fine`] beyond the paper's nine.
+pub const FINE_INT_MUL: usize = 9;
+/// Integer divide class of [`Fine`].
+pub const FINE_INT_DIV: usize = 10;
+
+impl Classifier for Fine {
+    fn class_count(&self) -> usize {
+        CATEGORY_COUNT + 2
+    }
+    fn classify(&self, instr: &Instr) -> usize {
+        if let Instr::Alu { op, .. } = instr {
+            match op {
+                AluOp::UMul | AluOp::UMulCc | AluOp::SMul | AluOp::SMulCc => return FINE_INT_MUL,
+                AluOp::UDiv | AluOp::UDivCc | AluOp::SDiv | AluOp::SDivCc => return FINE_INT_DIV,
+                _ => {}
+            }
+        }
+        instr.category().index()
+    }
+    fn class_name(&self, class: usize) -> &'static str {
+        match class {
+            FINE_INT_MUL => "Integer Multiply",
+            FINE_INT_DIV => "Integer Divide",
+            c => Category::ALL[c].name(),
+        }
+    }
+}
+
+/// Per-class instruction counter, attachable to a simulator run as an
+/// observer (the generalisation of the ISS's built-in nine counters).
+pub struct ClassCounter<C: Classifier> {
+    classifier: C,
+    counts: Vec<u64>,
+}
+
+impl<C: Classifier> ClassCounter<C> {
+    /// Zeroed counters for `classifier`.
+    pub fn new(classifier: C) -> Self {
+        let n = classifier.class_count();
+        ClassCounter {
+            classifier,
+            counts: vec![0; n],
+        }
+    }
+
+    /// The per-class counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total instructions counted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl<C: Classifier> Observer for ClassCounter<C> {
+    #[inline]
+    fn observe(&mut self, info: &ExecInfo) {
+        self.counts[self.classifier.classify(&info.instr)] += 1;
+    }
+}
+
+/// The calibrated model: specific time and energy per class
+/// (the paper's Table I content).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Specific time per class in seconds.
+    pub time_s: Vec<f64>,
+    /// Specific energy per class in joules.
+    pub energy_j: Vec<f64>,
+}
+
+/// An estimate produced by the model (Eq. 1).
+///
+/// ```
+/// use nfp_core::paper_table1;
+/// // One million integer instructions at the paper's Table I costs:
+/// let mut counts = [0u64; 9];
+/// counts[0] = 1_000_000; // Integer Arithmetic
+/// let est = paper_table1().estimate(&counts);
+/// assert!((est.time_s - 0.045).abs() < 1e-12);   // 45 ns each
+/// assert!((est.energy_j - 0.015).abs() < 1e-12); // 15 nJ each
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated processing time in seconds.
+    pub time_s: f64,
+    /// Estimated energy in joules.
+    pub energy_j: f64,
+}
+
+impl CostModel {
+    /// Applies Eq. 1 to a count vector.
+    ///
+    /// # Panics
+    /// Panics if `counts` has a different class count than the model.
+    pub fn estimate(&self, counts: &[u64]) -> Estimate {
+        assert_eq!(counts.len(), self.time_s.len(), "class count mismatch");
+        let mut time_s = 0.0;
+        let mut energy_j = 0.0;
+        for (i, &n) in counts.iter().enumerate() {
+            time_s += self.time_s[i] * n as f64;
+            energy_j += self.energy_j[i] * n as f64;
+        }
+        Estimate { time_s, energy_j }
+    }
+}
+
+/// The paper's published Table I values (nine classes, Table I
+/// order), for comparison against calibrated values in reports.
+pub fn paper_table1() -> CostModel {
+    CostModel {
+        time_s: vec![
+            45e-9, 238e-9, 700e-9, 376e-9, 46e-9, 41e-9, 46e-9, 431e-9, 612e-9,
+        ],
+        energy_j: vec![
+            15e-9, 76e-9, 229e-9, 166e-9, 13e-9, 13e-9, 14e-9, 431e-9, 88e-9,
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfp_sparc::{Operand, Reg};
+
+    fn add() -> Instr {
+        Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::o(0),
+            rs1: Reg::o(1),
+            op2: Operand::Imm(1),
+        }
+    }
+
+    fn mul() -> Instr {
+        Instr::Alu {
+            op: AluOp::SMul,
+            rd: Reg::o(0),
+            rs1: Reg::o(1),
+            op2: Operand::Imm(3),
+        }
+    }
+
+    #[test]
+    fn paper_classifier_matches_categories() {
+        let p = Paper;
+        assert_eq!(p.class_count(), 9);
+        assert_eq!(p.classify(&add()), Category::IntArith.index());
+        assert_eq!(p.classify(&Instr::NOP), Category::Nop.index());
+    }
+
+    #[test]
+    fn fine_classifier_splits_mul_div() {
+        let f = Fine;
+        assert_eq!(f.class_count(), 11);
+        assert_eq!(f.classify(&add()), Category::IntArith.index());
+        assert_eq!(f.classify(&mul()), FINE_INT_MUL);
+        let div = Instr::Alu {
+            op: AluOp::UDiv,
+            rd: Reg::o(0),
+            rs1: Reg::o(1),
+            op2: Operand::Imm(3),
+        };
+        assert_eq!(f.classify(&div), FINE_INT_DIV);
+        assert_eq!(f.class_name(FINE_INT_MUL), "Integer Multiply");
+    }
+
+    #[test]
+    fn coarse_maps_everything_to_one() {
+        let c = Coarse;
+        assert_eq!(c.classify(&add()), 0);
+        assert_eq!(c.classify(&Instr::NOP), 0);
+    }
+
+    #[test]
+    fn estimate_is_dot_product() {
+        let model = CostModel {
+            time_s: vec![1e-9, 10e-9],
+            energy_j: vec![2e-9, 20e-9],
+        };
+        let est = model.estimate(&[1000, 100]);
+        assert!((est.time_s - 2e-6).abs() < 1e-18);
+        assert!((est.energy_j - 4e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn paper_table1_has_nine_rows() {
+        let m = paper_table1();
+        assert_eq!(m.time_s.len(), 9);
+        assert_eq!(m.energy_j.len(), 9);
+        // Spot values from the paper.
+        assert_eq!(m.time_s[Category::MemLoad.index()], 700e-9);
+        assert_eq!(m.energy_j[Category::FpuDiv.index()], 431e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn estimate_rejects_wrong_length() {
+        paper_table1().estimate(&[0; 3]);
+    }
+}

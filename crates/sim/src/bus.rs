@@ -1,0 +1,369 @@
+//! Memory bus: a flat big-endian RAM plus memory-mapped devices.
+//!
+//! The layout follows the LEON3 convention of RAM at `0x4000_0000`.
+//! Devices claim address ranges outside RAM; the built-in
+//! [`ConsoleDevice`] provides the bare-metal "UART" the workloads use
+//! for output and result reporting.
+
+use std::fmt;
+
+/// Base address of RAM (LEON3 convention).
+pub const RAM_BASE: u32 = 0x4000_0000;
+
+/// Default RAM size: 64 MiB, comfortably larger than any workload image.
+pub const DEFAULT_RAM_SIZE: u32 = 64 << 20;
+
+/// Base address of the console device.
+pub const CONSOLE_BASE: u32 = 0x8000_0000;
+
+/// Console register: write a byte to the text output.
+pub const CONSOLE_TX: u32 = CONSOLE_BASE;
+
+/// Console register: write a 32-bit word to the structured result
+/// stream (used by workloads to emit checksums the harness verifies).
+pub const CONSOLE_EMIT: u32 = CONSOLE_BASE + 4;
+
+/// Access fault raised by the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BusFault {
+    /// No RAM or device claims the address.
+    Unmapped { addr: u32 },
+    /// The access is not naturally aligned for its width.
+    Misaligned { addr: u32, size: u32 },
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusFault::Unmapped { addr } => write!(f, "unmapped address 0x{addr:08x}"),
+            BusFault::Misaligned { addr, size } => {
+                write!(f, "misaligned {size}-byte access at 0x{addr:08x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// A memory-mapped device. Accesses are word-granular; the bus performs
+/// alignment checks before dispatching.
+#[allow(clippy::len_without_is_empty)] // a zero-length device is useless
+pub trait Device {
+    /// Inclusive start of the claimed range.
+    fn base(&self) -> u32;
+    /// Length of the claimed range in bytes.
+    fn len(&self) -> u32;
+    /// Word load at `addr` (already validated to be in range).
+    fn load(&mut self, addr: u32) -> u32;
+    /// Word store at `addr`.
+    fn store(&mut self, addr: u32, value: u32);
+}
+
+/// The console/host device: text output plus a structured word stream.
+#[derive(Debug, Default)]
+pub struct ConsoleDevice {
+    /// Accumulated text written through [`CONSOLE_TX`].
+    pub text: String,
+    /// Accumulated words written through [`CONSOLE_EMIT`].
+    pub words: Vec<u32>,
+}
+
+impl Device for ConsoleDevice {
+    fn base(&self) -> u32 {
+        CONSOLE_BASE
+    }
+    fn len(&self) -> u32 {
+        8
+    }
+    fn load(&mut self, _addr: u32) -> u32 {
+        0
+    }
+    fn store(&mut self, addr: u32, value: u32) {
+        if addr == CONSOLE_TX {
+            self.text.push((value & 0xff) as u8 as char);
+        } else {
+            self.words.push(value);
+        }
+    }
+}
+
+/// The system bus: RAM plus registered devices.
+pub struct Bus {
+    ram: Vec<u8>,
+    ram_base: u32,
+    /// The console is built in so the run harness can read it back
+    /// without downcasting.
+    pub console: ConsoleDevice,
+    devices: Vec<Box<dyn Device>>,
+}
+
+impl Bus {
+    /// A bus with the default RAM configuration.
+    pub fn new() -> Self {
+        Self::with_ram(RAM_BASE, DEFAULT_RAM_SIZE)
+    }
+
+    /// A bus with RAM of `size` bytes at `base`.
+    pub fn with_ram(base: u32, size: u32) -> Self {
+        Bus {
+            ram: vec![0; size as usize],
+            ram_base: base,
+            console: ConsoleDevice::default(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// Registers an additional device.
+    pub fn add_device(&mut self, dev: Box<dyn Device>) {
+        self.devices.push(dev);
+    }
+
+    /// The RAM base address.
+    pub fn ram_base(&self) -> u32 {
+        self.ram_base
+    }
+
+    /// The RAM size in bytes.
+    pub fn ram_size(&self) -> u32 {
+        self.ram.len() as u32
+    }
+
+    #[inline]
+    fn ram_index(&self, addr: u32) -> Option<usize> {
+        let off = addr.wrapping_sub(self.ram_base);
+        if (off as usize) < self.ram.len() {
+            Some(off as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Bulk-loads `bytes` into RAM at `addr` (harness use; panics on
+    /// out-of-range, which indicates a mis-built image).
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let idx = self
+            .ram_index(addr)
+            .expect("image write outside RAM");
+        assert!(
+            idx + bytes.len() <= self.ram.len(),
+            "image write overruns RAM"
+        );
+        self.ram[idx..idx + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Bulk-reads RAM (harness use).
+    pub fn read_bytes(&self, addr: u32, len: usize) -> &[u8] {
+        let idx = self.ram_index(addr).expect("read outside RAM");
+        &self.ram[idx..idx + len]
+    }
+
+    #[inline]
+    fn check_align(addr: u32, size: u32) -> Result<(), BusFault> {
+        if !addr.is_multiple_of(size) {
+            Err(BusFault::Misaligned { addr, size })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// 8-bit load.
+    #[inline]
+    pub fn load8(&mut self, addr: u32) -> Result<u8, BusFault> {
+        match self.ram_index(addr) {
+            Some(i) => Ok(self.ram[i]),
+            None => Ok(self.device_load(addr)? as u8),
+        }
+    }
+
+    /// 16-bit big-endian load.
+    #[inline]
+    pub fn load16(&mut self, addr: u32) -> Result<u16, BusFault> {
+        Self::check_align(addr, 2)?;
+        match self.ram_index(addr) {
+            Some(i) => Ok(u16::from_be_bytes([self.ram[i], self.ram[i + 1]])),
+            None => Ok(self.device_load(addr)? as u16),
+        }
+    }
+
+    /// 32-bit big-endian load.
+    #[inline]
+    pub fn load32(&mut self, addr: u32) -> Result<u32, BusFault> {
+        Self::check_align(addr, 4)?;
+        match self.ram_index(addr) {
+            Some(i) => Ok(u32::from_be_bytes([
+                self.ram[i],
+                self.ram[i + 1],
+                self.ram[i + 2],
+                self.ram[i + 3],
+            ])),
+            None => self.device_load(addr),
+        }
+    }
+
+    /// 64-bit big-endian load (for `ldd`).
+    #[inline]
+    pub fn load64(&mut self, addr: u32) -> Result<u64, BusFault> {
+        Self::check_align(addr, 8)?;
+        let hi = self.load32(addr)? as u64;
+        let lo = self.load32(addr + 4)? as u64;
+        Ok((hi << 32) | lo)
+    }
+
+    /// 8-bit store.
+    #[inline]
+    pub fn store8(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
+        match self.ram_index(addr) {
+            Some(i) => {
+                self.ram[i] = value;
+                Ok(())
+            }
+            None => self.device_store(addr, value as u32),
+        }
+    }
+
+    /// 16-bit big-endian store.
+    #[inline]
+    pub fn store16(&mut self, addr: u32, value: u16) -> Result<(), BusFault> {
+        Self::check_align(addr, 2)?;
+        match self.ram_index(addr) {
+            Some(i) => {
+                self.ram[i..i + 2].copy_from_slice(&value.to_be_bytes());
+                Ok(())
+            }
+            None => self.device_store(addr, value as u32),
+        }
+    }
+
+    /// 32-bit big-endian store.
+    #[inline]
+    pub fn store32(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
+        Self::check_align(addr, 4)?;
+        match self.ram_index(addr) {
+            Some(i) => {
+                self.ram[i..i + 4].copy_from_slice(&value.to_be_bytes());
+                Ok(())
+            }
+            None => self.device_store(addr, value),
+        }
+    }
+
+    /// 64-bit big-endian store (for `std`).
+    #[inline]
+    pub fn store64(&mut self, addr: u32, value: u64) -> Result<(), BusFault> {
+        Self::check_align(addr, 8)?;
+        self.store32(addr, (value >> 32) as u32)?;
+        self.store32(addr + 4, value as u32)
+    }
+
+    #[cold]
+    fn device_load(&mut self, addr: u32) -> Result<u32, BusFault> {
+        if addr.wrapping_sub(self.console.base()) < self.console.len() {
+            return Ok(self.console.load(addr));
+        }
+        for dev in &mut self.devices {
+            if addr.wrapping_sub(dev.base()) < dev.len() {
+                return Ok(dev.load(addr));
+            }
+        }
+        Err(BusFault::Unmapped { addr })
+    }
+
+    #[cold]
+    fn device_store(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
+        if addr.wrapping_sub(self.console.base()) < self.console.len() {
+            self.console.store(addr, value);
+            return Ok(());
+        }
+        for dev in &mut self.devices {
+            if addr.wrapping_sub(dev.base()) < dev.len() {
+                dev.store(addr, value);
+                return Ok(());
+            }
+        }
+        Err(BusFault::Unmapped { addr })
+    }
+}
+
+impl Default for Bus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_bus() -> Bus {
+        Bus::with_ram(RAM_BASE, 4096)
+    }
+
+    #[test]
+    fn big_endian_word_layout() {
+        let mut bus = small_bus();
+        bus.store32(RAM_BASE, 0x1122_3344).unwrap();
+        assert_eq!(bus.load8(RAM_BASE).unwrap(), 0x11);
+        assert_eq!(bus.load8(RAM_BASE + 3).unwrap(), 0x44);
+        assert_eq!(bus.load16(RAM_BASE + 2).unwrap(), 0x3344);
+    }
+
+    #[test]
+    fn double_word_roundtrip() {
+        let mut bus = small_bus();
+        bus.store64(RAM_BASE + 8, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(bus.load64(RAM_BASE + 8).unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(bus.load32(RAM_BASE + 8).unwrap(), 0x0102_0304);
+    }
+
+    #[test]
+    fn misaligned_accesses_fault() {
+        let mut bus = small_bus();
+        assert_eq!(
+            bus.load32(RAM_BASE + 2),
+            Err(BusFault::Misaligned {
+                addr: RAM_BASE + 2,
+                size: 4
+            })
+        );
+        assert_eq!(
+            bus.store16(RAM_BASE + 1, 0),
+            Err(BusFault::Misaligned {
+                addr: RAM_BASE + 1,
+                size: 2
+            })
+        );
+        assert!(bus.load64(RAM_BASE + 4).is_err());
+    }
+
+    #[test]
+    fn unmapped_accesses_fault() {
+        let mut bus = small_bus();
+        assert_eq!(
+            bus.load32(0x1000_0000),
+            Err(BusFault::Unmapped { addr: 0x1000_0000 })
+        );
+        // one past the end of RAM
+        let end = RAM_BASE + 4096;
+        assert_eq!(bus.load8(end), Err(BusFault::Unmapped { addr: end }));
+    }
+
+    #[test]
+    fn console_collects_text_and_words() {
+        let mut bus = small_bus();
+        for b in b"hi" {
+            bus.store32(CONSOLE_TX, *b as u32).unwrap();
+        }
+        bus.store32(CONSOLE_EMIT, 0xabcd).unwrap();
+        assert_eq!(bus.console.text, "hi");
+        assert_eq!(bus.console.words, vec![0xabcd]);
+    }
+
+    #[test]
+    fn bulk_image_load() {
+        let mut bus = small_bus();
+        bus.write_bytes(RAM_BASE + 16, &[1, 2, 3, 4]);
+        assert_eq!(bus.read_bytes(RAM_BASE + 16, 4), &[1, 2, 3, 4]);
+        assert_eq!(bus.load32(RAM_BASE + 16).unwrap(), 0x0102_0304);
+    }
+}

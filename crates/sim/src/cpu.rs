@@ -1,0 +1,242 @@
+//! Architectural CPU state: windowed integer register file, PSR flags,
+//! Y register, FP register file, and the FSR condition code.
+
+use nfp_sparc::cond::FccValue;
+use nfp_sparc::{FReg, Reg};
+
+/// Number of register windows (LEON3 default configuration).
+pub const NWINDOWS: usize = 8;
+
+/// Integer condition codes (the `icc` field of the PSR).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Icc {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Overflow.
+    pub v: bool,
+    /// Carry.
+    pub c: bool,
+}
+
+/// Full architectural register state of the core.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Program counter of the instruction being executed.
+    pub pc: u32,
+    /// Next program counter (delay-slot architecture).
+    pub npc: u32,
+    /// Global registers `%g0-%g7`; index 0 is forced to zero on read.
+    globals: [u32; 8],
+    /// `ins` banks, one per window.
+    ins: [[u32; 8]; NWINDOWS],
+    /// `locals` banks, one per window.
+    locals: [[u32; 8]; NWINDOWS],
+    /// Current window pointer.
+    cwp: usize,
+    /// Nesting depth of `save`s, for overflow/underflow detection.
+    depth: usize,
+    /// Integer condition codes.
+    pub icc: Icc,
+    /// The multiply/divide Y register.
+    pub y: u32,
+    /// FP registers as raw 32-bit words; doubles live in even/odd pairs
+    /// with the even register holding the high word (big-endian).
+    pub f: [u32; 32],
+    /// FP condition code from the last `fcmp`.
+    pub fcc: FccValue,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpu {
+    /// A reset CPU: all registers zero, `fcc` = equal, window 0.
+    pub fn new() -> Self {
+        Cpu {
+            pc: 0,
+            npc: 4,
+            globals: [0; 8],
+            ins: [[0; 8]; NWINDOWS],
+            locals: [[0; 8]; NWINDOWS],
+            cwp: 0,
+            depth: 0,
+            icc: Icc::default(),
+            y: 0,
+            f: [0; 32],
+            fcc: FccValue::Equal,
+        }
+    }
+
+    /// Reads an integer register in the current window.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u32 {
+        let n = r.num() as usize;
+        match n {
+            0 => 0,
+            1..=7 => self.globals[n],
+            // outs of window w are the ins of window (w - 1) mod N
+            8..=15 => self.ins[(self.cwp + NWINDOWS - 1) % NWINDOWS][n - 8],
+            16..=23 => self.locals[self.cwp][n - 16],
+            _ => self.ins[self.cwp][n - 24],
+        }
+    }
+
+    /// Writes an integer register in the current window; writes to
+    /// `%g0` are discarded.
+    #[inline]
+    pub fn set(&mut self, r: Reg, value: u32) {
+        let n = r.num() as usize;
+        match n {
+            0 => {}
+            1..=7 => self.globals[n] = value,
+            8..=15 => self.ins[(self.cwp + NWINDOWS - 1) % NWINDOWS][n - 8] = value,
+            16..=23 => self.locals[self.cwp][n - 16] = value,
+            _ => self.ins[self.cwp][n - 24] = value,
+        }
+    }
+
+    /// Rotates to a new window (`save`). Returns `false` on window
+    /// overflow (more than `NWINDOWS - 2` nested saves), in which case
+    /// the state is unchanged.
+    #[must_use]
+    pub fn window_save(&mut self) -> bool {
+        if self.depth >= NWINDOWS - 2 {
+            return false;
+        }
+        self.depth += 1;
+        self.cwp = (self.cwp + NWINDOWS - 1) % NWINDOWS;
+        true
+    }
+
+    /// Rotates back to the previous window (`restore`). Returns `false`
+    /// on window underflow.
+    #[must_use]
+    pub fn window_restore(&mut self) -> bool {
+        if self.depth == 0 {
+            return false;
+        }
+        self.depth -= 1;
+        self.cwp = (self.cwp + 1) % NWINDOWS;
+        true
+    }
+
+    /// Current window nesting depth (0 at reset).
+    pub fn window_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Reads an FP register as raw bits.
+    #[inline]
+    pub fn fget(&self, r: FReg) -> u32 {
+        self.f[r.num() as usize]
+    }
+
+    /// Writes an FP register as raw bits.
+    #[inline]
+    pub fn fset(&mut self, r: FReg, bits: u32) {
+        self.f[r.num() as usize] = bits;
+    }
+
+    /// Reads an even/odd FP register pair as a double. The caller must
+    /// have validated that `r` is even.
+    #[inline]
+    pub fn fget_d(&self, r: FReg) -> f64 {
+        let n = r.num() as usize;
+        let bits = ((self.f[n] as u64) << 32) | self.f[n + 1] as u64;
+        f64::from_bits(bits)
+    }
+
+    /// Writes a double into an even/odd FP register pair.
+    #[inline]
+    pub fn fset_d(&mut self, r: FReg, value: f64) {
+        let bits = value.to_bits();
+        let n = r.num() as usize;
+        self.f[n] = (bits >> 32) as u32;
+        self.f[n + 1] = bits as u32;
+    }
+
+    /// Reads an FP register as a single.
+    #[inline]
+    pub fn fget_s(&self, r: FReg) -> f32 {
+        f32::from_bits(self.fget(r))
+    }
+
+    /// Writes an FP register as a single.
+    #[inline]
+    pub fn fset_s(&mut self, r: FReg, value: f32) {
+        self.fset(r, value.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g0_reads_zero_and_ignores_writes() {
+        let mut cpu = Cpu::new();
+        cpu.set(Reg::g(0), 0xdead);
+        assert_eq!(cpu.get(Reg::g(0)), 0);
+    }
+
+    #[test]
+    fn globals_are_window_independent() {
+        let mut cpu = Cpu::new();
+        cpu.set(Reg::g(3), 7);
+        assert!(cpu.window_save());
+        assert_eq!(cpu.get(Reg::g(3)), 7);
+    }
+
+    #[test]
+    fn outs_become_ins_across_save() {
+        let mut cpu = Cpu::new();
+        cpu.set(Reg::o(0), 11);
+        cpu.set(Reg::o(7), 99);
+        assert!(cpu.window_save());
+        assert_eq!(cpu.get(Reg::i(0)), 11);
+        assert_eq!(cpu.get(Reg::i(7)), 99);
+        // Locals are private to the new window.
+        cpu.set(Reg::l(0), 5);
+        assert!(cpu.window_restore());
+        assert_eq!(cpu.get(Reg::l(0)), 0);
+        assert_eq!(cpu.get(Reg::o(0)), 11);
+    }
+
+    #[test]
+    fn window_overflow_detected() {
+        let mut cpu = Cpu::new();
+        for _ in 0..NWINDOWS - 2 {
+            assert!(cpu.window_save());
+        }
+        assert!(!cpu.window_save());
+        assert_eq!(cpu.window_depth(), NWINDOWS - 2);
+    }
+
+    #[test]
+    fn window_underflow_detected() {
+        let mut cpu = Cpu::new();
+        assert!(!cpu.window_restore());
+    }
+
+    #[test]
+    fn double_registers_are_big_endian_pairs() {
+        let mut cpu = Cpu::new();
+        cpu.fset_d(FReg::new(2), 1.5);
+        let bits = 1.5f64.to_bits();
+        assert_eq!(cpu.fget(FReg::new(2)), (bits >> 32) as u32);
+        assert_eq!(cpu.fget(FReg::new(3)), bits as u32);
+        assert_eq!(cpu.fget_d(FReg::new(2)), 1.5);
+    }
+
+    #[test]
+    fn single_roundtrip() {
+        let mut cpu = Cpu::new();
+        cpu.fset_s(FReg::new(1), -3.25);
+        assert_eq!(cpu.fget_s(FReg::new(1)), -3.25);
+    }
+}

@@ -1,0 +1,428 @@
+//! The simulated machine: image loading, predecode, and the run loop.
+//!
+//! Loading an image predecodes every word once (the analogue of OVP's
+//! morphing: the expensive decode happens once and execution dispatches
+//! on the predecoded form). Per-category counters are incremented
+//! inline in the run loop, not through callbacks, mirroring the
+//! implementation note in Section III of the paper.
+
+use crate::bus::{Bus, RAM_BASE};
+use crate::cpu::Cpu;
+use crate::exec::{step, NullObserver, Observer, StepOut, Trap};
+use nfp_sparc::{decode, Category, CategoryCounts, Instr};
+
+/// Software trap number used by programs to halt (`ta 0`); the exit
+/// code is read from `%o0`.
+pub const TRAP_EXIT: u32 = 0;
+
+/// Machine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// RAM size in bytes.
+    pub ram_size: u32,
+    /// Whether the FPU is present (Table IV's design choice).
+    pub fpu_enabled: bool,
+    /// Whether per-category counters are maintained. Disabling them
+    /// gives the "plain ISS" point of the paper's Fig. 1.
+    pub count_categories: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            ram_size: crate::bus::DEFAULT_RAM_SIZE,
+            fpu_enabled: true,
+            count_categories: true,
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The program executed `ta 0`; carries `%o0` as exit code.
+    Halted(u32),
+}
+
+/// Simulation-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum SimError {
+    /// An architectural trap with no bare-metal handler.
+    Trap(Trap),
+    /// A software trap number the host does not implement.
+    UnknownSoftTrap { pc: u32, trap: u32 },
+    /// The instruction budget ran out before the program halted.
+    BudgetExhausted { limit: u64 },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Trap(t) => write!(f, "unhandled trap: {t}"),
+            SimError::UnknownSoftTrap { pc, trap } => {
+                write!(f, "unknown software trap {trap} at 0x{pc:08x}")
+            }
+            SimError::BudgetExhausted { limit } => {
+                write!(f, "instruction budget of {limit} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<Trap> for SimError {
+    fn from(t: Trap) -> Self {
+        SimError::Trap(t)
+    }
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Exit code passed to `ta 0` in `%o0`.
+    pub exit_code: u32,
+    /// Dynamic instruction count.
+    pub instret: u64,
+    /// Per-category counts (all zero if counting was disabled).
+    pub counts: CategoryCounts,
+    /// Console text output.
+    pub text: String,
+    /// Structured result words emitted by the program.
+    pub words: Vec<u32>,
+}
+
+/// A loaded machine ready to run.
+pub struct Machine {
+    /// Architectural CPU state.
+    pub cpu: Cpu,
+    /// Memory and devices.
+    pub bus: Bus,
+    config: MachineConfig,
+    code_base: u32,
+    code: Vec<(Instr, Category)>,
+    counts: CategoryCounts,
+    instret: u64,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        Machine {
+            cpu: Cpu::new(),
+            bus: Bus::with_ram(RAM_BASE, config.ram_size),
+            config,
+            code_base: RAM_BASE,
+            code: Vec::new(),
+            counts: CategoryCounts::new(),
+            instret: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Loads `words` at `base`, predecodes them, sets the entry point
+    /// to `base`, and initialises the stack pointer below the top of
+    /// RAM.
+    pub fn load_image(&mut self, base: u32, words: &[u32]) {
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_be_bytes());
+        }
+        self.bus.write_bytes(base, &bytes);
+        self.code_base = base;
+        self.code = words
+            .iter()
+            .map(|&w| {
+                let i = decode(w);
+                let c = i.category();
+                (i, c)
+            })
+            .collect();
+        self.cpu.pc = base;
+        self.cpu.npc = base.wrapping_add(4);
+        // Stack: top of RAM minus a red zone, 8-byte aligned.
+        let sp = (RAM_BASE + self.config.ram_size - 4096) & !7;
+        self.cpu.set(nfp_sparc::regs::SP, sp);
+    }
+
+    /// Convenience constructor: default config, image at the RAM base.
+    pub fn boot(words: &[u32]) -> Self {
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_image(RAM_BASE, words);
+        m
+    }
+
+    /// Dynamic instruction count so far.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Per-category counters ("the simulator reads out these registers
+    /// and presents the results", paper §III).
+    pub fn counts(&self) -> &CategoryCounts {
+        &self.counts
+    }
+
+    /// Fetches the predecoded instruction at `pc`, falling back to
+    /// decoding from memory for execution outside the loaded image.
+    #[inline]
+    fn fetch(&mut self, pc: u32) -> Result<(Instr, Category), Trap> {
+        let idx = pc.wrapping_sub(self.code_base) as usize / 4;
+        if pc.is_multiple_of(4) && pc >= self.code_base && idx < self.code.len() {
+            Ok(self.code[idx])
+        } else {
+            self.fetch_slow(pc)
+        }
+    }
+
+    #[cold]
+    fn fetch_slow(&mut self, pc: u32) -> Result<(Instr, Category), Trap> {
+        if !pc.is_multiple_of(4) {
+            return Err(Trap::Misaligned {
+                pc,
+                addr: pc,
+                size: 4,
+            });
+        }
+        let word = self.bus.load32(pc).map_err(|_| Trap::Unmapped { pc, addr: pc })?;
+        let i = decode(word);
+        Ok((i, i.category()))
+    }
+
+    /// Runs until the program halts, an error occurs, or `max_instrs`
+    /// instructions have executed, without an observer (fast path).
+    pub fn run(&mut self, max_instrs: u64) -> Result<RunResult, SimError> {
+        self.run_observed(max_instrs, &mut NullObserver)
+    }
+
+    /// Runs with a per-instruction [`Observer`] (the detailed hardware
+    /// model attaches here).
+    pub fn run_observed<O: Observer>(
+        &mut self,
+        max_instrs: u64,
+        obs: &mut O,
+    ) -> Result<RunResult, SimError> {
+        let counting = self.config.count_categories;
+        let fpu = self.config.fpu_enabled;
+        let limit = self.instret.saturating_add(max_instrs);
+        loop {
+            if self.instret >= limit {
+                return Err(SimError::BudgetExhausted { limit: max_instrs });
+            }
+            let (instr, cat) = self.fetch(self.cpu.pc)?;
+            let outcome = step(&mut self.cpu, &mut self.bus, &instr, fpu, obs)?;
+            self.instret += 1;
+            if counting {
+                self.counts.bump(cat);
+            }
+            match outcome {
+                StepOut::Normal => {}
+                StepOut::SoftTrap(TRAP_EXIT) => {
+                    let exit_code = self.cpu.get(nfp_sparc::Reg::o(0));
+                    return Ok(RunResult {
+                        exit_code,
+                        instret: self.instret,
+                        counts: self.counts,
+                        text: self.bus.console.text.clone(),
+                        words: self.bus.console.words.clone(),
+                    });
+                }
+                StepOut::SoftTrap(trap) => {
+                    return Err(SimError::UnknownSoftTrap {
+                        pc: self.cpu.pc,
+                        trap,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfp_sparc::asm::Assembler;
+    use nfp_sparc::cond::ICond;
+    use nfp_sparc::regs::G0;
+    use nfp_sparc::{AluOp, Reg};
+
+    fn run_asm(build: impl FnOnce(&mut Assembler)) -> RunResult {
+        let mut a = Assembler::new(RAM_BASE);
+        build(&mut a);
+        let words = a.finish().expect("assembly failed");
+        let mut m = Machine::boot(&words);
+        m.run(1_000_000).expect("run failed")
+    }
+
+    #[test]
+    fn exit_code_comes_from_o0() {
+        let r = run_asm(|a| {
+            a.mov(42, Reg::o(0));
+            a.ta(0);
+            a.nop();
+        });
+        assert_eq!(r.exit_code, 42);
+        assert_eq!(r.instret, 2);
+    }
+
+    #[test]
+    fn counted_loop_has_expected_category_counts() {
+        // for (i = 10; i != 0; i--) {}  -- 10 iterations
+        let r = run_asm(|a| {
+            a.mov(10, Reg::l(0));
+            a.label("loop");
+            a.alu(AluOp::SubCc, Reg::l(0), 1, Reg::l(0));
+            a.b(ICond::Ne, "loop");
+            a.nop();
+            a.mov(0, Reg::o(0));
+            a.ta(0);
+            a.nop();
+        });
+        // 1 mov + 10 subcc + 10 branches + 10 delay nops + 1 mov + 1 ta
+        assert_eq!(r.counts[Category::IntArith], 12);
+        assert_eq!(r.counts[Category::Jump], 10);
+        assert_eq!(r.counts[Category::Nop], 10);
+        assert_eq!(r.counts[Category::Other], 1);
+        assert_eq!(r.instret, 33);
+    }
+
+    #[test]
+    fn console_output() {
+        let r = run_asm(|a| {
+            a.set32(crate::bus::CONSOLE_TX, Reg::l(0));
+            a.mov(b'O' as i32, Reg::l(1));
+            a.st(nfp_sparc::MemSize::Word, Reg::l(1), Reg::l(0), 0);
+            a.mov(b'K' as i32, Reg::l(1));
+            a.st(nfp_sparc::MemSize::Word, Reg::l(1), Reg::l(0), 0);
+            a.mov(7, Reg::l(1));
+            a.st(nfp_sparc::MemSize::Word, Reg::l(1), Reg::l(0), 4);
+            a.mov(0, Reg::o(0));
+            a.ta(0);
+            a.nop();
+        });
+        assert_eq!(r.text, "OK");
+        assert_eq!(r.words, vec![7]);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut a = Assembler::new(RAM_BASE);
+        a.label("spin").ba("spin").nop();
+        let words = a.finish().unwrap();
+        let mut m = Machine::boot(&words);
+        assert!(matches!(
+            m.run(100),
+            Err(SimError::BudgetExhausted { limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn unhandled_trap_is_an_error() {
+        let mut m = Machine::boot(&[0]); // unimp 0
+        assert!(matches!(m.run(10), Err(SimError::Trap(Trap::Illegal { .. }))));
+    }
+
+    #[test]
+    fn unknown_soft_trap_is_an_error() {
+        let mut a = Assembler::new(RAM_BASE);
+        a.ta(99).nop();
+        let words = a.finish().unwrap();
+        let mut m = Machine::boot(&words);
+        assert!(matches!(
+            m.run(10),
+            Err(SimError::UnknownSoftTrap { trap: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn call_and_retl() {
+        let r = run_asm(|a| {
+            a.mov(5, Reg::o(0));
+            a.call("double_it");
+            a.nop();
+            a.ta(0);
+            a.nop();
+            a.label("double_it");
+            a.alu(AluOp::Add, Reg::o(0), Operand::Reg(Reg::o(0)), Reg::o(0));
+            a.retl();
+            a.nop();
+        });
+        assert_eq!(r.exit_code, 10);
+    }
+
+    use nfp_sparc::Operand;
+
+    #[test]
+    fn counting_can_be_disabled() {
+        let mut a = Assembler::new(RAM_BASE);
+        a.mov(0, Reg::o(0)).ta(0).nop();
+        let words = a.finish().unwrap();
+        let mut m = Machine::new(MachineConfig {
+            count_categories: false,
+            ..MachineConfig::default()
+        });
+        m.load_image(RAM_BASE, &words);
+        let r = m.run(100).unwrap();
+        assert_eq!(r.counts.total(), 0);
+        assert_eq!(r.instret, 2);
+    }
+
+    #[test]
+    fn stack_pointer_is_initialised() {
+        let mut m = Machine::new(MachineConfig {
+            ram_size: 1 << 20,
+            ..MachineConfig::default()
+        });
+        m.load_image(RAM_BASE, &[0x0100_0000]);
+        let sp = m.cpu.get(nfp_sparc::regs::SP);
+        assert_eq!(sp % 8, 0);
+        assert!(sp > RAM_BASE && sp < RAM_BASE + (1 << 20));
+    }
+
+    #[test]
+    fn execution_outside_image_decodes_from_memory() {
+        // Write a tiny program into RAM *by hand* beyond the image and
+        // jump to it.
+        let mut a = Assembler::new(RAM_BASE);
+        a.set32(RAM_BASE + 0x1000, Reg::l(0));
+        // store `mov 9, %o0` and `ta 0; nop` at 0x1000
+        let prog = [
+            nfp_sparc::encode(Instr::Alu {
+                op: AluOp::Or,
+                rd: Reg::o(0),
+                rs1: G0,
+                op2: Operand::Imm(9),
+            }),
+            nfp_sparc::encode(Instr::Ticc {
+                cond: ICond::A,
+                rs1: G0,
+                op2: Operand::Imm(0),
+            }),
+            nfp_sparc::encode(Instr::NOP),
+        ];
+        for (k, w) in prog.iter().enumerate() {
+            a.set32(*w, Reg::l(1));
+            a.st(
+                nfp_sparc::MemSize::Word,
+                Reg::l(1),
+                Reg::l(0),
+                (k * 4) as i32,
+            );
+        }
+        a.push(Instr::Jmpl {
+            rd: G0,
+            rs1: Reg::l(0),
+            op2: Operand::Imm(0),
+        });
+        a.nop();
+        let words = a.finish().unwrap();
+        let mut m = Machine::boot(&words);
+        let r = m.run(1000).unwrap();
+        assert_eq!(r.exit_code, 9);
+    }
+}

@@ -1,0 +1,261 @@
+//! Simulator integration tests with hand-assembled programs:
+//! register-window call chains, memory patterns, FPU sequences, and
+//! failure injection.
+
+use nfp_sim::{Machine, MachineConfig, RunResult, SimError, Trap, RAM_BASE};
+use nfp_sparc::asm::Assembler;
+use nfp_sparc::cond::{FCond, ICond};
+use nfp_sparc::{AluOp, FReg, FpOp, MemSize, Operand, Reg};
+
+fn run(words: &[u32]) -> RunResult {
+    Machine::boot(words).run(10_000_000).expect("run failed")
+}
+
+#[test]
+fn windowed_function_calls() {
+    // A classic windowed call: callee uses save/restore; caller's %o0
+    // becomes callee's %i0.
+    let mut a = Assembler::new(RAM_BASE);
+    a.mov(21, Reg::o(0));
+    a.call("dbl");
+    a.nop();
+    a.ta(0);
+    a.nop();
+    a.label("dbl");
+    a.push(nfp_sparc::Instr::Save {
+        rd: nfp_sparc::regs::SP,
+        rs1: nfp_sparc::regs::SP,
+        op2: Operand::Imm(-96),
+    });
+    a.alu(AluOp::Add, Reg::i(0), Operand::Reg(Reg::i(0)), Reg::i(0));
+    // return to caller: ret = jmpl %i7 + 8; restore moves %i0 -> %o0
+    a.push(nfp_sparc::Instr::Jmpl {
+        rd: nfp_sparc::regs::G0,
+        rs1: Reg::i(7),
+        op2: Operand::Imm(8),
+    });
+    a.push(nfp_sparc::Instr::Restore {
+        rd: Reg::o(0),
+        rs1: Reg::i(0),
+        op2: Operand::Imm(0),
+    });
+    let r = run(&a.finish().unwrap());
+    assert_eq!(r.exit_code, 42);
+}
+
+#[test]
+fn deep_recursion_overflows_windows() {
+    // save without restore, repeated more than NWINDOWS times, traps.
+    let mut a = Assembler::new(RAM_BASE);
+    a.mov(20, Reg::g(1));
+    a.label("loop");
+    a.push(nfp_sparc::Instr::Save {
+        rd: nfp_sparc::regs::SP,
+        rs1: nfp_sparc::regs::SP,
+        op2: Operand::Imm(-96),
+    });
+    a.alu(AluOp::SubCc, Reg::g(1), 1, Reg::g(1));
+    a.b(ICond::Ne, "loop");
+    a.nop();
+    a.ta(0);
+    a.nop();
+    let mut m = Machine::boot(&a.finish().unwrap());
+    match m.run(10_000) {
+        Err(SimError::Trap(Trap::WindowOverflow { .. })) => {}
+        other => panic!("expected window overflow, got {other:?}"),
+    }
+}
+
+#[test]
+fn memcpy_like_loop() {
+    // Copy 64 bytes between two RAM regions and verify via emit.
+    let src = RAM_BASE + 0x2000;
+    let dst = RAM_BASE + 0x3000;
+    let mut a = Assembler::new(RAM_BASE);
+    // fill source: src[i] = i*3
+    a.set32(src, Reg::l(0));
+    a.mov(0, Reg::l(1));
+    a.label("fill");
+    a.alu(AluOp::SMul, Reg::l(1), 3, Reg::l(2));
+    a.st(MemSize::Byte, Reg::l(2), Reg::l(0), Operand::Reg(Reg::l(1)));
+    a.alu(AluOp::Add, Reg::l(1), 1, Reg::l(1));
+    a.alu(AluOp::SubCc, Reg::l(1), 64, nfp_sparc::regs::G0);
+    a.b(ICond::Ne, "fill");
+    a.nop();
+    // copy
+    a.set32(dst, Reg::l(3));
+    a.mov(0, Reg::l(1));
+    a.label("copy");
+    a.ld(MemSize::Byte, false, Reg::l(0), Operand::Reg(Reg::l(1)), Reg::l(2));
+    a.st(MemSize::Byte, Reg::l(2), Reg::l(3), Operand::Reg(Reg::l(1)));
+    a.alu(AluOp::Add, Reg::l(1), 1, Reg::l(1));
+    a.alu(AluOp::SubCc, Reg::l(1), 64, nfp_sparc::regs::G0);
+    a.b(ICond::Ne, "copy");
+    a.nop();
+    // checksum destination words
+    a.mov(0, Reg::l(4));
+    a.mov(0, Reg::l(1));
+    a.label("sum");
+    a.ld(MemSize::Word, false, Reg::l(3), Operand::Reg(Reg::l(1)), Reg::l(2));
+    a.alu(AluOp::Add, Reg::l(4), Operand::Reg(Reg::l(2)), Reg::l(4));
+    a.alu(AluOp::Add, Reg::l(1), 4, Reg::l(1));
+    a.alu(AluOp::SubCc, Reg::l(1), 64, nfp_sparc::regs::G0);
+    a.b(ICond::Ne, "sum");
+    a.nop();
+    a.set32(nfp_sim::bus::CONSOLE_EMIT, Reg::l(0));
+    a.st(MemSize::Word, Reg::l(4), Reg::l(0), 0);
+    a.mov(0, Reg::o(0));
+    a.ta(0);
+    a.nop();
+    let r = run(&a.finish().unwrap());
+    // Expected: sum of big-endian words of bytes i*3 (mod 256).
+    let bytes: Vec<u8> = (0..64u32).map(|i| (i * 3) as u8).collect();
+    let expect: u32 = bytes
+        .chunks(4)
+        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .fold(0u32, |acc, w| acc.wrapping_add(w));
+    assert_eq!(r.words, vec![expect]);
+}
+
+#[test]
+fn fpu_pipeline_sequence() {
+    // d = sqrt(3*3 + 4*4) computed with FPU instructions.
+    let mut a = Assembler::new(RAM_BASE);
+    a.sethi_hi("c3", Reg::l(0));
+    a.or_lo("c3", Reg::l(0));
+    a.lddf(Reg::l(0), 0, FReg::new(0));
+    a.lddf(Reg::l(0), 8, FReg::new(2));
+    a.fpop(FpOp::FMulD, FReg::new(0), FReg::new(0), FReg::new(4)); // 9
+    a.fpop(FpOp::FMulD, FReg::new(2), FReg::new(2), FReg::new(6)); // 16
+    a.fpop(FpOp::FAddD, FReg::new(4), FReg::new(6), FReg::new(8)); // 25
+    a.fpop(FpOp::FSqrtD, FReg::new(0), FReg::new(8), FReg::new(10)); // 5
+    // compare against 5.0 and branch
+    a.lddf(Reg::l(0), 16, FReg::new(12));
+    a.push(nfp_sparc::Instr::FCmp {
+        double: true,
+        exception: false,
+        rs1: FReg::new(10),
+        rs2: FReg::new(12),
+    });
+    a.nop();
+    a.fb(FCond::E, "equal");
+    a.nop();
+    a.mov(1, Reg::o(0));
+    a.ta(0);
+    a.nop();
+    a.label("equal");
+    a.mov(0, Reg::o(0));
+    a.ta(0);
+    a.nop();
+    if a.here() % 2 == 1 {
+        a.word(0);
+    }
+    a.label("c3");
+    let b3 = 3.0f64.to_bits();
+    let b4 = 4.0f64.to_bits();
+    let b5 = 5.0f64.to_bits();
+    a.word((b3 >> 32) as u32).word(b3 as u32);
+    a.word((b4 >> 32) as u32).word(b4 as u32);
+    a.word((b5 >> 32) as u32).word(b5 as u32);
+    let r = run(&a.finish().unwrap());
+    assert_eq!(r.exit_code, 0, "sqrt(25) == 5.0 branch not taken");
+}
+
+#[test]
+fn misaligned_access_traps() {
+    let mut a = Assembler::new(RAM_BASE);
+    a.set32(RAM_BASE + 0x1001, Reg::l(0));
+    a.ld(MemSize::Word, false, Reg::l(0), 0, Reg::l(1));
+    a.ta(0);
+    a.nop();
+    let mut m = Machine::boot(&a.finish().unwrap());
+    assert!(matches!(
+        m.run(100),
+        Err(SimError::Trap(Trap::Misaligned { .. }))
+    ));
+}
+
+#[test]
+fn unmapped_access_traps() {
+    let mut a = Assembler::new(RAM_BASE);
+    a.set32(0x1000_0000, Reg::l(0));
+    a.ld(MemSize::Word, false, Reg::l(0), 0, Reg::l(1));
+    a.ta(0);
+    a.nop();
+    let mut m = Machine::boot(&a.finish().unwrap());
+    assert!(matches!(
+        m.run(100),
+        Err(SimError::Trap(Trap::Unmapped { .. }))
+    ));
+}
+
+#[test]
+fn division_by_zero_traps() {
+    let mut a = Assembler::new(RAM_BASE);
+    a.mov(5, Reg::l(0));
+    a.mov(0, Reg::l(1));
+    a.push(nfp_sparc::Instr::WrY {
+        rs1: nfp_sparc::regs::G0,
+        op2: Operand::Imm(0),
+    });
+    a.alu(AluOp::UDiv, Reg::l(0), Operand::Reg(Reg::l(1)), Reg::l(2));
+    a.ta(0);
+    a.nop();
+    let mut m = Machine::boot(&a.finish().unwrap());
+    assert!(matches!(
+        m.run(100),
+        Err(SimError::Trap(Trap::DivZero { .. }))
+    ));
+}
+
+#[test]
+fn annulled_delay_slots_do_not_execute() {
+    // ba,a over an instruction that would corrupt the result.
+    let mut a = Assembler::new(RAM_BASE);
+    a.mov(7, Reg::o(0));
+    a.b_a(ICond::A, "skip");
+    a.mov(99, Reg::o(0)); // annulled: must not run
+    a.label("skip");
+    a.ta(0);
+    a.nop();
+    let r = run(&a.finish().unwrap());
+    assert_eq!(r.exit_code, 7);
+}
+
+#[test]
+fn fpu_disabled_machine_rejects_fpu_programs() {
+    let mut a = Assembler::new(RAM_BASE);
+    a.fpop(FpOp::FAddD, FReg::new(0), FReg::new(2), FReg::new(4));
+    a.ta(0);
+    a.nop();
+    let words = a.finish().unwrap();
+    let mut m = Machine::new(MachineConfig {
+        fpu_enabled: false,
+        ..MachineConfig::default()
+    });
+    m.load_image(RAM_BASE, &words);
+    assert!(matches!(
+        m.run(100),
+        Err(SimError::Trap(Trap::FpDisabled { .. }))
+    ));
+}
+
+#[test]
+fn category_counters_are_exact_for_known_programs() {
+    // 5 loads + 5 stores + loop scaffolding, counted precisely.
+    let mut a = Assembler::new(RAM_BASE);
+    a.set32(RAM_BASE + 0x1000, Reg::l(0));
+    for i in 0..5 {
+        a.ld(MemSize::Word, false, Reg::l(0), i * 4, Reg::l(1));
+        a.st(MemSize::Word, Reg::l(1), Reg::l(0), i * 4 + 256);
+    }
+    a.mov(0, Reg::o(0));
+    a.ta(0);
+    a.nop();
+    let r = run(&a.finish().unwrap());
+    use nfp_sparc::Category;
+    assert_eq!(r.counts[Category::MemLoad], 5);
+    assert_eq!(r.counts[Category::MemStore], 5);
+    assert_eq!(r.counts[Category::Jump], 0);
+    assert_eq!(r.counts.total(), r.instret);
+}

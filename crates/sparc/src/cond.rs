@@ -1,0 +1,330 @@
+//! Integer and floating-point branch condition codes.
+
+use std::fmt;
+
+/// Integer condition codes (`Bicc`/`Ticc` `cond` field, SPARC V8 §B.21).
+///
+/// Evaluated against the `icc` flags N, Z, V, C in the PSR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ICond {
+    /// Never.
+    N = 0,
+    /// Equal (Z).
+    E = 1,
+    /// Less or equal, signed (Z or (N xor V)).
+    Le = 2,
+    /// Less, signed (N xor V).
+    L = 3,
+    /// Less or equal, unsigned (C or Z).
+    Leu = 4,
+    /// Carry set / less, unsigned (C).
+    Cs = 5,
+    /// Negative (N).
+    Neg = 6,
+    /// Overflow set (V).
+    Vs = 7,
+    /// Always.
+    A = 8,
+    /// Not equal (not Z).
+    Ne = 9,
+    /// Greater, signed.
+    G = 10,
+    /// Greater or equal, signed.
+    Ge = 11,
+    /// Greater, unsigned.
+    Gu = 12,
+    /// Carry clear / greater or equal, unsigned.
+    Cc = 13,
+    /// Positive (not N).
+    Pos = 14,
+    /// Overflow clear (not V).
+    Vc = 15,
+}
+
+impl ICond {
+    /// Decodes the 4-bit `cond` field.
+    pub fn from_bits(bits: u8) -> Self {
+        use ICond::*;
+        match bits & 0xf {
+            0 => N,
+            1 => E,
+            2 => Le,
+            3 => L,
+            4 => Leu,
+            5 => Cs,
+            6 => Neg,
+            7 => Vs,
+            8 => A,
+            9 => Ne,
+            10 => G,
+            11 => Ge,
+            12 => Gu,
+            13 => Cc,
+            14 => Pos,
+            _ => Vc,
+        }
+    }
+
+    /// The 4-bit encoding of this condition.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Evaluates the condition against the integer condition-code flags.
+    pub fn eval(self, n: bool, z: bool, v: bool, c: bool) -> bool {
+        use ICond::*;
+        match self {
+            N => false,
+            E => z,
+            Le => z || (n != v),
+            L => n != v,
+            Leu => c || z,
+            Cs => c,
+            Neg => n,
+            Vs => v,
+            A => true,
+            Ne => !z,
+            G => !(z || (n != v)),
+            Ge => n == v,
+            Gu => !(c || z),
+            Cc => !c,
+            Pos => !n,
+            Vc => !v,
+        }
+    }
+
+    /// The logically inverted condition (`b<cond>` taken iff the inverse
+    /// is not). Useful for branch synthesis in the compiler.
+    pub fn invert(self) -> Self {
+        ICond::from_bits(self.bits() ^ 8)
+    }
+}
+
+impl fmt::Display for ICond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ICond::*;
+        let s = match self {
+            N => "n",
+            E => "e",
+            Le => "le",
+            L => "l",
+            Leu => "leu",
+            Cs => "cs",
+            Neg => "neg",
+            Vs => "vs",
+            A => "a",
+            Ne => "ne",
+            G => "g",
+            Ge => "ge",
+            Gu => "gu",
+            Cc => "cc",
+            Pos => "pos",
+            Vc => "vc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The floating-point compare relation stored in the FSR `fcc` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FccValue {
+    /// Operands compared equal.
+    Equal,
+    /// First operand smaller.
+    Less,
+    /// First operand greater.
+    Greater,
+    /// Unordered (at least one NaN).
+    Unordered,
+}
+
+/// Floating-point branch conditions (`FBfcc` `cond` field, SPARC V8 §B.22).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FCond {
+    /// Never.
+    N = 0,
+    /// Not equal (L, G, or U).
+    Ne = 1,
+    /// Less or greater.
+    Lg = 2,
+    /// Unordered or less.
+    Ul = 3,
+    /// Less.
+    L = 4,
+    /// Unordered or greater.
+    Ug = 5,
+    /// Greater.
+    G = 6,
+    /// Unordered.
+    U = 7,
+    /// Always.
+    A = 8,
+    /// Equal.
+    E = 9,
+    /// Unordered or equal.
+    Ue = 10,
+    /// Greater or equal.
+    Ge = 11,
+    /// Unordered, greater, or equal.
+    Uge = 12,
+    /// Less or equal.
+    Le = 13,
+    /// Unordered, less, or equal.
+    Ule = 14,
+    /// Ordered.
+    O = 15,
+}
+
+impl FCond {
+    /// Decodes the 4-bit `cond` field.
+    pub fn from_bits(bits: u8) -> Self {
+        use FCond::*;
+        match bits & 0xf {
+            0 => N,
+            1 => Ne,
+            2 => Lg,
+            3 => Ul,
+            4 => L,
+            5 => Ug,
+            6 => G,
+            7 => U,
+            8 => A,
+            9 => E,
+            10 => Ue,
+            11 => Ge,
+            12 => Uge,
+            13 => Le,
+            14 => Ule,
+            _ => O,
+        }
+    }
+
+    /// The 4-bit encoding of this condition.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Evaluates the condition against an `fcc` relation.
+    pub fn eval(self, fcc: FccValue) -> bool {
+        use FccValue::*;
+        let (e, l, g, u) = match fcc {
+            Equal => (true, false, false, false),
+            Less => (false, true, false, false),
+            Greater => (false, false, true, false),
+            Unordered => (false, false, false, true),
+        };
+        use FCond::*;
+        match self {
+            N => false,
+            Ne => l || g || u,
+            Lg => l || g,
+            Ul => u || l,
+            L => l,
+            Ug => u || g,
+            G => g,
+            U => u,
+            A => true,
+            E => e,
+            Ue => u || e,
+            Ge => g || e,
+            Uge => u || g || e,
+            Le => l || e,
+            Ule => u || l || e,
+            O => e || l || g,
+        }
+    }
+}
+
+impl fmt::Display for FCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use FCond::*;
+        let s = match self {
+            N => "n",
+            Ne => "ne",
+            Lg => "lg",
+            Ul => "ul",
+            L => "l",
+            Ug => "ug",
+            G => "g",
+            U => "u",
+            A => "a",
+            E => "e",
+            Ue => "ue",
+            Ge => "ge",
+            Uge => "uge",
+            Le => "le",
+            Ule => "ule",
+            O => "o",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icond_roundtrip_bits() {
+        for b in 0..16u8 {
+            assert_eq!(ICond::from_bits(b).bits(), b);
+            assert_eq!(FCond::from_bits(b).bits(), b);
+        }
+    }
+
+    #[test]
+    fn icond_invert_is_logical_negation() {
+        // For every flag combination, cond and cond.invert() disagree.
+        for b in 0..16u8 {
+            let c = ICond::from_bits(b);
+            let ci = c.invert();
+            for flags in 0..16u8 {
+                let (n, z, v, cy) = (
+                    flags & 8 != 0,
+                    flags & 4 != 0,
+                    flags & 2 != 0,
+                    flags & 1 != 0,
+                );
+                assert_ne!(c.eval(n, z, v, cy), ci.eval(n, z, v, cy), "cond {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_comparison_semantics() {
+        // After `subcc 3, 5`: result -2 -> N=1, Z=0, V=0, C=1 (borrow).
+        assert!(ICond::L.eval(true, false, false, true));
+        assert!(!ICond::Ge.eval(true, false, false, true));
+        assert!(ICond::Leu.eval(true, false, false, true));
+        // After `subcc 5, 5`: Z=1.
+        assert!(ICond::E.eval(false, true, false, false));
+        assert!(ICond::Le.eval(false, true, false, false));
+        assert!(!ICond::Gu.eval(false, true, false, false));
+    }
+
+    #[test]
+    fn fcond_covers_partition() {
+        // For each relation exactly one of {E,L,G,U} branches taken,
+        // and A/N are constant.
+        for fcc in [
+            FccValue::Equal,
+            FccValue::Less,
+            FccValue::Greater,
+            FccValue::Unordered,
+        ] {
+            assert!(FCond::A.eval(fcc));
+            assert!(!FCond::N.eval(fcc));
+            let hits = [FCond::E, FCond::L, FCond::G, FCond::U]
+                .iter()
+                .filter(|c| c.eval(fcc))
+                .count();
+            assert_eq!(hits, 1);
+        }
+        assert!(FCond::Ne.eval(FccValue::Unordered));
+        assert!(!FCond::Lg.eval(FccValue::Unordered));
+        assert!(FCond::O.eval(FccValue::Equal));
+        assert!(!FCond::O.eval(FccValue::Unordered));
+    }
+}

@@ -1,0 +1,323 @@
+//! Binary instruction decoder (the "decoder" stage of the paper's Fig. 2).
+//!
+//! [`decode`] never fails: words that do not match any implemented
+//! pattern become [`Instr::Illegal`], which the simulator turns into an
+//! illegal-instruction trap at execution time, like real hardware.
+
+use crate::cond::{FCond, ICond};
+use crate::insn::{AluOp, FpOp, Instr, MemSize, Operand};
+use crate::regs::{FReg, Reg};
+
+fn reg(bits: u32) -> Reg {
+    Reg::new((bits & 0x1f) as u8)
+}
+
+fn freg(bits: u32) -> FReg {
+    FReg::new((bits & 0x1f) as u8)
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Extracts the `i`-selected second operand of a format-3 word.
+fn operand(word: u32) -> Operand {
+    if word & (1 << 13) != 0 {
+        Operand::Imm(sign_extend(word & 0x1fff, 13))
+    } else {
+        Operand::Reg(reg(word))
+    }
+}
+
+/// Decodes a 32-bit SPARC V8 instruction word.
+pub fn decode(word: u32) -> Instr {
+    match word >> 30 {
+        0b00 => decode_format2(word),
+        0b01 => Instr::Call {
+            disp30: sign_extend(word & 0x3fff_ffff, 30),
+        },
+        0b10 => decode_arith(word),
+        _ => decode_mem(word),
+    }
+}
+
+fn decode_format2(word: u32) -> Instr {
+    let op2 = (word >> 22) & 0x7;
+    match op2 {
+        0b100 => Instr::Sethi {
+            rd: reg(word >> 25),
+            imm22: word & 0x3f_ffff,
+        },
+        0b010 => Instr::Branch {
+            cond: ICond::from_bits(((word >> 25) & 0xf) as u8),
+            annul: word & (1 << 29) != 0,
+            disp22: sign_extend(word & 0x3f_ffff, 22),
+        },
+        0b110 => Instr::FBranch {
+            cond: FCond::from_bits(((word >> 25) & 0xf) as u8),
+            annul: word & (1 << 29) != 0,
+            disp22: sign_extend(word & 0x3f_ffff, 22),
+        },
+        0b000 => Instr::Unimp {
+            const22: word & 0x3f_ffff,
+        },
+        _ => Instr::Illegal { word },
+    }
+}
+
+fn decode_arith(word: u32) -> Instr {
+    let op3 = ((word >> 19) & 0x3f) as u8;
+    let rd = reg(word >> 25);
+    let rs1 = reg(word >> 14);
+    if let Some(op) = AluOp::from_op3(op3) {
+        return Instr::Alu {
+            op,
+            rd,
+            rs1,
+            op2: operand(word),
+        };
+    }
+    match op3 {
+        0b111000 => Instr::Jmpl {
+            rd,
+            rs1,
+            op2: operand(word),
+        },
+        0b111100 => Instr::Save {
+            rd,
+            rs1,
+            op2: operand(word),
+        },
+        0b111101 => Instr::Restore {
+            rd,
+            rs1,
+            op2: operand(word),
+        },
+        0b111010 => Instr::Ticc {
+            cond: ICond::from_bits(((word >> 25) & 0xf) as u8),
+            rs1,
+            op2: operand(word),
+        },
+        // rd %y only (ASR 0); other ASRs are unimplemented.
+        0b101000 if (word >> 14) & 0x1f == 0 => Instr::RdY { rd },
+        0b110000 if (word >> 25) & 0x1f == 0 => Instr::WrY {
+            rs1,
+            op2: operand(word),
+        },
+        0b111011 => Instr::Flush {
+            rs1,
+            op2: operand(word),
+        },
+        0b110100 => decode_fpop1(word),
+        0b110101 => decode_fpop2(word),
+        _ => Instr::Illegal { word },
+    }
+}
+
+fn decode_fpop1(word: u32) -> Instr {
+    let opf = ((word >> 5) & 0x1ff) as u16;
+    match FpOp::from_opf(opf) {
+        Some(op) => Instr::FpOp {
+            op,
+            rd: freg(word >> 25),
+            rs1: freg(word >> 14),
+            rs2: freg(word),
+        },
+        None => Instr::Illegal { word },
+    }
+}
+
+fn decode_fpop2(word: u32) -> Instr {
+    let opf = ((word >> 5) & 0x1ff) as u16;
+    let (double, exception) = match opf {
+        0x51 => (false, false),
+        0x52 => (true, false),
+        0x55 => (false, true),
+        0x56 => (true, true),
+        _ => return Instr::Illegal { word },
+    };
+    Instr::FCmp {
+        double,
+        exception,
+        rs1: freg(word >> 14),
+        rs2: freg(word),
+    }
+}
+
+fn decode_mem(word: u32) -> Instr {
+    let op3 = ((word >> 19) & 0x3f) as u8;
+    let rd = reg(word >> 25);
+    let rs1 = reg(word >> 14);
+    let op2 = operand(word);
+    let load = |size, signed| Instr::Load {
+        size,
+        signed,
+        rd,
+        rs1,
+        op2,
+    };
+    let store = |size| Instr::Store { size, rd, rs1, op2 };
+    match op3 {
+        0b000000 => load(MemSize::Word, false),
+        0b000001 => load(MemSize::Byte, false),
+        0b000010 => load(MemSize::Half, false),
+        0b000011 => load(MemSize::Double, false),
+        0b001001 => load(MemSize::Byte, true),
+        0b001010 => load(MemSize::Half, true),
+        0b000100 => store(MemSize::Word),
+        0b000101 => store(MemSize::Byte),
+        0b000110 => store(MemSize::Half),
+        0b000111 => store(MemSize::Double),
+        0b100000 => Instr::LoadF {
+            double: false,
+            rd: freg(word >> 25),
+            rs1,
+            op2,
+        },
+        0b100011 => Instr::LoadF {
+            double: true,
+            rd: freg(word >> 25),
+            rs1,
+            op2,
+        },
+        0b100100 => Instr::StoreF {
+            double: false,
+            rd: freg(word >> 25),
+            rs1,
+            op2,
+        },
+        0b100111 => Instr::StoreF {
+            double: true,
+            rd: freg(word >> 25),
+            rs1,
+            op2,
+        },
+        _ => Instr::Illegal { word },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::G0;
+
+    #[test]
+    fn decodes_nop() {
+        // The canonical NOP encoding is 0x01000000 (sethi 0, %g0).
+        assert_eq!(decode(0x0100_0000), Instr::NOP);
+    }
+
+    #[test]
+    fn decodes_add_imm() {
+        // add %o0, 42, %o1 = 10 01001 000000 01000 1 0000000101010
+        let word = (0b10 << 30) | (9 << 25) | (8 << 14) | (1 << 13) | 42;
+        assert_eq!(
+            decode(word),
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::o(1),
+                rs1: Reg::o(0),
+                op2: Operand::Imm(42),
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_negative_simm13() {
+        let word = (0b10 << 30) | (9 << 25) | (8 << 14) | (1 << 13) | 0x1fff;
+        assert_eq!(
+            decode(word),
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::o(1),
+                rs1: Reg::o(0),
+                op2: Operand::Imm(-1),
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_branch_with_annul() {
+        // ba,a -2
+        let disp = (-2i32 as u32) & 0x3f_ffff;
+        let word = (1 << 29) | (8 << 25) | (0b010 << 22) | disp;
+        assert_eq!(
+            decode(word),
+            Instr::Branch {
+                cond: ICond::A,
+                annul: true,
+                disp22: -2,
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_call_negative() {
+        let word = (0b01 << 30) | ((-5i32 as u32) & 0x3fff_ffff);
+        assert_eq!(decode(word), Instr::Call { disp30: -5 });
+    }
+
+    #[test]
+    fn decodes_fmuld() {
+        let word =
+            (0b10u32 << 30) | (4 << 25) | (0b110100 << 19) | (8 << 14) | (0x4a << 5) | 12;
+        assert_eq!(
+            decode(word),
+            Instr::FpOp {
+                op: FpOp::FMulD,
+                rd: FReg::new(4),
+                rs1: FReg::new(8),
+                rs2: FReg::new(12),
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_load_store_widths() {
+        // ld [%o0 + %o1], %l0
+        let word = (0b11u32 << 30) | (16 << 25) | (8 << 14) | 9;
+        assert_eq!(
+            decode(word),
+            Instr::Load {
+                size: MemSize::Word,
+                signed: false,
+                rd: Reg::l(0),
+                rs1: Reg::o(0),
+                op2: Operand::Reg(Reg::o(1)),
+            }
+        );
+        // stb %l0, [%o0 - 1]
+        let word = (0b11u32 << 30)
+            | (16 << 25)
+            | (0b000101 << 19)
+            | (8 << 14)
+            | (1 << 13)
+            | 0x1fff;
+        assert_eq!(
+            decode(word),
+            Instr::Store {
+                size: MemSize::Byte,
+                rd: Reg::l(0),
+                rs1: Reg::o(0),
+                op2: Operand::Imm(-1),
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_words_are_illegal_not_panic() {
+        for word in [0xffff_ffffu32, (0b10 << 30) | (0b101101 << 19)] {
+            match decode(word) {
+                Instr::Illegal { .. } => {}
+                other => panic!("expected Illegal, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unimp_zero_word() {
+        assert_eq!(decode(0), Instr::Unimp { const22: 0 });
+        let _ = G0; // silence unused import in some cfg combinations
+    }
+}

@@ -1,0 +1,224 @@
+//! Textual disassembly, in GNU `as` style.
+//!
+//! This is the "disassembler" stage of the paper's Fig. 2 — used for
+//! simulator debug output and for human-readable compiler dumps.
+
+use crate::insn::{Instr, MemSize, Operand};
+use std::fmt;
+
+struct Op2(Operand);
+
+impl fmt::Display for Op2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Formats `[rs1 + op2]` address syntax, eliding zero offsets.
+struct Addr(crate::Reg, Operand);
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.1 {
+            Operand::Imm(0) => write!(f, "[{}]", self.0),
+            Operand::Imm(v) if v < 0 => write!(f, "[{} - {}]", self.0, -(v as i64)),
+            _ => write!(f, "[{} + {}]", self.0, Op2(self.1)),
+        }
+    }
+}
+
+/// Disassembles one instruction. `pc` is used to resolve PC-relative
+/// branch/call targets to absolute addresses.
+pub fn disassemble(instr: &Instr, pc: u32) -> String {
+    use Instr::*;
+    match *instr {
+        i if i.is_nop() => "nop".to_string(),
+        Sethi { rd, imm22 } => format!("sethi %hi(0x{:x}), {rd}", imm22 << 10),
+        Branch {
+            cond,
+            annul,
+            disp22,
+        } => {
+            let target = pc.wrapping_add((disp22 as u32).wrapping_mul(4));
+            format!("b{cond}{} 0x{target:x}", if annul { ",a" } else { "" })
+        }
+        FBranch {
+            cond,
+            annul,
+            disp22,
+        } => {
+            let target = pc.wrapping_add((disp22 as u32).wrapping_mul(4));
+            format!("fb{cond}{} 0x{target:x}", if annul { ",a" } else { "" })
+        }
+        Call { disp30 } => {
+            let target = pc.wrapping_add((disp30 as u32).wrapping_mul(4));
+            format!("call 0x{target:x}")
+        }
+        Alu { op, rd, rs1, op2 } => {
+            format!("{} {rs1}, {}, {rd}", op.mnemonic(), Op2(op2))
+        }
+        Jmpl { rd, rs1, op2 } => format!("jmpl {rs1} + {}, {rd}", Op2(op2)),
+        RdY { rd } => format!("rd %y, {rd}"),
+        WrY { rs1, op2 } => format!("wr {rs1}, {}, %y", Op2(op2)),
+        Save { rd, rs1, op2 } => format!("save {rs1}, {}, {rd}", Op2(op2)),
+        Restore { rd, rs1, op2 } => format!("restore {rs1}, {}, {rd}", Op2(op2)),
+        Ticc { cond, rs1, op2 } => format!("t{cond} {rs1} + {}", Op2(op2)),
+        Flush { rs1, op2 } => format!("flush {rs1} + {}", Op2(op2)),
+        Load {
+            size,
+            signed,
+            rd,
+            rs1,
+            op2,
+        } => {
+            let m = match (size, signed) {
+                (MemSize::Word, _) => "ld",
+                (MemSize::Double, _) => "ldd",
+                (MemSize::Byte, false) => "ldub",
+                (MemSize::Byte, true) => "ldsb",
+                (MemSize::Half, false) => "lduh",
+                (MemSize::Half, true) => "ldsh",
+            };
+            format!("{m} {}, {rd}", Addr(rs1, op2))
+        }
+        Store { size, rd, rs1, op2 } => {
+            let m = match size {
+                MemSize::Word => "st",
+                MemSize::Double => "std",
+                MemSize::Byte => "stb",
+                MemSize::Half => "sth",
+            };
+            format!("{m} {rd}, {}", Addr(rs1, op2))
+        }
+        LoadF {
+            double,
+            rd,
+            rs1,
+            op2,
+        } => format!(
+            "{} {}, {rd}",
+            if double { "ldd" } else { "ld" },
+            Addr(rs1, op2)
+        ),
+        StoreF {
+            double,
+            rd,
+            rs1,
+            op2,
+        } => format!(
+            "{} {rd}, {}",
+            if double { "std" } else { "st" },
+            Addr(rs1, op2)
+        ),
+        FpOp { op, rd, rs1, rs2 } => {
+            if op.is_unary() {
+                format!("{} {rs2}, {rd}", op.mnemonic())
+            } else {
+                format!("{} {rs1}, {rs2}, {rd}", op.mnemonic())
+            }
+        }
+        FCmp {
+            double,
+            exception,
+            rs1,
+            rs2,
+        } => {
+            let m = match (double, exception) {
+                (false, false) => "fcmps",
+                (true, false) => "fcmpd",
+                (false, true) => "fcmpes",
+                (true, true) => "fcmped",
+            };
+            format!("{m} {rs1}, {rs2}")
+        }
+        Unimp { const22 } => format!("unimp 0x{const22:x}"),
+        Illegal { word } => format!(".word 0x{word:08x} ! illegal"),
+    }
+}
+
+/// Disassembles a code region, one line per word, with addresses.
+pub fn disassemble_block(words: &[u32], base: u32) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(words.len() * 32);
+    for (i, &w) in words.iter().enumerate() {
+        let pc = base + (i as u32) * 4;
+        let instr = crate::decode(w);
+        writeln!(out, "{pc:08x}:  {w:08x}  {}", disassemble(&instr, pc)).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::ICond;
+    use crate::insn::AluOp;
+    use crate::regs::{FReg, Reg};
+
+    #[test]
+    fn representative_text() {
+        assert_eq!(disassemble(&Instr::NOP, 0), "nop");
+        assert_eq!(
+            disassemble(
+                &Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::o(1),
+                    rs1: Reg::o(0),
+                    op2: Operand::Imm(42),
+                },
+                0
+            ),
+            "add %o0, 42, %o1"
+        );
+        assert_eq!(
+            disassemble(
+                &Instr::Branch {
+                    cond: ICond::Ne,
+                    annul: true,
+                    disp22: -1,
+                },
+                0x100
+            ),
+            "bne,a 0xfc"
+        );
+        assert_eq!(
+            disassemble(
+                &Instr::Load {
+                    size: MemSize::Word,
+                    signed: false,
+                    rd: Reg::l(0),
+                    rs1: Reg::o(0),
+                    op2: Operand::Imm(-4),
+                },
+                0
+            ),
+            "ld [%o0 - 4], %l0"
+        );
+        assert_eq!(
+            disassemble(
+                &Instr::FpOp {
+                    op: crate::insn::FpOp::FSqrtD,
+                    rd: FReg::new(2),
+                    rs1: FReg::new(0),
+                    rs2: FReg::new(4),
+                },
+                0
+            ),
+            "fsqrtd %f4, %f2"
+        );
+    }
+
+    #[test]
+    fn block_lines_carry_addresses() {
+        let words = [0x0100_0000u32, 0x0100_0000];
+        let text = disassemble_block(&words, 0x4000_0000);
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("40000000:"));
+        assert!(lines[1].starts_with("40000004:"));
+        assert!(lines[0].ends_with("nop"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Binary instruction encoder — the inverse of [`crate::decode()`].
+//!
+//! Encoding is canonical: unused fields (the `asi` byte of
+//! register-register memory forms, reserved bits) are emitted as zero,
+//! so `decode(encode(i)) == i` for every representable instruction.
+
+use crate::insn::{Instr, MemSize, Operand};
+use crate::regs::{FReg, Reg};
+
+fn rd_field(r: Reg) -> u32 {
+    (r.num() as u32) << 25
+}
+
+fn rs1_field(r: Reg) -> u32 {
+    (r.num() as u32) << 14
+}
+
+fn frd_field(r: FReg) -> u32 {
+    (r.num() as u32) << 25
+}
+
+fn frs1_field(r: FReg) -> u32 {
+    (r.num() as u32) << 14
+}
+
+fn op2_field(op2: Operand) -> u32 {
+    match op2 {
+        Operand::Reg(r) => r.num() as u32,
+        Operand::Imm(v) => {
+            assert!(
+                Operand::fits_simm13(v),
+                "immediate {v} does not fit simm13"
+            );
+            (1 << 13) | ((v as u32) & 0x1fff)
+        }
+    }
+}
+
+fn format3(op: u32, rd: u32, op3: u8, rs1: u32, rest: u32) -> u32 {
+    (op << 30) | rd | ((op3 as u32) << 19) | rs1 | rest
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// # Panics
+/// Panics if an immediate does not fit its field (`simm13`, `disp22`,
+/// `disp30`, `imm22`) or on [`Instr::Illegal`], which has no canonical
+/// encoding other than the original word it carries.
+pub fn encode(instr: Instr) -> u32 {
+    match instr {
+        Instr::Sethi { rd, imm22 } => {
+            assert!(imm22 <= 0x3f_ffff, "imm22 out of range");
+            rd_field(rd) | (0b100 << 22) | imm22
+        }
+        Instr::Branch {
+            cond,
+            annul,
+            disp22,
+        } => {
+            assert!((-0x20_0000..0x20_0000).contains(&disp22), "disp22 range");
+            ((annul as u32) << 29)
+                | ((cond.bits() as u32) << 25)
+                | (0b010 << 22)
+                | ((disp22 as u32) & 0x3f_ffff)
+        }
+        Instr::FBranch {
+            cond,
+            annul,
+            disp22,
+        } => {
+            assert!((-0x20_0000..0x20_0000).contains(&disp22), "disp22 range");
+            ((annul as u32) << 29)
+                | ((cond.bits() as u32) << 25)
+                | (0b110 << 22)
+                | ((disp22 as u32) & 0x3f_ffff)
+        }
+        Instr::Call { disp30 } => (0b01 << 30) | ((disp30 as u32) & 0x3fff_ffff),
+        Instr::Alu { op, rd, rs1, op2 } => {
+            format3(0b10, rd_field(rd), op.op3(), rs1_field(rs1), op2_field(op2))
+        }
+        Instr::Jmpl { rd, rs1, op2 } => {
+            format3(0b10, rd_field(rd), 0b111000, rs1_field(rs1), op2_field(op2))
+        }
+        Instr::RdY { rd } => format3(0b10, rd_field(rd), 0b101000, 0, 0),
+        Instr::WrY { rs1, op2 } => format3(0b10, 0, 0b110000, rs1_field(rs1), op2_field(op2)),
+        Instr::Save { rd, rs1, op2 } => {
+            format3(0b10, rd_field(rd), 0b111100, rs1_field(rs1), op2_field(op2))
+        }
+        Instr::Restore { rd, rs1, op2 } => {
+            format3(0b10, rd_field(rd), 0b111101, rs1_field(rs1), op2_field(op2))
+        }
+        Instr::Ticc { cond, rs1, op2 } => format3(
+            0b10,
+            (cond.bits() as u32) << 25,
+            0b111010,
+            rs1_field(rs1),
+            op2_field(op2),
+        ),
+        Instr::Flush { rs1, op2 } => {
+            format3(0b10, 0, 0b111011, rs1_field(rs1), op2_field(op2))
+        }
+        Instr::Load {
+            size,
+            signed,
+            rd,
+            rs1,
+            op2,
+        } => {
+            let op3 = match (size, signed) {
+                (MemSize::Word, _) => 0b000000,
+                (MemSize::Byte, false) => 0b000001,
+                (MemSize::Half, false) => 0b000010,
+                (MemSize::Double, _) => 0b000011,
+                (MemSize::Byte, true) => 0b001001,
+                (MemSize::Half, true) => 0b001010,
+            };
+            format3(0b11, rd_field(rd), op3, rs1_field(rs1), op2_field(op2))
+        }
+        Instr::Store { size, rd, rs1, op2 } => {
+            let op3 = match size {
+                MemSize::Word => 0b000100,
+                MemSize::Byte => 0b000101,
+                MemSize::Half => 0b000110,
+                MemSize::Double => 0b000111,
+            };
+            format3(0b11, rd_field(rd), op3, rs1_field(rs1), op2_field(op2))
+        }
+        Instr::LoadF {
+            double,
+            rd,
+            rs1,
+            op2,
+        } => {
+            let op3 = if double { 0b100011 } else { 0b100000 };
+            format3(0b11, frd_field(rd), op3, rs1_field(rs1), op2_field(op2))
+        }
+        Instr::StoreF {
+            double,
+            rd,
+            rs1,
+            op2,
+        } => {
+            let op3 = if double { 0b100111 } else { 0b100100 };
+            format3(0b11, frd_field(rd), op3, rs1_field(rs1), op2_field(op2))
+        }
+        Instr::FpOp { op, rd, rs1, rs2 } => format3(
+            0b10,
+            frd_field(rd),
+            0b110100,
+            frs1_field(rs1),
+            ((op.opf() as u32) << 5) | rs2.num() as u32,
+        ),
+        Instr::FCmp {
+            double,
+            exception,
+            rs1,
+            rs2,
+        } => {
+            let opf: u32 = match (double, exception) {
+                (false, false) => 0x51,
+                (true, false) => 0x52,
+                (false, true) => 0x55,
+                (true, true) => 0x56,
+            };
+            format3(
+                0b10,
+                0,
+                0b110101,
+                frs1_field(rs1),
+                (opf << 5) | rs2.num() as u32,
+            )
+        }
+        Instr::Unimp { const22 } => {
+            assert!(const22 <= 0x3f_ffff, "const22 out of range");
+            const22
+        }
+        Instr::Illegal { word } => word,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::insn::{AluOp, FpOp};
+    use crate::cond::{FCond, ICond};
+
+    fn roundtrip(i: Instr) {
+        assert_eq!(decode(encode(i)), i, "{i:?}");
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        let r = Reg::o(2);
+        let s = Reg::l(5);
+        let f = FReg::new(6);
+        let g = FReg::new(8);
+        for i in [
+            Instr::NOP,
+            Instr::Sethi {
+                rd: r,
+                imm22: 0x3f_ffff,
+            },
+            Instr::Branch {
+                cond: ICond::Ne,
+                annul: false,
+                disp22: -100,
+            },
+            Instr::FBranch {
+                cond: FCond::Ul,
+                annul: true,
+                disp22: 77,
+            },
+            Instr::Call { disp30: -123456 },
+            Instr::Alu {
+                op: AluOp::SubCc,
+                rd: r,
+                rs1: s,
+                op2: Operand::Imm(-4096),
+            },
+            Instr::Alu {
+                op: AluOp::Sll,
+                rd: r,
+                rs1: s,
+                op2: Operand::Reg(Reg::g(1)),
+            },
+            Instr::Jmpl {
+                rd: crate::regs::O7,
+                rs1: s,
+                op2: Operand::Imm(8),
+            },
+            Instr::RdY { rd: r },
+            Instr::WrY {
+                rs1: s,
+                op2: Operand::Imm(0),
+            },
+            Instr::Save {
+                rd: crate::regs::SP,
+                rs1: crate::regs::SP,
+                op2: Operand::Imm(-96),
+            },
+            Instr::Restore {
+                rd: Reg::g(0),
+                rs1: Reg::g(0),
+                op2: Operand::Reg(Reg::g(0)),
+            },
+            Instr::Ticc {
+                cond: ICond::A,
+                rs1: Reg::g(0),
+                op2: Operand::Imm(5),
+            },
+            Instr::Flush {
+                rs1: r,
+                op2: Operand::Imm(0),
+            },
+            Instr::Load {
+                size: MemSize::Half,
+                signed: true,
+                rd: r,
+                rs1: s,
+                op2: Operand::Imm(2),
+            },
+            Instr::Store {
+                size: MemSize::Double,
+                rd: Reg::o(0),
+                rs1: s,
+                op2: Operand::Imm(16),
+            },
+            Instr::LoadF {
+                double: true,
+                rd: f,
+                rs1: s,
+                op2: Operand::Imm(-8),
+            },
+            Instr::StoreF {
+                double: false,
+                rd: f,
+                rs1: s,
+                op2: Operand::Reg(r),
+            },
+            Instr::FpOp {
+                op: FpOp::FSqrtD,
+                rd: f,
+                rs1: FReg::new(0),
+                rs2: g,
+            },
+            Instr::FCmp {
+                double: true,
+                exception: false,
+                rs1: f,
+                rs2: g,
+            },
+            Instr::Unimp { const22: 42 },
+        ] {
+            roundtrip(i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_immediate_panics() {
+        encode(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::o(0),
+            rs1: Reg::o(0),
+            op2: Operand::Imm(5000),
+        });
+    }
+}

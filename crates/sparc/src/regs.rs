@@ -1,0 +1,154 @@
+//! Integer and floating-point register names.
+//!
+//! SPARC V8 exposes 32 integer registers per window (`%g0-%g7`,
+//! `%o0-%o7`, `%l0-%l7`, `%i0-%i7`) and 32 single-precision FP registers
+//! (`%f0-%f31`); double-precision values occupy even/odd pairs.
+
+use std::fmt;
+
+/// An integer register number in `0..32`.
+///
+/// `%g0` (register 0) reads as zero and discards writes, which the
+/// simulator enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its architectural number.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 32, "integer register number out of range");
+        Reg(n)
+    }
+
+    /// The architectural register number (`0..32`).
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    /// True for `%g0`, the hard-wired zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Global register `%gN` (`n < 8`).
+    pub const fn g(n: u8) -> Self {
+        assert!(n < 8);
+        Reg(n)
+    }
+
+    /// Output register `%oN` (`n < 8`).
+    pub const fn o(n: u8) -> Self {
+        assert!(n < 8);
+        Reg(8 + n)
+    }
+
+    /// Local register `%lN` (`n < 8`).
+    pub const fn l(n: u8) -> Self {
+        assert!(n < 8);
+        Reg(16 + n)
+    }
+
+    /// Input register `%iN` (`n < 8`).
+    pub const fn i(n: u8) -> Self {
+        assert!(n < 8);
+        Reg(24 + n)
+    }
+}
+
+/// `%g0`, the hard-wired zero register.
+pub const G0: Reg = Reg::g(0);
+/// `%o6`, the stack pointer in the SPARC ABI.
+pub const SP: Reg = Reg::o(6);
+/// `%i6`, the frame pointer in the windowed SPARC ABI.
+pub const FP: Reg = Reg::i(6);
+/// `%o7`, the call return-address register (written by `call`).
+pub const O7: Reg = Reg::o(7);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (bank, idx) = match self.0 {
+            n @ 0..=7 => ('g', n),
+            n @ 8..=15 => ('o', n - 8),
+            n @ 16..=23 => ('l', n - 16),
+            n => ('i', n - 24),
+        };
+        write!(f, "%{bank}{idx}")
+    }
+}
+
+/// A floating-point register number in `0..32`.
+///
+/// Double-precision operands use an even register number addressing the
+/// `(f[n], f[n+1])` pair; [`FReg::is_even`] checks alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates an FP register from its architectural number.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 32, "FP register number out of range");
+        FReg(n)
+    }
+
+    /// The architectural register number (`0..32`).
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    /// True if this register can hold the upper half of a double.
+    pub const fn is_even(self) -> bool {
+        self.0.is_multiple_of(2)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_banks_map_to_numbers() {
+        assert_eq!(Reg::g(3).num(), 3);
+        assert_eq!(Reg::o(0).num(), 8);
+        assert_eq!(Reg::l(7).num(), 23);
+        assert_eq!(Reg::i(6).num(), 30);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::g(0).to_string(), "%g0");
+        assert_eq!(Reg::o(6).to_string(), "%o6");
+        assert_eq!(Reg::l(2).to_string(), "%l2");
+        assert_eq!(Reg::i(7).to_string(), "%i7");
+        assert_eq!(FReg::new(10).to_string(), "%f10");
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(G0.is_zero());
+        assert!(!SP.is_zero());
+    }
+
+    #[test]
+    fn freg_parity() {
+        assert!(FReg::new(0).is_even());
+        assert!(!FReg::new(3).is_even());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_reg_panics() {
+        let _ = Reg::new(32);
+    }
+}

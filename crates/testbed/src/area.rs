@@ -1,0 +1,149 @@
+//! FPGA resource model: logical elements per synthesised component.
+//!
+//! The paper's Table IV reports the chip-area cost of adding an FPU as
+//! "+109 % logical elements", obtained from Quartus synthesis of the
+//! LEON3 configuration on the Cyclone IV. Synthesis is outside the
+//! scope of a simulator, so this module substitutes a component-level
+//! resource table with constants representative of a cacheless
+//! LEON3 + GRFPU build on that device family. The *decision-making
+//! use case* (trade area for time/energy) is fully preserved.
+
+use std::fmt;
+
+/// A synthesisable component of the SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// LEON3 integer unit (7-stage pipeline, register file).
+    IntegerUnit,
+    /// Hardware multiplier.
+    Multiplier,
+    /// Hardware divider.
+    Divider,
+    /// Memory controller (SDRAM, cacheless configuration).
+    MemoryController,
+    /// Debug support unit + UART (GRMON attachment).
+    DebugUart,
+    /// GRFPU-class double-precision floating-point unit.
+    Fpu,
+}
+
+impl Component {
+    /// Logical elements this component occupies.
+    pub fn logical_elements(self) -> u32 {
+        match self {
+            Component::IntegerUnit => 3180,
+            Component::Multiplier => 540,
+            Component::Divider => 310,
+            Component::MemoryController => 420,
+            Component::DebugUart => 150,
+            Component::Fpu => 5014,
+        }
+    }
+
+    /// Components of the baseline (FPU-less) configuration.
+    pub fn baseline() -> &'static [Component] {
+        &[
+            Component::IntegerUnit,
+            Component::Multiplier,
+            Component::Divider,
+            Component::MemoryController,
+            Component::DebugUart,
+        ]
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Component::IntegerUnit => "integer unit",
+            Component::Multiplier => "multiplier",
+            Component::Divider => "divider",
+            Component::MemoryController => "memory controller",
+            Component::DebugUart => "debug/UART",
+            Component::Fpu => "FPU",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Area model for a CPU configuration.
+#[derive(Debug, Clone)]
+pub struct AreaModel {
+    components: Vec<Component>,
+}
+
+impl AreaModel {
+    /// The baseline cacheless LEON3 configuration (no FPU).
+    pub fn baseline() -> Self {
+        AreaModel {
+            components: Component::baseline().to_vec(),
+        }
+    }
+
+    /// The baseline plus the FPU (the paper's second configuration).
+    pub fn with_fpu() -> Self {
+        let mut m = Self::baseline();
+        m.components.push(Component::Fpu);
+        m
+    }
+
+    /// Total logical elements of this configuration.
+    pub fn logical_elements(&self) -> u32 {
+        self.components
+            .iter()
+            .map(|c| c.logical_elements())
+            .sum()
+    }
+
+    /// The components in this configuration.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Relative change in logical elements going from `self` to
+    /// `other` (Table IV's third row: +1.09 for baseline -> FPU).
+    pub fn relative_change_to(&self, other: &AreaModel) -> f64 {
+        let a = self.logical_elements() as f64;
+        let b = other.logical_elements() as f64;
+        (b - a) / a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpu_roughly_doubles_logical_elements() {
+        let base = AreaModel::baseline();
+        let fpu = AreaModel::with_fpu();
+        let change = base.relative_change_to(&fpu);
+        // Paper Table IV: +109 %.
+        assert!(
+            (1.05..1.13).contains(&change),
+            "FPU area change {change:.3} outside the expected band"
+        );
+    }
+
+    #[test]
+    fn baseline_has_no_fpu() {
+        assert!(!AreaModel::baseline()
+            .components()
+            .contains(&Component::Fpu));
+        assert!(AreaModel::with_fpu().components().contains(&Component::Fpu));
+    }
+
+    #[test]
+    fn totals_are_component_sums() {
+        let base = AreaModel::baseline();
+        let total: u32 = Component::baseline()
+            .iter()
+            .map(|c| c.logical_elements())
+            .sum();
+        assert_eq!(base.logical_elements(), total);
+        assert_eq!(
+            AreaModel::with_fpu().logical_elements(),
+            total + Component::Fpu.logical_elements()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests of the cache extension (E8): the cached testbed
+//! must change measured workload behaviour in the direction theory
+//! predicts, while leaving the functional result untouched.
+
+use nfp_sim::{Machine, RAM_BASE};
+use nfp_sparc::asm::Assembler;
+use nfp_sparc::cond::ICond;
+use nfp_sparc::{AluOp, MemSize, Operand, Reg};
+use nfp_testbed::{CacheConfig, Testbed};
+
+/// A loop reading a small working set (fits the cache).
+fn hot_loop(iters: u32) -> Vec<u32> {
+    let mut a = Assembler::new(RAM_BASE);
+    a.sethi_hi("buf", Reg::l(1));
+    a.or_lo("buf", Reg::l(1));
+    a.set32(iters, Reg::l(0));
+    a.mov(0, Reg::l(2));
+    a.label("loop");
+    a.alu(AluOp::Add, Reg::l(2), 4, Reg::l(2));
+    a.alu(AluOp::And, Reg::l(2), 0x3c, Reg::l(3)); // 64-byte working set
+    a.ld(MemSize::Word, false, Reg::l(1), Operand::Reg(Reg::l(3)), Reg::l(4));
+    a.alu(AluOp::SubCc, Reg::l(0), 1, Reg::l(0));
+    a.b(ICond::Ne, "loop");
+    a.nop();
+    a.mov(0, Reg::o(0));
+    a.ta(0);
+    a.nop();
+    if a.here() % 2 == 1 {
+        a.word(0);
+    }
+    a.label("buf");
+    for k in 0..16u32 {
+        a.word(k);
+    }
+    a.finish().unwrap()
+}
+
+/// A loop streaming over a large region (every line misses).
+fn streaming_loop(iters: u32) -> Vec<u32> {
+    let mut a = Assembler::new(RAM_BASE);
+    a.set32(RAM_BASE + 0x10_0000, Reg::l(1));
+    a.set32(iters, Reg::l(0));
+    a.mov(0, Reg::l(2));
+    a.label("loop");
+    // stride of 64 bytes over a 1 MiB window: misses a 4 KiB cache
+    a.alu(AluOp::Add, Reg::l(2), 64, Reg::l(2));
+    a.set32(0xf_ffff, Reg::l(5));
+    a.alu(AluOp::And, Reg::l(2), Operand::Reg(Reg::l(5)), Reg::l(3));
+    a.ld(MemSize::Word, false, Reg::l(1), Operand::Reg(Reg::l(3)), Reg::l(4));
+    a.alu(AluOp::SubCc, Reg::l(0), 1, Reg::l(0));
+    a.b(ICond::Ne, "loop");
+    a.nop();
+    a.mov(0, Reg::o(0));
+    a.ta(0);
+    a.nop();
+    a.finish().unwrap()
+}
+
+fn measure(testbed: &Testbed, words: &[u32]) -> (f64, f64, u32) {
+    let mut machine = Machine::boot(words);
+    let r = testbed.run(&mut machine, 11, 1_000_000_000).unwrap();
+    (r.measurement.time_s, r.measurement.energy_j, r.run.exit_code)
+}
+
+#[test]
+fn cache_speeds_up_hot_working_sets() {
+    let words = hot_loop(100_000);
+    let plain = Testbed::new();
+    let cached = Testbed::with_cache(CacheConfig::default());
+    let (t_plain, e_plain, c1) = measure(&plain, &words);
+    let (t_cached, e_cached, c2) = measure(&cached, &words);
+    assert_eq!(c1, 0);
+    assert_eq!(c2, 0);
+    assert!(
+        t_cached < t_plain * 0.75,
+        "cache should clearly speed up a hot loop: {t_cached:.3} vs {t_plain:.3}"
+    );
+    assert!(e_cached < e_plain);
+}
+
+#[test]
+fn cache_slows_down_streaming_access() {
+    let words = streaming_loop(100_000);
+    let plain = Testbed::new();
+    let cached = Testbed::with_cache(CacheConfig::default());
+    let (t_plain, _, _) = measure(&plain, &words);
+    let (t_cached, _, _) = measure(&cached, &words);
+    assert!(
+        t_cached > t_plain,
+        "line fills should cost on pure streaming: {t_cached:.3} vs {t_plain:.3}"
+    );
+}
+
+#[test]
+fn functional_results_are_configuration_independent() {
+    // The cache is a timing model only: instruction counts and exit
+    // codes cannot change.
+    let words = hot_loop(10_000);
+    let mut m1 = Machine::boot(&words);
+    let r1 = Testbed::new().run(&mut m1, 3, 1_000_000_000).unwrap();
+    let mut m2 = Machine::boot(&words);
+    let r2 = Testbed::with_cache(CacheConfig::default())
+        .run(&mut m2, 3, 1_000_000_000)
+        .unwrap();
+    assert_eq!(r1.run.instret, r2.run.instret);
+    assert_eq!(r1.run.exit_code, r2.run.exit_code);
+    assert_ne!(r1.totals.cycles, r2.totals.cycles);
+}

@@ -1,0 +1,287 @@
+//! FSE as a mini-C program for the simulated LEON3 — the paper's
+//! double-precision, FFT-heavy workload.
+//!
+//! Generated from the same tables as the native reference; every
+//! floating-point operation appears in the same order as in
+//! [`super::native`], so the concealed images match bit-exactly.
+//!
+//! Memory protocol:
+//! * input at `0x4100_0000`: `u32` width, height, iterations, then
+//!   width×height image bytes, then width×height mask bytes (1 =
+//!   unknown sample);
+//! * output at `0x4200_0000`: the concealed image;
+//! * emitted word: FNV-1a of the concealed image bytes.
+
+use super::tables::{basis_tables, bit_reverse16, twiddles, GAMMA, RHO};
+use crate::pixels::Image;
+use std::fmt::Write;
+
+/// Maximum samples per image the static buffers allow.
+pub const MAX_SAMPLES: usize = 4096;
+
+fn fmt_f64s(values: &[f64]) -> String {
+    let mut s = String::new();
+    for v in values {
+        write!(s, "{v:?}, ").unwrap();
+    }
+    s
+}
+
+/// Generates the FSE mini-C source.
+pub fn fse_source() -> String {
+    let (wre, wim) = twiddles();
+    let (ct, st) = basis_tables();
+    let rev = bit_reverse16();
+    let mut rev_s = String::new();
+    for v in rev {
+        write!(rev_s, "{v}, ").unwrap();
+    }
+
+    format!(
+        r#"// Frequency Selective Extrapolation (generated; see nfp-workloads fse::minic)
+#define RHO {rho:?}
+#define GAMMA {gamma:?}
+
+double WRE[8] = {{ {wre} }};
+double WIM[8] = {{ {wim} }};
+double CT[16] = {{ {ct} }};
+double ST[16] = {{ {st} }};
+int REV[16] = {{ {rev_s} }};
+
+uchar img[4096];
+uchar msk[4096];
+int W; int H;
+double wgt[256];
+double rsd[256];
+double gest[256];
+double fre[256];
+double fim[256];
+
+void fft16(double* re, double* im, int base, int stride) {{
+    for (int i = 0; i < 16; i = i + 1) {{
+        int j = REV[i];
+        if (j > i) {{
+            int ia = base + i * stride;
+            int ja = base + j * stride;
+            double t = re[ia]; re[ia] = re[ja]; re[ja] = t;
+            t = im[ia]; im[ia] = im[ja]; im[ja] = t;
+        }}
+    }}
+    int len = 2;
+    while (len <= 16) {{
+        int half = len / 2;
+        int step = 16 / len;
+        int i = 0;
+        while (i < 16) {{
+            for (int k = 0; k < half; k = k + 1) {{
+                double wr = WRE[k * step];
+                double wi = WIM[k * step];
+                int a = base + (i + k) * stride;
+                int b = base + (i + k + half) * stride;
+                double tr = re[b] * wr - im[b] * wi;
+                double ti = re[b] * wi + im[b] * wr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] = re[a] + tr;
+                im[a] = im[a] + ti;
+            }}
+            i = i + len;
+        }}
+        len = len * 2;
+    }}
+}}
+
+void fft2d(double* re, double* im) {{
+    for (int y = 0; y < 16; y = y + 1) fft16(re, im, y * 16, 1);
+    for (int x = 0; x < 16; x = x + 1) fft16(re, im, x, 16);
+}}
+
+int bdist1(int v) {{
+    if (v < 4) return 4 - v;
+    if (v >= 12) return v - 11;
+    return 0;
+}}
+
+double rho_pow(int d) {{
+    double w = 1.0;
+    for (int k = 0; k < d; k = k + 1) w = w * RHO;
+    return w;
+}}
+
+int clip255(int v) {{
+    if (v < 0) return 0;
+    if (v > 255) return 255;
+    return v;
+}}
+
+// Extrapolates the lost block at (bx, by). Returns 0 when the block
+// has no known support.
+int extrapolate_block(int bx, int by, int iterations) {{
+    int x0 = bx * 8 - 4;
+    int y0 = by * 8 - 4;
+    double w00 = 0.0;
+    for (int ay = 0; ay < 16; ay = ay + 1) {{
+        for (int ax = 0; ax < 16; ax = ax + 1) {{
+            int gx = x0 + ax;
+            int gy = y0 + ay;
+            wgt[ay * 16 + ax] = 0.0;
+            rsd[ay * 16 + ax] = 0.0;
+            if (msk[gy * W + gx] == 0) {{
+                int dx = bdist1(ax);
+                int dy = bdist1(ay);
+                int d = dx;
+                if (dy > d) d = dy;
+                double wv = rho_pow(d);
+                wgt[ay * 16 + ax] = wv;
+                rsd[ay * 16 + ax] = wv * (double)img[gy * W + gx];
+                w00 = w00 + wv;
+            }}
+        }}
+    }}
+    if (w00 == 0.0) return 0;
+
+    for (int i = 0; i < 256; i = i + 1) gest[i] = 0.0;
+
+    for (int it = 0; it < iterations; it = it + 1) {{
+        for (int i = 0; i < 256; i = i + 1) {{
+            fre[i] = rsd[i];
+            fim[i] = 0.0;
+        }}
+        fft2d(fre, fim);
+
+        int best = 0;
+        double bestmag = -1.0;
+        for (int u = 0; u < 16; u = u + 1) {{
+            for (int v = 0; v < 16; v = v + 1) {{
+                int idx = u * 16 + v;
+                double mag = fre[idx] * fre[idx] + fim[idx] * fim[idx];
+                if (mag > bestmag) {{
+                    bestmag = mag;
+                    best = idx;
+                }}
+            }}
+        }}
+        if (bestmag <= 0.0) break;
+        int u = best / 16;
+        int v = best % 16;
+        double dcre = GAMMA * fre[best] / w00;
+        double dcim = GAMMA * fim[best] / w00;
+        int uc = (16 - u) % 16;
+        int vc = (16 - v) % 16;
+        int selfconj = 0;
+        if (uc == u && vc == v) selfconj = 1;
+
+        for (int ay = 0; ay < 16; ay = ay + 1) {{
+            for (int ax = 0; ax < 16; ax = ax + 1) {{
+                int phase = (u * ay + v * ax) % 16;
+                double c = CT[phase];
+                double s = ST[phase];
+                double contribution;
+                if (selfconj != 0) {{
+                    contribution = dcre * c - dcim * s;
+                }} else {{
+                    contribution = 2.0 * (dcre * c - dcim * s);
+                }}
+                gest[ay * 16 + ax] = gest[ay * 16 + ax] + contribution;
+                rsd[ay * 16 + ax] = rsd[ay * 16 + ax] - wgt[ay * 16 + ax] * contribution;
+            }}
+        }}
+    }}
+
+    for (int y = 0; y < 8; y = y + 1) {{
+        for (int x = 0; x < 8; x = x + 1) {{
+            int gx = bx * 8 + x;
+            int gy = by * 8 + y;
+            if (msk[gy * W + gx] != 0) {{
+                double m = gest[(y + 4) * 16 + (x + 4)] + 0.5;
+                img[gy * W + gx] = (uchar)clip255((int)m);
+            }}
+        }}
+    }}
+    return 1;
+}}
+
+int main() {{
+    uint* in = (uint*)0x41000000;
+    W = (int)in[0];
+    H = (int)in[1];
+    int iterations = (int)in[2];
+    if (W < 16 || H < 16 || W * H > 4096 || iterations < 1) return 1;
+    uchar* pix = (uchar*)0x4100000c;
+    int n = W * H;
+    for (int i = 0; i < n; i = i + 1) {{
+        img[i] = pix[i];
+        msk[i] = pix[n + i];
+    }}
+
+    int bw = W / 8;
+    int bh = H / 8;
+    for (int by = 0; by < bh; by = by + 1) {{
+        for (int bx = 0; bx < bw; bx = bx + 1) {{
+            if (msk[(by * 8) * W + bx * 8] != 0) {{
+                if (extrapolate_block(bx, by, iterations) != 0) {{
+                    for (int y = 0; y < 8; y = y + 1) {{
+                        for (int x = 0; x < 8; x = x + 1) {{
+                            msk[(by * 8 + y) * W + bx * 8 + x] = 0;
+                        }}
+                    }}
+                }}
+            }}
+        }}
+    }}
+
+    uchar* out = (uchar*)0x42000000;
+    uint fnv = 0x811c9dc5u;
+    for (int i = 0; i < n; i = i + 1) {{
+        uchar p = img[i];
+        out[i] = p;
+        fnv = (fnv ^ (uint)p) * 0x01000193u;
+    }}
+    emit(fnv);
+    return 0;
+}}
+"#,
+        rho = RHO,
+        gamma = GAMMA,
+        wre = fmt_f64s(&wre),
+        wim = fmt_f64s(&wim),
+        ct = fmt_f64s(&ct),
+        st = fmt_f64s(&st),
+    )
+}
+
+/// Builds the FSE input blob.
+pub fn input_blob(img: &Image, mask: &[bool], iterations: u32) -> Vec<u8> {
+    assert_eq!(mask.len(), img.width * img.height);
+    assert!(img.width * img.height <= MAX_SAMPLES);
+    let mut blob = Vec::with_capacity(12 + 2 * mask.len());
+    blob.extend_from_slice(&(img.width as u32).to_be_bytes());
+    blob.extend_from_slice(&(img.height as u32).to_be_bytes());
+    blob.extend_from_slice(&iterations.to_be_bytes());
+    blob.extend_from_slice(&img.data);
+    blob.extend(mask.iter().map(|&m| m as u8));
+    blob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_compiles_in_both_modes() {
+        let src = fse_source();
+        for mode in [nfp_cc::FloatMode::Hard, nfp_cc::FloatMode::Soft] {
+            nfp_cc::compile(&src, &nfp_cc::CompileOptions::new(mode))
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn blob_layout() {
+        let img = Image::new(16, 16);
+        let mask = vec![false; 256];
+        let blob = input_blob(&img, &mask, 32);
+        assert_eq!(blob.len(), 12 + 512);
+        assert_eq!(&blob[8..12], &[0, 0, 0, 32]);
+    }
+}

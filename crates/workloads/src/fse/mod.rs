@@ -1,0 +1,15 @@
+//! Frequency Selective Extrapolation (FSE): reconstruction of image
+//! regions with unknown content as a weighted superposition of Fourier
+//! basis functions (Seiler & Kaup 2010/2011) — the paper's
+//! double-precision, FFT-dominated workload.
+//!
+//! * [`native`] — reference Rust implementation;
+//! * [`minic`] — the same algorithm as a generated mini-C program;
+//! * [`tables`] — shared FFT/basis constants and parameters.
+
+pub mod minic;
+pub mod native;
+pub mod tables;
+
+pub use native::conceal;
+pub use tables::ITERATIONS;

@@ -1,0 +1,104 @@
+//! Constants shared by the native and mini-C FSE implementations: the
+//! 16-point FFT twiddle factors, bit-reversal permutation, and the
+//! algorithm parameters.
+//!
+//! Both implementations must use the *same* table values (the mini-C
+//! source embeds them as literals printed with shortest-roundtrip
+//! formatting, which parses back to identical bits), so extrapolation
+//! results match bit-exactly.
+
+/// FFT size: the 16×16 extrapolation area around each lost 8×8 block.
+pub const N: usize = 16;
+
+/// Support border around the lost block on each side.
+pub const BORDER: usize = 4;
+
+/// Isotropic weighting decay per Chebyshev-distance step.
+pub const RHO: f64 = 0.8;
+
+/// Orthogonality-deficiency compensation factor (Seiler & Kaup's γ).
+pub const GAMMA: f64 = 0.5;
+
+/// Default number of FSE iterations per block.
+pub const ITERATIONS: usize = 32;
+
+/// Twiddle factors `exp(-j·2πk/16)` for the forward FFT, k = 0..8.
+pub fn twiddles() -> ([f64; 8], [f64; 8]) {
+    let mut re = [0.0; 8];
+    let mut im = [0.0; 8];
+    for (k, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+        let theta = -2.0 * std::f64::consts::PI * k as f64 / N as f64;
+        *r = theta.cos();
+        *i = theta.sin();
+    }
+    (re, im)
+}
+
+/// Basis function tables: `cos(2πk/16)` and `sin(2πk/16)` for k = 0..16
+/// (used when subtracting a selected basis function in the spatial
+/// domain).
+pub fn basis_tables() -> ([f64; 16], [f64; 16]) {
+    let mut c = [0.0; 16];
+    let mut s = [0.0; 16];
+    for k in 0..16 {
+        let theta = 2.0 * std::f64::consts::PI * k as f64 / N as f64;
+        c[k] = theta.cos();
+        s[k] = theta.sin();
+    }
+    (c, s)
+}
+
+/// 4-bit bit-reversal permutation for the radix-2 FFT.
+pub fn bit_reverse16() -> [usize; 16] {
+    let mut out = [0usize; 16];
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut v = 0;
+        for b in 0..4 {
+            if i & (1 << b) != 0 {
+                v |= 8 >> b;
+            }
+        }
+        *o = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twiddles_lie_on_unit_circle() {
+        let (re, im) = twiddles();
+        for k in 0..8 {
+            let mag = re[k] * re[k] + im[k] * im[k];
+            assert!((mag - 1.0).abs() < 1e-12, "k={k}");
+        }
+        assert_eq!(re[0], 1.0);
+        assert_eq!(im[0], 0.0);
+        // k = 4 is -j
+        assert!(re[4].abs() < 1e-15);
+        assert!((im[4] + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution() {
+        let rev = bit_reverse16();
+        for i in 0..16 {
+            assert_eq!(rev[rev[i]], i);
+        }
+        assert_eq!(rev[1], 8);
+        assert_eq!(rev[3], 12);
+    }
+
+    #[test]
+    fn table_values_roundtrip_through_decimal_text() {
+        // The mini-C generator relies on shortest-roundtrip printing.
+        let (c, s) = basis_tables();
+        for v in c.iter().chain(&s) {
+            let text = format!("{v:?}");
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{text}");
+        }
+    }
+}

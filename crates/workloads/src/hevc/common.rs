@@ -1,0 +1,467 @@
+#![allow(clippy::needless_range_loop)] // loops mirror the mini-C decoder
+
+//! Shared signal-processing primitives of the mini-HEVC codec:
+//! forward/inverse 8×8 integer transform, quantisation, intra
+//! prediction, motion compensation, and the in-loop deblocking filter.
+//!
+//! The *decoder-side* operations (inverse transform, dequantisation,
+//! prediction, deblocking) are duplicated in the generated mini-C
+//! decoder and must stay bit-identical to it; the round-trip tests
+//! enforce this.
+
+use super::tables::{deblock_threshold, qstep, T8};
+use crate::pixels::{clip255, Image};
+
+/// 8×8 residual/coefficient block.
+pub type Block = [i32; 64];
+
+/// Forward transform (HEVC-style shifts for 8-bit content):
+/// stage 1 `>> 2`, stage 2 `>> 9`.
+pub fn forward_transform(residual: &Block) -> Block {
+    let mut tmp = [0i32; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0i64;
+            for k in 0..8 {
+                acc += T8[u][k] as i64 * residual[k * 8 + x] as i64;
+            }
+            tmp[u * 8 + x] = ((acc + 2) >> 2) as i32;
+        }
+    }
+    let mut out = [0i32; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0i64;
+            for k in 0..8 {
+                acc += T8[v][k] as i64 * tmp[u * 8 + k] as i64;
+            }
+            out[u * 8 + v] = ((acc + 256) >> 9) as i32;
+        }
+    }
+    out
+}
+
+/// Inverse transform: stage 1 `>> 7`, stage 2 `>> 12` (HEVC 8-bit).
+pub fn inverse_transform(coeffs: &Block) -> Block {
+    // columns first: tmp[y][v] = sum_u T8[u][y] * C[u][v]
+    let mut tmp = [0i32; 64];
+    for y in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0i64;
+            for u in 0..8 {
+                acc += T8[u][y] as i64 * coeffs[u * 8 + v] as i64;
+            }
+            tmp[y * 8 + v] = ((acc + 64) >> 7) as i32;
+        }
+    }
+    let mut out = [0i32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0i64;
+            for v in 0..8 {
+                acc += T8[v][x] as i64 * tmp[y * 8 + v] as i64;
+            }
+            out[y * 8 + x] = ((acc + 2048) >> 12) as i32;
+        }
+    }
+    out
+}
+
+/// Encoder-side quantisation: round-to-nearest by the QP's step.
+pub fn quantise(coeffs: &Block, qp: u32) -> Block {
+    let q = qstep(qp);
+    let mut out = [0i32; 64];
+    for i in 0..64 {
+        let c = coeffs[i];
+        let mag = (c.abs() + q / 2) / q;
+        out[i] = if c < 0 { -mag } else { mag };
+    }
+    out
+}
+
+/// Decoder-side dequantisation.
+pub fn dequantise(levels: &Block, qp: u32) -> Block {
+    let q = qstep(qp);
+    let mut out = [0i32; 64];
+    for i in 0..64 {
+        out[i] = levels[i] * q;
+    }
+    out
+}
+
+/// Intra prediction modes of the codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraMode {
+    /// Mean of the available neighbours.
+    Dc,
+    /// Copy the row above downwards.
+    Vertical,
+    /// Copy the left column across.
+    Horizontal,
+    /// Bilinear blend of the border samples.
+    Planar,
+}
+
+impl IntraMode {
+    /// All modes, indexed by their bitstream code.
+    pub const ALL: [IntraMode; 4] = [
+        IntraMode::Dc,
+        IntraMode::Vertical,
+        IntraMode::Horizontal,
+        IntraMode::Planar,
+    ];
+
+    /// Bitstream code of the mode.
+    pub fn code(self) -> u32 {
+        match self {
+            IntraMode::Dc => 0,
+            IntraMode::Vertical => 1,
+            IntraMode::Horizontal => 2,
+            IntraMode::Planar => 3,
+        }
+    }
+
+    /// Mode from its bitstream code (invalid codes fall back to DC,
+    /// the same graceful degradation the mini-C decoder applies).
+    pub fn from_code(code: u32) -> Self {
+        Self::ALL.get(code as usize).copied().unwrap_or(IntraMode::Dc)
+    }
+}
+
+/// Neighbour samples for intra prediction: `top[0..8]`, `left[0..8]`,
+/// with availability flags. Unavailable neighbours predict 128.
+pub struct IntraNeighbours {
+    /// Row above the block (or 128s).
+    pub top: [i32; 8],
+    /// Column left of the block (or 128s).
+    pub left: [i32; 8],
+    /// True if the block has a row above.
+    pub top_available: bool,
+    /// True if the block has a column to its left.
+    pub left_available: bool,
+}
+
+impl IntraNeighbours {
+    /// Gathers neighbours of the block at (bx*8, by*8) from the
+    /// reconstruction in progress.
+    pub fn gather(rec: &Image, bx: usize, by: usize) -> Self {
+        let x0 = bx * 8;
+        let y0 = by * 8;
+        let mut top = [128i32; 8];
+        let mut left = [128i32; 8];
+        let top_available = by > 0;
+        let left_available = bx > 0;
+        if top_available {
+            for x in 0..8 {
+                top[x] = rec.get(x0 + x, y0 - 1) as i32;
+            }
+        }
+        if left_available {
+            for y in 0..8 {
+                left[y] = rec.get(x0 - 1, y0 + y) as i32;
+            }
+        }
+        IntraNeighbours {
+            top,
+            left,
+            top_available,
+            left_available,
+        }
+    }
+}
+
+/// Produces the 8×8 intra prediction for a mode.
+pub fn intra_predict(mode: IntraMode, n: &IntraNeighbours) -> Block {
+    let mut pred = [0i32; 64];
+    match mode {
+        IntraMode::Dc => {
+            let dc = match (n.top_available, n.left_available) {
+                (true, true) => {
+                    (n.top.iter().sum::<i32>() + n.left.iter().sum::<i32>() + 8) >> 4
+                }
+                (true, false) => (n.top.iter().sum::<i32>() + 4) >> 3,
+                (false, true) => (n.left.iter().sum::<i32>() + 4) >> 3,
+                (false, false) => 128,
+            };
+            pred = [dc; 64];
+        }
+        IntraMode::Vertical => {
+            for y in 0..8 {
+                for x in 0..8 {
+                    pred[y * 8 + x] = n.top[x];
+                }
+            }
+        }
+        IntraMode::Horizontal => {
+            for y in 0..8 {
+                for x in 0..8 {
+                    pred[y * 8 + x] = n.left[y];
+                }
+            }
+        }
+        IntraMode::Planar => {
+            let top_right = n.top[7];
+            let bottom_left = n.left[7];
+            for y in 0..8 {
+                for x in 0..8 {
+                    let xi = x as i32;
+                    let yi = y as i32;
+                    pred[y * 8 + x] = ((7 - xi) * n.left[y]
+                        + (xi + 1) * top_right
+                        + (7 - yi) * n.top[x]
+                        + (yi + 1) * bottom_left
+                        + 8)
+                        >> 4;
+                }
+            }
+        }
+    }
+    pred
+}
+
+/// Full-pel motion compensation: 8×8 prediction from `reference` at
+/// block (bx, by) displaced by (mvx, mvy), with border clamping.
+pub fn motion_compensate(reference: &Image, bx: usize, by: usize, mvx: i32, mvy: i32) -> Block {
+    let mut pred = [0i32; 64];
+    let x0 = (bx * 8) as isize + mvx as isize;
+    let y0 = (by * 8) as isize + mvy as isize;
+    for y in 0..8 {
+        for x in 0..8 {
+            pred[y * 8 + x] = reference.get_clamped(x0 + x as isize, y0 + y as isize) as i32;
+        }
+    }
+    pred
+}
+
+/// Averages two predictions (bi-prediction), rounding up like HEVC.
+pub fn average_blocks(a: &Block, b: &Block) -> Block {
+    let mut out = [0i32; 64];
+    for i in 0..64 {
+        out[i] = (a[i] + b[i] + 1) >> 1;
+    }
+    out
+}
+
+/// Reconstructs a block: prediction + residual, clipped, written into
+/// the frame.
+pub fn reconstruct(rec: &mut Image, bx: usize, by: usize, pred: &Block, residual: &Block) {
+    for y in 0..8 {
+        for x in 0..8 {
+            let v = pred[y * 8 + x] + residual[y * 8 + x];
+            rec.set(bx * 8 + x, by * 8 + y, clip255(v));
+        }
+    }
+}
+
+/// In-loop deblocking: smooths the two samples either side of every
+/// internal 8×8 edge when the step is small (coding noise rather than
+/// a real edge). Vertical edges first, then horizontal — the order
+/// matters and the mini-C decoder replicates it.
+pub fn deblock(rec: &mut Image, qp: u32) {
+    let thr = deblock_threshold(qp);
+    // vertical edges at x = 8, 16, ...
+    for x in (8..rec.width).step_by(8) {
+        for y in 0..rec.height {
+            let p0 = rec.get(x - 1, y) as i32;
+            let q0 = rec.get(x, y) as i32;
+            let delta = q0 - p0;
+            if delta != 0 && delta.abs() < thr {
+                let adj = delta / 4;
+                rec.set(x - 1, y, clip255(p0 + adj));
+                rec.set(x, y, clip255(q0 - adj));
+            }
+        }
+    }
+    // horizontal edges at y = 8, 16, ...
+    for y in (8..rec.height).step_by(8) {
+        for x in 0..rec.width {
+            let p0 = rec.get(x, y - 1) as i32;
+            let q0 = rec.get(x, y) as i32;
+            let delta = q0 - p0;
+            if delta != 0 && delta.abs() < thr {
+                let adj = delta / 4;
+                rec.set(x, y - 1, clip255(p0 + adj));
+                rec.set(x, y, clip255(q0 - adj));
+            }
+        }
+    }
+}
+
+/// The decoder's per-frame double-precision statistics (mirroring the
+/// reference software's floating-point distortion/PSNR accounting):
+/// per block, a standard-deviation-like measure
+/// `sqrt(|64·Σs² − (Σs)²|) / 64` plus double-accumulated horizontal
+/// and vertical gradient energies.
+pub fn frame_activity(rec: &Image) -> f64 {
+    let mut activity = 0.0f64;
+    for by in 0..rec.height / 8 {
+        for bx in 0..rec.width / 8 {
+            let mut sum = 0i64;
+            let mut ssq = 0i64;
+            for y in 0..8 {
+                for x in 0..8 {
+                    let s = rec.get(bx * 8 + x, by * 8 + y) as i64;
+                    sum += s;
+                    ssq += s * s;
+                }
+            }
+            let var = 64.0 * ssq as f64 - (sum as f64) * (sum as f64);
+            activity += (var.abs()).sqrt() / 64.0;
+            // Gradient energies, accumulated in double per line (the
+            // 1/512 factor is exact in binary).
+            for y in 0..8 {
+                let mut row = 0i32;
+                for x in 0..7 {
+                    let a = rec.get(bx * 8 + x, by * 8 + y) as i32;
+                    let b = rec.get(bx * 8 + x + 1, by * 8 + y) as i32;
+                    row += (b - a).abs();
+                }
+                activity += row as f64 * 0.001953125;
+            }
+            for x in 0..8 {
+                let mut col = 0i32;
+                for y in 0..7 {
+                    let a = rec.get(bx * 8 + x, by * 8 + y) as i32;
+                    let b = rec.get(bx * 8 + x, by * 8 + y + 1) as i32;
+                    col += (b - a).abs();
+                }
+                activity += col as f64 * 0.001953125;
+            }
+            // Sub-sampled per-pixel distortion accumulation in double
+            // (the dominant float cost, like HM's per-sample PSNR sums).
+            let mut y = 0;
+            while y < 8 {
+                let mut x = 0;
+                while x < 7 {
+                    let a = rec.get(bx * 8 + x, by * 8 + y) as i32;
+                    let b = rec.get(bx * 8 + x + 1, by * 8 + y) as i32;
+                    let d = (b - a).abs();
+                    activity += d as f64 * 0.0009765625;
+                    x += 1;
+                }
+                y += 2;
+            }
+        }
+    }
+    activity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_roundtrip_is_near_identity() {
+        // Without quantisation, fwd+inv should reproduce the residual
+        // to within a couple of LSBs (integer approximation).
+        let mut residual = [0i32; 64];
+        for (i, r) in residual.iter_mut().enumerate() {
+            *r = ((i as i32 * 37) % 255) - 127;
+        }
+        let coeffs = forward_transform(&residual);
+        let back = inverse_transform(&coeffs);
+        for i in 0..64 {
+            assert!(
+                (back[i] - residual[i]).abs() <= 2,
+                "i={} {} vs {}",
+                i,
+                back[i],
+                residual[i]
+            );
+        }
+    }
+
+    #[test]
+    fn flat_block_transforms_to_dc_only() {
+        let residual = [100i32; 64];
+        let coeffs = forward_transform(&residual);
+        assert!(coeffs[0] != 0);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert_eq!(c, 0, "AC coefficient {i} nonzero for flat block");
+        }
+    }
+
+    #[test]
+    fn quantisation_roundtrip_scales() {
+        let mut coeffs = [0i32; 64];
+        coeffs[0] = 1000;
+        coeffs[5] = -333;
+        let q = quantise(&coeffs, 32);
+        let dq = dequantise(&q, 32);
+        assert!((dq[0] - 1000).abs() <= qstep(32) / 2);
+        assert!((dq[5] + 333).abs() <= qstep(32) / 2);
+    }
+
+    #[test]
+    fn intra_dc_without_neighbours_is_128() {
+        let rec = Image::new(16, 16);
+        let n = IntraNeighbours::gather(&rec, 0, 0);
+        assert!(!n.top_available && !n.left_available);
+        let pred = intra_predict(IntraMode::Dc, &n);
+        assert!(pred.iter().all(|&p| p == 128));
+    }
+
+    #[test]
+    fn intra_vertical_copies_top() {
+        let mut rec = Image::new(16, 16);
+        for x in 0..8 {
+            rec.set(8 + x, 7, (x * 10) as u8);
+        }
+        let n = IntraNeighbours::gather(&rec, 1, 1);
+        let pred = intra_predict(IntraMode::Vertical, &n);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(pred[y * 8 + x], (x * 10) as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn motion_compensation_clamps_at_borders() {
+        let mut reference = Image::new(16, 16);
+        reference.set(0, 0, 99);
+        let pred = motion_compensate(&reference, 0, 0, -100, -100);
+        assert!(pred.iter().all(|&p| p == 99));
+    }
+
+    #[test]
+    fn mode_codes_roundtrip() {
+        for m in IntraMode::ALL {
+            assert_eq!(IntraMode::from_code(m.code()), m);
+        }
+        assert_eq!(IntraMode::from_code(99), IntraMode::Dc);
+    }
+
+    #[test]
+    fn deblock_smooths_small_steps_only() {
+        let mut rec = Image::new(16, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                rec.set(x, y, 100);
+                rec.set(8 + x, y, 104); // small step: filtered
+            }
+        }
+        deblock(&mut rec, 32);
+        assert!(rec.get(7, 0) > 100);
+        assert!(rec.get(8, 0) < 104);
+
+        let mut hard = Image::new(16, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                hard.set(x, y, 50);
+                hard.set(8 + x, y, 200); // real edge: untouched
+            }
+        }
+        deblock(&mut hard, 32);
+        assert_eq!(hard.get(7, 0), 50);
+        assert_eq!(hard.get(8, 0), 200);
+    }
+
+    #[test]
+    fn activity_zero_for_flat_frame() {
+        let rec = Image::new(16, 16);
+        assert_eq!(frame_activity(&rec), 0.0);
+        let img = crate::synth::test_image(16, 16, 3);
+        assert!(frame_activity(&img) > 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The native mini-HEVC encoder.
+//!
+//! Produces the bitstreams the decoders consume. Like any hybrid video
+//! encoder it embeds the full decoder loop, so it also yields the
+//! expected reconstruction (used to validate both the native and the
+//! simulated mini-C decoder bit-exactly).
+
+use super::bitstream::BitWriter;
+use super::common::*;
+use super::tables::zigzag8;
+use crate::pixels::Image;
+
+/// Encoder configurations (the paper's four: intra, lowdelay,
+/// lowdelay_P, randomaccess).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// All frames intra.
+    Intra,
+    /// I then P frames only.
+    LowdelayP,
+    /// I, P, then bi-predicted frames from the two most recent
+    /// reconstructions (low-delay B).
+    Lowdelay,
+    /// Periodic intra refresh with P and B frames between.
+    RandomAccess,
+}
+
+impl Config {
+    /// All configurations, paper order.
+    pub const ALL: [Config; 4] = [
+        Config::Intra,
+        Config::Lowdelay,
+        Config::LowdelayP,
+        Config::RandomAccess,
+    ];
+
+    /// Name used in kernel identifiers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Config::Intra => "intra",
+            Config::Lowdelay => "lowdelay",
+            Config::LowdelayP => "lowdelay_P",
+            Config::RandomAccess => "randomaccess",
+        }
+    }
+}
+
+/// Frame coding types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Intra-only.
+    I,
+    /// Predicted from the previous reconstruction.
+    P,
+    /// Bi-predicted from the two most recent reconstructions.
+    B,
+}
+
+impl FrameType {
+    fn code(self) -> u32 {
+        match self {
+            FrameType::I => 0,
+            FrameType::P => 1,
+            FrameType::B => 2,
+        }
+    }
+}
+
+/// The frame-type pattern of a configuration.
+pub fn frame_types(config: Config, frames: usize) -> Vec<FrameType> {
+    (0..frames)
+        .map(|t| match config {
+            Config::Intra => FrameType::I,
+            Config::LowdelayP => {
+                if t == 0 {
+                    FrameType::I
+                } else {
+                    FrameType::P
+                }
+            }
+            Config::Lowdelay => match t {
+                0 => FrameType::I,
+                1 => FrameType::P,
+                _ => FrameType::B,
+            },
+            Config::RandomAccess => match t % 4 {
+                0 => FrameType::I,
+                1 => FrameType::P,
+                _ => FrameType::B,
+            },
+        })
+        .collect()
+}
+
+/// Encoder output.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// The bitstream.
+    pub bytes: Vec<u8>,
+    /// Expected reconstruction (what a conforming decoder outputs).
+    pub reconstruction: Vec<Image>,
+    /// Expected accumulated activity statistic (see
+    /// [`frame_activity`]) over all frames.
+    pub activity: f64,
+}
+
+fn sad(orig: &Image, bx: usize, by: usize, pred: &Block) -> u32 {
+    let mut acc = 0u32;
+    for y in 0..8 {
+        for x in 0..8 {
+            let o = orig.get(bx * 8 + x, by * 8 + y) as i32;
+            acc += (o - pred[y * 8 + x]).unsigned_abs();
+        }
+    }
+    acc
+}
+
+fn residual_of(orig: &Image, bx: usize, by: usize, pred: &Block) -> Block {
+    let mut r = [0i32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            r[y * 8 + x] = orig.get(bx * 8 + x, by * 8 + y) as i32 - pred[y * 8 + x];
+        }
+    }
+    r
+}
+
+/// Writes quantised levels (zig-zag run/level coding) and returns the
+/// dequantised residual the decoder will reconstruct. `None` means all
+/// levels quantised to zero (cbf = 0).
+fn code_residual(w: &mut BitWriter, residual: &Block, qp: u32) -> Option<Block> {
+    let zz = zigzag8();
+    let coeffs = forward_transform(residual);
+    let levels = quantise(&coeffs, qp);
+    let nnz = levels.iter().filter(|&&l| l != 0).count();
+    if nnz == 0 {
+        w.put_bit(false); // cbf
+        return None;
+    }
+    w.put_bit(true);
+    w.put_ue(nnz as u32);
+    let mut run = 0u32;
+    for &pos in &zz {
+        let level = levels[pos];
+        if level == 0 {
+            run += 1;
+        } else {
+            w.put_ue(run);
+            w.put_ue(level.unsigned_abs() - 1);
+            w.put_bit(level < 0);
+            run = 0;
+        }
+    }
+    let dq = dequantise(&levels, qp);
+    Some(inverse_transform(&dq))
+}
+
+/// Motion search: full-pel full search in ±`range`.
+fn motion_search(orig: &Image, reference: &Image, bx: usize, by: usize, range: i32) -> (i32, i32) {
+    let mut best = (0, 0);
+    let mut best_cost = u32::MAX;
+    for mvy in -range..=range {
+        for mvx in -range..=range {
+            let pred = motion_compensate(reference, bx, by, mvx, mvy);
+            // Small lagrangian-ish penalty keeps vectors short.
+            let cost =
+                sad(orig, bx, by, &pred) + 2 * (mvx.unsigned_abs() + mvy.unsigned_abs());
+            if cost < best_cost {
+                best_cost = cost;
+                best = (mvx, mvy);
+            }
+        }
+    }
+    best
+}
+
+/// Encodes a sequence. Frame dimensions must be multiples of 8.
+pub fn encode(frames: &[Image], config: Config, qp: u32) -> Encoded {
+    assert!(!frames.is_empty());
+    let width = frames[0].width;
+    let height = frames[0].height;
+    assert!(width.is_multiple_of(8) && height.is_multiple_of(8), "dimensions must be multiples of 8");
+    let bw = width / 8;
+    let bh = height / 8;
+
+    let mut w = BitWriter::new();
+    w.put_ue(bw as u32);
+    w.put_ue(bh as u32);
+    w.put_ue(frames.len() as u32);
+    w.put_ue(qp);
+
+    let types = frame_types(config, frames.len());
+    let mut reconstruction: Vec<Image> = Vec::with_capacity(frames.len());
+    let mut activity = 0.0f64;
+
+    for (t, orig) in frames.iter().enumerate() {
+        let ftype = types[t];
+        w.put_ue(ftype.code());
+        let mut rec = Image::new(width, height);
+        // References: the one or two most recent reconstructions.
+        let ref1 = reconstruction.last();
+        let ref2 = if reconstruction.len() >= 2 {
+            Some(&reconstruction[reconstruction.len() - 2])
+        } else {
+            ref1
+        };
+        for by in 0..bh {
+            for bx in 0..bw {
+                let (pred, _mode_bits) = match ftype {
+                    FrameType::I => {
+                        let n = IntraNeighbours::gather(&rec, bx, by);
+                        let mut best_mode = IntraMode::Dc;
+                        let mut best_cost = u32::MAX;
+                        for mode in IntraMode::ALL {
+                            let p = intra_predict(mode, &n);
+                            let cost = sad(orig, bx, by, &p);
+                            if cost < best_cost {
+                                best_cost = cost;
+                                best_mode = mode;
+                            }
+                        }
+                        w.put_ue(best_mode.code());
+                        (intra_predict(best_mode, &n), 0)
+                    }
+                    FrameType::P => {
+                        let reference = ref1.expect("P frame needs a reference");
+                        let (mvx, mvy) = motion_search(orig, reference, bx, by, 7);
+                        w.put_se(mvx);
+                        w.put_se(mvy);
+                        (motion_compensate(reference, bx, by, mvx, mvy), 0)
+                    }
+                    FrameType::B => {
+                        let r1 = ref1.expect("B frame needs references");
+                        let r2 = ref2.expect("B frame needs references");
+                        let (mvx, mvy) = motion_search(orig, r1, bx, by, 7);
+                        w.put_se(mvx);
+                        w.put_se(mvy);
+                        let p1 = motion_compensate(r1, bx, by, mvx, mvy);
+                        let p2 = motion_compensate(r2, bx, by, mvx, mvy);
+                        (average_blocks(&p1, &p2), 0)
+                    }
+                };
+                let residual = residual_of(orig, bx, by, &pred);
+                let decoded_residual = code_residual(&mut w, &residual, qp).unwrap_or([0; 64]);
+                reconstruct(&mut rec, bx, by, &pred, &decoded_residual);
+            }
+        }
+        deblock(&mut rec, qp);
+        activity += frame_activity(&rec);
+        reconstruction.push(rec);
+    }
+
+    Encoded {
+        bytes: w.finish(),
+        reconstruction,
+        activity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixels::psnr;
+    use crate::synth::{test_sequence, Scene};
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let frames = test_sequence(Scene::MovingObject, 32, 24, 3);
+        let a = encode(&frames, Config::Lowdelay, 32);
+        let b = encode(&frames, Config::Lowdelay, 32);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.activity.to_bits(), b.activity.to_bits());
+    }
+
+    #[test]
+    fn low_qp_gives_higher_fidelity_and_more_bits() {
+        let frames = test_sequence(Scene::MovingObject, 32, 24, 3);
+        let hi_q = encode(&frames, Config::Intra, 10);
+        let lo_q = encode(&frames, Config::Intra, 45);
+        assert!(hi_q.bytes.len() > lo_q.bytes.len());
+        let p_hi = psnr(&frames[1], &hi_q.reconstruction[1]);
+        let p_lo = psnr(&frames[1], &lo_q.reconstruction[1]);
+        assert!(
+            p_hi > p_lo + 5.0,
+            "QP10 ({p_hi:.1} dB) should beat QP45 ({p_lo:.1} dB)"
+        );
+        assert!(p_hi > 34.0, "QP10 should be near-transparent, got {p_hi:.1} dB");
+    }
+
+    #[test]
+    fn inter_configs_compress_motion_better_than_intra() {
+        let frames = test_sequence(Scene::GradientPan, 32, 24, 4);
+        let intra = encode(&frames, Config::Intra, 32);
+        let inter = encode(&frames, Config::LowdelayP, 32);
+        assert!(
+            inter.bytes.len() < intra.bytes.len(),
+            "P frames ({}) should beat all-intra ({})",
+            inter.bytes.len(),
+            intra.bytes.len()
+        );
+    }
+
+    #[test]
+    fn frame_type_patterns() {
+        assert_eq!(
+            frame_types(Config::RandomAccess, 6),
+            [
+                FrameType::I,
+                FrameType::P,
+                FrameType::B,
+                FrameType::B,
+                FrameType::I,
+                FrameType::P
+            ]
+        );
+        assert_eq!(
+            frame_types(Config::Lowdelay, 4),
+            [FrameType::I, FrameType::P, FrameType::B, FrameType::B]
+        );
+        assert!(frame_types(Config::Intra, 3)
+            .iter()
+            .all(|&t| t == FrameType::I));
+    }
+
+    #[test]
+    fn all_configs_encode_all_scenes() {
+        for scene in Scene::ALL {
+            let frames = test_sequence(scene, 32, 24, 4);
+            for config in Config::ALL {
+                let enc = encode(&frames, config, 32);
+                assert!(!enc.bytes.is_empty());
+                assert_eq!(enc.reconstruction.len(), 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The mini-HEVC decoder as a mini-C program — the workload binary
+//! that runs on the simulated LEON3, standing in for the paper's
+//! bare-metal HM decoder build.
+//!
+//! The source is generated (tables injected from [`super::tables`]) and
+//! must reconstruct bit-exactly what [`super::native::decode`]
+//! produces, including the double-precision activity statistic, whose
+//! operation order is mirrored operation for operation.
+//!
+//! Memory protocol:
+//! * input at `0x4100_0000`: `u32` bitstream length, then the bytes;
+//! * output at `0x4200_0000`: decoded frames, row-major, in order;
+//! * emitted words: FNV-1a of all output bytes, then the 64 raw bits
+//!   of the accumulated activity (high word first).
+
+use super::tables::{zigzag8, LEV_SCALE, T8};
+use std::fmt::Write;
+
+/// Maximum samples per frame the decoder's static buffers allow.
+pub const MAX_FRAME_SAMPLES: usize = 4096;
+
+/// Generates the decoder source.
+pub fn decoder_source() -> String {
+    let mut t8 = String::new();
+    for row in T8 {
+        for v in row {
+            write!(t8, "{v}, ").unwrap();
+        }
+    }
+    let mut zz = String::new();
+    for v in zigzag8() {
+        write!(zz, "{v}, ").unwrap();
+    }
+    let mut lev = String::new();
+    for v in LEV_SCALE {
+        write!(lev, "{v}, ").unwrap();
+    }
+
+    format!(
+        r#"// mini-HEVC decoder (generated; see nfp-workloads hevc::minic)
+#define FBSTRIDE 4096
+
+int T8[64] = {{ {t8} }};
+int ZZ[64] = {{ {zz} }};
+int LEVSCALE[6] = {{ {lev} }};
+
+uchar fb[12288];
+int W; int H; int BW; int BH; int QP; int QSTEP; int THR;
+uchar* bs; int bitpos; int bslen;
+uint fnv;
+
+int get_bit() {{
+    int byte = bitpos >> 3;
+    int bit = 7 - (bitpos & 7);
+    bitpos = bitpos + 1;
+    if (byte >= bslen) return 0;
+    return (bs[byte] >> bit) & 1;
+}}
+
+uint get_ue() {{
+    int zeros = 0;
+    while (get_bit() == 0) {{
+        zeros = zeros + 1;
+        if (zeros > 30) return 0u;
+    }}
+    uint rest = 0u;
+    for (int i = 0; i < zeros; i = i + 1) {{
+        rest = (rest << 1) | (uint)get_bit();
+    }}
+    return ((1u << zeros) + rest) - 1u;
+}}
+
+int get_se() {{
+    uint v = get_ue();
+    if ((v & 1u) != 0u) return (int)(v >> 1) + 1;
+    return -((int)(v >> 1));
+}}
+
+int clip255(int v) {{
+    if (v < 0) return 0;
+    if (v > 255) return 255;
+    return v;
+}}
+
+void inv_transform(int* c, int* out) {{
+    int tmp[64];
+    for (int y = 0; y < 8; y = y + 1) {{
+        for (int v = 0; v < 8; v = v + 1) {{
+            int acc = 0;
+            for (int u = 0; u < 8; u = u + 1) {{
+                acc = acc + T8[u * 8 + y] * c[u * 8 + v];
+            }}
+            tmp[y * 8 + v] = (acc + 64) >> 7;
+        }}
+    }}
+    for (int y = 0; y < 8; y = y + 1) {{
+        for (int x = 0; x < 8; x = x + 1) {{
+            int acc = 0;
+            for (int v = 0; v < 8; v = v + 1) {{
+                acc = acc + T8[v * 8 + x] * tmp[y * 8 + v];
+            }}
+            out[y * 8 + x] = (acc + 2048) >> 12;
+        }}
+    }}
+}}
+
+// Reads cbf + run/level pairs, dequantises, inverse-transforms.
+void decode_residual(int* out) {{
+    int levels[64];
+    for (int i = 0; i < 64; i = i + 1) levels[i] = 0;
+    if (get_bit() == 0) {{
+        for (int i = 0; i < 64; i = i + 1) out[i] = 0;
+        return;
+    }}
+    int nnz = (int)get_ue();
+    if (nnz > 64) nnz = 64;
+    int scan = 0;
+    for (int k = 0; k < nnz; k = k + 1) {{
+        int run = (int)get_ue();
+        scan = scan + run;
+        if (scan >= 64) break;
+        int mag = (int)get_ue() + 1;
+        int neg = get_bit();
+        if (neg != 0) levels[ZZ[scan]] = -mag;
+        else levels[ZZ[scan]] = mag;
+        scan = scan + 1;
+    }}
+    int coeffs[64];
+    for (int i = 0; i < 64; i = i + 1) coeffs[i] = levels[i] * QSTEP;
+    inv_transform(coeffs, out);
+}}
+
+void intra_pred(uchar* rec, int bx, int by, int mode, int* pred) {{
+    int top[8];
+    int left[8];
+    int topa = 0;
+    int lefta = 0;
+    if (by > 0) topa = 1;
+    if (bx > 0) lefta = 1;
+    int x0 = bx * 8;
+    int y0 = by * 8;
+    for (int i = 0; i < 8; i = i + 1) {{
+        if (topa != 0) top[i] = rec[(y0 - 1) * W + x0 + i];
+        else top[i] = 128;
+        if (lefta != 0) left[i] = rec[(y0 + i) * W + x0 - 1];
+        else left[i] = 128;
+    }}
+    if (mode == 1) {{
+        for (int y = 0; y < 8; y = y + 1)
+            for (int x = 0; x < 8; x = x + 1)
+                pred[y * 8 + x] = top[x];
+        return;
+    }}
+    if (mode == 2) {{
+        for (int y = 0; y < 8; y = y + 1)
+            for (int x = 0; x < 8; x = x + 1)
+                pred[y * 8 + x] = left[y];
+        return;
+    }}
+    if (mode == 3) {{
+        int tr = top[7];
+        int bl = left[7];
+        for (int y = 0; y < 8; y = y + 1) {{
+            for (int x = 0; x < 8; x = x + 1) {{
+                pred[y * 8 + x] = ((7 - x) * left[y] + (x + 1) * tr
+                    + (7 - y) * top[x] + (y + 1) * bl + 8) >> 4;
+            }}
+        }}
+        return;
+    }}
+    // DC (mode 0 and any out-of-range code)
+    int dc = 128;
+    if (topa != 0 && lefta != 0) {{
+        int s = 0;
+        for (int i = 0; i < 8; i = i + 1) s = s + top[i] + left[i];
+        dc = (s + 8) >> 4;
+    }} else if (topa != 0) {{
+        int s = 0;
+        for (int i = 0; i < 8; i = i + 1) s = s + top[i];
+        dc = (s + 4) >> 3;
+    }} else if (lefta != 0) {{
+        int s = 0;
+        for (int i = 0; i < 8; i = i + 1) s = s + left[i];
+        dc = (s + 4) >> 3;
+    }}
+    for (int i = 0; i < 64; i = i + 1) pred[i] = dc;
+}}
+
+void mc(uchar* ref, int bx, int by, int mvx, int mvy, int* pred) {{
+    int x0 = bx * 8 + mvx;
+    int y0 = by * 8 + mvy;
+    for (int y = 0; y < 8; y = y + 1) {{
+        for (int x = 0; x < 8; x = x + 1) {{
+            int sx = x0 + x;
+            int sy = y0 + y;
+            if (sx < 0) sx = 0;
+            if (sx > W - 1) sx = W - 1;
+            if (sy < 0) sy = 0;
+            if (sy > H - 1) sy = H - 1;
+            pred[y * 8 + x] = ref[sy * W + sx];
+        }}
+    }}
+}}
+
+void deblock(uchar* rec) {{
+    for (int x = 8; x < W; x = x + 8) {{
+        for (int y = 0; y < H; y = y + 1) {{
+            int p0 = rec[y * W + x - 1];
+            int q0 = rec[y * W + x];
+            int delta = q0 - p0;
+            int mag = delta;
+            if (mag < 0) mag = -mag;
+            if (delta != 0 && mag < THR) {{
+                int adj = delta / 4;
+                rec[y * W + x - 1] = (uchar)clip255(p0 + adj);
+                rec[y * W + x] = (uchar)clip255(q0 - adj);
+            }}
+        }}
+    }}
+    for (int y = 8; y < H; y = y + 8) {{
+        for (int x = 0; x < W; x = x + 1) {{
+            int p0 = rec[(y - 1) * W + x];
+            int q0 = rec[y * W + x];
+            int delta = q0 - p0;
+            int mag = delta;
+            if (mag < 0) mag = -mag;
+            if (delta != 0 && mag < THR) {{
+                int adj = delta / 4;
+                rec[(y - 1) * W + x] = (uchar)clip255(p0 + adj);
+                rec[y * W + x] = (uchar)clip255(q0 - adj);
+            }}
+        }}
+    }}
+}}
+
+double frame_activity(uchar* rec) {{
+    double activity = 0.0;
+    for (int by = 0; by < BH; by = by + 1) {{
+        for (int bx = 0; bx < BW; bx = bx + 1) {{
+            int sum = 0;
+            int ssq = 0;
+            for (int y = 0; y < 8; y = y + 1) {{
+                for (int x = 0; x < 8; x = x + 1) {{
+                    int s = rec[(by * 8 + y) * W + bx * 8 + x];
+                    sum = sum + s;
+                    ssq = ssq + s * s;
+                }}
+            }}
+            double var = 64.0 * (double)ssq - (double)sum * (double)sum;
+            activity = activity + sqrt(fabs(var)) / 64.0;
+            for (int y = 0; y < 8; y = y + 1) {{
+                int row = 0;
+                for (int x = 0; x < 7; x = x + 1) {{
+                    int a = rec[(by * 8 + y) * W + bx * 8 + x];
+                    int b = rec[(by * 8 + y) * W + bx * 8 + x + 1];
+                    int d = b - a;
+                    if (d < 0) d = -d;
+                    row = row + d;
+                }}
+                activity = activity + (double)row * 0.001953125;
+            }}
+            for (int x = 0; x < 8; x = x + 1) {{
+                int col = 0;
+                for (int y = 0; y < 7; y = y + 1) {{
+                    int a = rec[(by * 8 + y) * W + bx * 8 + x];
+                    int b = rec[(by * 8 + y + 1) * W + bx * 8 + x];
+                    int d = b - a;
+                    if (d < 0) d = -d;
+                    col = col + d;
+                }}
+                activity = activity + (double)col * 0.001953125;
+            }}
+            for (int y = 0; y < 8; y = y + 2) {{
+                for (int x = 0; x < 7; x = x + 1) {{
+                    int a = rec[(by * 8 + y) * W + bx * 8 + x];
+                    int b = rec[(by * 8 + y) * W + bx * 8 + x + 1];
+                    int d = b - a;
+                    if (d < 0) d = -d;
+                    activity = activity + (double)d * 0.0009765625;
+                }}
+            }}
+        }}
+    }}
+    return activity;
+}}
+
+int main() {{
+    uint* in = (uint*)0x41000000;
+    bslen = (int)in[0];
+    bs = (uchar*)0x41000004;
+    uchar* out = (uchar*)0x42000000;
+    bitpos = 0;
+    fnv = 0x811c9dc5u;
+
+    BW = (int)get_ue();
+    BH = (int)get_ue();
+    int frames = (int)get_ue();
+    QP = (int)get_ue();
+    W = BW * 8;
+    H = BH * 8;
+    if (BW < 1 || BH < 1 || W * H > FBSTRIDE || frames < 1 || frames > 1024 || QP > 51) {{
+        return 1;
+    }}
+    QSTEP = (LEVSCALE[QP % 6] << (QP / 6)) >> 4;
+    if (QSTEP < 1) QSTEP = 1;
+    THR = QSTEP / 2 + 2;
+
+    double activity = 0.0;
+    int pred[64];
+    int resid[64];
+
+    for (int t = 0; t < frames; t = t + 1) {{
+        int ftype = (int)get_ue();
+        uchar* rec = fb + (t % 3) * FBSTRIDE;
+        uchar* ref1 = fb + ((t + 2) % 3) * FBSTRIDE;
+        uchar* ref2 = fb + ((t + 1) % 3) * FBSTRIDE;
+        if (t < 2) ref2 = ref1;
+        for (int by = 0; by < BH; by = by + 1) {{
+            for (int bx = 0; bx < BW; bx = bx + 1) {{
+                if (ftype == 0) {{
+                    int mode = (int)get_ue();
+                    intra_pred(rec, bx, by, mode, pred);
+                }} else if (ftype == 1) {{
+                    int mvx = get_se();
+                    int mvy = get_se();
+                    mc(ref1, bx, by, mvx, mvy, pred);
+                }} else {{
+                    int mvx = get_se();
+                    int mvy = get_se();
+                    int pred2[64];
+                    mc(ref1, bx, by, mvx, mvy, pred);
+                    mc(ref2, bx, by, mvx, mvy, pred2);
+                    for (int i = 0; i < 64; i = i + 1) {{
+                        pred[i] = (pred[i] + pred2[i] + 1) >> 1;
+                    }}
+                }}
+                decode_residual(resid);
+                for (int y = 0; y < 8; y = y + 1) {{
+                    for (int x = 0; x < 8; x = x + 1) {{
+                        int v = pred[y * 8 + x] + resid[y * 8 + x];
+                        rec[(by * 8 + y) * W + bx * 8 + x] = (uchar)clip255(v);
+                    }}
+                }}
+            }}
+        }}
+        deblock(rec);
+        activity = activity + frame_activity(rec);
+        for (int i = 0; i < W * H; i = i + 1) {{
+            uchar pix = rec[i];
+            out[i] = pix;
+            fnv = (fnv ^ (uint)pix) * 0x01000193u;
+        }}
+        out = out + W * H;
+    }}
+
+    emit(fnv);
+    u64 bits = __dbits(activity);
+    emit((uint)(bits >> 32));
+    emit((uint)bits);
+    return 0;
+}}
+"#
+    )
+}
+
+/// Builds the input blob (length word + bitstream bytes).
+pub fn input_blob(bitstream: &[u8]) -> Vec<u8> {
+    let mut blob = Vec::with_capacity(4 + bitstream.len());
+    blob.extend_from_slice(&(bitstream.len() as u32).to_be_bytes());
+    blob.extend_from_slice(bitstream);
+    blob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_compiles_in_both_modes() {
+        let src = decoder_source();
+        for mode in [nfp_cc::FloatMode::Hard, nfp_cc::FloatMode::Soft] {
+            nfp_cc::compile(&src, &nfp_cc::CompileOptions::new(mode))
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn input_blob_layout() {
+        let blob = input_blob(&[1, 2, 3]);
+        assert_eq!(blob, vec![0, 0, 0, 3, 1, 2, 3]);
+    }
+}

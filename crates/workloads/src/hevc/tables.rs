@@ -1,0 +1,112 @@
+#![allow(clippy::needless_range_loop)] // loops mirror the mini-C decoder
+
+//! Shared constants of the mini-HEVC codec: the 8-point integer
+//! transform matrix (HEVC's core DCT approximation), the zig-zag scan,
+//! and the quantiser step table.
+//!
+//! Everything here must match `minic.rs`, which embeds the same tables
+//! into the generated decoder source.
+
+/// HEVC's 8-point integer DCT-II approximation (core transform rows).
+pub const T8: [[i32; 8]; 8] = [
+    [64, 64, 64, 64, 64, 64, 64, 64],
+    [89, 75, 50, 18, -18, -50, -75, -89],
+    [83, 36, -36, -83, -83, -36, 36, 83],
+    [75, -18, -89, -50, 50, 89, 18, -75],
+    [64, -64, -64, 64, 64, -64, -64, 64],
+    [50, -89, 18, 75, -75, -18, 89, -50],
+    [36, -83, 83, -36, -36, 83, -83, 36],
+    [18, -50, 75, -89, 89, -75, 50, -18],
+];
+
+/// Zig-zag (up-right diagonal) scan order for an 8×8 block: maps scan
+/// position to raster index.
+pub fn zigzag8() -> [usize; 64] {
+    let mut order = [0usize; 64];
+    let mut idx = 0;
+    for s in 0..15 {
+        // diagonal s: positions with x + y == s
+        if s % 2 == 0 {
+            // up-right: start at (0, s) going to (s, 0)
+            let mut y = s.min(7) as isize;
+            let mut x = s as isize - y;
+            while y >= 0 && x <= 7 {
+                order[idx] = (y * 8 + x) as usize;
+                idx += 1;
+                y -= 1;
+                x += 1;
+            }
+        } else {
+            let mut x = s.min(7) as isize;
+            let mut y = s as isize - x;
+            while x >= 0 && y <= 7 {
+                order[idx] = (y * 8 + x) as usize;
+                idx += 1;
+                x -= 1;
+                y += 1;
+            }
+        }
+    }
+    order
+}
+
+/// Dequantiser level scales (HEVC's `levScale`), indexed by `qp % 6`.
+pub const LEV_SCALE: [i32; 6] = [40, 45, 51, 57, 64, 72];
+
+/// Quantiser step for a QP (a simplified HEVC-style exponential).
+pub fn qstep(qp: u32) -> i32 {
+    ((LEV_SCALE[(qp % 6) as usize] << (qp / 6)) >> 4).max(1)
+}
+
+/// Deblocking threshold for a QP.
+pub fn deblock_threshold(qp: u32) -> i32 {
+    qstep(qp) / 2 + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_rows_are_nearly_orthogonal() {
+        // HEVC's integer matrix only *approximates* an orthogonal DCT:
+        // off-diagonal products are small but not exactly zero.
+        for i in 0..8 {
+            for j in 0..8 {
+                let dot: i64 = (0..8).map(|k| (T8[i][k] * T8[j][k]) as i64).sum();
+                if i == j {
+                    assert!(dot > 30_000, "row {i} norm too small: {dot}");
+                } else {
+                    assert!(
+                        dot.abs() <= 100,
+                        "rows {i} and {j} far from orthogonal: {dot}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let z = zigzag8();
+        let mut seen = [false; 64];
+        for &p in &z {
+            assert!(!seen[p], "duplicate {p}");
+            seen[p] = true;
+        }
+        // starts at DC, then the two first off-diagonal positions
+        assert_eq!(z[0], 0);
+        assert!(z[1] == 1 || z[1] == 8);
+    }
+
+    #[test]
+    fn qstep_grows_with_qp() {
+        assert!(qstep(10) < qstep(32));
+        assert!(qstep(32) < qstep(45));
+        assert!(qstep(0) >= 1);
+        // paper QPs
+        assert_eq!(qstep(10), 8);
+        assert_eq!(qstep(32), 102);
+        assert_eq!(qstep(45), 456);
+    }
+}

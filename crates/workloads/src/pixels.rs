@@ -1,0 +1,133 @@
+//! Grayscale image container and pixel-level utilities shared by the
+//! workloads.
+
+/// An 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major samples.
+    pub data: Vec<u8>,
+}
+
+impl Image {
+    /// A black image of the given size.
+    pub fn new(width: usize, height: usize) -> Self {
+        Image {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Sample at (x, y).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the sample at (x, y).
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Clamped sample access (border extension), for filters and
+    /// motion compensation at frame edges.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.get(cx, cy)
+    }
+}
+
+/// Clips an i32 to the 8-bit sample range.
+#[inline]
+pub fn clip255(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+/// FNV-1a hash over bytes — the checksum the simulated workloads emit
+/// and the harness verifies against native references.
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Peak signal-to-noise ratio between two images, in dB.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width, b.width);
+    assert_eq!(a.height, b.height);
+    let sse: u64 = a
+        .data
+        .iter()
+        .zip(&b.data)
+        .map(|(&x, &y)| {
+            let d = x as i64 - y as i64;
+            (d * d) as u64
+        })
+        .sum();
+    if sse == 0 {
+        return f64::INFINITY;
+    }
+    let mse = sse as f64 / (a.width * a.height) as f64;
+    10.0 * (255.0f64 * 255.0 / mse).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_accessors() {
+        let mut img = Image::new(4, 3);
+        img.set(3, 2, 77);
+        assert_eq!(img.get(3, 2), 77);
+        assert_eq!(img.data.len(), 12);
+    }
+
+    #[test]
+    fn clamped_access_extends_borders() {
+        let mut img = Image::new(2, 2);
+        img.set(0, 0, 10);
+        img.set(1, 1, 20);
+        assert_eq!(img.get_clamped(-5, -5), 10);
+        assert_eq!(img.get_clamped(10, 10), 20);
+    }
+
+    #[test]
+    fn clip_range() {
+        assert_eq!(clip255(-1), 0);
+        assert_eq!(clip255(0), 0);
+        assert_eq!(clip255(128), 128);
+        assert_eq!(clip255(300), 255);
+    }
+
+    #[test]
+    fn fnv_known_values() {
+        assert_eq!(fnv1a(b""), 0x811c_9dc5);
+        assert_eq!(fnv1a(b"a"), 0xe40c_292c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let img = Image::new(8, 8);
+        assert!(psnr(&img, &img).is_infinite());
+        let mut other = img.clone();
+        other.set(0, 0, 255);
+        assert!(psnr(&img, &other) < 60.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Synthetic test-content generation.
+//!
+//! The paper evaluates on 24 Kodak photographs (FSE) and 3 raw video
+//! sequences (HEVC). Those data sets are not redistributable here, so
+//! this module generates deterministic procedural stand-ins with
+//! comparable signal structure: smooth gradients (low-frequency
+//! energy), sinusoidal textures (mid frequencies), value noise (high
+//! frequencies), and hard edges — plus the loss masks FSE conceals and
+//! the moving scenes the video encoder compresses.
+
+use crate::pixels::{clip255, Image};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Smooth pseudo-random value noise: bilinear interpolation of a
+/// coarse random lattice.
+fn value_noise(width: usize, height: usize, cell: usize, amp: f64, rng: &mut StdRng) -> Vec<f64> {
+    let gw = width / cell + 2;
+    let gh = height / cell + 2;
+    let lattice: Vec<f64> = (0..gw * gh).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut out = vec![0.0; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let fx = x as f64 / cell as f64;
+            let fy = y as f64 / cell as f64;
+            let x0 = fx.floor() as usize;
+            let y0 = fy.floor() as usize;
+            let tx = fx - x0 as f64;
+            let ty = fy - y0 as f64;
+            // smoothstep for C1 continuity
+            let sx = tx * tx * (3.0 - 2.0 * tx);
+            let sy = ty * ty * (3.0 - 2.0 * ty);
+            let l = |gx: usize, gy: usize| lattice[gy * gw + gx];
+            let a = l(x0, y0) * (1.0 - sx) + l(x0 + 1, y0) * sx;
+            let b = l(x0, y0 + 1) * (1.0 - sx) + l(x0 + 1, y0 + 1) * sx;
+            out[y * width + x] = amp * (a * (1.0 - sy) + b * sy);
+        }
+    }
+    out
+}
+
+/// Generates one "Kodak-like" photograph: a smooth illumination
+/// gradient, two sinusoidal textures, multi-octave value noise, and a
+/// couple of hard object edges. `seed` selects the picture.
+pub fn test_image(width: usize, height: usize, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let base: f64 = rng.gen_range(90.0..150.0);
+    let gx: f64 = rng.gen_range(-0.8..0.8);
+    let gy: f64 = rng.gen_range(-0.8..0.8);
+    let f1: f64 = rng.gen_range(0.05..0.25);
+    let f2: f64 = rng.gen_range(0.02..0.12);
+    let a1: f64 = rng.gen_range(8.0..28.0);
+    let a2: f64 = rng.gen_range(5.0..20.0);
+    let phase1: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let noise_coarse = value_noise(width, height, 12, rng.gen_range(10.0..25.0), &mut rng);
+    let noise_fine = value_noise(width, height, 3, rng.gen_range(2.0..7.0), &mut rng);
+    // Hard edges: a diagonal boundary and a rectangular "object".
+    let edge_slope: f64 = rng.gen_range(-1.2..1.2);
+    let edge_off: f64 = rng.gen_range(0.2..0.8) * height as f64;
+    let edge_jump: f64 = rng.gen_range(-45.0..45.0);
+    let rx0 = rng.gen_range(0..width / 2);
+    let ry0 = rng.gen_range(0..height / 2);
+    let rw = rng.gen_range(width / 6..width / 2);
+    let rh = rng.gen_range(height / 6..height / 2);
+    let rect_jump: f64 = rng.gen_range(-35.0..35.0);
+
+    let mut img = Image::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let xf = x as f64;
+            let yf = y as f64;
+            let mut v = base + gx * xf + gy * yf;
+            v += a1 * (f1 * xf + phase1).sin() * (f1 * 0.7 * yf).cos();
+            v += a2 * (f2 * (xf + 2.0 * yf)).sin();
+            v += noise_coarse[y * width + x] + noise_fine[y * width + x];
+            if yf > edge_slope * xf + edge_off {
+                v += edge_jump;
+            }
+            if x >= rx0 && x < rx0 + rw && y >= ry0 && y < ry0 + rh {
+                v += rect_jump;
+            }
+            img.set(x, y, clip255(v.round() as i32));
+        }
+    }
+    img
+}
+
+/// A loss mask: `true` marks samples whose content is unknown and must
+/// be extrapolated. Each seed yields a different pattern of lost 8x8
+/// blocks plus, for odd seeds, a lost scanline stripe — mimicking slice
+/// loss in transmission-error concealment.
+pub fn loss_mask(width: usize, height: usize, lost_blocks: usize, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x517c_c1b7).wrapping_add(3));
+    let mut mask = vec![false; width * height];
+    let bw = width / 8;
+    let bh = height / 8;
+    let mut placed = 0;
+    let mut guard = 0;
+    while placed < lost_blocks && guard < 1000 {
+        guard += 1;
+        let bx = rng.gen_range(0..bw);
+        let by = rng.gen_range(0..bh);
+        // keep blocks off the outer border so every block has support
+        if bx == 0 || by == 0 || bx == bw - 1 || by == bh - 1 {
+            continue;
+        }
+        let already = mask[(by * 8) * width + bx * 8];
+        if already {
+            continue;
+        }
+        for y in 0..8 {
+            for x in 0..8 {
+                mask[(by * 8 + y) * width + bx * 8 + x] = true;
+            }
+        }
+        placed += 1;
+    }
+    mask
+}
+
+/// A synthetic video scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scene {
+    /// Smooth gradient panning horizontally (very compressible).
+    GradientPan,
+    /// A textured background with a moving rectangular object.
+    MovingObject,
+    /// High-entropy noise with a slow global drift (hard to code).
+    NoisyDrift,
+}
+
+impl Scene {
+    /// The three scenes of the evaluation (stand-ins for the paper's
+    /// three raw input sequences).
+    pub const ALL: [Scene; 3] = [Scene::GradientPan, Scene::MovingObject, Scene::NoisyDrift];
+
+    /// Short name used in kernel identifiers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scene::GradientPan => "gradpan",
+            Scene::MovingObject => "movobj",
+            Scene::NoisyDrift => "noisy",
+        }
+    }
+}
+
+/// Generates `frames` frames of a scene.
+pub fn test_sequence(scene: Scene, width: usize, height: usize, frames: usize) -> Vec<Image> {
+    let mut out = Vec::with_capacity(frames);
+    match scene {
+        Scene::GradientPan => {
+            for t in 0..frames {
+                let mut img = Image::new(width, height);
+                for y in 0..height {
+                    for x in 0..width {
+                        let v = 40.0
+                            + 1.4 * ((x + 3 * t) % width) as f64
+                            + 0.8 * y as f64
+                            + 12.0 * ((x as f64 * 0.11) + t as f64 * 0.2).sin();
+                        img.set(x, y, clip255(v as i32));
+                    }
+                }
+                out.push(img);
+            }
+        }
+        Scene::MovingObject => {
+            let mut rng = StdRng::seed_from_u64(77);
+            let bg = value_noise(width, height, 6, 30.0, &mut rng);
+            for t in 0..frames {
+                let mut img = Image::new(width, height);
+                // On frames barely larger than the object, pin it to
+                // the corner instead of dividing by zero.
+                let ox = (4 + 5 * t) % width.saturating_sub(16).max(1);
+                let oy = (3 + 3 * t) % height.saturating_sub(16).max(1);
+                for y in 0..height {
+                    for x in 0..width {
+                        let mut v = 120.0 + bg[y * width + x];
+                        if x >= ox && x < ox + 16 && y >= oy && y < oy + 16 {
+                            v = 220.0 - 4.0 * ((x - ox) as f64 - 8.0).abs();
+                        }
+                        img.set(x, y, clip255(v as i32));
+                    }
+                }
+                out.push(img);
+            }
+        }
+        Scene::NoisyDrift => {
+            let mut rng = StdRng::seed_from_u64(991);
+            let tex = value_noise(width * 2, height, 2, 55.0, &mut rng);
+            for t in 0..frames {
+                let mut img = Image::new(width, height);
+                for y in 0..height {
+                    for x in 0..width {
+                        let sx = (x + 2 * t) % (width * 2);
+                        let v = 128.0 + tex[y * width * 2 + sx];
+                        img.set(x, y, clip255(v as i32));
+                    }
+                }
+                out.push(img);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_deterministic_per_seed() {
+        let a = test_image(48, 48, 5);
+        let b = test_image(48, 48, 5);
+        let c = test_image(48, 48, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn images_have_nontrivial_content() {
+        let img = test_image(64, 48, 1);
+        let min = *img.data.iter().min().unwrap();
+        let max = *img.data.iter().max().unwrap();
+        assert!(max - min > 40, "image should have dynamic range");
+    }
+
+    #[test]
+    fn masks_lose_whole_interior_blocks() {
+        let mask = loss_mask(64, 64, 5, 9);
+        let lost: usize = mask.iter().filter(|&&m| m).count();
+        assert_eq!(lost, 5 * 64);
+        // border must be intact
+        for x in 0..64 {
+            assert!(!mask[x]);
+            assert!(!mask[63 * 64 + x]);
+        }
+        // block-aligned: each lost sample's 8x8 block is fully lost
+        for y in 0..64 {
+            for x in 0..64 {
+                if mask[y * 64 + x] {
+                    let bx = x / 8 * 8;
+                    let by = y / 8 * 8;
+                    assert!(mask[by * 64 + bx]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_move() {
+        for scene in Scene::ALL {
+            let frames = test_sequence(scene, 64, 48, 3);
+            assert_eq!(frames.len(), 3);
+            assert_ne!(frames[0], frames[1], "{scene:?} should have motion");
+            // determinism
+            let again = test_sequence(scene, 64, 48, 3);
+            assert_eq!(frames, again);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Differential validation of the simulated workloads: the mini-C
+//! programs, compiled and executed on the SPARC V8 simulator, must
+//! reproduce the native reference implementations bit-exactly —
+//! decoded pixels, concealed pixels, and the double-precision activity
+//! statistic — in both float modes (the paper relies on float and
+//! fixed kernels producing identical outputs).
+
+use nfp_cc::FloatMode;
+use nfp_workloads::hevc::{self, Config};
+use nfp_workloads::synth::{loss_mask, test_image, test_sequence, Scene};
+use nfp_workloads::{fse, machine_for, Kernel, Workload, OUTPUT_BASE};
+
+fn run_kernel(kernel: &Kernel, mode: FloatMode) -> (Vec<u32>, nfp_sim::Machine) {
+    let mut machine = machine_for(kernel, mode);
+    let result = machine
+        .run(nfp_workloads::KERNEL_BUDGET)
+        .unwrap_or_else(|e| panic!("{} [{mode:?}]: {e}", kernel.name));
+    assert_eq!(result.exit_code, 0, "{} [{mode:?}]", kernel.name);
+    (result.words, machine)
+}
+
+#[test]
+fn hevc_simulated_decoder_matches_native_reference() {
+    let frames = test_sequence(Scene::MovingObject, 32, 24, 3);
+    for config in Config::ALL {
+        for qp in [10u32, 45] {
+            let encoded = hevc::encode(&frames, config, qp);
+            let decoded = hevc::decode(&encoded.bytes).unwrap();
+            let kernel = Kernel {
+                name: format!("test_{}_{qp}", config.name()),
+                workload: Workload::Hevc,
+                input: hevc::minic::input_blob(&encoded.bytes),
+                expected_words: vec![],
+                seed: 0,
+            };
+            for mode in [FloatMode::Hard, FloatMode::Soft] {
+                let (words, machine) = run_kernel(&kernel, mode);
+                // Checksum + activity bits.
+                let mut all = Vec::new();
+                for f in &decoded.frames {
+                    all.extend_from_slice(&f.data);
+                }
+                assert_eq!(
+                    words[0],
+                    nfp_workloads::fnv1a(&all),
+                    "{} [{mode:?}]: pixel checksum",
+                    kernel.name
+                );
+                let activity_bits = ((words[1] as u64) << 32) | words[2] as u64;
+                assert_eq!(
+                    activity_bits,
+                    decoded.activity.to_bits(),
+                    "{} [{mode:?}]: activity {:e} vs {:e}",
+                    kernel.name,
+                    f64::from_bits(activity_bits),
+                    decoded.activity,
+                );
+                // Full per-pixel comparison of the output region.
+                let frame_len = 32 * 24;
+                for (i, frame) in decoded.frames.iter().enumerate() {
+                    let out = machine
+                        .bus
+                        .read_bytes(OUTPUT_BASE + (i * frame_len) as u32, frame_len);
+                    assert_eq!(out, &frame.data[..], "frame {i} pixels");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fse_simulated_matches_native_reference() {
+    let size = 32;
+    let img = test_image(size, size, 7);
+    let mask = loss_mask(size, size, 2, 7);
+    let mut lost = img.clone();
+    for (p, &m) in lost.data.iter_mut().zip(&mask) {
+        if m {
+            *p = 0;
+        }
+    }
+    let mut concealed = lost.clone();
+    fse::conceal(&mut concealed, &mask, 8);
+
+    let kernel = Kernel {
+        name: "test_fse".into(),
+        workload: Workload::Fse,
+        input: fse::minic::input_blob(&lost, &mask, 8),
+        expected_words: vec![],
+        seed: 0,
+    };
+    for mode in [FloatMode::Hard, FloatMode::Soft] {
+        let (words, machine) = run_kernel(&kernel, mode);
+        assert_eq!(
+            words[0],
+            nfp_workloads::fnv1a(&concealed.data),
+            "[{mode:?}] checksum"
+        );
+        let out = machine.bus.read_bytes(OUTPUT_BASE, size * size);
+        assert_eq!(out, &concealed.data[..], "[{mode:?}] pixels");
+    }
+}
+
+#[test]
+fn registry_kernels_verify_on_the_simulator() {
+    // One representative of each workload from the quick registry.
+    let preset = nfp_workloads::Preset::quick();
+    let kernels = nfp_workloads::all_kernels(&preset);
+    let hevc_k = kernels.iter().find(|k| k.workload == Workload::Hevc).unwrap();
+    let fse_k = kernels.iter().find(|k| k.workload == Workload::Fse).unwrap();
+    for kernel in [hevc_k, fse_k] {
+        for mode in [FloatMode::Hard, FloatMode::Soft] {
+            let (words, _) = run_kernel(kernel, mode);
+            assert_eq!(
+                words, kernel.expected_words,
+                "{} [{mode:?}]",
+                kernel.name
+            );
+        }
+    }
+}
+
+#[test]
+fn float_and_fixed_produce_identical_output() {
+    // The paper's premise for Table IV: -msoft-float changes nothing
+    // functionally.
+    let preset = nfp_workloads::Preset::quick();
+    let kernels = nfp_workloads::fse_kernels(&preset);
+    let kernel = &kernels[3];
+    let (hard, _) = run_kernel(kernel, FloatMode::Hard);
+    let (soft, _) = run_kernel(kernel, FloatMode::Soft);
+    assert_eq!(hard, soft);
+}
+
+#[test]
+fn soft_kernels_execute_many_more_instructions() {
+    let preset = nfp_workloads::Preset::quick();
+    let kernels = nfp_workloads::fse_kernels(&preset);
+    let kernel = &kernels[0];
+    let count = |mode| {
+        let mut machine = machine_for(kernel, mode);
+        machine.run(nfp_workloads::KERNEL_BUDGET).unwrap().instret
+    };
+    let hard = count(FloatMode::Hard);
+    let soft = count(FloatMode::Soft);
+    assert!(
+        soft as f64 > hard as f64 * 4.0,
+        "FSE soft/hard instruction ratio too small: {soft} / {hard}"
+    );
+}

@@ -1,0 +1,95 @@
+//! Bring your own kernel: compile a user-written mini-C program, look
+//! at its instruction-category profile, and get NFP estimates for both
+//! hardware configurations — all before any "hardware" runs.
+//!
+//! Run with: `cargo run --release --example custom_kernel`
+
+use nfp_repro::cc::{compile, CompileOptions, FloatMode};
+use nfp_repro::core::{calibrate, ClassCounter, Paper};
+use nfp_repro::sim::{Machine, MachineConfig};
+use nfp_repro::sparc::Category;
+use nfp_repro::testbed::Testbed;
+
+/// An 8x8 matrix multiply in fixed point and a dot product in double —
+/// a kernel with a tunable integer/float mix.
+const KERNEL: &str = r#"
+int a[64];
+int b[64];
+int c[64];
+
+int main() {
+    for (int i = 0; i < 64; i = i + 1) {
+        a[i] = (i * 7 + 3) % 31;
+        b[i] = (i * 13 + 1) % 29;
+    }
+    for (int rep = 0; rep < 40; rep = rep + 1) {
+        for (int i = 0; i < 8; i = i + 1) {
+            for (int j = 0; j < 8; j = j + 1) {
+                int acc = 0;
+                for (int k = 0; k < 8; k = k + 1) {
+                    acc = acc + a[i * 8 + k] * b[k * 8 + j];
+                }
+                c[i * 8 + j] = acc;
+            }
+        }
+    }
+    double dot = 0.0;
+    for (int i = 0; i < 64; i = i + 1) {
+        dot = dot + (double)c[i] * (double)a[i];
+    }
+    emit((uint)(int)(dot / 1000.0));
+    return 0;
+}
+"#;
+
+fn main() {
+    let testbed = Testbed::new();
+    let calibration = calibrate(&testbed, &Paper, 11).expect("calibration");
+
+    println!("per-configuration NFP estimates for the custom kernel:\n");
+    for (label, mode) in [("with FPU (float)", FloatMode::Hard), ("no FPU (fixed)", FloatMode::Soft)] {
+        let program = compile(KERNEL, &CompileOptions::new(mode)).expect("compile");
+        let mut machine = Machine::new(MachineConfig {
+            fpu_enabled: mode == FloatMode::Hard,
+            ..MachineConfig::default()
+        });
+        machine.load_image(program.base, &program.words);
+        let mut counter = ClassCounter::new(Paper);
+        let run = machine
+            .run_observed(10_000_000_000, &mut counter)
+            .expect("simulate");
+        let est = calibration.model.estimate(counter.counts());
+
+        println!("== {label} ==");
+        println!("  functional result: {}", run.words[0]);
+        println!("  instruction profile ({} total):", run.instret);
+        for (cat, &n) in Category::ALL.iter().zip(counter.counts()) {
+            if n > 0 {
+                println!(
+                    "    {:<20} {:>9}  ({:5.1}%)",
+                    cat.name(),
+                    n,
+                    n as f64 / run.instret as f64 * 100.0
+                );
+            }
+        }
+        println!(
+            "  estimated: {:.3} ms, {:.3} mJ",
+            est.time_s * 1e3,
+            est.energy_j * 1e3
+        );
+        // Cross-check against a virtual measurement.
+        let mut machine = Machine::new(MachineConfig {
+            fpu_enabled: mode == FloatMode::Hard,
+            ..MachineConfig::default()
+        });
+        machine.load_image(program.base, &program.words);
+        let measured = testbed.run(&mut machine, 3, 10_000_000_000).expect("measure");
+        println!(
+            "  measured:  {:.3} ms, {:.3} mJ  (time error {:+.2}%)\n",
+            measured.measurement.time_s * 1e3,
+            measured.measurement.energy_j * 1e3,
+            (est.time_s - measured.measurement.time_s) / measured.measurement.time_s * 100.0
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Quickstart: estimate time and energy of a program without running
+//! it on hardware.
+//!
+//! The paper's workflow in five steps:
+//! 1. write an embedded kernel (mini-C),
+//! 2. compile it for the SPARC V8 target,
+//! 3. calibrate the per-category cost model on the (virtual) board,
+//! 4. count instructions on the fast functional simulator,
+//! 5. estimate `Ê = Σ e_c·n_c`, `T̂ = Σ t_c·n_c` — and compare with a
+//!    real measurement.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nfp_repro::cc::{compile, CompileOptions, FloatMode};
+use nfp_repro::core::{calibrate, ClassCounter, Paper};
+use nfp_repro::sim::Machine;
+use nfp_repro::testbed::Testbed;
+
+const KERNEL: &str = r#"
+// A small image-processing-flavoured kernel: 3-tap smoothing over a
+// synthetic line buffer, with a couple of double operations.
+uchar line[256];
+
+int main() {
+    // fill the line with a ramp + texture
+    for (int i = 0; i < 256; i = i + 1) {
+        line[i] = (uchar)(i + ((i * 37) >> 3));
+    }
+    // 3-tap filter, 64 passes
+    for (int pass = 0; pass < 64; pass = pass + 1) {
+        for (int i = 1; i < 255; i = i + 1) {
+            int v = (line[i - 1] + 2 * line[i] + line[i + 1] + 2) >> 2;
+            line[i] = (uchar)v;
+        }
+    }
+    // a little floating-point statistics, like real codecs do
+    double acc = 0.0;
+    for (int i = 0; i < 256; i = i + 1) {
+        double s = (double)line[i];
+        acc = acc + s * s;
+    }
+    double rms = sqrt(acc / 256.0);
+    emit((uint)(rms * 1000.0));
+    return 0;
+}
+"#;
+
+fn main() {
+    // 1-2. Compile for the FPU-equipped target.
+    let program = compile(KERNEL, &CompileOptions::new(FloatMode::Hard)).expect("compile");
+    println!(
+        "compiled: {} instruction words, {} symbols",
+        program.text_words,
+        program.symbols.len()
+    );
+
+    // 3. Calibrate Table I on the virtual board (differential
+    //    reference/test kernels, Eq. 2).
+    let testbed = Testbed::new();
+    let calibration = calibrate(&testbed, &Paper, 42).expect("calibration");
+    println!("\ncalibrated specific costs (Table I):");
+    for (i, d) in calibration.details.iter().enumerate() {
+        println!(
+            "  {:<20} t_c = {:7.1} ns   e_c = {:7.1} nJ",
+            d.class,
+            calibration.model.time_s[i] * 1e9,
+            calibration.model.energy_j[i] * 1e9,
+        );
+    }
+
+    // 4. Count instructions per category on the fast ISS.
+    let mut machine = Machine::boot(&program.words);
+    let mut counter = ClassCounter::new(Paper);
+    let run = machine
+        .run_observed(1_000_000_000, &mut counter)
+        .expect("simulation");
+    println!(
+        "\nfunctional result: rms*1000 = {}   ({} instructions executed)",
+        run.words[0], run.instret
+    );
+
+    // 5. Estimate — and verify against a measured run.
+    let estimate = calibration.model.estimate(counter.counts());
+    let mut machine = Machine::boot(&program.words);
+    let measured = testbed.run(&mut machine, 7, 1_000_000_000).expect("measurement");
+    println!("\n              {:>12} {:>12}", "estimated", "measured");
+    println!(
+        "time          {:>9.3} ms {:>9.3} ms   ({:+.2}% error)",
+        estimate.time_s * 1e3,
+        measured.measurement.time_s * 1e3,
+        (estimate.time_s - measured.measurement.time_s) / measured.measurement.time_s * 100.0
+    );
+    println!(
+        "energy        {:>9.3} mJ {:>9.3} mJ   ({:+.2}% error)",
+        estimate.energy_j * 1e3,
+        measured.measurement.energy_j * 1e3,
+        (estimate.energy_j - measured.measurement.energy_j) / measured.measurement.energy_j
+            * 100.0
+    );
+}

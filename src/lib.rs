@@ -1,0 +1,11 @@
+//! Umbrella crate for the NFP-estimation reproduction.
+//!
+//! Re-exports the public APIs of all member crates so examples and
+//! integration tests can use a single dependency.
+
+pub use nfp_cc as cc;
+pub use nfp_core as core;
+pub use nfp_sim as sim;
+pub use nfp_sparc as sparc;
+pub use nfp_testbed as testbed;
+pub use nfp_workloads as workloads;
