@@ -36,8 +36,13 @@ fn bench_sim_layers(c: &mut Criterion) {
                 count_categories: false,
                 ..MachineConfig::default()
             });
-            machine.load_image(program.base, &program.words);
-            machine.bus.write_bytes(INPUT_BASE, &kernel.input);
+            machine
+                .load_image(program.base, &program.words)
+                .expect("image fits in RAM");
+            machine
+                .bus
+                .write_bytes(INPUT_BASE, &kernel.input)
+                .expect("input fits in RAM");
             machine.run(u64::MAX).unwrap().instret
         })
     });

@@ -2,9 +2,9 @@
 //! the host (useful to separate simulator cost from algorithm cost).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nfp_workloads::fse;
 use nfp_workloads::hevc::{decode, encode, Config};
 use nfp_workloads::synth::{loss_mask, test_image, test_sequence, Scene};
-use nfp_workloads::fse;
 
 fn bench_hevc(c: &mut Criterion) {
     let frames = test_sequence(Scene::MovingObject, 64, 48, 6);

@@ -8,13 +8,15 @@
 //! repro fig1                   # Fig. 1   — simulation speed vs accuracy
 //! repro ablation-categories    # E6 — model granularity
 //! repro ablation-calibration   # E7 — calibration sensitivity
-//! repro all                    # everything above
+//! repro campaign               # SEU fault-injection vulnerability report
+//! repro all                    # everything above (campaign excluded: opt-in)
 //! repro all --quick            # reduced workload sizes (fast smoke run)
 //! ```
 
 use nfp_bench::{
-    report_ablation_calibration, report_ablation_categories, report_fig1, report_fig4,
-    report_table1, report_table3, report_table4, Evaluation, KernelResult,
+    report_ablation_calibration, report_ablation_categories, report_campaign, report_fig1,
+    report_fig4, report_table1, report_table3, report_table4, run_campaign_parallel,
+    CampaignConfig, Evaluation, KernelResult, Mode,
 };
 use nfp_workloads::{all_kernels, fse_kernels, hevc_kernels, Kernel, Preset};
 
@@ -41,7 +43,9 @@ fn run_results(eval: &Evaluation, kernels: &[Kernel]) -> Vec<KernelResult> {
     eprintln!(
         "  running {} kernels x 2 variants across {} threads...",
         kernels.len(),
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     eval.run_all_parallel(kernels).expect("kernel sweep")
 }
@@ -89,7 +93,7 @@ fn main() {
         ran_any = true;
         let kernels = hevc_kernels(&preset);
         let kernel = &kernels[0];
-        let (text, _) = report_fig1(&eval, kernel);
+        let (text, _) = report_fig1(&eval, kernel).expect("fig1");
         println!("{text}");
     }
     if want("ablation-categories") {
@@ -115,9 +119,23 @@ fn main() {
         let text = nfp_bench::report_cache_extension(&subset).expect("cache extension");
         println!("{text}");
     }
+    // Opt-in only (not part of `all`): a campaign over the paper-size
+    // kernels replays millions of instructions per injection.
+    if command == "campaign" {
+        ran_any = true;
+        let cfg = CampaignConfig::default();
+        for kernel in &showcase_kernels(&preset) {
+            eprintln!(
+                "  injecting {} faults into {}...",
+                cfg.injections, kernel.name
+            );
+            let result = run_campaign_parallel(kernel, Mode::Float, &cfg).expect("campaign");
+            println!("{}", report_campaign(&result));
+        }
+    }
     if !ran_any {
         eprintln!(
-            "unknown command `{command}`; expected table1|fig4|table3|table4|fig1|ablation-categories|ablation-calibration|cache|all"
+            "unknown command `{command}`; expected table1|fig4|table3|table4|fig1|ablation-categories|ablation-calibration|cache|campaign|all"
         );
         std::process::exit(2);
     }

@@ -2,8 +2,7 @@
 //! estimation, and ground-truth measurement.
 
 use nfp_cc::FloatMode;
-use nfp_core::{calibrate, Calibration, ClassCounter, Classifier, Estimate, Paper};
-use nfp_sim::SimError;
+use nfp_core::{calibrate, Calibration, ClassCounter, Classifier, Estimate, NfpError, Paper};
 use nfp_testbed::{HwTotals, Measurement, Testbed};
 use nfp_workloads::{machine_for, Kernel, KERNEL_BUDGET};
 
@@ -78,7 +77,7 @@ pub struct Evaluation {
 
 impl Evaluation {
     /// Calibrates the paper's nine-class model on a fresh testbed.
-    pub fn new() -> Result<Self, SimError> {
+    pub fn new() -> Result<Self, NfpError> {
         let testbed = Testbed::new();
         let calibration = calibrate(&testbed, &Paper, 0xcafe)?;
         Ok(Evaluation {
@@ -90,7 +89,7 @@ impl Evaluation {
     /// Runs one kernel variant through the full pipeline: ISS counting
     /// pass (verifying functional output), estimation, and measured
     /// testbed pass.
-    pub fn run_kernel(&self, kernel: &Kernel, mode: Mode) -> Result<KernelResult, SimError> {
+    pub fn run_kernel(&self, kernel: &Kernel, mode: Mode) -> Result<KernelResult, NfpError> {
         self.run_kernel_with(kernel, mode, &Paper, &self.calibration.model)
     }
 
@@ -102,21 +101,22 @@ impl Evaluation {
         mode: Mode,
         classifier: &C,
         model: &nfp_core::CostModel,
-    ) -> Result<KernelResult, SimError> {
+    ) -> Result<KernelResult, NfpError> {
         // Pass 1: fast ISS with per-class counters.
         let mut counter = ClassCounter::new(classifier.clone());
         let mut machine = machine_for(kernel, mode.float_mode());
         let run = machine.run_observed(KERNEL_BUDGET, &mut counter)?;
-        assert_eq!(
-            run.exit_code, 0,
-            "{}: kernel reported failure",
-            kernel.name
-        );
-        assert_eq!(
-            run.words, kernel.expected_words,
-            "{} [{mode:?}]: functional output mismatch",
-            kernel.name
-        );
+        if run.exit_code != 0 {
+            return Err(NfpError::KernelFailed {
+                kernel: format!("{}_{}", kernel.name, mode.suffix()),
+                exit_code: run.exit_code,
+            });
+        }
+        if run.words != kernel.expected_words {
+            return Err(NfpError::OutputMismatch {
+                kernel: format!("{}_{}", kernel.name, mode.suffix()),
+            });
+        }
         let counts = counter.counts().to_vec();
         let estimate = model.estimate(&counts);
 
@@ -138,7 +138,7 @@ impl Evaluation {
 
     /// Runs every kernel in both variants (the paper's M = 2×|kernels|
     /// evaluation set).
-    pub fn run_all(&self, kernels: &[Kernel]) -> Result<Vec<KernelResult>, SimError> {
+    pub fn run_all(&self, kernels: &[Kernel]) -> Result<Vec<KernelResult>, NfpError> {
         let mut results = Vec::with_capacity(kernels.len() * 2);
         for kernel in kernels {
             for mode in Mode::BOTH {
@@ -151,7 +151,7 @@ impl Evaluation {
     /// Like [`Evaluation::run_all`] but sweeping kernels across worker
     /// threads (each kernel variant runs on its own independent
     /// simulator instance; results keep deterministic order).
-    pub fn run_all_parallel(&self, kernels: &[Kernel]) -> Result<Vec<KernelResult>, SimError> {
+    pub fn run_all_parallel(&self, kernels: &[Kernel]) -> Result<Vec<KernelResult>, NfpError> {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Mutex;
 
@@ -161,7 +161,7 @@ impl Evaluation {
             .enumerate()
             .map(|(i, (k, m))| (i, k, m))
             .collect();
-        let slots: Vec<Mutex<Option<Result<KernelResult, SimError>>>> =
+        let slots: Vec<Mutex<Option<Result<KernelResult, NfpError>>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = std::thread::available_parallelism()
@@ -176,13 +176,21 @@ impl Evaluation {
                         break;
                     };
                     let result = self.run_kernel(kernel, mode);
-                    *slots[slot].lock().expect("result slot") = Some(result);
+                    *slots[slot]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|s| s.into_inner().expect("slot lock").expect("job completed"))
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .ok_or(NfpError::Empty {
+                        what: "parallel result slot",
+                    })?
+            })
             .collect()
     }
 }

@@ -12,9 +12,19 @@
 //! * [`report_fig1`]   — simulation-speed vs accuracy landscape;
 //! * [`report_ablation_categories`] / [`report_ablation_calibration`] —
 //!   additional ablations.
+//!
+//! Beyond the paper, [`campaign`] adds SEU fault-injection campaigns:
+//! [`run_campaign`] replays a kernel under seeded single-bit flips and
+//! classifies each replay as masked/SDC/trap/hang into a
+//! per-instruction-category vulnerability report.
 
+pub mod campaign;
 pub mod evaluation;
 pub mod reports;
 
+pub use campaign::{
+    report_campaign, run_campaign, run_campaign_parallel, CampaignConfig, CampaignResult,
+    InjectionRecord,
+};
 pub use evaluation::{Evaluation, KernelResult, Mode};
 pub use reports::*;

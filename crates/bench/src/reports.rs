@@ -3,7 +3,7 @@
 
 use crate::evaluation::{Evaluation, KernelResult, Mode};
 use nfp_core::{
-    calibrate, calibrate_class, paper_table1, Coarse, ErrorSummary, Fine, Paper,
+    calibrate, calibrate_class, paper_table1, Coarse, ErrorSummary, Fine, NfpError, Paper,
 };
 use nfp_sim::MachineConfig;
 use nfp_testbed::{AreaModel, HwObserver, Testbed};
@@ -50,8 +50,12 @@ consistency: {} structural finding(s); mixed-kernel residuals time {:+.2}%, ener
                 writeln!(out, "  {f}").unwrap();
             }
         }
-        Err(e) => writeln!(out, "
-consistency validation failed: {e}").unwrap(),
+        Err(e) => writeln!(
+            out,
+            "
+consistency validation failed: {e}"
+        )
+        .unwrap(),
     }
     out
 }
@@ -90,6 +94,9 @@ pub fn report_table3(results: &[KernelResult]) -> String {
         ErrorSummary::from_errors(&results.iter().map(|r| r.energy_error()).collect::<Vec<_>>());
     let t_summary =
         ErrorSummary::from_errors(&results.iter().map(|r| r.time_error()).collect::<Vec<_>>());
+    let (Some(e_summary), Some(t_summary)) = (e_summary, t_summary) else {
+        return "TABLE III — no kernel results to summarise\n".to_string();
+    };
     let mut out = String::new();
     writeln!(
         out,
@@ -153,12 +160,7 @@ pub fn report_table4(results: &[KernelResult]) -> String {
     let fpu_le = AreaModel::with_fpu().logical_elements();
     let mut out = String::new();
     writeln!(out, "TABLE IV — change when introducing an FPU").unwrap();
-    writeln!(
-        out,
-        "{:<22} {:>12} {:>16}",
-        "", "FSE", "HEVC Decoding"
-    )
-    .unwrap();
+    writeln!(out, "{:<22} {:>12} {:>16}", "", "FSE", "HEVC Decoding").unwrap();
     writeln!(
         out,
         "{:<22} {:>11.1}% {:>15.1}%   (paper: -92.6% / -42.9%)",
@@ -203,9 +205,12 @@ pub struct Fig1Point {
 /// three simulator classes run on the same kernel: the detailed
 /// hardware model ("CAS-like", defines ground truth), the ISS with the
 /// mechanistic model (this paper), and the bare ISS (functional only).
-pub fn report_fig1(eval: &Evaluation, kernel: &Kernel) -> (String, Vec<Fig1Point>) {
+pub fn report_fig1(
+    eval: &Evaluation,
+    kernel: &Kernel,
+) -> Result<(String, Vec<Fig1Point>), NfpError> {
     let mode = Mode::Float;
-    let run_timed = |count: bool, detailed: bool| -> (f64, u64) {
+    let run_timed = |count: bool, detailed: bool| -> Result<(f64, u64), NfpError> {
         let mut machine = machine_for(kernel, mode.float_mode());
         if !count {
             machine = {
@@ -214,30 +219,31 @@ pub fn report_fig1(eval: &Evaluation, kernel: &Kernel) -> (String, Vec<Fig1Point
                     count_categories: false,
                     ..MachineConfig::default()
                 });
-                m.load_image(program.base, &program.words);
+                m.load_image(program.base, &program.words)?;
                 m.bus
-                    .write_bytes(nfp_workloads::INPUT_BASE, &kernel.input);
+                    .write_bytes(nfp_workloads::INPUT_BASE, &kernel.input)
+                    .map_err(nfp_sim::SimError::from)?;
                 m
             };
         }
         let start = std::time::Instant::now();
         let instret = if detailed {
             let mut obs = HwObserver::new(eval.testbed.hw.clone());
-            machine.run_observed(KERNEL_BUDGET, &mut obs).unwrap().instret
+            machine.run_observed(KERNEL_BUDGET, &mut obs)?.instret
         } else {
-            machine.run(KERNEL_BUDGET).unwrap().instret
+            machine.run(KERNEL_BUDGET)?.instret
         };
         let dt = start.elapsed().as_secs_f64().max(1e-9);
-        (instret as f64 / dt, instret)
+        Ok((instret as f64 / dt, instret))
     };
 
     // NFP accuracy of the mechanistic layer on this kernel.
-    let result = eval.run_kernel(kernel, mode).unwrap();
+    let result = eval.run_kernel(kernel, mode)?;
     let model_err = result.time_error().abs().max(result.energy_error().abs());
 
-    let (mips_detailed, _) = run_timed(false, true);
-    let (mips_model, _) = run_timed(true, false);
-    let (mips_bare, _) = run_timed(false, false);
+    let (mips_detailed, _) = run_timed(false, true)?;
+    let (mips_model, _) = run_timed(true, false)?;
+    let (mips_bare, _) = run_timed(false, false)?;
 
     let points = vec![
         Fig1Point {
@@ -276,7 +282,7 @@ pub fn report_fig1(eval: &Evaluation, kernel: &Kernel) -> (String, Vec<Fig1Point
         };
         writeln!(out, "{:<32} {:>14.1} {:>18}", p.name, p.mips / 1e6, acc).unwrap();
     }
-    (out, points)
+    Ok((out, points))
 }
 
 /// Ablation E6: estimation error as a function of category
@@ -284,9 +290,13 @@ pub fn report_fig1(eval: &Evaluation, kernel: &Kernel) -> (String, Vec<Fig1Point
 pub fn report_ablation_categories(
     eval: &Evaluation,
     kernels: &[Kernel],
-) -> Result<String, nfp_sim::SimError> {
+) -> Result<String, NfpError> {
     let mut out = String::new();
-    writeln!(out, "ABLATION — model granularity (mean |error| over kernels)").unwrap();
+    writeln!(
+        out,
+        "ABLATION — model granularity (mean |error| over kernels)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<28} {:>8} {:>10} {:>10}",
@@ -307,8 +317,12 @@ pub fn report_ablation_categories(
                     t_errs.push(r.time_error());
                 }
             }
-            let e = ErrorSummary::from_errors(&e_errs);
-            let t = ErrorSummary::from_errors(&t_errs);
+            let e = ErrorSummary::from_errors(&e_errs).ok_or(NfpError::Empty {
+                what: "ablation kernel errors",
+            })?;
+            let t = ErrorSummary::from_errors(&t_errs).ok_or(NfpError::Empty {
+                what: "ablation kernel errors",
+            })?;
             writeln!(
                 out,
                 "{:<28} {:>8} {:>9.2}% {:>9.2}%",
@@ -333,9 +347,13 @@ pub fn report_ablation_categories(
 /// Ablation E7: calibration sensitivity — derived specific time of the
 /// integer-arithmetic class as a function of calibration loop length,
 /// and of the power-meter noise level.
-pub fn report_ablation_calibration(testbed: &Testbed) -> Result<String, nfp_sim::SimError> {
+pub fn report_ablation_calibration(testbed: &Testbed) -> Result<String, NfpError> {
     let mut out = String::new();
-    writeln!(out, "ABLATION — calibration sensitivity (Integer Arithmetic)").unwrap();
+    writeln!(
+        out,
+        "ABLATION — calibration sensitivity (Integer Arithmetic)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<26} {:>12} {:>12}",
@@ -381,7 +399,7 @@ pub fn report_ablation_calibration(testbed: &Testbed) -> Result<String, nfp_sim:
 /// evaluates on a cacheless and on a cached board; with the cache,
 /// per-access memory cost becomes history-dependent and the Eq. 1
 /// assumption breaks down visibly.
-pub fn report_cache_extension(kernels: &[Kernel]) -> Result<String, nfp_sim::SimError> {
+pub fn report_cache_extension(kernels: &[Kernel]) -> Result<String, NfpError> {
     use nfp_testbed::CacheConfig;
     let mut out = String::new();
     writeln!(
@@ -416,8 +434,12 @@ pub fn report_cache_extension(kernels: &[Kernel]) -> Result<String, nfp_sim::Sim
                 t_errs.push(r.time_error());
             }
         }
-        let e = nfp_core::ErrorSummary::from_errors(&e_errs);
-        let t = nfp_core::ErrorSummary::from_errors(&t_errs);
+        let e = nfp_core::ErrorSummary::from_errors(&e_errs).ok_or(NfpError::Empty {
+            what: "cache-extension kernel errors",
+        })?;
+        let t = nfp_core::ErrorSummary::from_errors(&t_errs).ok_or(NfpError::Empty {
+            what: "cache-extension kernel errors",
+        })?;
         writeln!(
             out,
             "{:<30} {:>9.2}% {:>9.2}%",

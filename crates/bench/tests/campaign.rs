@@ -1,0 +1,43 @@
+//! Campaign acceptance test: a 1000-injection SEU campaign over an FSE
+//! kernel is fully deterministic — the same seed yields identical
+//! masked/SDC/trap/hang counts across independent runs — and never
+//! panics or wedges (the watchdog bounds every replay).
+
+use nfp_bench::{run_campaign_parallel, CampaignConfig, Mode};
+use nfp_core::Outcome;
+use nfp_workloads::Preset;
+
+#[test]
+fn thousand_injection_fse_campaign_is_deterministic() {
+    let kernels = nfp_workloads::fse_kernels(&Preset::quick());
+    let cfg = CampaignConfig {
+        injections: 1000,
+        seed: 0xdead_beef,
+        ..CampaignConfig::default()
+    };
+
+    let first = run_campaign_parallel(&kernels[0], Mode::Float, &cfg).expect("campaign runs");
+    let second = run_campaign_parallel(&kernels[0], Mode::Float, &cfg).expect("campaign runs");
+
+    let totals = first.outcome_totals();
+    assert_eq!(totals.total(), 1000);
+    assert_eq!(first.golden_instret, second.golden_instret);
+    for outcome in Outcome::ALL {
+        assert_eq!(
+            totals.get(outcome),
+            second.outcome_totals().get(outcome),
+            "{outcome} count differs between identically-seeded campaigns"
+        );
+    }
+    // The full per-category report must agree too, not just totals.
+    assert_eq!(first.report, second.report);
+
+    // A campaign of this size must exercise the taxonomy: faults in
+    // live registers/code cannot all be masked, and some injections
+    // must survive (dead state exists in any real kernel).
+    assert!(totals.get(Outcome::Masked) > 0, "no injection was masked");
+    assert!(
+        totals.vulnerability() > 0.0,
+        "no injection perturbed the kernel"
+    );
+}

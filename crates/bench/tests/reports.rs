@@ -5,7 +5,14 @@ use nfp_bench::{report_fig4, report_table3, report_table4, KernelResult, Mode};
 use nfp_core::Estimate;
 use nfp_testbed::{HwTotals, Measurement};
 
-fn result(base: &str, mode: Mode, t_meas: f64, e_meas: f64, t_est: f64, e_est: f64) -> KernelResult {
+fn result(
+    base: &str,
+    mode: Mode,
+    t_meas: f64,
+    e_meas: f64,
+    t_est: f64,
+    e_est: f64,
+) -> KernelResult {
     KernelResult {
         name: format!("{base}_{}", mode.suffix()),
         base_name: base.to_string(),

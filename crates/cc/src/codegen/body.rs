@@ -500,8 +500,14 @@ impl<'a> FnGen<'a> {
         let ra = self.ensure_w(va)?;
         let unsigned = ty.is_unsigned();
         match op {
-            BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl
-            | BinOp::Shr | BinOp::Mul => {
+            BinOp::Add
+            | BinOp::Sub
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::Xor
+            | BinOp::Shl
+            | BinOp::Shr
+            | BinOp::Mul => {
                 let alu = match op {
                     BinOp::Add => AluOp::Add,
                     BinOp::Sub => AluOp::Sub,
@@ -771,9 +777,7 @@ impl<'a> FnGen<'a> {
                 self.e.bind(mid);
                 self.gen_cond(b, lt, lf)
             }
-            TKind::Binary(op, a, b) if op.is_comparison() => {
-                self.gen_compare(*op, a, b, lt, lf)
-            }
+            TKind::Binary(op, a, b) if op.is_comparison() => self.gen_compare(*op, a, b, lt, lf),
             _ => {
                 // Truthiness of a plain value.
                 if e.ty == Type::Double {
@@ -813,7 +817,14 @@ impl<'a> FnGen<'a> {
         }
     }
 
-    fn gen_compare(&mut self, op: BinOp, a: &Typed, b: &Typed, lt: Label, lf: Label) -> GResult<()> {
+    fn gen_compare(
+        &mut self,
+        op: BinOp,
+        a: &Typed,
+        b: &Typed,
+        lt: Label,
+        lf: Label,
+    ) -> GResult<()> {
         match (&a.ty, self.mode) {
             (Type::U64, _) => self.gen_compare_u64(op, a, b, lt, lf),
             (Type::Double, FloatMode::Hard) => {
@@ -1301,10 +1312,7 @@ impl<'a> FnGen<'a> {
                 let a = self.gen_value(&args[0])?;
                 self.push_loc(a);
                 let b = self.gen_value(&args[1])?;
-                let a = {
-                    
-                    self.stack.pop().expect("arg on stack")
-                };
+                let a = { self.stack.pop().expect("arg on stack") };
                 let ra = self.ensure_w(a)?;
                 let (op2, rb) = self.operand_w(b)?;
                 self.e.alu(AluOp::UMul, ra, op2, ra);
@@ -1422,7 +1430,9 @@ impl<'a> FnGen<'a> {
                 let lstep = self.e.new_label();
                 let end = self.e.new_label();
                 self.e.bind(top);
-                if let Some(c) = cond { self.gen_cond(c, lbody, end)? }
+                if let Some(c) = cond {
+                    self.gen_cond(c, lbody, end)?
+                }
                 self.e.bind(lbody);
                 self.loops.push((lstep, end));
                 self.gen_stmts(body)?;

@@ -611,10 +611,7 @@ mod tests {
 
     #[test]
     fn hard_mode_uses_fpu() {
-        let (funcs, pool) = gen(
-            "double f(double a) { return a * 2.5; }",
-            FloatMode::Hard,
-        );
+        let (funcs, pool) = gen("double f(double a) { return a * 2.5; }", FloatMode::Hard);
         let has_fmuld = funcs[0].items.iter().any(|i| {
             matches!(
                 i,

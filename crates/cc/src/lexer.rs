@@ -214,11 +214,10 @@ impl<'a> Lexer<'a> {
                 return self.err("hex literal needs digits");
             }
             let text = std::str::from_utf8(&self.src[hstart..self.pos]).unwrap();
-            let v = u64::from_str_radix(text, 16)
-                .map_err(|_| LexError {
-                    message: "hex literal too large".into(),
-                    line: self.line,
-                })?;
+            let v = u64::from_str_radix(text, 16).map_err(|_| LexError {
+                message: "hex literal too large".into(),
+                line: self.line,
+            })?;
             if self.peek() == b'u' || self.peek() == b'U' {
                 self.bump();
                 return Ok(Tok::UInt(v));
@@ -366,9 +365,7 @@ impl<'a> Lexer<'a> {
                             two(self, b'=', Tok::Ge, Tok::Gt)
                         }
                     }
-                    other => {
-                        return self.err(format!("unexpected character `{}`", other as char))
-                    }
+                    other => return self.err(format!("unexpected character `{}`", other as char)),
                 }
             }
         };

@@ -182,15 +182,21 @@ mod tests {
 
     #[test]
     fn missing_main_is_a_link_error() {
-        let err = compile("int f() { return 1; }", &CompileOptions::new(FloatMode::Hard))
-            .unwrap_err();
+        let err = compile(
+            "int f() { return 1; }",
+            &CompileOptions::new(FloatMode::Hard),
+        )
+        .unwrap_err();
         assert!(matches!(err, CcError::Link(LinkError::Undefined { .. })));
     }
 
     #[test]
     fn error_types_render() {
-        let err = compile("int main() { return x; }", &CompileOptions::new(FloatMode::Hard))
-            .unwrap_err();
+        let err = compile(
+            "int main() { return x; }",
+            &CompileOptions::new(FloatMode::Hard),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("unknown variable"));
     }
 }

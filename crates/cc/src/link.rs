@@ -21,7 +21,10 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum LinkError {
     /// A referenced symbol has no definition.
-    Undefined { symbol: String, referenced_from: String },
+    Undefined {
+        symbol: String,
+        referenced_from: String,
+    },
     /// Two definitions share one name.
     Duplicate { symbol: String },
     /// A global initialiser does not fit its type.
@@ -34,7 +37,10 @@ impl fmt::Display for LinkError {
             LinkError::Undefined {
                 symbol,
                 referenced_from,
-            } => write!(f, "undefined symbol `{symbol}` referenced from `{referenced_from}`"),
+            } => write!(
+                f,
+                "undefined symbol `{symbol}` referenced from `{referenced_from}`"
+            ),
             LinkError::Duplicate { symbol } => write!(f, "duplicate symbol `{symbol}`"),
             LinkError::BadInitialiser { symbol, reason } => {
                 write!(f, "bad initialiser for `{symbol}`: {reason}")
@@ -74,44 +80,45 @@ fn global_bytes(g: &Global) -> Result<Vec<u8>, LinkError> {
     let elem_size = g.ty.size() as usize;
     let total = elem_size * g.count as usize;
     let mut bytes = vec![0u8; total];
-    let write_elem = |bytes: &mut [u8], idx: usize, fv: f64, iv: i64, is_f: bool| -> Result<(), LinkError> {
-        let start = idx * elem_size;
-        match g.ty {
-            Type::Double => {
-                let v = if is_f { fv } else { iv as f64 };
-                bytes[start..start + 8].copy_from_slice(&v.to_bits().to_be_bytes());
-            }
-            Type::U64 => {
-                if is_f {
-                    return Err(LinkError::BadInitialiser {
-                        symbol: g.name.clone(),
-                        reason: "float literal for u64".into(),
-                    });
+    let write_elem =
+        |bytes: &mut [u8], idx: usize, fv: f64, iv: i64, is_f: bool| -> Result<(), LinkError> {
+            let start = idx * elem_size;
+            match g.ty {
+                Type::Double => {
+                    let v = if is_f { fv } else { iv as f64 };
+                    bytes[start..start + 8].copy_from_slice(&v.to_bits().to_be_bytes());
                 }
-                bytes[start..start + 8].copy_from_slice(&(iv as u64).to_be_bytes());
-            }
-            Type::Int | Type::UInt | Type::Ptr(_) => {
-                if is_f {
-                    return Err(LinkError::BadInitialiser {
-                        symbol: g.name.clone(),
-                        reason: "float literal for integer".into(),
-                    });
+                Type::U64 => {
+                    if is_f {
+                        return Err(LinkError::BadInitialiser {
+                            symbol: g.name.clone(),
+                            reason: "float literal for u64".into(),
+                        });
+                    }
+                    bytes[start..start + 8].copy_from_slice(&(iv as u64).to_be_bytes());
                 }
-                bytes[start..start + 4].copy_from_slice(&(iv as u32).to_be_bytes());
-            }
-            Type::UChar => {
-                if is_f {
-                    return Err(LinkError::BadInitialiser {
-                        symbol: g.name.clone(),
-                        reason: "float literal for uchar".into(),
-                    });
+                Type::Int | Type::UInt | Type::Ptr(_) => {
+                    if is_f {
+                        return Err(LinkError::BadInitialiser {
+                            symbol: g.name.clone(),
+                            reason: "float literal for integer".into(),
+                        });
+                    }
+                    bytes[start..start + 4].copy_from_slice(&(iv as u32).to_be_bytes());
                 }
-                bytes[start] = iv as u8;
+                Type::UChar => {
+                    if is_f {
+                        return Err(LinkError::BadInitialiser {
+                            symbol: g.name.clone(),
+                            reason: "float literal for uchar".into(),
+                        });
+                    }
+                    bytes[start] = iv as u8;
+                }
+                Type::Void => unreachable!("void global rejected by the parser"),
             }
-            Type::Void => unreachable!("void global rejected by the parser"),
-        }
-        Ok(())
-    };
+            Ok(())
+        };
     match &g.init {
         GlobalInit::Zero => {}
         GlobalInit::Scalar(fv, iv, is_f) => write_elem(&mut bytes, 0, *fv, *iv, *is_f)?,
@@ -271,10 +278,13 @@ pub fn link(
             }
         }
         let lookup = |sym: &str| -> Result<u32, LinkError> {
-            symbols.get(sym).copied().ok_or_else(|| LinkError::Undefined {
-                symbol: sym.to_string(),
-                referenced_from: f.name.clone(),
-            })
+            symbols
+                .get(sym)
+                .copied()
+                .ok_or_else(|| LinkError::Undefined {
+                    symbol: sym.to_string(),
+                    referenced_from: f.name.clone(),
+                })
         };
         let mut w = 0u32;
         for item in &f.items {

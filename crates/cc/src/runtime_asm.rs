@@ -52,7 +52,7 @@ fn ashldi3() -> FuncCode {
     e.branch(ICond::E, done);
     e.cmp(n, 32);
     e.branch(ICond::Cc, big); // unsigned >= 32
-    // 1..31: hi = (hi << n) | (lo >> (32 - n)); lo <<= n
+                              // 1..31: hi = (hi << n) | (lo >> (32 - n)); lo <<= n
     e.mov(32, g1);
     e.alu(AluOp::Sub, g1, n, g1);
     e.alu(AluOp::Srl, lo, g1, g2);

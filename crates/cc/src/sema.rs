@@ -55,7 +55,10 @@ pub enum LValue {
     Local(LocalId),
     Global(String),
     /// Store through a computed address of element type `elem`.
-    Mem { addr: Box<Typed>, elem: Type },
+    Mem {
+        addr: Box<Typed>,
+        elem: Type,
+    },
 }
 
 /// Typed expression kinds.
@@ -84,7 +87,10 @@ pub enum TKind {
     /// Load of `ty` through a pointer.
     Load(Box<Typed>),
     /// Conversion; `from` records the source type.
-    Cast { from: Type, inner: Box<Typed> },
+    Cast {
+        from: Type,
+        inner: Box<Typed>,
+    },
 }
 
 /// Checked statements.
@@ -213,10 +219,7 @@ impl Ctx {
             ty,
             array_len,
         });
-        self.scopes
-            .last_mut()
-            .unwrap()
-            .insert(name.to_string(), id);
+        self.scopes.last_mut().unwrap().insert(name.to_string(), id);
         Ok(id)
     }
 
@@ -251,8 +254,12 @@ impl Ctx {
         let legal = match (&e.ty, to) {
             // u64 <-> double requires an explicit cast (see common_type).
             (Type::U64, Type::Double) | (Type::Double, Type::U64) => false,
-            (a, b) if (a.is_integer() || *a == Type::Double)
-                && (b.is_integer() || *b == Type::Double) => true,
+            (a, b)
+                if (a.is_integer() || *a == Type::Double)
+                    && (b.is_integer() || *b == Type::Double) =>
+            {
+                true
+            }
             // Pointers convert implicitly only between identical types
             // (handled above); anything else needs a cast.
             _ => false,
@@ -455,7 +462,11 @@ impl Ctx {
                             Type::U64
                         } else if inner.ty.is_integer() {
                             // Promote; negation of uint stays uint like C.
-                            if inner.ty == Type::UInt { Type::UInt } else { Type::Int }
+                            if inner.ty == Type::UInt {
+                                Type::UInt
+                            } else {
+                                Type::Int
+                            }
                         } else {
                             return self.err(format!("cannot negate {}", inner.ty));
                         };
@@ -536,12 +547,10 @@ impl Ctx {
             Expr::Assign(lhs, rhs) => {
                 let (lv, lty) = self.check_lvalue(lhs)?;
                 let rhs = self.check_expr(rhs)?;
-                let rhs = self
-                    .convert(rhs, &lty)
-                    .map_err(|e| SemaError {
-                        message: format!("in assignment: {}", e.message),
-                        line: e.line,
-                    })?;
+                let rhs = self.convert(rhs, &lty).map_err(|e| SemaError {
+                    message: format!("in assignment: {}", e.message),
+                    line: e.line,
+                })?;
                 Ok(Typed {
                     ty: lty,
                     kind: TKind::Assign(lv, Box::new(rhs)),
@@ -756,8 +765,10 @@ impl Ctx {
             match op {
                 BinOp::Add | BinOp::Sub => {
                     if !matches!(tb.ty, Type::Int | Type::UInt | Type::UChar) {
-                        return self
-                            .err(format!("pointer arithmetic needs an int offset, got {}", tb.ty));
+                        return self.err(format!(
+                            "pointer arithmetic needs an int offset, got {}",
+                            tb.ty
+                        ));
                     }
                     let tb = self.convert(tb, &Type::Int)?;
                     let tb = if op == BinOp::Sub {
@@ -775,8 +786,7 @@ impl Ctx {
                 }
                 _ if op.is_comparison() => {
                     if ta.ty != tb.ty {
-                        return self
-                            .err(format!("comparing {} with {}", ta.ty, tb.ty));
+                        return self.err(format!("comparing {} with {}", ta.ty, tb.ty));
                     }
                     return Ok(Typed {
                         ty: Type::Int,
@@ -963,9 +973,7 @@ impl Ctx {
                 self.line = *line;
                 match (value, self.ret.clone()) {
                     (None, Type::Void) => Ok(CStmt::Return(None)),
-                    (None, other) => {
-                        self.err(format!("function returns {other}; value required"))
-                    }
+                    (None, other) => self.err(format!("function returns {other}; value required")),
                     (Some(_), Type::Void) => self.err("void function cannot return a value"),
                     (Some(e), ret) => {
                         let v = self.check_expr(e)?;
@@ -1120,9 +1128,11 @@ mod tests {
     #[test]
     fn pointer_arith_scales_only_int_offsets() {
         check_ok("double f(double* p, int i) { return p[i] + *(p + 1); }");
-        assert!(check_err("double f(double* p, double d) { return *(p + d); }")
-            .message
-            .contains("offset"));
+        assert!(
+            check_err("double f(double* p, double d) { return *(p + d); }")
+                .message
+                .contains("offset")
+        );
     }
 
     #[test]
@@ -1139,8 +1149,12 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert!(check_err("int f() { return g(); }").message.contains("unknown function"));
-        assert!(check_err("int f() { return x; }").message.contains("unknown variable"));
+        assert!(check_err("int f() { return g(); }")
+            .message
+            .contains("unknown function"));
+        assert!(check_err("int f() { return x; }")
+            .message
+            .contains("unknown variable"));
         assert!(check_err("int f(int a) { break; return a; }")
             .message
             .contains("break"));

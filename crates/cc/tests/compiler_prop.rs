@@ -115,8 +115,11 @@ fn iexpr_strategy() -> impl Strategy<Value = IExpr> {
             inner.clone().prop_map(|a| IExpr::Not(a.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Lt(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Eq(a.into(), b.into())),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| IExpr::Ternary(c.into(), a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| IExpr::Ternary(
+                c.into(),
+                a.into(),
+                b.into()
+            )),
         ]
     })
 }
@@ -135,12 +138,17 @@ fn run_int_expr(expr: &IExpr, vars: [i32; 4]) -> i32 {
     let program =
         compile(&src, &CompileOptions::new(FloatMode::Hard)).expect("generated source compiles");
     let mut machine = Machine::new(MachineConfig::default());
-    machine.load_image(program.base, &program.words);
+    machine
+        .load_image(program.base, &program.words)
+        .expect("image fits in RAM");
     let mut input = Vec::new();
     for v in vars {
         input.extend_from_slice(&(v as u32).to_be_bytes());
     }
-    machine.bus.write_bytes(INPUT_BASE, &input);
+    machine
+        .bus
+        .write_bytes(INPUT_BASE, &input)
+        .expect("input fits in RAM");
     let result = machine.run(50_000_000).expect("run failed");
     result.words[0] as i32
 }
@@ -190,12 +198,12 @@ proptest! {
 
         let program = compile(&src, &CompileOptions::new(FloatMode::Hard)).unwrap();
         let mut machine = Machine::new(MachineConfig::default());
-        machine.load_image(program.base, &program.words);
+        machine.load_image(program.base, &program.words).expect("image fits in RAM");
         let mut input = Vec::new();
         for v in [a, b, c, d] {
             input.extend_from_slice(&v.to_be_bytes());
         }
-        machine.bus.write_bytes(INPUT_BASE, &input);
+        machine.bus.write_bytes(INPUT_BASE, &input).expect("input fits in RAM");
         let result = machine.run(50_000_000).unwrap();
         let got = ((result.words[0] as u64) << 32) | result.words[1] as u64;
         prop_assert_eq!(got, r);
@@ -300,12 +308,12 @@ proptest! {
                 fpu_enabled: mode == FloatMode::Hard,
                 ..MachineConfig::default()
             });
-            machine.load_image(program.base, &program.words);
+            machine.load_image(program.base, &program.words).expect("image fits in RAM");
             let mut input = Vec::new();
             for v in vars {
                 input.extend_from_slice(&v.to_bits().to_be_bytes());
             }
-            machine.bus.write_bytes(INPUT_BASE, &input);
+            machine.bus.write_bytes(INPUT_BASE, &input).expect("input fits in RAM");
             let result = machine.run(200_000_000).unwrap();
             let got = f64::from_bits(((result.words[0] as u64) << 32) | result.words[1] as u64);
             if want.is_nan() {

@@ -17,7 +17,9 @@ fn run_full(src: &str, mode: FloatMode) -> (u32, Vec<u32>, String) {
         fpu_enabled: mode == FloatMode::Hard,
         ..MachineConfig::default()
     });
-    machine.load_image(program.base, &program.words);
+    machine
+        .load_image(program.base, &program.words)
+        .expect("image fits in RAM");
     let result = machine.run(2_000_000_000).expect("run failed");
     (result.exit_code, result.words, result.text)
 }
@@ -52,7 +54,10 @@ fn return_constant() {
 #[test]
 fn arithmetic_and_precedence() {
     assert_eq!(run_both("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11);
-    assert_eq!(run_both("int main() { int a = 7; int b = 3; return a % b; }"), 1);
+    assert_eq!(
+        run_both("int main() { int a = 7; int b = 3; return a % b; }"),
+        1
+    );
     assert_eq!(
         run_both("int main() { int a = -17; int b = 5; return a / b + 10; }"),
         7 // -3 + 10
@@ -73,7 +78,10 @@ fn unsigned_arithmetic() {
 
 #[test]
 fn shifts_match_c_semantics() {
-    assert_eq!(run_both("int main() { int a = -8; return (a >> 2) + 10; }"), 8);
+    assert_eq!(
+        run_both("int main() { int a = -8; return (a >> 2) + 10; }"),
+        8
+    );
     assert_eq!(
         run_both("int main() { uint a = 0x80000000u; return (int)(a >> 28); }"),
         8
@@ -84,7 +92,9 @@ fn shifts_match_c_semantics() {
 #[test]
 fn comparisons_and_logic() {
     assert_eq!(
-        run_both("int main() { int a = 3; int b = 5; return (a < b) + (a > b) * 10 + (a == 3) * 100; }"),
+        run_both(
+            "int main() { int a = 3; int b = 5; return (a < b) + (a > b) * 10 + (a == 3) * 100; }"
+        ),
         101
     );
     assert_eq!(
@@ -107,7 +117,9 @@ fn short_circuit_side_effects() {
 #[test]
 fn while_and_for_loops() {
     assert_eq!(
-        run_both("int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) s = s + i; return s; }"),
+        run_both(
+            "int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) s = s + i; return s; }"
+        ),
         55
     );
     assert_eq!(
@@ -156,7 +168,8 @@ fn uchar_semantics() {
 
 #[test]
 fn pointer_writes_through_functions() {
-    let src = "void put(int* p, int v) { *p = v; }\nint main() { int x = 0; put(&x, 99); return x; }";
+    let src =
+        "void put(int* p, int v) { *p = v; }\nint main() { int x = 0; put(&x, 99); return x; }";
     assert_eq!(run_both(src), 99);
 }
 
@@ -186,7 +199,9 @@ fn u64_arithmetic() {
         1
     );
     assert_eq!(
-        run_both("int main() { u64 a = 1u; a = a << 40; a = a - 1u; return (int)(a >> 36) & 0xf; }"),
+        run_both(
+            "int main() { u64 a = 1u; a = a << 40; a = a - 1u; return (int)(a >> 36) & 0xf; }"
+        ),
         0xf
     );
     // 64-bit multiply through __muldi3
@@ -288,14 +303,22 @@ fn double_comparisons() {
 
 #[test]
 fn double_conversions() {
-    assert_eq!(run_both("int main() { double d = -7.9; return (int)d + 100; }"), 93);
-    assert_eq!(run_both("int main() { int i = -3; double d = (double)i; return (int)(d * -2.0); }"), 6);
+    assert_eq!(
+        run_both("int main() { double d = -7.9; return (int)d + 100; }"),
+        93
+    );
+    assert_eq!(
+        run_both("int main() { int i = -3; double d = (double)i; return (int)(d * -2.0); }"),
+        6
+    );
     assert_eq!(
         run_both("int main() { uint u = 0xc0000000u; double d = (double)u; return (int)(d / 65536.0 / 65536.0 * 4.0); }"),
         3
     );
     assert_eq!(
-        run_both("int main() { double d = 3000000000.5; uint u = (uint)d; return (int)(u >> 24); }"),
+        run_both(
+            "int main() { double d = 3000000000.5; uint u = (uint)d; return (int)(u >> 24); }"
+        ),
         0xb2 // 3000000000 = 0xB2D05E00
     );
     assert_eq!(
@@ -361,8 +384,12 @@ fn soft_binary_runs_without_fpu() {
         fpu_enabled: false,
         ..MachineConfig::default()
     });
-    machine.load_image(program.base, &program.words);
-    let result = machine.run(100_000_000).expect("soft binary trapped on FPU-less core");
+    machine
+        .load_image(program.base, &program.words)
+        .expect("image fits in RAM");
+    let result = machine
+        .run(100_000_000)
+        .expect("soft binary trapped on FPU-less core");
     let got = f64::from_bits(((result.words[0] as u64) << 32) | result.words[1] as u64);
     let want = 3.0f64.sqrt() * 2.0 - 1.0e-3;
     assert_eq!(got.to_bits(), want.to_bits());
@@ -379,7 +406,9 @@ fn hard_binary_requires_fpu() {
         fpu_enabled: false,
         ..MachineConfig::default()
     });
-    machine.load_image(program.base, &program.words);
+    machine
+        .load_image(program.base, &program.words)
+        .expect("image fits in RAM");
     assert!(machine.run(100_000_000).is_err());
 }
 
@@ -398,8 +427,7 @@ fn deep_expression_spills() {
                         + ((a + 5) * 6
                             + ((a + 6) * 7
                                 + ((a + 7) * 8
-                                    + ((a + 8) * 9
-                                        + ((a + 9) * 10 + (a + 10) * 11))))))));
+                                    + ((a + 8) * 9 + ((a + 9) * 10 + (a + 10) * 11))))))));
         (v % 251) as u32
     };
     assert_eq!(run_both(src), native);
@@ -407,7 +435,8 @@ fn deep_expression_spills() {
 
 #[test]
 fn comment_define_and_char_literals() {
-    let src = "#define BASE 40\n// line comment\n/* block */\nint main() { return BASE + 'A' - '?'; }";
+    let src =
+        "#define BASE 40\n// line comment\n/* block */\nint main() { return BASE + 'A' - '?'; }";
     assert_eq!(run_both(src), 42);
 }
 
@@ -421,7 +450,9 @@ fn instruction_counts_differ_between_modes() {
             fpu_enabled: true,
             ..MachineConfig::default()
         });
-        machine.load_image(program.base, &program.words);
+        machine
+            .load_image(program.base, &program.words)
+            .expect("image fits in RAM");
         machine.run(100_000_000).unwrap().instret
     };
     let hard = count(FloatMode::Hard);

@@ -10,7 +10,9 @@ fn run(src: &str, mode: FloatMode) -> (u32, Vec<u32>) {
         fpu_enabled: mode == FloatMode::Hard,
         ..MachineConfig::default()
     });
-    machine.load_image(program.base, &program.words);
+    machine
+        .load_image(program.base, &program.words)
+        .expect("image fits in RAM");
     let result = machine.run(1_000_000_000).expect("run failed");
     (result.exit_code, result.words)
 }
@@ -81,7 +83,8 @@ fn recursion_with_many_locals() {
 
 #[test]
 fn logical_operators_on_doubles() {
-    let src = "int main() { double a = 0.0; double b = 2.0; return (a && b) + 2 * (a || b) + 4 * !b; }";
+    let src =
+        "int main() { double a = 0.0; double b = 2.0; return (a && b) + 2 * (a || b) + 4 * !b; }";
     assert_eq!(run_both(src), 2);
 }
 
@@ -167,12 +170,16 @@ fn define_constants_compose() {
 
 #[test]
 fn type_errors_are_reported() {
-    assert!(compile_err("int main() { int* p; double d = 0.0; p = &d; return 0; }")
-        .to_string()
-        .contains("convert"));
-    assert!(compile_err("int main() { u64 a = 1u; double d = 1.0; return (int)(a + d); }")
-        .to_string()
-        .contains("cast explicitly"));
+    assert!(
+        compile_err("int main() { int* p; double d = 0.0; p = &d; return 0; }")
+            .to_string()
+            .contains("convert")
+    );
+    assert!(
+        compile_err("int main() { u64 a = 1u; double d = 1.0; return (int)(a + d); }")
+            .to_string()
+            .contains("cast explicitly")
+    );
     assert!(compile_err("int main() { return *5; }")
         .to_string()
         .contains("dereference"));
@@ -182,7 +189,9 @@ fn type_errors_are_reported() {
 fn parse_errors_are_reported_with_lines() {
     let e = compile_err("int main() {\n  int x = ;\n}");
     assert!(e.to_string().contains("line 2"), "{e}");
-    assert!(compile_err("int main() { if x { } }").to_string().contains("expected"));
+    assert!(compile_err("int main() { if x { } }")
+        .to_string()
+        .contains("expected"));
 }
 
 #[test]
@@ -192,7 +201,10 @@ fn link_errors_identify_the_caller() {
     // error (function needs a body).
     assert!(e.to_string().contains("expected"), "{e}");
     let e2 = compile_err("void f() { g(); }\nvoid g() { f(); }\nint notmain() { return 0; }");
-    assert!(e2.to_string().contains("_start") || e2.to_string().contains("main"), "{e2}");
+    assert!(
+        e2.to_string().contains("_start") || e2.to_string().contains("main"),
+        "{e2}"
+    );
 }
 
 #[test]
@@ -250,7 +262,9 @@ fn double_constant_pool_is_deduplicated_and_aligned() {
     }
     // And the program still computes correctly.
     let mut machine = Machine::new(MachineConfig::default());
-    machine.load_image(program.base, &program.words);
+    machine
+        .load_image(program.base, &program.words)
+        .expect("image fits in RAM");
     let r = machine.run(1_000_000).unwrap();
     assert_eq!(r.exit_code, (2.0f64 * 3.25 + 3.25 - 1.0) as u32);
 }

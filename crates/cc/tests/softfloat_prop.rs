@@ -57,7 +57,9 @@ fn run_batch(op: u32, pairs: &[(u64, u64)]) -> Vec<(u64, u32)> {
         fpu_enabled: false,
         ..MachineConfig::default()
     });
-    machine.load_image(program.base, &program.words);
+    machine
+        .load_image(program.base, &program.words)
+        .expect("image fits in RAM");
     let mut input = Vec::with_capacity(8 + pairs.len() * 16);
     input.extend_from_slice(&(pairs.len() as u32).to_be_bytes());
     input.extend_from_slice(&op.to_be_bytes());
@@ -65,7 +67,10 @@ fn run_batch(op: u32, pairs: &[(u64, u64)]) -> Vec<(u64, u32)> {
         input.extend_from_slice(&a.to_be_bytes());
         input.extend_from_slice(&b.to_be_bytes());
     }
-    machine.bus.write_bytes(INPUT_BASE, &input);
+    machine
+        .bus
+        .write_bytes(INPUT_BASE, &input)
+        .expect("input fits in RAM");
     let result = machine
         .run(200_000_000 + pairs.len() as u64 * 1_000_000)
         .expect("batch run failed");

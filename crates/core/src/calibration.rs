@@ -275,8 +275,9 @@ fn measure_kernel(
         ram_size: 1 << 20,
         fpu_enabled: fpu,
         count_categories: false,
+        ..MachineConfig::default()
     });
-    machine.load_image(nfp_sim::RAM_BASE, words);
+    machine.load_image(nfp_sim::RAM_BASE, words)?;
     let measured = testbed.run(&mut machine, seed, 10_000_000_000)?;
     Ok(measured.measurement)
 }
@@ -326,7 +327,12 @@ pub fn calibrate<C: Classifier>(
     for class_idx in 0..classifier.class_count() {
         let class = classifier.class_name(class_idx);
         let iters = default_iters(class);
-        let cal = calibrate_class(testbed, class, iters, seed.wrapping_add(class_idx as u64 * 97))?;
+        let cal = calibrate_class(
+            testbed,
+            class,
+            iters,
+            seed.wrapping_add(class_idx as u64 * 97),
+        )?;
         time_s.push(cal.time_s);
         energy_j.push(cal.energy_j);
         details.push(cal);

@@ -119,7 +119,13 @@ fn mixed_kernel(iters: u32, with_fpu: bool) -> Vec<u32> {
     // A blend of work with data-dependent addressing.
     a.alu(AluOp::Add, Reg::l(2), 17, Reg::l(2));
     a.alu(AluOp::And, Reg::l(2), 0xfc, Reg::l(3)); // word-aligned offset
-    a.ld(MemSize::Word, false, Reg::l(1), Operand::Reg(Reg::l(3)), Reg::l(4));
+    a.ld(
+        MemSize::Word,
+        false,
+        Reg::l(1),
+        Operand::Reg(Reg::l(3)),
+        Reg::l(4),
+    );
     a.alu(AluOp::Xor, Reg::l(4), Operand::Reg(Reg::l(2)), Reg::l(4));
     a.st(MemSize::Word, Reg::l(4), Reg::l(1), Operand::Reg(Reg::l(3)));
     a.alu(AluOp::SMul, Reg::l(2), 3, Reg::l(5));
@@ -141,7 +147,7 @@ fn mixed_kernel(iters: u32, with_fpu: bool) -> Vec<u32> {
         a.word(k.wrapping_mul(0x9e37_79b9));
     }
     // Plant two sane doubles at the start of the buffer for the FPU mix.
-    
+
     {
         let mut w = a.finish().expect("mixed kernel assembles");
         let b0 = 1.25f64.to_bits();
@@ -177,7 +183,7 @@ pub fn validate(
         ram_size: 1 << 20,
         ..MachineConfig::default()
     });
-    machine.load_image(nfp_sim::RAM_BASE, &words);
+    machine.load_image(nfp_sim::RAM_BASE, &words)?;
     let mut counter = ClassCounter::new(Paper);
     machine.run_observed(1_000_000_000, &mut counter)?;
     let estimate = cal.model.estimate(counter.counts());
@@ -186,7 +192,7 @@ pub fn validate(
         ram_size: 1 << 20,
         ..MachineConfig::default()
     });
-    machine.load_image(nfp_sim::RAM_BASE, &words);
+    machine.load_image(nfp_sim::RAM_BASE, &words)?;
     let measured = testbed.run(&mut machine, 0xbeef, 1_000_000_000)?;
     let validation = Validation {
         time_residual: (estimate.time_s - measured.measurement.time_s)

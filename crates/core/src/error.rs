@@ -1,4 +1,8 @@
-//! Estimation-error metrics (paper Eq. 3 and Table III).
+//! Estimation-error metrics (paper Eq. 3 and Table III) and the
+//! pipeline-level error type.
+
+use nfp_sim::SimError;
+use std::fmt;
 
 /// Relative estimation error `ε = (x̂ − x_meas) / x_meas` (Eq. 3).
 pub fn relative_error(estimated: f64, measured: f64) -> f64 {
@@ -17,29 +21,86 @@ pub struct ErrorSummary {
 }
 
 impl ErrorSummary {
-    /// Summarises a slice of signed relative errors.
-    ///
-    /// # Panics
-    /// Panics on an empty slice — a summary over zero kernels is
-    /// meaningless.
-    pub fn from_errors(errors: &[f64]) -> Self {
-        assert!(!errors.is_empty(), "no kernels to summarise");
+    /// Summarises a slice of signed relative errors; `None` for an
+    /// empty slice (a summary over zero kernels is meaningless).
+    pub fn from_errors(errors: &[f64]) -> Option<Self> {
+        if errors.is_empty() {
+            return None;
+        }
         let mean_abs = errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64;
         let max_abs = errors.iter().map(|e| e.abs()).fold(0.0, f64::max);
-        ErrorSummary {
+        Some(ErrorSummary {
             mean_abs,
             max_abs,
             kernels: errors.len(),
-        }
+        })
     }
 
-    /// Summarises (estimated, measured) pairs.
-    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+    /// Summarises (estimated, measured) pairs; `None` for an empty
+    /// slice.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Option<Self> {
         let errors: Vec<f64> = pairs
             .iter()
             .map(|&(est, meas)| relative_error(est, meas))
             .collect();
         Self::from_errors(&errors)
+    }
+}
+
+/// Top-level error for the estimation and fault-campaign pipelines:
+/// everything that can go wrong between "compile a kernel" and "report
+/// a table" that is not a bug in the harness itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NfpError {
+    /// The simulator reported an error (trap, watchdog, bad image...).
+    Sim(SimError),
+    /// A kernel ran to completion but exited non-zero.
+    KernelFailed {
+        /// Kernel name.
+        kernel: String,
+        /// The kernel's exit code.
+        exit_code: u32,
+    },
+    /// A kernel's emitted result words did not match the expected
+    /// golden words.
+    OutputMismatch {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// A summary or report was requested over an empty input set.
+    Empty {
+        /// What was empty, for the message.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for NfpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NfpError::Sim(e) => write!(f, "simulation failed: {e}"),
+            NfpError::KernelFailed { kernel, exit_code } => {
+                write!(f, "kernel '{kernel}' exited with code {exit_code}")
+            }
+            NfpError::OutputMismatch { kernel } => {
+                write!(f, "kernel '{kernel}' produced wrong result words")
+            }
+            NfpError::Empty { what } => write!(f, "nothing to summarise: {what} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for NfpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NfpError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for NfpError {
+    fn from(e: SimError) -> Self {
+        NfpError::Sim(e)
     }
 }
 
@@ -55,7 +116,7 @@ mod tests {
 
     #[test]
     fn summary_mean_and_max() {
-        let s = ErrorSummary::from_errors(&[0.01, -0.03, 0.02]);
+        let s = ErrorSummary::from_errors(&[0.01, -0.03, 0.02]).unwrap();
         assert!((s.mean_abs - 0.02).abs() < 1e-12);
         assert!((s.max_abs - 0.03).abs() < 1e-12);
         assert_eq!(s.kernels, 3);
@@ -63,14 +124,28 @@ mod tests {
 
     #[test]
     fn summary_from_pairs() {
-        let s = ErrorSummary::from_pairs(&[(102.0, 100.0), (196.0, 200.0)]);
+        let s = ErrorSummary::from_pairs(&[(102.0, 100.0), (196.0, 200.0)]).unwrap();
         assert!((s.mean_abs - 0.02).abs() < 1e-12);
         assert!((s.max_abs - 0.02).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic]
-    fn empty_summary_panics() {
-        ErrorSummary::from_errors(&[]);
+    fn empty_summary_is_none() {
+        assert_eq!(ErrorSummary::from_errors(&[]), None);
+        assert_eq!(ErrorSummary::from_pairs(&[]), None);
+    }
+
+    #[test]
+    fn nfp_error_display_and_conversion() {
+        let e: NfpError = SimError::BudgetExhausted { limit: 5 }.into();
+        assert_eq!(
+            e.to_string(),
+            "simulation failed: instruction budget of 5 exhausted"
+        );
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(
+            NfpError::Empty { what: "kernel set" }.to_string(),
+            "nothing to summarise: kernel set is empty"
+        );
     }
 }

@@ -25,11 +25,11 @@ pub mod consistency;
 pub mod dse;
 pub mod error;
 pub mod model;
+pub mod vulnerability;
 
 pub use calibration::{calibrate, calibrate_class, Calibration, ClassCalibration, UNROLL};
 pub use consistency::{check_structure, validate, Finding, Severity, Validation};
 pub use dse::{fpu_tradeoff, FpuTradeoff, KernelNfp};
-pub use error::{relative_error, ErrorSummary};
-pub use model::{
-    paper_table1, Classifier, ClassCounter, Coarse, CostModel, Estimate, Fine, Paper,
-};
+pub use error::{relative_error, ErrorSummary, NfpError};
+pub use model::{paper_table1, ClassCounter, Classifier, Coarse, CostModel, Estimate, Fine, Paper};
+pub use vulnerability::{Outcome, OutcomeCounts, VulnerabilityReport};

@@ -23,6 +23,36 @@ pub const CONSOLE_TX: u32 = CONSOLE_BASE;
 /// stream (used by workloads to emit checksums the harness verifies).
 pub const CONSOLE_EMIT: u32 = CONSOLE_BASE + 4;
 
+/// Log2 of the dirty-tracking page size (4 KiB pages).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Dirty-tracking page size in bytes.
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Contents of every dirty RAM page at a point in time, as captured by
+/// [`Bus::snapshot_ram`]. Together with the boot-time pristine images
+/// this is enough to rebuild the exact RAM state later, without copying
+/// the full (mostly untouched) RAM.
+#[derive(Debug, Clone)]
+pub struct RamSnapshot {
+    /// Dirty bitmap at snapshot time, one bit per page.
+    dirty: Vec<u64>,
+    /// `(page index, page contents)` for every dirty page.
+    pages: Vec<(usize, Vec<u8>)>,
+}
+
+impl RamSnapshot {
+    /// Number of pages captured.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.pages.len() * PAGE_SIZE + self.dirty.len() * 8
+    }
+}
+
 /// Access fault raised by the bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
@@ -92,6 +122,12 @@ impl Device for ConsoleDevice {
 pub struct Bus {
     ram: Vec<u8>,
     ram_base: u32,
+    /// One bit per [`PAGE_SIZE`] page, set by CPU-initiated stores.
+    /// Bulk image loads ([`Bus::write_bytes`]) are recorded as pristine
+    /// overlays instead, so checkpoints only carry run-time mutations.
+    dirty: Vec<u64>,
+    /// Boot-time images applied by [`Bus::write_bytes`], in order.
+    pristine: Vec<(u32, Vec<u8>)>,
     /// The console is built in so the run harness can read it back
     /// without downcasting.
     pub console: ConsoleDevice,
@@ -106,9 +142,12 @@ impl Bus {
 
     /// A bus with RAM of `size` bytes at `base`.
     pub fn with_ram(base: u32, size: u32) -> Self {
+        let pages = (size as usize).div_ceil(PAGE_SIZE);
         Bus {
             ram: vec![0; size as usize],
             ram_base: base,
+            dirty: vec![0; pages.div_ceil(64)],
+            pristine: Vec::new(),
             console: ConsoleDevice::default(),
             devices: Vec::new(),
         }
@@ -139,23 +178,131 @@ impl Bus {
         }
     }
 
-    /// Bulk-loads `bytes` into RAM at `addr` (harness use; panics on
-    /// out-of-range, which indicates a mis-built image).
-    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
-        let idx = self
-            .ram_index(addr)
-            .expect("image write outside RAM");
-        assert!(
-            idx + bytes.len() <= self.ram.len(),
-            "image write overruns RAM"
-        );
+    #[inline]
+    fn mark_dirty(&mut self, ram_index: usize) {
+        let page = ram_index >> PAGE_SHIFT;
+        self.dirty[page >> 6] |= 1u64 << (page & 63);
+    }
+
+    /// Bulk-loads `bytes` into RAM at `addr` (harness use). The write
+    /// is recorded as a pristine overlay, not a dirty page: it is part
+    /// of the boot image that [`Bus::restore_ram`] rebuilds from.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusFault> {
+        let idx = self.ram_index(addr).ok_or(BusFault::Unmapped { addr })?;
+        if idx + bytes.len() > self.ram.len() {
+            return Err(BusFault::Unmapped {
+                addr: self.ram_base + self.ram.len() as u32,
+            });
+        }
         self.ram[idx..idx + bytes.len()].copy_from_slice(bytes);
+        self.pristine.push((addr, bytes.to_vec()));
+        Ok(())
     }
 
     /// Bulk-reads RAM (harness use).
-    pub fn read_bytes(&self, addr: u32, len: usize) -> &[u8] {
-        let idx = self.ram_index(addr).expect("read outside RAM");
-        &self.ram[idx..idx + len]
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Result<&[u8], BusFault> {
+        let idx = self.ram_index(addr).ok_or(BusFault::Unmapped { addr })?;
+        if idx + len > self.ram.len() {
+            return Err(BusFault::Unmapped {
+                addr: self.ram_base + self.ram.len() as u32,
+            });
+        }
+        Ok(&self.ram[idx..idx + len])
+    }
+
+    /// Captures the contents of every page dirtied since boot (or since
+    /// the last [`Bus::restore_ram`] that shrank the dirty set).
+    pub fn snapshot_ram(&self) -> RamSnapshot {
+        let mut pages = Vec::new();
+        for page in self.dirty_pages() {
+            let start = page << PAGE_SHIFT;
+            let end = (start + PAGE_SIZE).min(self.ram.len());
+            pages.push((page, self.ram[start..end].to_vec()));
+        }
+        RamSnapshot {
+            dirty: self.dirty.clone(),
+            pages,
+        }
+    }
+
+    /// Rewinds RAM to the state captured by `snap`: pages dirty now but
+    /// clean at snapshot time are rebuilt from zeros plus the pristine
+    /// overlays; pages dirty at snapshot time are copied back. The
+    /// snapshot must come from this bus (same RAM geometry and boot
+    /// images).
+    pub fn restore_ram(&mut self, snap: &RamSnapshot) {
+        for page in self.dirty_pages() {
+            let in_snap = snap
+                .dirty
+                .get(page >> 6)
+                .is_some_and(|w| w >> (page & 63) & 1 != 0);
+            if !in_snap {
+                self.repristine_page(page);
+            }
+        }
+        for (page, contents) in &snap.pages {
+            let start = page << PAGE_SHIFT;
+            self.ram[start..start + contents.len()].copy_from_slice(contents);
+        }
+        self.dirty.copy_from_slice(&snap.dirty);
+    }
+
+    /// Rebuilds one page from the boot state: zeros overlaid with any
+    /// intersecting pristine images.
+    fn repristine_page(&mut self, page: usize) {
+        let start = page << PAGE_SHIFT;
+        let end = (start + PAGE_SIZE).min(self.ram.len());
+        self.ram[start..end].fill(0);
+        // Split borrows: the overlay list is disjoint from `ram`.
+        let pristine = std::mem::take(&mut self.pristine);
+        for (addr, bytes) in &pristine {
+            let img_start = addr.wrapping_sub(self.ram_base) as usize;
+            let img_end = img_start + bytes.len();
+            let lo = img_start.max(start);
+            let hi = img_end.min(end);
+            if lo < hi {
+                self.ram[lo..hi].copy_from_slice(&bytes[lo - img_start..hi - img_start]);
+            }
+        }
+        self.pristine = pristine;
+    }
+
+    /// Indices of all currently dirty pages, ascending.
+    fn dirty_pages(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, &word) in self.dirty.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(wi * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Byte ranges `(addr, len)` of all currently dirty pages, with
+    /// adjacent pages coalesced. Fault campaigns use this to aim RAM
+    /// upsets at live data instead of the untouched bulk of memory.
+    pub fn dirty_ranges(&self) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for page in self.dirty_pages() {
+            let start = self.ram_base + (page << PAGE_SHIFT) as u32;
+            match out.last_mut() {
+                Some((base, len)) if *base + *len == start => *len += PAGE_SIZE as u32,
+                _ => out.push((start, PAGE_SIZE as u32)),
+            }
+        }
+        out
+    }
+
+    /// Byte ranges `(addr, len)` of the boot-time images loaded through
+    /// [`Bus::write_bytes`].
+    pub fn pristine_ranges(&self) -> Vec<(u32, u32)> {
+        self.pristine
+            .iter()
+            .map(|(addr, bytes)| (*addr, bytes.len() as u32))
+            .collect()
     }
 
     #[inline]
@@ -216,6 +363,7 @@ impl Bus {
         match self.ram_index(addr) {
             Some(i) => {
                 self.ram[i] = value;
+                self.mark_dirty(i);
                 Ok(())
             }
             None => self.device_store(addr, value as u32),
@@ -229,6 +377,7 @@ impl Bus {
         match self.ram_index(addr) {
             Some(i) => {
                 self.ram[i..i + 2].copy_from_slice(&value.to_be_bytes());
+                self.mark_dirty(i);
                 Ok(())
             }
             None => self.device_store(addr, value as u32),
@@ -242,6 +391,7 @@ impl Bus {
         match self.ram_index(addr) {
             Some(i) => {
                 self.ram[i..i + 4].copy_from_slice(&value.to_be_bytes());
+                self.mark_dirty(i);
                 Ok(())
             }
             None => self.device_store(addr, value),
@@ -362,8 +512,61 @@ mod tests {
     #[test]
     fn bulk_image_load() {
         let mut bus = small_bus();
-        bus.write_bytes(RAM_BASE + 16, &[1, 2, 3, 4]);
-        assert_eq!(bus.read_bytes(RAM_BASE + 16, 4), &[1, 2, 3, 4]);
+        bus.write_bytes(RAM_BASE + 16, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(bus.read_bytes(RAM_BASE + 16, 4).unwrap(), &[1, 2, 3, 4]);
         assert_eq!(bus.load32(RAM_BASE + 16).unwrap(), 0x0102_0304);
+    }
+
+    #[test]
+    fn bulk_access_out_of_range_is_an_error() {
+        let mut bus = small_bus();
+        assert!(bus.write_bytes(0x1000_0000, &[0]).is_err());
+        assert!(bus.write_bytes(RAM_BASE + 4094, &[0; 8]).is_err());
+        assert!(bus.read_bytes(RAM_BASE + 4094, 8).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_cpu_stores() {
+        let mut bus = small_bus();
+        bus.write_bytes(RAM_BASE, &[9; 64]).unwrap(); // boot image
+        bus.store32(RAM_BASE + 128, 0xaaaa_bbbb).unwrap();
+        let snap = bus.snapshot_ram();
+
+        bus.store32(RAM_BASE + 128, 0xdead_beef).unwrap();
+        bus.store8(RAM_BASE + 4, 0).unwrap(); // clobber boot image
+        bus.restore_ram(&snap);
+
+        assert_eq!(bus.load32(RAM_BASE + 128).unwrap(), 0xaaaa_bbbb);
+        assert_eq!(bus.load8(RAM_BASE + 4).unwrap(), 9);
+    }
+
+    #[test]
+    fn restore_repristines_pages_clean_at_snapshot_time() {
+        let mut bus = Bus::with_ram(RAM_BASE, 64 * 1024);
+        bus.write_bytes(RAM_BASE + 8192, &[7; 16]).unwrap();
+        let snap = bus.snapshot_ram();
+        assert_eq!(snap.page_count(), 0); // boot images are not dirty
+
+        // Dirty a page that was clean at snapshot time, both over the
+        // boot image and over untouched zeros.
+        bus.store32(RAM_BASE + 8192, 0xffff_ffff).unwrap();
+        bus.store32(RAM_BASE + 4096, 0x1234_5678).unwrap();
+        bus.restore_ram(&snap);
+
+        assert_eq!(bus.load32(RAM_BASE + 8192).unwrap(), 0x0707_0707);
+        assert_eq!(bus.load32(RAM_BASE + 4096).unwrap(), 0);
+        assert!(bus.dirty_ranges().is_empty());
+    }
+
+    #[test]
+    fn dirty_ranges_coalesce_adjacent_pages() {
+        let mut bus = Bus::with_ram(RAM_BASE, 64 * 1024);
+        bus.store8(RAM_BASE, 1).unwrap();
+        bus.store8(RAM_BASE + 4096, 1).unwrap();
+        bus.store8(RAM_BASE + 3 * 4096, 1).unwrap();
+        assert_eq!(
+            bus.dirty_ranges(),
+            vec![(RAM_BASE, 8192), (RAM_BASE + 3 * 4096, 4096)]
+        );
     }
 }

@@ -7,6 +7,24 @@ use nfp_sparc::{FReg, Reg};
 /// Number of register windows (LEON3 default configuration).
 pub const NWINDOWS: usize = 8;
 
+/// Number of distinct fault-targetable integer registers: `%g1`–`%g7`
+/// plus the `ins` and `locals` banks of every window (`%g0` is
+/// hardwired to zero, so an upset there is always masked).
+pub const INT_REG_SPACE: usize = 7 + NWINDOWS * 16;
+
+/// Ceiling on frames the bare-metal overflow-handler model will spill
+/// before declaring the trap unrecoverable. Corrupted control flow can
+/// execute `save` in a loop; a real board would exhaust its stack long
+/// before this.
+pub const MAX_SPILL_FRAMES: usize = 1024;
+
+/// One register window spilled to "memory" by the trap-handler model.
+#[derive(Debug, Clone, Copy)]
+struct SpilledWindow {
+    locals: [u32; 8],
+    ins: [u32; 8],
+}
+
 /// Integer condition codes (the `icc` field of the PSR).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Icc {
@@ -46,6 +64,9 @@ pub struct Cpu {
     pub f: [u32; 32],
     /// FP condition code from the last `fcmp`.
     pub fcc: FccValue,
+    /// Windows spilled by the bare-metal overflow-handler model, oldest
+    /// first. Empty unless the machine runs with trap recovery enabled.
+    spilled: Vec<SpilledWindow>,
 }
 
 impl Default for Cpu {
@@ -69,6 +90,7 @@ impl Cpu {
             y: 0,
             f: [0; 32],
             fcc: FccValue::Equal,
+            spilled: Vec::new(),
         }
     }
 
@@ -128,6 +150,88 @@ impl Cpu {
     /// Current window nesting depth (0 at reset).
     pub fn window_depth(&self) -> usize {
         self.depth
+    }
+
+    /// Models a window-overflow trap handler: saves the oldest active
+    /// frame's `locals`/`ins` banks to a spill stack and lowers the
+    /// nesting depth so the faulting `save` can be retried. Returns
+    /// `false` (state unchanged) if there is nothing to spill or the
+    /// spill stack has hit [`MAX_SPILL_FRAMES`].
+    #[must_use]
+    pub fn window_spill(&mut self) -> bool {
+        if self.depth == 0 || self.spilled.len() >= MAX_SPILL_FRAMES {
+            return false;
+        }
+        let oldest = (self.cwp + self.depth) % NWINDOWS;
+        self.spilled.push(SpilledWindow {
+            locals: self.locals[oldest],
+            ins: self.ins[oldest],
+        });
+        self.depth -= 1;
+        true
+    }
+
+    /// Models a window-underflow trap handler: refills the window the
+    /// faulting `restore` is returning to from the spill stack and
+    /// raises the nesting depth so the `restore` can be retried.
+    /// Returns `true` if a spilled frame was restored; with an empty
+    /// spill stack (corrupted control flow ran `restore` without a
+    /// matching `save`) the banks keep their stale contents, which is
+    /// what a real fill from a garbage stack pointer would amount to.
+    pub fn window_fill(&mut self) -> bool {
+        let target = (self.cwp + 1) % NWINDOWS;
+        let from_spill = if let Some(frame) = self.spilled.pop() {
+            self.locals[target] = frame.locals;
+            self.ins[target] = frame.ins;
+            true
+        } else {
+            false
+        };
+        self.depth += 1;
+        from_spill
+    }
+
+    /// Number of frames currently on the trap-handler spill stack.
+    pub fn spilled_frames(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// Reads a register by flat fault-space index (see
+    /// [`INT_REG_SPACE`]): `0..7` are `%g1`–`%g7`, then each window
+    /// contributes its 8 `ins` followed by its 8 `locals`.
+    pub fn flat_get(&self, index: usize) -> u32 {
+        assert!(index < INT_REG_SPACE, "flat register index out of range");
+        match index {
+            0..=6 => self.globals[index + 1],
+            _ => {
+                let w = (index - 7) / 16;
+                let r = (index - 7) % 16;
+                if r < 8 {
+                    self.ins[w][r]
+                } else {
+                    self.locals[w][r - 8]
+                }
+            }
+        }
+    }
+
+    /// Writes a register by flat fault-space index (see [`flat_get`]).
+    ///
+    /// [`flat_get`]: Cpu::flat_get
+    pub fn flat_set(&mut self, index: usize, value: u32) {
+        assert!(index < INT_REG_SPACE, "flat register index out of range");
+        match index {
+            0..=6 => self.globals[index + 1] = value,
+            _ => {
+                let w = (index - 7) / 16;
+                let r = (index - 7) % 16;
+                if r < 8 {
+                    self.ins[w][r] = value;
+                } else {
+                    self.locals[w][r - 8] = value;
+                }
+            }
+        }
     }
 
     /// Reads an FP register as raw bits.
@@ -221,6 +325,69 @@ mod tests {
     fn window_underflow_detected() {
         let mut cpu = Cpu::new();
         assert!(!cpu.window_restore());
+    }
+
+    #[test]
+    fn spill_then_fill_roundtrips_oldest_frame() {
+        let mut cpu = Cpu::new();
+        cpu.set(Reg::l(3), 0x1111);
+        cpu.set(Reg::i(2), 0x2222);
+        // Exhaust the windows, then spill to make room for one more.
+        for d in 0..NWINDOWS - 2 {
+            cpu.set(Reg::o(5), o_marker(d));
+            assert!(cpu.window_save());
+        }
+        assert!(!cpu.window_save());
+        assert!(cpu.window_spill());
+        assert_eq!(cpu.spilled_frames(), 1);
+        assert!(cpu.window_save());
+
+        // Unwind all the way; the final restore underflows and needs a
+        // fill, which must bring back the original frame's registers.
+        for _ in 0..NWINDOWS - 2 {
+            assert!(cpu.window_restore());
+        }
+        assert!(!cpu.window_restore());
+        assert!(cpu.window_fill());
+        assert!(cpu.window_restore());
+        assert_eq!(cpu.get(Reg::l(3)), 0x1111);
+        assert_eq!(cpu.get(Reg::i(2)), 0x2222);
+        assert_eq!(cpu.spilled_frames(), 0);
+    }
+
+    fn o_marker(d: usize) -> u32 {
+        0xa000 + d as u32
+    }
+
+    #[test]
+    fn fill_without_spill_reports_stale() {
+        let mut cpu = Cpu::new();
+        assert!(!cpu.window_fill());
+        // The fill raised depth so a retried restore succeeds.
+        assert!(cpu.window_restore());
+        assert_eq!(cpu.window_depth(), 0);
+    }
+
+    #[test]
+    fn flat_index_roundtrip_covers_whole_space() {
+        let mut cpu = Cpu::new();
+        for i in 0..INT_REG_SPACE {
+            cpu.flat_set(i, i as u32 + 1);
+        }
+        for i in 0..INT_REG_SPACE {
+            assert_eq!(cpu.flat_get(i), i as u32 + 1, "index {i}");
+        }
+        // Flat index 0 is %g1, never %g0.
+        assert_eq!(cpu.get(Reg::g(1)), 1);
+        assert_eq!(cpu.get(Reg::g(0)), 0);
+    }
+
+    #[test]
+    fn flat_index_aliases_current_window() {
+        let mut cpu = Cpu::new();
+        cpu.set(Reg::l(4), 77);
+        // Window 0's locals sit after its ins in the flat layout.
+        assert_eq!(cpu.flat_get(7 + 8 + 4), 77);
     }
 
     #[test]

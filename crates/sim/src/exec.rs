@@ -39,6 +39,34 @@ pub enum Trap {
     OddFpPair { pc: u32 },
 }
 
+impl Trap {
+    /// The pc of the faulting instruction.
+    pub fn pc(&self) -> u32 {
+        match *self {
+            Trap::Illegal { pc, .. }
+            | Trap::Misaligned { pc, .. }
+            | Trap::Unmapped { pc, .. }
+            | Trap::DivZero { pc }
+            | Trap::WindowOverflow { pc }
+            | Trap::WindowUnderflow { pc }
+            | Trap::FpDisabled { pc }
+            | Trap::OddFpPair { pc } => pc,
+        }
+    }
+
+    /// Whether the bare-metal handler model can absorb this trap when
+    /// the machine runs under
+    /// [`TrapPolicy::Recover`](crate::machine::TrapPolicy::Recover):
+    /// window overflow/underflow (spill/fill) and misaligned data
+    /// accesses (skipped). Everything else aborts the run.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            Trap::WindowOverflow { .. } | Trap::WindowUnderflow { .. } | Trap::Misaligned { .. }
+        )
+    }
+}
+
 impl std::fmt::Display for Trap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
@@ -46,7 +74,10 @@ impl std::fmt::Display for Trap {
                 write!(f, "illegal instruction 0x{word:08x} at 0x{pc:08x}")
             }
             Trap::Misaligned { pc, addr, size } => {
-                write!(f, "misaligned {size}-byte access to 0x{addr:08x} at 0x{pc:08x}")
+                write!(
+                    f,
+                    "misaligned {size}-byte access to 0x{addr:08x} at 0x{pc:08x}"
+                )
             }
             Trap::Unmapped { pc, addr } => {
                 write!(f, "unmapped access to 0x{addr:08x} at 0x{pc:08x}")
@@ -180,7 +211,15 @@ pub fn step<O: Observer>(
         } => {
             let taken = cond.eval(cpu.icc.n, cpu.icc.z, cpu.icc.v, cpu.icc.c);
             let target = pc.wrapping_add((disp22 as u32).wrapping_mul(4));
-            apply_branch(taken, annul, cond == ICond::A, target, npc, &mut next_pc, &mut next_npc);
+            apply_branch(
+                taken,
+                annul,
+                cond == ICond::A,
+                target,
+                npc,
+                &mut next_pc,
+                &mut next_npc,
+            );
             info.branch_taken = Some(taken);
         }
         Instr::FBranch {
@@ -250,10 +289,7 @@ pub fn step<O: Observer>(
         }
         Instr::Ticc { cond, rs1, op2 } => {
             if cond.eval(cpu.icc.n, cpu.icc.z, cpu.icc.v, cpu.icc.c) {
-                let n = cpu
-                    .get(rs1)
-                    .wrapping_add(operand_value(cpu, op2))
-                    & 0x7f;
+                let n = cpu.get(rs1).wrapping_add(operand_value(cpu, op2)) & 0x7f;
                 out = StepOut::SoftTrap(n);
             }
         }
@@ -390,10 +426,7 @@ pub fn step<O: Observer>(
             exec_fpop(cpu, op, rd, rs1, rs2, pc, &mut info)?;
         }
         Instr::FCmp {
-            double,
-            rs1,
-            rs2,
-            ..
+            double, rs1, rs2, ..
         } => {
             if !fpu_enabled {
                 return Err(Trap::FpDisabled { pc });
@@ -409,10 +442,7 @@ pub fn step<O: Observer>(
             cpu.fcc = rel;
         }
         Instr::Unimp { const22 } => {
-            return Err(Trap::Illegal {
-                pc,
-                word: const22,
-            });
+            return Err(Trap::Illegal { pc, word: const22 });
         }
         Instr::Illegal { word } => {
             return Err(Trap::Illegal { pc, word });
@@ -475,12 +505,7 @@ fn exec_alu(cpu: &mut Cpu, op: AluOp, a: u32, b: u32, pc: u32) -> Result<u32, Tr
         SubX | SubXCc => {
             let r = a.wrapping_sub(b).wrapping_sub(carry_in);
             let v = ((a ^ b) & (a ^ r)) >> 31 != 0;
-            (
-                r,
-                op == SubXCc,
-                v,
-                (a as u64) < b as u64 + carry_in as u64,
-            )
+            (r, op == SubXCc, v, (a as u64) < b as u64 + carry_in as u64)
         }
         And | AndCc => (a & b, op == AndCc, false, false),
         AndN | AndNCc => (a & !b, op == AndNCc, false, false),
@@ -490,7 +515,12 @@ fn exec_alu(cpu: &mut Cpu, op: AluOp, a: u32, b: u32, pc: u32) -> Result<u32, Tr
         XNor | XNorCc => (a ^ !b, op == XNorCc, false, false),
         Sll => (a.wrapping_shl(b & 31), false, false, false),
         Srl => (a.wrapping_shr(b & 31), false, false, false),
-        Sra => (((a as i32).wrapping_shr(b & 31)) as u32, false, false, false),
+        Sra => (
+            ((a as i32).wrapping_shr(b & 31)) as u32,
+            false,
+            false,
+            false,
+        ),
         UMul | UMulCc => {
             let r64 = a as u64 * b as u64;
             cpu.y = (r64 >> 32) as u32;

@@ -27,11 +27,16 @@
 pub mod bus;
 pub mod cpu;
 pub mod exec;
+pub mod fault;
 pub mod machine;
 pub mod profile;
 
-pub use bus::{Bus, ConsoleDevice, Device, RAM_BASE};
-pub use profile::{PcHistogram, Tracer};
-pub use cpu::{Cpu, NWINDOWS};
+pub use bus::{Bus, ConsoleDevice, Device, RamSnapshot, RAM_BASE};
+pub use cpu::{Cpu, INT_REG_SPACE, NWINDOWS};
 pub use exec::{ExecInfo, NullObserver, Observer, Trap};
-pub use machine::{ExitReason, Machine, MachineConfig, RunResult, SimError};
+pub use fault::{Fault, FaultRng, FaultSpace, FaultTarget};
+pub use machine::{
+    Checkpoint, ExitReason, Machine, MachineConfig, RunResult, SimError, TrapPolicy, TrapStats,
+    Watchdog,
+};
+pub use profile::{PcHistogram, Tracer};

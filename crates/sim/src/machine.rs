@@ -6,14 +6,35 @@
 //! inline in the run loop, not through callbacks, mirroring the
 //! implementation note in Section III of the paper.
 
-use crate::bus::{Bus, RAM_BASE};
+use crate::bus::{Bus, BusFault, RamSnapshot, RAM_BASE};
 use crate::cpu::Cpu;
 use crate::exec::{step, NullObserver, Observer, StepOut, Trap};
 use nfp_sparc::{decode, Category, CategoryCounts, Instr};
+use std::time::{Duration, Instant};
 
 /// Software trap number used by programs to halt (`ta 0`); the exit
 /// code is read from `%o0`.
 pub const TRAP_EXIT: u32 = 0;
+
+/// How often (in instructions) the run loop consults the wall clock
+/// when a watchdog deadline is armed.
+const WALL_CHECK_INTERVAL: u64 = 1 << 16;
+
+/// What the machine does when an architectural trap fires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TrapPolicy {
+    /// Any trap aborts the run with [`SimError::Trap`]. This is the
+    /// right model for verified, fault-free workloads.
+    #[default]
+    Abort,
+    /// Recoverable traps vector through a minimal bare-metal handler
+    /// model and execution resumes: window overflow spills the oldest
+    /// frame, window underflow refills it, and misaligned data accesses
+    /// are skipped. Fault-injection campaigns run under this policy so
+    /// that an upset perturbs the program instead of killing the
+    /// simulation. Unrecoverable traps still abort.
+    Recover,
+}
 
 /// Machine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +46,8 @@ pub struct MachineConfig {
     /// Whether per-category counters are maintained. Disabling them
     /// gives the "plain ISS" point of the paper's Fig. 1.
     pub count_categories: bool,
+    /// Trap handling policy (see [`TrapPolicy`]).
+    pub trap_policy: TrapPolicy,
 }
 
 impl Default for MachineConfig {
@@ -33,8 +56,44 @@ impl Default for MachineConfig {
             ram_size: crate::bus::DEFAULT_RAM_SIZE,
             fpu_enabled: true,
             count_categories: true,
+            trap_policy: TrapPolicy::Abort,
         }
     }
+}
+
+/// Counts of traps absorbed by the bare-metal handler model under
+/// [`TrapPolicy::Recover`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrapStats {
+    /// Window-overflow traps resolved by spilling the oldest frame.
+    pub overflow_spills: u64,
+    /// Window-underflow traps refilled from the spill stack.
+    pub underflow_fills: u64,
+    /// Window-underflow traps with an empty spill stack (corrupted
+    /// control flow); the window keeps stale contents.
+    pub underflow_stale: u64,
+    /// Misaligned data accesses skipped by the handler model.
+    pub misaligned_skips: u64,
+}
+
+impl TrapStats {
+    /// Total traps absorbed.
+    pub fn total(&self) -> u64 {
+        self.overflow_spills + self.underflow_fills + self.underflow_stale + self.misaligned_skips
+    }
+}
+
+/// Run-length limits enforced by [`Machine::run_watchdog`]: a hard
+/// instruction budget (deterministic) plus an optional wall-clock
+/// deadline as a safety net against simulator-level slowdowns. Either
+/// expiring yields [`SimError::WatchdogExpired`].
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    /// Maximum further instructions to execute.
+    pub max_instrs: u64,
+    /// Optional wall-clock deadline, checked every
+    /// [`WALL_CHECK_INTERVAL`] instructions.
+    pub wall: Option<Duration>,
 }
 
 /// Why a run stopped.
@@ -54,6 +113,16 @@ pub enum SimError {
     UnknownSoftTrap { pc: u32, trap: u32 },
     /// The instruction budget ran out before the program halted.
     BudgetExhausted { limit: u64 },
+    /// A watchdog (instruction budget or wall-clock deadline) cut the
+    /// run short; the program is considered hung.
+    WatchdogExpired { instret: u64 },
+    /// [`Machine::run_until`] halted before reaching its target
+    /// instruction count.
+    HaltedEarly { instret: u64 },
+    /// An image load or patch touched memory outside RAM.
+    BadAddress(BusFault),
+    /// A code patch referenced an instruction index outside the image.
+    BadCodeIndex { index: usize, len: usize },
 }
 
 impl std::fmt::Display for SimError {
@@ -66,6 +135,22 @@ impl std::fmt::Display for SimError {
             SimError::BudgetExhausted { limit } => {
                 write!(f, "instruction budget of {limit} exhausted")
             }
+            SimError::WatchdogExpired { instret } => {
+                write!(f, "watchdog expired after {instret} instructions")
+            }
+            SimError::HaltedEarly { instret } => {
+                write!(
+                    f,
+                    "program halted after {instret} instructions, before the replay target"
+                )
+            }
+            SimError::BadAddress(fault) => write!(f, "bad address: {fault}"),
+            SimError::BadCodeIndex { index, len } => {
+                write!(
+                    f,
+                    "code index {index} out of range for image of {len} instructions"
+                )
+            }
         }
     }
 }
@@ -75,6 +160,12 @@ impl std::error::Error for SimError {}
 impl From<Trap> for SimError {
     fn from(t: Trap) -> Self {
         SimError::Trap(t)
+    }
+}
+
+impl From<BusFault> for SimError {
+    fn from(f: BusFault) -> Self {
+        SimError::BadAddress(f)
     }
 }
 
@@ -91,6 +182,37 @@ pub struct RunResult {
     pub text: String,
     /// Structured result words emitted by the program.
     pub words: Vec<u32>,
+    /// Traps absorbed by the recovery model during this machine's
+    /// lifetime (zero under [`TrapPolicy::Abort`]).
+    pub recovered_traps: u64,
+}
+
+/// A point-in-time capture of the full machine state, sufficient to
+/// rewind with [`Machine::restore`]. Only valid on the machine that
+/// created it (the RAM snapshot is relative to this machine's boot
+/// images, and console restoration relies on the console streams being
+/// append-only).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    cpu: Cpu,
+    instret: u64,
+    counts: CategoryCounts,
+    trap_stats: TrapStats,
+    ram: RamSnapshot,
+    console_text_len: usize,
+    console_words_len: usize,
+}
+
+impl Checkpoint {
+    /// Instruction count at capture time.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Approximate heap footprint of the RAM portion in bytes.
+    pub fn ram_bytes(&self) -> usize {
+        self.ram.byte_size()
+    }
 }
 
 /// A loaded machine ready to run.
@@ -104,6 +226,7 @@ pub struct Machine {
     code: Vec<(Instr, Category)>,
     counts: CategoryCounts,
     instret: u64,
+    trap_stats: TrapStats,
 }
 
 impl Machine {
@@ -117,6 +240,7 @@ impl Machine {
             code: Vec::new(),
             counts: CategoryCounts::new(),
             instret: 0,
+            trap_stats: TrapStats::default(),
         }
     }
 
@@ -125,15 +249,27 @@ impl Machine {
         &self.config
     }
 
+    /// Switches the trap handling policy; takes effect from the next
+    /// trap.
+    pub fn set_trap_policy(&mut self, policy: TrapPolicy) {
+        self.config.trap_policy = policy;
+    }
+
+    /// Traps absorbed by the recovery model so far.
+    pub fn trap_stats(&self) -> &TrapStats {
+        &self.trap_stats
+    }
+
     /// Loads `words` at `base`, predecodes them, sets the entry point
     /// to `base`, and initialises the stack pointer below the top of
-    /// RAM.
-    pub fn load_image(&mut self, base: u32, words: &[u32]) {
+    /// RAM. Fails with [`SimError::BadAddress`] if the image does not
+    /// fit in RAM.
+    pub fn load_image(&mut self, base: u32, words: &[u32]) -> Result<(), SimError> {
         let mut bytes = Vec::with_capacity(words.len() * 4);
         for w in words {
             bytes.extend_from_slice(&w.to_be_bytes());
         }
-        self.bus.write_bytes(base, &bytes);
+        self.bus.write_bytes(base, &bytes)?;
         self.code_base = base;
         self.code = words
             .iter()
@@ -148,13 +284,88 @@ impl Machine {
         // Stack: top of RAM minus a red zone, 8-byte aligned.
         let sp = (RAM_BASE + self.config.ram_size - 4096) & !7;
         self.cpu.set(nfp_sparc::regs::SP, sp);
+        Ok(())
     }
 
     /// Convenience constructor: default config, image at the RAM base.
+    /// Panics if the image does not fit in the default 64 MiB RAM (test
+    /// and example use; production callers go through [`Machine::new`]
+    /// + [`Machine::load_image`]).
     pub fn boot(words: &[u32]) -> Self {
         let mut m = Machine::new(MachineConfig::default());
-        m.load_image(RAM_BASE, words);
+        m.load_image(RAM_BASE, words)
+            .expect("boot image exceeds default RAM");
         m
+    }
+
+    /// Base address of the predecoded image.
+    pub fn code_base(&self) -> u32 {
+        self.code_base
+    }
+
+    /// Length of the predecoded image in instructions.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Category of the predecoded instruction at `index`, if in range.
+    pub fn code_category(&self, index: usize) -> Option<Category> {
+        self.code.get(index).map(|&(_, c)| c)
+    }
+
+    /// Category of the instruction the machine would execute next, or
+    /// `None` if fetching it would trap.
+    pub fn next_category(&mut self) -> Option<Category> {
+        self.fetch(self.cpu.pc).ok().map(|(_, c)| c)
+    }
+
+    /// Replaces the instruction word at `index` in the loaded image:
+    /// both the RAM copy and the predecoded form. Returns the previous
+    /// word. This is the hook fault injection uses to corrupt the
+    /// instruction stream; the RAM write is dirty-tracked, so a later
+    /// [`Machine::restore`] rewinds it, but the predecode must be
+    /// undone explicitly by patching the old word back.
+    pub fn patch_code_word(&mut self, index: usize, word: u32) -> Result<u32, SimError> {
+        if index >= self.code.len() {
+            return Err(SimError::BadCodeIndex {
+                index,
+                len: self.code.len(),
+            });
+        }
+        let addr = self.code_base + (index as u32) * 4;
+        let old = self.bus.load32(addr)?;
+        self.bus.store32(addr, word)?;
+        let i = decode(word);
+        self.code[index] = (i, i.category());
+        Ok(old)
+    }
+
+    /// Captures the full machine state for a later [`Machine::restore`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            cpu: self.cpu.clone(),
+            instret: self.instret,
+            counts: self.counts,
+            trap_stats: self.trap_stats,
+            ram: self.bus.snapshot_ram(),
+            console_text_len: self.bus.console.text.len(),
+            console_words_len: self.bus.console.words.len(),
+        }
+    }
+
+    /// Rewinds the machine to `cp`, which must have been captured from
+    /// this machine. Note this does not undo [`Machine::patch_code_word`]
+    /// effects on the *predecoded* image — callers that patch code must
+    /// patch the original word back themselves (the RAM copy is
+    /// rewound).
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        self.cpu = cp.cpu.clone();
+        self.instret = cp.instret;
+        self.counts = cp.counts;
+        self.trap_stats = cp.trap_stats;
+        self.bus.restore_ram(&cp.ram);
+        self.bus.console.text.truncate(cp.console_text_len);
+        self.bus.console.words.truncate(cp.console_words_len);
     }
 
     /// Dynamic instruction count so far.
@@ -189,7 +400,10 @@ impl Machine {
                 size: 4,
             });
         }
-        let word = self.bus.load32(pc).map_err(|_| Trap::Unmapped { pc, addr: pc })?;
+        let word = self
+            .bus
+            .load32(pc)
+            .map_err(|_| Trap::Unmapped { pc, addr: pc })?;
         let i = decode(word);
         Ok((i, i.category()))
     }
@@ -207,15 +421,75 @@ impl Machine {
         max_instrs: u64,
         obs: &mut O,
     ) -> Result<RunResult, SimError> {
+        self.run_inner(max_instrs, None, false, obs)
+    }
+
+    /// Runs under a [`Watchdog`]: budget or deadline expiry yields
+    /// [`SimError::WatchdogExpired`] instead of `BudgetExhausted`, so a
+    /// fault-injected run that never halts is reported as a hang rather
+    /// than a harness misconfiguration.
+    pub fn run_watchdog(&mut self, wd: &Watchdog) -> Result<RunResult, SimError> {
+        let deadline = wd.wall.map(|d| Instant::now() + d);
+        self.run_inner(wd.max_instrs, deadline, true, &mut NullObserver)
+    }
+
+    /// Replays execution until the dynamic instruction count reaches
+    /// `target`. Used by fault campaigns to position the machine at an
+    /// injection point; the program halting first is an error
+    /// ([`SimError::HaltedEarly`]).
+    pub fn run_until(&mut self, target: u64) -> Result<(), SimError> {
+        if target <= self.instret {
+            return Ok(());
+        }
+        match self.run_inner(target - self.instret, None, false, &mut NullObserver) {
+            Err(SimError::BudgetExhausted { .. }) => Ok(()),
+            Ok(_) => Err(SimError::HaltedEarly {
+                instret: self.instret,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn run_inner<O: Observer>(
+        &mut self,
+        max_instrs: u64,
+        deadline: Option<Instant>,
+        watchdog: bool,
+        obs: &mut O,
+    ) -> Result<RunResult, SimError> {
         let counting = self.config.count_categories;
         let fpu = self.config.fpu_enabled;
+        let recover = self.config.trap_policy == TrapPolicy::Recover;
         let limit = self.instret.saturating_add(max_instrs);
         loop {
             if self.instret >= limit {
-                return Err(SimError::BudgetExhausted { limit: max_instrs });
+                return Err(if watchdog {
+                    SimError::WatchdogExpired {
+                        instret: self.instret,
+                    }
+                } else {
+                    SimError::BudgetExhausted { limit: max_instrs }
+                });
             }
+            if deadline.is_some_and(|dl| {
+                self.instret.is_multiple_of(WALL_CHECK_INTERVAL) && Instant::now() >= dl
+            }) {
+                return Err(SimError::WatchdogExpired {
+                    instret: self.instret,
+                });
+            }
+            // Fetch traps (misaligned or unmapped pc) are always fatal:
+            // there is no sensible instruction to resume past.
             let (instr, cat) = self.fetch(self.cpu.pc)?;
-            let outcome = step(&mut self.cpu, &mut self.bus, &instr, fpu, obs)?;
+            let outcome = match step(&mut self.cpu, &mut self.bus, &instr, fpu, obs) {
+                Ok(o) => o,
+                Err(trap) => {
+                    if recover && self.try_recover(&trap) {
+                        continue;
+                    }
+                    return Err(trap.into());
+                }
+            };
             self.instret += 1;
             if counting {
                 self.counts.bump(cat);
@@ -230,6 +504,7 @@ impl Machine {
                         counts: self.counts,
                         text: self.bus.console.text.clone(),
                         words: self.bus.console.words.clone(),
+                        recovered_traps: self.trap_stats.total(),
                     });
                 }
                 StepOut::SoftTrap(trap) => {
@@ -240,6 +515,46 @@ impl Machine {
                 }
             }
         }
+    }
+
+    /// The bare-metal trap handler model: absorbs recoverable traps,
+    /// charging one instruction each so the watchdog still makes
+    /// progress through trap storms. Returns `false` for traps the
+    /// model cannot handle; `step` leaves `pc`/`npc` untouched on a
+    /// trap, so on `true` the loop either retries the faulting
+    /// instruction (window traps, now resolvable) or resumes past it
+    /// (misaligned access).
+    fn try_recover(&mut self, trap: &Trap) -> bool {
+        let handled = match trap {
+            Trap::WindowOverflow { .. } => {
+                if !self.cpu.window_spill() {
+                    return false; // spill stack exhausted
+                }
+                self.trap_stats.overflow_spills += 1;
+                true
+            }
+            Trap::WindowUnderflow { .. } => {
+                if self.cpu.window_fill() {
+                    self.trap_stats.underflow_fills += 1;
+                } else {
+                    self.trap_stats.underflow_stale += 1;
+                }
+                true
+            }
+            Trap::Misaligned { .. } => {
+                // Skip the faulting instruction, as a handler that
+                // emulates-and-returns would.
+                self.cpu.pc = self.cpu.npc;
+                self.cpu.npc = self.cpu.npc.wrapping_add(4);
+                self.trap_stats.misaligned_skips += 1;
+                true
+            }
+            _ => false,
+        };
+        if handled {
+            self.instret += 1;
+        }
+        handled
     }
 }
 
@@ -324,7 +639,10 @@ mod tests {
     #[test]
     fn unhandled_trap_is_an_error() {
         let mut m = Machine::boot(&[0]); // unimp 0
-        assert!(matches!(m.run(10), Err(SimError::Trap(Trap::Illegal { .. }))));
+        assert!(matches!(
+            m.run(10),
+            Err(SimError::Trap(Trap::Illegal { .. }))
+        ));
     }
 
     #[test]
@@ -366,7 +684,7 @@ mod tests {
             count_categories: false,
             ..MachineConfig::default()
         });
-        m.load_image(RAM_BASE, &words);
+        m.load_image(RAM_BASE, &words).unwrap();
         let r = m.run(100).unwrap();
         assert_eq!(r.counts.total(), 0);
         assert_eq!(r.instret, 2);
@@ -378,10 +696,179 @@ mod tests {
             ram_size: 1 << 20,
             ..MachineConfig::default()
         });
-        m.load_image(RAM_BASE, &[0x0100_0000]);
+        m.load_image(RAM_BASE, &[0x0100_0000]).unwrap();
         let sp = m.cpu.get(nfp_sparc::regs::SP);
         assert_eq!(sp % 8, 0);
         assert!(sp > RAM_BASE && sp < RAM_BASE + (1 << 20));
+    }
+
+    fn deep_window_program() -> Vec<u32> {
+        // 7 in %l0 of window 0; NWINDOWS saves (two past the overflow
+        // point), clobber the deep window's %l0, unwind, and return
+        // window 0's %l0 — which survives only if the handler model
+        // spills and refills it correctly.
+        let mut a = Assembler::new(RAM_BASE);
+        a.mov(7, Reg::l(0));
+        for _ in 0..crate::cpu::NWINDOWS {
+            a.push(Instr::Save {
+                rd: G0,
+                rs1: G0,
+                op2: Operand::Imm(0),
+            });
+        }
+        a.mov(99, Reg::l(0));
+        for _ in 0..crate::cpu::NWINDOWS {
+            a.push(Instr::Restore {
+                rd: G0,
+                rs1: G0,
+                op2: Operand::Imm(0),
+            });
+        }
+        a.alu(AluOp::Or, Reg::l(0), Operand::Imm(0), Reg::o(0));
+        a.ta(0);
+        a.nop();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn recover_policy_spills_and_fills_windows() {
+        let mut m = Machine::boot(&deep_window_program());
+        assert!(matches!(
+            m.run(1000),
+            Err(SimError::Trap(Trap::WindowOverflow { .. }))
+        ));
+
+        let mut m = Machine::boot(&deep_window_program());
+        m.set_trap_policy(TrapPolicy::Recover);
+        let r = m.run(1000).expect("recovers across window traps");
+        assert_eq!(r.exit_code, 7, "window 0 locals survive spill/fill");
+        assert_eq!(m.trap_stats().overflow_spills, 2);
+        assert_eq!(m.trap_stats().underflow_fills, 2);
+        assert_eq!(r.recovered_traps, 4);
+    }
+
+    #[test]
+    fn recover_policy_skips_misaligned_accesses() {
+        let build = || {
+            let mut a = Assembler::new(RAM_BASE);
+            a.set32(RAM_BASE + 0x101, Reg::l(0));
+            a.ld(nfp_sparc::MemSize::Word, false, Reg::l(0), 0, Reg::l(1));
+            a.mov(4, Reg::o(0));
+            a.ta(0);
+            a.nop();
+            a.finish().unwrap()
+        };
+        let mut m = Machine::boot(&build());
+        assert!(matches!(
+            m.run(100),
+            Err(SimError::Trap(Trap::Misaligned { .. }))
+        ));
+
+        let mut m = Machine::boot(&build());
+        m.set_trap_policy(TrapPolicy::Recover);
+        let r = m.run(100).unwrap();
+        assert_eq!(r.exit_code, 4);
+        assert_eq!(m.trap_stats().misaligned_skips, 1);
+    }
+
+    #[test]
+    fn unrecoverable_traps_still_abort_under_recover() {
+        let mut m = Machine::boot(&[0]); // unimp 0
+        m.set_trap_policy(TrapPolicy::Recover);
+        assert!(matches!(
+            m.run(10),
+            Err(SimError::Trap(Trap::Illegal { .. }))
+        ));
+    }
+
+    #[test]
+    fn watchdog_terminates_branch_to_self() {
+        // The canonical hang corruption: an SEU turns an instruction
+        // into a branch-to-self. The watchdog must end the run with a
+        // clean WatchdogExpired, not BudgetExhausted or a panic.
+        let mut a = Assembler::new(RAM_BASE);
+        a.label("spin").ba("spin").nop();
+        let mut m = Machine::boot(&a.finish().unwrap());
+        m.set_trap_policy(TrapPolicy::Recover);
+        let wd = Watchdog {
+            max_instrs: 10_000,
+            wall: None,
+        };
+        assert!(matches!(
+            m.run_watchdog(&wd),
+            Err(SimError::WatchdogExpired { instret: 10_000 })
+        ));
+    }
+
+    #[test]
+    fn watchdog_wall_clock_deadline_fires() {
+        let mut a = Assembler::new(RAM_BASE);
+        a.label("spin").ba("spin").nop();
+        let mut m = Machine::boot(&a.finish().unwrap());
+        let wd = Watchdog {
+            max_instrs: u64::MAX,
+            wall: Some(Duration::ZERO),
+        };
+        assert!(matches!(
+            m.run_watchdog(&wd),
+            Err(SimError::WatchdogExpired { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_identically() {
+        // A program with memory traffic and console output on both
+        // sides of the checkpoint.
+        let mut a = Assembler::new(RAM_BASE);
+        a.set32(crate::bus::CONSOLE_EMIT, Reg::l(0));
+        a.set32(RAM_BASE + 0x2000, Reg::l(1));
+        a.mov(5, Reg::l(2));
+        a.label("loop");
+        a.st(nfp_sparc::MemSize::Word, Reg::l(2), Reg::l(1), 0);
+        a.st(nfp_sparc::MemSize::Word, Reg::l(2), Reg::l(0), 0);
+        a.alu(AluOp::SubCc, Reg::l(2), 1, Reg::l(2));
+        a.b(ICond::Ne, "loop");
+        a.alu(AluOp::Add, Reg::l(1), 4, Reg::l(1));
+        a.mov(0, Reg::o(0));
+        a.ta(0);
+        a.nop();
+        let words = a.finish().unwrap();
+
+        let mut m = Machine::boot(&words);
+        m.run_until(12).unwrap();
+        assert_eq!(m.instret(), 12);
+        let cp = m.checkpoint();
+        let first = m.run(10_000).unwrap();
+
+        m.restore(&cp);
+        assert_eq!(m.instret(), 12);
+        let second = m.run(10_000).unwrap();
+        assert_eq!(first.words, second.words);
+        assert_eq!(first.text, second.text);
+        assert_eq!(first.instret, second.instret);
+        assert_eq!(first.counts, second.counts);
+        // Memory side effects replay too.
+        assert_eq!(m.bus.load32(RAM_BASE + 0x2000).unwrap(), 5);
+    }
+
+    #[test]
+    fn run_until_past_halt_is_an_error() {
+        let mut a = Assembler::new(RAM_BASE);
+        a.mov(0, Reg::o(0)).ta(0).nop();
+        let mut m = Machine::boot(&a.finish().unwrap());
+        assert!(matches!(
+            m.run_until(1_000),
+            Err(SimError::HaltedEarly { instret: 2 })
+        ));
+    }
+
+    #[test]
+    fn patch_code_word_out_of_range_is_an_error() {
+        let mut m = Machine::boot(&[nfp_sparc::encode(Instr::NOP)]);
+        assert!(matches!(
+            m.patch_code_word(5, 0),
+            Err(SimError::BadCodeIndex { index: 5, len: 1 })
+        ));
     }
 
     #[test]

@@ -39,8 +39,7 @@ impl PcHistogram {
     /// counts. `symbols` maps name → address; each PC is attributed to
     /// the nearest symbol at or below it.
     pub fn by_function(&self, symbols: &HashMap<String, u32>) -> Vec<(String, u64)> {
-        let mut sorted: Vec<(&str, u32)> =
-            symbols.iter().map(|(n, &a)| (n.as_str(), a)).collect();
+        let mut sorted: Vec<(&str, u32)> = symbols.iter().map(|(n, &a)| (n.as_str(), a)).collect();
         sorted.sort_by_key(|&(_, a)| a);
         let mut totals: HashMap<&str, u64> = HashMap::new();
         for (i, &c) in self.counts.iter().enumerate() {

@@ -86,7 +86,13 @@ fn memcpy_like_loop() {
     a.set32(dst, Reg::l(3));
     a.mov(0, Reg::l(1));
     a.label("copy");
-    a.ld(MemSize::Byte, false, Reg::l(0), Operand::Reg(Reg::l(1)), Reg::l(2));
+    a.ld(
+        MemSize::Byte,
+        false,
+        Reg::l(0),
+        Operand::Reg(Reg::l(1)),
+        Reg::l(2),
+    );
     a.st(MemSize::Byte, Reg::l(2), Reg::l(3), Operand::Reg(Reg::l(1)));
     a.alu(AluOp::Add, Reg::l(1), 1, Reg::l(1));
     a.alu(AluOp::SubCc, Reg::l(1), 64, nfp_sparc::regs::G0);
@@ -96,7 +102,13 @@ fn memcpy_like_loop() {
     a.mov(0, Reg::l(4));
     a.mov(0, Reg::l(1));
     a.label("sum");
-    a.ld(MemSize::Word, false, Reg::l(3), Operand::Reg(Reg::l(1)), Reg::l(2));
+    a.ld(
+        MemSize::Word,
+        false,
+        Reg::l(3),
+        Operand::Reg(Reg::l(1)),
+        Reg::l(2),
+    );
     a.alu(AluOp::Add, Reg::l(4), Operand::Reg(Reg::l(2)), Reg::l(4));
     a.alu(AluOp::Add, Reg::l(1), 4, Reg::l(1));
     a.alu(AluOp::SubCc, Reg::l(1), 64, nfp_sparc::regs::G0);
@@ -129,7 +141,7 @@ fn fpu_pipeline_sequence() {
     a.fpop(FpOp::FMulD, FReg::new(2), FReg::new(2), FReg::new(6)); // 16
     a.fpop(FpOp::FAddD, FReg::new(4), FReg::new(6), FReg::new(8)); // 25
     a.fpop(FpOp::FSqrtD, FReg::new(0), FReg::new(8), FReg::new(10)); // 5
-    // compare against 5.0 and branch
+                                                                     // compare against 5.0 and branch
     a.lddf(Reg::l(0), 16, FReg::new(12));
     a.push(nfp_sparc::Instr::FCmp {
         double: true,
@@ -233,7 +245,7 @@ fn fpu_disabled_machine_rejects_fpu_programs() {
         fpu_enabled: false,
         ..MachineConfig::default()
     });
-    m.load_image(RAM_BASE, &words);
+    m.load_image(RAM_BASE, &words).expect("image fits in RAM");
     assert!(matches!(
         m.run(100),
         Err(SimError::Trap(Trap::FpDisabled { .. }))

@@ -1,0 +1,227 @@
+//! Every [`Trap`] variant, raised by a hand-assembled program and
+//! checked for both payload and `Display` rendering. These pin down
+//! the trap contract the fault-injection campaign's outcome
+//! classification builds on.
+
+use nfp_sim::machine::TrapPolicy;
+use nfp_sim::{Machine, MachineConfig, SimError, Trap, RAM_BASE};
+use nfp_sparc::asm::Assembler;
+use nfp_sparc::regs::G0;
+use nfp_sparc::{AluOp, FReg, FpOp, Instr, MemSize, Operand, Reg};
+
+/// Runs `words` and returns the trap it must die with.
+fn trap_of(words: &[u32]) -> Trap {
+    let mut m = Machine::boot(words);
+    match m.run(10_000) {
+        Err(SimError::Trap(t)) => t,
+        other => panic!("expected a trap, got {other:?}"),
+    }
+}
+
+fn asm(build: impl FnOnce(&mut Assembler)) -> Vec<u32> {
+    let mut a = Assembler::new(RAM_BASE);
+    build(&mut a);
+    a.finish().expect("assembly failed")
+}
+
+#[test]
+fn illegal_instruction() {
+    // An unimp word at the entry point.
+    let t = trap_of(&[0]);
+    assert_eq!(
+        t,
+        Trap::Illegal {
+            pc: RAM_BASE,
+            word: 0
+        }
+    );
+    assert_eq!(
+        t.to_string(),
+        format!("illegal instruction 0x00000000 at 0x{RAM_BASE:08x}")
+    );
+    assert!(!t.is_recoverable());
+}
+
+#[test]
+fn misaligned_access() {
+    let words = asm(|a| {
+        a.set32(RAM_BASE + 0x103, Reg::l(0));
+        a.ld(MemSize::Word, false, Reg::l(0), 0, Reg::l(1));
+        a.ta(0);
+        a.nop();
+    });
+    let t = trap_of(&words);
+    // set32 is two instructions, so the load sits at +8.
+    let pc = RAM_BASE + 8;
+    let addr = RAM_BASE + 0x103;
+    assert_eq!(t, Trap::Misaligned { pc, addr, size: 4 });
+    assert_eq!(
+        t.to_string(),
+        format!("misaligned 4-byte access to 0x{addr:08x} at 0x{pc:08x}")
+    );
+    assert!(t.is_recoverable());
+}
+
+#[test]
+fn unmapped_access() {
+    let words = asm(|a| {
+        a.set32(0x1000_0000, Reg::l(0));
+        a.ld(MemSize::Word, false, Reg::l(0), 0, Reg::l(1));
+        a.ta(0);
+        a.nop();
+    });
+    let t = trap_of(&words);
+    // set32 of a value with zero low bits is a single sethi.
+    let pc = RAM_BASE + 4;
+    assert_eq!(
+        t,
+        Trap::Unmapped {
+            pc,
+            addr: 0x1000_0000
+        }
+    );
+    assert_eq!(
+        t.to_string(),
+        format!("unmapped access to 0x10000000 at 0x{pc:08x}")
+    );
+    assert!(!t.is_recoverable());
+}
+
+#[test]
+fn division_by_zero() {
+    let words = asm(|a| {
+        a.mov(1, Reg::l(0));
+        a.alu(AluOp::UDiv, Reg::l(0), Operand::Reg(G0), Reg::l(1));
+        a.ta(0);
+        a.nop();
+    });
+    let t = trap_of(&words);
+    let pc = RAM_BASE + 4;
+    assert_eq!(t, Trap::DivZero { pc });
+    assert_eq!(t.to_string(), format!("division by zero at 0x{pc:08x}"));
+    assert!(!t.is_recoverable());
+}
+
+#[test]
+fn window_overflow() {
+    let words = asm(|a| {
+        for _ in 0..nfp_sim::NWINDOWS - 1 {
+            a.push(Instr::Save {
+                rd: G0,
+                rs1: G0,
+                op2: Operand::Imm(0),
+            });
+        }
+        a.ta(0);
+        a.nop();
+    });
+    let t = trap_of(&words);
+    // The (NWINDOWS - 2 + 1)-th save overflows.
+    let pc = RAM_BASE + 4 * (nfp_sim::NWINDOWS as u32 - 2);
+    assert_eq!(t, Trap::WindowOverflow { pc });
+    assert_eq!(
+        t.to_string(),
+        format!("register window overflow at 0x{pc:08x}")
+    );
+    assert!(t.is_recoverable());
+}
+
+#[test]
+fn window_underflow() {
+    let words = asm(|a| {
+        a.push(Instr::Restore {
+            rd: G0,
+            rs1: G0,
+            op2: Operand::Imm(0),
+        });
+        a.ta(0);
+        a.nop();
+    });
+    let t = trap_of(&words);
+    assert_eq!(t, Trap::WindowUnderflow { pc: RAM_BASE });
+    assert_eq!(
+        t.to_string(),
+        format!("register window underflow at 0x{RAM_BASE:08x}")
+    );
+    assert!(t.is_recoverable());
+}
+
+#[test]
+fn fpu_disabled() {
+    let words = asm(|a| {
+        a.fpop(FpOp::FAddS, FReg::new(0), FReg::new(1), FReg::new(2));
+        a.ta(0);
+        a.nop();
+    });
+    let mut m = Machine::new(MachineConfig {
+        fpu_enabled: false,
+        ..MachineConfig::default()
+    });
+    m.load_image(RAM_BASE, &words).unwrap();
+    let t = match m.run(100) {
+        Err(SimError::Trap(t)) => t,
+        other => panic!("expected a trap, got {other:?}"),
+    };
+    assert_eq!(t, Trap::FpDisabled { pc: RAM_BASE });
+    assert_eq!(
+        t.to_string(),
+        format!("FPU instruction with FPU disabled at 0x{RAM_BASE:08x}")
+    );
+    assert!(!t.is_recoverable());
+}
+
+#[test]
+fn odd_fp_pair() {
+    let words = asm(|a| {
+        // Double-precision add naming an odd destination register.
+        a.fpop(FpOp::FAddD, FReg::new(0), FReg::new(2), FReg::new(1));
+        a.ta(0);
+        a.nop();
+    });
+    let t = trap_of(&words);
+    assert_eq!(t, Trap::OddFpPair { pc: RAM_BASE });
+    assert_eq!(
+        t.to_string(),
+        format!("odd FP register pair at 0x{RAM_BASE:08x}")
+    );
+    assert!(!t.is_recoverable());
+}
+
+#[test]
+fn trap_pc_accessor_matches_payload() {
+    let traps = [
+        Trap::Illegal { pc: 1, word: 2 },
+        Trap::Misaligned {
+            pc: 3,
+            addr: 4,
+            size: 2,
+        },
+        Trap::Unmapped { pc: 5, addr: 6 },
+        Trap::DivZero { pc: 7 },
+        Trap::WindowOverflow { pc: 8 },
+        Trap::WindowUnderflow { pc: 9 },
+        Trap::FpDisabled { pc: 10 },
+        Trap::OddFpPair { pc: 11 },
+    ];
+    assert_eq!(
+        traps.iter().map(Trap::pc).collect::<Vec<_>>(),
+        vec![1, 3, 5, 7, 8, 9, 10, 11]
+    );
+}
+
+#[test]
+fn recoverable_traps_are_absorbed_only_under_recover_policy() {
+    // A cross-check of the classification: every recoverable trap
+    // program completes under Recover, dies under Abort.
+    let misaligned = asm(|a| {
+        a.set32(RAM_BASE + 0x103, Reg::l(0));
+        a.ld(MemSize::Word, false, Reg::l(0), 0, Reg::l(1));
+        a.mov(0, Reg::o(0));
+        a.ta(0);
+        a.nop();
+    });
+    let mut m = Machine::boot(&misaligned);
+    m.set_trap_policy(TrapPolicy::Recover);
+    assert_eq!(m.run(100).expect("absorbed").exit_code, 0);
+    assert_eq!(m.trap_stats().misaligned_skips, 1);
+}

@@ -152,7 +152,9 @@ impl CategoryCounts {
 
     /// Iterates `(category, count)` pairs in Table I order.
     pub fn iter(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
-        Category::ALL.iter().map(move |&c| (c, self.counts[c.index()]))
+        Category::ALL
+            .iter()
+            .map(move |&c| (c, self.counts[c.index()]))
     }
 
     /// Element-wise sum, useful when aggregating per-thread runs.
@@ -196,9 +198,9 @@ impl IndexMut<Category> for CategoryCounts {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cond::ICond;
     use crate::insn::{MemSize, Operand};
     use crate::regs::{FReg, Reg, G0};
-    use crate::cond::ICond;
 
     #[test]
     fn category_of_representatives() {

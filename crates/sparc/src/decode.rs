@@ -121,7 +121,13 @@ fn decode_fpop1(word: u32) -> Instr {
         Some(op) => Instr::FpOp {
             op,
             rd: freg(word >> 25),
-            rs1: freg(word >> 14),
+            // Unary ops ignore rs1; normalise the don't-care field so
+            // decoding is canonical and disassembly round-trips.
+            rs1: if op.is_unary() {
+                FReg::new(0)
+            } else {
+                freg(word >> 14)
+            },
             rs2: freg(word),
         },
         None => Instr::Illegal { word },
@@ -260,8 +266,7 @@ mod tests {
 
     #[test]
     fn decodes_fmuld() {
-        let word =
-            (0b10u32 << 30) | (4 << 25) | (0b110100 << 19) | (8 << 14) | (0x4a << 5) | 12;
+        let word = (0b10u32 << 30) | (4 << 25) | (0b110100 << 19) | (8 << 14) | (0x4a << 5) | 12;
         assert_eq!(
             decode(word),
             Instr::FpOp {
@@ -288,12 +293,7 @@ mod tests {
             }
         );
         // stb %l0, [%o0 - 1]
-        let word = (0b11u32 << 30)
-            | (16 << 25)
-            | (0b000101 << 19)
-            | (8 << 14)
-            | (1 << 13)
-            | 0x1fff;
+        let word = (0b11u32 << 30) | (16 << 25) | (0b000101 << 19) | (8 << 14) | (1 << 13) | 0x1fff;
         assert_eq!(
             decode(word),
             Instr::Store {

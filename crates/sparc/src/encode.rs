@@ -27,10 +27,7 @@ fn op2_field(op2: Operand) -> u32 {
     match op2 {
         Operand::Reg(r) => r.num() as u32,
         Operand::Imm(v) => {
-            assert!(
-                Operand::fits_simm13(v),
-                "immediate {v} does not fit simm13"
-            );
+            assert!(Operand::fits_simm13(v), "immediate {v} does not fit simm13");
             (1 << 13) | ((v as u32) & 0x1fff)
         }
     }
@@ -96,9 +93,7 @@ pub fn encode(instr: Instr) -> u32 {
             rs1_field(rs1),
             op2_field(op2),
         ),
-        Instr::Flush { rs1, op2 } => {
-            format3(0b10, 0, 0b111011, rs1_field(rs1), op2_field(op2))
-        }
+        Instr::Flush { rs1, op2 } => format3(0b10, 0, 0b111011, rs1_field(rs1), op2_field(op2)),
         Instr::Load {
             size,
             signed,
@@ -181,9 +176,9 @@ pub fn encode(instr: Instr) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cond::{FCond, ICond};
     use crate::decode::decode;
     use crate::insn::{AluOp, FpOp};
-    use crate::cond::{FCond, ICond};
 
     fn roundtrip(i: Instr) {
         assert_eq!(decode(encode(i)), i, "{i:?}");

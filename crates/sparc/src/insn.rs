@@ -316,8 +316,7 @@ impl FpOp {
         use FpOp::*;
         matches!(
             self,
-            FMovS | FNegS | FAbsS | FSqrtS | FSqrtD | FiToS | FiToD | FsToI | FdToI | FsToD
-                | FdToS
+            FMovS | FNegS | FAbsS | FSqrtS | FSqrtD | FiToS | FiToD | FsToI | FdToI | FsToD | FdToS
         )
     }
 
@@ -414,11 +413,7 @@ pub enum Instr {
     /// `restore rs1 + op2, rd` — previous register window plus add.
     Restore { rd: Reg, rs1: Reg, op2: Operand },
     /// `t<cond> rs1 + op2` — conditional software trap.
-    Ticc {
-        cond: ICond,
-        rs1: Reg,
-        op2: Operand,
-    },
+    Ticc { cond: ICond, rs1: Reg, op2: Operand },
     /// Integer load; `sign` selects sign extension for sub-word sizes.
     Load {
         size: MemSize,
@@ -449,7 +444,12 @@ pub enum Instr {
         op2: Operand,
     },
     /// FPU register-to-register operation.
-    FpOp { op: FpOp, rd: FReg, rs1: FReg, rs2: FReg },
+    FpOp {
+        op: FpOp,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// FP compare, setting the FSR `fcc` field; `exception` selects the
     /// signalling variant (`fcmpe`).
     FCmp {
@@ -511,9 +511,9 @@ mod tests {
     fn alu_op3_roundtrip() {
         use AluOp::*;
         for op in [
-            Add, AddCc, AddX, AddXCc, Sub, SubCc, SubX, SubXCc, And, AndCc, AndN, AndNCc, Or,
-            OrCc, OrN, OrNCc, Xor, XorCc, XNor, XNorCc, Sll, Srl, Sra, UMul, UMulCc, SMul,
-            SMulCc, UDiv, UDivCc, SDiv, SDivCc,
+            Add, AddCc, AddX, AddXCc, Sub, SubCc, SubX, SubXCc, And, AndCc, AndN, AndNCc, Or, OrCc,
+            OrN, OrNCc, Xor, XorCc, XNor, XNorCc, Sll, Srl, Sra, UMul, UMulCc, SMul, SMulCc, UDiv,
+            UDivCc, SDiv, SDivCc,
         ] {
             assert_eq!(AluOp::from_op3(op.op3()), Some(op));
         }
@@ -523,8 +523,8 @@ mod tests {
     fn fpop_opf_roundtrip() {
         use FpOp::*;
         for op in [
-            FMovS, FNegS, FAbsS, FSqrtS, FSqrtD, FAddS, FAddD, FSubS, FSubD, FMulS, FMulD,
-            FDivS, FDivD, FsMulD, FiToS, FiToD, FsToI, FdToI, FsToD, FdToS,
+            FMovS, FNegS, FAbsS, FSqrtS, FSqrtD, FAddS, FAddD, FSubS, FSubD, FMulS, FMulD, FDivS,
+            FDivD, FsMulD, FiToS, FiToD, FsToI, FdToI, FsToD, FdToS,
         ] {
             assert_eq!(FpOp::from_opf(op.opf()), Some(op));
         }

@@ -40,19 +40,15 @@ fn err<T>(message: impl Into<String>) -> Result<T, AsmParseError> {
 /// Parses `%g0`-style integer register names.
 fn parse_reg(token: &str) -> Result<Reg, AsmParseError> {
     let t = token.trim();
-    let rest = t
-        .strip_prefix('%')
-        .ok_or_else(|| AsmParseError {
-            message: format!("expected register, found `{t}`"),
-            line: 0,
-        })?;
+    let rest = t.strip_prefix('%').ok_or_else(|| AsmParseError {
+        message: format!("expected register, found `{t}`"),
+        line: 0,
+    })?;
     let (bank, idx) = rest.split_at(1);
-    let n: u8 = idx
-        .parse()
-        .map_err(|_| AsmParseError {
-            message: format!("bad register `{t}`"),
-            line: 0,
-        })?;
+    let n: u8 = idx.parse().map_err(|_| AsmParseError {
+        message: format!("bad register `{t}`"),
+        line: 0,
+    })?;
     if n >= 8 {
         return err(format!("register index out of range in `{t}`"));
     }
@@ -303,7 +299,11 @@ fn parse_one(line: &str) -> Result<Parsed, AsmParseError> {
                     parse_operand(&args[1])?,
                 )
             } else {
-                (crate::regs::G0, crate::regs::G0, Operand::Reg(crate::regs::G0))
+                (
+                    crate::regs::G0,
+                    crate::regs::G0,
+                    Operand::Reg(crate::regs::G0),
+                )
             };
             return ok(if mnemonic == "save" {
                 Instr::Save { rd, rs1, op2 }
@@ -609,25 +609,27 @@ pub fn parse_program(source: &str, base: u32) -> Result<Vec<u32>, AsmParseError>
             continue;
         }
         let pc = base + words.len() as u32 * 4;
-        let word = (|| -> Result<u32, AsmParseError> { match parse_one(text)? {
-            Parsed::Word(w) => Ok(w),
-            Parsed::NeedsTarget {
-                make,
-                cond_bits,
-                annul,
-                target,
-            } => {
-                let addr = match target {
-                    Target::Absolute(a) => a,
-                    Target::Label(l) => *labels.get(&l).ok_or_else(|| AsmParseError {
-                        message: format!("undefined label `{l}`"),
-                        line: 0,
-                    })?,
-                };
-                let disp = (addr as i64 - pc as i64) / 4;
-                Ok(encode(make(disp as i32, annul, cond_bits)))
+        let word = (|| -> Result<u32, AsmParseError> {
+            match parse_one(text)? {
+                Parsed::Word(w) => Ok(w),
+                Parsed::NeedsTarget {
+                    make,
+                    cond_bits,
+                    annul,
+                    target,
+                } => {
+                    let addr = match target {
+                        Target::Absolute(a) => a,
+                        Target::Label(l) => *labels.get(&l).ok_or_else(|| AsmParseError {
+                            message: format!("undefined label `{l}`"),
+                            line: 0,
+                        })?,
+                    };
+                    let disp = (addr as i64 - pc as i64) / 4;
+                    Ok(encode(make(disp as i32, annul, cond_bits)))
+                }
             }
-        }})()
+        })()
         .map_err(|e| AsmParseError {
             message: e.message,
             line: lineno as u32 + 1,
@@ -668,8 +670,8 @@ mod tests {
             let word = parse_line(text, pc).unwrap_or_else(|e| panic!("{text}: {e}"));
             // The parse must round-trip through the disassembler.
             let redisasm = disassemble(&decode(word), pc);
-            let reparsed = parse_line(&redisasm, pc)
-                .unwrap_or_else(|e| panic!("{text} -> {redisasm}: {e}"));
+            let reparsed =
+                parse_line(&redisasm, pc).unwrap_or_else(|e| panic!("{text} -> {redisasm}: {e}"));
             assert_eq!(word, reparsed, "{text} -> {redisasm}");
         }
     }

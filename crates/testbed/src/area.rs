@@ -89,10 +89,7 @@ impl AreaModel {
 
     /// Total logical elements of this configuration.
     pub fn logical_elements(&self) -> u32 {
-        self.components
-            .iter()
-            .map(|c| c.logical_elements())
-            .sum()
+        self.components.iter().map(|c| c.logical_elements()).sum()
     }
 
     /// The components in this configuration.
@@ -127,9 +124,7 @@ mod tests {
 
     #[test]
     fn baseline_has_no_fpu() {
-        assert!(!AreaModel::baseline()
-            .components()
-            .contains(&Component::Fpu));
+        assert!(!AreaModel::baseline().components().contains(&Component::Fpu));
         assert!(AreaModel::with_fpu().components().contains(&Component::Fpu));
     }
 

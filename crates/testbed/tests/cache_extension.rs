@@ -18,7 +18,13 @@ fn hot_loop(iters: u32) -> Vec<u32> {
     a.label("loop");
     a.alu(AluOp::Add, Reg::l(2), 4, Reg::l(2));
     a.alu(AluOp::And, Reg::l(2), 0x3c, Reg::l(3)); // 64-byte working set
-    a.ld(MemSize::Word, false, Reg::l(1), Operand::Reg(Reg::l(3)), Reg::l(4));
+    a.ld(
+        MemSize::Word,
+        false,
+        Reg::l(1),
+        Operand::Reg(Reg::l(3)),
+        Reg::l(4),
+    );
     a.alu(AluOp::SubCc, Reg::l(0), 1, Reg::l(0));
     a.b(ICond::Ne, "loop");
     a.nop();
@@ -46,7 +52,13 @@ fn streaming_loop(iters: u32) -> Vec<u32> {
     a.alu(AluOp::Add, Reg::l(2), 64, Reg::l(2));
     a.set32(0xf_ffff, Reg::l(5));
     a.alu(AluOp::And, Reg::l(2), Operand::Reg(Reg::l(5)), Reg::l(3));
-    a.ld(MemSize::Word, false, Reg::l(1), Operand::Reg(Reg::l(3)), Reg::l(4));
+    a.ld(
+        MemSize::Word,
+        false,
+        Reg::l(1),
+        Operand::Reg(Reg::l(3)),
+        Reg::l(4),
+    );
     a.alu(AluOp::SubCc, Reg::l(0), 1, Reg::l(0));
     a.b(ICond::Ne, "loop");
     a.nop();
@@ -59,7 +71,11 @@ fn streaming_loop(iters: u32) -> Vec<u32> {
 fn measure(testbed: &Testbed, words: &[u32]) -> (f64, f64, u32) {
     let mut machine = Machine::boot(words);
     let r = testbed.run(&mut machine, 11, 1_000_000_000).unwrap();
-    (r.measurement.time_s, r.measurement.energy_j, r.run.exit_code)
+    (
+        r.measurement.time_s,
+        r.measurement.energy_j,
+        r.run.exit_code,
+    )
 }
 
 #[test]

@@ -189,7 +189,10 @@ mod tests {
         w.put_ue(1);
         w.put_ue(2);
         let bytes = w.finish();
-        assert_eq!(w_bits(&bytes, 7), vec![true, false, true, false, false, true, true]);
+        assert_eq!(
+            w_bits(&bytes, 7),
+            vec![true, false, true, false, false, true, true]
+        );
     }
 
     fn w_bits(bytes: &[u8], n: usize) -> Vec<bool> {

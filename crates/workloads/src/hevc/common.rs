@@ -124,7 +124,10 @@ impl IntraMode {
     /// Mode from its bitstream code (invalid codes fall back to DC,
     /// the same graceful degradation the mini-C decoder applies).
     pub fn from_code(code: u32) -> Self {
-        Self::ALL.get(code as usize).copied().unwrap_or(IntraMode::Dc)
+        Self::ALL
+            .get(code as usize)
+            .copied()
+            .unwrap_or(IntraMode::Dc)
     }
 }
 
@@ -176,9 +179,7 @@ pub fn intra_predict(mode: IntraMode, n: &IntraNeighbours) -> Block {
     match mode {
         IntraMode::Dc => {
             let dc = match (n.top_available, n.left_available) {
-                (true, true) => {
-                    (n.top.iter().sum::<i32>() + n.left.iter().sum::<i32>() + 8) >> 4
-                }
+                (true, true) => (n.top.iter().sum::<i32>() + n.left.iter().sum::<i32>() + 8) >> 4,
                 (true, false) => (n.top.iter().sum::<i32>() + 4) >> 3,
                 (false, true) => (n.left.iter().sum::<i32>() + 4) >> 3,
                 (false, false) => 128,

@@ -163,8 +163,7 @@ fn motion_search(orig: &Image, reference: &Image, bx: usize, by: usize, range: i
         for mvx in -range..=range {
             let pred = motion_compensate(reference, bx, by, mvx, mvy);
             // Small lagrangian-ish penalty keeps vectors short.
-            let cost =
-                sad(orig, bx, by, &pred) + 2 * (mvx.unsigned_abs() + mvy.unsigned_abs());
+            let cost = sad(orig, bx, by, &pred) + 2 * (mvx.unsigned_abs() + mvy.unsigned_abs());
             if cost < best_cost {
                 best_cost = cost;
                 best = (mvx, mvy);
@@ -179,7 +178,10 @@ pub fn encode(frames: &[Image], config: Config, qp: u32) -> Encoded {
     assert!(!frames.is_empty());
     let width = frames[0].width;
     let height = frames[0].height;
-    assert!(width.is_multiple_of(8) && height.is_multiple_of(8), "dimensions must be multiples of 8");
+    assert!(
+        width.is_multiple_of(8) && height.is_multiple_of(8),
+        "dimensions must be multiples of 8"
+    );
     let bw = width / 8;
     let bh = height / 8;
 
@@ -284,7 +286,10 @@ mod tests {
             p_hi > p_lo + 5.0,
             "QP10 ({p_hi:.1} dB) should beat QP45 ({p_lo:.1} dB)"
         );
-        assert!(p_hi > 34.0, "QP10 should be near-transparent, got {p_hi:.1} dB");
+        assert!(
+            p_hi > 34.0,
+            "QP10 should be near-transparent, got {p_hi:.1} dB"
+        );
     }
 
     #[test]

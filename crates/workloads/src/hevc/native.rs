@@ -60,10 +60,14 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
     let frame_count = r.get_ue() as usize;
     let qp = r.get_ue();
     if bw == 0 || bh == 0 || bw > 512 || bh > 512 {
-        return Err(DecodeError(format!("implausible dimensions {bw}x{bh} blocks")));
+        return Err(DecodeError(format!(
+            "implausible dimensions {bw}x{bh} blocks"
+        )));
     }
     if frame_count == 0 || frame_count > 1024 {
-        return Err(DecodeError(format!("implausible frame count {frame_count}")));
+        return Err(DecodeError(format!(
+            "implausible frame count {frame_count}"
+        )));
     }
     if qp > 51 {
         return Err(DecodeError(format!("QP {qp} out of range")));
@@ -78,7 +82,9 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
         let ftype = r.get_ue();
         let mut rec = Image::new(width, height);
         if ftype > 0 && frames.is_empty() {
-            return Err(DecodeError(format!("frame {t}: inter frame without reference")));
+            return Err(DecodeError(format!(
+                "frame {t}: inter frame without reference"
+            )));
         }
         for by in 0..bh {
             for bx in 0..bw {
@@ -135,13 +141,8 @@ mod tests {
                     let enc = encode(&frames, config, qp);
                     let dec = decode(&enc.bytes).expect("decode");
                     assert_eq!(dec.frames.len(), enc.reconstruction.len());
-                    for (i, (d, e)) in
-                        dec.frames.iter().zip(&enc.reconstruction).enumerate()
-                    {
-                        assert_eq!(
-                            d, e,
-                            "{scene:?}/{config:?}/qp{qp}: frame {i} mismatch"
-                        );
+                    for (i, (d, e)) in dec.frames.iter().zip(&enc.reconstruction).enumerate() {
+                        assert_eq!(d, e, "{scene:?}/{config:?}/qp{qp}: frame {i} mismatch");
                     }
                     assert_eq!(
                         dec.activity.to_bits(),

@@ -191,8 +191,13 @@ pub fn machine_for(kernel: &Kernel, mode: FloatMode) -> Machine {
         fpu_enabled: mode == FloatMode::Hard,
         ..MachineConfig::default()
     });
-    machine.load_image(program.base, &program.words);
-    machine.bus.write_bytes(INPUT_BASE, &kernel.input);
+    machine
+        .load_image(program.base, &program.words)
+        .expect("kernel image fits in RAM");
+    machine
+        .bus
+        .write_bytes(INPUT_BASE, &kernel.input)
+        .expect("kernel input fits in RAM");
     machine
 }
 

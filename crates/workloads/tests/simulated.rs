@@ -60,7 +60,8 @@ fn hevc_simulated_decoder_matches_native_reference() {
                 for (i, frame) in decoded.frames.iter().enumerate() {
                     let out = machine
                         .bus
-                        .read_bytes(OUTPUT_BASE + (i * frame_len) as u32, frame_len);
+                        .read_bytes(OUTPUT_BASE + (i * frame_len) as u32, frame_len)
+                        .expect("output region in RAM");
                     assert_eq!(out, &frame.data[..], "frame {i} pixels");
                 }
             }
@@ -96,7 +97,10 @@ fn fse_simulated_matches_native_reference() {
             nfp_workloads::fnv1a(&concealed.data),
             "[{mode:?}] checksum"
         );
-        let out = machine.bus.read_bytes(OUTPUT_BASE, size * size);
+        let out = machine
+            .bus
+            .read_bytes(OUTPUT_BASE, size * size)
+            .expect("output region in RAM");
         assert_eq!(out, &concealed.data[..], "[{mode:?}] pixels");
     }
 }
@@ -106,16 +110,18 @@ fn registry_kernels_verify_on_the_simulator() {
     // One representative of each workload from the quick registry.
     let preset = nfp_workloads::Preset::quick();
     let kernels = nfp_workloads::all_kernels(&preset);
-    let hevc_k = kernels.iter().find(|k| k.workload == Workload::Hevc).unwrap();
-    let fse_k = kernels.iter().find(|k| k.workload == Workload::Fse).unwrap();
+    let hevc_k = kernels
+        .iter()
+        .find(|k| k.workload == Workload::Hevc)
+        .unwrap();
+    let fse_k = kernels
+        .iter()
+        .find(|k| k.workload == Workload::Fse)
+        .unwrap();
     for kernel in [hevc_k, fse_k] {
         for mode in [FloatMode::Hard, FloatMode::Soft] {
             let (words, _) = run_kernel(kernel, mode);
-            assert_eq!(
-                words, kernel.expected_words,
-                "{} [{mode:?}]",
-                kernel.name
-            );
+            assert_eq!(words, kernel.expected_words, "{} [{mode:?}]", kernel.name);
         }
     }
 }

@@ -47,13 +47,18 @@ fn main() {
     let calibration = calibrate(&testbed, &Paper, 11).expect("calibration");
 
     println!("per-configuration NFP estimates for the custom kernel:\n");
-    for (label, mode) in [("with FPU (float)", FloatMode::Hard), ("no FPU (fixed)", FloatMode::Soft)] {
+    for (label, mode) in [
+        ("with FPU (float)", FloatMode::Hard),
+        ("no FPU (fixed)", FloatMode::Soft),
+    ] {
         let program = compile(KERNEL, &CompileOptions::new(mode)).expect("compile");
         let mut machine = Machine::new(MachineConfig {
             fpu_enabled: mode == FloatMode::Hard,
             ..MachineConfig::default()
         });
-        machine.load_image(program.base, &program.words);
+        machine
+            .load_image(program.base, &program.words)
+            .expect("image fits in RAM");
         let mut counter = ClassCounter::new(Paper);
         let run = machine
             .run_observed(10_000_000_000, &mut counter)
@@ -83,8 +88,12 @@ fn main() {
             fpu_enabled: mode == FloatMode::Hard,
             ..MachineConfig::default()
         });
-        machine.load_image(program.base, &program.words);
-        let measured = testbed.run(&mut machine, 3, 10_000_000_000).expect("measure");
+        machine
+            .load_image(program.base, &program.words)
+            .expect("image fits in RAM");
+        let measured = testbed
+            .run(&mut machine, 3, 10_000_000_000)
+            .expect("measure");
         println!(
             "  measured:  {:.3} ms, {:.3} mJ  (time error {:+.2}%)\n",
             measured.measurement.time_s * 1e3,

@@ -14,7 +14,11 @@ use nfp_repro::workloads::{fse_kernels, hevc_kernels, machine_for, Kernel, Prese
 fn measure(testbed: &Testbed, kernel: &Kernel, mode: FloatMode) -> (f64, f64) {
     let mut machine = machine_for(kernel, mode);
     let r = testbed
-        .run(&mut machine, kernel.seed, nfp_repro::workloads::KERNEL_BUDGET)
+        .run(
+            &mut machine,
+            kernel.seed,
+            nfp_repro::workloads::KERNEL_BUDGET,
+        )
         .expect("run");
     assert_eq!(r.run.exit_code, 0);
     (r.measurement.time_s, r.measurement.energy_j)
@@ -31,7 +35,10 @@ fn main() {
         "{:<34} {:>11} {:>11} {:>9}",
         "Kernel", "no FPU", "with FPU", "change"
     );
-    for (name, kernel) in [("FSE (signal extrapolation)", fse), ("HEVC-like decoding", hevc)] {
+    for (name, kernel) in [
+        ("FSE (signal extrapolation)", fse),
+        ("HEVC-like decoding", hevc),
+    ] {
         let (t_soft, e_soft) = measure(&testbed, kernel, FloatMode::Soft);
         let (t_hard, e_hard) = measure(&testbed, kernel, FloatMode::Hard);
         println!(

@@ -1,0 +1,49 @@
+//! SEU fault-injection campaign over the image-processing kernels.
+//!
+//! For one FSE (frame-size estimation) kernel and one mini-HEVC
+//! kernel, inject seeded single-bit flips into registers, condition
+//! codes, RAM, and the instruction stream, replay from the nearest
+//! checkpoint, and classify every replay against the golden run:
+//!
+//! * masked — outputs identical, the flip hit dead state;
+//! * SDC    — silent data corruption, outputs differ;
+//! * trap   — an unrecoverable trap caught the corruption;
+//! * hang   — the watchdog expired, control flow never converged.
+//!
+//! The per-instruction-category table reads as "how failure-prone is
+//! the kernel while executing instructions of this Table I class" —
+//! the reliability counterpart of the paper's per-category time and
+//! energy attribution.
+//!
+//! Run with: `cargo run --release --example fault_campaign`
+
+use nfp_bench::{report_campaign, run_campaign_parallel, CampaignConfig, Mode};
+use nfp_repro::workloads::{fse_kernels, hevc_kernels, Preset};
+
+fn main() {
+    let preset = Preset::quick();
+    let cfg = CampaignConfig {
+        injections: 1000,
+        seed: 0x5eed_f417,
+        ..CampaignConfig::default()
+    };
+
+    let fse = &fse_kernels(&preset)[0];
+    let hevc = &hevc_kernels(&preset)[0];
+
+    for kernel in [fse, hevc] {
+        match run_campaign_parallel(kernel, Mode::Float, &cfg) {
+            Ok(result) => {
+                println!("{}", report_campaign(&result));
+                println!(
+                    "golden run: {} instructions, {} recoverable trap(s) absorbed\n",
+                    result.golden_instret, result.golden_recovered_traps
+                );
+            }
+            Err(e) => {
+                eprintln!("campaign over {} failed: {e}", kernel.name);
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -82,7 +82,9 @@ fn main() {
     // 5. Estimate — and verify against a measured run.
     let estimate = calibration.model.estimate(counter.counts());
     let mut machine = Machine::boot(&program.words);
-    let measured = testbed.run(&mut machine, 7, 1_000_000_000).expect("measurement");
+    let measured = testbed
+        .run(&mut machine, 7, 1_000_000_000)
+        .expect("measurement");
     println!("\n              {:>12} {:>12}", "estimated", "measured");
     println!(
         "time          {:>9.3} ms {:>9.3} ms   ({:+.2}% error)",
@@ -94,7 +96,6 @@ fn main() {
         "energy        {:>9.3} mJ {:>9.3} mJ   ({:+.2}% error)",
         estimate.energy_j * 1e3,
         measured.measurement.energy_j * 1e3,
-        (estimate.energy_j - measured.measurement.energy_j) / measured.measurement.energy_j
-            * 100.0
+        (estimate.energy_j - measured.measurement.energy_j) / measured.measurement.energy_j * 100.0
     );
 }

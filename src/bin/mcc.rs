@@ -24,7 +24,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: mcc <file.mc> [--soft] [--dump] [--run] [--trace N] [--profile] [--estimate]");
+        eprintln!(
+            "usage: mcc <file.mc> [--soft] [--dump] [--run] [--trace N] [--profile] [--estimate]"
+        );
         return ExitCode::from(2);
     };
     let has = |f: &str| args.iter().any(|a| a == f);
@@ -94,7 +96,9 @@ fn main() -> ExitCode {
         fpu_enabled: mode == FloatMode::Hard,
         ..MachineConfig::default()
     });
-    machine.load_image(program.base, &program.words);
+    machine
+        .load_image(program.base, &program.words)
+        .expect("image fits in RAM");
 
     let mut counter = ClassCounter::new(Paper);
     let mut hist = PcHistogram::new(program.base, program.text_words);
@@ -127,7 +131,11 @@ fn main() -> ExitCode {
     };
 
     if trace_n > 0 {
-        println!("-- trace (first {} of {}) --", tracer.lines.len(), tracer.seen);
+        println!(
+            "-- trace (first {} of {}) --",
+            tracer.lines.len(),
+            tracer.seen
+        );
         for line in &tracer.lines {
             println!("{line}");
         }

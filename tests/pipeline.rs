@@ -25,18 +25,33 @@ fn estimation_errors_are_in_the_papers_band() {
     let results = eval.run_all(&kernels).expect("pipeline");
     assert_eq!(results.len(), kernels.len() * 2);
 
-    let t = ErrorSummary::from_errors(
-        &results.iter().map(|r| r.time_error()).collect::<Vec<_>>(),
-    );
-    let e = ErrorSummary::from_errors(
-        &results.iter().map(|r| r.energy_error()).collect::<Vec<_>>(),
-    );
+    let t = ErrorSummary::from_errors(&results.iter().map(|r| r.time_error()).collect::<Vec<_>>())
+        .expect("non-empty kernel set");
+    let e =
+        ErrorSummary::from_errors(&results.iter().map(|r| r.energy_error()).collect::<Vec<_>>())
+            .expect("non-empty kernel set");
     // The paper reports ~2.7 % mean and <7 % max; allow headroom but
     // fail if the model drifts out of the regime.
-    assert!(t.mean_abs < 0.06, "mean |time error| = {:.2}%", t.mean_abs * 100.0);
-    assert!(e.mean_abs < 0.06, "mean |energy error| = {:.2}%", e.mean_abs * 100.0);
-    assert!(t.max_abs < 0.12, "max |time error| = {:.2}%", t.max_abs * 100.0);
-    assert!(e.max_abs < 0.12, "max |energy error| = {:.2}%", e.max_abs * 100.0);
+    assert!(
+        t.mean_abs < 0.06,
+        "mean |time error| = {:.2}%",
+        t.mean_abs * 100.0
+    );
+    assert!(
+        e.mean_abs < 0.06,
+        "mean |energy error| = {:.2}%",
+        e.mean_abs * 100.0
+    );
+    assert!(
+        t.max_abs < 0.12,
+        "max |time error| = {:.2}%",
+        t.max_abs * 100.0
+    );
+    assert!(
+        e.max_abs < 0.12,
+        "max |energy error| = {:.2}%",
+        e.max_abs * 100.0
+    );
 }
 
 #[test]

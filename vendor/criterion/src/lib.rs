@@ -1,0 +1,138 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access and no crates.io mirror,
+//! so the workspace vendors the API subset its benches use. Each
+//! `bench_function` warms up once, then runs the closure for a short
+//! fixed window and prints the mean iteration time (plus throughput if
+//! configured). There is no statistical analysis, no HTML report, and
+//! no CLI argument handling.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for per-element / per-byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    throughput: Option<Throughput>,
+    name: String,
+}
+
+impl Bencher {
+    /// Times `f`, printing the mean over a short measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 50 {
+            black_box(f());
+            iters += 1;
+        }
+        let mean = start.elapsed().as_secs_f64() / iters.max(1) as f64;
+        let mut line = format!("{:<40} {:>12.3} ms/iter", self.name, mean * 1e3);
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                line += &format!("  {:>10.1} Melem/s", n as f64 / mean / 1e6);
+            }
+            Some(Throughput::Bytes(n)) => {
+                line += &format!("  {:>10.1} MiB/s", n as f64 / mean / (1 << 20) as f64);
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (accepted, unused by this stand-in).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted, unused by this stand-in).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates benchmarks in this group with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            throughput: self.throughput,
+            name: format!("{}/{}", self.name, id),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            throughput: None,
+            name: id.to_string(),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
