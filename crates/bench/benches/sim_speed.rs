@@ -6,12 +6,19 @@
 //!   the overhead of counting is the paper's "only slightly increased
 //!   simulation times"),
 //! * the detailed hardware model (the CAS-like slow/accurate end).
+//!
+//! Plus the step-vs-block comparison for the batched accounting path:
+//! the same FSE kernel with per-instruction stepping and with
+//! block-batched counters, measured directly and recorded to
+//! `BENCH_sim.json` at the workspace root (CI uploads it as an
+//! artifact).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nfp_cc::FloatMode;
 use nfp_sim::{Machine, MachineConfig};
 use nfp_testbed::{HwModel, HwObserver};
-use nfp_workloads::{hevc_kernels, machine_for, Kernel, Preset, INPUT_BASE};
+use nfp_workloads::{fse_kernels, hevc_kernels, machine_for, Kernel, Preset, INPUT_BASE};
+use std::time::Instant;
 
 fn kernel() -> Kernel {
     hevc_kernels(&Preset::quick()).into_iter().next().unwrap()
@@ -66,5 +73,60 @@ fn bench_sim_layers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim_layers);
+/// Median-of-N wall time of one full kernel run in the given mode,
+/// returning `(seconds, instret)`.
+fn time_mode(kernel: &Kernel, block: bool, reps: usize) -> (f64, u64) {
+    let mut times = Vec::with_capacity(reps);
+    let mut instret = 0;
+    for _ in 0..reps {
+        let mut machine = machine_for(kernel, FloatMode::Hard);
+        machine.set_block_mode(block);
+        let start = Instant::now();
+        instret = machine.run(u64::MAX).unwrap().instret;
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    (times[reps / 2], instret)
+}
+
+/// Step-vs-block measurement on the FSE kernel; prints both rates and
+/// writes `BENCH_sim.json` for the CI artifact.
+fn bench_block_batching(_c: &mut Criterion) {
+    let kernel = fse_kernels(&Preset::quick()).into_iter().next().unwrap();
+    let reps = 5;
+    let (step_s, instret) = time_mode(&kernel, false, reps);
+    let (block_s, block_instret) = time_mode(&kernel, true, reps);
+    assert_eq!(instret, block_instret, "modes must retire identically");
+    let step_mips = instret as f64 / step_s / 1e6;
+    let block_mips = instret as f64 / block_s / 1e6;
+    let speedup = step_s / block_s;
+    println!(
+        "{:<40} {:>12.3} ms/iter  {:>10.1} Melem/s",
+        "block_batching/step_mode",
+        step_s * 1e3,
+        step_mips
+    );
+    println!(
+        "{:<40} {:>12.3} ms/iter  {:>10.1} Melem/s",
+        "block_batching/block_mode",
+        block_s * 1e3,
+        block_mips
+    );
+    println!("block_batching speedup: {speedup:.2}x on {}", kernel.name);
+
+    // Hand-rolled JSON: the workspace has no serde, and the schema is
+    // five scalars.
+    let json = format!(
+        "{{\n  \"kernel\": \"{}\",\n  \"instret\": {},\n  \
+         \"step_seconds\": {:.6},\n  \"block_seconds\": {:.6},\n  \
+         \"step_mips\": {:.1},\n  \"block_mips\": {:.1},\n  \
+         \"speedup\": {:.3}\n}}\n",
+        kernel.name, instret, step_s, block_s, step_mips, block_mips, speedup
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, json).expect("write BENCH_sim.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_sim_layers, bench_block_batching);
 criterion_main!(benches);

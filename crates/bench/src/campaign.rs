@@ -46,6 +46,11 @@ pub struct CampaignConfig {
     /// keeps campaigns fully deterministic; the instruction-budget
     /// watchdog already bounds every replay.
     pub wall: Option<Duration>,
+    /// Force per-instruction stepping instead of block-batched
+    /// accounting. Campaign results are bit-identical either way (a
+    /// regression test asserts it); this exists to measure the
+    /// batching speedup and to isolate suspected batching bugs.
+    pub step_mode: bool,
 }
 
 impl Default for CampaignConfig {
@@ -55,6 +60,7 @@ impl Default for CampaignConfig {
             seed: 0x5eed_f417,
             checkpoints: 16,
             wall: None,
+            step_mode: false,
         }
     }
 }
@@ -127,9 +133,10 @@ fn merge_ranges(mut ranges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
     merged
 }
 
-fn fresh_machine(kernel: &Kernel, mode: Mode) -> Machine {
+fn fresh_machine(kernel: &Kernel, mode: Mode, cfg: &CampaignConfig) -> Machine {
     let mut m = machine_for(kernel, mode.float_mode());
     m.set_trap_policy(TrapPolicy::Recover);
+    m.set_block_mode(!cfg.step_mode);
     m
 }
 
@@ -143,7 +150,7 @@ impl CampaignRig {
         cfg: &CampaignConfig,
     ) -> Result<(Self, FaultSpace), NfpError> {
         // Golden pass: learn length, outputs, and the RAM footprint.
-        let mut probe = fresh_machine(kernel, mode);
+        let mut probe = fresh_machine(kernel, mode, cfg);
         let run = probe.run(KERNEL_BUDGET)?;
         if run.exit_code != 0 {
             return Err(NfpError::KernelFailed {
@@ -167,7 +174,7 @@ impl CampaignRig {
         };
 
         // Checkpoint ladder along a fresh replay of the same path.
-        let mut machine = fresh_machine(kernel, mode);
+        let mut machine = fresh_machine(kernel, mode, cfg);
         let steps = cfg.checkpoints.max(1) as u64;
         let mut checkpoints = Vec::with_capacity(cfg.checkpoints);
         for i in 0..steps {
@@ -386,6 +393,38 @@ mod tests {
         for (x, y) in a.records.iter().zip(&b.records) {
             assert_eq!(x.outcome, y.outcome);
             assert_eq!(x.fault.at, y.fault.at);
+        }
+    }
+
+    #[test]
+    fn campaign_outcomes_identical_in_step_and_block_mode() {
+        // The execution-mode contract extended to a full seeded
+        // campaign: golden run, checkpoint ladder, every injected
+        // replay, and the classified outcomes must not depend on
+        // whether accounting is batched.
+        let kernels = nfp_workloads::fse_kernels(&Preset::quick());
+        let base = CampaignConfig {
+            injections: 30,
+            seed: 0xb10c,
+            checkpoints: 4,
+            ..CampaignConfig::default()
+        };
+        let block = run_campaign(&kernels[0], Mode::Float, &base).unwrap();
+        let step = run_campaign(
+            &kernels[0],
+            Mode::Float,
+            &CampaignConfig {
+                step_mode: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(block.golden_instret, step.golden_instret);
+        assert_eq!(block.report, step.report);
+        for (x, y) in block.records.iter().zip(&step.records) {
+            assert_eq!(x.fault, y.fault);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.category, y.category);
         }
     }
 

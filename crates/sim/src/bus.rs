@@ -348,10 +348,22 @@ impl Bus {
         }
     }
 
-    /// 64-bit big-endian load (for `ldd`).
+    /// 64-bit big-endian load (for `ldd`/`lddf`). SPARC V8 requires
+    /// doubleword (8-byte) alignment; a merely word-aligned address
+    /// faults with `size: 8`.
     #[inline]
     pub fn load64(&mut self, addr: u32) -> Result<u64, BusFault> {
         Self::check_align(addr, 8)?;
+        if let Some(i) = self.ram_index(addr) {
+            if i + 8 > self.ram.len() {
+                return Err(BusFault::Unmapped {
+                    addr: self.ram_base + self.ram.len() as u32,
+                });
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&self.ram[i..i + 8]);
+            return Ok(u64::from_be_bytes(b));
+        }
         let hi = self.load32(addr)? as u64;
         let lo = self.load32(addr + 4)? as u64;
         Ok((hi << 32) | lo)
@@ -398,10 +410,25 @@ impl Bus {
         }
     }
 
-    /// 64-bit big-endian store (for `std`).
+    /// 64-bit big-endian store (for `std`/`stdf`). SPARC V8 requires
+    /// doubleword (8-byte) alignment; a merely word-aligned address
+    /// faults with `size: 8`. The RAM path validates the whole access
+    /// before writing, so a doubleword straddling the end of RAM faults
+    /// without committing its first half (no torn store).
     #[inline]
     pub fn store64(&mut self, addr: u32, value: u64) -> Result<(), BusFault> {
         Self::check_align(addr, 8)?;
+        if let Some(i) = self.ram_index(addr) {
+            if i + 8 > self.ram.len() {
+                return Err(BusFault::Unmapped {
+                    addr: self.ram_base + self.ram.len() as u32,
+                });
+            }
+            self.ram[i..i + 8].copy_from_slice(&value.to_be_bytes());
+            self.mark_dirty(i);
+            // An 8-aligned doubleword never crosses a page boundary.
+            return Ok(());
+        }
         self.store32(addr, (value >> 32) as u32)?;
         self.store32(addr + 4, value as u32)
     }
@@ -484,6 +511,34 @@ mod tests {
             })
         );
         assert!(bus.load64(RAM_BASE + 4).is_err());
+    }
+
+    #[test]
+    fn word_aligned_doubles_still_fault_with_size_8() {
+        // SPARC V8 doubleword accesses need 8-byte alignment; an
+        // address that is only word-aligned must report the full
+        // 8-byte access size, not 4.
+        let mut bus = small_bus();
+        let addr = RAM_BASE + 12;
+        assert_eq!(
+            bus.load64(addr),
+            Err(BusFault::Misaligned { addr, size: 8 })
+        );
+        assert_eq!(
+            bus.store64(addr, 0),
+            Err(BusFault::Misaligned { addr, size: 8 })
+        );
+    }
+
+    #[test]
+    fn double_store_at_ram_end_does_not_tear() {
+        // An 8-aligned doubleword whose second word falls past the end
+        // of RAM must fault without committing the first half.
+        let mut bus = Bus::with_ram(RAM_BASE, 4100);
+        let addr = RAM_BASE + 4096;
+        assert!(bus.store64(addr, 0xdead_beef_0123_4567).is_err());
+        assert_eq!(bus.load32(addr).unwrap(), 0, "no partial write");
+        assert!(bus.load64(addr).is_err());
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub enum Trap {
     FpDisabled { pc: u32 },
     /// Double-precision operand names an odd FP register.
     OddFpPair { pc: u32 },
+    /// Integer doubleword load/store (`ldd`/`std`) names an odd `rd`;
+    /// the register pair must start on an even register (SPARC V8
+    /// §B.11). Mirrors [`Trap::OddFpPair`] for the integer file.
+    OddIntPair { pc: u32 },
 }
 
 impl Trap {
@@ -50,7 +54,8 @@ impl Trap {
             | Trap::WindowOverflow { pc }
             | Trap::WindowUnderflow { pc }
             | Trap::FpDisabled { pc }
-            | Trap::OddFpPair { pc } => pc,
+            | Trap::OddFpPair { pc }
+            | Trap::OddIntPair { pc } => pc,
         }
     }
 
@@ -87,6 +92,7 @@ impl std::fmt::Display for Trap {
             Trap::WindowUnderflow { pc } => write!(f, "register window underflow at 0x{pc:08x}"),
             Trap::FpDisabled { pc } => write!(f, "FPU instruction with FPU disabled at 0x{pc:08x}"),
             Trap::OddFpPair { pc } => write!(f, "odd FP register pair at 0x{pc:08x}"),
+            Trap::OddIntPair { pc } => write!(f, "odd integer register pair at 0x{pc:08x}"),
         }
     }
 }
@@ -116,7 +122,7 @@ pub struct ExecInfo {
 }
 
 impl ExecInfo {
-    fn new(pc: u32, instr: Instr, category: Category) -> Self {
+    pub(crate) fn new(pc: u32, instr: Instr, category: Category) -> Self {
         ExecInfo {
             pc,
             instr,
@@ -192,18 +198,6 @@ pub fn step<O: Observer>(
     let mut out = StepOut::Normal;
 
     match *instr {
-        Instr::Sethi { rd, imm22 } => {
-            let v = imm22 << 10;
-            cpu.set(rd, v);
-            info.result_ones = v.count_ones();
-        }
-        Instr::Alu { op, rd, rs1, op2 } => {
-            let a = cpu.get(rs1);
-            let b = operand_value(cpu, op2);
-            let r = exec_alu(cpu, op, a, b, pc)?;
-            cpu.set(rd, r);
-            info.result_ones = r.count_ones();
-        }
         Instr::Branch {
             cond,
             annul,
@@ -261,10 +255,65 @@ pub fn step<O: Observer>(
             next_npc = target;
             info.branch_taken = Some(true);
         }
+        Instr::Ticc { cond, rs1, op2 } => {
+            if cond.eval(cpu.icc.n, cpu.icc.z, cpu.icc.v, cpu.icc.c) {
+                let n = cpu.get(rs1).wrapping_add(operand_value(cpu, op2)) & 0x7f;
+                out = StepOut::SoftTrap(n);
+            }
+        }
+        _ => exec_linear::<true>(cpu, bus, instr, fpu_enabled, pc, &mut info)?,
+    }
+
+    cpu.pc = next_pc;
+    cpu.npc = next_npc;
+    obs.observe(&info);
+    Ok(out)
+}
+
+/// Executes one *linear* instruction — anything that is neither a CTI
+/// nor `t<cond>` (see [`Instr::ends_block`]), so control flow past it
+/// is always sequential. `pc` is the instruction's own address, used
+/// only for trap payloads; `cpu.pc`/`cpu.npc` are neither read nor
+/// written here. [`step`] commits them for the stepping path, and the
+/// machine's block-batched run loop calls this directly, committing
+/// `pc`/`npc` once per block.
+///
+/// On a trap, no architectural state has been committed beyond what the
+/// faulting instruction legitimately wrote before faulting (nothing:
+/// every arm validates before writing), so the caller can re-present
+/// the same instruction after recovery.
+#[inline]
+pub(crate) fn exec_linear<const OBSERVE: bool>(
+    cpu: &mut Cpu,
+    bus: &mut Bus,
+    instr: &Instr,
+    fpu_enabled: bool,
+    pc: u32,
+    info: &mut ExecInfo,
+) -> Result<(), Trap> {
+    match *instr {
+        Instr::Sethi { rd, imm22 } => {
+            let v = imm22 << 10;
+            cpu.set(rd, v);
+            if OBSERVE {
+                info.result_ones = v.count_ones();
+            }
+        }
+        Instr::Alu { op, rd, rs1, op2 } => {
+            let a = cpu.get(rs1);
+            let b = operand_value(cpu, op2);
+            let r = exec_alu(cpu, op, a, b, pc)?;
+            cpu.set(rd, r);
+            if OBSERVE {
+                info.result_ones = r.count_ones();
+            }
+        }
         Instr::RdY { rd } => {
             let y = cpu.y;
             cpu.set(rd, y);
-            info.result_ones = y.count_ones();
+            if OBSERVE {
+                info.result_ones = y.count_ones();
+            }
         }
         Instr::WrY { rs1, op2 } => {
             cpu.y = cpu.get(rs1) ^ operand_value(cpu, op2);
@@ -287,12 +336,6 @@ pub fn step<O: Observer>(
             }
             cpu.set(rd, a.wrapping_add(b));
         }
-        Instr::Ticc { cond, rs1, op2 } => {
-            if cond.eval(cpu.icc.n, cpu.icc.z, cpu.icc.v, cpu.icc.c) {
-                let n = cpu.get(rs1).wrapping_add(operand_value(cpu, op2)) & 0x7f;
-                out = StepOut::SoftTrap(n);
-            }
-        }
         Instr::Flush { .. } => {
             // No instruction cache on this core; architectural no-op.
         }
@@ -304,67 +347,95 @@ pub fn step<O: Observer>(
             op2,
         } => {
             let addr = cpu.get(rs1).wrapping_add(operand_value(cpu, op2));
-            info.mem_addr = Some(addr);
+            if OBSERVE {
+                info.mem_addr = Some(addr);
+            }
             let map = |e| fault_to_trap(pc, e);
-            let value = match size {
+            // Every arm writes its own destination so the doubleword
+            // pair needs no early exit past the shared commit.
+            match size {
                 MemSize::Byte => {
                     let v = bus.load8(addr).map_err(map)? as u32;
-                    if signed {
+                    let v = if signed {
                         v as u8 as i8 as i32 as u32
                     } else {
                         v
+                    };
+                    cpu.set(rd, v);
+                    if OBSERVE {
+                        info.result_ones = v.count_ones();
                     }
                 }
                 MemSize::Half => {
                     let v = bus.load16(addr).map_err(map)? as u32;
-                    if signed {
+                    let v = if signed {
                         v as u16 as i16 as i32 as u32
                     } else {
                         v
+                    };
+                    cpu.set(rd, v);
+                    if OBSERVE {
+                        info.result_ones = v.count_ones();
                     }
                 }
-                MemSize::Word => bus.load32(addr).map_err(map)?,
+                MemSize::Word => {
+                    let v = bus.load32(addr).map_err(map)?;
+                    cpu.set(rd, v);
+                    if OBSERVE {
+                        info.result_ones = v.count_ones();
+                    }
+                }
                 MemSize::Double => {
                     if rd.num() % 2 != 0 {
-                        return Err(Trap::Illegal { pc, word: 0 });
+                        return Err(Trap::OddIntPair { pc });
                     }
                     let v = bus.load64(addr).map_err(map)?;
                     cpu.set(rd, (v >> 32) as u32);
                     cpu.set(nfp_sparc::Reg::new(rd.num() + 1), v as u32);
-                    info.result_ones = v.count_ones();
-                    cpu.pc = next_pc;
-                    cpu.npc = next_npc;
-                    obs.observe(&info);
-                    return Ok(out);
+                    if OBSERVE {
+                        info.result_ones = v.count_ones();
+                    }
                 }
-            };
-            cpu.set(rd, value);
-            info.result_ones = value.count_ones();
+            }
         }
         Instr::Store { size, rd, rs1, op2 } => {
             let addr = cpu.get(rs1).wrapping_add(operand_value(cpu, op2));
-            info.mem_addr = Some(addr);
+            if OBSERVE {
+                info.mem_addr = Some(addr);
+            }
             let map = |e| fault_to_trap(pc, e);
             let v = cpu.get(rd);
             match size {
-                MemSize::Byte => bus.store8(addr, v as u8).map_err(map)?,
-                MemSize::Half => bus.store16(addr, v as u16).map_err(map)?,
-                MemSize::Word => bus.store32(addr, v).map_err(map)?,
+                MemSize::Byte => {
+                    bus.store8(addr, v as u8).map_err(map)?;
+                    if OBSERVE {
+                        info.result_ones = v.count_ones();
+                    }
+                }
+                MemSize::Half => {
+                    bus.store16(addr, v as u16).map_err(map)?;
+                    if OBSERVE {
+                        info.result_ones = v.count_ones();
+                    }
+                }
+                MemSize::Word => {
+                    bus.store32(addr, v).map_err(map)?;
+                    if OBSERVE {
+                        info.result_ones = v.count_ones();
+                    }
+                }
                 MemSize::Double => {
                     if rd.num() % 2 != 0 {
-                        return Err(Trap::Illegal { pc, word: 0 });
+                        return Err(Trap::OddIntPair { pc });
                     }
                     let lo = cpu.get(nfp_sparc::Reg::new(rd.num() + 1));
                     let dv = ((v as u64) << 32) | lo as u64;
                     bus.store64(addr, dv).map_err(map)?;
-                    info.result_ones = dv.count_ones();
-                    cpu.pc = next_pc;
-                    cpu.npc = next_npc;
-                    obs.observe(&info);
-                    return Ok(out);
+                    if OBSERVE {
+                        info.result_ones = dv.count_ones();
+                    }
                 }
             }
-            info.result_ones = v.count_ones();
         }
         Instr::LoadF {
             double,
@@ -376,7 +447,9 @@ pub fn step<O: Observer>(
                 return Err(Trap::FpDisabled { pc });
             }
             let addr = cpu.get(rs1).wrapping_add(operand_value(cpu, op2));
-            info.mem_addr = Some(addr);
+            if OBSERVE {
+                info.mem_addr = Some(addr);
+            }
             let map = |e| fault_to_trap(pc, e);
             if double {
                 if !rd.is_even() {
@@ -385,11 +458,15 @@ pub fn step<O: Observer>(
                 let v = bus.load64(addr).map_err(map)?;
                 cpu.fset(rd, (v >> 32) as u32);
                 cpu.fset(nfp_sparc::FReg::new(rd.num() + 1), v as u32);
-                info.result_ones = v.count_ones();
+                if OBSERVE {
+                    info.result_ones = v.count_ones();
+                }
             } else {
                 let v = bus.load32(addr).map_err(map)?;
                 cpu.fset(rd, v);
-                info.result_ones = v.count_ones();
+                if OBSERVE {
+                    info.result_ones = v.count_ones();
+                }
             }
         }
         Instr::StoreF {
@@ -402,7 +479,9 @@ pub fn step<O: Observer>(
                 return Err(Trap::FpDisabled { pc });
             }
             let addr = cpu.get(rs1).wrapping_add(operand_value(cpu, op2));
-            info.mem_addr = Some(addr);
+            if OBSERVE {
+                info.mem_addr = Some(addr);
+            }
             let map = |e| fault_to_trap(pc, e);
             if double {
                 if !rd.is_even() {
@@ -412,18 +491,22 @@ pub fn step<O: Observer>(
                 let lo = cpu.fget(nfp_sparc::FReg::new(rd.num() + 1)) as u64;
                 let v = (hi << 32) | lo;
                 bus.store64(addr, v).map_err(map)?;
-                info.result_ones = v.count_ones();
+                if OBSERVE {
+                    info.result_ones = v.count_ones();
+                }
             } else {
                 let v = cpu.fget(rd);
                 bus.store32(addr, v).map_err(map)?;
-                info.result_ones = v.count_ones();
+                if OBSERVE {
+                    info.result_ones = v.count_ones();
+                }
             }
         }
         Instr::FpOp { op, rd, rs1, rs2 } => {
             if !fpu_enabled {
                 return Err(Trap::FpDisabled { pc });
             }
-            exec_fpop(cpu, op, rd, rs1, rs2, pc, &mut info)?;
+            exec_fpop::<OBSERVE>(cpu, op, rd, rs1, rs2, pc, info)?;
         }
         Instr::FCmp {
             double, rs1, rs2, ..
@@ -447,12 +530,17 @@ pub fn step<O: Observer>(
         Instr::Illegal { word } => {
             return Err(Trap::Illegal { pc, word });
         }
+        // CTIs and `t<cond>` belong to `step`; reaching here with one
+        // is a machine-layer segmentation bug.
+        Instr::Branch { .. }
+        | Instr::FBranch { .. }
+        | Instr::Call { .. }
+        | Instr::Jmpl { .. }
+        | Instr::Ticc { .. } => {
+            unreachable!("block-ending instruction {instr:?} routed to exec_linear")
+        }
     }
-
-    cpu.pc = next_pc;
-    cpu.npc = next_npc;
-    obs.observe(&info);
-    Ok(out)
+    Ok(())
 }
 
 /// Branch/annul resolution per SPARC V8 §B.21: a taken conditional
@@ -595,7 +683,7 @@ fn f64_to_i32(v: f64) -> i32 {
 }
 
 #[inline]
-fn exec_fpop(
+fn exec_fpop<const OBSERVE: bool>(
     cpu: &mut Cpu,
     op: FpOp,
     rd: nfp_sparc::FReg,
@@ -618,14 +706,18 @@ fn exec_fpop(
         FAbsS => cpu.fset(rd, cpu.fget(rs2) & 0x7fff_ffff),
         FSqrtS => {
             let v = cpu.fget_s(rs2);
-            info.fpu_rs2_bits = Some(v.to_bits() as u64);
+            if OBSERVE {
+                info.fpu_rs2_bits = Some(v.to_bits() as u64);
+            }
             cpu.fset_s(rd, v.sqrt());
         }
         FSqrtD => {
             need_even(rs2)?;
             need_even(rd)?;
             let v = cpu.fget_d(rs2);
-            info.fpu_rs2_bits = Some(v.to_bits());
+            if OBSERVE {
+                info.fpu_rs2_bits = Some(v.to_bits());
+            }
             cpu.fset_d(rd, v.sqrt());
         }
         FAddS => cpu.fset_s(rd, cpu.fget_s(rs1) + cpu.fget_s(rs2)),
@@ -633,7 +725,9 @@ fn exec_fpop(
         FMulS => cpu.fset_s(rd, cpu.fget_s(rs1) * cpu.fget_s(rs2)),
         FDivS => {
             let b = cpu.fget_s(rs2);
-            info.fpu_rs2_bits = Some(b.to_bits() as u64);
+            if OBSERVE {
+                info.fpu_rs2_bits = Some(b.to_bits() as u64);
+            }
             cpu.fset_s(rd, cpu.fget_s(rs1) / b);
         }
         FAddD => {
@@ -659,7 +753,9 @@ fn exec_fpop(
             need_even(rs2)?;
             need_even(rd)?;
             let b = cpu.fget_d(rs2);
-            info.fpu_rs2_bits = Some(b.to_bits());
+            if OBSERVE {
+                info.fpu_rs2_bits = Some(b.to_bits());
+            }
             cpu.fset_d(rd, cpu.fget_d(rs1) / b);
         }
         FsMulD => {

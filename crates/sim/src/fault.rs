@@ -12,7 +12,10 @@
 //! [`Machine::restore`]: register and RAM flips are rewound by the
 //! checkpoint mechanism alone, while instruction-stream flips also
 //! patch the predecoded image and return an [`Undo`] that must be
-//! applied before the machine is reused.
+//! applied before the machine is reused. Code flips and undos route
+//! through [`Machine::patch_code_word`], which also invalidates the
+//! block-batched accounting cache, so campaigns run safely in block
+//! mode: the next run re-segments the (possibly corrupted) image.
 
 use crate::machine::{Machine, SimError};
 use nfp_sparc::cond::FccValue;
@@ -451,6 +454,50 @@ mod tests {
         undo(&mut m, &u).unwrap();
         let again = m.run(100).unwrap();
         assert_eq!(again.exit_code, 1, "undo must restore the program");
+    }
+
+    #[test]
+    fn code_flip_and_undo_invalidate_block_summaries() {
+        // Both the flip and its undo go through `patch_code_word`,
+        // which must drop the block cache: a stale per-block category
+        // summary would silently miscount every instruction of the
+        // patched block under block-batched accounting.
+        let mut a = Assembler::new(RAM_BASE);
+        a.mov(6, Reg::l(0));
+        a.label("loop");
+        a.alu(nfp_sparc::AluOp::SubCc, Reg::l(0), 1, Reg::l(0));
+        a.b(nfp_sparc::cond::ICond::Ne, "loop");
+        a.nop();
+        a.mov(0, Reg::o(0));
+        a.ta(0);
+        a.nop();
+        let words = a.finish().unwrap();
+
+        let mut m = Machine::boot(&words);
+        let cp = m.checkpoint();
+        let golden = m.run(10_000).unwrap();
+
+        // Flip `subcc %l0, 1` into `subcc %l0, 3` (bit 1 of simm13):
+        // the loop now skips odd counts and exits after two trips.
+        m.restore(&cp);
+        let fault = Fault {
+            at: 0,
+            target: FaultTarget::Code { index: 1, bit: 1 },
+        };
+        let u = inject(&mut m, &fault).unwrap();
+        let corrupted = m.run(10_000).unwrap();
+        assert_ne!(
+            corrupted.instret, golden.instret,
+            "flip must change the dynamic instruction stream"
+        );
+
+        // After undo, a block-mode rerun must reproduce the golden
+        // counters exactly — stale summaries would not.
+        m.restore(&cp);
+        undo(&mut m, &u).unwrap();
+        let again = m.run(10_000).unwrap();
+        assert_eq!(again.counts, golden.counts);
+        assert_eq!(again.instret, golden.instret);
     }
 
     #[test]

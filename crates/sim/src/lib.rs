@@ -24,6 +24,7 @@
 //! fast) or by the detailed hardware model (`nfp-testbed`, the
 //! ground-truth stand-in for the FPGA board).
 
+pub mod blocks;
 pub mod bus;
 pub mod cpu;
 pub mod exec;
@@ -31,6 +32,7 @@ pub mod fault;
 pub mod machine;
 pub mod profile;
 
+pub use blocks::BlockCache;
 pub use bus::{Bus, ConsoleDevice, Device, RamSnapshot, RAM_BASE};
 pub use cpu::{Cpu, INT_REG_SPACE, NWINDOWS};
 pub use exec::{ExecInfo, NullObserver, Observer, Trap};

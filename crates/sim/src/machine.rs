@@ -6,9 +6,10 @@
 //! inline in the run loop, not through callbacks, mirroring the
 //! implementation note in Section III of the paper.
 
+use crate::blocks::BlockCache;
 use crate::bus::{Bus, BusFault, RamSnapshot, RAM_BASE};
 use crate::cpu::Cpu;
-use crate::exec::{step, NullObserver, Observer, StepOut, Trap};
+use crate::exec::{exec_linear, step, ExecInfo, NullObserver, Observer, StepOut, Trap};
 use nfp_sparc::{decode, Category, CategoryCounts, Instr};
 use std::time::{Duration, Instant};
 
@@ -48,6 +49,16 @@ pub struct MachineConfig {
     pub count_categories: bool,
     /// Trap handling policy (see [`TrapPolicy`]).
     pub trap_policy: TrapPolicy,
+    /// Whether unobserved runs use block-batched accounting: the run
+    /// loop executes whole straight-line runs from the predecoded
+    /// [`BlockCache`], charging instruction and category counters once
+    /// per block instead of once per instruction. Results are
+    /// bit-identical to stepping (the step path remains the reference
+    /// and is used automatically whenever an [`Observer`] is attached,
+    /// at block-ending instructions, in delay slots, outside the
+    /// loaded image, and to re-present instructions after a mid-block
+    /// trap). Disable to force per-instruction stepping everywhere.
+    pub block_mode: bool,
 }
 
 impl Default for MachineConfig {
@@ -57,6 +68,7 @@ impl Default for MachineConfig {
             fpu_enabled: true,
             count_categories: true,
             trap_policy: TrapPolicy::Abort,
+            block_mode: true,
         }
     }
 }
@@ -224,6 +236,10 @@ pub struct Machine {
     config: MachineConfig,
     code_base: u32,
     code: Vec<(Instr, Category)>,
+    /// Block summaries over `code`; `None` when stale (image loaded or
+    /// patched since the last build) — rebuilt lazily by the next
+    /// batched run.
+    blocks: Option<BlockCache>,
     counts: CategoryCounts,
     instret: u64,
     trap_stats: TrapStats,
@@ -238,6 +254,7 @@ impl Machine {
             config,
             code_base: RAM_BASE,
             code: Vec::new(),
+            blocks: None,
             counts: CategoryCounts::new(),
             instret: 0,
             trap_stats: TrapStats::default(),
@@ -253,6 +270,12 @@ impl Machine {
     /// trap.
     pub fn set_trap_policy(&mut self, policy: TrapPolicy) {
         self.config.trap_policy = policy;
+    }
+
+    /// Enables or disables block-batched accounting (see
+    /// [`MachineConfig::block_mode`]); takes effect from the next run.
+    pub fn set_block_mode(&mut self, on: bool) {
+        self.config.block_mode = on;
     }
 
     /// Traps absorbed by the recovery model so far.
@@ -279,6 +302,7 @@ impl Machine {
                 (i, c)
             })
             .collect();
+        self.blocks = None;
         self.cpu.pc = base;
         self.cpu.npc = base.wrapping_add(4);
         // Stack: top of RAM minus a red zone, 8-byte aligned.
@@ -337,6 +361,10 @@ impl Machine {
         self.bus.store32(addr, word)?;
         let i = decode(word);
         self.code[index] = (i, i.category());
+        // The patched word may create or remove a block boundary, so
+        // every cached block summary crossing it is stale; drop the
+        // cache and let the next batched run rebuild it.
+        self.blocks = None;
         Ok(old)
     }
 
@@ -409,19 +437,28 @@ impl Machine {
     }
 
     /// Runs until the program halts, an error occurs, or `max_instrs`
-    /// instructions have executed, without an observer (fast path).
+    /// instructions have executed, without an observer (fast path,
+    /// block-batched unless [`MachineConfig::block_mode`] is off).
     pub fn run(&mut self, max_instrs: u64) -> Result<RunResult, SimError> {
-        self.run_observed(max_instrs, &mut NullObserver)
+        self.run_inner(
+            max_instrs,
+            None,
+            false,
+            self.config.block_mode,
+            &mut NullObserver,
+        )
     }
 
     /// Runs with a per-instruction [`Observer`] (the detailed hardware
-    /// model attaches here).
+    /// model attaches here). An observer needs every [`ExecInfo`], so
+    /// this path always steps instruction by instruction, regardless of
+    /// [`MachineConfig::block_mode`].
     pub fn run_observed<O: Observer>(
         &mut self,
         max_instrs: u64,
         obs: &mut O,
     ) -> Result<RunResult, SimError> {
-        self.run_inner(max_instrs, None, false, obs)
+        self.run_inner(max_instrs, None, false, false, obs)
     }
 
     /// Runs under a [`Watchdog`]: budget or deadline expiry yields
@@ -430,18 +467,33 @@ impl Machine {
     /// than a harness misconfiguration.
     pub fn run_watchdog(&mut self, wd: &Watchdog) -> Result<RunResult, SimError> {
         let deadline = wd.wall.map(|d| Instant::now() + d);
-        self.run_inner(wd.max_instrs, deadline, true, &mut NullObserver)
+        self.run_inner(
+            wd.max_instrs,
+            deadline,
+            true,
+            self.config.block_mode,
+            &mut NullObserver,
+        )
     }
 
     /// Replays execution until the dynamic instruction count reaches
     /// `target`. Used by fault campaigns to position the machine at an
     /// injection point; the program halting first is an error
-    /// ([`SimError::HaltedEarly`]).
+    /// ([`SimError::HaltedEarly`]). Block batching clamps its batches
+    /// to the remaining budget, so the machine stops at *exactly*
+    /// `target` retired instructions — a fault plan aimed at an
+    /// instant inside a block still injects at the precise instruction.
     pub fn run_until(&mut self, target: u64) -> Result<(), SimError> {
         if target <= self.instret {
             return Ok(());
         }
-        match self.run_inner(target - self.instret, None, false, &mut NullObserver) {
+        match self.run_inner(
+            target - self.instret,
+            None,
+            false,
+            self.config.block_mode,
+            &mut NullObserver,
+        ) {
             Err(SimError::BudgetExhausted { .. }) => Ok(()),
             Ok(_) => Err(SimError::HaltedEarly {
                 instret: self.instret,
@@ -455,12 +507,22 @@ impl Machine {
         max_instrs: u64,
         deadline: Option<Instant>,
         watchdog: bool,
+        batched: bool,
         obs: &mut O,
     ) -> Result<RunResult, SimError> {
         let counting = self.config.count_categories;
         let fpu = self.config.fpu_enabled;
         let recover = self.config.trap_policy == TrapPolicy::Recover;
         let limit = self.instret.saturating_add(max_instrs);
+        if batched && self.blocks.is_none() && !self.code.is_empty() {
+            self.blocks = Some(BlockCache::build(&self.code));
+        }
+        // Next instret at which an armed wall-clock deadline is
+        // consulted (batches can jump past exact interval multiples).
+        let mut wall_check_at = self.instret;
+        // Scratch record for the batched path; exec_linear fills it and
+        // nobody reads it (no observer is attached when batching).
+        let mut scratch = ExecInfo::new(0, Instr::NOP, Category::Nop);
         loop {
             if self.instret >= limit {
                 return Err(if watchdog {
@@ -471,12 +533,81 @@ impl Machine {
                     SimError::BudgetExhausted { limit: max_instrs }
                 });
             }
-            if deadline.is_some_and(|dl| {
-                self.instret.is_multiple_of(WALL_CHECK_INTERVAL) && Instant::now() >= dl
-            }) {
-                return Err(SimError::WatchdogExpired {
-                    instret: self.instret,
-                });
+            if let Some(dl) = deadline {
+                if self.instret >= wall_check_at {
+                    if Instant::now() >= dl {
+                        return Err(SimError::WatchdogExpired {
+                            instret: self.instret,
+                        });
+                    }
+                    wall_check_at = self.instret + WALL_CHECK_INTERVAL;
+                }
+            }
+            if batched {
+                let pc = self.cpu.pc;
+                let idx = pc.wrapping_sub(self.code_base) as usize / 4;
+                // Batch only from a sequential state (npc = pc + 4)
+                // inside the image; a pending delay-slot target or
+                // out-of-image execution falls back to stepping.
+                if pc.is_multiple_of(4)
+                    && pc >= self.code_base
+                    && idx < self.code.len()
+                    && self.cpu.npc == pc.wrapping_add(4)
+                {
+                    let run_end = self.blocks.as_ref().expect("built above").run_end(idx);
+                    // Clamp to the budget so run_until() still stops at
+                    // an exact instruction count mid-block.
+                    let take = ((run_end - idx) as u64).min(limit - self.instret) as usize;
+                    let end = idx + take;
+                    if end > idx {
+                        let mut j = idx;
+                        let mut pending: Option<Trap> = None;
+                        let mut ipc = pc;
+                        for (instr, _) in &self.code[idx..end] {
+                            if let Err(t) = exec_linear::<false>(
+                                &mut self.cpu,
+                                &mut self.bus,
+                                instr,
+                                fpu,
+                                ipc,
+                                &mut scratch,
+                            ) {
+                                pending = Some(t);
+                                break;
+                            }
+                            j += 1;
+                            ipc = ipc.wrapping_add(4);
+                        }
+                        // Commit the completed prefix [idx, j) in one
+                        // batch: exec_linear leaves pc/npc untouched,
+                        // so on a trap the machine state is exactly
+                        // what stepping would have left — pc at the
+                        // faulting instruction, nothing of it counted.
+                        if j > idx {
+                            self.instret += (j - idx) as u64;
+                            if counting {
+                                let delta = self
+                                    .blocks
+                                    .as_ref()
+                                    .expect("built above")
+                                    .range_counts(idx, j);
+                                self.counts = self.counts.merged(&delta);
+                            }
+                            self.cpu.pc = self.code_base.wrapping_add((j as u32) * 4);
+                            self.cpu.npc = self.cpu.pc.wrapping_add(4);
+                        }
+                        if let Some(t) = pending {
+                            if recover && self.try_recover(&t) {
+                                continue;
+                            }
+                            return Err(t.into());
+                        }
+                        continue;
+                    }
+                    // take == 0: the next instruction ends a block
+                    // (CTI or t<cond>) — step it below with full
+                    // per-instruction accounting.
+                }
             }
             // Fetch traps (misaligned or unmapped pc) are always fatal:
             // there is no sensible instruction to resume past.
@@ -911,5 +1042,140 @@ mod tests {
         let mut m = Machine::boot(&words);
         let r = m.run(1000).unwrap();
         assert_eq!(r.exit_code, 9);
+    }
+
+    /// Runs `words` twice — stepped and block-batched — under the same
+    /// policy and budget, and asserts every observable agrees: the
+    /// run/error result, retired-instruction count, category counters,
+    /// full CPU state, and RAM contents.
+    fn assert_modes_agree(words: &[u32], policy: TrapPolicy, budget: u64) {
+        let observe = |block: bool| {
+            let mut m = Machine::boot(words);
+            m.set_trap_policy(policy);
+            m.set_block_mode(block);
+            let res = m.run(budget);
+            (
+                format!("{res:?}"),
+                m.instret(),
+                *m.counts(),
+                format!("{:?}", m.cpu),
+                format!("{:?}", m.bus.snapshot_ram()),
+            )
+        };
+        let stepped = observe(false);
+        let batched = observe(true);
+        assert_eq!(stepped.0, batched.0, "run result diverged");
+        assert_eq!(stepped.1, batched.1, "instret diverged");
+        assert_eq!(stepped.2, batched.2, "category counts diverged");
+        assert_eq!(stepped.3, batched.3, "CPU state diverged");
+        assert_eq!(stepped.4, batched.4, "RAM contents diverged");
+    }
+
+    fn memory_loop_program() -> Vec<u32> {
+        let mut a = Assembler::new(RAM_BASE);
+        a.set32(crate::bus::CONSOLE_EMIT, Reg::l(0));
+        a.set32(RAM_BASE + 0x2000, Reg::l(1));
+        a.mov(9, Reg::l(2));
+        a.label("loop");
+        a.st(nfp_sparc::MemSize::Word, Reg::l(2), Reg::l(1), 0);
+        a.st(nfp_sparc::MemSize::Word, Reg::l(2), Reg::l(0), 0);
+        a.alu(AluOp::SubCc, Reg::l(2), 1, Reg::l(2));
+        a.b(ICond::Ne, "loop");
+        a.alu(AluOp::Add, Reg::l(1), 4, Reg::l(1));
+        a.mov(0, Reg::o(0));
+        a.ta(0);
+        a.nop();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn block_mode_matches_step_mode_on_branchy_code() {
+        assert_modes_agree(&memory_loop_program(), TrapPolicy::Abort, 1_000_000);
+    }
+
+    #[test]
+    fn block_mode_matches_step_mode_across_budget_stops() {
+        // Stop the run at every possible instruction count, including
+        // points that land mid-block: batching must clamp to the
+        // budget, not overshoot to the block boundary.
+        let words = memory_loop_program();
+        for budget in 0..60 {
+            assert_modes_agree(&words, TrapPolicy::Abort, budget);
+        }
+    }
+
+    #[test]
+    fn block_mode_matches_step_mode_under_recover_traps() {
+        // Window overflow/underflow recovery resumes mid-program; the
+        // batched path must re-present the trapping instruction and
+        // leave the partial block's counts exactly as stepping would.
+        assert_modes_agree(&deep_window_program(), TrapPolicy::Recover, 1_000);
+        assert_modes_agree(&deep_window_program(), TrapPolicy::Abort, 1_000);
+
+        // Misaligned-skip recovery: the faulting load sits mid-block
+        // and is skipped, so the commit/trap split inside a batch is
+        // exercised directly.
+        let mut a = Assembler::new(RAM_BASE);
+        a.set32(RAM_BASE + 0x101, Reg::l(0));
+        a.mov(3, Reg::l(2));
+        a.ld(nfp_sparc::MemSize::Word, false, Reg::l(0), 0, Reg::l(1));
+        a.alu(AluOp::Add, Reg::l(2), 1, Reg::l(2));
+        a.mov(4, Reg::o(0));
+        a.ta(0);
+        a.nop();
+        let words = a.finish().unwrap();
+        assert_modes_agree(&words, TrapPolicy::Recover, 1_000);
+        assert_modes_agree(&words, TrapPolicy::Abort, 1_000);
+    }
+
+    #[test]
+    fn block_mode_checkpoint_restore_replays_identically() {
+        let words = memory_loop_program();
+        let mut m = Machine::boot(&words);
+        m.run_until(17).unwrap(); // mid-block under batching
+        assert_eq!(m.instret(), 17);
+        let cp = m.checkpoint();
+        let first = m.run(10_000).unwrap();
+        m.restore(&cp);
+        let second = m.run(10_000).unwrap();
+        assert_eq!(first.counts, second.counts);
+        assert_eq!(first.instret, second.instret);
+        assert_eq!(first.words, second.words);
+    }
+
+    #[test]
+    fn patched_code_is_seen_by_block_mode() {
+        // Patch an instruction to a different category after a run has
+        // built the block cache: the next run must account the patched
+        // instruction, not a stale block summary.
+        let words = memory_loop_program();
+        let mut m = Machine::boot(&words);
+        let baseline = m.run(10_000).unwrap();
+
+        let mut m = Machine::boot(&words);
+        m.run_until(3).unwrap(); // cache is built and warm
+        let nop = nfp_sparc::encode(Instr::NOP);
+        // Word 5 is the first `st` in the loop body.
+        let old = m.patch_code_word(5, nop).unwrap();
+        let patched = m.run(10_000).unwrap();
+        assert_eq!(
+            patched.counts[Category::Nop],
+            baseline.counts[Category::Nop] + 9,
+            "patched NOP must be counted as NOP on every iteration"
+        );
+        assert_eq!(
+            patched.counts[Category::MemStore],
+            baseline.counts[Category::MemStore] - 9
+        );
+
+        // And the patch must match step mode exactly.
+        let mut s = Machine::boot(&words);
+        s.set_block_mode(false);
+        s.run_until(3).unwrap();
+        s.patch_code_word(5, nop).unwrap();
+        let stepped = s.run(10_000).unwrap();
+        assert_eq!(patched.counts, stepped.counts);
+        assert_eq!(patched.instret, stepped.instret);
+        let _ = old;
     }
 }

@@ -1,6 +1,14 @@
 //! Execution profiling observers: a per-PC hotspot histogram that can
 //! be folded over a symbol table into a per-function profile, and a
 //! bounded execution tracer for debugging.
+//!
+//! Attaching any [`Observer`] (via
+//! [`Machine::run_observed`](crate::Machine::run_observed)) forces the
+//! run loop onto the per-instruction step path regardless of
+//! [`MachineConfig::block_mode`](crate::MachineConfig::block_mode):
+//! block-batched accounting skips the per-instruction [`ExecInfo`]
+//! plumbing these observers depend on, so observed runs trade speed
+//! for a complete event stream.
 
 use crate::exec::{ExecInfo, Observer};
 use nfp_sparc::disasm;
@@ -158,6 +166,20 @@ mod tests {
         assert_eq!(hist.other, 0);
         let hottest = hist.hottest(3);
         assert_eq!(hottest[0].1, 100);
+    }
+
+    #[test]
+    fn observers_see_every_instruction_despite_block_mode() {
+        // `block_mode` defaults to on, but observed runs must still
+        // step: a histogram that missed batched instructions would
+        // undercount silently.
+        let words = loop_program(25);
+        let mut m = Machine::boot(&words);
+        assert!(m.config().block_mode, "default config batches");
+        let mut hist = PcHistogram::new(RAM_BASE, words.len());
+        let r = m.run_observed(100_000, &mut hist).unwrap();
+        assert_eq!(hist.total(), r.instret, "one observation per retirement");
+        assert_eq!(hist.count_at(RAM_BASE + 8), 25);
     }
 
     #[test]

@@ -63,6 +63,55 @@ fn misaligned_access() {
 }
 
 #[test]
+fn misaligned_double_reports_size_8() {
+    // Doubleword accesses require 8-byte alignment on SPARC V8 —
+    // word-aligned is not enough, and the trap payload must carry the
+    // doubleword size, not the size of a constituent word.
+    let addr = RAM_BASE + 0x104; // 4-aligned, not 8-aligned
+    let cases: [Vec<u32>; 3] = [
+        asm(|a| {
+            a.set32(addr, Reg::l(0));
+            a.ld(MemSize::Double, false, Reg::l(0), 0, Reg::l(2));
+            a.ta(0);
+            a.nop();
+        }),
+        asm(|a| {
+            a.set32(addr, Reg::l(0));
+            a.st(MemSize::Double, Reg::o(2), Reg::l(0), 0);
+            a.ta(0);
+            a.nop();
+        }),
+        asm(|a| {
+            a.set32(addr, Reg::l(0));
+            a.lddf(Reg::l(0), 0, FReg::new(0));
+            a.ta(0);
+            a.nop();
+        }),
+    ];
+    for words in &cases {
+        let t = trap_of(words);
+        let pc = RAM_BASE + 8; // set32 is two instructions
+        assert_eq!(t, Trap::Misaligned { pc, addr, size: 8 });
+    }
+
+    // stdf likewise, spot-checking the Display size.
+    let stdf = asm(|a| {
+        a.set32(addr, Reg::l(0));
+        a.stdf(FReg::new(2), Reg::l(0), 0);
+        a.ta(0);
+        a.nop();
+    });
+    let t = trap_of(&stdf);
+    assert_eq!(
+        t.to_string(),
+        format!(
+            "misaligned 8-byte access to 0x{addr:08x} at 0x{:08x}",
+            RAM_BASE + 8
+        )
+    );
+}
+
+#[test]
 fn unmapped_access() {
     let words = asm(|a| {
         a.set32(0x1000_0000, Reg::l(0));
@@ -188,6 +237,33 @@ fn odd_fp_pair() {
 }
 
 #[test]
+fn odd_int_pair() {
+    // `ldd` names register pairs: an odd `rd` is illegal per SPARC V8
+    // (B.11). It used to be misreported as `Illegal { word: 0 }`,
+    // losing the actual instruction word and the pair semantics.
+    let ldd = asm(|a| {
+        a.ld(MemSize::Double, false, Reg::l(0), 0, Reg::l(1));
+        a.ta(0);
+        a.nop();
+    });
+    let t = trap_of(&ldd);
+    assert_eq!(t, Trap::OddIntPair { pc: RAM_BASE });
+    assert_eq!(
+        t.to_string(),
+        format!("odd integer register pair at 0x{RAM_BASE:08x}")
+    );
+    assert!(!t.is_recoverable());
+
+    // Same for `std`.
+    let std_ = asm(|a| {
+        a.st(MemSize::Double, Reg::o(3), Reg::l(0), 0);
+        a.ta(0);
+        a.nop();
+    });
+    assert_eq!(trap_of(&std_), Trap::OddIntPair { pc: RAM_BASE });
+}
+
+#[test]
 fn trap_pc_accessor_matches_payload() {
     let traps = [
         Trap::Illegal { pc: 1, word: 2 },
@@ -202,10 +278,11 @@ fn trap_pc_accessor_matches_payload() {
         Trap::WindowUnderflow { pc: 9 },
         Trap::FpDisabled { pc: 10 },
         Trap::OddFpPair { pc: 11 },
+        Trap::OddIntPair { pc: 12 },
     ];
     assert_eq!(
         traps.iter().map(Trap::pc).collect::<Vec<_>>(),
-        vec![1, 3, 5, 7, 8, 9, 10, 11]
+        vec![1, 3, 5, 7, 8, 9, 10, 11, 12]
     );
 }
 

@@ -485,6 +485,36 @@ impl Instr {
             Instr::Branch { .. } | Instr::FBranch { .. } | Instr::Call { .. } | Instr::Jmpl { .. }
         )
     }
+
+    /// True for control-transfer instructions (CTIs): everything with a
+    /// delay slot. Basic-block segmentation treats these as block
+    /// terminators, with the delay slot belonging to the CTI's block.
+    pub fn is_cti(&self) -> bool {
+        self.has_delay_slot()
+    }
+
+    /// True if straight-line execution cannot continue past this
+    /// instruction without the machine layer intervening: CTIs redirect
+    /// control and `t<cond>` may raise a software trap. (Trapping
+    /// instructions like `unimp` stay "linear" — they abort the run
+    /// rather than redirect it.)
+    pub fn ends_block(&self) -> bool {
+        self.is_cti() || matches!(self, Instr::Ticc { .. })
+    }
+
+    /// Statically known control-transfer target of a CTI at `pc`:
+    /// `Some(target)` for pc-relative branches and calls, `None` for
+    /// indirect jumps (`jmpl`) and for non-CTIs. The fall-through
+    /// successor of a CTI is always `pc + 8` (past the delay slot).
+    pub fn static_target(&self, pc: u32) -> Option<u32> {
+        match *self {
+            Instr::Branch { disp22, .. } | Instr::FBranch { disp22, .. } => {
+                Some(pc.wrapping_add((disp22 as u32).wrapping_mul(4)))
+            }
+            Instr::Call { disp30 } => Some(pc.wrapping_add((disp30 as u32).wrapping_mul(4))),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -542,5 +572,42 @@ mod tests {
     fn delay_slot_classification() {
         assert!(Instr::Call { disp30: 0 }.has_delay_slot());
         assert!(!Instr::NOP.has_delay_slot());
+    }
+
+    #[test]
+    fn cti_and_block_end_classification() {
+        let jmpl = Instr::Jmpl {
+            rd: crate::regs::G0,
+            rs1: Reg::o(7),
+            op2: Operand::Imm(8),
+        };
+        let ticc = Instr::Ticc {
+            cond: crate::cond::ICond::A,
+            rs1: crate::regs::G0,
+            op2: Operand::Imm(0),
+        };
+        assert!(jmpl.is_cti() && jmpl.ends_block());
+        // `t<cond>` ends a block but is not a CTI (no delay slot).
+        assert!(!ticc.is_cti() && ticc.ends_block());
+        assert!(!Instr::NOP.ends_block());
+        assert!(!Instr::Unimp { const22: 0 }.ends_block());
+    }
+
+    #[test]
+    fn static_targets() {
+        let b = Instr::Branch {
+            cond: crate::cond::ICond::E,
+            annul: false,
+            disp22: -2,
+        };
+        assert_eq!(b.static_target(0x100), Some(0xf8));
+        assert_eq!(Instr::Call { disp30: 3 }.static_target(0x100), Some(0x10c));
+        let jmpl = Instr::Jmpl {
+            rd: crate::regs::G0,
+            rs1: Reg::o(7),
+            op2: Operand::Imm(8),
+        };
+        assert_eq!(jmpl.static_target(0x100), None);
+        assert_eq!(Instr::NOP.static_target(0x100), None);
     }
 }

@@ -203,6 +203,171 @@ pub fn test_sequence(scene: Scene, width: usize, height: usize, frames: usize) -
     out
 }
 
+/// Shape of a [`random_program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramShape {
+    /// ALU and memory instructions only, ending in a clean `ta 0`
+    /// exit: every instruction is block-batchable, so this shape
+    /// stresses the straight-line accounting path.
+    StraightLine,
+    /// Conditional, annulled, and unconditional branches (forward and
+    /// backward) mixed into the body. Programs may loop forever or run
+    /// off the end of the image — callers compare behaviour under an
+    /// instruction budget, not to completion.
+    Branchy,
+    /// Branchy, but the image *ends* with a CTI whose delay slot is
+    /// the very last word: the edge case where batched execution must
+    /// hand over to the step path exactly at the image boundary.
+    CtiTail,
+}
+
+/// Generates a deterministic pseudo-random SPARC V8 program of roughly
+/// `body` instructions for differential testing of simulator execution
+/// modes (stepped vs block-batched accounting must agree bit-exactly
+/// on any program, so the generator favours coverage over sense:
+/// integer ALU traffic with and without condition codes, aligned
+/// loads/stores of every size — including doubleword pairs — to a
+/// scratch window, and, per [`ProgramShape`], branches to arbitrary
+/// body labels). Returns the assembled words; load at
+/// [`nfp_sim::RAM_BASE`].
+pub fn random_program(body: usize, seed: u64, shape: ProgramShape) -> Vec<u32> {
+    use nfp_sparc::asm::Assembler;
+    use nfp_sparc::cond::ICond;
+    use nfp_sparc::{AluOp, MemSize, Operand, Reg};
+
+    let base = 0x4000_0000u32; // nfp_sim::RAM_BASE, kept literal to
+                               // avoid a dependency cycle in docs
+    let scratch = base + 0x1_0000;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x6c62_272e).wrapping_add(3));
+    let mut a = Assembler::new(base);
+
+    // Registers the program may clobber: locals, %g1-%g3, %o0-%o3.
+    let pool: Vec<Reg> = (0..8)
+        .map(Reg::l)
+        .chain((1..4).map(Reg::g))
+        .chain((0..4).map(Reg::o))
+        .collect();
+    let reg = |rng: &mut StdRng| pool[rng.gen_range(0usize..pool.len())];
+
+    // Prologue: scratch window base and a few seeded values.
+    a.set32(scratch, Reg::l(7));
+    for i in 0..4 {
+        a.mov(rng.gen_range(-512i32..512), Reg::l(i));
+    }
+
+    const ALU_OPS: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::AddCc,
+        AluOp::Sub,
+        AluOp::SubCc,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::SMul,
+    ];
+    const CONDS: [ICond; 6] = [
+        ICond::E,
+        ICond::Ne,
+        ICond::L,
+        ICond::Le,
+        ICond::Cs,
+        ICond::A,
+    ];
+
+    let branchy = shape != ProgramShape::StraightLine;
+    let mut k = 0usize;
+    while k < body {
+        a.label(&format!("b{k}"));
+        let roll = rng.gen_range(0u32..10);
+        match roll {
+            // Branch plus its delay slot (two body slots).
+            0 | 1 if branchy && k + 1 < body => {
+                let cond = CONDS[rng.gen_range(0usize..CONDS.len())];
+                let target = format!("b{}", rng.gen_range(0usize..body));
+                if rng.gen_range(0u32..4) == 0 {
+                    a.b_a(cond, &target);
+                } else {
+                    a.b(cond, &target);
+                }
+                // Delay slot: simple ALU so annulment has a visible
+                // architectural effect to diverge on. Other branches
+                // may target the slot directly (label emitted here, as
+                // every index in `0..body` must resolve).
+                a.label(&format!("b{}", k + 1));
+                let (rd, rs1) = (reg(&mut rng), reg(&mut rng));
+                a.alu(AluOp::Add, rs1, rng.gen_range(-32i32..32), rd);
+                k += 2;
+                continue;
+            }
+            2 | 3 => {
+                // Aligned load from the scratch window.
+                let (size, align) = match rng.gen_range(0u32..4) {
+                    0 => (MemSize::Byte, 1u32),
+                    1 => (MemSize::Half, 2),
+                    2 => (MemSize::Word, 4),
+                    _ => (MemSize::Double, 8),
+                };
+                let off = rng.gen_range(0u32..(256 / align)) * align;
+                let rd = if size == MemSize::Double {
+                    // Even destination so the pair is architecturally
+                    // legal; the odd-rd trap is covered by unit tests.
+                    Reg::l((rng.gen_range(0u32..3) * 2) as u8)
+                } else {
+                    reg(&mut rng)
+                };
+                let signed = size != MemSize::Double && rng.gen_range(0u32..2) == 0;
+                a.ld(size, signed, Reg::l(7), off as i32, rd);
+            }
+            4 | 5 => {
+                // Aligned store to the scratch window.
+                let (size, align) = match rng.gen_range(0u32..4) {
+                    0 => (MemSize::Byte, 1u32),
+                    1 => (MemSize::Half, 2),
+                    2 => (MemSize::Word, 4),
+                    _ => (MemSize::Double, 8),
+                };
+                let off = rng.gen_range(0u32..(256 / align)) * align;
+                let rd = if size == MemSize::Double {
+                    Reg::l((rng.gen_range(0u32..3) * 2) as u8)
+                } else {
+                    reg(&mut rng)
+                };
+                a.st(size, rd, Reg::l(7), off as i32);
+            }
+            _ => {
+                let op = ALU_OPS[rng.gen_range(0usize..ALU_OPS.len())];
+                let (rd, rs1) = (reg(&mut rng), reg(&mut rng));
+                if rng.gen_range(0u32..3) == 0 {
+                    a.alu(op, rs1, Operand::Reg(reg(&mut rng)), rd);
+                } else {
+                    a.alu(op, rs1, rng.gen_range(-64i32..64), rd);
+                }
+            }
+        }
+        k += 1;
+    }
+
+    match shape {
+        ProgramShape::CtiTail => {
+            // The image's final word is the delay slot of this branch.
+            let cond = CONDS[rng.gen_range(0usize..CONDS.len())];
+            let target = format!("b{}", rng.gen_range(0usize..body.max(1)));
+            a.label(&format!("b{k}"));
+            a.b(cond, &target);
+            a.alu(AluOp::Add, Reg::l(0), 1, Reg::l(0));
+        }
+        _ => {
+            a.label(&format!("b{k}"));
+            a.mov(0, Reg::o(0));
+            a.ta(0);
+            a.nop();
+        }
+    }
+    a.finish().expect("generated program assembles")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +409,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn random_programs_are_deterministic_and_assemble() {
+        for shape in [
+            ProgramShape::StraightLine,
+            ProgramShape::Branchy,
+            ProgramShape::CtiTail,
+        ] {
+            let a = random_program(40, 11, shape);
+            let b = random_program(40, 11, shape);
+            assert_eq!(a, b, "{shape:?} must be deterministic");
+            assert!(!a.is_empty());
+            assert_ne!(a, random_program(40, 12, shape), "{shape:?} seed varies");
+        }
+    }
+
+    #[test]
+    fn cti_tail_ends_with_branch_and_delay_slot() {
+        let words = random_program(20, 3, ProgramShape::CtiTail);
+        let penult = nfp_sparc::decode(words[words.len() - 2]);
+        assert!(penult.is_cti(), "penultimate word must be the CTI");
+        let last = nfp_sparc::decode(words[words.len() - 1]);
+        assert!(!last.ends_block(), "last word is the delay slot");
     }
 
     #[test]

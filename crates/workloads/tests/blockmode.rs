@@ -1,0 +1,125 @@
+//! Differential validation of block-batched NFP accounting: on real
+//! workload kernels and on randomly generated SPARC programs, the
+//! simulator's block mode must be bit-identical to per-instruction
+//! stepping — category counters, dynamic instruction count, exit
+//! status, CPU registers, and RAM contents.
+
+use nfp_cc::FloatMode;
+use nfp_sim::machine::TrapPolicy;
+use nfp_sim::{Machine, RAM_BASE};
+use nfp_workloads::synth::{random_program, ProgramShape};
+use nfp_workloads::{fse_kernels, hevc_kernels, machine_for, Preset, KERNEL_BUDGET};
+use proptest::prelude::*;
+
+/// Runs `m` under `budget` and folds everything observable about the
+/// final machine state into a comparable tuple. Errors (traps, budget
+/// exhaustion) are part of the observation: both modes must fail the
+/// same way at the same instant.
+fn observe(mut m: Machine, block: bool, budget: u64) -> (String, u64, String, String, String) {
+    m.set_block_mode(block);
+    let res = m.run(budget);
+    (
+        format!("{res:?}"),
+        m.instret(),
+        format!("{:?}", m.counts()),
+        format!("{:?}", m.cpu),
+        format!("{:?}", m.bus.snapshot_ram()),
+    )
+}
+
+fn assert_kernel_modes_agree(kernel: &nfp_workloads::Kernel, mode: FloatMode) {
+    let stepped = observe(machine_for(kernel, mode), false, KERNEL_BUDGET);
+    let batched = observe(machine_for(kernel, mode), true, KERNEL_BUDGET);
+    assert_eq!(
+        stepped.0, batched.0,
+        "{} [{mode:?}]: run result diverged",
+        kernel.name
+    );
+    assert_eq!(
+        stepped.1, batched.1,
+        "{} [{mode:?}]: instret diverged",
+        kernel.name
+    );
+    assert_eq!(
+        stepped.2, batched.2,
+        "{} [{mode:?}]: category counts diverged",
+        kernel.name
+    );
+    assert_eq!(
+        stepped.3, batched.3,
+        "{} [{mode:?}]: CPU state diverged",
+        kernel.name
+    );
+    assert_eq!(
+        stepped.4, batched.4,
+        "{} [{mode:?}]: RAM diverged",
+        kernel.name
+    );
+}
+
+#[test]
+fn fse_kernel_is_bit_identical_across_modes() {
+    let kernels = fse_kernels(&Preset::quick());
+    for mode in [FloatMode::Hard, FloatMode::Soft] {
+        assert_kernel_modes_agree(&kernels[0], mode);
+    }
+}
+
+#[test]
+fn hevc_kernel_is_bit_identical_across_modes() {
+    let kernels = hevc_kernels(&Preset::quick());
+    assert_kernel_modes_agree(&kernels[0], FloatMode::Hard);
+}
+
+fn boot_synthetic(words: &[u32], policy: TrapPolicy) -> Machine {
+    let mut m = Machine::boot(words);
+    m.set_trap_policy(policy);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random straight-line programs: every instruction is batchable,
+    /// so this pins the pure block-accounting path (including the
+    /// doubleword memory traffic the generator emits).
+    #[test]
+    fn straight_line_programs_agree(body in 4usize..120, seed in 0u64..10_000) {
+        let words = random_program(body, seed, ProgramShape::StraightLine);
+        let a = observe(boot_synthetic(&words, TrapPolicy::Abort), false, 5_000);
+        let b = observe(boot_synthetic(&words, TrapPolicy::Abort), true, 5_000);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Random branchy programs under both trap policies: annulled
+    /// delay slots, loops that exhaust the budget mid-block, and falls
+    /// off the image edge must all replay identically.
+    #[test]
+    fn branchy_programs_agree(body in 4usize..120, seed in 0u64..10_000, recover in 0u32..2) {
+        let policy = if recover == 1 { TrapPolicy::Recover } else { TrapPolicy::Abort };
+        let words = random_program(body, seed, ProgramShape::Branchy);
+        let a = observe(boot_synthetic(&words, policy), false, 5_000);
+        let b = observe(boot_synthetic(&words, policy), true, 5_000);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Programs whose final image word is the delay slot of a CTI: the
+    /// batcher must hand over to the step path exactly at the image
+    /// boundary rather than running past it.
+    #[test]
+    fn cti_tail_programs_agree(body in 2usize..60, seed in 0u64..10_000) {
+        let words = random_program(body, seed, ProgramShape::CtiTail);
+        let a = observe(boot_synthetic(&words, TrapPolicy::Abort), false, 5_000);
+        let b = observe(boot_synthetic(&words, TrapPolicy::Abort), true, 5_000);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// The generator shapes must actually reach RAM_BASE-relative code
+/// (guards the literal the generator uses against drift).
+#[test]
+fn generator_base_matches_simulator_ram_base() {
+    let words = random_program(4, 0, ProgramShape::StraightLine);
+    let m = Machine::boot(&words);
+    assert_eq!(m.code_base(), RAM_BASE);
+}
