@@ -14,6 +14,7 @@
 //! artifact).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nfp_bench::{run_supervised, CampaignConfig, Mode, SupervisorConfig};
 use nfp_cc::FloatMode;
 use nfp_sim::{Machine, MachineConfig};
 use nfp_testbed::{HwModel, HwObserver};
@@ -89,8 +90,28 @@ fn time_mode(kernel: &Kernel, block: bool, reps: usize) -> (f64, u64) {
     (times[reps / 2], instret)
 }
 
-/// Step-vs-block measurement on the FSE kernel; prints both rates and
-/// writes `BENCH_sim.json` for the CI artifact.
+/// Median-of-N wall time of a 200-injection supervised campaign with
+/// the write-ahead journal on or off — the cost of the crash-safety
+/// layer itself.
+fn time_supervised(kernel: &Kernel, journal: Option<&std::path::Path>, reps: usize) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut cfg = SupervisorConfig::new(CampaignConfig {
+            injections: 200,
+            ..CampaignConfig::default()
+        });
+        cfg.journal = journal.map(std::path::Path::to_path_buf);
+        let start = Instant::now();
+        run_supervised(kernel, Mode::Float, &cfg).expect("supervised campaign");
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[reps / 2]
+}
+
+/// Step-vs-block measurement plus supervisor journal overhead on the
+/// FSE kernel; prints the rates and writes `BENCH_sim.json` for the CI
+/// artifact.
 fn bench_block_batching(_c: &mut Criterion) {
     let kernel = fse_kernels(&Preset::quick()).into_iter().next().unwrap();
     let reps = 5;
@@ -114,14 +135,48 @@ fn bench_block_batching(_c: &mut Criterion) {
     );
     println!("block_batching speedup: {speedup:.2}x on {}", kernel.name);
 
+    // Supervisor overhead: the same campaign with the write-ahead
+    // journal on and off, so the robustness layer's cost stays visible.
+    let journal_path = std::env::temp_dir().join("nfp_sim_speed_journal.jsonl");
+    let nojournal_s = time_supervised(&kernel, None, 3);
+    let journal_s = time_supervised(&kernel, Some(&journal_path), 3);
+    let _ = std::fs::remove_file(&journal_path);
+    let journal_overhead = journal_s / nojournal_s;
+    println!(
+        "{:<40} {:>12.3} ms/iter",
+        "supervisor/no_journal",
+        nojournal_s * 1e3
+    );
+    println!(
+        "{:<40} {:>12.3} ms/iter",
+        "supervisor/journal",
+        journal_s * 1e3
+    );
+    println!(
+        "supervisor journal overhead: {journal_overhead:.3}x on {}",
+        kernel.name
+    );
+
     // Hand-rolled JSON: the workspace has no serde, and the schema is
-    // five scalars.
+    // a handful of scalars.
     let json = format!(
         "{{\n  \"kernel\": \"{}\",\n  \"instret\": {},\n  \
          \"step_seconds\": {:.6},\n  \"block_seconds\": {:.6},\n  \
          \"step_mips\": {:.1},\n  \"block_mips\": {:.1},\n  \
-         \"speedup\": {:.3}\n}}\n",
-        kernel.name, instret, step_s, block_s, step_mips, block_mips, speedup
+         \"speedup\": {:.3},\n  \
+         \"supervised_nojournal_seconds\": {:.6},\n  \
+         \"supervised_journal_seconds\": {:.6},\n  \
+         \"journal_overhead\": {:.3}\n}}\n",
+        kernel.name,
+        instret,
+        step_s,
+        block_s,
+        step_mips,
+        block_mips,
+        speedup,
+        nojournal_s,
+        journal_s,
+        journal_overhead
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     std::fs::write(path, json).expect("write BENCH_sim.json");

@@ -12,13 +12,42 @@
 //! repro all                    # everything above (campaign excluded: opt-in)
 //! repro all --quick            # reduced workload sizes (fast smoke run)
 //! ```
+//!
+//! Campaign flags (crash safety — see DESIGN.md §10):
+//!
+//! ```text
+//! repro campaign --journal j.jsonl     # write-ahead journal every injection
+//! repro campaign --resume j.jsonl      # skip completed injections, continue
+//! repro campaign --injections 400      # override the plan size
+//! repro campaign --kernel fse          # only showcase kernels matching 'fse'
+//! ```
+//!
+//! Every failure exits nonzero with a message naming the stage that
+//! failed; a panic in this binary is a bug.
 
 use nfp_bench::{
     report_ablation_calibration, report_ablation_categories, report_campaign, report_fig1,
-    report_fig4, report_table1, report_table3, report_table4, run_campaign_parallel,
-    CampaignConfig, Evaluation, KernelResult, Mode,
+    report_fig4, report_table1, report_table3, report_table4, run_supervised, CampaignConfig,
+    Evaluation, KernelResult, Mode, SupervisorConfig,
 };
 use nfp_workloads::{all_kernels, fse_kernels, hevc_kernels, Kernel, Preset};
+use std::path::PathBuf;
+
+/// Reports a failed stage and exits nonzero. The stage name is the
+/// user's breadcrumb: it says *which* part of the reproduction died
+/// without needing a backtrace.
+fn fail(stage: &str, detail: impl std::fmt::Display) -> ! {
+    eprintln!("repro: {stage} failed: {detail}");
+    std::process::exit(1);
+}
+
+/// The value following a `--flag`, if present.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
 
 fn preset_from_args(args: &[String]) -> Preset {
     if args.iter().any(|a| a == "--quick") {
@@ -31,11 +60,19 @@ fn preset_from_args(args: &[String]) -> Preset {
 fn showcase_kernels(preset: &Preset) -> Vec<Kernel> {
     // Fig. 4's four representative cases: one FSE kernel and one HEVC
     // kernel, each in float and fixed variants.
-    let fse = fse_kernels(preset).into_iter().next().expect("fse kernels");
+    let fse = fse_kernels(preset)
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| fail("kernel selection", "preset contains no FSE kernels"));
     let hevc = hevc_kernels(preset)
         .into_iter()
         .find(|k| k.name.contains("movobj_lowdelay_qp32"))
-        .expect("representative hevc kernel");
+        .unwrap_or_else(|| {
+            fail(
+                "kernel selection",
+                "preset lacks the representative hevc kernel movobj_lowdelay_qp32",
+            )
+        });
     vec![fse, hevc]
 }
 
@@ -47,7 +84,80 @@ fn run_results(eval: &Evaluation, kernels: &[Kernel]) -> Vec<KernelResult> {
             .map(|n| n.get())
             .unwrap_or(1)
     );
-    eval.run_all_parallel(kernels).expect("kernel sweep")
+    eval.run_all_parallel(kernels)
+        .unwrap_or_else(|e| fail("kernel sweep", e))
+}
+
+/// The `campaign` subcommand: a supervised (journaled, panic-isolated)
+/// SEU campaign over the showcase kernels. Opt-in only — it replays
+/// millions of instructions per injection.
+fn run_campaign_command(args: &[String], preset: &Preset) {
+    let mut campaign = CampaignConfig::default();
+    if let Some(n) = flag_value(args, "--injections") {
+        campaign.injections = n.parse().unwrap_or_else(|_| {
+            fail(
+                "argument parsing",
+                format!("--injections wants a count, got '{n}'"),
+            )
+        });
+    }
+    let mut sup = SupervisorConfig::new(campaign);
+    sup.journal = flag_value(args, "--journal").map(PathBuf::from);
+    if let Some(path) = flag_value(args, "--resume") {
+        if sup.journal.is_some() {
+            fail(
+                "argument parsing",
+                "--journal and --resume are mutually exclusive \
+                 (--resume appends to the journal it resumes from)",
+            );
+        }
+        sup.journal = Some(PathBuf::from(path));
+        sup.resume = true;
+    }
+
+    let mut kernels = showcase_kernels(preset);
+    if let Some(filter) = flag_value(args, "--kernel") {
+        kernels.retain(|k| k.name.contains(filter));
+        if kernels.is_empty() {
+            fail(
+                "kernel selection",
+                format!("no showcase kernel matches '{filter}'"),
+            );
+        }
+    }
+
+    // A journal binds to exactly one kernel+mode, so a multi-kernel
+    // sweep derives one journal per kernel from the given path.
+    let base_journal = sup.journal.clone();
+    for kernel in &kernels {
+        sup.journal = base_journal.as_ref().map(|p| {
+            if kernels.len() == 1 {
+                p.clone()
+            } else {
+                p.with_extension(format!("{}.jsonl", kernel.name))
+            }
+        });
+        eprintln!(
+            "  injecting {} faults into {}...",
+            sup.campaign.injections, kernel.name
+        );
+        let outcome = run_supervised(kernel, Mode::Float, &sup)
+            .unwrap_or_else(|e| fail(&format!("campaign ({})", kernel.name), e));
+        if outcome.resumed > 0 {
+            eprintln!(
+                "  resumed {} completed injections from the journal, replayed {}",
+                outcome.resumed,
+                outcome.completed - outcome.resumed
+            );
+        }
+        for q in &outcome.quarantined {
+            eprintln!(
+                "  quarantined injection {} ({}): {}",
+                q.index, q.fault, q.panic
+            );
+        }
+        println!("{}", report_campaign(&outcome.result));
+    }
 }
 
 fn main() {
@@ -55,8 +165,15 @@ fn main() {
     let command = args.first().map(String::as_str).unwrap_or("all");
     let preset = preset_from_args(&args);
 
+    // The campaign needs no calibration; it is also the long-running
+    // mode where crash-safety flags apply, so it gets its own path.
+    if command == "campaign" {
+        run_campaign_command(&args, &preset);
+        return;
+    }
+
     eprintln!("calibrating the cost model (Table II differential kernels)...");
-    let eval = Evaluation::new().expect("calibration");
+    let eval = Evaluation::new().unwrap_or_else(|e| fail("calibration", e));
 
     let mut ran_any = false;
     let want = |name: &str| command == name || command == "all";
@@ -92,8 +209,10 @@ fn main() {
     if want("fig1") {
         ran_any = true;
         let kernels = hevc_kernels(&preset);
-        let kernel = &kernels[0];
-        let (text, _) = report_fig1(&eval, kernel).expect("fig1");
+        let kernel = kernels
+            .first()
+            .unwrap_or_else(|| fail("kernel selection", "preset contains no HEVC kernels"));
+        let (text, _) = report_fig1(&eval, kernel).unwrap_or_else(|e| fail("fig1", e));
         println!("{text}");
     }
     if want("ablation-categories") {
@@ -103,12 +222,14 @@ fn main() {
         let mut subset = Vec::new();
         subset.extend(hevc_kernels(&preset).into_iter().take(3));
         subset.extend(fse_kernels(&preset).into_iter().take(2));
-        let text = report_ablation_categories(&eval, &subset).expect("ablation");
+        let text = report_ablation_categories(&eval, &subset)
+            .unwrap_or_else(|e| fail("ablation-categories", e));
         println!("{text}");
     }
     if want("ablation-calibration") {
         ran_any = true;
-        let text = report_ablation_calibration(&eval.testbed).expect("ablation");
+        let text = report_ablation_calibration(&eval.testbed)
+            .unwrap_or_else(|e| fail("ablation-calibration", e));
         println!("{text}");
     }
     if want("cache") {
@@ -116,22 +237,9 @@ fn main() {
         let mut subset = Vec::new();
         subset.extend(hevc_kernels(&preset).into_iter().take(3));
         subset.extend(fse_kernels(&preset).into_iter().take(1));
-        let text = nfp_bench::report_cache_extension(&subset).expect("cache extension");
+        let text = nfp_bench::report_cache_extension(&subset)
+            .unwrap_or_else(|e| fail("cache extension", e));
         println!("{text}");
-    }
-    // Opt-in only (not part of `all`): a campaign over the paper-size
-    // kernels replays millions of instructions per injection.
-    if command == "campaign" {
-        ran_any = true;
-        let cfg = CampaignConfig::default();
-        for kernel in &showcase_kernels(&preset) {
-            eprintln!(
-                "  injecting {} faults into {}...",
-                cfg.injections, kernel.name
-            );
-            let result = run_campaign_parallel(kernel, Mode::Float, &cfg).expect("campaign");
-            println!("{}", report_campaign(&result));
-        }
     }
     if !ran_any {
         eprintln!(

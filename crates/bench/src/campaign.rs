@@ -28,7 +28,7 @@ use crate::evaluation::Mode;
 use nfp_core::{NfpError, Outcome, VulnerabilityReport};
 use nfp_sim::fault::{inject, plan, undo};
 use nfp_sim::machine::TrapPolicy;
-use nfp_sim::{Checkpoint, Fault, FaultSpace, FaultTarget, Machine, SimError, Watchdog};
+use nfp_sim::{Checkpoint, Fault, FaultSpace, FaultTarget, Machine, RunResult, SimError, Watchdog};
 use nfp_sparc::Category;
 use nfp_workloads::{machine_for, Kernel, KERNEL_BUDGET};
 use std::time::Duration;
@@ -51,6 +51,14 @@ pub struct CampaignConfig {
     /// regression test asserts it); this exists to measure the
     /// batching speedup and to isolate suspected batching bugs.
     pub step_mode: bool,
+    /// Watchdog escalation factor. A replay first runs under the soft
+    /// instruction budget (`2·golden + 10000` minus the injection
+    /// point); if that expires, the watchdog escalates once, granting
+    /// `escalation − 1` further soft budgets before classifying the
+    /// replay as [`Outcome::Hang`]. `1` disables escalation and
+    /// restores the old single hard cutoff. Wall-clock expiry never
+    /// escalates: a deadline is a deadline.
+    pub escalation: u32,
 }
 
 impl Default for CampaignConfig {
@@ -61,12 +69,13 @@ impl Default for CampaignConfig {
             checkpoints: 16,
             wall: None,
             step_mode: false,
+            escalation: 2,
         }
     }
 }
 
 /// One injection and its classified outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InjectionRecord {
     /// What was flipped, and when.
     pub fault: Fault,
@@ -110,13 +119,16 @@ struct GoldenOutput {
 
 /// A campaign-ready machine: positioned at reset, recovery enabled,
 /// with its checkpoint ladder and the golden reference attached.
-struct CampaignRig {
-    machine: Machine,
+/// `pub(crate)` so the [`crate::supervisor`] worker pool can replay
+/// individual plan entries and sabotage replays for its test hooks.
+pub(crate) struct CampaignRig {
+    pub(crate) machine: Machine,
     checkpoints: Vec<Checkpoint>,
     golden: GoldenOutput,
-    golden_instret: u64,
+    pub(crate) golden_instret: u64,
     golden_recovered_traps: u64,
-    budget: u64,
+    pub(crate) budget: u64,
+    escalation: u32,
 }
 
 /// Merges possibly-overlapping address ranges into a sorted disjoint
@@ -144,7 +156,7 @@ impl CampaignRig {
     /// Runs the golden pass and builds the checkpoint ladder. Returns
     /// the rig plus the fault space learned from the golden run (code
     /// extent and every RAM range the kernel loads or touches).
-    fn prepare(
+    pub(crate) fn prepare(
         kernel: &Kernel,
         mode: Mode,
         cfg: &CampaignConfig,
@@ -192,16 +204,18 @@ impl CampaignRig {
             },
             golden_instret,
             golden_recovered_traps: run.recovered_traps,
-            // Absolute replay ceiling: twice the golden length plus
-            // slack, per the campaign contract.
+            // Soft replay ceiling: twice the golden length plus
+            // slack. The watchdog may escalate past it once (see
+            // [`CampaignConfig::escalation`]) before declaring a hang.
             budget: 2 * golden_instret + 10_000,
+            escalation: cfg.escalation.max(1),
         };
         Ok((rig, space))
     }
 
     /// Rewinds to the nearest checkpoint at or before `at` and replays
     /// up to it.
-    fn seek(&mut self, at: u64) -> Result<(), NfpError> {
+    pub(crate) fn seek(&mut self, at: u64) -> Result<(), NfpError> {
         let cp = self
             .checkpoints
             .iter()
@@ -215,8 +229,40 @@ impl CampaignRig {
         Ok(())
     }
 
+    /// Runs the fault-injected machine under the escalating watchdog:
+    /// one soft instruction budget, then (if the soft budget — not a
+    /// wall deadline — expired) up to `escalation − 1` more, then
+    /// expiry stands and the replay is a hang. The wall deadline spans
+    /// the *whole* escalating run, not one tier: escalation grants a
+    /// hung replay more instructions, never more time.
+    pub(crate) fn run_escalating(
+        &mut self,
+        soft: u64,
+        wall: Option<Duration>,
+    ) -> Result<RunResult, SimError> {
+        let deadline = wall.map(|d| std::time::Instant::now() + d);
+        let mut tier = 0;
+        loop {
+            let before = self.machine.instret();
+            let run = self.machine.run_watchdog(&Watchdog {
+                max_instrs: soft,
+                wall: deadline.map(|d| d.saturating_duration_since(std::time::Instant::now())),
+            });
+            tier += 1;
+            match run {
+                Err(SimError::WatchdogExpired { .. })
+                    // Wall expiry retires fewer than `soft` instructions;
+                    // escalating would hand a hung replay a fresh
+                    // deadline, so only budget expiry escalates.
+                    if tier < self.escalation
+                        && self.machine.instret().wrapping_sub(before) >= soft => {}
+                other => return other,
+            }
+        }
+    }
+
     /// Performs one injection and classifies the divergence.
-    fn run_one(
+    pub(crate) fn run_one(
         &mut self,
         fault: &Fault,
         wall: Option<Duration>,
@@ -229,11 +275,8 @@ impl CampaignRig {
             _ => self.machine.next_category(),
         };
         let armed = inject(&mut self.machine, fault)?;
-        let wd = Watchdog {
-            max_instrs: self.budget.saturating_sub(fault.at),
-            wall,
-        };
-        let run = self.machine.run_watchdog(&wd);
+        let soft = self.budget.saturating_sub(fault.at).max(1);
+        let run = self.run_escalating(soft, wall);
         undo(&mut self.machine, &armed)?;
         let outcome = match run {
             Ok(r) => {
@@ -310,19 +353,24 @@ pub fn run_campaign_parallel(
     });
 
     let mut records = Vec::with_capacity(faults.len());
-    for slot in slots {
+    for (i, slot) in slots.into_iter().enumerate() {
         let chunk = slot
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .ok_or(NfpError::Empty {
-                what: "campaign worker slot",
+            .ok_or_else(|| NfpError::WorkerLost {
+                job: format!(
+                    "campaign chunk {i} of {}_{} ({} injections)",
+                    kernel.name,
+                    mode.suffix(),
+                    chunks.get(i).map_or(0, |c| c.len())
+                ),
             })??;
         records.extend(chunk);
     }
     Ok(assemble(kernel, mode, &rig, records))
 }
 
-fn assemble(
+pub(crate) fn assemble(
     kernel: &Kernel,
     mode: Mode,
     rig: &CampaignRig,

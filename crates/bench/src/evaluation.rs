@@ -161,6 +161,10 @@ impl Evaluation {
             .enumerate()
             .map(|(i, (k, m))| (i, k, m))
             .collect();
+        let names: Vec<String> = jobs
+            .iter()
+            .map(|&(_, k, m)| format!("{}_{}", k.name, m.suffix()))
+            .collect();
         let slots: Vec<Mutex<Option<Result<KernelResult, NfpError>>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
@@ -182,17 +186,27 @@ impl Evaluation {
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .ok_or(NfpError::Empty {
-                        what: "parallel result slot",
-                    })?
-            })
-            .collect()
+        collect_parallel_slots(slots, &names)
     }
+}
+
+/// Drains the per-job result slots of [`Evaluation::run_all_parallel`].
+/// A slot its worker never filled (the worker died or exited early)
+/// reports [`NfpError::WorkerLost`] naming the kernel variant, so an
+/// operator knows exactly which job to rerun.
+fn collect_parallel_slots(
+    slots: Vec<std::sync::Mutex<Option<Result<KernelResult, NfpError>>>>,
+    names: &[String],
+) -> Result<Vec<KernelResult>, NfpError> {
+    slots
+        .into_iter()
+        .zip(names)
+        .map(|(slot, name)| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .ok_or_else(|| NfpError::WorkerLost { job: name.clone() })?
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -221,6 +235,21 @@ mod tests {
             "energy error {:.1}%",
             r.energy_error() * 100.0
         );
+    }
+
+    #[test]
+    fn lost_parallel_slot_names_the_kernel_variant() {
+        use std::sync::Mutex;
+        let slots = vec![Mutex::new(None)];
+        let names = vec!["fse_img00_float".to_string()];
+        match collect_parallel_slots(slots, &names) {
+            Err(NfpError::WorkerLost { job }) => {
+                assert_eq!(job, "fse_img00_float");
+                let shown = NfpError::WorkerLost { job }.to_string();
+                assert!(shown.contains("fse_img00_float"), "message: {shown}");
+            }
+            other => panic!("expected WorkerLost, got {:?}", other.map(|v| v.len())),
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 pub mod campaign;
 pub mod evaluation;
 pub mod reports;
+pub mod supervisor;
 
 pub use campaign::{
     report_campaign, run_campaign, run_campaign_parallel, CampaignConfig, CampaignResult,
@@ -28,3 +29,4 @@ pub use campaign::{
 };
 pub use evaluation::{Evaluation, KernelResult, Mode};
 pub use reports::*;
+pub use supervisor::{run_supervised, QuarantineEntry, SupervisorConfig, SupervisorOutcome};

@@ -1,0 +1,981 @@
+//! Crash-safe campaign supervisor: journaled resume and panic
+//! isolation for long fault-injection campaigns.
+//!
+//! A multi-hour campaign must survive the two ways it actually dies in
+//! practice: the host kills the process (OOM, preemption, ^C) and a
+//! latent harness bug panics mid-replay. The supervisor addresses both
+//! without giving up the campaign contract that a fixed seed yields a
+//! bit-identical [`CampaignResult`]:
+//!
+//! * **Write-ahead journal** — with [`SupervisorConfig::journal`] set,
+//!   every classified injection is appended to a JSONL file and
+//!   flushed before the next record is accepted. The first line is a
+//!   header binding the journal to its campaign (kernel, mode, seed,
+//!   injection count, watchdog settings, golden instruction count), so
+//!   a stale journal from a different campaign is rejected instead of
+//!   silently corrupting a resume. All writes happen on the supervisor
+//!   thread, so the journal is never torn by concurrency; a trailing
+//!   partial line from a mid-write kill is detected and truncated on
+//!   resume.
+//! * **Resume** — [`SupervisorConfig::resume`] replays the journal,
+//!   marks its injections complete, and runs only the remainder. The
+//!   merged result is identical to an uninterrupted campaign.
+//! * **Panic isolation** — each replay runs under
+//!   [`std::panic::catch_unwind`] on its worker. A panicking replay is
+//!   retried once on a freshly prepared rig (the panicked rig may hold
+//!   a half-armed fault); a second panic quarantines the injection as
+//!   [`Outcome::HarnessFault`] with its full fault spec logged, and
+//!   the campaign carries on. Harness faults are excluded from the
+//!   vulnerability quotient — they measure the harness, not the
+//!   kernel. A worker that cannot even rebuild its rig retires, and
+//!   the remaining workers absorb its share of the plan: the pool
+//!   degrades in parallelism, never in coverage.
+//!
+//! The journal is deliberately human-greppable:
+//!
+//! ```text
+//! {"v":1,"kind":"nfp-campaign-journal","kernel":"fse_distance",...}
+//! {"i":0,"at":8317,"target":"IntReg","a":19,"b":7,"cat":2,"outcome":"masked","attempts":1}
+//! {"i":1,"at":90211,"target":"Ram","a":1090523136,"b":30,"cat":0,"outcome":"SDC","attempts":1}
+//! ```
+
+use crate::campaign::{assemble, CampaignConfig, CampaignResult, CampaignRig, InjectionRecord};
+use crate::evaluation::Mode;
+use nfp_core::{NfpError, Outcome};
+use nfp_sim::fault::plan;
+use nfp_sim::{Fault, FaultTarget, SimError};
+use nfp_sparc::Category;
+use nfp_workloads::Kernel;
+use std::io::{BufRead, Seek, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Supervisor parameters wrapping a [`CampaignConfig`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// The campaign to supervise.
+    pub campaign: CampaignConfig,
+    /// Write-ahead journal path. `None` runs without crash safety.
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal at [`SupervisorConfig::journal`]
+    /// instead of starting fresh (which truncates any existing file).
+    pub resume: bool,
+    /// Worker thread count; `None` uses available parallelism.
+    pub workers: Option<usize>,
+    /// Test hook: panic inside the replay of injection `.0` on its
+    /// first `.1` attempts (so `(i, 1)` recovers on retry and `(i, 2)`
+    /// quarantines).
+    #[doc(hidden)]
+    pub test_panic_at: Option<(usize, u32)>,
+    /// Test hook: patch an unconditional self-loop at the injection
+    /// point of this plan index so the replay genuinely hangs.
+    #[doc(hidden)]
+    pub test_spin_at: Option<usize>,
+    /// Test hook: simulate a kill after this many journal writes — the
+    /// supervisor stops accepting results, exactly as if the process
+    /// had died with a valid journal on disk.
+    #[doc(hidden)]
+    pub test_abort_after: Option<usize>,
+}
+
+impl SupervisorConfig {
+    /// A supervisor for `campaign` with journaling off and defaults
+    /// everywhere else.
+    pub fn new(campaign: CampaignConfig) -> Self {
+        SupervisorConfig {
+            campaign,
+            journal: None,
+            resume: false,
+            workers: None,
+            test_panic_at: None,
+            test_spin_at: None,
+            test_abort_after: None,
+        }
+    }
+}
+
+/// An injection whose replay panicked twice and was excluded from the
+/// vulnerability quotient.
+#[derive(Debug, Clone)]
+pub struct QuarantineEntry {
+    /// Plan index of the quarantined injection.
+    pub index: usize,
+    /// The fault whose replay panicked.
+    pub fault: Fault,
+    /// Panic payload text (or a note when loaded from a journal).
+    pub panic: String,
+}
+
+/// What a supervised campaign produced.
+#[derive(Debug)]
+pub struct SupervisorOutcome {
+    /// The assembled campaign result. For an aborted run
+    /// ([`SupervisorOutcome::aborted`]) it covers only the completed
+    /// injections.
+    pub result: CampaignResult,
+    /// Injections quarantined as [`Outcome::HarnessFault`].
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Records restored from the journal instead of replayed.
+    pub resumed: usize,
+    /// Total completed injections (equals the plan length unless the
+    /// run aborted).
+    pub completed: usize,
+    /// True when the `test_abort_after` hook simulated a kill.
+    pub aborted: bool,
+}
+
+// ---------------------------------------------------------------------
+// Hand-rolled flat JSON (the workspace deliberately has no serde).
+// ---------------------------------------------------------------------
+
+/// A value in a flat journal object: unsigned number, string, bool, or
+/// null. That is the whole grammar the journal needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Jv {
+    U(u64),
+    S(String),
+    B(bool),
+    Null,
+}
+
+/// Escapes a string for a JSON literal (quotes, backslashes, control
+/// characters — panic payloads can contain anything).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one flat JSON object line (`{"k":v,...}`) into key/value
+/// pairs. Returns `None` on any malformation — the caller decides
+/// whether that means "torn trailing line" or "corrupt journal".
+fn parse_flat(line: &str) -> Option<Vec<(String, Jv)>> {
+    let mut c = line.trim().chars().peekable();
+    let mut out = Vec::new();
+    if c.next()? != '{' {
+        return None;
+    }
+    loop {
+        match c.peek()? {
+            '}' => {
+                c.next();
+                break;
+            }
+            ',' => {
+                c.next();
+            }
+            _ => {}
+        }
+        if *c.peek()? != '"' {
+            return None;
+        }
+        let key = parse_string(&mut c)?;
+        if c.next()? != ':' {
+            return None;
+        }
+        let val = match c.peek()? {
+            '"' => Jv::S(parse_string(&mut c)?),
+            't' => parse_lit(&mut c, "true", Jv::B(true))?,
+            'f' => parse_lit(&mut c, "false", Jv::B(false))?,
+            'n' => parse_lit(&mut c, "null", Jv::Null)?,
+            d if d.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while c.peek().is_some_and(char::is_ascii_digit) {
+                    n = n
+                        .checked_mul(10)?
+                        .checked_add(c.next()? as u64 - '0' as u64)?;
+                }
+                Jv::U(n)
+            }
+            _ => return None,
+        };
+        out.push((key, val));
+    }
+    // Trailing garbage after the closing brace is a malformed line.
+    if c.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+fn parse_string(c: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+    if c.next()? != '"' {
+        return None;
+    }
+    let mut s = String::new();
+    loop {
+        match c.next()? {
+            '"' => return Some(s),
+            '\\' => match c.next()? {
+                '"' => s.push('"'),
+                '\\' => s.push('\\'),
+                'n' => s.push('\n'),
+                'r' => s.push('\r'),
+                't' => s.push('\t'),
+                'u' => {
+                    let mut v = 0u32;
+                    for _ in 0..4 {
+                        v = v * 16 + c.next()?.to_digit(16)?;
+                    }
+                    s.push(char::from_u32(v)?);
+                }
+                _ => return None,
+            },
+            ch => s.push(ch),
+        }
+    }
+}
+
+fn parse_lit(c: &mut std::iter::Peekable<std::str::Chars>, lit: &str, val: Jv) -> Option<Jv> {
+    for expect in lit.chars() {
+        if c.next()? != expect {
+            return None;
+        }
+    }
+    Some(val)
+}
+
+/// Key/value accessor over one parsed journal line.
+struct Obj(Vec<(String, Jv)>);
+
+impl Obj {
+    fn get(&self, key: &str) -> Option<&Jv> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+    fn u64(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            Jv::U(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn str(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Jv::S(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn bool(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            Jv::B(b) => Some(*b),
+            _ => None,
+        }
+    }
+    /// `Some(None)` for an explicit `null`, `Some(Some(n))` for a
+    /// number, `None` for a missing or mistyped key.
+    fn opt_u64(&self, key: &str) -> Option<Option<u64>> {
+        match self.get(key)? {
+            Jv::Null => Some(None),
+            Jv::U(n) => Some(Some(*n)),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal header and records.
+// ---------------------------------------------------------------------
+
+/// The campaign identity a journal is bound to. Every field must match
+/// for a resume to proceed.
+#[derive(Debug, Clone, PartialEq)]
+struct JournalHeader {
+    kernel: String,
+    mode: &'static str,
+    injections: u64,
+    seed: u64,
+    checkpoints: u64,
+    step_mode: bool,
+    escalation: u64,
+    wall_ms: Option<u64>,
+    golden_instret: u64,
+}
+
+impl JournalHeader {
+    fn bind(kernel: &Kernel, mode: Mode, cfg: &CampaignConfig, golden_instret: u64) -> Self {
+        JournalHeader {
+            kernel: kernel.name.to_string(),
+            mode: mode.suffix(),
+            injections: cfg.injections as u64,
+            seed: cfg.seed,
+            checkpoints: cfg.checkpoints as u64,
+            step_mode: cfg.step_mode,
+            escalation: cfg.escalation.max(1) as u64,
+            wall_ms: cfg.wall.map(|d| d.as_millis() as u64),
+            golden_instret,
+        }
+    }
+
+    fn render(&self) -> String {
+        format!(
+            concat!(
+                "{{\"v\":1,\"kind\":\"nfp-campaign-journal\",\"kernel\":\"{}\",",
+                "\"mode\":\"{}\",\"injections\":{},\"seed\":{},\"checkpoints\":{},",
+                "\"step_mode\":{},\"escalation\":{},\"wall_ms\":{},\"golden_instret\":{}}}"
+            ),
+            esc(&self.kernel),
+            self.mode,
+            self.injections,
+            self.seed,
+            self.checkpoints,
+            self.step_mode,
+            self.escalation,
+            self.wall_ms.map_or("null".to_string(), |n| n.to_string()),
+            self.golden_instret,
+        )
+    }
+
+    /// Validates a parsed header line against this campaign, naming the
+    /// first mismatching field.
+    fn check(&self, path: &str, line: &str) -> Result<(), NfpError> {
+        let corrupt = |reason: &str| NfpError::Journal {
+            path: path.to_string(),
+            reason: reason.to_string(),
+        };
+        let obj = Obj(parse_flat(line).ok_or_else(|| corrupt("missing or corrupt header line"))?);
+        if obj.str("kind") != Some("nfp-campaign-journal") {
+            return Err(corrupt("not a campaign journal (bad \"kind\")"));
+        }
+        if obj.u64("v") != Some(1) {
+            return Err(corrupt("unsupported journal version"));
+        }
+        let mismatch = |field: &'static str, journal: String, campaign: String| {
+            Err(NfpError::JournalMismatch {
+                path: path.to_string(),
+                field,
+                journal,
+                campaign,
+            })
+        };
+        macro_rules! check_field {
+            ($field:literal, $got:expr, $want:expr) => {{
+                let got = $got.ok_or_else(|| corrupt(concat!("header lacks ", $field)))?;
+                if got != $want {
+                    return mismatch($field, format!("{:?}", got), format!("{:?}", $want));
+                }
+            }};
+        }
+        check_field!("kernel", obj.str("kernel"), self.kernel.as_str());
+        check_field!("mode", obj.str("mode"), self.mode);
+        check_field!("injections", obj.u64("injections"), self.injections);
+        check_field!("seed", obj.u64("seed"), self.seed);
+        check_field!("checkpoints", obj.u64("checkpoints"), self.checkpoints);
+        check_field!("step_mode", obj.bool("step_mode"), self.step_mode);
+        check_field!("escalation", obj.u64("escalation"), self.escalation);
+        check_field!("wall_ms", obj.opt_u64("wall_ms"), self.wall_ms);
+        check_field!(
+            "golden_instret",
+            obj.u64("golden_instret"),
+            self.golden_instret
+        );
+        Ok(())
+    }
+}
+
+/// `(kind, a, b)` encoding of a fault target for the journal.
+fn target_fields(t: FaultTarget) -> (&'static str, u64, u64) {
+    match t {
+        FaultTarget::IntReg { index, bit } => ("IntReg", index as u64, bit as u64),
+        FaultTarget::FpReg { index, bit } => ("FpReg", index as u64, bit as u64),
+        FaultTarget::Icc { bit } => ("Icc", bit as u64, 0),
+        FaultTarget::YReg { bit } => ("YReg", bit as u64, 0),
+        FaultTarget::Fcc { bit } => ("Fcc", bit as u64, 0),
+        FaultTarget::Ram { addr, bit } => ("Ram", addr as u64, bit as u64),
+        FaultTarget::Code { index, bit } => ("Code", index as u64, bit as u64),
+    }
+}
+
+fn target_from_fields(kind: &str, a: u64, b: u64) -> Option<FaultTarget> {
+    Some(match kind {
+        "IntReg" => FaultTarget::IntReg {
+            index: u8::try_from(a).ok()?,
+            bit: u8::try_from(b).ok()?,
+        },
+        "FpReg" => FaultTarget::FpReg {
+            index: u8::try_from(a).ok()?,
+            bit: u8::try_from(b).ok()?,
+        },
+        "Icc" => FaultTarget::Icc {
+            bit: u8::try_from(a).ok()?,
+        },
+        "YReg" => FaultTarget::YReg {
+            bit: u8::try_from(a).ok()?,
+        },
+        "Fcc" => FaultTarget::Fcc {
+            bit: u8::try_from(a).ok()?,
+        },
+        "Ram" => FaultTarget::Ram {
+            addr: u32::try_from(a).ok()?,
+            bit: u8::try_from(b).ok()?,
+        },
+        "Code" => FaultTarget::Code {
+            index: u32::try_from(a).ok()?,
+            bit: u8::try_from(b).ok()?,
+        },
+        _ => return None,
+    })
+}
+
+fn record_line(index: usize, rec: &InjectionRecord, attempts: u32) -> String {
+    let (kind, a, b) = target_fields(rec.fault.target);
+    format!(
+        "{{\"i\":{},\"at\":{},\"target\":\"{}\",\"a\":{},\"b\":{},\"cat\":{},\"outcome\":\"{}\",\"attempts\":{}}}",
+        index,
+        rec.fault.at,
+        kind,
+        a,
+        b,
+        rec.category
+            .map_or("null".to_string(), |c| c.index().to_string()),
+        rec.outcome.name(),
+        attempts,
+    )
+}
+
+fn parse_record(line: &str) -> Option<(usize, InjectionRecord, u32)> {
+    let obj = Obj(parse_flat(line)?);
+    let index = usize::try_from(obj.u64("i")?).ok()?;
+    let fault = Fault {
+        at: obj.u64("at")?,
+        target: target_from_fields(obj.str("target")?, obj.u64("a")?, obj.u64("b")?)?,
+    };
+    let category = match obj.opt_u64("cat")? {
+        None => None,
+        Some(i) => Some(*Category::ALL.get(usize::try_from(i).ok()?)?),
+    };
+    let outcome = Outcome::from_name(obj.str("outcome")?)?;
+    let attempts = u32::try_from(obj.u64("attempts")?).ok()?;
+    Some((
+        index,
+        InjectionRecord {
+            fault,
+            category,
+            outcome,
+        },
+        attempts,
+    ))
+}
+
+/// Journal contents that survived validation: completed records by plan
+/// index, plus the byte length of the intact prefix (everything past it
+/// is a torn trailing line to truncate before appending).
+struct LoadedJournal {
+    records: Vec<(usize, InjectionRecord, u32)>,
+    intact_len: u64,
+}
+
+fn load_journal(
+    path: &Path,
+    header: &JournalHeader,
+    faults: &[Fault],
+) -> Result<LoadedJournal, NfpError> {
+    let shown = path.display().to_string();
+    let journal_err = |reason: String| NfpError::Journal {
+        path: shown.clone(),
+        reason,
+    };
+    let file = std::fs::File::open(path)
+        .map_err(|e| journal_err(format!("cannot open for resume: {e}")))?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut line = String::new();
+    let mut offset = 0u64;
+    let mut lineno = 0usize;
+    let mut records = Vec::new();
+    let mut intact_len = 0u64;
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| journal_err(format!("read failed at byte {offset}: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        offset += n as u64;
+        lineno += 1;
+        let complete = line.ends_with('\n');
+        if lineno == 1 {
+            header.check(&shown, &line)?;
+            intact_len = offset;
+            continue;
+        }
+        match parse_record(&line) {
+            Some((index, rec, attempts)) if complete => {
+                if index >= faults.len() {
+                    return Err(journal_err(format!(
+                        "record at line {lineno} indexes injection {index} of a {}-injection plan",
+                        faults.len()
+                    )));
+                }
+                if rec.fault != faults[index] {
+                    return Err(journal_err(format!(
+                        "record at line {lineno} disagrees with the fault plan for injection \
+                         {index} (journal: {}, plan: {}) — wrong seed or stale journal",
+                        rec.fault, faults[index]
+                    )));
+                }
+                records.push((index, rec, attempts));
+                intact_len = offset;
+            }
+            // An unparseable or newline-less *final* line is the torn
+            // tail of a mid-write kill: drop it and resume from the
+            // intact prefix. Anywhere else it is corruption.
+            _ => {
+                let at_eof = reader.fill_buf().map_or(true, <[u8]>::is_empty);
+                if !(at_eof && lineno > 1) {
+                    return Err(journal_err(format!("corrupt record at line {lineno}")));
+                }
+            }
+        }
+    }
+    if lineno == 0 {
+        return Err(journal_err("journal is empty (no header)".to_string()));
+    }
+    Ok(LoadedJournal {
+        records,
+        intact_len,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The supervisor itself.
+// ---------------------------------------------------------------------
+
+/// Message from a replay worker to the journaling supervisor thread.
+enum Msg {
+    Done {
+        index: usize,
+        record: InjectionRecord,
+        attempts: u32,
+        panic: Option<String>,
+    },
+    Fatal {
+        error: NfpError,
+    },
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The quarantine record for an injection whose replay panicked twice.
+/// Category attribution comes from the replay that panicked, so it is
+/// untrusted and left empty.
+fn quarantine_record(fault: Fault) -> InjectionRecord {
+    InjectionRecord {
+        fault,
+        category: None,
+        outcome: Outcome::HarnessFault,
+    }
+}
+
+/// Replays one injection with an unconditional self-loop patched over
+/// the injection point (the `test_spin_at` hook): a guaranteed genuine
+/// hang that must flow through the escalating watchdog — or the wall
+/// deadline — and classify as [`Outcome::Hang`].
+fn replay_spinning(
+    rig: &mut CampaignRig,
+    fault: &Fault,
+    wall: Option<Duration>,
+) -> Result<InjectionRecord, NfpError> {
+    rig.seek(fault.at)?;
+    let category = rig.machine.next_category();
+    let pc = rig.machine.cpu.pc;
+    let index = pc.wrapping_sub(rig.machine.code_base()) as usize / 4;
+    // `ba .` with a nop in its delay slot: a two-word self-loop.
+    let old_branch = rig.machine.patch_code_word(index, 0x1080_0000)?;
+    let old_slot = rig.machine.patch_code_word(index + 1, 0x0100_0000)?;
+    let soft = rig.budget.saturating_sub(fault.at).max(1);
+    let run = rig.run_escalating(soft, wall);
+    rig.machine.patch_code_word(index, old_branch)?;
+    rig.machine.patch_code_word(index + 1, old_slot)?;
+    let outcome = match run {
+        Err(SimError::WatchdogExpired { .. }) => Outcome::Hang,
+        Err(SimError::Trap(_)) | Err(SimError::UnknownSoftTrap { .. }) => Outcome::Trap,
+        Ok(_) => Outcome::Sdc,
+        Err(e) => return Err(e.into()),
+    };
+    Ok(InjectionRecord {
+        fault: *fault,
+        category,
+        outcome,
+    })
+}
+
+/// Runs a supervised campaign: journaling, resume, panic isolation, and
+/// graceful pool degradation around the plain deterministic campaign.
+/// Without a journal or hooks this is behaviourally
+/// [`crate::run_campaign_parallel`] with per-replay panic isolation.
+pub fn run_supervised(
+    kernel: &Kernel,
+    mode: Mode,
+    cfg: &SupervisorConfig,
+) -> Result<SupervisorOutcome, NfpError> {
+    let campaign = &cfg.campaign;
+    let (rig, space) = CampaignRig::prepare(kernel, mode, campaign)?;
+    let faults = plan(&space, campaign.injections, campaign.seed);
+    let header = JournalHeader::bind(kernel, mode, campaign, rig.golden_instret);
+
+    let mut slots: Vec<Option<(InjectionRecord, u32)>> = vec![None; faults.len()];
+    let mut quarantined = Vec::new();
+    let mut resumed = 0usize;
+
+    // Resume: replay the journal into the slot table, then truncate any
+    // torn tail so appended records start on a fresh line.
+    let mut journal_file = match (&cfg.journal, cfg.resume) {
+        (None, true) => {
+            return Err(NfpError::Journal {
+                path: "(none)".to_string(),
+                reason: "resume requested without a journal path".to_string(),
+            })
+        }
+        (None, false) => None,
+        (Some(path), resume) => {
+            let shown = path.display().to_string();
+            let io_err = |e: std::io::Error| NfpError::Journal {
+                path: shown.clone(),
+                reason: e.to_string(),
+            };
+            let mut file;
+            if resume {
+                let loaded = load_journal(path, &header, &faults)?;
+                for (index, rec, attempts) in loaded.records {
+                    if slots[index].is_none() {
+                        resumed += 1;
+                    }
+                    if rec.outcome == Outcome::HarnessFault {
+                        quarantined.push(QuarantineEntry {
+                            index,
+                            fault: rec.fault,
+                            panic: "quarantined in a previous run (restored from journal)"
+                                .to_string(),
+                        });
+                    }
+                    slots[index] = Some((rec, attempts));
+                }
+                file = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(io_err)?;
+                file.set_len(loaded.intact_len).map_err(io_err)?;
+                file.seek(std::io::SeekFrom::End(0)).map_err(io_err)?;
+            } else {
+                file = std::fs::File::create(path).map_err(io_err)?;
+                writeln!(file, "{}", header.render()).map_err(io_err)?;
+                file.flush().map_err(io_err)?;
+            }
+            Some(file)
+        }
+    };
+
+    let pending: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    let workers = cfg
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .clamp(1, pending.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<Msg>();
+
+    let mut fatal: Option<NfpError> = None;
+    let mut written = 0usize;
+    let mut aborted = false;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, stop, pending, faults) = (&next, &stop, &pending, &faults);
+            scope.spawn(move || {
+                let mut rig = match CampaignRig::prepare(kernel, mode, campaign) {
+                    Ok((r, _)) => r,
+                    Err(error) => {
+                        let _ = tx.send(Msg::Fatal { error });
+                        return;
+                    }
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    let Some(&index) = pending.get(next.fetch_add(1, Ordering::Relaxed)) else {
+                        return;
+                    };
+                    let fault = faults[index];
+                    let mut attempts = 0u32;
+                    let msg = loop {
+                        attempts += 1;
+                        let force_panic = cfg
+                            .test_panic_at
+                            .is_some_and(|(i, n)| i == index && attempts <= n);
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            if force_panic {
+                                panic!("supervisor test hook: forced panic on injection {index}");
+                            }
+                            if cfg.test_spin_at == Some(index) {
+                                replay_spinning(&mut rig, &fault, campaign.wall)
+                            } else {
+                                rig.run_one(&fault, campaign.wall)
+                            }
+                        }));
+                        match run {
+                            Ok(Ok(record)) => {
+                                break Msg::Done {
+                                    index,
+                                    record,
+                                    attempts,
+                                    panic: None,
+                                }
+                            }
+                            Ok(Err(error)) => break Msg::Fatal { error },
+                            Err(payload) => {
+                                let text = panic_text(payload);
+                                // The panicked rig may hold a half-armed
+                                // fault or a mid-seek machine: replace it
+                                // before judging whether to retry.
+                                let rebuilt = catch_unwind(AssertUnwindSafe(|| {
+                                    CampaignRig::prepare(kernel, mode, campaign)
+                                }));
+                                let retired = match rebuilt {
+                                    Ok(Ok((fresh, _))) => {
+                                        rig = fresh;
+                                        false
+                                    }
+                                    _ => true,
+                                };
+                                if attempts >= 2 || retired {
+                                    let msg = Msg::Done {
+                                        index,
+                                        record: quarantine_record(fault),
+                                        attempts,
+                                        panic: Some(text),
+                                    };
+                                    if retired {
+                                        // No rig to continue with: hand the
+                                        // quarantined record over and retire;
+                                        // the surviving workers drain the
+                                        // rest of the plan.
+                                        let _ = tx.send(msg);
+                                        return;
+                                    }
+                                    break msg;
+                                }
+                            }
+                        }
+                    };
+                    if tx.send(msg).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                Msg::Done {
+                    index,
+                    record,
+                    attempts,
+                    panic,
+                } => {
+                    if let Some(file) = journal_file.as_mut() {
+                        let line = record_line(index, &record, attempts);
+                        let io = writeln!(file, "{line}").and_then(|()| file.flush());
+                        if let Err(e) = io {
+                            fatal = Some(NfpError::Journal {
+                                path: cfg
+                                    .journal
+                                    .as_ref()
+                                    .map_or_else(String::new, |p| p.display().to_string()),
+                                reason: format!("write failed: {e}"),
+                            });
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    if let Some(text) = panic {
+                        eprintln!(
+                            "supervisor: quarantined injection {index} ({}) after {attempts} \
+                             attempts: {text}",
+                            record.fault
+                        );
+                        quarantined.push(QuarantineEntry {
+                            index,
+                            fault: record.fault,
+                            panic: text,
+                        });
+                    }
+                    slots[index] = Some((record, attempts));
+                    written += 1;
+                    if cfg.test_abort_after == Some(written) {
+                        aborted = true;
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                Msg::Fatal { error } => {
+                    fatal = Some(error);
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        // Falling out of the loop with the stop flag raised: workers
+        // exit at their next claim; the scope joins them. In-flight
+        // sends go nowhere — after an abort the journal must look
+        // exactly as a kill would have left it.
+    });
+
+    if let Some(error) = fatal {
+        return Err(error);
+    }
+
+    let completed = slots.iter().flatten().count();
+    let records: Vec<InjectionRecord> = if aborted {
+        slots.into_iter().flatten().map(|(r, _)| r).collect()
+    } else {
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.map(|(r, _)| r).ok_or_else(|| NfpError::WorkerLost {
+                    job: format!("injection {i} ({})", faults[i]),
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    Ok(SupervisorOutcome {
+        result: assemble(kernel, mode, &rig, records),
+        quarantined,
+        resumed,
+        completed,
+        aborted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_json_roundtrips_records() {
+        let rec = InjectionRecord {
+            fault: Fault {
+                at: 12345,
+                target: FaultTarget::Ram {
+                    addr: 0x4100_0040,
+                    bit: 31,
+                },
+            },
+            category: Some(Category::MemLoad),
+            outcome: Outcome::Sdc,
+        };
+        let line = record_line(7, &rec, 2);
+        let (i, parsed, attempts) = parse_record(&line).unwrap();
+        assert_eq!(i, 7);
+        assert_eq!(parsed, rec);
+        assert_eq!(attempts, 2);
+    }
+
+    #[test]
+    fn flat_json_roundtrips_every_target_kind() {
+        let targets = [
+            FaultTarget::IntReg { index: 3, bit: 9 },
+            FaultTarget::FpReg { index: 31, bit: 0 },
+            FaultTarget::Icc { bit: 2 },
+            FaultTarget::YReg { bit: 17 },
+            FaultTarget::Fcc { bit: 1 },
+            FaultTarget::Ram {
+                addr: 0xffff_fffc,
+                bit: 5,
+            },
+            FaultTarget::Code {
+                index: 999,
+                bit: 30,
+            },
+        ];
+        for (n, target) in targets.into_iter().enumerate() {
+            let rec = InjectionRecord {
+                fault: Fault {
+                    at: n as u64,
+                    target,
+                },
+                category: None,
+                outcome: Outcome::HarnessFault,
+            };
+            let (_, parsed, _) = parse_record(&record_line(n, &rec, 1)).unwrap();
+            assert_eq!(parsed, rec);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_parse_to_none() {
+        for bad in [
+            "",
+            "{",
+            "{}garbage",
+            "{\"i\":}",
+            "{\"i\":1",
+            "{\"i\":18446744073709551616}", // u64 overflow
+            "not json at all",
+            "{\"i\":1,\"at\":2,\"target\":\"Warp\",\"a\":0,\"b\":0,\"cat\":null,\"outcome\":\"SDC\",\"attempts\":1}",
+        ] {
+            assert!(parse_record(bad).is_none(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip() {
+        let nasty = "quote\" slash\\ newline\n tab\t bell\u{7}";
+        let line = format!("{{\"s\":\"{}\"}}", esc(nasty));
+        let obj = Obj(parse_flat(&line).unwrap());
+        assert_eq!(obj.str("s"), Some(nasty));
+    }
+
+    #[test]
+    fn header_mismatch_names_the_field() {
+        let header = JournalHeader {
+            kernel: "fse_distance".to_string(),
+            mode: "float",
+            injections: 100,
+            seed: 1,
+            checkpoints: 16,
+            step_mode: false,
+            escalation: 2,
+            wall_ms: None,
+            golden_instret: 5000,
+        };
+        let mut other = header.clone();
+        other.seed = 2;
+        let line = other.render();
+        match header.check("j.jsonl", &line) {
+            Err(NfpError::JournalMismatch { field, .. }) => assert_eq!(field, "seed"),
+            other => panic!("expected JournalMismatch, got {other:?}"),
+        }
+        // And an identical header passes.
+        header.check("j.jsonl", &header.render()).unwrap();
+    }
+}

@@ -72,6 +72,32 @@ pub enum NfpError {
         /// What was empty, for the message.
         what: &'static str,
     },
+    /// A parallel worker died (or exited early) without delivering the
+    /// result it owned.
+    WorkerLost {
+        /// The job the lost worker owned, e.g. `fse_img00_float` or
+        /// `injections 120..160 of fse_img00_float`.
+        job: String,
+    },
+    /// A campaign journal could not be read, written, or parsed.
+    Journal {
+        /// Journal path, for the message.
+        path: String,
+        /// What went wrong (I/O or format detail).
+        reason: String,
+    },
+    /// A campaign journal exists but was written by a different
+    /// campaign: resuming from it would silently mix results.
+    JournalMismatch {
+        /// Journal path, for the message.
+        path: String,
+        /// Which binding field disagreed (kernel, seed, ...).
+        field: &'static str,
+        /// The value recorded in the journal header.
+        journal: String,
+        /// The value the resuming campaign expects.
+        campaign: String,
+    },
 }
 
 impl fmt::Display for NfpError {
@@ -85,6 +111,25 @@ impl fmt::Display for NfpError {
                 write!(f, "kernel '{kernel}' produced wrong result words")
             }
             NfpError::Empty { what } => write!(f, "nothing to summarise: {what} is empty"),
+            NfpError::WorkerLost { job } => {
+                write!(f, "parallel worker died without delivering '{job}'")
+            }
+            NfpError::Journal { path, reason } => {
+                write!(f, "campaign journal '{path}': {reason}")
+            }
+            NfpError::JournalMismatch {
+                path,
+                field,
+                journal,
+                campaign,
+            } => {
+                write!(
+                    f,
+                    "campaign journal '{path}' belongs to a different campaign: \
+                     {field} is {journal} in the journal but {campaign} here \
+                     (delete the journal or fix the flags to resume)"
+                )
+            }
         }
     }
 }

@@ -61,6 +61,10 @@ pub enum BusFault {
     Unmapped { addr: u32 },
     /// The access is not naturally aligned for its width.
     Misaligned { addr: u32, size: u32 },
+    /// A bulk image load overlaps a segment loaded earlier; accepting
+    /// it would make checkpoint re-pristining order-dependent and is
+    /// almost always a malformed guest image.
+    ImageOverlap { addr: u32, len: u32 },
 }
 
 impl fmt::Display for BusFault {
@@ -69,6 +73,13 @@ impl fmt::Display for BusFault {
             BusFault::Unmapped { addr } => write!(f, "unmapped address 0x{addr:08x}"),
             BusFault::Misaligned { addr, size } => {
                 write!(f, "misaligned {size}-byte access at 0x{addr:08x}")
+            }
+            BusFault::ImageOverlap { addr, len } => {
+                write!(
+                    f,
+                    "image segment [0x{addr:08x}, 0x{:08x}) overlaps an earlier segment",
+                    addr.wrapping_add(*len)
+                )
             }
         }
     }
@@ -168,11 +179,15 @@ impl Bus {
         self.ram.len() as u32
     }
 
+    /// RAM offset of `addr` if the whole `size`-byte access fits in
+    /// RAM. An access that *starts* in RAM but runs past the end (a
+    /// RAM that is not a multiple of the access width, or a truncated
+    /// image) is rejected here instead of panicking on the slice.
     #[inline]
-    fn ram_index(&self, addr: u32) -> Option<usize> {
-        let off = addr.wrapping_sub(self.ram_base);
-        if (off as usize) < self.ram.len() {
-            Some(off as usize)
+    fn ram_index(&self, addr: u32, size: usize) -> Option<usize> {
+        let off = addr.wrapping_sub(self.ram_base) as usize;
+        if off < self.ram.len() && size <= self.ram.len() - off {
+            Some(off)
         } else {
             None
         }
@@ -188,11 +203,16 @@ impl Bus {
     /// is recorded as a pristine overlay, not a dirty page: it is part
     /// of the boot image that [`Bus::restore_ram`] rebuilds from.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusFault> {
-        let idx = self.ram_index(addr).ok_or(BusFault::Unmapped { addr })?;
-        if idx + bytes.len() > self.ram.len() {
-            return Err(BusFault::Unmapped {
-                addr: self.ram_base + self.ram.len() as u32,
-            });
+        let idx = self
+            .ram_index(addr, bytes.len())
+            .ok_or(BusFault::Unmapped { addr })?;
+        let len = bytes.len() as u32;
+        let overlaps = self
+            .pristine
+            .iter()
+            .any(|&(base, ref b)| addr < base.wrapping_add(b.len() as u32) && base < addr + len);
+        if len > 0 && overlaps {
+            return Err(BusFault::ImageOverlap { addr, len });
         }
         self.ram[idx..idx + bytes.len()].copy_from_slice(bytes);
         self.pristine.push((addr, bytes.to_vec()));
@@ -201,12 +221,9 @@ impl Bus {
 
     /// Bulk-reads RAM (harness use).
     pub fn read_bytes(&self, addr: u32, len: usize) -> Result<&[u8], BusFault> {
-        let idx = self.ram_index(addr).ok_or(BusFault::Unmapped { addr })?;
-        if idx + len > self.ram.len() {
-            return Err(BusFault::Unmapped {
-                addr: self.ram_base + self.ram.len() as u32,
-            });
-        }
+        let idx = self
+            .ram_index(addr, len)
+            .ok_or(BusFault::Unmapped { addr })?;
         Ok(&self.ram[idx..idx + len])
     }
 
@@ -317,7 +334,7 @@ impl Bus {
     /// 8-bit load.
     #[inline]
     pub fn load8(&mut self, addr: u32) -> Result<u8, BusFault> {
-        match self.ram_index(addr) {
+        match self.ram_index(addr, 1) {
             Some(i) => Ok(self.ram[i]),
             None => Ok(self.device_load(addr)? as u8),
         }
@@ -327,7 +344,7 @@ impl Bus {
     #[inline]
     pub fn load16(&mut self, addr: u32) -> Result<u16, BusFault> {
         Self::check_align(addr, 2)?;
-        match self.ram_index(addr) {
+        match self.ram_index(addr, 2) {
             Some(i) => Ok(u16::from_be_bytes([self.ram[i], self.ram[i + 1]])),
             None => Ok(self.device_load(addr)? as u16),
         }
@@ -337,7 +354,7 @@ impl Bus {
     #[inline]
     pub fn load32(&mut self, addr: u32) -> Result<u32, BusFault> {
         Self::check_align(addr, 4)?;
-        match self.ram_index(addr) {
+        match self.ram_index(addr, 4) {
             Some(i) => Ok(u32::from_be_bytes([
                 self.ram[i],
                 self.ram[i + 1],
@@ -354,15 +371,14 @@ impl Bus {
     #[inline]
     pub fn load64(&mut self, addr: u32) -> Result<u64, BusFault> {
         Self::check_align(addr, 8)?;
-        if let Some(i) = self.ram_index(addr) {
-            if i + 8 > self.ram.len() {
-                return Err(BusFault::Unmapped {
-                    addr: self.ram_base + self.ram.len() as u32,
-                });
-            }
+        if let Some(i) = self.ram_index(addr, 8) {
             let mut b = [0u8; 8];
             b.copy_from_slice(&self.ram[i..i + 8]);
             return Ok(u64::from_be_bytes(b));
+        }
+        if self.ram_index(addr, 1).is_some() {
+            // Starts in RAM but runs past the end: fault, never split.
+            return Err(BusFault::Unmapped { addr });
         }
         let hi = self.load32(addr)? as u64;
         let lo = self.load32(addr + 4)? as u64;
@@ -372,7 +388,7 @@ impl Bus {
     /// 8-bit store.
     #[inline]
     pub fn store8(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
-        match self.ram_index(addr) {
+        match self.ram_index(addr, 1) {
             Some(i) => {
                 self.ram[i] = value;
                 self.mark_dirty(i);
@@ -386,7 +402,7 @@ impl Bus {
     #[inline]
     pub fn store16(&mut self, addr: u32, value: u16) -> Result<(), BusFault> {
         Self::check_align(addr, 2)?;
-        match self.ram_index(addr) {
+        match self.ram_index(addr, 2) {
             Some(i) => {
                 self.ram[i..i + 2].copy_from_slice(&value.to_be_bytes());
                 self.mark_dirty(i);
@@ -400,7 +416,7 @@ impl Bus {
     #[inline]
     pub fn store32(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
         Self::check_align(addr, 4)?;
-        match self.ram_index(addr) {
+        match self.ram_index(addr, 4) {
             Some(i) => {
                 self.ram[i..i + 4].copy_from_slice(&value.to_be_bytes());
                 self.mark_dirty(i);
@@ -418,16 +434,16 @@ impl Bus {
     #[inline]
     pub fn store64(&mut self, addr: u32, value: u64) -> Result<(), BusFault> {
         Self::check_align(addr, 8)?;
-        if let Some(i) = self.ram_index(addr) {
-            if i + 8 > self.ram.len() {
-                return Err(BusFault::Unmapped {
-                    addr: self.ram_base + self.ram.len() as u32,
-                });
-            }
+        if let Some(i) = self.ram_index(addr, 8) {
             self.ram[i..i + 8].copy_from_slice(&value.to_be_bytes());
             self.mark_dirty(i);
             // An 8-aligned doubleword never crosses a page boundary.
             return Ok(());
+        }
+        if self.ram_index(addr, 1).is_some() {
+            // Starts in RAM but runs past the end: fault before any
+            // half commits (no torn store).
+            return Err(BusFault::Unmapped { addr });
         }
         self.store32(addr, (value >> 32) as u32)?;
         self.store32(addr + 4, value as u32)
@@ -578,6 +594,48 @@ mod tests {
         assert!(bus.write_bytes(0x1000_0000, &[0]).is_err());
         assert!(bus.write_bytes(RAM_BASE + 4094, &[0; 8]).is_err());
         assert!(bus.read_bytes(RAM_BASE + 4094, 8).is_err());
+    }
+
+    #[test]
+    fn overlapping_image_segments_are_rejected() {
+        let mut bus = small_bus();
+        bus.write_bytes(RAM_BASE + 64, &[1; 32]).unwrap();
+        // Disjoint on both sides is fine, including exactly adjacent.
+        bus.write_bytes(RAM_BASE + 32, &[2; 32]).unwrap();
+        bus.write_bytes(RAM_BASE + 96, &[3; 32]).unwrap();
+        // Any intersection with an earlier segment is rejected.
+        for (addr, len) in [
+            (RAM_BASE + 64, 1usize),
+            (RAM_BASE + 60, 8),
+            (RAM_BASE + 95, 2),
+        ] {
+            assert_eq!(
+                bus.write_bytes(addr, &vec![9; len]),
+                Err(BusFault::ImageOverlap {
+                    addr,
+                    len: len as u32
+                })
+            );
+        }
+        // A rejected segment must leave RAM untouched.
+        assert_eq!(bus.load8(RAM_BASE + 64).unwrap(), 1);
+    }
+
+    #[test]
+    fn ragged_ram_edge_faults_instead_of_panicking() {
+        // A RAM whose size is not a multiple of the access width used
+        // to slice out of bounds for an access that starts on the last
+        // bytes; every width must fault cleanly instead.
+        let mut bus = Bus::with_ram(RAM_BASE, 4098);
+        let last2 = RAM_BASE + 4096;
+        assert!(bus.load16(last2).is_ok());
+        assert!(bus.load32(last2).is_err());
+        assert!(bus.store32(last2, 0).is_err());
+        let mut odd = Bus::with_ram(RAM_BASE, 4097);
+        let last = RAM_BASE + 4096;
+        assert!(odd.load8(last).is_ok());
+        assert!(odd.load16(last).is_err());
+        assert!(odd.store16(last, 0).is_err());
     }
 
     #[test]

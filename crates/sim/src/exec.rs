@@ -164,6 +164,9 @@ fn fault_to_trap(pc: u32, fault: BusFault) -> Trap {
     match fault {
         BusFault::Unmapped { addr } => Trap::Unmapped { pc, addr },
         BusFault::Misaligned { addr, size } => Trap::Misaligned { pc, addr, size },
+        // CPU-initiated accesses never raise it (it is an image-load
+        // fault), but map it defensively rather than panicking.
+        BusFault::ImageOverlap { addr, .. } => Trap::Unmapped { pc, addr },
     }
 }
 

@@ -286,8 +286,19 @@ impl Machine {
     /// Loads `words` at `base`, predecodes them, sets the entry point
     /// to `base`, and initialises the stack pointer below the top of
     /// RAM. Fails with [`SimError::BadAddress`] if the image does not
-    /// fit in RAM.
+    /// fit in RAM, is not word-aligned, or overlaps a segment loaded
+    /// earlier (all reported as typed errors — a malformed image must
+    /// never panic the simulator).
     pub fn load_image(&mut self, base: u32, words: &[u32]) -> Result<(), SimError> {
+        // The fast fetch path and the block cache both derive the
+        // predecode index as (pc - base) / 4; an unaligned base would
+        // silently alias indices, so reject it up front.
+        if !base.is_multiple_of(4) {
+            return Err(SimError::BadAddress(BusFault::Misaligned {
+                addr: base,
+                size: 4,
+            }));
+        }
         let mut bytes = Vec::with_capacity(words.len() * 4);
         for w in words {
             bytes.extend_from_slice(&w.to_be_bytes());
@@ -990,6 +1001,30 @@ mod tests {
         assert!(matches!(
             m.run_until(1_000),
             Err(SimError::HaltedEarly { instret: 2 })
+        ));
+    }
+
+    #[test]
+    fn misaligned_image_base_is_rejected() {
+        let mut m = Machine::new(MachineConfig::default());
+        assert!(matches!(
+            m.load_image(RAM_BASE + 2, &[nfp_sparc::encode(Instr::NOP)]),
+            Err(SimError::BadAddress(crate::bus::BusFault::Misaligned {
+                size: 4,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn image_overlapping_earlier_segment_is_rejected() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.bus.write_bytes(RAM_BASE + 4, &[0xff; 8]).unwrap();
+        assert!(matches!(
+            m.load_image(RAM_BASE, &[0, 0, 0, 0]),
+            Err(SimError::BadAddress(
+                crate::bus::BusFault::ImageOverlap { .. }
+            ))
         ));
     }
 

@@ -10,8 +10,15 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable with the `PROPTEST_CASES` environment
+    /// variable (mirroring upstream proptest's env override, which CI
+    /// uses to run elevated-case fuzz sweeps).
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
