@@ -14,7 +14,7 @@
 //! artifact).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use nfp_bench::{run_supervised, CampaignConfig, Mode, SupervisorConfig};
+use nfp_bench::{run_supervised, CampaignConfig, Mode, SupervisorConfig, WorkerIsolation};
 use nfp_cc::FloatMode;
 use nfp_sim::{Machine, MachineConfig};
 use nfp_testbed::{HwModel, HwObserver};
@@ -22,11 +22,15 @@ use nfp_workloads::{fse_kernels, hevc_kernels, machine_for, Kernel, Preset, INPU
 use std::time::Instant;
 
 fn kernel() -> Kernel {
-    hevc_kernels(&Preset::quick()).into_iter().next().unwrap()
+    hevc_kernels(&Preset::quick())
+        .unwrap()
+        .into_iter()
+        .next()
+        .unwrap()
 }
 
 fn instret(kernel: &Kernel) -> u64 {
-    let mut machine = machine_for(kernel, FloatMode::Hard);
+    let mut machine = machine_for(kernel, FloatMode::Hard).expect("machine");
     machine.run(u64::MAX).unwrap().instret
 }
 
@@ -39,7 +43,8 @@ fn bench_sim_layers(c: &mut Criterion) {
 
     group.bench_function("bare_iss", |b| {
         b.iter(|| {
-            let program = nfp_workloads::program(kernel.workload, FloatMode::Hard);
+            let program =
+                nfp_workloads::program(kernel.workload, FloatMode::Hard).expect("program");
             let mut machine = Machine::new(MachineConfig {
                 count_categories: false,
                 ..MachineConfig::default()
@@ -57,14 +62,14 @@ fn bench_sim_layers(c: &mut Criterion) {
 
     group.bench_function("iss_with_counters", |b| {
         b.iter(|| {
-            let mut machine = machine_for(&kernel, FloatMode::Hard);
+            let mut machine = machine_for(&kernel, FloatMode::Hard).expect("machine");
             machine.run(u64::MAX).unwrap().instret
         })
     });
 
     group.bench_function("detailed_hw_model", |b| {
         b.iter(|| {
-            let mut machine = machine_for(&kernel, FloatMode::Hard);
+            let mut machine = machine_for(&kernel, FloatMode::Hard).expect("machine");
             let mut obs = HwObserver::new(HwModel::default());
             machine.run_observed(u64::MAX, &mut obs).unwrap();
             obs.totals().cycles
@@ -80,7 +85,7 @@ fn time_mode(kernel: &Kernel, block: bool, reps: usize) -> (f64, u64) {
     let mut times = Vec::with_capacity(reps);
     let mut instret = 0;
     for _ in 0..reps {
-        let mut machine = machine_for(kernel, FloatMode::Hard);
+        let mut machine = machine_for(kernel, FloatMode::Hard).expect("machine");
         machine.set_block_mode(block);
         let start = Instant::now();
         instret = machine.run(u64::MAX).unwrap().instret;
@@ -92,8 +97,14 @@ fn time_mode(kernel: &Kernel, block: bool, reps: usize) -> (f64, u64) {
 
 /// Median-of-N wall time of a 200-injection supervised campaign with
 /// the write-ahead journal on or off — the cost of the crash-safety
-/// layer itself.
-fn time_supervised(kernel: &Kernel, journal: Option<&std::path::Path>, reps: usize) -> f64 {
+/// layer itself — and optionally with the process-isolated worker
+/// pool — the cost of subprocess spawning plus the wire protocol.
+fn time_supervised(
+    kernel: &Kernel,
+    journal: Option<&std::path::Path>,
+    isolation: WorkerIsolation,
+    reps: usize,
+) -> f64 {
     let mut times = Vec::with_capacity(reps);
     for _ in 0..reps {
         let mut cfg = SupervisorConfig::new(CampaignConfig {
@@ -101,8 +112,19 @@ fn time_supervised(kernel: &Kernel, journal: Option<&std::path::Path>, reps: usi
             ..CampaignConfig::default()
         });
         cfg.journal = journal.map(std::path::Path::to_path_buf);
+        cfg.isolation = isolation;
+        if isolation == WorkerIsolation::Process {
+            // Benches run in their own harness binary, so point the
+            // pool at the freshly built `repro` explicitly.
+            cfg.worker_bin = Some(std::path::PathBuf::from(env!("CARGO_BIN_EXE_repro")));
+        }
         let start = Instant::now();
-        run_supervised(kernel, Mode::Float, &cfg).expect("supervised campaign");
+        let outcome = run_supervised(kernel, Mode::Float, &cfg).expect("supervised campaign");
+        assert_eq!(
+            outcome.process_isolation,
+            isolation == WorkerIsolation::Process,
+            "requested worker pool did not come up"
+        );
         times.push(start.elapsed().as_secs_f64());
     }
     times.sort_by(|a, b| a.total_cmp(b));
@@ -113,7 +135,11 @@ fn time_supervised(kernel: &Kernel, journal: Option<&std::path::Path>, reps: usi
 /// FSE kernel; prints the rates and writes `BENCH_sim.json` for the CI
 /// artifact.
 fn bench_block_batching(_c: &mut Criterion) {
-    let kernel = fse_kernels(&Preset::quick()).into_iter().next().unwrap();
+    let kernel = fse_kernels(&Preset::quick())
+        .unwrap()
+        .into_iter()
+        .next()
+        .unwrap();
     let reps = 5;
     let (step_s, instret) = time_mode(&kernel, false, reps);
     let (block_s, block_instret) = time_mode(&kernel, true, reps);
@@ -136,12 +162,16 @@ fn bench_block_batching(_c: &mut Criterion) {
     println!("block_batching speedup: {speedup:.2}x on {}", kernel.name);
 
     // Supervisor overhead: the same campaign with the write-ahead
-    // journal on and off, so the robustness layer's cost stays visible.
+    // journal on and off, so the robustness layer's cost stays visible,
+    // and with the process-isolated worker pool, so the price of
+    // subprocess spawning plus the wire protocol stays visible too.
     let journal_path = std::env::temp_dir().join("nfp_sim_speed_journal.jsonl");
-    let nojournal_s = time_supervised(&kernel, None, 3);
-    let journal_s = time_supervised(&kernel, Some(&journal_path), 3);
+    let nojournal_s = time_supervised(&kernel, None, WorkerIsolation::Thread, 3);
+    let journal_s = time_supervised(&kernel, Some(&journal_path), WorkerIsolation::Thread, 3);
     let _ = std::fs::remove_file(&journal_path);
+    let process_s = time_supervised(&kernel, None, WorkerIsolation::Process, 3);
     let journal_overhead = journal_s / nojournal_s;
+    let process_overhead = process_s / nojournal_s;
     println!(
         "{:<40} {:>12.3} ms/iter",
         "supervisor/no_journal",
@@ -153,7 +183,16 @@ fn bench_block_batching(_c: &mut Criterion) {
         journal_s * 1e3
     );
     println!(
+        "{:<40} {:>12.3} ms/iter",
+        "supervisor/process_pool",
+        process_s * 1e3
+    );
+    println!(
         "supervisor journal overhead: {journal_overhead:.3}x on {}",
+        kernel.name
+    );
+    println!(
+        "supervisor process-pool overhead: {process_overhead:.3}x on {}",
         kernel.name
     );
 
@@ -166,7 +205,9 @@ fn bench_block_batching(_c: &mut Criterion) {
          \"speedup\": {:.3},\n  \
          \"supervised_nojournal_seconds\": {:.6},\n  \
          \"supervised_journal_seconds\": {:.6},\n  \
-         \"journal_overhead\": {:.3}\n}}\n",
+         \"journal_overhead\": {:.3},\n  \
+         \"supervised_process_seconds\": {:.6},\n  \
+         \"process_overhead\": {:.3}\n}}\n",
         kernel.name,
         instret,
         step_s,
@@ -176,7 +217,9 @@ fn bench_block_batching(_c: &mut Criterion) {
         speedup,
         nojournal_s,
         journal_s,
-        journal_overhead
+        journal_overhead,
+        process_s,
+        process_overhead
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     std::fs::write(path, json).expect("write BENCH_sim.json");

@@ -8,11 +8,11 @@ use nfp_workloads::synth::{loss_mask, test_image, test_sequence, Scene};
 
 fn bench_hevc(c: &mut Criterion) {
     let frames = test_sequence(Scene::MovingObject, 64, 48, 6);
-    let encoded = encode(&frames, Config::Lowdelay, 32);
+    let encoded = encode(&frames, Config::Lowdelay, 32).expect("encode");
     let mut group = c.benchmark_group("hevc_native");
     group.sample_size(10);
     group.bench_function("encode_lowdelay_qp32", |b| {
-        b.iter(|| encode(&frames, Config::Lowdelay, 32))
+        b.iter(|| encode(&frames, Config::Lowdelay, 32).expect("encode"))
     });
     group.bench_function("decode_lowdelay_qp32", |b| {
         b.iter(|| decode(&encoded.bytes).unwrap())

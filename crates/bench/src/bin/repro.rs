@@ -13,14 +13,22 @@
 //! repro all --quick            # reduced workload sizes (fast smoke run)
 //! ```
 //!
-//! Campaign flags (crash safety — see DESIGN.md §10):
+//! Campaign flags (crash safety and isolation — see DESIGN.md §10–§11):
 //!
 //! ```text
 //! repro campaign --journal j.jsonl     # write-ahead journal every injection
 //! repro campaign --resume j.jsonl      # skip completed injections, continue
 //! repro campaign --injections 400      # override the plan size
 //! repro campaign --kernel fse          # only showcase kernels matching 'fse'
+//! repro campaign --isolation process   # worker subprocesses (SIGKILL watchdogs)
+//! repro campaign --heartbeat-ms 200    # worker idle-heartbeat interval
+//! repro campaign --deadline-ms 60000   # per-injection wall deadline (process mode)
+//! repro campaign --max-respawns 3      # crash-loop budget per worker slot
 //! ```
+//!
+//! There is also a hidden `repro worker` subcommand: the supervisor
+//! spawns it for `--isolation process` and drives it over stdin/stdout.
+//! It is not for interactive use.
 //!
 //! Every failure exits nonzero with a message naming the stage that
 //! failed; a panic in this binary is a bug.
@@ -28,10 +36,11 @@
 use nfp_bench::{
     report_ablation_calibration, report_ablation_categories, report_campaign, report_fig1,
     report_fig4, report_table1, report_table3, report_table4, run_supervised, CampaignConfig,
-    Evaluation, KernelResult, Mode, SupervisorConfig,
+    Evaluation, KernelResult, Mode, SupervisorConfig, WorkerIsolation, WorkerPreset,
 };
 use nfp_workloads::{all_kernels, fse_kernels, hevc_kernels, Kernel, Preset};
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Reports a failed stage and exits nonzero. The stage name is the
 /// user's breadcrumb: it says *which* part of the reproduction died
@@ -61,10 +70,12 @@ fn showcase_kernels(preset: &Preset) -> Vec<Kernel> {
     // Fig. 4's four representative cases: one FSE kernel and one HEVC
     // kernel, each in float and fixed variants.
     let fse = fse_kernels(preset)
+        .unwrap_or_else(|e| fail("kernel registry", e))
         .into_iter()
         .next()
         .unwrap_or_else(|| fail("kernel selection", "preset contains no FSE kernels"));
     let hevc = hevc_kernels(preset)
+        .unwrap_or_else(|e| fail("kernel registry", e))
         .into_iter()
         .find(|k| k.name.contains("movobj_lowdelay_qp32"))
         .unwrap_or_else(|| {
@@ -102,6 +113,48 @@ fn run_campaign_command(args: &[String], preset: &Preset) {
         });
     }
     let mut sup = SupervisorConfig::new(campaign);
+    sup.preset = if args.iter().any(|a| a == "--quick") {
+        WorkerPreset::Quick
+    } else {
+        WorkerPreset::Paper
+    };
+    if let Some(mode) = flag_value(args, "--isolation") {
+        sup.isolation = match mode {
+            "thread" => WorkerIsolation::Thread,
+            "process" => WorkerIsolation::Process,
+            other => fail(
+                "argument parsing",
+                format!("--isolation wants 'thread' or 'process', got '{other}'"),
+            ),
+        };
+    }
+    let ms_flag = |name: &str| {
+        flag_value(args, name).map(|v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                fail(
+                    "argument parsing",
+                    format!("{name} wants milliseconds, got '{v}'"),
+                )
+            })
+        })
+    };
+    if let Some(ms) = ms_flag("--heartbeat-ms") {
+        sup.heartbeat = Duration::from_millis(ms.max(1));
+    }
+    sup.deadline = ms_flag("--deadline-ms").map(Duration::from_millis);
+    if sup.deadline.is_none() && sup.isolation == WorkerIsolation::Process {
+        // Process isolation without any deadline cannot put down a
+        // worker wedged mid-replay; default to a generous bound.
+        sup.deadline = Some(Duration::from_secs(300));
+    }
+    if let Some(n) = flag_value(args, "--max-respawns") {
+        sup.max_respawns = n.parse().unwrap_or_else(|_| {
+            fail(
+                "argument parsing",
+                format!("--max-respawns wants a count, got '{n}'"),
+            )
+        });
+    }
     sup.journal = flag_value(args, "--journal").map(PathBuf::from);
     if let Some(path) = flag_value(args, "--resume") {
         if sup.journal.is_some() {
@@ -150,10 +203,16 @@ fn run_campaign_command(args: &[String], preset: &Preset) {
                 outcome.completed - outcome.resumed
             );
         }
+        if outcome.process_isolation && (outcome.kills > 0 || outcome.respawns > 0) {
+            eprintln!(
+                "  worker pool: {} SIGKILLed, {} respawned",
+                outcome.kills, outcome.respawns
+            );
+        }
         for q in &outcome.quarantined {
             eprintln!(
-                "  quarantined injection {} ({}): {}",
-                q.index, q.fault, q.panic
+                "  quarantined injection {} ({}) — {}: {}",
+                q.index, q.fault, q.cause, q.detail
             );
         }
         println!("{}", report_campaign(&outcome.result));
@@ -163,6 +222,13 @@ fn run_campaign_command(args: &[String], preset: &Preset) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
+
+    // The hidden worker subcommand speaks the supervisor protocol on
+    // stdin/stdout and must never run any of the reporting machinery.
+    if command == "worker" {
+        std::process::exit(nfp_bench::run_worker());
+    }
+
     let preset = preset_from_args(&args);
 
     // The campaign needs no calibration; it is also the long-running
@@ -190,7 +256,7 @@ fn main() {
     }
     if want("table3") {
         ran_any = true;
-        let kernels = all_kernels(&preset);
+        let kernels = all_kernels(&preset).unwrap_or_else(|e| fail("kernel registry", e));
         eprintln!(
             "running {} kernels x 2 variants (this is the paper's full M = {} set)...",
             kernels.len(),
@@ -202,13 +268,13 @@ fn main() {
     }
     if want("table4") && command != "all" {
         ran_any = true;
-        let kernels = all_kernels(&preset);
+        let kernels = all_kernels(&preset).unwrap_or_else(|e| fail("kernel registry", e));
         let results = run_results(&eval, &kernels);
         println!("{}", report_table4(&results));
     }
     if want("fig1") {
         ran_any = true;
-        let kernels = hevc_kernels(&preset);
+        let kernels = hevc_kernels(&preset).unwrap_or_else(|e| fail("kernel registry", e));
         let kernel = kernels
             .first()
             .unwrap_or_else(|| fail("kernel selection", "preset contains no HEVC kernels"));
@@ -220,8 +286,18 @@ fn main() {
         // A representative subset keeps the three-fold calibration and
         // six-fold kernel sweep affordable.
         let mut subset = Vec::new();
-        subset.extend(hevc_kernels(&preset).into_iter().take(3));
-        subset.extend(fse_kernels(&preset).into_iter().take(2));
+        subset.extend(
+            hevc_kernels(&preset)
+                .unwrap_or_else(|e| fail("kernel registry", e))
+                .into_iter()
+                .take(3),
+        );
+        subset.extend(
+            fse_kernels(&preset)
+                .unwrap_or_else(|e| fail("kernel registry", e))
+                .into_iter()
+                .take(2),
+        );
         let text = report_ablation_categories(&eval, &subset)
             .unwrap_or_else(|e| fail("ablation-categories", e));
         println!("{text}");
@@ -235,8 +311,18 @@ fn main() {
     if want("cache") {
         ran_any = true;
         let mut subset = Vec::new();
-        subset.extend(hevc_kernels(&preset).into_iter().take(3));
-        subset.extend(fse_kernels(&preset).into_iter().take(1));
+        subset.extend(
+            hevc_kernels(&preset)
+                .unwrap_or_else(|e| fail("kernel registry", e))
+                .into_iter()
+                .take(3),
+        );
+        subset.extend(
+            fse_kernels(&preset)
+                .unwrap_or_else(|e| fail("kernel registry", e))
+                .into_iter()
+                .take(1),
+        );
         let text = nfp_bench::report_cache_extension(&subset)
             .unwrap_or_else(|e| fail("cache extension", e));
         println!("{text}");

@@ -145,11 +145,11 @@ fn merge_ranges(mut ranges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
     merged
 }
 
-fn fresh_machine(kernel: &Kernel, mode: Mode, cfg: &CampaignConfig) -> Machine {
-    let mut m = machine_for(kernel, mode.float_mode());
+fn fresh_machine(kernel: &Kernel, mode: Mode, cfg: &CampaignConfig) -> Result<Machine, NfpError> {
+    let mut m = machine_for(kernel, mode.float_mode())?;
     m.set_trap_policy(TrapPolicy::Recover);
     m.set_block_mode(!cfg.step_mode);
-    m
+    Ok(m)
 }
 
 impl CampaignRig {
@@ -162,7 +162,7 @@ impl CampaignRig {
         cfg: &CampaignConfig,
     ) -> Result<(Self, FaultSpace), NfpError> {
         // Golden pass: learn length, outputs, and the RAM footprint.
-        let mut probe = fresh_machine(kernel, mode, cfg);
+        let mut probe = fresh_machine(kernel, mode, cfg)?;
         let run = probe.run(KERNEL_BUDGET)?;
         if run.exit_code != 0 {
             return Err(NfpError::KernelFailed {
@@ -186,7 +186,7 @@ impl CampaignRig {
         };
 
         // Checkpoint ladder along a fresh replay of the same path.
-        let mut machine = fresh_machine(kernel, mode, cfg);
+        let mut machine = fresh_machine(kernel, mode, cfg)?;
         let steps = cfg.checkpoints.max(1) as u64;
         let mut checkpoints = Vec::with_capacity(cfg.checkpoints);
         for i in 0..steps {
@@ -428,7 +428,7 @@ mod tests {
 
     #[test]
     fn small_campaign_is_deterministic() {
-        let kernels = nfp_workloads::fse_kernels(&Preset::quick());
+        let kernels = nfp_workloads::fse_kernels(&Preset::quick()).expect("kernels");
         let cfg = CampaignConfig {
             injections: 40,
             ..CampaignConfig::default()
@@ -450,7 +450,7 @@ mod tests {
         // campaign: golden run, checkpoint ladder, every injected
         // replay, and the classified outcomes must not depend on
         // whether accounting is batched.
-        let kernels = nfp_workloads::fse_kernels(&Preset::quick());
+        let kernels = nfp_workloads::fse_kernels(&Preset::quick()).expect("kernels");
         let base = CampaignConfig {
             injections: 30,
             seed: 0xb10c,
@@ -478,7 +478,7 @@ mod tests {
 
     #[test]
     fn parallel_campaign_matches_sequential() {
-        let kernels = nfp_workloads::fse_kernels(&Preset::quick());
+        let kernels = nfp_workloads::fse_kernels(&Preset::quick()).expect("kernels");
         let cfg = CampaignConfig {
             injections: 24,
             seed: 7,

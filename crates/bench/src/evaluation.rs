@@ -32,6 +32,16 @@ impl Mode {
             Mode::Fixed => "fixed",
         }
     }
+
+    /// Inverse of [`Mode::suffix`], for parsing journal headers and
+    /// worker handshakes.
+    pub fn from_suffix(s: &str) -> Option<Mode> {
+        match s {
+            "float" => Some(Mode::Float),
+            "fixed" => Some(Mode::Fixed),
+            _ => None,
+        }
+    }
 }
 
 /// Everything the pipeline learns about one kernel variant.
@@ -104,7 +114,7 @@ impl Evaluation {
     ) -> Result<KernelResult, NfpError> {
         // Pass 1: fast ISS with per-class counters.
         let mut counter = ClassCounter::new(classifier.clone());
-        let mut machine = machine_for(kernel, mode.float_mode());
+        let mut machine = machine_for(kernel, mode.float_mode())?;
         let run = machine.run_observed(KERNEL_BUDGET, &mut counter)?;
         if run.exit_code != 0 {
             return Err(NfpError::KernelFailed {
@@ -121,7 +131,7 @@ impl Evaluation {
         let estimate = model.estimate(&counts);
 
         // Pass 2: ground-truth measurement on the virtual board.
-        let mut machine = machine_for(kernel, mode.float_mode());
+        let mut machine = machine_for(kernel, mode.float_mode())?;
         let measured = self.testbed.run(&mut machine, kernel.seed, KERNEL_BUDGET)?;
 
         Ok(KernelResult {
@@ -217,7 +227,7 @@ mod tests {
     #[test]
     fn pipeline_produces_consistent_results_for_one_kernel() {
         let eval = Evaluation::new().unwrap();
-        let kernels = nfp_workloads::hevc_kernels(&Preset::quick());
+        let kernels = nfp_workloads::hevc_kernels(&Preset::quick()).expect("kernels");
         let r = eval.run_kernel(&kernels[0], Mode::Float).unwrap();
         assert!(r.estimate.time_s > 0.0);
         assert!(r.estimate.energy_j > 0.0);
@@ -255,7 +265,7 @@ mod tests {
     #[test]
     fn fixed_variant_runs_longer_on_fse() {
         let eval = Evaluation::new().unwrap();
-        let kernels = nfp_workloads::fse_kernels(&Preset::quick());
+        let kernels = nfp_workloads::fse_kernels(&Preset::quick()).expect("kernels");
         let float = eval.run_kernel(&kernels[0], Mode::Float).unwrap();
         let fixed = eval.run_kernel(&kernels[0], Mode::Fixed).unwrap();
         assert!(fixed.measured.time_s > 3.0 * float.measured.time_s);

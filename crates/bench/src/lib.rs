@@ -20,8 +20,10 @@
 
 pub mod campaign;
 pub mod evaluation;
+mod flatjson;
 pub mod reports;
 pub mod supervisor;
+pub mod worker;
 
 pub use campaign::{
     report_campaign, run_campaign, run_campaign_parallel, CampaignConfig, CampaignResult,
@@ -29,4 +31,7 @@ pub use campaign::{
 };
 pub use evaluation::{Evaluation, KernelResult, Mode};
 pub use reports::*;
-pub use supervisor::{run_supervised, QuarantineEntry, SupervisorConfig, SupervisorOutcome};
+pub use supervisor::{
+    run_supervised, QuarantineEntry, SupervisorConfig, SupervisorOutcome, WorkerIsolation,
+};
+pub use worker::{run_worker, WorkerPreset};

@@ -211,10 +211,10 @@ pub fn report_fig1(
 ) -> Result<(String, Vec<Fig1Point>), NfpError> {
     let mode = Mode::Float;
     let run_timed = |count: bool, detailed: bool| -> Result<(f64, u64), NfpError> {
-        let mut machine = machine_for(kernel, mode.float_mode());
+        let mut machine = machine_for(kernel, mode.float_mode())?;
         if !count {
             machine = {
-                let program = nfp_workloads::program(kernel.workload, mode.float_mode());
+                let program = nfp_workloads::program(kernel.workload, mode.float_mode())?;
                 let mut m = nfp_sim::Machine::new(MachineConfig {
                     count_categories: false,
                     ..MachineConfig::default()

@@ -30,6 +30,22 @@
 //!   kernel. A worker that cannot even rebuild its rig retires, and
 //!   the remaining workers absorb its share of the plan: the pool
 //!   degrades in parallelism, never in coverage.
+//! * **Process isolation** — [`WorkerIsolation::Process`] moves each
+//!   replay slot into a `repro worker` subprocess driven over the
+//!   line-delimited JSON protocol of [`crate::worker`]. Threads cannot
+//!   survive an `abort()`, a segfault, or a replay that wedges inside
+//!   native code; processes can. A worker that dies takes only its
+//!   in-flight injection with it; one that goes heartbeat-silent while
+//!   idle or overruns its per-injection deadline is SIGKILLed. Either
+//!   way the injection is retried once on a freshly spawned process and
+//!   quarantined on a second failure — exactly the panic-isolation
+//!   semantics, lifted to process granularity. Respawns back off
+//!   exponentially (capped, with deterministic seeded jitter so wall
+//!   clocks never leak into results); a slot that keeps crash-looping
+//!   retires and the pool degrades in parallelism, never in coverage.
+//!   Journals and reports are byte-compatible with thread mode: the
+//!   same seed yields the same report regardless of isolation mode or
+//!   kill/respawn interleaving.
 //!
 //! The journal is deliberately human-greppable:
 //!
@@ -41,7 +57,12 @@
 
 use crate::campaign::{assemble, CampaignConfig, CampaignResult, CampaignRig, InjectionRecord};
 use crate::evaluation::Mode;
-use nfp_core::{NfpError, Outcome};
+use crate::flatjson::{esc, parse_flat, Obj};
+use crate::worker::{
+    check_index, parse_reply, read_frame, render_hello, render_run, Reply, WorkerHello,
+    WorkerPreset,
+};
+use nfp_core::{HarnessCause, NfpError, Outcome};
 use nfp_sim::fault::plan;
 use nfp_sim::{Fault, FaultTarget, SimError};
 use nfp_sparc::Category;
@@ -49,9 +70,27 @@ use nfp_workloads::Kernel;
 use std::io::{BufRead, Seek, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, ExitStatus, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How the supervisor isolates its replay workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerIsolation {
+    /// Worker threads in the supervisor's own process, with panic
+    /// isolation per replay. No defence against aborts, segfaults, or
+    /// runaway native loops inside a replay.
+    Thread,
+    /// One `repro worker` subprocess per slot, driven over
+    /// line-delimited JSON on stdin/stdout. A worker that dies, goes
+    /// heartbeat-silent, or overruns its injection deadline is
+    /// SIGKILLed and respawned with capped exponential backoff; the
+    /// in-flight injection is retried once on a fresh process and then
+    /// quarantined. Falls back to [`WorkerIsolation::Thread`] (with a
+    /// logged warning) when subprocesses cannot be spawned at all.
+    Process,
+}
 
 /// Supervisor parameters wrapping a [`CampaignConfig`].
 #[derive(Debug, Clone)]
@@ -65,9 +104,37 @@ pub struct SupervisorConfig {
     pub resume: bool,
     /// Worker thread count; `None` uses available parallelism.
     pub workers: Option<usize>,
+    /// Worker isolation mode. The same seed yields a byte-identical
+    /// report either way; [`WorkerIsolation::Process`] additionally
+    /// survives worker aborts, segfaults, and harness-level hangs.
+    pub isolation: WorkerIsolation,
+    /// Workload preset the worker processes rebuild their kernel from.
+    /// Must be the preset that produced the supervised [`Kernel`]; the
+    /// handshake cross-checks the golden instruction count to catch a
+    /// mismatch.
+    pub preset: WorkerPreset,
+    /// Heartbeat emission interval for worker processes. Workers
+    /// heartbeat between replays (and during rig preparation), never
+    /// mid-replay, so an idle silence longer than a few intervals means
+    /// the worker is dead or wedged.
+    pub heartbeat: Duration,
+    /// Per-injection wall deadline for worker processes. A replay still
+    /// in flight past the deadline gets its worker SIGKILLed and the
+    /// injection is retried on a fresh process. `None` relies on the
+    /// guest watchdog (and [`CampaignConfig::wall`]) to bound replays.
+    pub deadline: Option<Duration>,
+    /// Consecutive worker-process failures (kills, deaths, failed
+    /// spawns) a slot tolerates before it retires. Each respawn backs
+    /// off exponentially (capped, deterministically jittered). A
+    /// successful injection resets the count.
+    pub max_respawns: u32,
+    /// Worker executable for [`WorkerIsolation::Process`]. `None` uses
+    /// the current executable (correct for the `repro` binary; tests
+    /// must point at `env!("CARGO_BIN_EXE_repro")`).
+    pub worker_bin: Option<PathBuf>,
     /// Test hook: panic inside the replay of injection `.0` on its
     /// first `.1` attempts (so `(i, 1)` recovers on retry and `(i, 2)`
-    /// quarantines).
+    /// quarantines). Thread isolation only.
     #[doc(hidden)]
     pub test_panic_at: Option<(usize, u32)>,
     /// Test hook: patch an unconditional self-loop at the injection
@@ -79,6 +146,11 @@ pub struct SupervisorConfig {
     /// had died with a valid journal on disk.
     #[doc(hidden)]
     pub test_abort_after: Option<usize>,
+    /// Test hook: worker processes `abort()` whenever asked to replay
+    /// this plan index (SIGABRT, no unwinding — only process isolation
+    /// survives it).
+    #[doc(hidden)]
+    pub test_worker_abort_at: Option<usize>,
 }
 
 impl SupervisorConfig {
@@ -90,23 +162,33 @@ impl SupervisorConfig {
             journal: None,
             resume: false,
             workers: None,
+            isolation: WorkerIsolation::Thread,
+            preset: WorkerPreset::Quick,
+            heartbeat: Duration::from_millis(200),
+            deadline: None,
+            max_respawns: 3,
+            worker_bin: None,
             test_panic_at: None,
             test_spin_at: None,
             test_abort_after: None,
+            test_worker_abort_at: None,
         }
     }
 }
 
-/// An injection whose replay panicked twice and was excluded from the
-/// vulnerability quotient.
+/// An injection whose replay failed twice (panic, worker death, or
+/// liveness kill) and was excluded from the vulnerability quotient.
 #[derive(Debug, Clone)]
 pub struct QuarantineEntry {
     /// Plan index of the quarantined injection.
     pub index: usize,
-    /// The fault whose replay panicked.
+    /// The fault whose replay failed.
     pub fault: Fault,
-    /// Panic payload text (or a note when loaded from a journal).
-    pub panic: String,
+    /// What killed the replay.
+    pub cause: HarnessCause,
+    /// Panic payload, kill detail, or a note when loaded from a
+    /// journal.
+    pub detail: String,
 }
 
 /// What a supervised campaign produced.
@@ -125,163 +207,15 @@ pub struct SupervisorOutcome {
     pub completed: usize,
     /// True when the `test_abort_after` hook simulated a kill.
     pub aborted: bool,
-}
-
-// ---------------------------------------------------------------------
-// Hand-rolled flat JSON (the workspace deliberately has no serde).
-// ---------------------------------------------------------------------
-
-/// A value in a flat journal object: unsigned number, string, bool, or
-/// null. That is the whole grammar the journal needs.
-#[derive(Debug, Clone, PartialEq)]
-enum Jv {
-    U(u64),
-    S(String),
-    B(bool),
-    Null,
-}
-
-/// Escapes a string for a JSON literal (quotes, backslashes, control
-/// characters — panic payloads can contain anything).
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Parses one flat JSON object line (`{"k":v,...}`) into key/value
-/// pairs. Returns `None` on any malformation — the caller decides
-/// whether that means "torn trailing line" or "corrupt journal".
-fn parse_flat(line: &str) -> Option<Vec<(String, Jv)>> {
-    let mut c = line.trim().chars().peekable();
-    let mut out = Vec::new();
-    if c.next()? != '{' {
-        return None;
-    }
-    loop {
-        match c.peek()? {
-            '}' => {
-                c.next();
-                break;
-            }
-            ',' => {
-                c.next();
-            }
-            _ => {}
-        }
-        if *c.peek()? != '"' {
-            return None;
-        }
-        let key = parse_string(&mut c)?;
-        if c.next()? != ':' {
-            return None;
-        }
-        let val = match c.peek()? {
-            '"' => Jv::S(parse_string(&mut c)?),
-            't' => parse_lit(&mut c, "true", Jv::B(true))?,
-            'f' => parse_lit(&mut c, "false", Jv::B(false))?,
-            'n' => parse_lit(&mut c, "null", Jv::Null)?,
-            d if d.is_ascii_digit() => {
-                let mut n: u64 = 0;
-                while c.peek().is_some_and(char::is_ascii_digit) {
-                    n = n
-                        .checked_mul(10)?
-                        .checked_add(c.next()? as u64 - '0' as u64)?;
-                }
-                Jv::U(n)
-            }
-            _ => return None,
-        };
-        out.push((key, val));
-    }
-    // Trailing garbage after the closing brace is a malformed line.
-    if c.next().is_some() {
-        return None;
-    }
-    Some(out)
-}
-
-fn parse_string(c: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
-    if c.next()? != '"' {
-        return None;
-    }
-    let mut s = String::new();
-    loop {
-        match c.next()? {
-            '"' => return Some(s),
-            '\\' => match c.next()? {
-                '"' => s.push('"'),
-                '\\' => s.push('\\'),
-                'n' => s.push('\n'),
-                'r' => s.push('\r'),
-                't' => s.push('\t'),
-                'u' => {
-                    let mut v = 0u32;
-                    for _ in 0..4 {
-                        v = v * 16 + c.next()?.to_digit(16)?;
-                    }
-                    s.push(char::from_u32(v)?);
-                }
-                _ => return None,
-            },
-            ch => s.push(ch),
-        }
-    }
-}
-
-fn parse_lit(c: &mut std::iter::Peekable<std::str::Chars>, lit: &str, val: Jv) -> Option<Jv> {
-    for expect in lit.chars() {
-        if c.next()? != expect {
-            return None;
-        }
-    }
-    Some(val)
-}
-
-/// Key/value accessor over one parsed journal line.
-struct Obj(Vec<(String, Jv)>);
-
-impl Obj {
-    fn get(&self, key: &str) -> Option<&Jv> {
-        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-    }
-    fn u64(&self, key: &str) -> Option<u64> {
-        match self.get(key)? {
-            Jv::U(n) => Some(*n),
-            _ => None,
-        }
-    }
-    fn str(&self, key: &str) -> Option<&str> {
-        match self.get(key)? {
-            Jv::S(s) => Some(s),
-            _ => None,
-        }
-    }
-    fn bool(&self, key: &str) -> Option<bool> {
-        match self.get(key)? {
-            Jv::B(b) => Some(*b),
-            _ => None,
-        }
-    }
-    /// `Some(None)` for an explicit `null`, `Some(Some(n))` for a
-    /// number, `None` for a missing or mistyped key.
-    fn opt_u64(&self, key: &str) -> Option<Option<u64>> {
-        match self.get(key)? {
-            Jv::Null => Some(None),
-            Jv::U(n) => Some(Some(*n)),
-            _ => None,
-        }
-    }
+    /// True when worker processes were actually used (false in thread
+    /// mode and after the spawn-unavailable fallback).
+    pub process_isolation: bool,
+    /// Worker processes the supervisor SIGKILLed (deadline or
+    /// heartbeat-silence).
+    pub kills: usize,
+    /// Worker processes respawned after a kill, death, or failed
+    /// spawn.
+    pub respawns: usize,
 }
 
 // ---------------------------------------------------------------------
@@ -291,16 +225,16 @@ impl Obj {
 /// The campaign identity a journal is bound to. Every field must match
 /// for a resume to proceed.
 #[derive(Debug, Clone, PartialEq)]
-struct JournalHeader {
-    kernel: String,
-    mode: &'static str,
-    injections: u64,
-    seed: u64,
-    checkpoints: u64,
-    step_mode: bool,
-    escalation: u64,
-    wall_ms: Option<u64>,
-    golden_instret: u64,
+pub(crate) struct JournalHeader {
+    pub(crate) kernel: String,
+    pub(crate) mode: &'static str,
+    pub(crate) injections: u64,
+    pub(crate) seed: u64,
+    pub(crate) checkpoints: u64,
+    pub(crate) step_mode: bool,
+    pub(crate) escalation: u64,
+    pub(crate) wall_ms: Option<u64>,
+    pub(crate) golden_instret: u64,
 }
 
 impl JournalHeader {
@@ -385,7 +319,7 @@ impl JournalHeader {
 }
 
 /// `(kind, a, b)` encoding of a fault target for the journal.
-fn target_fields(t: FaultTarget) -> (&'static str, u64, u64) {
+pub(crate) fn target_fields(t: FaultTarget) -> (&'static str, u64, u64) {
     match t {
         FaultTarget::IntReg { index, bit } => ("IntReg", index as u64, bit as u64),
         FaultTarget::FpReg { index, bit } => ("FpReg", index as u64, bit as u64),
@@ -397,7 +331,7 @@ fn target_fields(t: FaultTarget) -> (&'static str, u64, u64) {
     }
 }
 
-fn target_from_fields(kind: &str, a: u64, b: u64) -> Option<FaultTarget> {
+pub(crate) fn target_from_fields(kind: &str, a: u64, b: u64) -> Option<FaultTarget> {
     Some(match kind {
         "IntReg" => FaultTarget::IntReg {
             index: u8::try_from(a).ok()?,
@@ -558,7 +492,9 @@ enum Msg {
         index: usize,
         record: InjectionRecord,
         attempts: u32,
-        panic: Option<String>,
+        /// `Some` when the record is a quarantine: what killed the
+        /// replay, and the payload/detail text.
+        quarantine: Option<(HarnessCause, String)>,
     },
     Fatal {
         error: NfpError,
@@ -590,7 +526,7 @@ fn quarantine_record(fault: Fault) -> InjectionRecord {
 /// the injection point (the `test_spin_at` hook): a guaranteed genuine
 /// hang that must flow through the escalating watchdog — or the wall
 /// deadline — and classify as [`Outcome::Hang`].
-fn replay_spinning(
+pub(crate) fn replay_spinning(
     rig: &mut CampaignRig,
     fault: &Fault,
     wall: Option<Duration>,
@@ -617,6 +553,531 @@ fn replay_spinning(
         category,
         outcome,
     })
+}
+
+// ---------------------------------------------------------------------
+// The process-isolated worker pool.
+// ---------------------------------------------------------------------
+
+/// Poll cadence for slot drivers waiting on worker lines, deadlines,
+/// and the stop flag.
+const TICK: Duration = Duration::from_millis(20);
+
+/// A live worker subprocess: the child handle, its stdin, and a channel
+/// fed by a detached reader thread framing the child's stdout (blocking
+/// pipe reads cannot carry timeouts; a channel can).
+struct WorkerProc {
+    child: Child,
+    stdin: ChildStdin,
+    lines: mpsc::Receiver<Result<String, NfpError>>,
+}
+
+/// Why a slot failed to produce a live, handshaken worker process.
+enum SpawnFailure {
+    /// Deterministic — every respawn would hit it again, so the whole
+    /// campaign fails (mirrors a thread worker's rig-prepare error).
+    Fatal(NfpError),
+    /// This process is gone but a respawn may well succeed. `killed`
+    /// records whether the supervisor itself put the worker down.
+    Dead {
+        cause: HarnessCause,
+        detail: String,
+        killed: bool,
+    },
+}
+
+#[cfg(unix)]
+fn status_signal(status: &ExitStatus) -> Option<i32> {
+    use std::os::unix::process::ExitStatusExt;
+    status.signal()
+}
+
+#[cfg(not(unix))]
+fn status_signal(_status: &ExitStatus) -> Option<i32> {
+    None
+}
+
+/// SIGKILLs a worker and reaps it, reporting the terminating signal
+/// (from the kill, or from whatever felled the child first).
+fn kill_and_reap(child: &mut Child) -> Option<i32> {
+    let _ = child.kill();
+    child.wait().ok().as_ref().and_then(status_signal)
+}
+
+/// Reaps a worker found dead on its own (EOF on stdout) and classifies
+/// the death from its exit status.
+fn death_of(child: &mut Child) -> (HarnessCause, String) {
+    match child.wait() {
+        Ok(status) => (
+            HarnessCause::WorkerKilled {
+                signal: status_signal(&status),
+            },
+            format!("worker process died: {status}"),
+        ),
+        Err(e) => (
+            HarnessCause::WorkerKilled { signal: None },
+            format!("worker process died (reap failed: {e})"),
+        ),
+    }
+}
+
+/// Asks a worker to exit by closing its stdin, grants it a short grace
+/// period, then makes sure. The grace matters on the happy path — a
+/// drained plan should not end with a gratuitous SIGKILL in the logs —
+/// and the kill matters on the unhappy one, where the worker is wedged
+/// mid-replay and will never see the EOF.
+fn shutdown(mut w: WorkerProc) {
+    drop(w.stdin);
+    for _ in 0..50 {
+        match w.child.try_wait() {
+            Ok(Some(_)) => return,
+            Ok(None) => std::thread::sleep(TICK),
+            Err(_) => break,
+        }
+    }
+    let _ = w.child.kill();
+    let _ = w.child.wait();
+}
+
+/// SplitMix64, the jitter PRNG for respawn backoff: deterministic in
+/// (campaign seed, slot, respawn ordinal) so backoff timing never
+/// involves wall clocks or global RNG state — campaign results must
+/// not depend on either.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Capped exponential backoff before respawn `n` (1-based) of `slot`:
+/// 50·2ⁿ⁻¹ ms capped at 2 s, plus up to 50 ms of seeded jitter so a
+/// pool of crash-looping slots does not respawn in lockstep.
+/// Interruptible — polls the stop flag every tick.
+fn backoff_sleep(seed: u64, slot: usize, n: u32, stop: &AtomicBool) {
+    let base = 50u64.saturating_mul(1 << (n - 1).min(10)).min(2_000);
+    let jitter = splitmix64(seed ^ ((slot as u64) << 32) ^ u64::from(n)) % 50;
+    let mut left = Duration::from_millis(base + jitter);
+    while !left.is_zero() && !stop.load(Ordering::Relaxed) {
+        let nap = left.min(TICK);
+        std::thread::sleep(nap);
+        left -= nap;
+    }
+}
+
+/// Probes that worker subprocesses can be spawned at all. The probe
+/// child gets an immediate EOF on stdin (a clean-exit condition for the
+/// worker) and is killed and reaped regardless, so it cannot linger.
+fn probe_worker(bin: &Path) -> bool {
+    match Command::new(bin)
+        .arg("worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+    {
+        Ok(mut child) => {
+            drop(child.stdin.take());
+            let _ = child.kill();
+            let _ = child.wait();
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Spawns one worker process and walks it through the handshake: send
+/// the hello, accept heartbeats, take `ready`, and cross-check the
+/// golden instruction count. The handshake is policed by the idle
+/// watchdog — the worker heartbeats while it prepares its rig, so
+/// silence here always means a dead or wedged process.
+fn spawn_worker(
+    bin: &Path,
+    hello: &WorkerHello,
+    idle_timeout: Duration,
+    stop: &AtomicBool,
+) -> Result<WorkerProc, SpawnFailure> {
+    let dead = |cause: HarnessCause, detail: String, killed: bool| SpawnFailure::Dead {
+        cause,
+        detail,
+        killed,
+    };
+    let mut child = Command::new(bin)
+        .arg("worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| {
+            dead(
+                HarnessCause::WorkerKilled { signal: None },
+                format!("spawn of {} failed: {e}", bin.display()),
+                false,
+            )
+        })?;
+    let (Some(mut stdin), Some(stdout)) = (child.stdin.take(), child.stdout.take()) else {
+        kill_and_reap(&mut child);
+        return Err(dead(
+            HarnessCause::WorkerKilled { signal: None },
+            "spawned worker came up without stdio pipes".to_string(),
+            true,
+        ));
+    };
+    // The reader thread is detached on purpose: it parks in a blocking
+    // pipe read and exits on worker EOF, or on send failure once the
+    // receiver is gone. Framing errors travel the channel as values.
+    let (line_tx, lines) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut out = std::io::BufReader::new(stdout);
+        loop {
+            match read_frame(&mut out) {
+                Ok(Some(line)) => {
+                    if line_tx.send(Ok(line)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    let _ = line_tx.send(Err(e));
+                    return;
+                }
+            }
+        }
+    });
+    if let Err(e) = writeln!(stdin, "{}", render_hello(hello)).and_then(|()| stdin.flush()) {
+        let signal = kill_and_reap(&mut child);
+        return Err(dead(
+            HarnessCause::WorkerKilled { signal },
+            format!("worker would not accept the hello: {e}"),
+            false,
+        ));
+    }
+    let mut last_line = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            kill_and_reap(&mut child);
+            return Err(dead(
+                HarnessCause::Unknown,
+                "campaign stopped during worker handshake".to_string(),
+                true,
+            ));
+        }
+        if last_line.elapsed() >= idle_timeout {
+            kill_and_reap(&mut child);
+            return Err(dead(
+                HarnessCause::HeartbeatTimeout,
+                format!(
+                    "no heartbeat for {}ms during handshake; worker SIGKILLed",
+                    idle_timeout.as_millis()
+                ),
+                true,
+            ));
+        }
+        match lines.recv_timeout(TICK) {
+            Ok(Ok(line)) => {
+                last_line = Instant::now();
+                match parse_reply(&line) {
+                    Ok(Reply::Hb) => {}
+                    Ok(Reply::Ready { golden_instret }) => {
+                        if golden_instret != hello.header.golden_instret {
+                            kill_and_reap(&mut child);
+                            return Err(SpawnFailure::Fatal(NfpError::ProtocolViolation {
+                                detail: format!(
+                                    "worker rebuilt a different campaign: its golden run retired \
+                                     {golden_instret} instructions, the supervisor's retired {} — \
+                                     worker binary or preset skew",
+                                    hello.header.golden_instret
+                                ),
+                            }));
+                        }
+                        return Ok(WorkerProc {
+                            child,
+                            stdin,
+                            lines,
+                        });
+                    }
+                    Ok(Reply::Error { detail }) => {
+                        kill_and_reap(&mut child);
+                        return Err(SpawnFailure::Fatal(NfpError::Workload {
+                            what: "campaign worker".to_string(),
+                            reason: detail,
+                        }));
+                    }
+                    Ok(Reply::Done { .. }) => {
+                        kill_and_reap(&mut child);
+                        return Err(dead(
+                            HarnessCause::ProtocolViolation,
+                            "worker sent done before ready".to_string(),
+                            true,
+                        ));
+                    }
+                    Err(e) => {
+                        kill_and_reap(&mut child);
+                        return Err(dead(HarnessCause::ProtocolViolation, e.to_string(), true));
+                    }
+                }
+            }
+            Ok(Err(e)) => {
+                kill_and_reap(&mut child);
+                return Err(dead(HarnessCause::ProtocolViolation, e.to_string(), true));
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let (cause, detail) = death_of(&mut child);
+                return Err(dead(cause, detail, false));
+            }
+        }
+    }
+}
+
+/// What [`await_done`] observed.
+enum Wait {
+    /// The in-flight injection, classified.
+    Done(InjectionRecord),
+    /// The worker failed (died, was killed, or lost protocol sync) and
+    /// has been reaped; `killed` says whether the supervisor initiated
+    /// the kill.
+    Failed {
+        cause: HarnessCause,
+        detail: String,
+        killed: bool,
+    },
+    /// The worker reported a deterministic campaign error.
+    Fatal(NfpError),
+    /// The supervisor is stopping; abandon the wait.
+    Stopping,
+}
+
+/// Waits for the `done` frame answering injection `expect`. Mid-replay
+/// the worker is heartbeat-silent *by design*, so the only things that
+/// may end the wait are the done frame itself, worker death, a protocol
+/// violation, the per-injection `deadline`, and the stop flag — idle
+/// silence is policed around replays (see [`spawn_worker`]), never
+/// during them.
+fn await_done(
+    w: &mut WorkerProc,
+    expect: usize,
+    deadline: Option<Duration>,
+    stop: &AtomicBool,
+) -> Wait {
+    let started = Instant::now();
+    let failed = |cause: HarnessCause, detail: String, killed: bool| Wait::Failed {
+        cause,
+        detail,
+        killed,
+    };
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Wait::Stopping;
+        }
+        match w.lines.recv_timeout(TICK) {
+            Ok(Ok(line)) => match parse_reply(&line) {
+                Ok(Reply::Hb) => {}
+                Ok(Reply::Done { index, record }) => match check_index(index, expect) {
+                    Ok(()) => return Wait::Done(record),
+                    Err(e) => {
+                        kill_and_reap(&mut w.child);
+                        return failed(HarnessCause::ProtocolViolation, e.to_string(), true);
+                    }
+                },
+                Ok(Reply::Ready { .. }) => {
+                    kill_and_reap(&mut w.child);
+                    return failed(
+                        HarnessCause::ProtocolViolation,
+                        "unexpected ready frame mid-campaign".to_string(),
+                        true,
+                    );
+                }
+                Ok(Reply::Error { detail }) => {
+                    kill_and_reap(&mut w.child);
+                    return Wait::Fatal(NfpError::Workload {
+                        what: "campaign worker".to_string(),
+                        reason: detail,
+                    });
+                }
+                Err(e) => {
+                    kill_and_reap(&mut w.child);
+                    return failed(HarnessCause::ProtocolViolation, e.to_string(), true);
+                }
+            },
+            Ok(Err(e)) => {
+                kill_and_reap(&mut w.child);
+                return failed(HarnessCause::ProtocolViolation, e.to_string(), true);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(d) = deadline {
+                    if started.elapsed() >= d {
+                        kill_and_reap(&mut w.child);
+                        return failed(
+                            HarnessCause::DeadlineExceeded,
+                            format!(
+                                "replay overran its {}ms deadline; worker SIGKILLed",
+                                d.as_millis()
+                            ),
+                            true,
+                        );
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let (cause, detail) = death_of(&mut w.child);
+                return failed(cause, detail, false);
+            }
+        }
+    }
+}
+
+/// Everything one process slot borrows from [`run_supervised`].
+struct SlotCtx<'a> {
+    bin: &'a Path,
+    hello: &'a WorkerHello,
+    seed: u64,
+    deadline: Option<Duration>,
+    heartbeat: Duration,
+    max_respawns: u32,
+    slot: usize,
+    pending: &'a [usize],
+    faults: &'a [Fault],
+    next: &'a AtomicUsize,
+    stop: &'a AtomicBool,
+    kills: &'a AtomicUsize,
+    respawns: &'a AtomicUsize,
+}
+
+/// Drives one process slot: claims plan indices, dispatches each to a
+/// (re)spawned worker, polices liveness, and reports results upstream.
+/// Per injection: retry once on a fresh process, quarantine on the
+/// second failure. Per slot: more than `max_respawns` *consecutive*
+/// process failures retires the slot (quarantining whatever was in
+/// flight) and the remaining slots absorb its share of the plan; any
+/// successful injection resets the count.
+fn drive_process_slot(ctx: &SlotCtx, tx: &mpsc::Sender<Msg>) {
+    let idle_timeout = (ctx.heartbeat * 10).max(Duration::from_secs(2));
+    let mut proc: Option<WorkerProc> = None;
+    let mut consecutive: u32 = 0;
+
+    'plan: while !ctx.stop.load(Ordering::Relaxed) {
+        let Some(&index) = ctx.pending.get(ctx.next.fetch_add(1, Ordering::Relaxed)) else {
+            break;
+        };
+        let fault = ctx.faults[index];
+        let mut attempts = 0u32;
+
+        // Each pass dispatches `index` once (or dies trying). Two
+        // failed dispatch attempts quarantine the injection — the
+        // panic-isolation retry policy at process granularity.
+        let verdict: Result<InjectionRecord, (HarnessCause, String)> = 'attempt: loop {
+            let w = match proc.as_mut() {
+                Some(w) => w,
+                None => {
+                    if consecutive > 0 {
+                        ctx.respawns.fetch_add(1, Ordering::Relaxed);
+                        backoff_sleep(ctx.seed, ctx.slot, consecutive, ctx.stop);
+                        if ctx.stop.load(Ordering::Relaxed) {
+                            break 'plan;
+                        }
+                    }
+                    match spawn_worker(ctx.bin, ctx.hello, idle_timeout, ctx.stop) {
+                        Ok(w) => proc.insert(w),
+                        Err(SpawnFailure::Fatal(error)) => {
+                            let _ = tx.send(Msg::Fatal { error });
+                            return;
+                        }
+                        Err(SpawnFailure::Dead {
+                            cause,
+                            detail,
+                            killed,
+                        }) => {
+                            if killed {
+                                ctx.kills.fetch_add(1, Ordering::Relaxed);
+                            }
+                            consecutive += 1;
+                            if consecutive > ctx.max_respawns {
+                                break 'attempt Err((cause, detail));
+                            }
+                            continue 'attempt;
+                        }
+                    }
+                }
+            };
+
+            attempts += 1;
+            if let Err(e) =
+                writeln!(w.stdin, "{}", render_run(index)).and_then(|()| w.stdin.flush())
+            {
+                let signal = kill_and_reap(&mut w.child);
+                proc = None;
+                consecutive += 1;
+                let failure = (
+                    HarnessCause::WorkerKilled { signal },
+                    format!("worker would not accept a run dispatch: {e}"),
+                );
+                if attempts >= 2 || consecutive > ctx.max_respawns {
+                    break 'attempt Err(failure);
+                }
+                continue 'attempt;
+            }
+
+            match await_done(w, index, ctx.deadline, ctx.stop) {
+                Wait::Done(record) => break 'attempt Ok(record),
+                Wait::Stopping => break 'plan,
+                Wait::Fatal(error) => {
+                    let _ = tx.send(Msg::Fatal { error });
+                    return;
+                }
+                Wait::Failed {
+                    cause,
+                    detail,
+                    killed,
+                } => {
+                    if killed {
+                        ctx.kills.fetch_add(1, Ordering::Relaxed);
+                    }
+                    proc = None;
+                    consecutive += 1;
+                    if attempts >= 2 || consecutive > ctx.max_respawns {
+                        break 'attempt Err((cause, detail));
+                    }
+                }
+            }
+        };
+
+        match verdict {
+            Ok(record) => {
+                consecutive = 0;
+                let sent = tx.send(Msg::Done {
+                    index,
+                    record,
+                    attempts,
+                    quarantine: None,
+                });
+                if sent.is_err() {
+                    break;
+                }
+            }
+            Err((cause, detail)) => {
+                let retire = consecutive > ctx.max_respawns;
+                let sent = tx.send(Msg::Done {
+                    index,
+                    record: quarantine_record(fault),
+                    attempts,
+                    quarantine: Some((cause, detail)),
+                });
+                if retire {
+                    eprintln!(
+                        "supervisor: worker slot {} retired after {consecutive} consecutive \
+                         process failures; remaining slots absorb its share",
+                        ctx.slot
+                    );
+                }
+                if sent.is_err() || retire {
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(w) = proc.take() {
+        shutdown(w);
+    }
 }
 
 /// Runs a supervised campaign: journaling, resume, panic isolation, and
@@ -664,7 +1125,8 @@ pub fn run_supervised(
                         quarantined.push(QuarantineEntry {
                             index,
                             fault: rec.fault,
-                            panic: "quarantined in a previous run (restored from journal)"
+                            cause: HarnessCause::Unknown,
+                            detail: "quarantined in a previous run (restored from journal)"
                                 .to_string(),
                         });
                     }
@@ -699,6 +1161,46 @@ pub fn run_supervised(
         })
         .clamp(1, pending.len().max(1));
 
+    // Process isolation: resolve and probe the worker binary up front,
+    // falling back to thread isolation when subprocesses are
+    // unavailable (no binary, or an environment that cannot fork).
+    let process_bin: Option<PathBuf> = match cfg.isolation {
+        WorkerIsolation::Thread => None,
+        WorkerIsolation::Process => {
+            let bin = cfg
+                .worker_bin
+                .clone()
+                .or_else(|| std::env::current_exe().ok());
+            match bin {
+                Some(bin) if probe_worker(&bin) => Some(bin),
+                Some(bin) => {
+                    eprintln!(
+                        "supervisor: cannot spawn worker processes from {}; falling back to \
+                         in-process thread isolation",
+                        bin.display()
+                    );
+                    None
+                }
+                None => {
+                    eprintln!(
+                        "supervisor: no worker binary (current_exe unavailable); falling back \
+                         to in-process thread isolation"
+                    );
+                    None
+                }
+            }
+        }
+    };
+    let hello = WorkerHello {
+        header: header.clone(),
+        preset: cfg.preset,
+        heartbeat_ms: (cfg.heartbeat.as_millis() as u64).max(1),
+        spin_at: cfg.test_spin_at.map(|i| i as u64),
+        abort_at: cfg.test_worker_abort_at.map(|i| i as u64),
+    };
+    let kills = AtomicUsize::new(0);
+    let respawns = AtomicUsize::new(0);
+
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let (tx, rx) = mpsc::channel::<Msg>();
@@ -708,9 +1210,28 @@ pub fn run_supervised(
     let mut aborted = false;
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for slot in 0..workers {
             let tx = tx.clone();
             let (next, stop, pending, faults) = (&next, &stop, &pending, &faults);
+            if let Some(bin) = process_bin.as_deref() {
+                let ctx = SlotCtx {
+                    bin,
+                    hello: &hello,
+                    seed: campaign.seed,
+                    deadline: cfg.deadline,
+                    heartbeat: cfg.heartbeat,
+                    max_respawns: cfg.max_respawns,
+                    slot,
+                    pending,
+                    faults,
+                    next,
+                    stop,
+                    kills: &kills,
+                    respawns: &respawns,
+                };
+                scope.spawn(move || drive_process_slot(&ctx, &tx));
+                continue;
+            }
             scope.spawn(move || {
                 let mut rig = match CampaignRig::prepare(kernel, mode, campaign) {
                     Ok((r, _)) => r,
@@ -746,7 +1267,7 @@ pub fn run_supervised(
                                     index,
                                     record,
                                     attempts,
-                                    panic: None,
+                                    quarantine: None,
                                 }
                             }
                             Ok(Err(error)) => break Msg::Fatal { error },
@@ -770,7 +1291,7 @@ pub fn run_supervised(
                                         index,
                                         record: quarantine_record(fault),
                                         attempts,
-                                        panic: Some(text),
+                                        quarantine: Some((HarnessCause::Panic, text)),
                                     };
                                     if retired {
                                         // No rig to continue with: hand the
@@ -799,7 +1320,7 @@ pub fn run_supervised(
                     index,
                     record,
                     attempts,
-                    panic,
+                    quarantine,
                 } => {
                     if let Some(file) = journal_file.as_mut() {
                         let line = record_line(index, &record, attempts);
@@ -816,16 +1337,17 @@ pub fn run_supervised(
                             break;
                         }
                     }
-                    if let Some(text) = panic {
+                    if let Some((cause, detail)) = quarantine {
                         eprintln!(
                             "supervisor: quarantined injection {index} ({}) after {attempts} \
-                             attempts: {text}",
+                             attempts — {cause}: {detail}",
                             record.fault
                         );
                         quarantined.push(QuarantineEntry {
                             index,
                             fault: record.fault,
-                            panic: text,
+                            cause,
+                            detail,
                         });
                     }
                     slots[index] = Some((record, attempts));
@@ -873,6 +1395,9 @@ pub fn run_supervised(
         resumed,
         completed,
         aborted,
+        process_isolation: process_bin.is_some(),
+        kills: kills.load(Ordering::Relaxed),
+        respawns: respawns.load(Ordering::Relaxed),
     })
 }
 
@@ -948,11 +1473,17 @@ mod tests {
     }
 
     #[test]
-    fn escaped_strings_roundtrip() {
-        let nasty = "quote\" slash\\ newline\n tab\t bell\u{7}";
-        let line = format!("{{\"s\":\"{}\"}}", esc(nasty));
-        let obj = Obj(parse_flat(&line).unwrap());
-        assert_eq!(obj.str("s"), Some(nasty));
+    fn backoff_is_capped_deterministic_and_interruptible() {
+        // Same (seed, slot, ordinal) → same jitter, different slot →
+        // (almost surely) different jitter; the sequence never consults
+        // a clock.
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(1), splitmix64(1 ^ (1u64 << 32)));
+        // A raised stop flag turns any backoff into (at most) one tick.
+        let stop = AtomicBool::new(true);
+        let begun = Instant::now();
+        backoff_sleep(7, 3, 30, &stop); // ordinal 30 would be 2s+ uncapped
+        assert!(begun.elapsed() < Duration::from_millis(500));
     }
 
     #[test]

@@ -1,0 +1,625 @@
+//! The campaign worker-process protocol and the worker side of it.
+//!
+//! [`crate::supervisor`] in [`WorkerIsolation::Process`] mode drives
+//! one `repro worker` subprocess per slot over line-delimited flat JSON
+//! on stdin/stdout (the same grammar as the campaign journal — see
+//! [`crate::flatjson`]). The conversation is deliberately tiny:
+//!
+//! ```text
+//! supervisor → worker   {"v":1,"kind":"hello","kernel":...}   once
+//! worker → supervisor   {"kind":"ready","golden_instret":N}   once
+//! supervisor → worker   {"kind":"run","i":17}                 per injection
+//! worker → supervisor   {"kind":"done","i":17,...}            per injection
+//! worker → supervisor   {"kind":"hb"}                         while idle
+//! worker → supervisor   {"kind":"error","detail":"..."}       fatal, then exit
+//! ```
+//!
+//! The hello carries the exact campaign-binding fields of the journal
+//! header, so a worker rebuilds the *same* deterministic rig the
+//! supervisor would have used in-process; the `ready` reply echoes the
+//! golden instruction count as a cross-check that both sides really
+//! built the same campaign. Heartbeats are gated on a busy flag: a
+//! worker is silent *by design* mid-replay (the deadline watchdog owns
+//! that phase) and audible everywhere else (handshake, idle), so idle
+//! silence is always a dead or wedged process, never a slow replay.
+//!
+//! Framing is one JSON object per `\n`-terminated line, capped at
+//! [`MAX_LINE`]. Anything else — an oversized line, a line torn by a
+//! dying peer, invalid UTF-8, an unknown or out-of-order frame — is a
+//! [`NfpError::ProtocolViolation`], never a hang and never a panic.
+//!
+//! [`WorkerIsolation::Process`]: crate::supervisor::WorkerIsolation::Process
+
+use crate::campaign::{CampaignConfig, CampaignRig, InjectionRecord};
+use crate::evaluation::Mode;
+use crate::flatjson::{esc, parse_flat, Obj};
+use crate::supervisor::{replay_spinning, target_fields, target_from_fields, JournalHeader};
+use nfp_core::{NfpError, Outcome};
+use nfp_sim::fault::plan;
+use nfp_sim::Fault;
+use nfp_sparc::Category;
+use nfp_workloads::Preset;
+use std::io::{BufRead, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Workload preset a worker process rebuilds its kernel registry from.
+/// Carried by name in the hello frame ([`Preset`] itself is a bag of
+/// sizes; the two named presets are the only ones the CLI can ask for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerPreset {
+    /// [`Preset::quick`] — reduced workload sizes.
+    Quick,
+    /// [`Preset::paper`] — evaluation-scale workloads.
+    Paper,
+}
+
+impl WorkerPreset {
+    /// Wire name of this preset.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkerPreset::Quick => "quick",
+            WorkerPreset::Paper => "paper",
+        }
+    }
+
+    /// Inverse of [`WorkerPreset::name`].
+    pub fn from_name(s: &str) -> Option<WorkerPreset> {
+        match s {
+            "quick" => Some(WorkerPreset::Quick),
+            "paper" => Some(WorkerPreset::Paper),
+            _ => None,
+        }
+    }
+
+    /// The workload sizes this preset names.
+    pub fn build(self) -> Preset {
+        match self {
+            WorkerPreset::Quick => Preset::quick(),
+            WorkerPreset::Paper => Preset::paper(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/// Longest protocol line either side will accept. Real frames are a few
+/// hundred bytes; the cap exists so a corrupt or hostile peer cannot
+/// make the reader buffer unboundedly.
+pub(crate) const MAX_LINE: usize = 64 * 1024;
+
+fn violation(detail: impl Into<String>) -> NfpError {
+    NfpError::ProtocolViolation {
+        detail: detail.into(),
+    }
+}
+
+/// Reads one `\n`-terminated protocol line. `Ok(None)` is a clean EOF
+/// (the peer closed the stream between frames); everything irregular —
+/// an oversized line, a final line torn mid-write, invalid UTF-8 — is a
+/// [`NfpError::ProtocolViolation`].
+pub(crate) fn read_frame<R: BufRead>(r: &mut R) -> Result<Option<String>, NfpError> {
+    let mut buf = Vec::new();
+    let n = r
+        .by_ref()
+        .take(MAX_LINE as u64 + 1)
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| violation(format!("frame read failed: {e}")))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        if n > MAX_LINE {
+            return Err(violation(format!(
+                "oversized frame: line exceeds {MAX_LINE} bytes"
+            )));
+        }
+        return Err(violation(format!(
+            "truncated frame: stream ended mid-line after {n} bytes"
+        )));
+    }
+    buf.pop();
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| violation("frame is not valid UTF-8"))
+}
+
+fn opt_u64_json(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Supervisor → worker frames.
+// ---------------------------------------------------------------------
+
+/// The handshake the supervisor opens each worker process with: the
+/// campaign identity (the journal-header binding fields) plus the
+/// knobs only a subprocess needs.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WorkerHello {
+    /// Campaign binding — same fields, same meaning as the journal
+    /// header, so the worker rebuilds the identical deterministic rig.
+    pub(crate) header: JournalHeader,
+    /// Preset to rebuild the kernel registry from.
+    pub(crate) preset: WorkerPreset,
+    /// Heartbeat emission interval while idle.
+    pub(crate) heartbeat_ms: u64,
+    /// Test hook: replay this plan index with a patched self-loop.
+    pub(crate) spin_at: Option<u64>,
+    /// Test hook: `abort()` when asked to replay this plan index.
+    pub(crate) abort_at: Option<u64>,
+}
+
+pub(crate) fn render_hello(h: &WorkerHello) -> String {
+    format!(
+        concat!(
+            "{{\"v\":1,\"kind\":\"hello\",\"kernel\":\"{}\",\"mode\":\"{}\",",
+            "\"preset\":\"{}\",\"injections\":{},\"seed\":{},\"checkpoints\":{},",
+            "\"step_mode\":{},\"escalation\":{},\"wall_ms\":{},\"golden_instret\":{},",
+            "\"heartbeat_ms\":{},\"spin_at\":{},\"abort_at\":{}}}"
+        ),
+        esc(&h.header.kernel),
+        h.header.mode,
+        h.preset.name(),
+        h.header.injections,
+        h.header.seed,
+        h.header.checkpoints,
+        h.header.step_mode,
+        h.header.escalation,
+        opt_u64_json(h.header.wall_ms),
+        h.header.golden_instret,
+        h.heartbeat_ms,
+        opt_u64_json(h.spin_at),
+        opt_u64_json(h.abort_at),
+    )
+}
+
+pub(crate) fn parse_hello(line: &str) -> Result<WorkerHello, NfpError> {
+    let obj = Obj(parse_flat(line).ok_or_else(|| violation("malformed hello frame"))?);
+    if obj.str("kind") != Some("hello") {
+        return Err(violation(format!(
+            "expected a hello frame, got kind {:?}",
+            obj.str("kind")
+        )));
+    }
+    match obj.u64("v") {
+        Some(1) => {}
+        v => {
+            return Err(violation(format!(
+                "worker protocol version mismatch: supervisor speaks {}, this worker speaks v1",
+                v.map_or_else(|| "(none)".to_string(), |n| format!("v{n}")),
+            )))
+        }
+    }
+    let field = |k: &str| violation(format!("hello lacks \"{k}\""));
+    let mode = Mode::from_suffix(obj.str("mode").ok_or_else(|| field("mode"))?)
+        .ok_or_else(|| violation("hello names an unknown mode"))?;
+    let preset = WorkerPreset::from_name(obj.str("preset").ok_or_else(|| field("preset"))?)
+        .ok_or_else(|| violation("hello names an unknown preset"))?;
+    Ok(WorkerHello {
+        header: JournalHeader {
+            kernel: obj
+                .str("kernel")
+                .ok_or_else(|| field("kernel"))?
+                .to_string(),
+            mode: mode.suffix(),
+            injections: obj.u64("injections").ok_or_else(|| field("injections"))?,
+            seed: obj.u64("seed").ok_or_else(|| field("seed"))?,
+            checkpoints: obj.u64("checkpoints").ok_or_else(|| field("checkpoints"))?,
+            step_mode: obj.bool("step_mode").ok_or_else(|| field("step_mode"))?,
+            escalation: obj.u64("escalation").ok_or_else(|| field("escalation"))?,
+            wall_ms: obj.opt_u64("wall_ms").ok_or_else(|| field("wall_ms"))?,
+            golden_instret: obj
+                .u64("golden_instret")
+                .ok_or_else(|| field("golden_instret"))?,
+        },
+        preset,
+        heartbeat_ms: obj
+            .u64("heartbeat_ms")
+            .ok_or_else(|| field("heartbeat_ms"))?,
+        spin_at: obj.opt_u64("spin_at").ok_or_else(|| field("spin_at"))?,
+        abort_at: obj.opt_u64("abort_at").ok_or_else(|| field("abort_at"))?,
+    })
+}
+
+pub(crate) fn render_run(index: usize) -> String {
+    format!("{{\"kind\":\"run\",\"i\":{index}}}")
+}
+
+pub(crate) fn parse_run(line: &str) -> Result<usize, NfpError> {
+    let obj = Obj(parse_flat(line).ok_or_else(|| violation("malformed run frame"))?);
+    if obj.str("kind") != Some("run") {
+        return Err(violation(format!(
+            "expected a run frame, got kind {:?}",
+            obj.str("kind")
+        )));
+    }
+    usize::try_from(
+        obj.u64("i")
+            .ok_or_else(|| violation("run frame lacks \"i\""))?,
+    )
+    .map_err(|_| violation("run frame index overflows usize"))
+}
+
+// ---------------------------------------------------------------------
+// Worker → supervisor frames.
+// ---------------------------------------------------------------------
+
+/// One frame a worker process sends upstream.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Reply {
+    /// Handshake complete; echoes the golden instruction count the
+    /// worker's own rig measured, as a campaign-identity cross-check.
+    Ready { golden_instret: u64 },
+    /// Idle keepalive.
+    Hb,
+    /// One injection replayed and classified.
+    Done {
+        index: usize,
+        record: InjectionRecord,
+    },
+    /// The worker hit a deterministic error and is about to exit.
+    Error { detail: String },
+}
+
+pub(crate) fn render_ready(golden_instret: u64) -> String {
+    format!("{{\"kind\":\"ready\",\"golden_instret\":{golden_instret}}}")
+}
+
+pub(crate) const HB_FRAME: &str = "{\"kind\":\"hb\"}";
+
+pub(crate) fn render_done(index: usize, rec: &InjectionRecord) -> String {
+    let (kind, a, b) = target_fields(rec.fault.target);
+    format!(
+        "{{\"kind\":\"done\",\"i\":{},\"at\":{},\"target\":\"{}\",\"a\":{},\"b\":{},\"cat\":{},\"outcome\":\"{}\"}}",
+        index,
+        rec.fault.at,
+        kind,
+        a,
+        b,
+        rec.category
+            .map_or_else(|| "null".to_string(), |c| c.index().to_string()),
+        rec.outcome.name(),
+    )
+}
+
+pub(crate) fn render_error(detail: &str) -> String {
+    format!("{{\"kind\":\"error\",\"detail\":\"{}\"}}", esc(detail))
+}
+
+pub(crate) fn parse_reply(line: &str) -> Result<Reply, NfpError> {
+    let bad = |what: &str| violation(format!("{what} in worker frame: {line:?}"));
+    let obj = Obj(parse_flat(line).ok_or_else(|| bad("malformed JSON"))?);
+    match obj.str("kind") {
+        Some("hb") => Ok(Reply::Hb),
+        Some("ready") => Ok(Reply::Ready {
+            golden_instret: obj
+                .u64("golden_instret")
+                .ok_or_else(|| bad("missing golden_instret"))?,
+        }),
+        Some("error") => Ok(Reply::Error {
+            detail: obj
+                .str("detail")
+                .ok_or_else(|| bad("missing detail"))?
+                .to_string(),
+        }),
+        Some("done") => {
+            let index = usize::try_from(obj.u64("i").ok_or_else(|| bad("missing index"))?)
+                .map_err(|_| bad("index overflow"))?;
+            let fault = Fault {
+                at: obj.u64("at").ok_or_else(|| bad("missing at"))?,
+                target: target_from_fields(
+                    obj.str("target").ok_or_else(|| bad("missing target"))?,
+                    obj.u64("a").ok_or_else(|| bad("missing a"))?,
+                    obj.u64("b").ok_or_else(|| bad("missing b"))?,
+                )
+                .ok_or_else(|| bad("unknown fault target"))?,
+            };
+            let category = match obj.opt_u64("cat").ok_or_else(|| bad("missing cat"))? {
+                None => None,
+                Some(i) => Some(
+                    *usize::try_from(i)
+                        .ok()
+                        .and_then(|i| Category::ALL.get(i))
+                        .ok_or_else(|| bad("category out of range"))?,
+                ),
+            };
+            let outcome =
+                Outcome::from_name(obj.str("outcome").ok_or_else(|| bad("missing outcome"))?)
+                    .ok_or_else(|| bad("unknown outcome"))?;
+            Ok(Reply::Done {
+                index,
+                record: InjectionRecord {
+                    fault,
+                    category,
+                    outcome,
+                },
+            })
+        }
+        other => Err(violation(format!(
+            "unknown worker frame kind {other:?}: {line:?}"
+        ))),
+    }
+}
+
+/// Validates that a done frame answers the injection actually in
+/// flight. The protocol is strictly one-run-one-done, so any other
+/// index means the two sides have lost sync and the worker must go.
+pub(crate) fn check_index(got: usize, expect: usize) -> Result<(), NfpError> {
+    if got == expect {
+        Ok(())
+    } else {
+        Err(violation(format!(
+            "out-of-order done: worker answered injection {got} while {expect} was in flight"
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker side.
+// ---------------------------------------------------------------------
+
+/// Writes one frame to stdout, atomically and flushed (the supervisor
+/// reads line-by-line; a buffered half-line would look like a torn
+/// frame).
+fn emit(line: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = out.write_all(line.as_bytes());
+    let _ = out.write_all(b"\n");
+    let _ = out.flush();
+}
+
+/// The `repro worker` entry point: speaks the protocol on
+/// stdin/stdout until EOF. Returns the process exit code — 0 for a
+/// clean shutdown (supervisor closed stdin), 1 after emitting an
+/// `error` frame.
+pub fn run_worker() -> i32 {
+    match worker_main() {
+        Ok(()) => 0,
+        Err(e) => {
+            emit(&render_error(&e.to_string()));
+            1
+        }
+    }
+}
+
+fn worker_main() -> Result<(), NfpError> {
+    let stdin = std::io::stdin();
+    let mut stdin = std::io::BufReader::new(stdin.lock());
+    let Some(line) = read_frame(&mut stdin)? else {
+        // EOF before the hello: the supervisor was only probing that
+        // worker processes can spawn at all.
+        return Ok(());
+    };
+    let hello = parse_hello(&line)?;
+    let campaign = CampaignConfig {
+        injections: usize::try_from(hello.header.injections)
+            .map_err(|_| violation("hello injection count overflows usize"))?,
+        seed: hello.header.seed,
+        checkpoints: usize::try_from(hello.header.checkpoints)
+            .map_err(|_| violation("hello checkpoint count overflows usize"))?,
+        wall: hello.header.wall_ms.map(Duration::from_millis),
+        step_mode: hello.header.step_mode,
+        escalation: u32::try_from(hello.header.escalation)
+            .map_err(|_| violation("hello escalation overflows u32"))?,
+    };
+    let kernels = nfp_workloads::all_kernels(&hello.preset.build())?;
+    let kernel = kernels
+        .iter()
+        .find(|k| k.name == hello.header.kernel)
+        .ok_or_else(|| {
+            violation(format!(
+                "hello names kernel {:?}, which the {} preset does not contain",
+                hello.header.kernel,
+                hello.preset.name()
+            ))
+        })?;
+    let mode = Mode::from_suffix(hello.header.mode).ok_or_else(|| violation("bad mode"))?;
+
+    // Heartbeats start before the (potentially slow) rig build so the
+    // supervisor's liveness watchdog covers the handshake too. The
+    // busy gate silences them for exactly the span of each replay.
+    let busy = Arc::new(AtomicBool::new(false));
+    let alive = Arc::new(AtomicBool::new(true));
+    let interval = Duration::from_millis(hello.heartbeat_ms.max(1));
+    {
+        let (busy, alive) = (Arc::clone(&busy), Arc::clone(&alive));
+        std::thread::spawn(move || {
+            while alive.load(Ordering::Relaxed) {
+                if !busy.load(Ordering::Relaxed) {
+                    emit(HB_FRAME);
+                }
+                std::thread::sleep(interval);
+            }
+        });
+    }
+
+    let (mut rig, space) = CampaignRig::prepare(kernel, mode, &campaign)?;
+    if rig.golden_instret != hello.header.golden_instret {
+        return Err(violation(format!(
+            "golden instruction count mismatch: supervisor expects {}, this worker's rig ran {} \
+             — preset or kernel registry skew between the two binaries",
+            hello.header.golden_instret, rig.golden_instret
+        )));
+    }
+    let faults = plan(&space, campaign.injections, campaign.seed);
+    emit(&render_ready(rig.golden_instret));
+
+    loop {
+        let Some(line) = read_frame(&mut stdin)? else {
+            alive.store(false, Ordering::Relaxed);
+            return Ok(());
+        };
+        let index = parse_run(&line)?;
+        let fault = *faults.get(index).ok_or_else(|| {
+            violation(format!(
+                "run frame indexes injection {index} of a {}-injection plan",
+                faults.len()
+            ))
+        })?;
+        if hello.abort_at == Some(index as u64) {
+            // Test hook: die the way a heap-corrupting harness bug
+            // would — no unwinding, no goodbye frame.
+            std::process::abort();
+        }
+        busy.store(true, Ordering::Relaxed);
+        let replayed = if hello.spin_at == Some(index as u64) {
+            replay_spinning(&mut rig, &fault, campaign.wall)
+        } else {
+            rig.run_one(&fault, campaign.wall)
+        };
+        busy.store(false, Ordering::Relaxed);
+        emit(&render_done(index, &replayed?));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfp_sim::FaultTarget;
+
+    fn hello() -> WorkerHello {
+        WorkerHello {
+            header: JournalHeader {
+                kernel: "fse_img00".to_string(),
+                mode: "float",
+                injections: 24,
+                seed: 0xfeed_5eed,
+                checkpoints: 8,
+                step_mode: false,
+                escalation: 2,
+                wall_ms: Some(400),
+                golden_instret: 123_456,
+            },
+            preset: WorkerPreset::Quick,
+            heartbeat_ms: 200,
+            spin_at: None,
+            abort_at: Some(5),
+        }
+    }
+
+    #[test]
+    fn hello_roundtrips() {
+        let h = hello();
+        assert_eq!(parse_hello(&render_hello(&h)).unwrap(), h);
+        let plain = WorkerHello {
+            spin_at: Some(3),
+            abort_at: None,
+            ..hello()
+        };
+        assert_eq!(parse_hello(&render_hello(&plain)).unwrap(), plain);
+    }
+
+    #[test]
+    fn version_mismatch_handshake_is_a_protocol_violation() {
+        let v2 = render_hello(&hello()).replacen("\"v\":1", "\"v\":2", 1);
+        match parse_hello(&v2) {
+            Err(NfpError::ProtocolViolation { detail }) => {
+                assert!(detail.contains("version"), "detail: {detail}");
+                assert!(detail.contains("v2"), "detail: {detail}");
+            }
+            other => panic!("expected ProtocolViolation, got {other:?}"),
+        }
+        // A frame that is not a hello at all is also a violation.
+        assert!(parse_hello(HB_FRAME).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_is_a_protocol_violation() {
+        let line = vec![b'x'; MAX_LINE + 10];
+        match read_frame(&mut &line[..]) {
+            Err(NfpError::ProtocolViolation { detail }) => {
+                assert!(detail.contains("oversized"), "detail: {detail}");
+            }
+            other => panic!("expected ProtocolViolation, got {other:?}"),
+        }
+        // Exactly at the cap (plus the newline) still passes.
+        let mut max = vec![b'y'; MAX_LINE];
+        max.push(b'\n');
+        assert_eq!(read_frame(&mut &max[..]).unwrap().unwrap().len(), MAX_LINE);
+    }
+
+    #[test]
+    fn truncated_frame_is_a_protocol_violation() {
+        // A peer that died mid-write leaves a newline-less tail.
+        match read_frame(&mut &b"{\"kind\":\"hb\""[..]) {
+            Err(NfpError::ProtocolViolation { detail }) => {
+                assert!(detail.contains("truncated"), "detail: {detail}");
+            }
+            other => panic!("expected ProtocolViolation, got {other:?}"),
+        }
+        // Invalid UTF-8 cannot become a frame either.
+        assert!(read_frame(&mut &b"\xff\xfe\n"[..]).is_err());
+        // And a closed stream between frames is a clean EOF, not an error.
+        assert_eq!(read_frame(&mut &b""[..]).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_json_inside_a_frame_is_a_protocol_violation() {
+        for bad in ["{\"kind\":\"done\",\"i\":3", "{\"kind\":\"done\",\"i\":}"] {
+            assert!(
+                matches!(parse_reply(bad), Err(NfpError::ProtocolViolation { .. })),
+                "accepted: {bad:?}"
+            );
+        }
+        // Structurally valid JSON with missing done fields is equally dead.
+        assert!(parse_reply("{\"kind\":\"done\",\"i\":3}").is_err());
+        assert!(parse_reply("{\"kind\":\"warp\"}").is_err());
+    }
+
+    #[test]
+    fn out_of_order_done_is_a_protocol_violation() {
+        check_index(3, 3).unwrap();
+        match check_index(7, 3) {
+            Err(NfpError::ProtocolViolation { detail }) => {
+                assert!(detail.contains("out-of-order"), "detail: {detail}");
+                assert!(
+                    detail.contains('7') && detail.contains('3'),
+                    "detail: {detail}"
+                );
+            }
+            other => panic!("expected ProtocolViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        assert_eq!(
+            parse_reply(&render_ready(99)).unwrap(),
+            Reply::Ready { golden_instret: 99 }
+        );
+        assert_eq!(parse_reply(HB_FRAME).unwrap(), Reply::Hb);
+        let nasty = "panic: \"quoted\"\nwith newline";
+        assert_eq!(
+            parse_reply(&render_error(nasty)).unwrap(),
+            Reply::Error {
+                detail: nasty.to_string()
+            }
+        );
+        let record = InjectionRecord {
+            fault: Fault {
+                at: 8_317,
+                target: FaultTarget::Ram {
+                    addr: 0x4100_0040,
+                    bit: 31,
+                },
+            },
+            category: Some(Category::MemLoad),
+            outcome: Outcome::Sdc,
+        };
+        assert_eq!(
+            parse_reply(&render_done(7, &record)).unwrap(),
+            Reply::Done { index: 7, record }
+        );
+    }
+
+    #[test]
+    fn run_frames_roundtrip() {
+        assert_eq!(parse_run(&render_run(41)).unwrap(), 41);
+        assert!(parse_run("{\"kind\":\"hb\"}").is_err());
+        assert!(parse_run("{\"kind\":\"run\"}").is_err());
+    }
+}

@@ -9,7 +9,7 @@ use nfp_workloads::Preset;
 
 #[test]
 fn thousand_injection_fse_campaign_is_deterministic() {
-    let kernels = nfp_workloads::fse_kernels(&Preset::quick());
+    let kernels = nfp_workloads::fse_kernels(&Preset::quick()).expect("kernels");
     let cfg = CampaignConfig {
         injections: 1000,
         seed: 0xdead_beef,

@@ -1,0 +1,209 @@
+//! Process-isolation acceptance tests: a campaign whose workers run as
+//! `repro worker` subprocesses survives worker aborts and harness-level
+//! hangs that would be fatal to any in-process pool, and still produces
+//! the byte-identical same-seed report — modulo the quarantined entry —
+//! across isolation modes and kill/respawn interleavings.
+
+use nfp_bench::{
+    run_supervised, CampaignConfig, Mode, SupervisorConfig, SupervisorOutcome, WorkerIsolation,
+};
+use nfp_core::{HarnessCause, Outcome};
+use nfp_workloads::{fse_kernels, Kernel, Preset};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn kernel() -> Kernel {
+    fse_kernels(&Preset::quick())
+        .expect("quick preset builds")
+        .into_iter()
+        .next()
+        .expect("quick preset has FSE kernels")
+}
+
+fn campaign(injections: usize) -> CampaignConfig {
+    CampaignConfig {
+        injections,
+        seed: 0xfeed_5eed,
+        ..CampaignConfig::default()
+    }
+}
+
+/// A process-isolated supervisor pointed at the freshly built `repro`
+/// binary (tests do not run inside it, so `current_exe` would name the
+/// test harness — exactly the skew `worker_bin` exists for).
+fn process_supervisor(campaign: CampaignConfig) -> SupervisorConfig {
+    let mut cfg = SupervisorConfig::new(campaign);
+    cfg.workers = Some(2);
+    cfg.isolation = WorkerIsolation::Process;
+    cfg.worker_bin = Some(PathBuf::from(env!("CARGO_BIN_EXE_repro")));
+    cfg
+}
+
+fn thread_supervisor(campaign: CampaignConfig) -> SupervisorConfig {
+    let mut cfg = SupervisorConfig::new(campaign);
+    cfg.workers = Some(2);
+    cfg
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nfp_process_{name}_{}.jsonl", std::process::id()))
+}
+
+/// Asserts every record except `except` matches the thread-mode
+/// baseline exactly.
+fn assert_records_match(got: &SupervisorOutcome, want: &SupervisorOutcome, except: Option<usize>) {
+    assert_eq!(got.result.records.len(), want.result.records.len());
+    for (i, (g, w)) in got
+        .result
+        .records
+        .iter()
+        .zip(&want.result.records)
+        .enumerate()
+    {
+        if Some(i) != except {
+            assert_eq!(g, w, "record {i} diverged across isolation modes");
+        }
+    }
+}
+
+#[test]
+fn process_mode_report_is_byte_identical_to_thread_mode() {
+    let k = kernel();
+    let threads = run_supervised(&k, Mode::Float, &thread_supervisor(campaign(48))).unwrap();
+    let procs = run_supervised(&k, Mode::Float, &process_supervisor(campaign(48))).unwrap();
+
+    assert!(procs.process_isolation, "subprocess pool did not come up");
+    assert!(!threads.process_isolation);
+    assert_eq!(procs.kills, 0);
+    assert_eq!(procs.respawns, 0);
+    assert!(procs.quarantined.is_empty());
+    assert_records_match(&procs, &threads, None);
+    assert_eq!(procs.result.report, threads.result.report);
+    assert_eq!(procs.result.report.render(), threads.result.report.render());
+    assert_eq!(procs.result.golden_instret, threads.result.golden_instret);
+}
+
+#[test]
+fn aborting_worker_is_retried_then_quarantined() {
+    let k = kernel();
+    let baseline = run_supervised(&k, Mode::Float, &thread_supervisor(campaign(24))).unwrap();
+
+    // The worker `abort()`s whenever asked to replay injection 5: no
+    // unwinding, no goodbye frame — SIGABRT. The supervisor must
+    // respawn the slot, retry once on the fresh process (which aborts
+    // again), quarantine, and carry the campaign to completion.
+    let mut cfg = process_supervisor(campaign(24));
+    cfg.test_worker_abort_at = Some(5);
+    let outcome = run_supervised(&k, Mode::Float, &cfg).unwrap();
+
+    assert!(outcome.process_isolation);
+    assert_eq!(outcome.completed, 24);
+    assert!(outcome.respawns >= 1, "no respawn after SIGABRT");
+    assert_eq!(outcome.quarantined.len(), 1);
+    let q = &outcome.quarantined[0];
+    assert_eq!(q.index, 5);
+    assert!(
+        matches!(q.cause, HarnessCause::WorkerKilled { .. }),
+        "expected a worker death, got {:?}",
+        q.cause
+    );
+    assert_eq!(outcome.result.records[5].outcome, Outcome::HarnessFault);
+    assert_eq!(
+        outcome.result.records[5].fault,
+        baseline.result.records[5].fault
+    );
+    // Everything else is byte-identical to the undisturbed thread run.
+    assert_records_match(&outcome, &baseline, Some(5));
+    assert_eq!(
+        outcome.result.outcome_totals().get(Outcome::HarnessFault),
+        1
+    );
+}
+
+#[test]
+fn hung_worker_is_sigkilled_respawned_and_quarantined() {
+    let k = kernel();
+    // Unbounded escalation: the instruction budget can never classify
+    // the spin on its own, and no wall deadline is set inside the
+    // replay either — the worker genuinely wedges, heartbeat-silent
+    // (it is mid-replay), and only the supervisor's per-injection
+    // deadline can put it down.
+    let wedge = CampaignConfig {
+        escalation: u32::MAX,
+        ..campaign(48)
+    };
+    let baseline = run_supervised(&k, Mode::Float, &thread_supervisor(wedge.clone())).unwrap();
+    assert_eq!(
+        baseline.result.outcome_totals().get(Outcome::Hang),
+        0,
+        "pick a seed whose plan has no genuine hangs for this test"
+    );
+
+    let mut cfg = process_supervisor(wedge);
+    cfg.test_spin_at = Some(3);
+    cfg.deadline = Some(Duration::from_millis(1500));
+    let outcome = run_supervised(&k, Mode::Float, &cfg).unwrap();
+
+    assert!(outcome.process_isolation);
+    assert_eq!(outcome.completed, 48);
+    // Attempt one and the retry both wedge: two SIGKILLs, at least one
+    // backoff respawn, then quarantine.
+    assert!(outcome.kills >= 2, "kills = {}", outcome.kills);
+    assert!(outcome.respawns >= 1, "respawns = {}", outcome.respawns);
+    assert_eq!(outcome.quarantined.len(), 1);
+    let q = &outcome.quarantined[0];
+    assert_eq!(q.index, 3);
+    assert_eq!(q.cause, HarnessCause::DeadlineExceeded);
+    assert_eq!(outcome.result.records[3].outcome, Outcome::HarnessFault);
+    assert_records_match(&outcome, &baseline, Some(3));
+}
+
+#[test]
+fn process_journal_resumes_in_thread_mode() {
+    let k = kernel();
+    let baseline = run_supervised(&k, Mode::Float, &thread_supervisor(campaign(32))).unwrap();
+
+    // Kill a journaled process-mode campaign after 10 writes...
+    let journal = tmp_journal("cross_mode");
+    let mut interrupted = process_supervisor(campaign(32));
+    interrupted.journal = Some(journal.clone());
+    interrupted.test_abort_after = Some(10);
+    let aborted = run_supervised(&k, Mode::Float, &interrupted).unwrap();
+    assert!(aborted.aborted);
+    assert!(aborted.process_isolation);
+    assert_eq!(aborted.completed, 10);
+
+    // ...and resume it with plain thread workers: journals are
+    // byte-compatible across isolation modes, and the merged result is
+    // the uninterrupted thread-mode result.
+    let mut resuming = thread_supervisor(campaign(32));
+    resuming.journal = Some(journal.clone());
+    resuming.resume = true;
+    let resumed = run_supervised(&k, Mode::Float, &resuming).unwrap();
+    assert!(!resumed.process_isolation);
+    assert_eq!(resumed.resumed, 10);
+    assert_eq!(resumed.completed, 32);
+    assert_eq!(resumed.result.records, baseline.result.records);
+    assert_eq!(
+        resumed.result.report.render(),
+        baseline.result.report.render()
+    );
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn missing_worker_binary_falls_back_to_thread_mode() {
+    let k = kernel();
+    let mut cfg = process_supervisor(campaign(16));
+    cfg.worker_bin = Some(PathBuf::from("/nonexistent/repro-worker-binary"));
+    let outcome = run_supervised(&k, Mode::Float, &cfg).unwrap();
+    assert!(
+        !outcome.process_isolation,
+        "an unspawnable binary must fall back to threads"
+    );
+    assert_eq!(outcome.completed, 16);
+    assert!(outcome.quarantined.is_empty());
+
+    let baseline = run_supervised(&k, Mode::Float, &thread_supervisor(campaign(16))).unwrap();
+    assert_records_match(&outcome, &baseline, None);
+}

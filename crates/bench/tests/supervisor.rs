@@ -5,7 +5,7 @@
 //! classified as a hang by the wall deadline.
 
 use nfp_bench::{run_supervised, CampaignConfig, Mode, SupervisorConfig};
-use nfp_core::{NfpError, Outcome};
+use nfp_core::{HarnessCause, NfpError, Outcome};
 use nfp_workloads::{fse_kernels, Kernel, Preset};
 use std::io::Write;
 use std::path::PathBuf;
@@ -13,6 +13,7 @@ use std::time::Duration;
 
 fn kernel() -> Kernel {
     fse_kernels(&Preset::quick())
+        .expect("quick preset builds")
         .into_iter()
         .next()
         .expect("quick preset has FSE kernels")
@@ -113,7 +114,8 @@ fn panicking_replay_is_retried_then_quarantined() {
     assert_eq!(quarantined.completed, 48);
     assert_eq!(quarantined.quarantined.len(), 1);
     assert_eq!(quarantined.quarantined[0].index, 7);
-    assert!(quarantined.quarantined[0].panic.contains("forced panic"));
+    assert!(quarantined.quarantined[0].detail.contains("forced panic"));
+    assert_eq!(quarantined.quarantined[0].cause, HarnessCause::Panic);
     assert_eq!(quarantined.result.records[7].outcome, Outcome::HarnessFault);
     assert_eq!(
         quarantined.result.records[7].fault,
@@ -183,6 +185,41 @@ fn wall_deadline_classifies_spin_as_hang() {
         if i != 3 {
             assert_eq!(got, want, "record {i} diverged under the wall deadline");
         }
+    }
+}
+
+#[test]
+fn torn_or_empty_header_line_yields_a_clean_journal_error() {
+    let k = kernel();
+    // A kill during the very first write can leave a journal whose
+    // *header* line is torn (no trailing newline, truncated JSON), or
+    // an empty file, or a header's worth of garbage. None of these may
+    // panic; all must surface as a Journal error naming the path.
+    let cases: [(&str, &[u8]); 4] = [
+        ("empty", b""),
+        ("torn_header", b"{\"v\":1,\"kind\":\"nfp-campaign-jou"),
+        ("garbage_header", b"not json at all\n"),
+        // A valid-looking but non-journal object is equally rejected.
+        ("wrong_kind", b"{\"v\":1,\"kind\":\"something-else\"}\n"),
+    ];
+    for (name, bytes) in cases {
+        let journal = tmp_journal(&format!("header_{name}"));
+        std::fs::write(&journal, bytes).unwrap();
+        let mut resuming = supervisor(campaign(16));
+        resuming.journal = Some(journal.clone());
+        resuming.resume = true;
+        match run_supervised(&k, Mode::Float, &resuming) {
+            Err(NfpError::Journal { path, reason }) => {
+                assert!(
+                    path.contains(&format!("header_{name}")),
+                    "case {name}: error names path {path:?}"
+                );
+                assert!(!reason.is_empty(), "case {name}: empty reason");
+            }
+            Err(other) => panic!("case {name}: expected Journal error, got {other:?}"),
+            Ok(_) => panic!("case {name}: resume must not succeed"),
+        }
+        let _ = std::fs::remove_file(&journal);
     }
 }
 

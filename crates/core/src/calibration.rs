@@ -17,6 +17,7 @@
 //! hardware model's internal parameters.
 
 use crate::model::{Classifier, CostModel};
+use crate::NfpError;
 use nfp_sim::{Machine, MachineConfig, SimError};
 use nfp_sparc::asm::Assembler;
 use nfp_sparc::cond::ICond;
@@ -282,20 +283,44 @@ fn measure_kernel(
     Ok(measured.measurement)
 }
 
-/// Calibrates one class; exposed for the sensitivity ablation (E7),
-/// which varies the iteration count.
-pub fn calibrate_class(
-    testbed: &Testbed,
+/// Derives one class's specific costs (Eq. 2) from the reference/test
+/// measurement pair, rejecting degenerate inputs instead of producing
+/// NaN/∞ costs: a zero test-instruction count divides by zero, a
+/// non-finite measurement poisons everything downstream, and an
+/// identical reference/test pair is a rank-deficient system with no
+/// differential signal to solve for.
+fn derive(
     class: &'static str,
-    iters: u32,
-    seed: u64,
-) -> Result<ClassCalibration, SimError> {
-    let spec = spec_for(class);
-    let ref_words = build_kernel(&spec, iters, false);
-    let test_words = build_kernel(&spec, iters, true);
-    let m_ref = measure_kernel(testbed, &ref_words, spec.uses_fpu, seed)?;
-    let m_test = measure_kernel(testbed, &test_words, spec.uses_fpu, seed.wrapping_add(1))?;
-    let n_test = iters as u64 * UNROLL as u64;
+    n_test: u64,
+    m_ref: &nfp_testbed::Measurement,
+    m_test: &nfp_testbed::Measurement,
+) -> Result<ClassCalibration, NfpError> {
+    let degenerate = |reason: String| NfpError::Calibration {
+        class: class.to_string(),
+        reason,
+    };
+    if n_test == 0 {
+        return Err(degenerate(
+            "zero test-instruction count (zero-count category)".to_string(),
+        ));
+    }
+    for (label, v) in [
+        ("reference time", m_ref.time_s),
+        ("reference energy", m_ref.energy_j),
+        ("test time", m_test.time_s),
+        ("test energy", m_test.energy_j),
+    ] {
+        if !v.is_finite() {
+            return Err(degenerate(format!("non-finite {label} measurement ({v})")));
+        }
+    }
+    if m_test.time_s == m_ref.time_s && m_test.energy_j == m_ref.energy_j {
+        return Err(degenerate(
+            "reference and test measurements are identical \
+             (rank-deficient system, no differential signal)"
+                .to_string(),
+        ));
+    }
     Ok(ClassCalibration {
         class,
         time_s: (m_test.time_s - m_ref.time_s) / n_test as f64,
@@ -304,6 +329,40 @@ pub fn calibrate_class(
         measured_time_s: (m_ref.time_s, m_test.time_s),
         measured_energy_j: (m_ref.energy_j, m_test.energy_j),
     })
+}
+
+/// Calibrates one class; exposed for the sensitivity ablation (E7),
+/// which varies the iteration count.
+pub fn calibrate_class(
+    testbed: &Testbed,
+    class: &'static str,
+    iters: u32,
+    seed: u64,
+) -> Result<ClassCalibration, NfpError> {
+    let n_test = iters as u64 * UNROLL as u64;
+    if n_test == 0 {
+        // Catch the zero-count case before paying for two testbed runs
+        // (and before `build_kernel` emits a loop that counts down from
+        // zero).
+        return derive(
+            class,
+            0,
+            &nfp_testbed::Measurement {
+                time_s: 0.0,
+                energy_j: 0.0,
+            },
+            &nfp_testbed::Measurement {
+                time_s: 0.0,
+                energy_j: 0.0,
+            },
+        );
+    }
+    let spec = spec_for(class);
+    let ref_words = build_kernel(&spec, iters, false);
+    let test_words = build_kernel(&spec, iters, true);
+    let m_ref = measure_kernel(testbed, &ref_words, spec.uses_fpu, seed)?;
+    let m_test = measure_kernel(testbed, &test_words, spec.uses_fpu, seed.wrapping_add(1))?;
+    derive(class, n_test, &m_ref, &m_test)
 }
 
 /// Default iteration count for a class (sized so the differential
@@ -320,7 +379,12 @@ pub fn calibrate<C: Classifier>(
     testbed: &Testbed,
     classifier: &C,
     seed: u64,
-) -> Result<Calibration, SimError> {
+) -> Result<Calibration, NfpError> {
+    if classifier.class_count() == 0 {
+        return Err(NfpError::Empty {
+            what: "classifier class set",
+        });
+    }
     let mut details = Vec::with_capacity(classifier.class_count());
     let mut time_s = Vec::with_capacity(classifier.class_count());
     let mut energy_j = Vec::with_capacity(classifier.class_count());
@@ -385,6 +449,68 @@ mod tests {
         let b = calibrate_class(&testbed, "Integer Arithmetic", 50_000, 7).unwrap();
         assert_eq!(a.time_s, b.time_s);
         assert_eq!(a.energy_j, b.energy_j);
+    }
+
+    #[test]
+    fn zero_iteration_calibration_is_a_typed_error_not_nan() {
+        let testbed = Testbed::new();
+        match calibrate_class(&testbed, "NOP", 0, 1) {
+            Err(NfpError::Calibration { class, reason }) => {
+                assert_eq!(class, "NOP");
+                assert!(reason.contains("zero-count"), "{reason}");
+            }
+            other => panic!("expected Calibration error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_deficient_measurement_pair_is_rejected() {
+        let same = nfp_testbed::Measurement {
+            time_s: 1.25,
+            energy_j: 0.5,
+        };
+        match derive("Jump", 1000, &same, &same) {
+            Err(NfpError::Calibration { reason, .. }) => {
+                assert!(reason.contains("rank-deficient"), "{reason}");
+            }
+            other => panic!("expected Calibration error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_measurements_are_rejected() {
+        let r = nfp_testbed::Measurement {
+            time_s: 1.0,
+            energy_j: 0.5,
+        };
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let t = nfp_testbed::Measurement {
+                time_s: bad,
+                energy_j: 0.7,
+            };
+            match derive("NOP", 64, &r, &t) {
+                Err(NfpError::Calibration { reason, .. }) => {
+                    assert!(reason.contains("non-finite"), "{reason}");
+                }
+                other => panic!("expected Calibration error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn well_formed_derivation_matches_eq2() {
+        let m_ref = nfp_testbed::Measurement {
+            time_s: 1.0,
+            energy_j: 0.5,
+        };
+        let m_test = nfp_testbed::Measurement {
+            time_s: 3.0,
+            energy_j: 1.5,
+        };
+        let cal = derive("NOP", 1000, &m_ref, &m_test).unwrap();
+        assert!((cal.time_s - 2.0e-3).abs() < 1e-15);
+        assert!((cal.energy_j - 1.0e-3).abs() < 1e-15);
+        assert!(cal.time_s.is_finite() && cal.energy_j.is_finite());
     }
 
     #[test]

@@ -98,6 +98,36 @@ pub enum NfpError {
         /// The value the resuming campaign expects.
         campaign: String,
     },
+    /// A workload artefact (kernel registry entry, generated program,
+    /// encoded bitstream) could not be built.
+    Workload {
+        /// What was being built, e.g. `hevc_movobj_lowdelay_qp32`.
+        what: String,
+        /// Why it failed.
+        reason: String,
+    },
+    /// A differential calibration was degenerate: zero test-instruction
+    /// count or a rank-deficient reference/test measurement pair would
+    /// yield NaN/∞ specific costs.
+    Calibration {
+        /// Model class being calibrated.
+        class: String,
+        /// What made the inputs degenerate.
+        reason: String,
+    },
+    /// A campaign worker process died from a signal (SIGKILL by the
+    /// liveness watchdog, SIGSEGV/SIGABRT of its own accord, ...).
+    WorkerKilled {
+        /// The signal that terminated the worker, when known.
+        signal: Option<i32>,
+    },
+    /// A campaign worker process violated the supervisor protocol:
+    /// oversized or malformed frame, out-of-order record, or a
+    /// version/config handshake mismatch.
+    ProtocolViolation {
+        /// What the worker sent (or failed to send).
+        detail: String,
+    },
 }
 
 impl fmt::Display for NfpError {
@@ -129,6 +159,19 @@ impl fmt::Display for NfpError {
                      {field} is {journal} in the journal but {campaign} here \
                      (delete the journal or fix the flags to resume)"
                 )
+            }
+            NfpError::Workload { what, reason } => {
+                write!(f, "building workload '{what}' failed: {reason}")
+            }
+            NfpError::Calibration { class, reason } => {
+                write!(f, "calibration of '{class}' is degenerate: {reason}")
+            }
+            NfpError::WorkerKilled { signal } => match signal {
+                Some(s) => write!(f, "campaign worker process killed by signal {s}"),
+                None => write!(f, "campaign worker process died unexpectedly"),
+            },
+            NfpError::ProtocolViolation { detail } => {
+                write!(f, "campaign worker protocol violation: {detail}")
             }
         }
     }
@@ -191,6 +234,33 @@ mod tests {
         assert_eq!(
             NfpError::Empty { what: "kernel set" }.to_string(),
             "nothing to summarise: kernel set is empty"
+        );
+    }
+
+    #[test]
+    fn worker_and_protocol_errors_display() {
+        assert_eq!(
+            NfpError::WorkerKilled { signal: Some(9) }.to_string(),
+            "campaign worker process killed by signal 9"
+        );
+        assert_eq!(
+            NfpError::WorkerKilled { signal: None }.to_string(),
+            "campaign worker process died unexpectedly"
+        );
+        let shown = NfpError::ProtocolViolation {
+            detail: "oversized frame".to_string(),
+        }
+        .to_string();
+        assert!(shown.contains("protocol violation"), "{shown}");
+        assert!(shown.contains("oversized frame"), "{shown}");
+        let shown = NfpError::Calibration {
+            class: "NOP".to_string(),
+            reason: "zero test-instruction count".to_string(),
+        }
+        .to_string();
+        assert!(
+            shown.contains("NOP") && shown.contains("degenerate"),
+            "{shown}"
         );
     }
 }

@@ -32,4 +32,4 @@ pub use consistency::{check_structure, validate, Finding, Severity, Validation};
 pub use dse::{fpu_tradeoff, FpuTradeoff, KernelNfp};
 pub use error::{relative_error, ErrorSummary, NfpError};
 pub use model::{paper_table1, ClassCounter, Classifier, Coarse, CostModel, Estimate, Fine, Paper};
-pub use vulnerability::{Outcome, OutcomeCounts, VulnerabilityReport, OUTCOME_COUNT};
+pub use vulnerability::{HarnessCause, Outcome, OutcomeCounts, VulnerabilityReport, OUTCOME_COUNT};

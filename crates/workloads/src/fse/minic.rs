@@ -22,7 +22,7 @@ pub const MAX_SAMPLES: usize = 4096;
 fn fmt_f64s(values: &[f64]) -> String {
     let mut s = String::new();
     for v in values {
-        write!(s, "{v:?}, ").unwrap();
+        let _ = write!(s, "{v:?}, ");
     }
     s
 }
@@ -34,7 +34,7 @@ pub fn fse_source() -> String {
     let rev = bit_reverse16();
     let mut rev_s = String::new();
     for v in rev {
-        write!(rev_s, "{v}, ").unwrap();
+        let _ = write!(rev_s, "{v}, ");
     }
 
     format!(

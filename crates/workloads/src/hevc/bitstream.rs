@@ -21,9 +21,12 @@ impl BitWriter {
         if self.fill == 0 {
             self.bytes.push(0);
         }
+        // `fill == 0` pushed a byte just above; `fill > 0` implies a
+        // partial byte already exists, so the `if let` always binds.
         if bit {
-            let last = self.bytes.last_mut().expect("pushed above");
-            *last |= 1 << (7 - self.fill);
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= 1 << (7 - self.fill);
+            }
         }
         self.fill = (self.fill + 1) % 8;
     }

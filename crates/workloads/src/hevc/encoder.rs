@@ -9,6 +9,14 @@ use super::bitstream::BitWriter;
 use super::common::*;
 use super::tables::zigzag8;
 use crate::pixels::Image;
+use nfp_core::NfpError;
+
+fn encode_error(reason: impl Into<String>) -> NfpError {
+    NfpError::Workload {
+        what: "hevc encoder".into(),
+        reason: reason.into(),
+    }
+}
 
 /// Encoder configurations (the paper's four: intra, lowdelay,
 /// lowdelay_P, randomaccess).
@@ -174,14 +182,17 @@ fn motion_search(orig: &Image, reference: &Image, bx: usize, by: usize, range: i
 }
 
 /// Encodes a sequence. Frame dimensions must be multiples of 8.
-pub fn encode(frames: &[Image], config: Config, qp: u32) -> Encoded {
-    assert!(!frames.is_empty());
-    let width = frames[0].width;
-    let height = frames[0].height;
-    assert!(
-        width.is_multiple_of(8) && height.is_multiple_of(8),
-        "dimensions must be multiples of 8"
-    );
+pub fn encode(frames: &[Image], config: Config, qp: u32) -> Result<Encoded, NfpError> {
+    let Some(first) = frames.first() else {
+        return Err(encode_error("empty frame sequence"));
+    };
+    let width = first.width;
+    let height = first.height;
+    if !width.is_multiple_of(8) || !height.is_multiple_of(8) {
+        return Err(encode_error(format!(
+            "dimensions {width}x{height} are not multiples of 8"
+        )));
+    }
     let bw = width / 8;
     let bh = height / 8;
 
@@ -225,15 +236,21 @@ pub fn encode(frames: &[Image], config: Config, qp: u32) -> Encoded {
                         (intra_predict(best_mode, &n), 0)
                     }
                     FrameType::P => {
-                        let reference = ref1.expect("P frame needs a reference");
+                        let reference = ref1.ok_or_else(|| {
+                            encode_error(format!("frame {t}: P frame without a reference"))
+                        })?;
                         let (mvx, mvy) = motion_search(orig, reference, bx, by, 7);
                         w.put_se(mvx);
                         w.put_se(mvy);
                         (motion_compensate(reference, bx, by, mvx, mvy), 0)
                     }
                     FrameType::B => {
-                        let r1 = ref1.expect("B frame needs references");
-                        let r2 = ref2.expect("B frame needs references");
+                        let r1 = ref1.ok_or_else(|| {
+                            encode_error(format!("frame {t}: B frame without references"))
+                        })?;
+                        let r2 = ref2.ok_or_else(|| {
+                            encode_error(format!("frame {t}: B frame without references"))
+                        })?;
                         let (mvx, mvy) = motion_search(orig, r1, bx, by, 7);
                         w.put_se(mvx);
                         w.put_se(mvy);
@@ -252,11 +269,11 @@ pub fn encode(frames: &[Image], config: Config, qp: u32) -> Encoded {
         reconstruction.push(rec);
     }
 
-    Encoded {
+    Ok(Encoded {
         bytes: w.finish(),
         reconstruction,
         activity,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -268,8 +285,8 @@ mod tests {
     #[test]
     fn encoding_is_deterministic() {
         let frames = test_sequence(Scene::MovingObject, 32, 24, 3);
-        let a = encode(&frames, Config::Lowdelay, 32);
-        let b = encode(&frames, Config::Lowdelay, 32);
+        let a = encode(&frames, Config::Lowdelay, 32).expect("encode");
+        let b = encode(&frames, Config::Lowdelay, 32).expect("encode");
         assert_eq!(a.bytes, b.bytes);
         assert_eq!(a.activity.to_bits(), b.activity.to_bits());
     }
@@ -277,8 +294,8 @@ mod tests {
     #[test]
     fn low_qp_gives_higher_fidelity_and_more_bits() {
         let frames = test_sequence(Scene::MovingObject, 32, 24, 3);
-        let hi_q = encode(&frames, Config::Intra, 10);
-        let lo_q = encode(&frames, Config::Intra, 45);
+        let hi_q = encode(&frames, Config::Intra, 10).expect("encode");
+        let lo_q = encode(&frames, Config::Intra, 45).expect("encode");
         assert!(hi_q.bytes.len() > lo_q.bytes.len());
         let p_hi = psnr(&frames[1], &hi_q.reconstruction[1]);
         let p_lo = psnr(&frames[1], &lo_q.reconstruction[1]);
@@ -295,8 +312,8 @@ mod tests {
     #[test]
     fn inter_configs_compress_motion_better_than_intra() {
         let frames = test_sequence(Scene::GradientPan, 32, 24, 4);
-        let intra = encode(&frames, Config::Intra, 32);
-        let inter = encode(&frames, Config::LowdelayP, 32);
+        let intra = encode(&frames, Config::Intra, 32).expect("encode");
+        let inter = encode(&frames, Config::LowdelayP, 32).expect("encode");
         assert!(
             inter.bytes.len() < intra.bytes.len(),
             "P frames ({}) should beat all-intra ({})",
@@ -332,7 +349,7 @@ mod tests {
         for scene in Scene::ALL {
             let frames = test_sequence(scene, 32, 24, 4);
             for config in Config::ALL {
-                let enc = encode(&frames, config, 32);
+                let enc = encode(&frames, config, 32).expect("encode");
                 assert!(!enc.bytes.is_empty());
                 assert_eq!(enc.reconstruction.len(), 4);
             }

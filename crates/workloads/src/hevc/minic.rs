@@ -24,16 +24,16 @@ pub fn decoder_source() -> String {
     let mut t8 = String::new();
     for row in T8 {
         for v in row {
-            write!(t8, "{v}, ").unwrap();
+            let _ = write!(t8, "{v}, ");
         }
     }
     let mut zz = String::new();
     for v in zigzag8() {
-        write!(zz, "{v}, ").unwrap();
+        let _ = write!(zz, "{v}, ");
     }
     let mut lev = String::new();
     for v in LEV_SCALE {
-        write!(lev, "{v}, ").unwrap();
+        let _ = write!(lev, "{v}, ");
     }
 
     format!(

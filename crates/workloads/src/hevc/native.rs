@@ -97,13 +97,17 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
                     1 => {
                         let mvx = r.get_se();
                         let mvy = r.get_se();
-                        let reference = frames.last().expect("checked above");
+                        let reference = frames.last().ok_or_else(|| {
+                            DecodeError(format!("frame {t}: P frame without reference"))
+                        })?;
                         motion_compensate(reference, bx, by, mvx, mvy)
                     }
                     _ => {
                         let mvx = r.get_se();
                         let mvy = r.get_se();
-                        let r1 = frames.last().expect("checked above");
+                        let r1 = frames.last().ok_or_else(|| {
+                            DecodeError(format!("frame {t}: B frame without reference"))
+                        })?;
                         let r2 = if frames.len() >= 2 {
                             &frames[frames.len() - 2]
                         } else {
@@ -138,7 +142,7 @@ mod tests {
             let frames = test_sequence(scene, 32, 24, 4);
             for config in Config::ALL {
                 for qp in [10, 32, 45] {
-                    let enc = encode(&frames, config, qp);
+                    let enc = encode(&frames, config, qp).expect("encode");
                     let dec = decode(&enc.bytes).expect("decode");
                     assert_eq!(dec.frames.len(), enc.reconstruction.len());
                     for (i, (d, e)) in dec.frames.iter().zip(&enc.reconstruction).enumerate() {
@@ -157,7 +161,7 @@ mod tests {
     #[test]
     fn truncated_stream_does_not_panic() {
         let frames = test_sequence(Scene::MovingObject, 32, 24, 2);
-        let enc = encode(&frames, Config::Lowdelay, 32);
+        let enc = encode(&frames, Config::Lowdelay, 32).expect("encode");
         for cut in [1usize, 4, enc.bytes.len() / 2] {
             // Either a graceful error or a (wrong) decode, never a panic.
             let _ = decode(&enc.bytes[..cut]);

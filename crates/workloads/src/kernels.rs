@@ -14,6 +14,7 @@ use crate::hevc::{self, Config};
 use crate::pixels::fnv1a;
 use crate::synth::{loss_mask, test_image, test_sequence, Scene};
 use nfp_cc::{compile, CompileOptions, FloatMode, Program};
+use nfp_core::NfpError;
 use nfp_sim::{Machine, MachineConfig};
 use std::sync::OnceLock;
 
@@ -90,22 +91,26 @@ impl Preset {
 pub const QPS: [u32; 3] = [10, 32, 45];
 
 /// Builds the 36 HEVC kernels (4 configs × 3 QPs × 3 sequences).
-pub fn hevc_kernels(preset: &Preset) -> Vec<Kernel> {
+pub fn hevc_kernels(preset: &Preset) -> Result<Vec<Kernel>, NfpError> {
     let mut kernels = Vec::with_capacity(36);
     let mut seed = 1000u64;
     for scene in Scene::ALL {
         let frames = test_sequence(scene, preset.video_w, preset.video_h, preset.frames);
         for config in Config::ALL {
             for qp in QPS {
-                let encoded = hevc::encode(&frames, config, qp);
-                let decoded = hevc::decode(&encoded.bytes).expect("own bitstream decodes");
+                let name = format!("hevc_{}_{}_qp{}", scene.name(), config.name(), qp);
+                let encoded = hevc::encode(&frames, config, qp)?;
+                let decoded = hevc::decode(&encoded.bytes).map_err(|e| NfpError::Workload {
+                    what: name.clone(),
+                    reason: format!("own bitstream does not decode: {e}"),
+                })?;
                 let mut all_bytes = Vec::new();
                 for f in &decoded.frames {
                     all_bytes.extend_from_slice(&f.data);
                 }
                 let activity_bits = decoded.activity.to_bits();
                 kernels.push(Kernel {
-                    name: format!("hevc_{}_{}_qp{}", scene.name(), config.name(), qp),
+                    name,
                     workload: Workload::Hevc,
                     input: hevc::minic::input_blob(&encoded.bytes),
                     expected_words: vec![
@@ -119,11 +124,11 @@ pub fn hevc_kernels(preset: &Preset) -> Vec<Kernel> {
             }
         }
     }
-    kernels
+    Ok(kernels)
 }
 
 /// Builds the 24 FSE kernels (24 images with individual masks).
-pub fn fse_kernels(preset: &Preset) -> Vec<Kernel> {
+pub fn fse_kernels(preset: &Preset) -> Result<Vec<Kernel>, NfpError> {
     let mut kernels = Vec::with_capacity(24);
     for i in 0..24u64 {
         let img = test_image(preset.fse_size, preset.fse_size, i);
@@ -146,21 +151,22 @@ pub fn fse_kernels(preset: &Preset) -> Vec<Kernel> {
             seed: 2000 + i,
         });
     }
-    kernels
+    Ok(kernels)
 }
 
 /// All 60 kernels of the evaluation (each is later run in float and
 /// fixed variants, giving the paper's M = 120).
-pub fn all_kernels(preset: &Preset) -> Vec<Kernel> {
-    let mut v = hevc_kernels(preset);
-    v.extend(fse_kernels(preset));
-    v
+pub fn all_kernels(preset: &Preset) -> Result<Vec<Kernel>, NfpError> {
+    let mut v = hevc_kernels(preset)?;
+    v.extend(fse_kernels(preset)?);
+    Ok(v)
 }
 
 /// The compiled workload program for a (workload, float-mode) pair.
-/// Programs are shared by all kernels of a workload and cached.
-pub fn program(workload: Workload, mode: FloatMode) -> &'static Program {
-    static CACHE: OnceLock<[OnceLock<Program>; 4]> = OnceLock::new();
+/// Programs are shared by all kernels of a workload and cached (a
+/// compile failure is cached too, and returned on every lookup).
+pub fn program(workload: Workload, mode: FloatMode) -> Result<&'static Program, NfpError> {
+    static CACHE: OnceLock<[OnceLock<Result<Program, NfpError>>; 4]> = OnceLock::new();
     let cache = CACHE.get_or_init(Default::default);
     let idx = match (workload, mode) {
         (Workload::Hevc, FloatMode::Hard) => 0,
@@ -168,14 +174,19 @@ pub fn program(workload: Workload, mode: FloatMode) -> &'static Program {
         (Workload::Fse, FloatMode::Hard) => 2,
         (Workload::Fse, FloatMode::Soft) => 3,
     };
-    cache[idx].get_or_init(|| {
-        let source = match workload {
-            Workload::Hevc => hevc::minic::decoder_source(),
-            Workload::Fse => fse::minic::fse_source(),
-        };
-        compile(&source, &CompileOptions::new(mode))
-            .unwrap_or_else(|e| panic!("{workload:?}/{mode:?} compile: {e}"))
-    })
+    cache[idx]
+        .get_or_init(|| {
+            let source = match workload {
+                Workload::Hevc => hevc::minic::decoder_source(),
+                Workload::Fse => fse::minic::fse_source(),
+            };
+            compile(&source, &CompileOptions::new(mode)).map_err(|e| NfpError::Workload {
+                what: format!("{workload:?}/{mode:?} program"),
+                reason: e.to_string(),
+            })
+        })
+        .as_ref()
+        .map_err(Clone::clone)
 }
 
 /// Address where kernels read their input.
@@ -185,20 +196,18 @@ pub const INPUT_BASE: u32 = 0x4100_0000;
 pub const OUTPUT_BASE: u32 = 0x4200_0000;
 
 /// A machine loaded with a kernel's program and input, ready to run.
-pub fn machine_for(kernel: &Kernel, mode: FloatMode) -> Machine {
-    let program = program(kernel.workload, mode);
+pub fn machine_for(kernel: &Kernel, mode: FloatMode) -> Result<Machine, NfpError> {
+    let program = program(kernel.workload, mode)?;
     let mut machine = Machine::new(MachineConfig {
         fpu_enabled: mode == FloatMode::Hard,
         ..MachineConfig::default()
     });
-    machine
-        .load_image(program.base, &program.words)
-        .expect("kernel image fits in RAM");
+    machine.load_image(program.base, &program.words)?;
     machine
         .bus
         .write_bytes(INPUT_BASE, &kernel.input)
-        .expect("kernel input fits in RAM");
-    machine
+        .map_err(nfp_sim::SimError::from)?;
+    Ok(machine)
 }
 
 /// Instruction budget generous enough for the largest soft-float
@@ -212,15 +221,15 @@ mod tests {
     #[test]
     fn registry_has_paper_counts() {
         let preset = Preset::quick();
-        assert_eq!(hevc_kernels(&preset).len(), 36);
-        assert_eq!(fse_kernels(&preset).len(), 24);
-        assert_eq!(all_kernels(&preset).len(), 60);
+        assert_eq!(hevc_kernels(&preset).expect("hevc kernels").len(), 36);
+        assert_eq!(fse_kernels(&preset).expect("fse kernels").len(), 24);
+        assert_eq!(all_kernels(&preset).expect("all kernels").len(), 60);
     }
 
     #[test]
     fn kernel_names_are_unique() {
         let preset = Preset::quick();
-        let kernels = all_kernels(&preset);
+        let kernels = all_kernels(&preset).expect("all kernels");
         let mut names: Vec<_> = kernels.iter().map(|k| &k.name).collect();
         names.sort();
         names.dedup();
@@ -230,7 +239,7 @@ mod tests {
     #[test]
     fn kernels_have_expected_words() {
         let preset = Preset::quick();
-        for k in all_kernels(&preset) {
+        for k in all_kernels(&preset).expect("all kernels") {
             assert!(!k.expected_words.is_empty(), "{}", k.name);
             assert!(!k.input.is_empty(), "{}", k.name);
         }

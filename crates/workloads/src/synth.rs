@@ -230,7 +230,11 @@ pub enum ProgramShape {
 /// scratch window, and, per [`ProgramShape`], branches to arbitrary
 /// body labels). Returns the assembled words; load at
 /// [`nfp_sim::RAM_BASE`].
-pub fn random_program(body: usize, seed: u64, shape: ProgramShape) -> Vec<u32> {
+pub fn random_program(
+    body: usize,
+    seed: u64,
+    shape: ProgramShape,
+) -> Result<Vec<u32>, nfp_core::NfpError> {
     use nfp_sparc::asm::Assembler;
     use nfp_sparc::cond::ICond;
     use nfp_sparc::{AluOp, MemSize, Operand, Reg};
@@ -365,7 +369,10 @@ pub fn random_program(body: usize, seed: u64, shape: ProgramShape) -> Vec<u32> {
             a.nop();
         }
     }
-    a.finish().expect("generated program assembles")
+    a.finish().map_err(|e| nfp_core::NfpError::Workload {
+        what: format!("synthetic program (seed {seed:#x})"),
+        reason: e.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -418,17 +425,21 @@ mod tests {
             ProgramShape::Branchy,
             ProgramShape::CtiTail,
         ] {
-            let a = random_program(40, 11, shape);
-            let b = random_program(40, 11, shape);
+            let a = random_program(40, 11, shape).expect("program");
+            let b = random_program(40, 11, shape).expect("program");
             assert_eq!(a, b, "{shape:?} must be deterministic");
             assert!(!a.is_empty());
-            assert_ne!(a, random_program(40, 12, shape), "{shape:?} seed varies");
+            assert_ne!(
+                a,
+                random_program(40, 12, shape).expect("program"),
+                "{shape:?} seed varies"
+            );
         }
     }
 
     #[test]
     fn cti_tail_ends_with_branch_and_delay_slot() {
-        let words = random_program(20, 3, ProgramShape::CtiTail);
+        let words = random_program(20, 3, ProgramShape::CtiTail).expect("program");
         let penult = nfp_sparc::decode(words[words.len() - 2]);
         assert!(penult.is_cti(), "penultimate word must be the CTI");
         let last = nfp_sparc::decode(words[words.len() - 1]);

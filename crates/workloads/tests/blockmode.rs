@@ -28,8 +28,16 @@ fn observe(mut m: Machine, block: bool, budget: u64) -> (String, u64, String, St
 }
 
 fn assert_kernel_modes_agree(kernel: &nfp_workloads::Kernel, mode: FloatMode) {
-    let stepped = observe(machine_for(kernel, mode), false, KERNEL_BUDGET);
-    let batched = observe(machine_for(kernel, mode), true, KERNEL_BUDGET);
+    let stepped = observe(
+        machine_for(kernel, mode).expect("machine"),
+        false,
+        KERNEL_BUDGET,
+    );
+    let batched = observe(
+        machine_for(kernel, mode).expect("machine"),
+        true,
+        KERNEL_BUDGET,
+    );
     assert_eq!(
         stepped.0, batched.0,
         "{} [{mode:?}]: run result diverged",
@@ -59,7 +67,7 @@ fn assert_kernel_modes_agree(kernel: &nfp_workloads::Kernel, mode: FloatMode) {
 
 #[test]
 fn fse_kernel_is_bit_identical_across_modes() {
-    let kernels = fse_kernels(&Preset::quick());
+    let kernels = fse_kernels(&Preset::quick()).expect("kernels");
     for mode in [FloatMode::Hard, FloatMode::Soft] {
         assert_kernel_modes_agree(&kernels[0], mode);
     }
@@ -67,7 +75,7 @@ fn fse_kernel_is_bit_identical_across_modes() {
 
 #[test]
 fn hevc_kernel_is_bit_identical_across_modes() {
-    let kernels = hevc_kernels(&Preset::quick());
+    let kernels = hevc_kernels(&Preset::quick()).expect("kernels");
     assert_kernel_modes_agree(&kernels[0], FloatMode::Hard);
 }
 
@@ -85,7 +93,7 @@ proptest! {
     /// doubleword memory traffic the generator emits).
     #[test]
     fn straight_line_programs_agree(body in 4usize..120, seed in 0u64..10_000) {
-        let words = random_program(body, seed, ProgramShape::StraightLine);
+        let words = random_program(body, seed, ProgramShape::StraightLine).expect("program");
         let a = observe(boot_synthetic(&words, TrapPolicy::Abort), false, 5_000);
         let b = observe(boot_synthetic(&words, TrapPolicy::Abort), true, 5_000);
         prop_assert_eq!(a, b);
@@ -97,7 +105,7 @@ proptest! {
     #[test]
     fn branchy_programs_agree(body in 4usize..120, seed in 0u64..10_000, recover in 0u32..2) {
         let policy = if recover == 1 { TrapPolicy::Recover } else { TrapPolicy::Abort };
-        let words = random_program(body, seed, ProgramShape::Branchy);
+        let words = random_program(body, seed, ProgramShape::Branchy).expect("program");
         let a = observe(boot_synthetic(&words, policy), false, 5_000);
         let b = observe(boot_synthetic(&words, policy), true, 5_000);
         prop_assert_eq!(a, b);
@@ -108,7 +116,7 @@ proptest! {
     /// boundary rather than running past it.
     #[test]
     fn cti_tail_programs_agree(body in 2usize..60, seed in 0u64..10_000) {
-        let words = random_program(body, seed, ProgramShape::CtiTail);
+        let words = random_program(body, seed, ProgramShape::CtiTail).expect("program");
         let a = observe(boot_synthetic(&words, TrapPolicy::Abort), false, 5_000);
         let b = observe(boot_synthetic(&words, TrapPolicy::Abort), true, 5_000);
         prop_assert_eq!(a, b);
@@ -119,7 +127,7 @@ proptest! {
 /// (guards the literal the generator uses against drift).
 #[test]
 fn generator_base_matches_simulator_ram_base() {
-    let words = random_program(4, 0, ProgramShape::StraightLine);
+    let words = random_program(4, 0, ProgramShape::StraightLine).expect("program");
     let m = Machine::boot(&words);
     assert_eq!(m.code_base(), RAM_BASE);
 }

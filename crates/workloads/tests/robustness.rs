@@ -21,7 +21,7 @@ proptest! {
     #[test]
     fn hevc_decoder_survives_bit_flips(byte_idx in 8usize..64, bit in 0u8..8) {
         let frames = test_sequence(Scene::MovingObject, 16, 16, 2);
-        let enc = hevc::encode(&frames, Config::Lowdelay, 32);
+        let enc = hevc::encode(&frames, Config::Lowdelay, 32).expect("encode");
         let mut bytes = enc.bytes.clone();
         if byte_idx < bytes.len() {
             bytes[byte_idx] ^= 1 << bit;
@@ -91,15 +91,25 @@ fn fse_block_fully_surrounded_by_loss_falls_back_gracefully() {
 #[test]
 fn encoder_rejects_unaligned_dimensions() {
     let frames = vec![Image::new(30, 24)];
-    let result = std::panic::catch_unwind(|| hevc::encode(&frames, Config::Intra, 32));
-    assert!(result.is_err(), "non-multiple-of-8 width must be rejected");
+    let err = hevc::encode(&frames, Config::Intra, 32)
+        .expect_err("non-multiple-of-8 width must be rejected");
+    assert!(
+        err.to_string().contains("30x24"),
+        "error should name the bad dimensions: {err}"
+    );
+}
+
+#[test]
+fn encoder_rejects_empty_sequence() {
+    let err = hevc::encode(&[], Config::Intra, 32).expect_err("empty sequence must be rejected");
+    assert!(err.to_string().contains("empty"), "{err}");
 }
 
 #[test]
 fn decoded_geometry_matches_header_for_all_scenes() {
     for scene in Scene::ALL {
         let frames = test_sequence(scene, 24, 16, 2);
-        let enc = hevc::encode(&frames, Config::Intra, 32);
+        let enc = hevc::encode(&frames, Config::Intra, 32).expect("encode");
         let dec = hevc::decode(&enc.bytes).unwrap();
         assert_eq!(dec.frames.len(), 2);
         assert_eq!(dec.frames[0].width, 24);

@@ -11,7 +11,7 @@ use nfp_workloads::synth::{loss_mask, test_image, test_sequence, Scene};
 use nfp_workloads::{fse, machine_for, Kernel, Workload, OUTPUT_BASE};
 
 fn run_kernel(kernel: &Kernel, mode: FloatMode) -> (Vec<u32>, nfp_sim::Machine) {
-    let mut machine = machine_for(kernel, mode);
+    let mut machine = machine_for(kernel, mode).expect("machine");
     let result = machine
         .run(nfp_workloads::KERNEL_BUDGET)
         .unwrap_or_else(|e| panic!("{} [{mode:?}]: {e}", kernel.name));
@@ -24,7 +24,7 @@ fn hevc_simulated_decoder_matches_native_reference() {
     let frames = test_sequence(Scene::MovingObject, 32, 24, 3);
     for config in Config::ALL {
         for qp in [10u32, 45] {
-            let encoded = hevc::encode(&frames, config, qp);
+            let encoded = hevc::encode(&frames, config, qp).expect("encode");
             let decoded = hevc::decode(&encoded.bytes).unwrap();
             let kernel = Kernel {
                 name: format!("test_{}_{qp}", config.name()),
@@ -109,7 +109,7 @@ fn fse_simulated_matches_native_reference() {
 fn registry_kernels_verify_on_the_simulator() {
     // One representative of each workload from the quick registry.
     let preset = nfp_workloads::Preset::quick();
-    let kernels = nfp_workloads::all_kernels(&preset);
+    let kernels = nfp_workloads::all_kernels(&preset).expect("kernels");
     let hevc_k = kernels
         .iter()
         .find(|k| k.workload == Workload::Hevc)
@@ -131,7 +131,7 @@ fn float_and_fixed_produce_identical_output() {
     // The paper's premise for Table IV: -msoft-float changes nothing
     // functionally.
     let preset = nfp_workloads::Preset::quick();
-    let kernels = nfp_workloads::fse_kernels(&preset);
+    let kernels = nfp_workloads::fse_kernels(&preset).expect("kernels");
     let kernel = &kernels[3];
     let (hard, _) = run_kernel(kernel, FloatMode::Hard);
     let (soft, _) = run_kernel(kernel, FloatMode::Soft);
@@ -141,10 +141,10 @@ fn float_and_fixed_produce_identical_output() {
 #[test]
 fn soft_kernels_execute_many_more_instructions() {
     let preset = nfp_workloads::Preset::quick();
-    let kernels = nfp_workloads::fse_kernels(&preset);
+    let kernels = nfp_workloads::fse_kernels(&preset).expect("kernels");
     let kernel = &kernels[0];
     let count = |mode| {
-        let mut machine = machine_for(kernel, mode);
+        let mut machine = machine_for(kernel, mode).expect("machine");
         machine.run(nfp_workloads::KERNEL_BUDGET).unwrap().instret
     };
     let hard = count(FloatMode::Hard);

@@ -12,7 +12,7 @@ use nfp_repro::testbed::{AreaModel, Testbed};
 use nfp_repro::workloads::{fse_kernels, hevc_kernels, machine_for, Kernel, Preset};
 
 fn measure(testbed: &Testbed, kernel: &Kernel, mode: FloatMode) -> (f64, f64) {
-    let mut machine = machine_for(kernel, mode);
+    let mut machine = machine_for(kernel, mode).expect("machine");
     let r = testbed
         .run(
             &mut machine,
@@ -27,8 +27,8 @@ fn measure(testbed: &Testbed, kernel: &Kernel, mode: FloatMode) -> (f64, f64) {
 fn main() {
     let preset = Preset::quick();
     let testbed = Testbed::new();
-    let fse = &fse_kernels(&preset)[0];
-    let hevc = &hevc_kernels(&preset)[4];
+    let fse = &fse_kernels(&preset).expect("kernels")[0];
+    let hevc = &hevc_kernels(&preset).expect("kernels")[4];
 
     println!("Should this product's CPU include an FPU?\n");
     println!(

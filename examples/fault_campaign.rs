@@ -28,8 +28,8 @@ fn main() {
         ..CampaignConfig::default()
     };
 
-    let fse = &fse_kernels(&preset)[0];
-    let hevc = &hevc_kernels(&preset)[0];
+    let fse = &fse_kernels(&preset).expect("kernels")[0];
+    let hevc = &hevc_kernels(&preset).expect("kernels")[0];
 
     for kernel in [fse, hevc] {
         match run_campaign_parallel(kernel, Mode::Float, &cfg) {

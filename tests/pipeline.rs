@@ -19,9 +19,9 @@ fn estimation_errors_are_in_the_papers_band() {
     let preset = Preset::quick();
     // A representative slice: 4 HEVC + 2 FSE kernels, both variants.
     let mut kernels = Vec::new();
-    let hevc = hevc_kernels(&preset);
+    let hevc = hevc_kernels(&preset).expect("kernels");
     kernels.extend(hevc.into_iter().step_by(9));
-    kernels.extend(fse_kernels(&preset).into_iter().take(2));
+    kernels.extend(fse_kernels(&preset).expect("kernels").into_iter().take(2));
     let results = eval.run_all(&kernels).expect("pipeline");
     assert_eq!(results.len(), kernels.len() * 2);
 
@@ -58,8 +58,8 @@ fn estimation_errors_are_in_the_papers_band() {
 fn fpu_tradeoff_has_the_papers_shape() {
     let eval = eval();
     let preset = Preset::quick();
-    let fse = &fse_kernels(&preset)[0];
-    let hevc = &hevc_kernels(&preset)[4];
+    let fse = &fse_kernels(&preset).expect("kernels")[0];
+    let hevc = &hevc_kernels(&preset).expect("kernels")[4];
 
     let run = |k, m| eval.run_kernel(k, m).expect("run");
     let fse_float = run(fse, Mode::Float);
@@ -91,7 +91,7 @@ fn estimates_track_counts_not_measurements() {
     // though measurement noise differs.
     let eval = eval();
     let preset = Preset::quick();
-    let kernel = &hevc_kernels(&preset)[0];
+    let kernel = &hevc_kernels(&preset).expect("kernels")[0];
     let a = eval.run_kernel(kernel, Mode::Float).expect("run");
     let b = eval.run_kernel(kernel, Mode::Float).expect("run");
     assert_eq!(a.counts, b.counts);
@@ -121,7 +121,11 @@ fn umbrella_crate_reexports_work_together() {
 fn parallel_sweep_matches_sequential() {
     let eval = eval();
     let preset = Preset::quick();
-    let kernels: Vec<_> = hevc_kernels(&preset).into_iter().take(2).collect();
+    let kernels: Vec<_> = hevc_kernels(&preset)
+        .expect("kernels")
+        .into_iter()
+        .take(2)
+        .collect();
     let seq = eval.run_all(&kernels).expect("sequential");
     let par = eval.run_all_parallel(&kernels).expect("parallel");
     assert_eq!(seq.len(), par.len());
