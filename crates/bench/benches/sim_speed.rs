@@ -14,7 +14,10 @@
 //! artifact).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use nfp_bench::{run_supervised, CampaignConfig, Mode, SupervisorConfig, WorkerIsolation};
+use nfp_bench::{
+    merge_journals, run_sharded, run_supervised, shard_journal_path, CampaignConfig, Mode,
+    ShardConfig, SupervisorConfig, WorkerIsolation,
+};
 use nfp_cc::FloatMode;
 use nfp_sim::{Machine, MachineConfig};
 use nfp_testbed::{HwModel, HwObserver};
@@ -131,6 +134,43 @@ fn time_supervised(
     times[reps / 2]
 }
 
+/// Median-of-N wall time of the same 200-injection campaign split into
+/// `shards` supervised sub-campaigns and merged (`seconds_total`), and
+/// of the merge integrity pass alone re-run over the finished journals
+/// (`seconds_merge`) — the headers, CRCs, digests, and coverage checks
+/// without any simulation.
+fn time_sharded(kernel: &Kernel, base: &std::path::Path, shards: u32, reps: usize) -> (f64, f64) {
+    let mut totals = Vec::with_capacity(reps);
+    let mut merges = Vec::with_capacity(reps);
+    let campaign = CampaignConfig {
+        injections: 200,
+        ..CampaignConfig::default()
+    };
+    for _ in 0..reps {
+        let paths: Vec<std::path::PathBuf> = (0..shards)
+            .map(|i| shard_journal_path(base, i, shards))
+            .collect();
+        for p in &paths {
+            let _ = std::fs::remove_file(p);
+        }
+        let mut sup = SupervisorConfig::new(campaign.clone());
+        sup.journal = Some(base.to_path_buf());
+        let cfg = ShardConfig::new(sup, shards);
+        let start = Instant::now();
+        run_sharded(kernel, Mode::Float, &cfg).expect("sharded campaign");
+        totals.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        merge_journals(kernel, Mode::Float, &campaign, &paths, false).expect("merge");
+        merges.push(start.elapsed().as_secs_f64());
+        for p in &paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+    totals.sort_by(|a, b| a.total_cmp(b));
+    merges.sort_by(|a, b| a.total_cmp(b));
+    (totals[reps / 2], merges[reps / 2])
+}
+
 /// Step-vs-block measurement plus supervisor journal overhead on the
 /// FSE kernel; prints the rates and writes `BENCH_sim.json` for the CI
 /// artifact.
@@ -196,6 +236,28 @@ fn bench_block_batching(_c: &mut Criterion) {
         kernel.name
     );
 
+    // Sharding overhead: the same campaign as four checksummed shard
+    // journals merged back together, plus the merge integrity pass
+    // alone — the price of distrust (CRCs, digests, coverage checks)
+    // relative to one journaled sequential run.
+    let shard_base = std::env::temp_dir().join("nfp_sim_speed_shards.jsonl");
+    let (sharded_s, merge_s) = time_sharded(&kernel, &shard_base, 4, 3);
+    let shard_merge_overhead = merge_s / journal_s;
+    println!(
+        "{:<40} {:>12.3} ms/iter",
+        "supervisor/sharded_x4",
+        sharded_s * 1e3
+    );
+    println!(
+        "{:<40} {:>12.3} ms/iter",
+        "supervisor/shard_merge",
+        merge_s * 1e3
+    );
+    println!(
+        "shard-merge overhead: {shard_merge_overhead:.3}x of a journaled run on {}",
+        kernel.name
+    );
+
     // Hand-rolled JSON: the workspace has no serde, and the schema is
     // a handful of scalars.
     let json = format!(
@@ -207,7 +269,10 @@ fn bench_block_batching(_c: &mut Criterion) {
          \"supervised_journal_seconds\": {:.6},\n  \
          \"journal_overhead\": {:.3},\n  \
          \"supervised_process_seconds\": {:.6},\n  \
-         \"process_overhead\": {:.3}\n}}\n",
+         \"process_overhead\": {:.3},\n  \
+         \"sharded_4_seconds\": {:.6},\n  \
+         \"shard_merge_seconds\": {:.6},\n  \
+         \"shard_merge_overhead\": {:.3}\n}}\n",
         kernel.name,
         instret,
         step_s,
@@ -219,7 +284,10 @@ fn bench_block_batching(_c: &mut Criterion) {
         journal_s,
         journal_overhead,
         process_s,
-        process_overhead
+        process_overhead,
+        sharded_s,
+        merge_s,
+        shard_merge_overhead
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     std::fs::write(path, json).expect("write BENCH_sim.json");

@@ -26,6 +26,18 @@
 //! repro campaign --max-respawns 3      # crash-loop budget per worker slot
 //! ```
 //!
+//! Sharding flags (fault-tolerant split campaigns — DESIGN.md §12):
+//!
+//! ```text
+//! repro campaign --journal c.jsonl --shards 4       # orchestrate 4 shard sub-campaigns, merge
+//! repro campaign --journal c.jsonl --shards 4 \
+//!                --shard-index 2                    # run ONLY shard 2 (for external schedulers)
+//! repro campaign ... --shard-retries 3              # re-dispatch budget per lost/corrupt shard
+//! repro campaign ... --straggler-ms 5000            # speculatively duplicate slow shards
+//! repro campaign ... --allow-partial                # degrade to a partial report on shard loss
+//! repro merge-journals [--allow-partial] <j...>     # merge shard journals into one report
+//! ```
+//!
 //! There is also a hidden `repro worker` subcommand: the supervisor
 //! spawns it for `--isolation process` and drives it over stdin/stdout.
 //! It is not for interactive use.
@@ -34,9 +46,11 @@
 //! failed; a panic in this binary is a bug.
 
 use nfp_bench::{
-    report_ablation_calibration, report_ablation_categories, report_campaign, report_fig1,
-    report_fig4, report_table1, report_table3, report_table4, run_supervised, CampaignConfig,
-    Evaluation, KernelResult, Mode, SupervisorConfig, WorkerIsolation, WorkerPreset,
+    merge_journals, peek_campaign, report_ablation_calibration, report_ablation_categories,
+    report_campaign, report_campaign_footer, report_fig1, report_fig4, report_table1,
+    report_table3, report_table4, run_sharded, run_supervised, shard_journal_path, CampaignConfig,
+    CampaignFooter, Evaluation, KernelResult, Mode, ShardConfig, ShardSpec, SupervisorConfig,
+    WorkerIsolation, WorkerPreset,
 };
 use nfp_workloads::{all_kernels, fse_kernels, hevc_kernels, Kernel, Preset};
 use std::path::PathBuf;
@@ -168,6 +182,35 @@ fn run_campaign_command(args: &[String], preset: &Preset) {
         sup.resume = true;
     }
 
+    let count_flag = |name: &str| {
+        flag_value(args, name).map(|v| {
+            v.parse::<u32>().unwrap_or_else(|_| {
+                fail(
+                    "argument parsing",
+                    format!("{name} wants a count, got '{v}'"),
+                )
+            })
+        })
+    };
+    let shards = count_flag("--shards");
+    let shard_index = count_flag("--shard-index");
+    let allow_partial = args.iter().any(|a| a == "--allow-partial");
+    match (shards, shard_index) {
+        (Some(0), _) => fail("argument parsing", "--shards wants a nonzero count"),
+        (None, Some(_)) => fail("argument parsing", "--shard-index requires --shards"),
+        (Some(count), Some(index)) if index >= count => fail(
+            "argument parsing",
+            format!("--shard-index {index} is out of range for --shards {count}"),
+        ),
+        _ => {}
+    }
+    if shards.is_some() && sup.journal.is_none() {
+        fail(
+            "argument parsing",
+            "--shards requires --journal (every shard journal derives from it)",
+        );
+    }
+
     let mut kernels = showcase_kernels(preset);
     if let Some(filter) = flag_value(args, "--kernel") {
         kernels.retain(|k| k.name.contains(filter));
@@ -183,7 +226,9 @@ fn run_campaign_command(args: &[String], preset: &Preset) {
     // sweep derives one journal per kernel from the given path.
     let base_journal = sup.journal.clone();
     for kernel in &kernels {
-        sup.journal = base_journal.as_ref().map(|p| {
+        // A journal binds to exactly one kernel+mode, so a multi-kernel
+        // sweep derives one journal per kernel from the given path.
+        let journal = base_journal.as_ref().map(|p| {
             if kernels.len() == 1 {
                 p.clone()
             } else {
@@ -194,6 +239,42 @@ fn run_campaign_command(args: &[String], preset: &Preset) {
             "  injecting {} faults into {}...",
             sup.campaign.injections, kernel.name
         );
+
+        // `--shards N` without `--shard-index`: the in-process
+        // orchestrator runs every shard and merges the journals.
+        if let (Some(count), None) = (shards, shard_index) {
+            let mut cfg = ShardConfig::new(sup.clone(), count);
+            cfg.supervisor.journal = journal;
+            if let Some(k) = count_flag("--shard-retries") {
+                cfg.shard_retries = k;
+            }
+            if let Some(ms) = ms_flag("--straggler-ms") {
+                cfg.straggler = Some(Duration::from_millis(ms.max(1)));
+            }
+            cfg.allow_partial = allow_partial;
+            let outcome = run_sharded(kernel, Mode::Float, &cfg)
+                .unwrap_or_else(|e| fail(&format!("sharded campaign ({})", kernel.name), e));
+            eprint!(
+                "{}",
+                report_campaign_footer(&CampaignFooter::from_sharded(&outcome))
+            );
+            println!("{}", report_campaign(&outcome.result));
+            continue;
+        }
+
+        sup.journal = journal;
+        if let (Some(count), Some(index)) = (shards, shard_index) {
+            // `--shard-index I`: run exactly one shard — the mode an
+            // external scheduler (or the CI chaos job) uses to place
+            // shards in separate processes. Re-running the same index
+            // resumes its journal automatically.
+            sup.shard = Some(ShardSpec { index, count });
+            sup.journal = sup
+                .journal
+                .as_deref()
+                .map(|p| shard_journal_path(p, index, count));
+            sup.resume = sup.journal.as_ref().is_some_and(|p| p.exists());
+        }
         let outcome = run_supervised(kernel, Mode::Float, &sup)
             .unwrap_or_else(|e| fail(&format!("campaign ({})", kernel.name), e));
         if outcome.resumed > 0 {
@@ -203,10 +284,10 @@ fn run_campaign_command(args: &[String], preset: &Preset) {
                 outcome.completed - outcome.resumed
             );
         }
-        if outcome.process_isolation && (outcome.kills > 0 || outcome.respawns > 0) {
-            eprintln!(
-                "  worker pool: {} SIGKILLed, {} respawned",
-                outcome.kills, outcome.respawns
+        if outcome.process_isolation {
+            eprint!(
+                "{}",
+                report_campaign_footer(&CampaignFooter::from_supervisor(&outcome))
             );
         }
         for q in &outcome.quarantined {
@@ -217,6 +298,44 @@ fn run_campaign_command(args: &[String], preset: &Preset) {
         }
         println!("{}", report_campaign(&outcome.result));
     }
+}
+
+/// The `merge-journals` subcommand: fold a set of shard journals
+/// (written by `--shard-index` runs or left behind by an interrupted
+/// `--shards` orchestration) into the single report a sequential run
+/// would have produced. The campaign configuration is recovered from
+/// the first journal's header; the preset (`--quick` or not) must
+/// match the one the shards ran with, or the golden-run binding check
+/// rejects the merge.
+fn run_merge_command(args: &[String], preset: &Preset) {
+    let allow_partial = args.iter().any(|a| a == "--allow-partial");
+    let paths: Vec<PathBuf> = args[1..]
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .collect();
+    if paths.is_empty() {
+        fail(
+            "argument parsing",
+            "merge-journals wants at least one shard journal path",
+        );
+    }
+    let (name, mode, campaign) =
+        peek_campaign(&paths[0]).unwrap_or_else(|e| fail("journal inspection", e));
+    let kernels = all_kernels(preset).unwrap_or_else(|e| fail("kernel registry", e));
+    let kernel = kernels.iter().find(|k| k.name == name).unwrap_or_else(|| {
+        fail(
+            "kernel selection",
+            format!("the journal names kernel '{name}', which this preset does not provide"),
+        )
+    });
+    let outcome = merge_journals(kernel, mode, &campaign, &paths, allow_partial)
+        .unwrap_or_else(|e| fail("journal merge", e));
+    eprint!(
+        "{}",
+        report_campaign_footer(&CampaignFooter::from_merge(&outcome))
+    );
+    println!("{}", report_campaign(&outcome.result));
 }
 
 fn main() {
@@ -235,6 +354,13 @@ fn main() {
     // mode where crash-safety flags apply, so it gets its own path.
     if command == "campaign" {
         run_campaign_command(&args, &preset);
+        return;
+    }
+
+    // Merging shard journals likewise needs no calibration — only the
+    // golden replay of the one kernel the journals bind to.
+    if command == "merge-journals" {
+        run_merge_command(&args, &preset);
         return;
     }
 
@@ -329,7 +455,7 @@ fn main() {
     }
     if !ran_any {
         eprintln!(
-            "unknown command `{command}`; expected table1|fig4|table3|table4|fig1|ablation-categories|ablation-calibration|cache|campaign|all"
+            "unknown command `{command}`; expected table1|fig4|table3|table4|fig1|ablation-categories|ablation-calibration|cache|campaign|merge-journals|all"
         );
         std::process::exit(2);
     }

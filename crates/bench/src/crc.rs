@@ -1,0 +1,94 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial), hand-rolled because
+//! the workspace deliberately carries no serialization or checksum
+//! dependencies.
+//!
+//! The campaign journal uses it twice: every record line carries the
+//! CRC of its own canonical rendering (a flipped bit anywhere in the
+//! record trips the check at merge or resume time), and each shard's
+//! final summary record carries a digest over all record lines in plan
+//! order (a dropped, duplicated, or reordered-with-loss record trips
+//! the shard-level check even when every surviving line is
+//! individually intact). Verification costs one table-driven pass per
+//! byte — the EnergyAnalyzer-style "cheap check instead of expensive
+//! re-simulation" trade.
+
+/// Reflected CRC-32 lookup table for polynomial `0xEDB8_8320`.
+const fn table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = table();
+
+/// Initial state for an incremental CRC (pass to [`crc32_update`]).
+pub(crate) const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Folds `bytes` into a running CRC state. Chain calls for a digest
+/// over several buffers, then [`crc32_finish`] the state.
+pub(crate) fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = (state >> 8) ^ TABLE[((state ^ u32::from(b)) & 0xFF) as usize];
+    }
+    state
+}
+
+/// Finalizes an incremental CRC state into the checksum value.
+pub(crate) fn crc32_finish(state: u32) -> u32 {
+    !state
+}
+
+/// One-shot CRC-32 of a byte string.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC_INIT, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_updates_equal_one_shot() {
+        let whole = crc32(b"journal record line");
+        let mut state = CRC_INIT;
+        for chunk in [b"journal ".as_slice(), b"record ", b"line"] {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(crc32_finish(state), whole);
+    }
+
+    #[test]
+    fn single_bit_flips_are_detected() {
+        let line = b"{\"i\":7,\"at\":8317,\"outcome\":\"SDC\"}";
+        let reference = crc32(line);
+        let mut flipped = line.to_vec();
+        for byte in 0..flipped.len() {
+            for bit in 0..8 {
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "missed flip at {byte}:{bit}");
+                flipped[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -200,4 +200,51 @@ mod tests {
             assert!(parse_flat(bad).is_none(), "accepted: {bad:?}");
         }
     }
+
+    #[test]
+    fn kernel_names_with_quotes_survive_a_header_shaped_line() {
+        // Nothing stops a workload registry from naming a kernel with
+        // quotes or backslashes; the journal header must bind it
+        // loss-free or the resume identity check would misfire.
+        let name = r#"hevc_"lowdelay"_qp\32"#;
+        let line = format!(
+            "{{\"kind\":\"nfp-journal\",\"kernel\":\"{}\",\"injections\":4}}",
+            esc(name)
+        );
+        let obj = Obj(parse_flat(&line).unwrap());
+        assert_eq!(obj.str("kernel"), Some(name));
+        assert_eq!(obj.u64("injections"), Some(4));
+        // And the escaping itself is stable under a second round-trip.
+        let again = format!("{{\"kernel\":\"{}\"}}", esc(obj.str("kernel").unwrap()));
+        assert_eq!(Obj(parse_flat(&again).unwrap()).str("kernel"), Some(name));
+    }
+
+    #[test]
+    fn count_fields_saturate_nowhere_and_overflow_to_none() {
+        // The largest representable count parses exactly...
+        let max = format!("{{\"n\":{}}}", u64::MAX);
+        assert_eq!(Obj(parse_flat(&max).unwrap()).u64("n"), Some(u64::MAX));
+        // ...one more, and absurdly long digit strings, reject the
+        // whole line rather than wrapping or saturating a count.
+        assert!(parse_flat("{\"n\":18446744073709551616}").is_none());
+        let huge = format!("{{\"n\":{}9}}", u64::MAX);
+        assert!(parse_flat(&huge).is_none());
+        assert!(parse_flat(&format!("{{\"n\":1{}}}", "0".repeat(40))).is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_rejects_the_line() {
+        for bad in [
+            "{\"a\":1}{\"b\":2}", // two objects on one line
+            "{\"a\":1},",         // journal lines never end in commas
+            "{\"a\":1}x",
+            "{\"a\":1}}",
+            "{\"a\":\"s\"}\"tail\"",
+        ] {
+            assert!(parse_flat(bad).is_none(), "accepted: {bad:?}");
+        }
+        // Surrounding whitespace is not garbage: readers hand over
+        // `read_line` output with the newline still attached.
+        assert!(parse_flat("  {\"a\":1}\n").is_some());
+    }
 }

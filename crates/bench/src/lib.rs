@@ -19,9 +19,11 @@
 //! per-instruction-category vulnerability report.
 
 pub mod campaign;
+mod crc;
 pub mod evaluation;
 mod flatjson;
 pub mod reports;
+pub mod shards;
 pub mod supervisor;
 pub mod worker;
 
@@ -31,6 +33,10 @@ pub use campaign::{
 };
 pub use evaluation::{Evaluation, KernelResult, Mode};
 pub use reports::*;
+pub use shards::{
+    merge_journals, peek_campaign, run_sharded, shard_journal_path, MergeOutcome, ShardConfig,
+    ShardOutcome, ShardSpec,
+};
 pub use supervisor::{
     run_supervised, QuarantineEntry, SupervisorConfig, SupervisorOutcome, WorkerIsolation,
 };

@@ -56,8 +56,10 @@
 //! ```
 
 use crate::campaign::{assemble, CampaignConfig, CampaignResult, CampaignRig, InjectionRecord};
+use crate::crc::{crc32, crc32_finish, crc32_update, CRC_INIT};
 use crate::evaluation::Mode;
 use crate::flatjson::{esc, parse_flat, Obj};
+use crate::shards::{shard_range, ShardSpec};
 use crate::worker::{
     check_index, parse_reply, read_frame, render_hello, render_run, Reply, WorkerHello,
     WorkerPreset,
@@ -132,6 +134,11 @@ pub struct SupervisorConfig {
     /// the current executable (correct for the `repro` binary; tests
     /// must point at `env!("CARGO_BIN_EXE_repro")`).
     pub worker_bin: Option<PathBuf>,
+    /// Run only this shard's contiguous slice of the fault plan. The
+    /// journal header binds the shard identity and range, and the run
+    /// completes when exactly that range is covered. `None` runs the
+    /// whole plan (equivalently, shard 0 of 1).
+    pub shard: Option<ShardSpec>,
     /// Test hook: panic inside the replay of injection `.0` on its
     /// first `.1` attempts (so `(i, 1)` recovers on retry and `(i, 2)`
     /// quarantines). Thread isolation only.
@@ -168,6 +175,7 @@ impl SupervisorConfig {
             deadline: None,
             max_respawns: 3,
             worker_bin: None,
+            shard: None,
             test_panic_at: None,
             test_spin_at: None,
             test_abort_after: None,
@@ -223,7 +231,11 @@ pub struct SupervisorOutcome {
 // ---------------------------------------------------------------------
 
 /// The campaign identity a journal is bound to. Every field must match
-/// for a resume to proceed.
+/// for a resume (or a merge) to proceed. The shard fields bind a
+/// journal to one contiguous slice of the fault plan: a sequential
+/// journal is shard 0 of 1 covering the whole plan, and a merge rejects
+/// any journal whose claimed range disagrees with the deterministic
+/// split its `shard_index`/`shard_count` imply.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct JournalHeader {
     pub(crate) kernel: String,
@@ -235,10 +247,22 @@ pub(crate) struct JournalHeader {
     pub(crate) escalation: u64,
     pub(crate) wall_ms: Option<u64>,
     pub(crate) golden_instret: u64,
+    pub(crate) shard_index: u32,
+    pub(crate) shard_count: u32,
+    pub(crate) range_start: u64,
+    pub(crate) range_end: u64,
 }
 
 impl JournalHeader {
-    fn bind(kernel: &Kernel, mode: Mode, cfg: &CampaignConfig, golden_instret: u64) -> Self {
+    pub(crate) fn bind(
+        kernel: &Kernel,
+        mode: Mode,
+        cfg: &CampaignConfig,
+        golden_instret: u64,
+        shard: Option<ShardSpec>,
+    ) -> Self {
+        let spec = shard.unwrap_or(ShardSpec { index: 0, count: 1 });
+        let (start, end) = shard_range(cfg.injections, spec.index, spec.count);
         JournalHeader {
             kernel: kernel.name.to_string(),
             mode: mode.suffix(),
@@ -249,15 +273,25 @@ impl JournalHeader {
             escalation: cfg.escalation.max(1) as u64,
             wall_ms: cfg.wall.map(|d| d.as_millis() as u64),
             golden_instret,
+            shard_index: spec.index,
+            shard_count: spec.count.max(1),
+            range_start: start as u64,
+            range_end: end as u64,
         }
     }
 
-    fn render(&self) -> String {
+    /// The plan slice this journal is bound to.
+    pub(crate) fn range(&self) -> (usize, usize) {
+        (self.range_start as usize, self.range_end as usize)
+    }
+
+    pub(crate) fn render(&self) -> String {
         format!(
             concat!(
                 "{{\"v\":1,\"kind\":\"nfp-campaign-journal\",\"kernel\":\"{}\",",
                 "\"mode\":\"{}\",\"injections\":{},\"seed\":{},\"checkpoints\":{},",
-                "\"step_mode\":{},\"escalation\":{},\"wall_ms\":{},\"golden_instret\":{}}}"
+                "\"step_mode\":{},\"escalation\":{},\"wall_ms\":{},\"golden_instret\":{},",
+                "\"shard_index\":{},\"shard_count\":{},\"range_start\":{},\"range_end\":{}}}"
             ),
             esc(&self.kernel),
             self.mode,
@@ -268,12 +302,16 @@ impl JournalHeader {
             self.escalation,
             self.wall_ms.map_or("null".to_string(), |n| n.to_string()),
             self.golden_instret,
+            self.shard_index,
+            self.shard_count,
+            self.range_start,
+            self.range_end,
         )
     }
 
     /// Validates a parsed header line against this campaign, naming the
     /// first mismatching field.
-    fn check(&self, path: &str, line: &str) -> Result<(), NfpError> {
+    pub(crate) fn check(&self, path: &str, line: &str) -> Result<(), NfpError> {
         let corrupt = |reason: &str| NfpError::Journal {
             path: path.to_string(),
             reason: reason.to_string(),
@@ -314,8 +352,46 @@ impl JournalHeader {
             obj.u64("golden_instret"),
             self.golden_instret
         );
+        check_field!(
+            "shard_index",
+            obj.u64("shard_index"),
+            u64::from(self.shard_index)
+        );
+        check_field!(
+            "shard_count",
+            obj.u64("shard_count"),
+            u64::from(self.shard_count)
+        );
+        check_field!("range_start", obj.u64("range_start"), self.range_start);
+        check_field!("range_end", obj.u64("range_end"), self.range_end);
         Ok(())
     }
+}
+
+/// Parses a journal header line into a [`JournalHeader`] without
+/// validating it against any campaign — the merge path uses this to
+/// discover which campaign (and which shard) a journal *claims* to
+/// belong to before cross-checking the claim.
+pub(crate) fn parse_header(line: &str) -> Option<JournalHeader> {
+    let obj = Obj(parse_flat(line)?);
+    if obj.str("kind") != Some("nfp-campaign-journal") || obj.u64("v") != Some(1) {
+        return None;
+    }
+    Some(JournalHeader {
+        kernel: obj.str("kernel")?.to_string(),
+        mode: Mode::from_suffix(obj.str("mode")?)?.suffix(),
+        injections: obj.u64("injections")?,
+        seed: obj.u64("seed")?,
+        checkpoints: obj.u64("checkpoints")?,
+        step_mode: obj.bool("step_mode")?,
+        escalation: obj.u64("escalation")?,
+        wall_ms: obj.opt_u64("wall_ms")?,
+        golden_instret: obj.u64("golden_instret")?,
+        shard_index: u32::try_from(obj.u64("shard_index")?).ok()?,
+        shard_count: u32::try_from(obj.u64("shard_count")?).ok()?,
+        range_start: obj.u64("range_start")?,
+        range_end: obj.u64("range_end")?,
+    })
 }
 
 /// `(kind, a, b)` encoding of a fault target for the journal.
@@ -362,7 +438,10 @@ pub(crate) fn target_from_fields(kind: &str, a: u64, b: u64) -> Option<FaultTarg
     })
 }
 
-fn record_line(index: usize, rec: &InjectionRecord, attempts: u32) -> String {
+/// The canonical record rendering the per-record CRC covers — every
+/// field except the CRC itself. The shard digest is computed over these
+/// canonical bytes too, so it is independent of incidental formatting.
+pub(crate) fn record_line_base(index: usize, rec: &InjectionRecord, attempts: u32) -> String {
     let (kind, a, b) = target_fields(rec.fault.target);
     format!(
         "{{\"i\":{},\"at\":{},\"target\":\"{}\",\"a\":{},\"b\":{},\"cat\":{},\"outcome\":\"{}\",\"attempts\":{}}}",
@@ -378,8 +457,23 @@ fn record_line(index: usize, rec: &InjectionRecord, attempts: u32) -> String {
     )
 }
 
-fn parse_record(line: &str) -> Option<(usize, InjectionRecord, u32)> {
+/// Splices `,"crc":N` into a canonical rendering just before its
+/// closing brace, where `N` checksums the canonical bytes.
+fn with_crc(base: String) -> String {
+    let crc = crc32(base.as_bytes());
+    format!("{},\"crc\":{crc}}}", &base[..base.len() - 1])
+}
+
+pub(crate) fn record_line(index: usize, rec: &InjectionRecord, attempts: u32) -> String {
+    with_crc(record_line_base(index, rec, attempts))
+}
+
+/// Parses and *verifies* a record line: the stored CRC must match the
+/// checksum of the canonical re-rendering of the parsed fields, so any
+/// bit flip — in a value or in the CRC itself — returns `None`.
+pub(crate) fn parse_record(line: &str) -> Option<(usize, InjectionRecord, u32)> {
     let obj = Obj(parse_flat(line)?);
+    let crc = u32::try_from(obj.u64("crc")?).ok()?;
     let index = usize::try_from(obj.u64("i")?).ok()?;
     let fault = Fault {
         at: obj.u64("at")?,
@@ -391,29 +485,106 @@ fn parse_record(line: &str) -> Option<(usize, InjectionRecord, u32)> {
     };
     let outcome = Outcome::from_name(obj.str("outcome")?)?;
     let attempts = u32::try_from(obj.u64("attempts")?).ok()?;
-    Some((
-        index,
-        InjectionRecord {
-            fault,
-            category,
-            outcome,
-        },
-        attempts,
-    ))
+    let rec = InjectionRecord {
+        fault,
+        category,
+        outcome,
+    };
+    if crc32(record_line_base(index, &rec, attempts).as_bytes()) != crc {
+        return None;
+    }
+    Some((index, rec, attempts))
 }
 
-/// Journal contents that survived validation: completed records by plan
-/// index, plus the byte length of the intact prefix (everything past it
-/// is a torn trailing line to truncate before appending).
-struct LoadedJournal {
-    records: Vec<(usize, InjectionRecord, u32)>,
-    intact_len: u64,
+/// The shard-final summary record: written once, as the last line, when
+/// a journal covers its whole bound range. Its presence is the
+/// machine-checkable claim "this shard is complete"; its digest is a
+/// CRC-32 over every canonical record rendering (each followed by a
+/// newline) in plan order, so a dropped or substituted record trips the
+/// shard-level check even when each surviving line is individually
+/// intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FinRecord {
+    pub(crate) records: u64,
+    pub(crate) range_start: u64,
+    pub(crate) range_end: u64,
+    pub(crate) digest: u32,
 }
 
-fn load_journal(
+fn fin_base(fin: &FinRecord) -> String {
+    format!(
+        "{{\"fin\":1,\"records\":{},\"range_start\":{},\"range_end\":{},\"digest\":{}}}",
+        fin.records, fin.range_start, fin.range_end, fin.digest
+    )
+}
+
+pub(crate) fn fin_line(fin: &FinRecord) -> String {
+    with_crc(fin_base(fin))
+}
+
+/// Parses and verifies a shard-final summary line. `None` for record
+/// lines and anything tampered.
+pub(crate) fn parse_fin(line: &str) -> Option<FinRecord> {
+    let obj = Obj(parse_flat(line)?);
+    if obj.u64("fin")? != 1 {
+        return None;
+    }
+    let crc = u32::try_from(obj.u64("crc")?).ok()?;
+    let fin = FinRecord {
+        records: obj.u64("records")?,
+        range_start: obj.u64("range_start")?,
+        range_end: obj.u64("range_end")?,
+        digest: u32::try_from(obj.u64("digest")?).ok()?,
+    };
+    if crc32(fin_base(&fin).as_bytes()) != crc {
+        return None;
+    }
+    Some(fin)
+}
+
+/// The order-independent digest a shard's summary record must carry:
+/// CRC-32 over the canonical rendering of every completed record in
+/// `range`, each followed by `\n`, in plan order (journal write order is
+/// a race artefact; plan order is not).
+pub(crate) fn range_digest(slots: &[Option<(InjectionRecord, u32)>], range: (usize, usize)) -> u32 {
+    let mut state = CRC_INIT;
+    for (offset, slot) in slots[range.0..range.1].iter().enumerate() {
+        if let Some((rec, attempts)) = slot {
+            let base = record_line_base(range.0 + offset, rec, *attempts);
+            state = crc32_update(state, base.as_bytes());
+            state = crc32_update(state, b"\n");
+        }
+    }
+    crc32_finish(state)
+}
+
+/// What survived journal validation. Records are written directly into
+/// the caller's slot table as they stream past — the loader holds one
+/// line buffer at a time, never the whole file or an intermediate
+/// record vector, so a multi-million-injection shard journal loads at
+/// O(line) transient memory.
+pub(crate) struct LoadedJournal {
+    /// Byte length of the intact prefix: everything past it is the torn
+    /// trailing line of a mid-write kill, to truncate before appending.
+    pub(crate) intact_len: u64,
+    /// The shard-final summary record, when the journal carries one —
+    /// i.e. when a previous run completed this journal's whole range.
+    pub(crate) fin: Option<FinRecord>,
+    /// Plan indices restored into previously empty slots.
+    pub(crate) restored: usize,
+}
+
+/// Streams a journal line-by-line, verifying each record's CRC and plan
+/// binding, and fills `slots` (indexed by absolute plan index) with the
+/// completed records. A torn final line is tolerated and excluded from
+/// `intact_len`; corruption anywhere else — a failed CRC, an
+/// out-of-range index, a duplicate, a record after the summary, or a
+/// summary that disagrees with the records — is a hard error.
+pub(crate) fn load_journal(
     path: &Path,
     header: &JournalHeader,
     faults: &[Fault],
+    slots: &mut [Option<(InjectionRecord, u32)>],
 ) -> Result<LoadedJournal, NfpError> {
     let shown = path.display().to_string();
     let journal_err = |reason: String| NfpError::Journal {
@@ -422,12 +593,14 @@ fn load_journal(
     };
     let file = std::fs::File::open(path)
         .map_err(|e| journal_err(format!("cannot open for resume: {e}")))?;
+    let range = header.range();
     let mut reader = std::io::BufReader::new(file);
     let mut line = String::new();
     let mut offset = 0u64;
     let mut lineno = 0usize;
-    let mut records = Vec::new();
     let mut intact_len = 0u64;
+    let mut fin: Option<FinRecord> = None;
+    let mut restored = 0usize;
     loop {
         line.clear();
         let n = reader
@@ -444,41 +617,77 @@ fn load_journal(
             intact_len = offset;
             continue;
         }
-        match parse_record(&line) {
-            Some((index, rec, attempts)) if complete => {
-                if index >= faults.len() {
-                    return Err(journal_err(format!(
-                        "record at line {lineno} indexes injection {index} of a {}-injection plan",
-                        faults.len()
-                    )));
-                }
-                if rec.fault != faults[index] {
-                    return Err(journal_err(format!(
-                        "record at line {lineno} disagrees with the fault plan for injection \
-                         {index} (journal: {}, plan: {}) — wrong seed or stale journal",
-                        rec.fault, faults[index]
-                    )));
-                }
-                records.push((index, rec, attempts));
-                intact_len = offset;
+        if !complete {
+            // A newline-less final line is the torn tail of a mid-write
+            // kill (records are appended and flushed whole): drop it
+            // and resume from the intact prefix.
+            let at_eof = reader.fill_buf().map_or(true, <[u8]>::is_empty);
+            if at_eof {
+                break;
             }
-            // An unparseable or newline-less *final* line is the torn
-            // tail of a mid-write kill: drop it and resume from the
-            // intact prefix. Anywhere else it is corruption.
-            _ => {
-                let at_eof = reader.fill_buf().map_or(true, <[u8]>::is_empty);
-                if !(at_eof && lineno > 1) {
-                    return Err(journal_err(format!("corrupt record at line {lineno}")));
-                }
+            return Err(journal_err(format!("corrupt record at line {lineno}")));
+        }
+        if fin.is_some() {
+            return Err(journal_err(format!(
+                "record at line {lineno} appears after the shard summary"
+            )));
+        }
+        if let Some((index, rec, attempts)) = parse_record(&line) {
+            if index < range.0 || index >= range.1 {
+                return Err(journal_err(format!(
+                    "record at line {lineno} indexes injection {index}, outside this journal's \
+                     bound range {}..{}",
+                    range.0, range.1
+                )));
             }
+            if rec.fault != faults[index] {
+                return Err(journal_err(format!(
+                    "record at line {lineno} disagrees with the fault plan for injection \
+                     {index} (journal: {}, plan: {}) — wrong seed or stale journal",
+                    rec.fault, faults[index]
+                )));
+            }
+            if slots[index].is_some() {
+                return Err(journal_err(format!(
+                    "duplicate record for injection {index} at line {lineno}"
+                )));
+            }
+            slots[index] = Some((rec, attempts));
+            restored += 1;
+            intact_len = offset;
+        } else if let Some(summary) = parse_fin(&line) {
+            if (summary.range_start, summary.range_end) != (range.0 as u64, range.1 as u64) {
+                return Err(journal_err(format!(
+                    "shard summary at line {lineno} covers {}..{} but the header binds \
+                     {}..{}",
+                    summary.range_start, summary.range_end, range.0, range.1
+                )));
+            }
+            let have = slots[range.0..range.1].iter().flatten().count() as u64;
+            if summary.records != have {
+                return Err(journal_err(format!(
+                    "shard summary claims {} records but the journal holds {have}",
+                    summary.records
+                )));
+            }
+            if summary.digest != range_digest(slots, range) {
+                return Err(journal_err(
+                    "shard summary digest disagrees with the records it covers".to_string(),
+                ));
+            }
+            fin = Some(summary);
+            intact_len = offset;
+        } else {
+            return Err(journal_err(format!("corrupt record at line {lineno}")));
         }
     }
     if lineno == 0 {
         return Err(journal_err("journal is empty (no header)".to_string()));
     }
     Ok(LoadedJournal {
-        records,
         intact_len,
+        fin,
+        restored,
     })
 }
 
@@ -654,7 +863,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// 50·2ⁿ⁻¹ ms capped at 2 s, plus up to 50 ms of seeded jitter so a
 /// pool of crash-looping slots does not respawn in lockstep.
 /// Interruptible — polls the stop flag every tick.
-fn backoff_sleep(seed: u64, slot: usize, n: u32, stop: &AtomicBool) {
+pub(crate) fn backoff_sleep(seed: u64, slot: usize, n: u32, stop: &AtomicBool) {
     let base = 50u64.saturating_mul(1 << (n - 1).min(10)).min(2_000);
     let jitter = splitmix64(seed ^ ((slot as u64) << 32) ^ u64::from(n)) % 50;
     let mut left = Duration::from_millis(base + jitter);
@@ -1090,15 +1299,25 @@ pub fn run_supervised(
     cfg: &SupervisorConfig,
 ) -> Result<SupervisorOutcome, NfpError> {
     let campaign = &cfg.campaign;
+    if let Some(spec) = cfg.shard {
+        if spec.count == 0 || spec.index >= spec.count {
+            return Err(NfpError::Workload {
+                what: format!("shard {} of {}", spec.index, spec.count),
+                reason: "shard index must be < shard count (and count nonzero)".to_string(),
+            });
+        }
+    }
     let (rig, space) = CampaignRig::prepare(kernel, mode, campaign)?;
     let faults = plan(&space, campaign.injections, campaign.seed);
-    let header = JournalHeader::bind(kernel, mode, campaign, rig.golden_instret);
+    let header = JournalHeader::bind(kernel, mode, campaign, rig.golden_instret, cfg.shard);
+    let range = header.range();
 
     let mut slots: Vec<Option<(InjectionRecord, u32)>> = vec![None; faults.len()];
     let mut quarantined = Vec::new();
     let mut resumed = 0usize;
+    let mut has_fin = false;
 
-    // Resume: replay the journal into the slot table, then truncate any
+    // Resume: stream the journal into the slot table, then truncate any
     // torn tail so appended records start on a fresh line.
     let mut journal_file = match (&cfg.journal, cfg.resume) {
         (None, true) => {
@@ -1116,11 +1335,11 @@ pub fn run_supervised(
             };
             let mut file;
             if resume {
-                let loaded = load_journal(path, &header, &faults)?;
-                for (index, rec, attempts) in loaded.records {
-                    if slots[index].is_none() {
-                        resumed += 1;
-                    }
+                let loaded = load_journal(path, &header, &faults, &mut slots)?;
+                resumed = loaded.restored;
+                has_fin = loaded.fin.is_some();
+                for (index, slot) in slots.iter().enumerate() {
+                    let Some((rec, _)) = slot else { continue };
                     if rec.outcome == Outcome::HarnessFault {
                         quarantined.push(QuarantineEntry {
                             index,
@@ -1130,7 +1349,6 @@ pub fn run_supervised(
                                 .to_string(),
                         });
                     }
-                    slots[index] = Some((rec, attempts));
                 }
                 file = std::fs::OpenOptions::new()
                     .write(true)
@@ -1147,11 +1365,7 @@ pub fn run_supervised(
         }
     };
 
-    let pending: Vec<usize> = slots
-        .iter()
-        .enumerate()
-        .filter_map(|(i, s)| s.is_none().then_some(i))
-        .collect();
+    let pending: Vec<usize> = (range.0..range.1).filter(|&i| slots[i].is_none()).collect();
     let workers = cfg
         .workers
         .unwrap_or_else(|| {
@@ -1376,15 +1590,42 @@ pub fn run_supervised(
     }
 
     let completed = slots.iter().flatten().count();
+    let complete = slots[range.0..range.1].iter().all(Option::is_some);
+    // Seal a freshly completed journal with the shard summary record —
+    // the machine-checkable claim "this range is fully covered", plus
+    // the plan-order digest the merge recomputes. A resumed journal
+    // that already carried one is left alone.
+    if complete && !aborted && !has_fin {
+        if let Some(file) = journal_file.as_mut() {
+            let fin = FinRecord {
+                records: (range.1 - range.0) as u64,
+                range_start: range.0 as u64,
+                range_end: range.1 as u64,
+                digest: range_digest(&slots, range),
+            };
+            let io = writeln!(file, "{}", fin_line(&fin)).and_then(|()| file.flush());
+            io.map_err(|e| NfpError::Journal {
+                path: cfg
+                    .journal
+                    .as_ref()
+                    .map_or_else(String::new, |p| p.display().to_string()),
+                reason: format!("write of shard summary failed: {e}"),
+            })?;
+        }
+    }
     let records: Vec<InjectionRecord> = if aborted {
         slots.into_iter().flatten().map(|(r, _)| r).collect()
     } else {
         slots
-            .into_iter()
+            .drain(range.0..range.1)
             .enumerate()
-            .map(|(i, s)| {
+            .map(|(offset, s)| {
                 s.map(|(r, _)| r).ok_or_else(|| NfpError::WorkerLost {
-                    job: format!("injection {i} ({})", faults[i]),
+                    job: format!(
+                        "injection {} ({})",
+                        range.0 + offset,
+                        faults[range.0 + offset]
+                    ),
                 })
             })
             .collect::<Result<_, _>>()?
@@ -1486,9 +1727,8 @@ mod tests {
         assert!(begun.elapsed() < Duration::from_millis(500));
     }
 
-    #[test]
-    fn header_mismatch_names_the_field() {
-        let header = JournalHeader {
+    fn test_header() -> JournalHeader {
+        JournalHeader {
             kernel: "fse_distance".to_string(),
             mode: "float",
             injections: 100,
@@ -1498,7 +1738,16 @@ mod tests {
             escalation: 2,
             wall_ms: None,
             golden_instret: 5000,
-        };
+            shard_index: 0,
+            shard_count: 1,
+            range_start: 0,
+            range_end: 100,
+        }
+    }
+
+    #[test]
+    fn header_mismatch_names_the_field() {
+        let header = test_header();
         let mut other = header.clone();
         other.seed = 2;
         let line = other.render();
@@ -1508,5 +1757,90 @@ mod tests {
         }
         // And an identical header passes.
         header.check("j.jsonl", &header.render()).unwrap();
+    }
+
+    #[test]
+    fn header_shard_binding_mismatch_names_the_field() {
+        let header = test_header();
+        let mut other = header.clone();
+        other.range_end = 50;
+        match header.check("j.jsonl", &other.render()) {
+            Err(NfpError::JournalMismatch { field, .. }) => assert_eq!(field, "range_end"),
+            got => panic!("expected JournalMismatch, got {got:?}"),
+        }
+        let mut other = header.clone();
+        other.shard_index = 1;
+        other.shard_count = 4;
+        match header.check("j.jsonl", &other.render()) {
+            Err(NfpError::JournalMismatch { field, .. }) => assert_eq!(field, "shard_index"),
+            got => panic!("expected JournalMismatch, got {got:?}"),
+        }
+    }
+
+    #[test]
+    fn header_parses_back_exactly() {
+        let mut header = test_header();
+        header.shard_index = 2;
+        header.shard_count = 4;
+        header.range_start = 50;
+        header.range_end = 75;
+        assert_eq!(parse_header(&header.render()), Some(header));
+        assert_eq!(parse_header("{\"v\":1,\"kind\":\"other\"}"), None);
+        assert_eq!(parse_header("not json"), None);
+    }
+
+    #[test]
+    fn record_crc_rejects_any_bit_flip() {
+        let rec = InjectionRecord {
+            fault: Fault {
+                at: 8317,
+                target: FaultTarget::IntReg { index: 19, bit: 7 },
+            },
+            category: Some(Category::IntArith),
+            outcome: Outcome::Masked,
+        };
+        let line = record_line(3, &rec, 1);
+        assert!(parse_record(&line).is_some(), "untampered line must parse");
+        // Flip every bit of every byte in turn: each tampering must be
+        // rejected (unparseable or CRC mismatch — either way `None`).
+        let mut bytes = line.clone().into_bytes();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                bytes[byte] ^= 1 << bit;
+                if let Ok(tampered) = std::str::from_utf8(&bytes) {
+                    assert!(
+                        parse_record(tampered).is_none(),
+                        "accepted a flip at {byte}:{bit}: {tampered}"
+                    );
+                }
+                bytes[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn fin_roundtrips_and_rejects_tampering() {
+        let fin = FinRecord {
+            records: 25,
+            range_start: 50,
+            range_end: 75,
+            digest: 0xdead_beef,
+        };
+        let line = fin_line(&fin);
+        assert_eq!(parse_fin(&line), Some(fin));
+        // A record line is not a fin and vice versa.
+        let rec = InjectionRecord {
+            fault: Fault {
+                at: 1,
+                target: FaultTarget::Icc { bit: 0 },
+            },
+            category: None,
+            outcome: Outcome::Masked,
+        };
+        assert_eq!(parse_fin(&record_line(0, &rec, 1)), None);
+        assert!(parse_record(&line).is_none());
+        // Tampering with a count field trips the CRC.
+        let tampered = line.replace("\"records\":25", "\"records\":24");
+        assert_eq!(parse_fin(&tampered), None);
     }
 }

@@ -159,6 +159,7 @@ pub(crate) fn render_hello(h: &WorkerHello) -> String {
             "{{\"v\":1,\"kind\":\"hello\",\"kernel\":\"{}\",\"mode\":\"{}\",",
             "\"preset\":\"{}\",\"injections\":{},\"seed\":{},\"checkpoints\":{},",
             "\"step_mode\":{},\"escalation\":{},\"wall_ms\":{},\"golden_instret\":{},",
+            "\"shard_index\":{},\"shard_count\":{},\"range_start\":{},\"range_end\":{},",
             "\"heartbeat_ms\":{},\"spin_at\":{},\"abort_at\":{}}}"
         ),
         esc(&h.header.kernel),
@@ -171,6 +172,10 @@ pub(crate) fn render_hello(h: &WorkerHello) -> String {
         h.header.escalation,
         opt_u64_json(h.header.wall_ms),
         h.header.golden_instret,
+        h.header.shard_index,
+        h.header.shard_count,
+        h.header.range_start,
+        h.header.range_end,
         h.heartbeat_ms,
         opt_u64_json(h.spin_at),
         opt_u64_json(h.abort_at),
@@ -215,6 +220,16 @@ pub(crate) fn parse_hello(line: &str) -> Result<WorkerHello, NfpError> {
             golden_instret: obj
                 .u64("golden_instret")
                 .ok_or_else(|| field("golden_instret"))?,
+            shard_index: obj
+                .u64("shard_index")
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| field("shard_index"))?,
+            shard_count: obj
+                .u64("shard_count")
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| field("shard_count"))?,
+            range_start: obj.u64("range_start").ok_or_else(|| field("range_start"))?,
+            range_end: obj.u64("range_end").ok_or_else(|| field("range_end"))?,
         },
         preset,
         heartbeat_ms: obj
@@ -493,6 +508,10 @@ mod tests {
                 escalation: 2,
                 wall_ms: Some(400),
                 golden_instret: 123_456,
+                shard_index: 1,
+                shard_count: 4,
+                range_start: 6,
+                range_end: 12,
             },
             preset: WorkerPreset::Quick,
             heartbeat_ms: 200,

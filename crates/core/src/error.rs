@@ -128,6 +128,28 @@ pub enum NfpError {
         /// What the worker sent (or failed to send).
         detail: String,
     },
+    /// Merging per-shard campaign journals failed an integrity check:
+    /// a binding mismatch, a per-record CRC failure, a range gap or
+    /// overlap, a duplicate record, or a summary that disagrees with
+    /// the records it covers.
+    ShardMerge {
+        /// The shard journal that failed the check.
+        path: String,
+        /// Which invariant it violated.
+        reason: String,
+    },
+    /// A campaign shard exhausted its re-dispatch budget without ever
+    /// producing a complete, valid journal.
+    ShardLost {
+        /// Shard index within the campaign.
+        shard: u32,
+        /// First plan index of the shard's injection range.
+        start: u64,
+        /// One past the last plan index of the shard's range.
+        end: u64,
+        /// What killed the final attempt.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NfpError {
@@ -172,6 +194,21 @@ impl fmt::Display for NfpError {
             },
             NfpError::ProtocolViolation { detail } => {
                 write!(f, "campaign worker protocol violation: {detail}")
+            }
+            NfpError::ShardMerge { path, reason } => {
+                write!(f, "merging shard journal '{path}' failed: {reason}")
+            }
+            NfpError::ShardLost {
+                shard,
+                start,
+                end,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} (injections {start}..{end}) lost after exhausting its \
+                     re-dispatch budget: {detail}"
+                )
             }
         }
     }
@@ -262,5 +299,26 @@ mod tests {
             shown.contains("NOP") && shown.contains("degenerate"),
             "{shown}"
         );
+    }
+
+    #[test]
+    fn shard_errors_display() {
+        let shown = NfpError::ShardMerge {
+            path: "c.shard2of4.jsonl".to_string(),
+            reason: "record 17 fails its CRC".to_string(),
+        }
+        .to_string();
+        assert!(shown.contains("c.shard2of4.jsonl"), "{shown}");
+        assert!(shown.contains("CRC"), "{shown}");
+        let shown = NfpError::ShardLost {
+            shard: 2,
+            start: 200,
+            end: 300,
+            detail: "journal torn on every attempt".to_string(),
+        }
+        .to_string();
+        assert!(shown.contains("shard 2"), "{shown}");
+        assert!(shown.contains("200..300"), "{shown}");
+        assert!(shown.contains("re-dispatch budget"), "{shown}");
     }
 }
