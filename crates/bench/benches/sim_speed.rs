@@ -7,11 +7,11 @@
 //!   simulation times"),
 //! * the detailed hardware model (the CAS-like slow/accurate end).
 //!
-//! Plus the step-vs-block comparison for the batched accounting path:
-//! the same FSE kernel with per-instruction stepping and with
-//! block-batched counters, measured directly and recorded to
+//! Plus the dispatch-mode comparison: the same FSE kernel under
+//! per-instruction stepping, block-batched accounting, threaded-code
+//! dispatch, and superblock traces, measured directly and recorded to
 //! `BENCH_sim.json` at the workspace root (CI uploads it as an
-//! artifact).
+//! artifact and gates on threaded-dispatch regressions).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nfp_bench::{
@@ -19,7 +19,7 @@ use nfp_bench::{
     ShardConfig, SupervisorConfig, WorkerIsolation,
 };
 use nfp_cc::FloatMode;
-use nfp_sim::{Machine, MachineConfig};
+use nfp_sim::{Dispatch, Machine, MachineConfig};
 use nfp_testbed::{HwModel, HwObserver};
 use nfp_workloads::{fse_kernels, hevc_kernels, machine_for, Kernel, Preset, INPUT_BASE};
 use std::time::Instant;
@@ -82,20 +82,37 @@ fn bench_sim_layers(c: &mut Criterion) {
     group.finish();
 }
 
-/// Median-of-N wall time of one full kernel run in the given mode,
-/// returning `(seconds, instret)`.
-fn time_mode(kernel: &Kernel, block: bool, reps: usize) -> (f64, u64) {
-    let mut times = Vec::with_capacity(reps);
-    let mut instret = 0;
+/// Median-of-N wall time of one full kernel run in every dispatch
+/// mode, returning the per-mode seconds (in `Dispatch::ALL` order)
+/// plus the common instret.
+///
+/// The reps are interleaved round-robin across the modes rather than
+/// run as per-mode blocks: on shared/contended runners the available
+/// CPU drifts on a seconds timescale, and a blocked schedule lands an
+/// entire mode's sample inside one drift phase, skewing the cross-mode
+/// ratios that the CI gate consumes. Round-robin spreads every mode
+/// across the same phases so the drift cancels out of the ratios.
+fn time_modes(kernel: &Kernel, reps: usize) -> ([f64; Dispatch::ALL.len()], u64) {
+    let mut times = [(); Dispatch::ALL.len()].map(|()| Vec::with_capacity(reps));
+    let mut instret = [0u64; Dispatch::ALL.len()];
     for _ in 0..reps {
-        let mut machine = machine_for(kernel, FloatMode::Hard).expect("machine");
-        machine.set_block_mode(block);
-        let start = Instant::now();
-        instret = machine.run(u64::MAX).unwrap().instret;
-        times.push(start.elapsed().as_secs_f64());
+        for (i, &dispatch) in Dispatch::ALL.iter().enumerate() {
+            let mut machine = machine_for(kernel, FloatMode::Hard).expect("machine");
+            machine.set_dispatch(dispatch);
+            let start = Instant::now();
+            instret[i] = machine.run(u64::MAX).unwrap().instret;
+            times[i].push(start.elapsed().as_secs_f64());
+        }
     }
-    times.sort_by(|a, b| a.total_cmp(b));
-    (times[reps / 2], instret)
+    assert!(
+        instret.iter().all(|&n| n == instret[0]),
+        "modes must retire identically"
+    );
+    let medians = times.map(|mut t| {
+        t.sort_by(|a, b| a.total_cmp(b));
+        t[reps / 2]
+    });
+    (medians, instret[0])
 }
 
 /// Median-of-N wall time of a 200-injection supervised campaign with
@@ -181,25 +198,32 @@ fn bench_block_batching(_c: &mut Criterion) {
         .next()
         .unwrap();
     let reps = 5;
-    let (step_s, instret) = time_mode(&kernel, false, reps);
-    let (block_s, block_instret) = time_mode(&kernel, true, reps);
-    assert_eq!(instret, block_instret, "modes must retire identically");
+    let ([step_s, block_s, threaded_s, traced_s], instret) = time_modes(&kernel, reps);
     let step_mips = instret as f64 / step_s / 1e6;
     let block_mips = instret as f64 / block_s / 1e6;
+    let threaded_mips = instret as f64 / threaded_s / 1e6;
+    let traced_mips = instret as f64 / traced_s / 1e6;
     let speedup = step_s / block_s;
+    let threaded_speedup = step_s / threaded_s;
+    let traced_speedup = step_s / traced_s;
+    for (label, secs, mips) in [
+        ("dispatch/step", step_s, step_mips),
+        ("dispatch/block", block_s, block_mips),
+        ("dispatch/threaded", threaded_s, threaded_mips),
+        ("dispatch/traced", traced_s, traced_mips),
+    ] {
+        println!(
+            "{:<40} {:>12.3} ms/iter  {:>10.1} Melem/s",
+            label,
+            secs * 1e3,
+            mips
+        );
+    }
     println!(
-        "{:<40} {:>12.3} ms/iter  {:>10.1} Melem/s",
-        "block_batching/step_mode",
-        step_s * 1e3,
-        step_mips
+        "dispatch speedups over step on {}: block {speedup:.2}x, \
+         threaded {threaded_speedup:.2}x, traced {traced_speedup:.2}x",
+        kernel.name
     );
-    println!(
-        "{:<40} {:>12.3} ms/iter  {:>10.1} Melem/s",
-        "block_batching/block_mode",
-        block_s * 1e3,
-        block_mips
-    );
-    println!("block_batching speedup: {speedup:.2}x on {}", kernel.name);
 
     // Supervisor overhead: the same campaign with the write-ahead
     // journal on and off, so the robustness layer's cost stays visible,
@@ -263,8 +287,12 @@ fn bench_block_batching(_c: &mut Criterion) {
     let json = format!(
         "{{\n  \"kernel\": \"{}\",\n  \"instret\": {},\n  \
          \"step_seconds\": {:.6},\n  \"block_seconds\": {:.6},\n  \
+         \"threaded_seconds\": {:.6},\n  \"traced_seconds\": {:.6},\n  \
          \"step_mips\": {:.1},\n  \"block_mips\": {:.1},\n  \
+         \"threaded_mips\": {:.1},\n  \"traced_mips\": {:.1},\n  \
          \"speedup\": {:.3},\n  \
+         \"threaded_speedup\": {:.3},\n  \
+         \"traced_speedup\": {:.3},\n  \
          \"supervised_nojournal_seconds\": {:.6},\n  \
          \"supervised_journal_seconds\": {:.6},\n  \
          \"journal_overhead\": {:.3},\n  \
@@ -277,9 +305,15 @@ fn bench_block_batching(_c: &mut Criterion) {
         instret,
         step_s,
         block_s,
+        threaded_s,
+        traced_s,
         step_mips,
         block_mips,
+        threaded_mips,
+        traced_mips,
         speedup,
+        threaded_speedup,
+        traced_speedup,
         nojournal_s,
         journal_s,
         journal_overhead,

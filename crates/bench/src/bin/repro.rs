@@ -20,6 +20,7 @@
 //! repro campaign --resume j.jsonl      # skip completed injections, continue
 //! repro campaign --injections 400      # override the plan size
 //! repro campaign --kernel fse          # only showcase kernels matching 'fse'
+//! repro campaign --dispatch step       # step|block|threaded|traced execution
 //! repro campaign --isolation process   # worker subprocesses (SIGKILL watchdogs)
 //! repro campaign --heartbeat-ms 200    # worker idle-heartbeat interval
 //! repro campaign --deadline-ms 60000   # per-injection wall deadline (process mode)
@@ -52,6 +53,7 @@ use nfp_bench::{
     CampaignFooter, Evaluation, KernelResult, Mode, ShardConfig, ShardSpec, SupervisorConfig,
     WorkerIsolation, WorkerPreset,
 };
+use nfp_sim::Dispatch;
 use nfp_workloads::{all_kernels, fse_kernels, hevc_kernels, Kernel, Preset};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -123,6 +125,14 @@ fn run_campaign_command(args: &[String], preset: &Preset) {
             fail(
                 "argument parsing",
                 format!("--injections wants a count, got '{n}'"),
+            )
+        });
+    }
+    if let Some(d) = flag_value(args, "--dispatch") {
+        campaign.dispatch = Dispatch::parse(d).unwrap_or_else(|| {
+            fail(
+                "argument parsing",
+                format!("--dispatch wants step|block|threaded|traced, got '{d}'"),
             )
         });
     }

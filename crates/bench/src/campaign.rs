@@ -28,7 +28,9 @@ use crate::evaluation::Mode;
 use nfp_core::{NfpError, Outcome, VulnerabilityReport};
 use nfp_sim::fault::{inject, plan, undo};
 use nfp_sim::machine::TrapPolicy;
-use nfp_sim::{Checkpoint, Fault, FaultSpace, FaultTarget, Machine, RunResult, SimError, Watchdog};
+use nfp_sim::{
+    Checkpoint, Dispatch, Fault, FaultSpace, FaultTarget, Machine, RunResult, SimError, Watchdog,
+};
 use nfp_sparc::Category;
 use nfp_workloads::{machine_for, Kernel, KERNEL_BUDGET};
 use std::time::Duration;
@@ -46,11 +48,12 @@ pub struct CampaignConfig {
     /// keeps campaigns fully deterministic; the instruction-budget
     /// watchdog already bounds every replay.
     pub wall: Option<Duration>,
-    /// Force per-instruction stepping instead of block-batched
-    /// accounting. Campaign results are bit-identical either way (a
+    /// Execution dispatch strategy for the golden run and every
+    /// replay. Campaign results are bit-identical across all modes (a
     /// regression test asserts it); this exists to measure the
-    /// batching speedup and to isolate suspected batching bugs.
-    pub step_mode: bool,
+    /// dispatch speedups and to isolate suspected batching bugs by
+    /// dropping back to [`Dispatch::Step`].
+    pub dispatch: Dispatch,
     /// Watchdog escalation factor. A replay first runs under the soft
     /// instruction budget (`2·golden + 10000` minus the injection
     /// point); if that expires, the watchdog escalates once, granting
@@ -68,7 +71,7 @@ impl Default for CampaignConfig {
             seed: 0x5eed_f417,
             checkpoints: 16,
             wall: None,
-            step_mode: false,
+            dispatch: Dispatch::default(),
             escalation: 2,
         }
     }
@@ -148,7 +151,7 @@ fn merge_ranges(mut ranges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
 fn fresh_machine(kernel: &Kernel, mode: Mode, cfg: &CampaignConfig) -> Result<Machine, NfpError> {
     let mut m = machine_for(kernel, mode.float_mode())?;
     m.set_trap_policy(TrapPolicy::Recover);
-    m.set_block_mode(!cfg.step_mode);
+    m.set_dispatch(cfg.dispatch);
     Ok(m)
 }
 
@@ -445,11 +448,12 @@ mod tests {
     }
 
     #[test]
-    fn campaign_outcomes_identical_in_step_and_block_mode() {
+    fn campaign_outcomes_identical_across_dispatch_modes() {
         // The execution-mode contract extended to a full seeded
         // campaign: golden run, checkpoint ladder, every injected
-        // replay, and the classified outcomes must not depend on
-        // whether accounting is batched.
+        // replay, and the classified outcomes must not depend on how
+        // execution is dispatched — per-instruction stepping, block
+        // batching, threaded code, or superblock traces.
         let kernels = nfp_workloads::fse_kernels(&Preset::quick()).expect("kernels");
         let base = CampaignConfig {
             injections: 30,
@@ -457,22 +461,32 @@ mod tests {
             checkpoints: 4,
             ..CampaignConfig::default()
         };
-        let block = run_campaign(&kernels[0], Mode::Float, &base).unwrap();
         let step = run_campaign(
             &kernels[0],
             Mode::Float,
             &CampaignConfig {
-                step_mode: true,
-                ..base
+                dispatch: Dispatch::Step,
+                ..base.clone()
             },
         )
         .unwrap();
-        assert_eq!(block.golden_instret, step.golden_instret);
-        assert_eq!(block.report, step.report);
-        for (x, y) in block.records.iter().zip(&step.records) {
-            assert_eq!(x.fault, y.fault);
-            assert_eq!(x.outcome, y.outcome);
-            assert_eq!(x.category, y.category);
+        for dispatch in [Dispatch::Block, Dispatch::Threaded, Dispatch::Traced] {
+            let fast = run_campaign(
+                &kernels[0],
+                Mode::Float,
+                &CampaignConfig {
+                    dispatch,
+                    ..base.clone()
+                },
+            )
+            .unwrap();
+            assert_eq!(fast.golden_instret, step.golden_instret, "{dispatch}");
+            assert_eq!(fast.report, step.report, "{dispatch}");
+            for (x, y) in fast.records.iter().zip(&step.records) {
+                assert_eq!(x.fault, y.fault, "{dispatch}");
+                assert_eq!(x.outcome, y.outcome, "{dispatch}");
+                assert_eq!(x.category, y.category, "{dispatch}");
+            }
         }
     }
 

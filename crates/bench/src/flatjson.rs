@@ -143,6 +143,7 @@ impl Obj {
             _ => None,
         }
     }
+    #[cfg(test)]
     pub(crate) fn bool(&self, key: &str) -> Option<bool> {
         match self.get(key)? {
             Jv::B(b) => Some(*b),

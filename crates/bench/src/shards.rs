@@ -464,7 +464,7 @@ pub fn peek_campaign(path: &Path) -> Result<(String, Mode, CampaignConfig), NfpE
         checkpoints: usize::try_from(h.checkpoints)
             .map_err(|_| err("checkpoint count overflows usize".to_string()))?,
         wall: h.wall_ms.map(Duration::from_millis),
-        step_mode: h.step_mode,
+        dispatch: h.dispatch,
         escalation: u32::try_from(h.escalation)
             .map_err(|_| err("escalation overflows u32".to_string()))?,
     };

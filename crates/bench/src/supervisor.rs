@@ -66,7 +66,7 @@ use crate::worker::{
 };
 use nfp_core::{HarnessCause, NfpError, Outcome};
 use nfp_sim::fault::plan;
-use nfp_sim::{Fault, FaultTarget, SimError};
+use nfp_sim::{Dispatch, Fault, FaultTarget, SimError};
 use nfp_sparc::Category;
 use nfp_workloads::Kernel;
 use std::io::{BufRead, Seek, Write};
@@ -243,7 +243,7 @@ pub(crate) struct JournalHeader {
     pub(crate) injections: u64,
     pub(crate) seed: u64,
     pub(crate) checkpoints: u64,
-    pub(crate) step_mode: bool,
+    pub(crate) dispatch: Dispatch,
     pub(crate) escalation: u64,
     pub(crate) wall_ms: Option<u64>,
     pub(crate) golden_instret: u64,
@@ -269,7 +269,7 @@ impl JournalHeader {
             injections: cfg.injections as u64,
             seed: cfg.seed,
             checkpoints: cfg.checkpoints as u64,
-            step_mode: cfg.step_mode,
+            dispatch: cfg.dispatch,
             escalation: cfg.escalation.max(1) as u64,
             wall_ms: cfg.wall.map(|d| d.as_millis() as u64),
             golden_instret,
@@ -290,7 +290,7 @@ impl JournalHeader {
             concat!(
                 "{{\"v\":1,\"kind\":\"nfp-campaign-journal\",\"kernel\":\"{}\",",
                 "\"mode\":\"{}\",\"injections\":{},\"seed\":{},\"checkpoints\":{},",
-                "\"step_mode\":{},\"escalation\":{},\"wall_ms\":{},\"golden_instret\":{},",
+                "\"dispatch\":\"{}\",\"escalation\":{},\"wall_ms\":{},\"golden_instret\":{},",
                 "\"shard_index\":{},\"shard_count\":{},\"range_start\":{},\"range_end\":{}}}"
             ),
             esc(&self.kernel),
@@ -298,7 +298,7 @@ impl JournalHeader {
             self.injections,
             self.seed,
             self.checkpoints,
-            self.step_mode,
+            self.dispatch.as_str(),
             self.escalation,
             self.wall_ms.map_or("null".to_string(), |n| n.to_string()),
             self.golden_instret,
@@ -344,7 +344,7 @@ impl JournalHeader {
         check_field!("injections", obj.u64("injections"), self.injections);
         check_field!("seed", obj.u64("seed"), self.seed);
         check_field!("checkpoints", obj.u64("checkpoints"), self.checkpoints);
-        check_field!("step_mode", obj.bool("step_mode"), self.step_mode);
+        check_field!("dispatch", obj.str("dispatch"), self.dispatch.as_str());
         check_field!("escalation", obj.u64("escalation"), self.escalation);
         check_field!("wall_ms", obj.opt_u64("wall_ms"), self.wall_ms);
         check_field!(
@@ -383,7 +383,7 @@ pub(crate) fn parse_header(line: &str) -> Option<JournalHeader> {
         injections: obj.u64("injections")?,
         seed: obj.u64("seed")?,
         checkpoints: obj.u64("checkpoints")?,
-        step_mode: obj.bool("step_mode")?,
+        dispatch: Dispatch::parse(obj.str("dispatch")?)?,
         escalation: obj.u64("escalation")?,
         wall_ms: obj.opt_u64("wall_ms")?,
         golden_instret: obj.u64("golden_instret")?,
@@ -1734,7 +1734,7 @@ mod tests {
             injections: 100,
             seed: 1,
             checkpoints: 16,
-            step_mode: false,
+            dispatch: Dispatch::Traced,
             escalation: 2,
             wall_ms: None,
             golden_instret: 5000,

@@ -36,7 +36,7 @@ use crate::flatjson::{esc, parse_flat, Obj};
 use crate::supervisor::{replay_spinning, target_fields, target_from_fields, JournalHeader};
 use nfp_core::{NfpError, Outcome};
 use nfp_sim::fault::plan;
-use nfp_sim::Fault;
+use nfp_sim::{Dispatch, Fault};
 use nfp_sparc::Category;
 use nfp_workloads::Preset;
 use std::io::{BufRead, Read, Write};
@@ -158,7 +158,7 @@ pub(crate) fn render_hello(h: &WorkerHello) -> String {
         concat!(
             "{{\"v\":1,\"kind\":\"hello\",\"kernel\":\"{}\",\"mode\":\"{}\",",
             "\"preset\":\"{}\",\"injections\":{},\"seed\":{},\"checkpoints\":{},",
-            "\"step_mode\":{},\"escalation\":{},\"wall_ms\":{},\"golden_instret\":{},",
+            "\"dispatch\":\"{}\",\"escalation\":{},\"wall_ms\":{},\"golden_instret\":{},",
             "\"shard_index\":{},\"shard_count\":{},\"range_start\":{},\"range_end\":{},",
             "\"heartbeat_ms\":{},\"spin_at\":{},\"abort_at\":{}}}"
         ),
@@ -168,7 +168,7 @@ pub(crate) fn render_hello(h: &WorkerHello) -> String {
         h.header.injections,
         h.header.seed,
         h.header.checkpoints,
-        h.header.step_mode,
+        h.header.dispatch.as_str(),
         h.header.escalation,
         opt_u64_json(h.header.wall_ms),
         h.header.golden_instret,
@@ -214,7 +214,10 @@ pub(crate) fn parse_hello(line: &str) -> Result<WorkerHello, NfpError> {
             injections: obj.u64("injections").ok_or_else(|| field("injections"))?,
             seed: obj.u64("seed").ok_or_else(|| field("seed"))?,
             checkpoints: obj.u64("checkpoints").ok_or_else(|| field("checkpoints"))?,
-            step_mode: obj.bool("step_mode").ok_or_else(|| field("step_mode"))?,
+            dispatch: obj
+                .str("dispatch")
+                .and_then(Dispatch::parse)
+                .ok_or_else(|| field("dispatch"))?,
             escalation: obj.u64("escalation").ok_or_else(|| field("escalation"))?,
             wall_ms: obj.opt_u64("wall_ms").ok_or_else(|| field("wall_ms"))?,
             golden_instret: obj
@@ -417,7 +420,7 @@ fn worker_main() -> Result<(), NfpError> {
         checkpoints: usize::try_from(hello.header.checkpoints)
             .map_err(|_| violation("hello checkpoint count overflows usize"))?,
         wall: hello.header.wall_ms.map(Duration::from_millis),
-        step_mode: hello.header.step_mode,
+        dispatch: hello.header.dispatch,
         escalation: u32::try_from(hello.header.escalation)
             .map_err(|_| violation("hello escalation overflows u32"))?,
     };
@@ -504,7 +507,7 @@ mod tests {
                 injections: 24,
                 seed: 0xfeed_5eed,
                 checkpoints: 8,
-                step_mode: false,
+                dispatch: Dispatch::Traced,
                 escalation: 2,
                 wall_ms: Some(400),
                 golden_instret: 123_456,

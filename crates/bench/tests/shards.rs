@@ -9,6 +9,7 @@ use nfp_bench::{
     CampaignResult, Mode, ShardConfig, SupervisorConfig,
 };
 use nfp_core::NfpError;
+use nfp_sim::Dispatch;
 use nfp_workloads::{fse_kernels, Kernel, Preset};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -265,6 +266,45 @@ fn exhausted_shard_fails_the_campaign_or_degrades_under_allow_partial() {
         assert_eq!(g, w, "surviving records must still match the baseline");
     }
     scrub(&base, 4);
+}
+
+#[test]
+fn dispatch_modes_produce_byte_identical_sharded_reports() {
+    // The dispatch differential contract at full campaign scale: a
+    // sharded campaign executed with threaded or traced dispatch must
+    // merge to a report byte-identical to undisturbed sequential
+    // same-seed runs under per-instruction stepping and block
+    // batching. Superblock traces in particular must not perturb a
+    // single injection outcome even when flips land mid-trace.
+    let k = kernel();
+    let seq_in = |dispatch: Dispatch| {
+        let mut c = campaign(24);
+        c.dispatch = dispatch;
+        let mut cfg = SupervisorConfig::new(c);
+        cfg.workers = Some(1);
+        run_supervised(&k, Mode::Float, &cfg).unwrap().result
+    };
+    let step = seq_in(Dispatch::Step);
+    let block = seq_in(Dispatch::Block);
+    assert_identical(&block, &step);
+
+    for dispatch in [Dispatch::Threaded, Dispatch::Traced] {
+        let (mut cfg, base) = sharded(&format!("dispatch_{dispatch}"), 24, 4);
+        cfg.supervisor.campaign.dispatch = dispatch;
+        scrub(&base, 4);
+        let outcome = run_sharded(&k, Mode::Float, &cfg).unwrap();
+        assert!(outcome.missing_ranges.is_empty(), "{dispatch}");
+        assert_identical(&outcome.result, &step);
+
+        // The shard journals themselves bind to the dispatch mode and
+        // merge offline to the same report.
+        let paths: Vec<PathBuf> = (0..4).map(|i| shard_journal_path(&base, i, 4)).collect();
+        let (_, mode, peeked) = peek_campaign(&paths[0]).unwrap();
+        assert_eq!(peeked.dispatch, dispatch);
+        let merged = merge_journals(&k, mode, &peeked, &paths, false).unwrap();
+        assert_identical(&merged.result, &step);
+        scrub(&base, 4);
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -87,20 +87,22 @@ impl BlockCache {
 
 /// Block-leader indices of a predecoded image at `base`, per the
 /// classic rules adapted to SPARC delay slots: the entry point, every
-/// statically known CTI target inside the image, and every CTI
-/// fall-through (two slots past the CTI, skipping its delay slot).
-/// Execution itself never needs this set — [`BlockCache::run_end`]
-/// handles arbitrary entry points — but diagnostics and tests use it
-/// to reason about block structure.
+/// statically known CTI target inside the image, and every block-ender
+/// fall-through — two slots past a CTI (skipping its delay slot), but
+/// only *one* past `t<cond>`, which has no delay slot (an untaken soft
+/// trap continues at the very next word). The block-batched run loop
+/// handles arbitrary entry points via [`BlockCache::run_end`], but
+/// superblock trace formation seeds its trace heads from this set, so
+/// a missed leader means a never-traced block.
 pub fn leaders(code: &[(Instr, Category)], base: u32) -> Vec<usize> {
     let mut lead = vec![false; code.len()];
     if !code.is_empty() {
         lead[0] = true;
     }
     for (i, &(instr, _)) in code.iter().enumerate() {
-        if !instr.ends_block() {
+        let Some(fall) = instr.fall_through_words() else {
             continue;
-        }
+        };
         let pc = base.wrapping_add((i as u32) * 4);
         if let Some(target) = instr.static_target(pc) {
             let t = target.wrapping_sub(base) as usize / 4;
@@ -108,8 +110,8 @@ pub fn leaders(code: &[(Instr, Category)], base: u32) -> Vec<usize> {
                 lead[t] = true;
             }
         }
-        if i + 2 < code.len() {
-            lead[i + 2] = true;
+        if i + fall < code.len() {
+            lead[i + fall] = true;
         }
     }
     lead.iter()
@@ -184,9 +186,36 @@ mod tests {
     fn leaders_cover_targets_and_fall_throughs() {
         let code = predecode(&loop_program());
         let lead = leaders(&code, 0x4000_0000);
-        // Entry, the backward-branch target (index 1), and the branch
-        // fall-through (index 4).
-        assert_eq!(lead, vec![0, 1, 4]);
+        // Entry, the backward-branch target (index 1), the branch
+        // fall-through (index 4), and the soft-trap fall-through
+        // (index 6): `ta` has no delay slot, so the instruction
+        // immediately after it heads the next block.
+        assert_eq!(lead, vec![0, 1, 4, 6]);
+    }
+
+    #[test]
+    fn ticc_fall_through_is_next_word_not_a_delay_slot() {
+        // Regression: `t<cond>` was treated like a delay-slot CTI, so
+        // the word at i+1 was never a leader and i+2 wrongly was.
+        let mut a = Assembler::new(0x4000_0000);
+        a.mov(1, Reg::o(0)); // 0
+        a.push(Instr::Ticc {
+            cond: ICond::E,
+            rs1: nfp_sparc::regs::G0,
+            op2: nfp_sparc::Operand::Imm(5),
+        }); // 1  (conditional soft trap, untaken falls to 2)
+        a.mov(2, Reg::o(1)); // 2  <- true fall-through
+        a.mov(3, Reg::o(2)); // 3  <- NOT a leader (mid-block)
+        a.ta(0); // 4
+        a.nop(); // 5  <- soft-trap fall-through
+        let code = predecode(&a.finish().unwrap());
+        let lead = leaders(&code, 0x4000_0000);
+        assert!(lead.contains(&2), "word after t<cond> must lead a block");
+        assert!(
+            !lead.contains(&3),
+            "t<cond> has no delay slot; i+2 is mid-block"
+        );
+        assert!(lead.contains(&5));
     }
 
     #[test]

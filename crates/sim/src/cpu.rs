@@ -39,17 +39,29 @@ pub struct Icc {
 }
 
 /// Full architectural register state of the core.
+///
+/// The integer file is stored as a flat 32-word view of the *current*
+/// window (`cur`, indexed directly by [`Reg::num`]) backed by per-window
+/// banks. Register reads and writes — the hottest operations in every
+/// dispatch mode — are then a single array access with no window
+/// arithmetic; the banked copies are reconciled only on window
+/// rotations (`save`/`restore`), which are orders of magnitude rarer.
 #[derive(Debug, Clone)]
 pub struct Cpu {
     /// Program counter of the instruction being executed.
     pub pc: u32,
     /// Next program counter (delay-slot architecture).
     pub npc: u32,
-    /// Global registers `%g0-%g7`; index 0 is forced to zero on read.
-    globals: [u32; 8],
-    /// `ins` banks, one per window.
+    /// Flat current-window view, indexed by [`Reg::num`]:
+    /// `%g0-%g7`, `%o0-%o7`, `%l0-%l7`, `%i0-%i7`. Authoritative for
+    /// the globals and for the three banks it mirrors (the previous
+    /// window's `ins` = this window's outs, and the current window's
+    /// `locals`/`ins`); `cur[0]` is pinned to zero.
+    cur: [u32; 32],
+    /// `ins` banks, one per window. The two banks mirrored by `cur`
+    /// are stale between rotations; `cur` holds truth.
     ins: [[u32; 8]; NWINDOWS],
-    /// `locals` banks, one per window.
+    /// `locals` banks, one per window. Same staleness rule as `ins`.
     locals: [[u32; 8]; NWINDOWS],
     /// Current window pointer.
     cwp: usize,
@@ -81,7 +93,7 @@ impl Cpu {
         Cpu {
             pc: 0,
             npc: 4,
-            globals: [0; 8],
+            cur: [0; 32],
             ins: [[0; 8]; NWINDOWS],
             locals: [[0; 8]; NWINDOWS],
             cwp: 0,
@@ -95,31 +107,46 @@ impl Cpu {
     }
 
     /// Reads an integer register in the current window.
-    #[inline]
+    #[inline(always)]
     pub fn get(&self, r: Reg) -> u32 {
-        let n = r.num() as usize;
-        match n {
-            0 => 0,
-            1..=7 => self.globals[n],
-            // outs of window w are the ins of window (w - 1) mod N
-            8..=15 => self.ins[(self.cwp + NWINDOWS - 1) % NWINDOWS][n - 8],
-            16..=23 => self.locals[self.cwp][n - 16],
-            _ => self.ins[self.cwp][n - 24],
-        }
+        // `& 31` restates the `Reg` invariant so no bounds check
+        // survives in the hot path.
+        self.cur[(r.num() & 31) as usize]
     }
 
     /// Writes an integer register in the current window; writes to
     /// `%g0` are discarded.
-    #[inline]
+    #[inline(always)]
     pub fn set(&mut self, r: Reg, value: u32) {
-        let n = r.num() as usize;
-        match n {
-            0 => {}
-            1..=7 => self.globals[n] = value,
-            8..=15 => self.ins[(self.cwp + NWINDOWS - 1) % NWINDOWS][n - 8] = value,
-            16..=23 => self.locals[self.cwp][n - 16] = value,
-            _ => self.ins[self.cwp][n - 24] = value,
-        }
+        // Branchless `%g0` discard: store, then re-pin slot 0 to zero.
+        self.cur[(r.num() & 31) as usize] = value;
+        self.cur[0] = 0;
+    }
+
+    /// Bank index whose `ins` array holds the current window's outs:
+    /// outs of window w are the ins of window `(w - 1) mod N`.
+    #[inline]
+    fn outs_bank(&self) -> usize {
+        (self.cwp + NWINDOWS - 1) % NWINDOWS
+    }
+
+    /// Writes the three banks mirrored by `cur` back to backing store.
+    /// Must be called before any operation that reads or rebinds the
+    /// banks (window rotation, flat fault-space access).
+    fn writeback_cur(&mut self) {
+        let outs = self.outs_bank();
+        self.ins[outs].copy_from_slice(&self.cur[8..16]);
+        self.locals[self.cwp].copy_from_slice(&self.cur[16..24]);
+        self.ins[self.cwp].copy_from_slice(&self.cur[24..32]);
+    }
+
+    /// Reloads `cur` from the banks the current `cwp` selects. The
+    /// globals (`cur[0..8]`) live only in `cur` and are untouched.
+    fn reload_cur(&mut self) {
+        let outs = self.outs_bank();
+        self.cur[8..16].copy_from_slice(&self.ins[outs]);
+        self.cur[16..24].copy_from_slice(&self.locals[self.cwp]);
+        self.cur[24..32].copy_from_slice(&self.ins[self.cwp]);
     }
 
     /// Rotates to a new window (`save`). Returns `false` on window
@@ -130,8 +157,10 @@ impl Cpu {
         if self.depth >= NWINDOWS - 2 {
             return false;
         }
+        self.writeback_cur();
         self.depth += 1;
         self.cwp = (self.cwp + NWINDOWS - 1) % NWINDOWS;
+        self.reload_cur();
         true
     }
 
@@ -142,8 +171,10 @@ impl Cpu {
         if self.depth == 0 {
             return false;
         }
+        self.writeback_cur();
         self.depth -= 1;
         self.cwp = (self.cwp + 1) % NWINDOWS;
+        self.reload_cur();
         true
     }
 
@@ -163,6 +194,10 @@ impl Cpu {
             return false;
         }
         let oldest = (self.cwp + self.depth) % NWINDOWS;
+        // `depth` is always in 1..=NWINDOWS-2 here, so the oldest
+        // window's banks are never the ones mirrored by `cur` (those
+        // are `cwp` and `cwp - 1`); direct bank access is exact.
+        debug_assert!(oldest != self.cwp && oldest != self.outs_bank());
         self.spilled.push(SpilledWindow {
             locals: self.locals[oldest],
             ins: self.ins[oldest],
@@ -180,6 +215,10 @@ impl Cpu {
     /// what a real fill from a garbage stack pointer would amount to.
     pub fn window_fill(&mut self) -> bool {
         let target = (self.cwp + 1) % NWINDOWS;
+        // `target` is neither `cwp` nor `cwp - 1`, so the banks being
+        // refilled are not mirrored by `cur`; the retried `restore`
+        // rotates into them and reloads `cur` from the filled banks.
+        debug_assert!(target != self.cwp && target != self.outs_bank());
         let from_spill = if let Some(frame) = self.spilled.pop() {
             self.locals[target] = frame.locals;
             self.ins[target] = frame.ins;
@@ -202,12 +241,22 @@ impl Cpu {
     pub fn flat_get(&self, index: usize) -> u32 {
         assert!(index < INT_REG_SPACE, "flat register index out of range");
         match index {
-            0..=6 => self.globals[index + 1],
+            0..=6 => self.cur[index + 1],
             _ => {
                 let w = (index - 7) / 16;
                 let r = (index - 7) % 16;
                 if r < 8 {
-                    self.ins[w][r]
+                    // Mirrored banks read through `cur`, which holds
+                    // truth between window rotations.
+                    if w == self.cwp {
+                        self.cur[24 + r]
+                    } else if w == self.outs_bank() {
+                        self.cur[8 + r]
+                    } else {
+                        self.ins[w][r]
+                    }
+                } else if w == self.cwp {
+                    self.cur[16 + (r - 8)]
                 } else {
                     self.locals[w][r - 8]
                 }
@@ -221,12 +270,22 @@ impl Cpu {
     pub fn flat_set(&mut self, index: usize, value: u32) {
         assert!(index < INT_REG_SPACE, "flat register index out of range");
         match index {
-            0..=6 => self.globals[index + 1] = value,
+            0..=6 => self.cur[index + 1] = value,
             _ => {
                 let w = (index - 7) / 16;
                 let r = (index - 7) % 16;
                 if r < 8 {
-                    self.ins[w][r] = value;
+                    // Mirrored banks write through `cur`; a bank write
+                    // there would be clobbered by the next writeback.
+                    if w == self.cwp {
+                        self.cur[24 + r] = value;
+                    } else if w == self.outs_bank() {
+                        self.cur[8 + r] = value;
+                    } else {
+                        self.ins[w][r] = value;
+                    }
+                } else if w == self.cwp {
+                    self.cur[16 + (r - 8)] = value;
                 } else {
                     self.locals[w][r - 8] = value;
                 }

@@ -159,8 +159,31 @@ pub enum StepOut {
     SoftTrap(u32),
 }
 
+/// Failure of a linear-dispatch execution path ([`exec_linear`] or a
+/// predecoded threaded-dispatch entry): either a genuine architectural
+/// [`Trap`], or a routing violation — a block-ending instruction
+/// reached a path that only handles straight-line instructions, which
+/// means the block-structure tables (block cache or dispatch table)
+/// are inconsistent with the instruction stream. The machine layer
+/// surfaces the latter as a typed `SimError` instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecError {
+    /// An architectural trap raised by the instruction.
+    Trap(Trap),
+    /// A block-ending instruction (CTI or `t<cond>`) was routed to a
+    /// linear execution path; `pc` is the offending instruction's
+    /// address.
+    NotLinear { pc: u32 },
+}
+
+impl From<Trap> for ExecError {
+    fn from(t: Trap) -> Self {
+        ExecError::Trap(t)
+    }
+}
+
 #[inline]
-fn fault_to_trap(pc: u32, fault: BusFault) -> Trap {
+pub(crate) fn fault_to_trap(pc: u32, fault: BusFault) -> Trap {
     match fault {
         BusFault::Unmapped { addr } => Trap::Unmapped { pc, addr },
         BusFault::Misaligned { addr, size } => Trap::Misaligned { pc, addr, size },
@@ -171,7 +194,7 @@ fn fault_to_trap(pc: u32, fault: BusFault) -> Trap {
 }
 
 #[inline]
-fn operand_value(cpu: &Cpu, op2: Operand) -> u32 {
+pub(crate) fn operand_value(cpu: &Cpu, op2: Operand) -> u32 {
     match op2 {
         Operand::Reg(r) => cpu.get(r),
         Operand::Imm(v) => v as u32,
@@ -264,7 +287,19 @@ pub fn step<O: Observer>(
                 out = StepOut::SoftTrap(n);
             }
         }
-        _ => exec_linear::<true>(cpu, bus, instr, fpu_enabled, pc, &mut info)?,
+        // The arms above cover every block-ending instruction, so the
+        // linear path cannot report `NotLinear` here; map it to an
+        // illegal-instruction trap defensively rather than panicking
+        // (mirrors the `BusFault::ImageOverlap` mapping above).
+        _ => exec_linear::<true>(cpu, bus, instr, fpu_enabled, pc, &mut info).map_err(
+            |e| match e {
+                ExecError::Trap(t) => t,
+                ExecError::NotLinear { pc } => Trap::Illegal {
+                    pc,
+                    word: nfp_sparc::encode(*instr),
+                },
+            },
+        )?,
     }
 
     cpu.pc = next_pc;
@@ -293,7 +328,7 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
     fpu_enabled: bool,
     pc: u32,
     info: &mut ExecInfo,
-) -> Result<(), Trap> {
+) -> Result<(), ExecError> {
     match *instr {
         Instr::Sethi { rd, imm22 } => {
             let v = imm22 << 10;
@@ -327,7 +362,7 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
             let a = cpu.get(rs1);
             let b = operand_value(cpu, op2);
             if !cpu.window_save() {
-                return Err(Trap::WindowOverflow { pc });
+                return Err(Trap::WindowOverflow { pc }.into());
             }
             cpu.set(rd, a.wrapping_add(b));
         }
@@ -335,7 +370,7 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
             let a = cpu.get(rs1);
             let b = operand_value(cpu, op2);
             if !cpu.window_restore() {
-                return Err(Trap::WindowUnderflow { pc });
+                return Err(Trap::WindowUnderflow { pc }.into());
             }
             cpu.set(rd, a.wrapping_add(b));
         }
@@ -390,7 +425,7 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
                 }
                 MemSize::Double => {
                     if rd.num() % 2 != 0 {
-                        return Err(Trap::OddIntPair { pc });
+                        return Err(Trap::OddIntPair { pc }.into());
                     }
                     let v = bus.load64(addr).map_err(map)?;
                     cpu.set(rd, (v >> 32) as u32);
@@ -429,7 +464,7 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
                 }
                 MemSize::Double => {
                     if rd.num() % 2 != 0 {
-                        return Err(Trap::OddIntPair { pc });
+                        return Err(Trap::OddIntPair { pc }.into());
                     }
                     let lo = cpu.get(nfp_sparc::Reg::new(rd.num() + 1));
                     let dv = ((v as u64) << 32) | lo as u64;
@@ -447,7 +482,7 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
             op2,
         } => {
             if !fpu_enabled {
-                return Err(Trap::FpDisabled { pc });
+                return Err(Trap::FpDisabled { pc }.into());
             }
             let addr = cpu.get(rs1).wrapping_add(operand_value(cpu, op2));
             if OBSERVE {
@@ -456,7 +491,7 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
             let map = |e| fault_to_trap(pc, e);
             if double {
                 if !rd.is_even() {
-                    return Err(Trap::OddFpPair { pc });
+                    return Err(Trap::OddFpPair { pc }.into());
                 }
                 let v = bus.load64(addr).map_err(map)?;
                 cpu.fset(rd, (v >> 32) as u32);
@@ -479,7 +514,7 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
             op2,
         } => {
             if !fpu_enabled {
-                return Err(Trap::FpDisabled { pc });
+                return Err(Trap::FpDisabled { pc }.into());
             }
             let addr = cpu.get(rs1).wrapping_add(operand_value(cpu, op2));
             if OBSERVE {
@@ -488,7 +523,7 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
             let map = |e| fault_to_trap(pc, e);
             if double {
                 if !rd.is_even() {
-                    return Err(Trap::OddFpPair { pc });
+                    return Err(Trap::OddFpPair { pc }.into());
                 }
                 let hi = cpu.fget(rd) as u64;
                 let lo = cpu.fget(nfp_sparc::FReg::new(rd.num() + 1)) as u64;
@@ -507,7 +542,7 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
         }
         Instr::FpOp { op, rd, rs1, rs2 } => {
             if !fpu_enabled {
-                return Err(Trap::FpDisabled { pc });
+                return Err(Trap::FpDisabled { pc }.into());
             }
             exec_fpop::<OBSERVE>(cpu, op, rd, rs1, rs2, pc, info)?;
         }
@@ -515,11 +550,11 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
             double, rs1, rs2, ..
         } => {
             if !fpu_enabled {
-                return Err(Trap::FpDisabled { pc });
+                return Err(Trap::FpDisabled { pc }.into());
             }
             let rel = if double {
                 if !rs1.is_even() || !rs2.is_even() {
-                    return Err(Trap::OddFpPair { pc });
+                    return Err(Trap::OddFpPair { pc }.into());
                 }
                 compare(cpu.fget_d(rs1), cpu.fget_d(rs2))
             } else {
@@ -528,19 +563,21 @@ pub(crate) fn exec_linear<const OBSERVE: bool>(
             cpu.fcc = rel;
         }
         Instr::Unimp { const22 } => {
-            return Err(Trap::Illegal { pc, word: const22 });
+            return Err(Trap::Illegal { pc, word: const22 }.into());
         }
         Instr::Illegal { word } => {
-            return Err(Trap::Illegal { pc, word });
+            return Err(Trap::Illegal { pc, word }.into());
         }
         // CTIs and `t<cond>` belong to `step`; reaching here with one
-        // is a machine-layer segmentation bug.
+        // means the block-structure tables disagree with the
+        // instruction stream. Surface it as a typed error — the
+        // machine layer reports it as `SimError::DispatchViolation`.
         Instr::Branch { .. }
         | Instr::FBranch { .. }
         | Instr::Call { .. }
         | Instr::Jmpl { .. }
         | Instr::Ticc { .. } => {
-            unreachable!("block-ending instruction {instr:?} routed to exec_linear")
+            return Err(ExecError::NotLinear { pc });
         }
     }
     Ok(())
@@ -573,7 +610,7 @@ fn apply_branch(
 }
 
 #[inline]
-fn exec_alu(cpu: &mut Cpu, op: AluOp, a: u32, b: u32, pc: u32) -> Result<u32, Trap> {
+pub(crate) fn exec_alu(cpu: &mut Cpu, op: AluOp, a: u32, b: u32, pc: u32) -> Result<u32, Trap> {
     use AluOp::*;
     let carry_in = cpu.icc.c as u32;
     let (result, set_cc, v, c) = match op {
@@ -665,7 +702,7 @@ fn exec_alu(cpu: &mut Cpu, op: AluOp, a: u32, b: u32, pc: u32) -> Result<u32, Tr
 }
 
 #[inline]
-fn compare(a: f64, b: f64) -> FccValue {
+pub(crate) fn compare(a: f64, b: f64) -> FccValue {
     if a.is_nan() || b.is_nan() {
         FccValue::Unordered
     } else if a == b {
@@ -686,7 +723,7 @@ fn f64_to_i32(v: f64) -> i32 {
 }
 
 #[inline]
-fn exec_fpop<const OBSERVE: bool>(
+pub(crate) fn exec_fpop<const OBSERVE: bool>(
     cpu: &mut Cpu,
     op: FpOp,
     rd: nfp_sparc::FReg,

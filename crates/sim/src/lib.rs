@@ -31,6 +31,7 @@ pub mod exec;
 pub mod fault;
 pub mod machine;
 pub mod profile;
+pub(crate) mod threaded;
 
 pub use blocks::BlockCache;
 pub use bus::{Bus, ConsoleDevice, Device, RamSnapshot, RAM_BASE};
@@ -38,7 +39,7 @@ pub use cpu::{Cpu, INT_REG_SPACE, NWINDOWS};
 pub use exec::{ExecInfo, NullObserver, Observer, Trap};
 pub use fault::{Fault, FaultRng, FaultSpace, FaultTarget};
 pub use machine::{
-    Checkpoint, ExitReason, Machine, MachineConfig, RunResult, SimError, TrapPolicy, TrapStats,
-    Watchdog,
+    Checkpoint, Dispatch, DispatchStats, ExitReason, Machine, MachineConfig, RunResult, SimError,
+    TrapPolicy, TrapStats, Watchdog,
 };
 pub use profile::{PcHistogram, Tracer};

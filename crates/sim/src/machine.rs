@@ -9,7 +9,8 @@
 use crate::blocks::BlockCache;
 use crate::bus::{Bus, BusFault, RamSnapshot, RAM_BASE};
 use crate::cpu::Cpu;
-use crate::exec::{exec_linear, step, ExecInfo, NullObserver, Observer, StepOut, Trap};
+use crate::exec::{exec_linear, step, ExecError, ExecInfo, NullObserver, Observer, StepOut, Trap};
+use crate::threaded::{build_trace, run_tops, ThreadedCache, TraceCache, TraceHalt, TraceSlot};
 use nfp_sparc::{decode, Category, CategoryCounts, Instr};
 use std::time::{Duration, Instant};
 
@@ -37,6 +38,64 @@ pub enum TrapPolicy {
     Recover,
 }
 
+/// How the run loop executes instructions. Every mode is bit-identical
+/// to [`Dispatch::Step`] (the architectural reference, enforced by the
+/// differential suites); they differ only in speed. Observed runs
+/// ([`Machine::run_observed`]) always step regardless of this setting,
+/// because an [`Observer`] needs every [`ExecInfo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dispatch {
+    /// Architectural reference: fetch, match, and account one
+    /// instruction at a time.
+    Step,
+    /// Block-batched accounting (DESIGN.md §8): straight-line runs
+    /// execute through `exec_linear` with one counter/pc commit per
+    /// block.
+    Block,
+    /// Threaded-code dispatch: straight-line runs execute through the
+    /// predecoded function-pointer table — one indirect call per
+    /// instruction, zero decode or match (DESIGN.md §13).
+    Threaded,
+    /// Threaded dispatch plus superblock traces: basic blocks chained
+    /// across statically-predicted branches and delay slots, so hot
+    /// loop iterations retire without returning to the dispatcher;
+    /// side-exit guards fall back to the step path (DESIGN.md §13).
+    #[default]
+    Traced,
+}
+
+impl Dispatch {
+    /// All modes, in reference-first order (differential suites sweep
+    /// this).
+    pub const ALL: [Dispatch; 4] = [
+        Dispatch::Step,
+        Dispatch::Block,
+        Dispatch::Threaded,
+        Dispatch::Traced,
+    ];
+
+    /// Stable lowercase name (CLI flags, journal headers).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Dispatch::Step => "step",
+            Dispatch::Block => "block",
+            Dispatch::Threaded => "threaded",
+            Dispatch::Traced => "traced",
+        }
+    }
+
+    /// Parses [`Dispatch::as_str`] output.
+    pub fn parse(s: &str) -> Option<Dispatch> {
+        Dispatch::ALL.into_iter().find(|d| d.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for Dispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Machine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct MachineConfig {
@@ -49,16 +108,13 @@ pub struct MachineConfig {
     pub count_categories: bool,
     /// Trap handling policy (see [`TrapPolicy`]).
     pub trap_policy: TrapPolicy,
-    /// Whether unobserved runs use block-batched accounting: the run
-    /// loop executes whole straight-line runs from the predecoded
-    /// [`BlockCache`], charging instruction and category counters once
-    /// per block instead of once per instruction. Results are
-    /// bit-identical to stepping (the step path remains the reference
+    /// Execution strategy for unobserved runs (see [`Dispatch`]). All
+    /// modes are bit-identical; the step path remains the reference
     /// and is used automatically whenever an [`Observer`] is attached,
     /// at block-ending instructions, in delay slots, outside the
     /// loaded image, and to re-present instructions after a mid-block
-    /// trap). Disable to force per-instruction stepping everywhere.
-    pub block_mode: bool,
+    /// trap.
+    pub dispatch: Dispatch,
 }
 
 impl Default for MachineConfig {
@@ -68,7 +124,7 @@ impl Default for MachineConfig {
             fpu_enabled: true,
             count_categories: true,
             trap_policy: TrapPolicy::Abort,
-            block_mode: true,
+            dispatch: Dispatch::Traced,
         }
     }
 }
@@ -135,6 +191,11 @@ pub enum SimError {
     BadAddress(BusFault),
     /// A code patch referenced an instruction index outside the image.
     BadCodeIndex { index: usize, len: usize },
+    /// A block-ending instruction was dispatched through a linear
+    /// execution path: the dispatch table (or block cache) disagrees
+    /// with the instruction stream. This is a simulator-integrity
+    /// violation, reported as a typed error instead of a panic.
+    DispatchViolation { pc: u32 },
 }
 
 impl std::fmt::Display for SimError {
@@ -161,6 +222,13 @@ impl std::fmt::Display for SimError {
                 write!(
                     f,
                     "code index {index} out of range for image of {len} instructions"
+                )
+            }
+            SimError::DispatchViolation { pc } => {
+                write!(
+                    f,
+                    "block-ending instruction dispatched as linear at 0x{pc:08x}: \
+                     corrupted dispatch table"
                 )
             }
         }
@@ -240,9 +308,30 @@ pub struct Machine {
     /// patched since the last build) — rebuilt lazily by the next
     /// batched run.
     blocks: Option<BlockCache>,
+    /// Threaded dispatch table over `code`; invalidated exactly like
+    /// `blocks` (pure function of the predecoded image), rebuilt
+    /// lazily by the next threaded/traced run.
+    threaded: Option<ThreadedCache>,
+    /// Superblock traces keyed by block-leader index; invalidated
+    /// exactly like `blocks`, rebuilt lazily per trace head.
+    traces: Option<TraceCache>,
     counts: CategoryCounts,
     instret: u64,
     trap_stats: TrapStats,
+    dispatch_stats: DispatchStats,
+}
+
+/// How many instructions each dispatch path retired (diagnostics for
+/// the speed work: a traced run whose `traced` share is low says the
+/// trace builder is bailing, not that traces are slow).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Retired inside superblock traces.
+    pub traced: u64,
+    /// Retired in straight-line batches (threaded or linear).
+    pub batched: u64,
+    /// Retired on the per-instruction step path.
+    pub stepped: u64,
 }
 
 impl Machine {
@@ -255,10 +344,18 @@ impl Machine {
             code_base: RAM_BASE,
             code: Vec::new(),
             blocks: None,
+            threaded: None,
+            traces: None,
             counts: CategoryCounts::new(),
             instret: 0,
             trap_stats: TrapStats::default(),
+            dispatch_stats: DispatchStats::default(),
         }
+    }
+
+    /// Per-dispatch-path retirement counters accumulated across runs.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.dispatch_stats
     }
 
     /// The active configuration.
@@ -272,10 +369,10 @@ impl Machine {
         self.config.trap_policy = policy;
     }
 
-    /// Enables or disables block-batched accounting (see
-    /// [`MachineConfig::block_mode`]); takes effect from the next run.
-    pub fn set_block_mode(&mut self, on: bool) {
-        self.config.block_mode = on;
+    /// Switches the execution strategy (see [`Dispatch`]); takes
+    /// effect from the next run.
+    pub fn set_dispatch(&mut self, dispatch: Dispatch) {
+        self.config.dispatch = dispatch;
     }
 
     /// Traps absorbed by the recovery model so far.
@@ -314,6 +411,8 @@ impl Machine {
             })
             .collect();
         self.blocks = None;
+        self.threaded = None;
+        self.traces = None;
         self.cpu.pc = base;
         self.cpu.npc = base.wrapping_add(4);
         // Stack: top of RAM minus a red zone, 8-byte aligned.
@@ -373,9 +472,14 @@ impl Machine {
         let i = decode(word);
         self.code[index] = (i, i.category());
         // The patched word may create or remove a block boundary, so
-        // every cached block summary crossing it is stale; drop the
-        // cache and let the next batched run rebuild it.
+        // every cached block summary, dispatch-table entry, and trace
+        // crossing it is stale; drop all three derived caches and let
+        // the next batched run rebuild them. This is the invalidation
+        // that keeps fault-injection code flips bit-identical across
+        // dispatch modes.
         self.blocks = None;
+        self.threaded = None;
+        self.traces = None;
         Ok(old)
     }
 
@@ -449,13 +553,13 @@ impl Machine {
 
     /// Runs until the program halts, an error occurs, or `max_instrs`
     /// instructions have executed, without an observer (fast path,
-    /// block-batched unless [`MachineConfig::block_mode`] is off).
+    /// dispatched per [`MachineConfig::dispatch`]).
     pub fn run(&mut self, max_instrs: u64) -> Result<RunResult, SimError> {
         self.run_inner(
             max_instrs,
             None,
             false,
-            self.config.block_mode,
+            self.config.dispatch,
             &mut NullObserver,
         )
     }
@@ -463,13 +567,13 @@ impl Machine {
     /// Runs with a per-instruction [`Observer`] (the detailed hardware
     /// model attaches here). An observer needs every [`ExecInfo`], so
     /// this path always steps instruction by instruction, regardless of
-    /// [`MachineConfig::block_mode`].
+    /// [`MachineConfig::dispatch`].
     pub fn run_observed<O: Observer>(
         &mut self,
         max_instrs: u64,
         obs: &mut O,
     ) -> Result<RunResult, SimError> {
-        self.run_inner(max_instrs, None, false, false, obs)
+        self.run_inner(max_instrs, None, false, Dispatch::Step, obs)
     }
 
     /// Runs under a [`Watchdog`]: budget or deadline expiry yields
@@ -482,7 +586,7 @@ impl Machine {
             wd.max_instrs,
             deadline,
             true,
-            self.config.block_mode,
+            self.config.dispatch,
             &mut NullObserver,
         )
     }
@@ -502,7 +606,7 @@ impl Machine {
             target - self.instret,
             None,
             false,
-            self.config.block_mode,
+            self.config.dispatch,
             &mut NullObserver,
         ) {
             Err(SimError::BudgetExhausted { .. }) => Ok(()),
@@ -518,15 +622,23 @@ impl Machine {
         max_instrs: u64,
         deadline: Option<Instant>,
         watchdog: bool,
-        batched: bool,
+        dispatch: Dispatch,
         obs: &mut O,
     ) -> Result<RunResult, SimError> {
         let counting = self.config.count_categories;
         let fpu = self.config.fpu_enabled;
         let recover = self.config.trap_policy == TrapPolicy::Recover;
         let limit = self.instret.saturating_add(max_instrs);
+        let batched = dispatch != Dispatch::Step;
+        let threaded = matches!(dispatch, Dispatch::Threaded | Dispatch::Traced);
         if batched && self.blocks.is_none() && !self.code.is_empty() {
             self.blocks = Some(BlockCache::build(&self.code));
+        }
+        if threaded && self.threaded.is_none() && !self.code.is_empty() {
+            self.threaded = Some(ThreadedCache::build(&self.code, self.code_base, fpu));
+        }
+        if dispatch == Dispatch::Traced && self.traces.is_none() && !self.code.is_empty() {
+            self.traces = Some(TraceCache::new(&self.code, self.code_base));
         }
         // Next instret at which an armed wall-clock deadline is
         // consulted (batches can jump past exact interval multiples).
@@ -565,6 +677,58 @@ impl Machine {
                     && idx < self.code.len()
                     && self.cpu.npc == pc.wrapping_add(4)
                 {
+                    // Traced mode: try a superblock first. Traces are
+                    // built lazily at block-leader indices; a trace is
+                    // only entered when it fits whole in the remaining
+                    // budget, so run_until() exactness is unaffected.
+                    if dispatch == Dispatch::Traced {
+                        let traces = self.traces.as_mut().expect("built above");
+                        if traces.is_head(idx) {
+                            if traces.is_untried(idx) {
+                                let slot = build_trace(
+                                    &self.code,
+                                    self.code_base,
+                                    self.blocks.as_ref().expect("built above"),
+                                    self.threaded.as_ref().expect("built above").ops(),
+                                    fpu,
+                                    idx,
+                                );
+                                traces.set(idx, slot);
+                            }
+                            if let TraceSlot::Present(trace) = traces.slot(idx) {
+                                if (trace.len() as u64) <= limit - self.instret {
+                                    let halt = trace.run(&mut self.cpu, &mut self.bus);
+                                    // (retired ops, pc/npc to set, error)
+                                    let (retired, state, err) = match halt {
+                                        TraceHalt::Completed => {
+                                            let e = trace.end_pc();
+                                            (trace.len(), Some((e, e.wrapping_add(4))), None)
+                                        }
+                                        // The guard wrote the side-exit
+                                        // pc/npc itself.
+                                        TraceHalt::Exited { retired } => (retired, None, None),
+                                        TraceHalt::Trapped { at, err } => {
+                                            (at, Some(trace.meta(at)), Some(err))
+                                        }
+                                    };
+                                    let delta = trace.counts_upto(retired);
+                                    self.instret += retired as u64;
+                                    self.dispatch_stats.traced += retired as u64;
+                                    if counting {
+                                        self.counts = self.counts.merged(&delta);
+                                    }
+                                    if let Some((p, n)) = state {
+                                        self.cpu.pc = p;
+                                        self.cpu.npc = n;
+                                    }
+                                    if let Some(e) = err {
+                                        self.settle(e, recover)?;
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                     let run_end = self.blocks.as_ref().expect("built above").run_end(idx);
                     // Clamp to the budget so run_until() still stops at
                     // an exact instruction count mid-block.
@@ -572,30 +736,44 @@ impl Machine {
                     let end = idx + take;
                     if end > idx {
                         let mut j = idx;
-                        let mut pending: Option<Trap> = None;
-                        let mut ipc = pc;
-                        for (instr, _) in &self.code[idx..end] {
-                            if let Err(t) = exec_linear::<false>(
-                                &mut self.cpu,
-                                &mut self.bus,
-                                instr,
-                                fpu,
-                                ipc,
-                                &mut scratch,
-                            ) {
-                                pending = Some(t);
-                                break;
+                        let mut pending: Option<ExecError> = None;
+                        if threaded {
+                            // Threaded dispatch: one predecoded op per
+                            // instruction, zero decode or re-match —
+                            // hot kinds inlined at the dispatch site,
+                            // the tail through the table's fn pointer.
+                            let tops = self.threaded.as_ref().expect("built above").ops();
+                            let (done, err) =
+                                run_tops(&tops[idx..end], &mut self.cpu, &mut self.bus);
+                            j += done;
+                            pending = err;
+                        } else {
+                            let mut ipc = pc;
+                            for (instr, _) in &self.code[idx..end] {
+                                if let Err(e) = exec_linear::<false>(
+                                    &mut self.cpu,
+                                    &mut self.bus,
+                                    instr,
+                                    fpu,
+                                    ipc,
+                                    &mut scratch,
+                                ) {
+                                    pending = Some(e);
+                                    break;
+                                }
+                                j += 1;
+                                ipc = ipc.wrapping_add(4);
                             }
-                            j += 1;
-                            ipc = ipc.wrapping_add(4);
                         }
                         // Commit the completed prefix [idx, j) in one
-                        // batch: exec_linear leaves pc/npc untouched,
-                        // so on a trap the machine state is exactly
-                        // what stepping would have left — pc at the
-                        // faulting instruction, nothing of it counted.
+                        // batch: linear execution leaves pc/npc
+                        // untouched, so on a trap the machine state is
+                        // exactly what stepping would have left — pc
+                        // at the faulting instruction, nothing of it
+                        // counted.
                         if j > idx {
                             self.instret += (j - idx) as u64;
+                            self.dispatch_stats.batched += (j - idx) as u64;
                             if counting {
                                 let delta = self
                                     .blocks
@@ -607,11 +785,8 @@ impl Machine {
                             self.cpu.pc = self.code_base.wrapping_add((j as u32) * 4);
                             self.cpu.npc = self.cpu.pc.wrapping_add(4);
                         }
-                        if let Some(t) = pending {
-                            if recover && self.try_recover(&t) {
-                                continue;
-                            }
-                            return Err(t.into());
+                        if let Some(e) = pending {
+                            self.settle(e, recover)?;
                         }
                         continue;
                     }
@@ -633,6 +808,7 @@ impl Machine {
                 }
             };
             self.instret += 1;
+            self.dispatch_stats.stepped += 1;
             if counting {
                 self.counts.bump(cat);
             }
@@ -657,6 +833,51 @@ impl Machine {
                 }
             }
         }
+    }
+
+    /// Settles a linear-dispatch execution error: architectural traps
+    /// go through the recovery model (exactly like the step path),
+    /// while routing violations — a block-ending instruction executed
+    /// through a linear path, i.e. a corrupted dispatch table — are
+    /// surfaced as [`SimError::DispatchViolation`]. `Ok(())` means the
+    /// trap was absorbed and the run loop should continue.
+    fn settle(&mut self, e: ExecError, recover: bool) -> Result<(), SimError> {
+        match e {
+            ExecError::Trap(t) => {
+                if recover && self.try_recover(&t) {
+                    Ok(())
+                } else {
+                    Err(t.into())
+                }
+            }
+            ExecError::NotLinear { pc } => Err(SimError::DispatchViolation { pc }),
+        }
+    }
+
+    /// Test hook: corrupts the threaded dispatch-table entry at code
+    /// index `index` so it reports a routing violation when executed,
+    /// simulating a fault-flipped or inconsistent dispatch table.
+    /// Returns `false` (and does nothing) if the index is out of range
+    /// or names a block-ending instruction (whose entry is *expected*
+    /// to be non-linear). The trace cache is dropped so traces rebuild
+    /// from the corrupted table — a corrupted entry mid-superblock
+    /// must surface identically. The corruption lasts until the next
+    /// image load or code patch rebuilds the caches.
+    #[doc(hidden)]
+    pub fn test_corrupt_dispatch(&mut self, index: usize) -> bool {
+        if index >= self.code.len() || self.code[index].0.ends_block() {
+            return false;
+        }
+        if self.threaded.is_none() {
+            self.threaded = Some(ThreadedCache::build(
+                &self.code,
+                self.code_base,
+                self.config.fpu_enabled,
+            ));
+        }
+        self.threaded.as_mut().expect("built above").corrupt(index);
+        self.traces = None;
+        true
     }
 
     /// The bare-metal trap handler model: absorbs recoverable traps,
@@ -1079,15 +1300,16 @@ mod tests {
         assert_eq!(r.exit_code, 9);
     }
 
-    /// Runs `words` twice — stepped and block-batched — under the same
-    /// policy and budget, and asserts every observable agrees: the
-    /// run/error result, retired-instruction count, category counters,
-    /// full CPU state, and RAM contents.
+    /// Runs `words` once per dispatch mode — step, block, threaded,
+    /// traced — under the same policy and budget, and asserts every
+    /// observable agrees with the stepping reference: the run/error
+    /// result, retired-instruction count, category counters, full CPU
+    /// state, and RAM contents.
     fn assert_modes_agree(words: &[u32], policy: TrapPolicy, budget: u64) {
-        let observe = |block: bool| {
+        let observe = |dispatch: Dispatch| {
             let mut m = Machine::boot(words);
             m.set_trap_policy(policy);
-            m.set_block_mode(block);
+            m.set_dispatch(dispatch);
             let res = m.run(budget);
             (
                 format!("{res:?}"),
@@ -1097,13 +1319,15 @@ mod tests {
                 format!("{:?}", m.bus.snapshot_ram()),
             )
         };
-        let stepped = observe(false);
-        let batched = observe(true);
-        assert_eq!(stepped.0, batched.0, "run result diverged");
-        assert_eq!(stepped.1, batched.1, "instret diverged");
-        assert_eq!(stepped.2, batched.2, "category counts diverged");
-        assert_eq!(stepped.3, batched.3, "CPU state diverged");
-        assert_eq!(stepped.4, batched.4, "RAM contents diverged");
+        let stepped = observe(Dispatch::Step);
+        for d in [Dispatch::Block, Dispatch::Threaded, Dispatch::Traced] {
+            let fast = observe(d);
+            assert_eq!(stepped.0, fast.0, "{d}: run result diverged");
+            assert_eq!(stepped.1, fast.1, "{d}: instret diverged");
+            assert_eq!(stepped.2, fast.2, "{d}: category counts diverged");
+            assert_eq!(stepped.3, fast.3, "{d}: CPU state diverged");
+            assert_eq!(stepped.4, fast.4, "{d}: RAM contents diverged");
+        }
     }
 
     fn memory_loop_program() -> Vec<u32> {
@@ -1124,12 +1348,12 @@ mod tests {
     }
 
     #[test]
-    fn block_mode_matches_step_mode_on_branchy_code() {
+    fn batched_dispatch_matches_step_on_branchy_code() {
         assert_modes_agree(&memory_loop_program(), TrapPolicy::Abort, 1_000_000);
     }
 
     #[test]
-    fn block_mode_matches_step_mode_across_budget_stops() {
+    fn batched_dispatch_matches_step_across_budget_stops() {
         // Stop the run at every possible instruction count, including
         // points that land mid-block: batching must clamp to the
         // budget, not overshoot to the block boundary.
@@ -1140,7 +1364,7 @@ mod tests {
     }
 
     #[test]
-    fn block_mode_matches_step_mode_under_recover_traps() {
+    fn batched_dispatch_matches_step_under_recover_traps() {
         // Window overflow/underflow recovery resumes mid-program; the
         // batched path must re-present the trapping instruction and
         // leave the partial block's counts exactly as stepping would.
@@ -1164,7 +1388,7 @@ mod tests {
     }
 
     #[test]
-    fn block_mode_checkpoint_restore_replays_identically() {
+    fn batched_checkpoint_restore_replays_identically() {
         let words = memory_loop_program();
         let mut m = Machine::boot(&words);
         m.run_until(17).unwrap(); // mid-block under batching
@@ -1179,7 +1403,7 @@ mod tests {
     }
 
     #[test]
-    fn patched_code_is_seen_by_block_mode() {
+    fn patched_code_is_seen_after_batched_run() {
         // Patch an instruction to a different category after a run has
         // built the block cache: the next run must account the patched
         // instruction, not a stale block summary.
@@ -1205,12 +1429,70 @@ mod tests {
 
         // And the patch must match step mode exactly.
         let mut s = Machine::boot(&words);
-        s.set_block_mode(false);
+        s.set_dispatch(Dispatch::Step);
         s.run_until(3).unwrap();
         s.patch_code_word(5, nop).unwrap();
         let stepped = s.run(10_000).unwrap();
         assert_eq!(patched.counts, stepped.counts);
         assert_eq!(patched.instret, stepped.instret);
         let _ = old;
+    }
+
+    #[test]
+    fn patched_code_is_seen_by_every_dispatch_mode() {
+        // Same invalidation property as above, but exercising the
+        // threaded dispatch table and the superblock trace cache: the
+        // patch lands mid-loop-body, i.e. mid-superblock once the
+        // traced run has chained the loop into one trace.
+        let words = memory_loop_program();
+        let nop = nfp_sparc::encode(Instr::NOP);
+        let observe = |dispatch: Dispatch| {
+            let mut m = Machine::boot(&words);
+            m.set_dispatch(dispatch);
+            m.run_until(25).unwrap(); // caches warm, mid-iteration
+            m.patch_code_word(5, nop).unwrap();
+            let res = m.run(10_000).unwrap();
+            (res.instret, res.counts, res.words)
+        };
+        let stepped = observe(Dispatch::Step);
+        for d in [Dispatch::Block, Dispatch::Threaded, Dispatch::Traced] {
+            assert_eq!(observe(d), stepped, "{d}: patched run diverged");
+        }
+    }
+
+    #[test]
+    fn dispatch_round_trips_and_defaults_to_traced() {
+        assert_eq!(MachineConfig::default().dispatch, Dispatch::Traced);
+        for d in Dispatch::ALL {
+            assert_eq!(Dispatch::parse(d.as_str()), Some(d));
+        }
+        assert_eq!(Dispatch::parse("warp"), None);
+    }
+
+    #[test]
+    fn corrupted_dispatch_entry_is_a_typed_error() {
+        let words = memory_loop_program();
+        for d in [Dispatch::Threaded, Dispatch::Traced] {
+            let mut m = Machine::boot(&words);
+            m.set_dispatch(d);
+            // Word 5 is the console `st` in the loop body — a linear
+            // instruction whose corrupted entry claims otherwise.
+            assert!(m.test_corrupt_dispatch(5));
+            match m.run(10_000) {
+                Err(SimError::DispatchViolation { pc }) => {
+                    assert_eq!(pc, RAM_BASE + 5 * 4, "{d}");
+                }
+                other => panic!("{d}: expected DispatchViolation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_dispatch_hook_rejects_enders_and_oob() {
+        let words = memory_loop_program();
+        let mut m = Machine::boot(&words);
+        assert!(!m.test_corrupt_dispatch(words.len()), "out of range");
+        // Word 7 is the `bne` loop branch: already non-linear.
+        assert!(!m.test_corrupt_dispatch(7), "block ender");
     }
 }

@@ -5,8 +5,8 @@
 //! Attaching any [`Observer`] (via
 //! [`Machine::run_observed`](crate::Machine::run_observed)) forces the
 //! run loop onto the per-instruction step path regardless of
-//! [`MachineConfig::block_mode`](crate::MachineConfig::block_mode):
-//! block-batched accounting skips the per-instruction [`ExecInfo`]
+//! [`MachineConfig::dispatch`](crate::MachineConfig::dispatch): the
+//! batched dispatch modes skip the per-instruction [`ExecInfo`]
 //! plumbing these observers depend on, so observed runs trade speed
 //! for a complete event stream.
 
@@ -169,13 +169,17 @@ mod tests {
     }
 
     #[test]
-    fn observers_see_every_instruction_despite_block_mode() {
-        // `block_mode` defaults to on, but observed runs must still
+    fn observers_see_every_instruction_despite_batched_dispatch() {
+        // Dispatch defaults to traced, but observed runs must still
         // step: a histogram that missed batched instructions would
         // undercount silently.
         let words = loop_program(25);
         let mut m = Machine::boot(&words);
-        assert!(m.config().block_mode, "default config batches");
+        assert_eq!(
+            m.config().dispatch,
+            crate::Dispatch::Traced,
+            "default config batches"
+        );
         let mut hist = PcHistogram::new(RAM_BASE, words.len());
         let r = m.run_observed(100_000, &mut hist).unwrap();
         assert_eq!(hist.total(), r.instret, "one observation per retirement");

@@ -1,0 +1,1802 @@
+//! Threaded-code dispatch and superblock traces — the zero-decode hot
+//! path behind [`Dispatch::Threaded`](crate::Dispatch::Threaded) and
+//! [`Dispatch::Traced`](crate::Dispatch::Traced).
+//!
+//! Block-batched accounting (DESIGN.md §8) removed the per-instruction
+//! counter commit, but `exec_linear` still re-matches the instruction
+//! enum on every retirement. This module predecodes each image
+//! instruction into a `(fn pointer, DecodedOp)` pair — the classic
+//! threaded-code idiom — so the hot loop is one indirect call per
+//! instruction with zero decode or match: all operand shapes
+//! (immediate vs register, load width, signedness, ALU opcode) are
+//! burned into the function pointer via const generics at predecode
+//! time.
+//!
+//! On top of the flat dispatch table, [`TraceCache`] forms
+//! **superblocks**: instruction traces that chain basic blocks across
+//! statically-predicted branches (backward-taken/forward-not-taken)
+//! and their delay slots, so a whole inner-loop iteration retires
+//! without returning to the machine dispatcher. Predictions are
+//! enforced at run time by guard ops that evaluate the condition from
+//! a precomputed truth-table mask and side-exit with the exact
+//! architectural `pc`/`npc` the stepping path would have produced.
+//!
+//! Bit-identity with the stepping path is preserved the same way the
+//! block cache preserves it: every structure here is a pure function
+//! of the predecoded image, so
+//! [`Machine::patch_code_word`](crate::Machine::patch_code_word) (and
+//! with it every fault-injection code flip and undo) drops it, and the
+//! next run rebuilds from the patched stream.
+
+use std::collections::HashSet;
+
+use crate::blocks::{leaders, BlockCache};
+use crate::bus::Bus;
+use crate::cpu::Cpu;
+use crate::exec::{compare, exec_alu, fault_to_trap, ExecError, Trap};
+use nfp_sparc::cond::FccValue;
+use nfp_sparc::{
+    AluOp, Category, CategoryCounts, FCond, FReg, FpOp, ICond, Instr, MemSize, Operand, Reg,
+};
+
+/// Upper bound on superblock length, in trace ops. Bounds both build
+/// time and the budget slack a trace needs before the run loop may
+/// enter it (`run_until` exactness: a trace is only entered when the
+/// whole trace fits in the remaining instruction budget).
+pub(crate) const MAX_TRACE_OPS: usize = 256;
+
+/// Control-flow verdict of one threaded op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    /// Sequential: fall through to the next op in the table/trace.
+    Next,
+    /// Side exit: the op has written the architectural `pc`/`npc` to
+    /// follow; the trace stops here (the op itself retired).
+    Exit,
+}
+
+/// One threaded execution function. `DecodedOp` carries the operands;
+/// everything the shape of the instruction determines (opcode, operand
+/// form, width) is specialized into the function itself.
+pub(crate) type ExecFn = fn(&mut Cpu, &mut Bus, &DecodedOp) -> Result<Flow, ExecError>;
+
+/// Dispatch-kind tag mirroring the shape burned into the op's
+/// function pointer. The run loops inline the hottest kinds directly
+/// at the dispatch site (see [`exec_top`]); everything else — and any
+/// corrupted table entry, whose record defaults to `Generic` — goes
+/// through the indirect call, which stays the canonical semantic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum OpKind {
+    /// Execute through the fn pointer (FP, window ops, trap stubs).
+    #[default]
+    Generic,
+    /// Retires with no architectural effect (`nop`, `flush`, and
+    /// in-trace retired `ba`).
+    Nop,
+    /// `sethi` with a live destination; `imm` is precomputed.
+    Sethi,
+    /// Integer ALU, immediate form; `aux` is the `AluOp` discriminant.
+    AluImm,
+    /// Integer ALU, register form; `aux` is the `AluOp` discriminant.
+    AluReg,
+    /// Integer load, immediate form; `aux` = size code | signed << 2.
+    LoadImm,
+    /// Integer load, register form; `aux` as for `LoadImm`.
+    LoadReg,
+    /// Integer store, immediate form; `aux` = size code.
+    StoreImm,
+    /// Integer store, register form; `aux` = size code.
+    StoreReg,
+    /// Predicted-taken icc guard (non-annulling).
+    GuardTaken,
+    /// Predicted-taken icc guard (annulling).
+    GuardTakenAnnul,
+    /// Predicted-not-taken icc guard.
+    GuardUntaken,
+    /// Predicted-taken fcc guard (non-annulling).
+    GuardFTaken,
+    /// Predicted-taken fcc guard (annulling).
+    GuardFTakenAnnul,
+    /// Predicted-not-taken fcc guard.
+    GuardFUntaken,
+    /// In-trace `call`: links `%o7`, continuation is inlined.
+    CallLink,
+    /// `rd %y`.
+    RdY,
+    /// `wr %y`, immediate form.
+    WrYImm,
+    /// `wr %y`, register form.
+    WrYReg,
+    /// `save`, immediate form.
+    SaveImm,
+    /// `save`, register form.
+    SaveReg,
+    /// `restore`, immediate form.
+    RestoreImm,
+    /// `restore`, register form.
+    RestoreReg,
+    /// FP load, immediate form; `aux` = 1 for a double.
+    LoadFImm,
+    /// FP load, register form; `aux` = 1 for a double.
+    LoadFReg,
+    /// FP store, immediate form; `aux` = 1 for a double.
+    StoreFImm,
+    /// FP store, register form; `aux` = 1 for a double.
+    StoreFReg,
+    /// FP arithmetic; `aux` is the `FpOp` discriminant.
+    Fp,
+    /// `fcmps`.
+    FCmpS,
+    /// `fcmpd`.
+    FCmpD,
+    /// Always-trapping entry; `aux` selects the error (see
+    /// [`stub_err`]).
+    Stub,
+}
+
+/// Predecoded operand record. One fixed shape for every instruction
+/// keeps the dispatch table flat (`Vec<TOp>`), with fields reused per
+/// form: `imm` is the immediate operand, the precomputed `sethi`
+/// value, the branch target of an untaken-guard, or the raw word of an
+/// illegal instruction; `mask` is the guard truth-table.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DecodedOp {
+    /// The instruction's own address (trap payloads, guard exits).
+    pub pc: u32,
+    /// Immediate / precomputed value / guard target / illegal word.
+    pub imm: u32,
+    /// Condition truth-table for guard ops (see [`icc_mask`]).
+    pub mask: u16,
+    /// Destination register number.
+    pub rd: u8,
+    /// First source register number.
+    pub rs1: u8,
+    /// Second source register number (register-form `op2`).
+    pub rs2: u8,
+    /// Inline-dispatch tag (see [`OpKind`]).
+    pub kind: OpKind,
+    /// Kind-specific selector (ALU opcode, load/store size code).
+    pub aux: u8,
+}
+
+/// `DecodedOp` is sized to pack two entries per 32-byte half cache
+/// line; `kind`/`aux` live in what used to be padding. Growing it is a
+/// measurable dispatch regression, so the layout is pinned here.
+const _: () = assert!(std::mem::size_of::<DecodedOp>() == 16);
+
+impl DecodedOp {
+    fn at(pc: u32) -> Self {
+        DecodedOp {
+            pc,
+            ..Default::default()
+        }
+    }
+}
+
+/// A threaded op: the function pointer *is* the decoded instruction.
+#[derive(Clone, Copy)]
+pub(crate) struct TOp {
+    pub exec: ExecFn,
+    pub op: DecodedOp,
+}
+
+impl std::fmt::Debug for TOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TOp").field("op", &self.op).finish()
+    }
+}
+
+/// Register numbers in `DecodedOp` come from `Reg::num()` so they are
+/// always `< 32`; the mask keeps that invariant visible to the
+/// constructor so no bounds branch survives in the hot path.
+#[inline(always)]
+fn reg(n: u8) -> Reg {
+    Reg::new(n & 31)
+}
+
+#[inline(always)]
+fn freg(n: u8) -> FReg {
+    FReg::new(n & 31)
+}
+
+#[inline(always)]
+fn op2_val<const IMM: bool>(cpu: &Cpu, op: &DecodedOp) -> u32 {
+    if IMM {
+        op.imm
+    } else {
+        cpu.get(reg(op.rs2))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear exec functions (mirrors of `exec_linear`'s arms, OBSERVE = false)
+// ---------------------------------------------------------------------------
+
+fn exec_nop(_cpu: &mut Cpu, _bus: &mut Bus, _op: &DecodedOp) -> Result<Flow, ExecError> {
+    Ok(Flow::Next)
+}
+
+#[inline(always)]
+fn exec_sethi(cpu: &mut Cpu, _bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    cpu.set(reg(op.rd), op.imm);
+    Ok(Flow::Next)
+}
+
+/// `AluOp` variants in declaration order, so `AluOp::X as u8` indexes
+/// back to the variant inside a const-generic context.
+const ALU_OPS: [AluOp; 31] = [
+    AluOp::Add,
+    AluOp::AddCc,
+    AluOp::AddX,
+    AluOp::AddXCc,
+    AluOp::Sub,
+    AluOp::SubCc,
+    AluOp::SubX,
+    AluOp::SubXCc,
+    AluOp::And,
+    AluOp::AndCc,
+    AluOp::AndN,
+    AluOp::AndNCc,
+    AluOp::Or,
+    AluOp::OrCc,
+    AluOp::OrN,
+    AluOp::OrNCc,
+    AluOp::Xor,
+    AluOp::XorCc,
+    AluOp::XNor,
+    AluOp::XNorCc,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::UMul,
+    AluOp::UMulCc,
+    AluOp::SMul,
+    AluOp::SMulCc,
+    AluOp::UDiv,
+    AluOp::UDivCc,
+    AluOp::SDiv,
+    AluOp::SDivCc,
+];
+
+#[inline(always)]
+fn exec_alu_c<const OP: u8, const IMM: bool>(
+    cpu: &mut Cpu,
+    _bus: &mut Bus,
+    op: &DecodedOp,
+) -> Result<Flow, ExecError> {
+    let a = cpu.get(reg(op.rs1));
+    let b = op2_val::<IMM>(cpu, op);
+    let r = exec_alu(cpu, ALU_OPS[OP as usize], a, b, op.pc)?;
+    cpu.set(reg(op.rd), r);
+    Ok(Flow::Next)
+}
+
+fn alu_fn(op: AluOp, imm: bool) -> ExecFn {
+    macro_rules! arms {
+        ($($v:ident),* $(,)?) => {
+            match (op, imm) {
+                $(
+                    (AluOp::$v, false) => exec_alu_c::<{ AluOp::$v as u8 }, false>,
+                    (AluOp::$v, true) => exec_alu_c::<{ AluOp::$v as u8 }, true>,
+                )*
+            }
+        };
+    }
+    arms!(
+        Add, AddCc, AddX, AddXCc, Sub, SubCc, SubX, SubXCc, And, AndCc, AndN, AndNCc, Or, OrCc,
+        OrN, OrNCc, Xor, XorCc, XNor, XNorCc, Sll, Srl, Sra, UMul, UMulCc, SMul, SMulCc, UDiv,
+        UDivCc, SDiv, SDivCc,
+    )
+}
+
+fn exec_rdy(cpu: &mut Cpu, _bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    let y = cpu.y;
+    cpu.set(reg(op.rd), y);
+    Ok(Flow::Next)
+}
+
+fn exec_wry_c<const IMM: bool>(
+    cpu: &mut Cpu,
+    _bus: &mut Bus,
+    op: &DecodedOp,
+) -> Result<Flow, ExecError> {
+    cpu.y = cpu.get(reg(op.rs1)) ^ op2_val::<IMM>(cpu, op);
+    Ok(Flow::Next)
+}
+
+fn exec_save_c<const IMM: bool>(
+    cpu: &mut Cpu,
+    _bus: &mut Bus,
+    op: &DecodedOp,
+) -> Result<Flow, ExecError> {
+    // Source operands are read in the OLD window, the result is
+    // written in the NEW window.
+    let a = cpu.get(reg(op.rs1));
+    let b = op2_val::<IMM>(cpu, op);
+    if !cpu.window_save() {
+        return Err(Trap::WindowOverflow { pc: op.pc }.into());
+    }
+    cpu.set(reg(op.rd), a.wrapping_add(b));
+    Ok(Flow::Next)
+}
+
+fn exec_restore_c<const IMM: bool>(
+    cpu: &mut Cpu,
+    _bus: &mut Bus,
+    op: &DecodedOp,
+) -> Result<Flow, ExecError> {
+    let a = cpu.get(reg(op.rs1));
+    let b = op2_val::<IMM>(cpu, op);
+    if !cpu.window_restore() {
+        return Err(Trap::WindowUnderflow { pc: op.pc }.into());
+    }
+    cpu.set(reg(op.rd), a.wrapping_add(b));
+    Ok(Flow::Next)
+}
+
+/// `SIZE`: 0 = byte, 1 = half, 2 = word, 3 = doubleword (odd-`rd`
+/// doublewords are routed to [`exec_odd_int_pair`] at predecode).
+#[inline(always)]
+fn exec_load_c<const SIZE: u8, const SIGNED: bool, const IMM: bool>(
+    cpu: &mut Cpu,
+    bus: &mut Bus,
+    op: &DecodedOp,
+) -> Result<Flow, ExecError> {
+    let addr = cpu.get(reg(op.rs1)).wrapping_add(op2_val::<IMM>(cpu, op));
+    let map = |e| ExecError::Trap(fault_to_trap(op.pc, e));
+    match SIZE {
+        0 => {
+            let v = bus.load8(addr).map_err(map)? as u32;
+            let v = if SIGNED {
+                v as u8 as i8 as i32 as u32
+            } else {
+                v
+            };
+            cpu.set(reg(op.rd), v);
+        }
+        1 => {
+            let v = bus.load16(addr).map_err(map)? as u32;
+            let v = if SIGNED {
+                v as u16 as i16 as i32 as u32
+            } else {
+                v
+            };
+            cpu.set(reg(op.rd), v);
+        }
+        2 => {
+            let v = bus.load32(addr).map_err(map)?;
+            cpu.set(reg(op.rd), v);
+        }
+        _ => {
+            let v = bus.load64(addr).map_err(map)?;
+            cpu.set(reg(op.rd), (v >> 32) as u32);
+            cpu.set(reg(op.rd + 1), v as u32);
+        }
+    }
+    Ok(Flow::Next)
+}
+
+#[inline(always)]
+fn exec_store_c<const SIZE: u8, const IMM: bool>(
+    cpu: &mut Cpu,
+    bus: &mut Bus,
+    op: &DecodedOp,
+) -> Result<Flow, ExecError> {
+    let addr = cpu.get(reg(op.rs1)).wrapping_add(op2_val::<IMM>(cpu, op));
+    let map = |e| ExecError::Trap(fault_to_trap(op.pc, e));
+    let v = cpu.get(reg(op.rd));
+    match SIZE {
+        0 => bus.store8(addr, v as u8).map_err(map)?,
+        1 => bus.store16(addr, v as u16).map_err(map)?,
+        2 => bus.store32(addr, v).map_err(map)?,
+        _ => {
+            let lo = cpu.get(reg(op.rd + 1));
+            let dv = ((v as u64) << 32) | lo as u64;
+            bus.store64(addr, dv).map_err(map)?;
+        }
+    }
+    Ok(Flow::Next)
+}
+
+fn exec_loadf_c<const DOUBLE: bool, const IMM: bool>(
+    cpu: &mut Cpu,
+    bus: &mut Bus,
+    op: &DecodedOp,
+) -> Result<Flow, ExecError> {
+    let addr = cpu.get(reg(op.rs1)).wrapping_add(op2_val::<IMM>(cpu, op));
+    let map = |e| ExecError::Trap(fault_to_trap(op.pc, e));
+    if DOUBLE {
+        let v = bus.load64(addr).map_err(map)?;
+        cpu.fset(freg(op.rd), (v >> 32) as u32);
+        cpu.fset(freg(op.rd + 1), v as u32);
+    } else {
+        let v = bus.load32(addr).map_err(map)?;
+        cpu.fset(freg(op.rd), v);
+    }
+    Ok(Flow::Next)
+}
+
+fn exec_storef_c<const DOUBLE: bool, const IMM: bool>(
+    cpu: &mut Cpu,
+    bus: &mut Bus,
+    op: &DecodedOp,
+) -> Result<Flow, ExecError> {
+    let addr = cpu.get(reg(op.rs1)).wrapping_add(op2_val::<IMM>(cpu, op));
+    let map = |e| ExecError::Trap(fault_to_trap(op.pc, e));
+    if DOUBLE {
+        let hi = cpu.fget(freg(op.rd)) as u64;
+        let lo = cpu.fget(freg(op.rd + 1)) as u64;
+        bus.store64(addr, (hi << 32) | lo).map_err(map)?;
+    } else {
+        let v = cpu.fget(freg(op.rd));
+        bus.store32(addr, v).map_err(map)?;
+    }
+    Ok(Flow::Next)
+}
+
+// --- floating point (operand evenness is validated at predecode) ---
+
+macro_rules! fp_fn {
+    ($name:ident, |$cpu:ident, $op:ident| $body:expr) => {
+        fn $name($cpu: &mut Cpu, _bus: &mut Bus, $op: &DecodedOp) -> Result<Flow, ExecError> {
+            $body;
+            Ok(Flow::Next)
+        }
+    };
+}
+
+fp_fn!(exec_fmovs, |cpu, op| {
+    let v = cpu.fget(freg(op.rs2));
+    cpu.fset(freg(op.rd), v)
+});
+fp_fn!(exec_fnegs, |cpu, op| {
+    let v = cpu.fget(freg(op.rs2)) ^ 0x8000_0000;
+    cpu.fset(freg(op.rd), v)
+});
+fp_fn!(exec_fabss, |cpu, op| {
+    let v = cpu.fget(freg(op.rs2)) & 0x7fff_ffff;
+    cpu.fset(freg(op.rd), v)
+});
+fp_fn!(exec_fsqrts, |cpu, op| {
+    let v = cpu.fget_s(freg(op.rs2));
+    cpu.fset_s(freg(op.rd), v.sqrt())
+});
+fp_fn!(exec_fsqrtd, |cpu, op| {
+    let v = cpu.fget_d(freg(op.rs2));
+    cpu.fset_d(freg(op.rd), v.sqrt())
+});
+fp_fn!(exec_fadds, |cpu, op| {
+    let v = cpu.fget_s(freg(op.rs1)) + cpu.fget_s(freg(op.rs2));
+    cpu.fset_s(freg(op.rd), v)
+});
+fp_fn!(exec_fsubs, |cpu, op| {
+    let v = cpu.fget_s(freg(op.rs1)) - cpu.fget_s(freg(op.rs2));
+    cpu.fset_s(freg(op.rd), v)
+});
+fp_fn!(exec_fmuls, |cpu, op| {
+    let v = cpu.fget_s(freg(op.rs1)) * cpu.fget_s(freg(op.rs2));
+    cpu.fset_s(freg(op.rd), v)
+});
+fp_fn!(exec_fdivs, |cpu, op| {
+    let v = cpu.fget_s(freg(op.rs1)) / cpu.fget_s(freg(op.rs2));
+    cpu.fset_s(freg(op.rd), v)
+});
+fp_fn!(exec_faddd, |cpu, op| {
+    let v = cpu.fget_d(freg(op.rs1)) + cpu.fget_d(freg(op.rs2));
+    cpu.fset_d(freg(op.rd), v)
+});
+fp_fn!(exec_fsubd, |cpu, op| {
+    let v = cpu.fget_d(freg(op.rs1)) - cpu.fget_d(freg(op.rs2));
+    cpu.fset_d(freg(op.rd), v)
+});
+fp_fn!(exec_fmuld, |cpu, op| {
+    let v = cpu.fget_d(freg(op.rs1)) * cpu.fget_d(freg(op.rs2));
+    cpu.fset_d(freg(op.rd), v)
+});
+fp_fn!(exec_fdivd, |cpu, op| {
+    let v = cpu.fget_d(freg(op.rs1)) / cpu.fget_d(freg(op.rs2));
+    cpu.fset_d(freg(op.rd), v)
+});
+fp_fn!(exec_fsmuld, |cpu, op| {
+    let v = cpu.fget_s(freg(op.rs1)) as f64 * cpu.fget_s(freg(op.rs2)) as f64;
+    cpu.fset_d(freg(op.rd), v)
+});
+fp_fn!(exec_fitos, |cpu, op| {
+    let v = cpu.fget(freg(op.rs2)) as i32 as f32;
+    cpu.fset_s(freg(op.rd), v)
+});
+fp_fn!(exec_fitod, |cpu, op| {
+    let v = cpu.fget(freg(op.rs2)) as i32 as f64;
+    cpu.fset_d(freg(op.rd), v)
+});
+fp_fn!(exec_fstoi, |cpu, op| {
+    let v = cpu.fget_s(freg(op.rs2));
+    cpu.fset(freg(op.rd), (v as i32) as u32)
+});
+fp_fn!(exec_fdtoi, |cpu, op| {
+    let v = cpu.fget_d(freg(op.rs2));
+    cpu.fset(freg(op.rd), (v as i32) as u32)
+});
+fp_fn!(exec_fstod, |cpu, op| {
+    let v = cpu.fget_s(freg(op.rs2)) as f64;
+    cpu.fset_d(freg(op.rd), v)
+});
+fp_fn!(exec_fdtos, |cpu, op| {
+    let v = cpu.fget_d(freg(op.rs2)) as f32;
+    cpu.fset_s(freg(op.rd), v)
+});
+fp_fn!(exec_fcmps, |cpu, op| {
+    cpu.fcc = compare(
+        cpu.fget_s(freg(op.rs1)) as f64,
+        cpu.fget_s(freg(op.rs2)) as f64,
+    )
+});
+fp_fn!(exec_fcmpd, |cpu, op| {
+    cpu.fcc = compare(cpu.fget_d(freg(op.rs1)), cpu.fget_d(freg(op.rs2)))
+});
+
+// --- trap stubs: instructions whose predecoded form always traps ---
+
+#[cold]
+fn exec_fp_disabled(_cpu: &mut Cpu, _bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    Err(Trap::FpDisabled { pc: op.pc }.into())
+}
+
+#[cold]
+fn exec_odd_fp_pair(_cpu: &mut Cpu, _bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    Err(Trap::OddFpPair { pc: op.pc }.into())
+}
+
+#[cold]
+fn exec_odd_int_pair(_cpu: &mut Cpu, _bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    Err(Trap::OddIntPair { pc: op.pc }.into())
+}
+
+#[cold]
+fn exec_illegal(_cpu: &mut Cpu, _bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    Err(Trap::Illegal {
+        pc: op.pc,
+        word: op.imm,
+    }
+    .into())
+}
+
+/// Block-ending instructions (CTIs, `t<cond>`) must never be executed
+/// through the linear dispatch table; the table entry for them reports
+/// the routing violation as a typed error (never a panic), which the
+/// machine layer surfaces as `SimError::DispatchViolation`.
+#[cold]
+fn exec_not_linear(_cpu: &mut Cpu, _bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    Err(ExecError::NotLinear { pc: op.pc })
+}
+
+// ---------------------------------------------------------------------------
+// Guard ops (trace side exits)
+// ---------------------------------------------------------------------------
+
+/// Index of the current integer condition codes into a guard
+/// truth-table mask: `n<<3 | z<<2 | v<<1 | c`.
+#[inline(always)]
+fn icc_index(cpu: &Cpu) -> u16 {
+    ((cpu.icc.n as u16) << 3)
+        | ((cpu.icc.z as u16) << 2)
+        | ((cpu.icc.v as u16) << 1)
+        | (cpu.icc.c as u16)
+}
+
+/// Truth table of `cond` over all 16 icc states, bit `i` set iff the
+/// branch is taken in state `i` (see [`icc_index`]). Evaluating a
+/// guard is then one shift-and-mask instead of the cond match.
+pub(crate) fn icc_mask(cond: ICond) -> u16 {
+    let mut m = 0u16;
+    for i in 0..16u16 {
+        if cond.eval(i & 8 != 0, i & 4 != 0, i & 2 != 0, i & 1 != 0) {
+            m |= 1 << i;
+        }
+    }
+    m
+}
+
+#[inline(always)]
+fn fcc_index(cpu: &Cpu) -> u16 {
+    match cpu.fcc {
+        FccValue::Equal => 0,
+        FccValue::Less => 1,
+        FccValue::Greater => 2,
+        FccValue::Unordered => 3,
+    }
+}
+
+/// Truth table of `cond` over the 4 fcc relations (see [`fcc_index`]).
+pub(crate) fn fcc_mask(cond: FCond) -> u16 {
+    let mut m = 0u16;
+    for (i, fcc) in [
+        FccValue::Equal,
+        FccValue::Less,
+        FccValue::Greater,
+        FccValue::Unordered,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if cond.eval(fcc) {
+            m |= 1 << i;
+        }
+    }
+    m
+}
+
+/// Guard for a branch the trace predicts **taken**: falls through into
+/// the (already inlined) delay slot and target block while the
+/// prediction holds, and side-exits with the exact not-taken
+/// architectural state otherwise. `op.pc` is the branch's address; the
+/// trace is only ever entered from a sequential state, so
+/// `npc = pc + 4` at the guard.
+#[inline(always)]
+fn guard_taken<const ANNUL: bool>(
+    cpu: &mut Cpu,
+    _bus: &mut Bus,
+    op: &DecodedOp,
+) -> Result<Flow, ExecError> {
+    if (op.mask >> icc_index(cpu)) & 1 != 0 {
+        return Ok(Flow::Next);
+    }
+    not_taken_exit::<ANNUL>(cpu, op)
+}
+
+/// Guard for a branch the trace predicts **not taken**: falls through
+/// past the (annulled or inlined) delay slot while untaken, and
+/// side-exits into the delay-slot-then-target state when taken.
+/// `op.imm` holds the branch target.
+#[inline(always)]
+fn guard_untaken(cpu: &mut Cpu, _bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    if (op.mask >> icc_index(cpu)) & 1 == 0 {
+        return Ok(Flow::Next);
+    }
+    taken_exit(cpu, op)
+}
+
+#[inline(always)]
+fn guard_ftaken<const ANNUL: bool>(
+    cpu: &mut Cpu,
+    _bus: &mut Bus,
+    op: &DecodedOp,
+) -> Result<Flow, ExecError> {
+    if (op.mask >> fcc_index(cpu)) & 1 != 0 {
+        return Ok(Flow::Next);
+    }
+    not_taken_exit::<ANNUL>(cpu, op)
+}
+
+#[inline(always)]
+fn guard_funtaken(cpu: &mut Cpu, _bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    if (op.mask >> fcc_index(cpu)) & 1 == 0 {
+        return Ok(Flow::Next);
+    }
+    taken_exit(cpu, op)
+}
+
+/// Not-taken side exit from a sequential state `(pc, pc+4)`: an
+/// annulling branch skips its delay slot (`pc+8, pc+12`), a
+/// non-annulling one executes it (`pc+4, pc+8`). Matches
+/// `apply_branch` in `exec.rs`.
+#[cold]
+fn not_taken_exit<const ANNUL: bool>(cpu: &mut Cpu, op: &DecodedOp) -> Result<Flow, ExecError> {
+    if ANNUL {
+        cpu.pc = op.pc.wrapping_add(8);
+        cpu.npc = op.pc.wrapping_add(12);
+    } else {
+        cpu.pc = op.pc.wrapping_add(4);
+        cpu.npc = op.pc.wrapping_add(8);
+    }
+    Ok(Flow::Exit)
+}
+
+/// Taken side exit: a taken conditional branch always executes its
+/// delay slot (`pc+4`), then the target (`op.imm`).
+#[cold]
+fn taken_exit(cpu: &mut Cpu, op: &DecodedOp) -> Result<Flow, ExecError> {
+    cpu.pc = op.pc.wrapping_add(4);
+    cpu.npc = op.imm;
+    Ok(Flow::Exit)
+}
+
+/// `ba`/`ba,a`/`fba`/`fba,a` inside a trace: the transfer is
+/// unconditional and the successor blocks are inlined, so retiring the
+/// branch is a no-op.
+fn exec_retire(_cpu: &mut Cpu, _bus: &mut Bus, _op: &DecodedOp) -> Result<Flow, ExecError> {
+    Ok(Flow::Next)
+}
+
+/// `call` inside a trace: writes the return address (its own pc) to
+/// `%o7`; the target block is inlined after the delay slot.
+#[inline(always)]
+fn exec_call_link(cpu: &mut Cpu, _bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    cpu.set(nfp_sparc::regs::O7, op.pc);
+    Ok(Flow::Next)
+}
+
+// ---------------------------------------------------------------------------
+// Inline dispatch
+// ---------------------------------------------------------------------------
+
+/// `FpOp` variants in declaration order (same convention as
+/// [`ALU_OPS`]), so `FpOp::X as u8` stored in `aux` indexes back.
+const FP_OPS: [FpOp; 20] = [
+    FpOp::FMovS,
+    FpOp::FNegS,
+    FpOp::FAbsS,
+    FpOp::FSqrtS,
+    FpOp::FSqrtD,
+    FpOp::FAddS,
+    FpOp::FAddD,
+    FpOp::FSubS,
+    FpOp::FSubD,
+    FpOp::FMulS,
+    FpOp::FMulD,
+    FpOp::FDivS,
+    FpOp::FDivD,
+    FpOp::FsMulD,
+    FpOp::FiToS,
+    FpOp::FiToD,
+    FpOp::FsToI,
+    FpOp::FdToI,
+    FpOp::FsToD,
+    FpOp::FdToS,
+];
+
+/// Inline mirror of [`fpop_fn`]'s dispatch, keyed by the `aux` tag.
+#[inline(always)]
+fn exec_fp_aux(cpu: &mut Cpu, bus: &mut Bus, op: &DecodedOp) -> Result<Flow, ExecError> {
+    use FpOp::*;
+    match FP_OPS[op.aux as usize] {
+        FMovS => exec_fmovs(cpu, bus, op),
+        FNegS => exec_fnegs(cpu, bus, op),
+        FAbsS => exec_fabss(cpu, bus, op),
+        FSqrtS => exec_fsqrts(cpu, bus, op),
+        FSqrtD => exec_fsqrtd(cpu, bus, op),
+        FAddS => exec_fadds(cpu, bus, op),
+        FAddD => exec_faddd(cpu, bus, op),
+        FSubS => exec_fsubs(cpu, bus, op),
+        FSubD => exec_fsubd(cpu, bus, op),
+        FMulS => exec_fmuls(cpu, bus, op),
+        FMulD => exec_fmuld(cpu, bus, op),
+        FDivS => exec_fdivs(cpu, bus, op),
+        FDivD => exec_fdivd(cpu, bus, op),
+        FsMulD => exec_fsmuld(cpu, bus, op),
+        FiToS => exec_fitos(cpu, bus, op),
+        FiToD => exec_fitod(cpu, bus, op),
+        FsToI => exec_fstoi(cpu, bus, op),
+        FdToI => exec_fdtoi(cpu, bus, op),
+        FsToD => exec_fstod(cpu, bus, op),
+        FdToS => exec_fdtos(cpu, bus, op),
+    }
+}
+
+/// Error for an always-trapping table entry (`OpKind::Stub`): the
+/// same payloads the trap-stub exec fns carry, built inline so the
+/// hot loops never need their fn pointers.
+#[cold]
+fn stub_err(op: &DecodedOp) -> ExecError {
+    match op.aux {
+        0 => Trap::Illegal {
+            pc: op.pc,
+            word: op.imm,
+        }
+        .into(),
+        1 => Trap::FpDisabled { pc: op.pc }.into(),
+        2 => Trap::OddFpPair { pc: op.pc }.into(),
+        3 => Trap::OddIntPair { pc: op.pc }.into(),
+        _ => ExecError::NotLinear { pc: op.pc },
+    }
+}
+
+/// Executes one threaded op, inlining the hot kinds at the call site.
+///
+/// A pure fn-pointer loop pays a call/ret plus an opaque optimization
+/// barrier on every instruction; measured on the FSE kernel that is
+/// slower than the block path's inlined match. The `OpKind` tag lets
+/// the run loops keep the flat predecoded table but burn the common
+/// shapes (ALU, integer load/store, `sethi`, guards) into one branch
+/// target each, falling back to the indirect call for the long tail.
+///
+/// Each inline arm calls the *same* function its table pointer names
+/// (or its const-generic instantiation), and both the pointer and the
+/// tag are chosen by the same predecode arm, so the two dispatch
+/// roads cannot diverge semantically. A corrupted table entry
+/// ([`ThreadedCache::corrupt`]) carries the default `Generic` tag and
+/// therefore still reaches its routing-violation stub.
+#[inline(always)]
+fn exec_top(t: &TOp, cpu: &mut Cpu, bus: &mut Bus) -> Result<Flow, ExecError> {
+    let op = &t.op;
+    match op.kind {
+        OpKind::Generic => (t.exec)(cpu, bus, op),
+        OpKind::Nop => Ok(Flow::Next),
+        OpKind::Sethi => exec_sethi(cpu, bus, op),
+        OpKind::AluImm => {
+            let a = cpu.get(reg(op.rs1));
+            let r = exec_alu(cpu, ALU_OPS[op.aux as usize], a, op.imm, op.pc)?;
+            cpu.set(reg(op.rd), r);
+            Ok(Flow::Next)
+        }
+        OpKind::AluReg => {
+            let a = cpu.get(reg(op.rs1));
+            let b = cpu.get(reg(op.rs2));
+            let r = exec_alu(cpu, ALU_OPS[op.aux as usize], a, b, op.pc)?;
+            cpu.set(reg(op.rd), r);
+            Ok(Flow::Next)
+        }
+        OpKind::LoadImm => match op.aux {
+            0 => exec_load_c::<0, false, true>(cpu, bus, op),
+            1 => exec_load_c::<1, false, true>(cpu, bus, op),
+            2 => exec_load_c::<2, false, true>(cpu, bus, op),
+            3 => exec_load_c::<3, false, true>(cpu, bus, op),
+            4 => exec_load_c::<0, true, true>(cpu, bus, op),
+            _ => exec_load_c::<1, true, true>(cpu, bus, op),
+        },
+        OpKind::LoadReg => match op.aux {
+            0 => exec_load_c::<0, false, false>(cpu, bus, op),
+            1 => exec_load_c::<1, false, false>(cpu, bus, op),
+            2 => exec_load_c::<2, false, false>(cpu, bus, op),
+            3 => exec_load_c::<3, false, false>(cpu, bus, op),
+            4 => exec_load_c::<0, true, false>(cpu, bus, op),
+            _ => exec_load_c::<1, true, false>(cpu, bus, op),
+        },
+        OpKind::StoreImm => match op.aux {
+            0 => exec_store_c::<0, true>(cpu, bus, op),
+            1 => exec_store_c::<1, true>(cpu, bus, op),
+            2 => exec_store_c::<2, true>(cpu, bus, op),
+            _ => exec_store_c::<3, true>(cpu, bus, op),
+        },
+        OpKind::StoreReg => match op.aux {
+            0 => exec_store_c::<0, false>(cpu, bus, op),
+            1 => exec_store_c::<1, false>(cpu, bus, op),
+            2 => exec_store_c::<2, false>(cpu, bus, op),
+            _ => exec_store_c::<3, false>(cpu, bus, op),
+        },
+        OpKind::GuardTaken => guard_taken::<false>(cpu, bus, op),
+        OpKind::GuardTakenAnnul => guard_taken::<true>(cpu, bus, op),
+        OpKind::GuardUntaken => guard_untaken(cpu, bus, op),
+        OpKind::GuardFTaken => guard_ftaken::<false>(cpu, bus, op),
+        OpKind::GuardFTakenAnnul => guard_ftaken::<true>(cpu, bus, op),
+        OpKind::GuardFUntaken => guard_funtaken(cpu, bus, op),
+        OpKind::CallLink => exec_call_link(cpu, bus, op),
+        OpKind::RdY => exec_rdy(cpu, bus, op),
+        OpKind::WrYImm => exec_wry_c::<true>(cpu, bus, op),
+        OpKind::WrYReg => exec_wry_c::<false>(cpu, bus, op),
+        OpKind::SaveImm => exec_save_c::<true>(cpu, bus, op),
+        OpKind::SaveReg => exec_save_c::<false>(cpu, bus, op),
+        OpKind::RestoreImm => exec_restore_c::<true>(cpu, bus, op),
+        OpKind::RestoreReg => exec_restore_c::<false>(cpu, bus, op),
+        OpKind::LoadFImm => {
+            if op.aux != 0 {
+                exec_loadf_c::<true, true>(cpu, bus, op)
+            } else {
+                exec_loadf_c::<false, true>(cpu, bus, op)
+            }
+        }
+        OpKind::LoadFReg => {
+            if op.aux != 0 {
+                exec_loadf_c::<true, false>(cpu, bus, op)
+            } else {
+                exec_loadf_c::<false, false>(cpu, bus, op)
+            }
+        }
+        OpKind::StoreFImm => {
+            if op.aux != 0 {
+                exec_storef_c::<true, true>(cpu, bus, op)
+            } else {
+                exec_storef_c::<false, true>(cpu, bus, op)
+            }
+        }
+        OpKind::StoreFReg => {
+            if op.aux != 0 {
+                exec_storef_c::<true, false>(cpu, bus, op)
+            } else {
+                exec_storef_c::<false, false>(cpu, bus, op)
+            }
+        }
+        OpKind::Fp => exec_fp_aux(cpu, bus, op),
+        OpKind::FCmpS => exec_fcmps(cpu, bus, op),
+        OpKind::FCmpD => exec_fcmpd(cpu, bus, op),
+        OpKind::Stub => Err(stub_err(op)),
+    }
+}
+
+/// Runs a linear slice of the dispatch table until every op retires or
+/// one errors out. Returns the retired-op count and the stopping
+/// error, if any. Outlined from the machine run loop for the same
+/// register-allocation reason as [`Trace::run`].
+#[inline(never)]
+pub(crate) fn run_tops(tops: &[TOp], cpu: &mut Cpu, bus: &mut Bus) -> (usize, Option<ExecError>) {
+    for (k, t) in tops.iter().enumerate() {
+        if let Err(e) = exec_top(t, cpu, bus) {
+            return (k, Some(e));
+        }
+    }
+    (tops.len(), None)
+}
+
+// ---------------------------------------------------------------------------
+// Predecode: instruction -> threaded op
+// ---------------------------------------------------------------------------
+
+fn load_fn(size: MemSize, signed: bool, imm: bool) -> ExecFn {
+    match (size, signed, imm) {
+        (MemSize::Byte, false, false) => exec_load_c::<0, false, false>,
+        (MemSize::Byte, false, true) => exec_load_c::<0, false, true>,
+        (MemSize::Byte, true, false) => exec_load_c::<0, true, false>,
+        (MemSize::Byte, true, true) => exec_load_c::<0, true, true>,
+        (MemSize::Half, false, false) => exec_load_c::<1, false, false>,
+        (MemSize::Half, false, true) => exec_load_c::<1, false, true>,
+        (MemSize::Half, true, false) => exec_load_c::<1, true, false>,
+        (MemSize::Half, true, true) => exec_load_c::<1, true, true>,
+        (MemSize::Word, _, false) => exec_load_c::<2, false, false>,
+        (MemSize::Word, _, true) => exec_load_c::<2, false, true>,
+        (MemSize::Double, _, false) => exec_load_c::<3, false, false>,
+        (MemSize::Double, _, true) => exec_load_c::<3, false, true>,
+    }
+}
+
+fn store_fn(size: MemSize, imm: bool) -> ExecFn {
+    match (size, imm) {
+        (MemSize::Byte, false) => exec_store_c::<0, false>,
+        (MemSize::Byte, true) => exec_store_c::<0, true>,
+        (MemSize::Half, false) => exec_store_c::<1, false>,
+        (MemSize::Half, true) => exec_store_c::<1, true>,
+        (MemSize::Word, false) => exec_store_c::<2, false>,
+        (MemSize::Word, true) => exec_store_c::<2, true>,
+        (MemSize::Double, false) => exec_store_c::<3, false>,
+        (MemSize::Double, true) => exec_store_c::<3, true>,
+    }
+}
+
+fn fpop_fn(op: FpOp) -> ExecFn {
+    use FpOp::*;
+    match op {
+        FMovS => exec_fmovs,
+        FNegS => exec_fnegs,
+        FAbsS => exec_fabss,
+        FSqrtS => exec_fsqrts,
+        FSqrtD => exec_fsqrtd,
+        FAddS => exec_fadds,
+        FAddD => exec_faddd,
+        FSubS => exec_fsubs,
+        FSubD => exec_fsubd,
+        FMulS => exec_fmuls,
+        FMulD => exec_fmuld,
+        FDivS => exec_fdivs,
+        FDivD => exec_fdivd,
+        FsMulD => exec_fsmuld,
+        FiToS => exec_fitos,
+        FiToD => exec_fitod,
+        FsToI => exec_fstoi,
+        FdToI => exec_fdtoi,
+        FsToD => exec_fstod,
+        FdToS => exec_fdtos,
+    }
+}
+
+/// True when `op`'s double-precision operands all name even registers
+/// (the evenness `exec_fpop` enforces at run time, hoisted to
+/// predecode; violators dispatch straight to [`exec_odd_fp_pair`]).
+fn fp_even_ok(op: FpOp, rd: FReg, rs1: FReg, rs2: FReg) -> bool {
+    use FpOp::*;
+    match op {
+        FSqrtD => rs2.is_even() && rd.is_even(),
+        FAddD | FSubD | FMulD | FDivD => rs1.is_even() && rs2.is_even() && rd.is_even(),
+        FsMulD | FiToD | FsToD => rd.is_even(),
+        FdToI | FdToS => rs2.is_even(),
+        _ => true,
+    }
+}
+
+/// Splits `op2` into the decoded record; returns the `IMM` selector.
+fn split_op2(op2: Operand, d: &mut DecodedOp) -> bool {
+    match op2 {
+        Operand::Reg(r) => {
+            d.rs2 = r.num();
+            false
+        }
+        Operand::Imm(v) => {
+            d.imm = v as u32;
+            true
+        }
+    }
+}
+
+/// Predecodes one instruction into its threaded op. Shape decisions
+/// that `exec_linear` makes per retirement — operand form, width,
+/// signedness, FPU presence, register-pair evenness — are made once
+/// here and burned into the function pointer.
+/// `SIZE` code used by the const-generic memory fns and `aux` tags:
+/// 0 = byte, 1 = half, 2 = word, 3 = doubleword.
+fn size_code(size: MemSize) -> u8 {
+    match size {
+        MemSize::Byte => 0,
+        MemSize::Half => 1,
+        MemSize::Word => 2,
+        MemSize::Double => 3,
+    }
+}
+
+fn top_for(instr: Instr, pc: u32, fpu: bool) -> TOp {
+    let mut d = DecodedOp::at(pc);
+    let exec: ExecFn = match instr {
+        Instr::Sethi { rd, imm22 } => {
+            if rd.is_zero() {
+                d.kind = OpKind::Nop;
+                exec_nop
+            } else {
+                d.rd = rd.num();
+                d.imm = imm22 << 10;
+                d.kind = OpKind::Sethi;
+                exec_sethi
+            }
+        }
+        Instr::Alu { op, rd, rs1, op2 } => {
+            d.rd = rd.num();
+            d.rs1 = rs1.num();
+            let imm = split_op2(op2, &mut d);
+            d.kind = if imm { OpKind::AluImm } else { OpKind::AluReg };
+            d.aux = op as u8;
+            alu_fn(op, imm)
+        }
+        Instr::RdY { rd } => {
+            d.rd = rd.num();
+            d.kind = OpKind::RdY;
+            exec_rdy
+        }
+        Instr::WrY { rs1, op2 } => {
+            d.rs1 = rs1.num();
+            if split_op2(op2, &mut d) {
+                d.kind = OpKind::WrYImm;
+                exec_wry_c::<true>
+            } else {
+                d.kind = OpKind::WrYReg;
+                exec_wry_c::<false>
+            }
+        }
+        Instr::Save { rd, rs1, op2 } => {
+            d.rd = rd.num();
+            d.rs1 = rs1.num();
+            if split_op2(op2, &mut d) {
+                d.kind = OpKind::SaveImm;
+                exec_save_c::<true>
+            } else {
+                d.kind = OpKind::SaveReg;
+                exec_save_c::<false>
+            }
+        }
+        Instr::Restore { rd, rs1, op2 } => {
+            d.rd = rd.num();
+            d.rs1 = rs1.num();
+            if split_op2(op2, &mut d) {
+                d.kind = OpKind::RestoreImm;
+                exec_restore_c::<true>
+            } else {
+                d.kind = OpKind::RestoreReg;
+                exec_restore_c::<false>
+            }
+        }
+        Instr::Flush { .. } => {
+            d.kind = OpKind::Nop;
+            exec_nop
+        }
+        Instr::Load {
+            size,
+            signed,
+            rd,
+            rs1,
+            op2,
+        } => {
+            d.rd = rd.num();
+            d.rs1 = rs1.num();
+            let imm = split_op2(op2, &mut d);
+            if size == MemSize::Double && rd.num() % 2 != 0 {
+                d.kind = OpKind::Stub;
+                d.aux = 3;
+                exec_odd_int_pair
+            } else {
+                d.kind = if imm {
+                    OpKind::LoadImm
+                } else {
+                    OpKind::LoadReg
+                };
+                // Signedness only exists below word width (mirrors
+                // `load_fn`, which maps word/double to SIGNED=false).
+                let sgn = signed && matches!(size, MemSize::Byte | MemSize::Half);
+                d.aux = size_code(size) | (sgn as u8) << 2;
+                load_fn(size, signed, imm)
+            }
+        }
+        Instr::Store { size, rd, rs1, op2 } => {
+            d.rd = rd.num();
+            d.rs1 = rs1.num();
+            let imm = split_op2(op2, &mut d);
+            if size == MemSize::Double && rd.num() % 2 != 0 {
+                d.kind = OpKind::Stub;
+                d.aux = 3;
+                exec_odd_int_pair
+            } else {
+                d.kind = if imm {
+                    OpKind::StoreImm
+                } else {
+                    OpKind::StoreReg
+                };
+                d.aux = size_code(size);
+                store_fn(size, imm)
+            }
+        }
+        Instr::LoadF {
+            double,
+            rd,
+            rs1,
+            op2,
+        } => {
+            d.rd = rd.num();
+            d.rs1 = rs1.num();
+            let imm = split_op2(op2, &mut d);
+            if !fpu {
+                d.kind = OpKind::Stub;
+                d.aux = 1;
+                exec_fp_disabled
+            } else if double && !rd.is_even() {
+                d.kind = OpKind::Stub;
+                d.aux = 2;
+                exec_odd_fp_pair
+            } else {
+                d.kind = if imm {
+                    OpKind::LoadFImm
+                } else {
+                    OpKind::LoadFReg
+                };
+                d.aux = double as u8;
+                match (double, imm) {
+                    (false, false) => exec_loadf_c::<false, false>,
+                    (false, true) => exec_loadf_c::<false, true>,
+                    (true, false) => exec_loadf_c::<true, false>,
+                    (true, true) => exec_loadf_c::<true, true>,
+                }
+            }
+        }
+        Instr::StoreF {
+            double,
+            rd,
+            rs1,
+            op2,
+        } => {
+            d.rd = rd.num();
+            d.rs1 = rs1.num();
+            let imm = split_op2(op2, &mut d);
+            if !fpu {
+                d.kind = OpKind::Stub;
+                d.aux = 1;
+                exec_fp_disabled
+            } else if double && !rd.is_even() {
+                d.kind = OpKind::Stub;
+                d.aux = 2;
+                exec_odd_fp_pair
+            } else {
+                d.kind = if imm {
+                    OpKind::StoreFImm
+                } else {
+                    OpKind::StoreFReg
+                };
+                d.aux = double as u8;
+                match (double, imm) {
+                    (false, false) => exec_storef_c::<false, false>,
+                    (false, true) => exec_storef_c::<false, true>,
+                    (true, false) => exec_storef_c::<true, false>,
+                    (true, true) => exec_storef_c::<true, true>,
+                }
+            }
+        }
+        Instr::FpOp { op, rd, rs1, rs2 } => {
+            d.rd = rd.num();
+            d.rs1 = rs1.num();
+            d.rs2 = rs2.num();
+            if !fpu {
+                d.kind = OpKind::Stub;
+                d.aux = 1;
+                exec_fp_disabled
+            } else if !fp_even_ok(op, rd, rs1, rs2) {
+                d.kind = OpKind::Stub;
+                d.aux = 2;
+                exec_odd_fp_pair
+            } else {
+                d.kind = OpKind::Fp;
+                d.aux = op as u8;
+                fpop_fn(op)
+            }
+        }
+        Instr::FCmp {
+            double, rs1, rs2, ..
+        } => {
+            d.rs1 = rs1.num();
+            d.rs2 = rs2.num();
+            if !fpu {
+                d.kind = OpKind::Stub;
+                d.aux = 1;
+                exec_fp_disabled
+            } else if double && (!rs1.is_even() || !rs2.is_even()) {
+                d.kind = OpKind::Stub;
+                d.aux = 2;
+                exec_odd_fp_pair
+            } else if double {
+                d.kind = OpKind::FCmpD;
+                exec_fcmpd
+            } else {
+                d.kind = OpKind::FCmpS;
+                exec_fcmps
+            }
+        }
+        Instr::Unimp { const22 } => {
+            d.imm = const22;
+            d.kind = OpKind::Stub;
+            exec_illegal
+        }
+        Instr::Illegal { word } => {
+            d.imm = word;
+            d.kind = OpKind::Stub;
+            exec_illegal
+        }
+        // Block enders never execute through the linear table.
+        Instr::Branch { .. }
+        | Instr::FBranch { .. }
+        | Instr::Call { .. }
+        | Instr::Jmpl { .. }
+        | Instr::Ticc { .. } => {
+            d.kind = OpKind::Stub;
+            d.aux = 4;
+            exec_not_linear
+        }
+    };
+    TOp { exec, op: d }
+}
+
+/// Flat threaded dispatch table: one [`TOp`] per predecoded image
+/// instruction, same indexing as the image (`(pc - base) / 4`).
+#[derive(Debug)]
+pub(crate) struct ThreadedCache {
+    ops: Vec<TOp>,
+}
+
+impl ThreadedCache {
+    /// Predecodes the whole image. `fpu` is the machine's FPU
+    /// configuration, which is fixed for the machine's lifetime.
+    pub fn build(code: &[(Instr, Category)], base: u32, fpu: bool) -> Self {
+        let ops = code
+            .iter()
+            .enumerate()
+            .map(|(i, &(instr, _))| top_for(instr, base.wrapping_add((i as u32) * 4), fpu))
+            .collect();
+        ThreadedCache { ops }
+    }
+
+    pub fn ops(&self) -> &[TOp] {
+        &self.ops
+    }
+
+    /// Test hook: overwrites entry `index` with the routing-violation
+    /// stub, simulating a corrupted dispatch table. The machine must
+    /// surface execution of it as `SimError::DispatchViolation`, not a
+    /// panic.
+    pub fn corrupt(&mut self, index: usize) {
+        let pc = self.ops[index].op.pc;
+        self.ops[index] = TOp {
+            exec: exec_not_linear,
+            op: DecodedOp::at(pc),
+        };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Superblock traces
+// ---------------------------------------------------------------------------
+
+/// How a trace run ended.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TraceHalt {
+    /// Every op retired; the machine commits the whole trace and
+    /// continues sequentially at [`Trace::end_pc`].
+    Completed,
+    /// A guard side-exited after `retired` ops (the guard's branch
+    /// itself retired); the guard already wrote the architectural
+    /// `pc`/`npc`.
+    Exited { retired: usize },
+    /// Op `at` faulted without retiring; the machine restores
+    /// [`Trace::meta`]`(at)` and settles the error.
+    Trapped { at: usize, err: ExecError },
+}
+
+/// A superblock: a straight-line op sequence spanning one or more
+/// basic blocks chained across predicted branches. Bookkeeping
+/// parallels the block cache — per-op architectural state for trap
+/// restoration and category prefix sums for one-commit accounting.
+#[derive(Debug)]
+pub(crate) struct Trace {
+    ops: Vec<TOp>,
+    /// `meta[k]` = the `(pc, npc)` the stepping path would hold when
+    /// about to execute op `k`; restored when op `k` traps.
+    meta: Vec<(u32, u32)>,
+    /// `prefix[k]` = category counts of `ops[0..k]`.
+    prefix: Vec<CategoryCounts>,
+    /// Sequential continuation pc after the trace completes.
+    end_pc: u32,
+}
+
+impl Trace {
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn end_pc(&self) -> u32 {
+        self.end_pc
+    }
+
+    pub fn meta(&self, k: usize) -> (u32, u32) {
+        self.meta[k]
+    }
+
+    /// Category counts of the first `k` ops.
+    pub fn counts_upto(&self, k: usize) -> CategoryCounts {
+        self.prefix[k]
+    }
+
+    /// Executes the trace. The caller commits instret/counts/pc/npc
+    /// from the returned halt; this loop touches only cpu/bus state.
+    ///
+    /// Deliberately not inlined: the loop body carries the whole
+    /// inline-dispatch match, and folding that into the machine's
+    /// (large) run loop measurably degrades its register allocation.
+    #[inline(never)]
+    pub fn run(&self, cpu: &mut Cpu, bus: &mut Bus) -> TraceHalt {
+        for (k, t) in self.ops.iter().enumerate() {
+            match exec_top(t, cpu, bus) {
+                Ok(Flow::Next) => {}
+                Ok(Flow::Exit) => return TraceHalt::Exited { retired: k + 1 },
+                Err(err) => return TraceHalt::Trapped { at: k, err },
+            }
+        }
+        TraceHalt::Completed
+    }
+}
+
+/// Build outcome for a trace head.
+#[derive(Debug)]
+pub(crate) enum TraceSlot {
+    /// Not yet attempted.
+    Untried,
+    /// Attempted, but no chaining opportunity was found (single block);
+    /// the plain threaded-block path is already optimal there.
+    Absent,
+    /// A formed superblock.
+    Present(Box<Trace>),
+}
+
+/// Per-image trace table: lazily built superblocks keyed by block
+/// leader index. Only leaders ([`leaders`]) become trace heads — which
+/// is what makes the `t<cond>` fall-through leader fix load-bearing:
+/// a missed leader is a never-traced block.
+#[derive(Debug)]
+pub(crate) struct TraceCache {
+    slots: Vec<TraceSlot>,
+    head: Vec<bool>,
+}
+
+impl TraceCache {
+    pub fn new(code: &[(Instr, Category)], base: u32) -> Self {
+        let mut head = vec![false; code.len()];
+        for i in leaders(code, base) {
+            head[i] = true;
+        }
+        let slots = (0..code.len()).map(|_| TraceSlot::Untried).collect();
+        TraceCache { slots, head }
+    }
+
+    #[inline]
+    pub fn is_head(&self, i: usize) -> bool {
+        self.head[i]
+    }
+
+    #[inline]
+    pub fn slot(&self, i: usize) -> &TraceSlot {
+        &self.slots[i]
+    }
+
+    #[inline]
+    pub fn is_untried(&self, i: usize) -> bool {
+        matches!(self.slots[i], TraceSlot::Untried)
+    }
+
+    pub fn set(&mut self, i: usize, slot: TraceSlot) {
+        self.slots[i] = slot;
+    }
+}
+
+/// Forms a superblock starting at block leader `start`.
+///
+/// The trace inlines straight-line runs from the block cache and
+/// chains across control transfers while the transfer is statically
+/// predictable:
+///
+/// - `ba`/`fba` (annulled or not) and `call` chain unconditionally;
+/// - conditional branches follow BTFN (backward target predicted
+///   taken, forward predicted not taken), enforced by a guard op that
+///   side-exits with exact architectural state when the prediction
+///   fails;
+/// - `jmpl` (dynamic target) and `t<cond>` (software trap) end the
+///   trace.
+///
+/// A taken chain requires the delay slot to be a linear in-image
+/// instruction and the target to be in-image; an annulled delay slot
+/// is simply not emitted (it never retires, exactly like stepping).
+/// Formation stops at loop closure (re-visiting a block already in the
+/// trace — this is what turns one FSE inner-loop iteration into one
+/// trace) or at [`MAX_TRACE_OPS`].
+pub(crate) fn build_trace(
+    code: &[(Instr, Category)],
+    base: u32,
+    blocks: &BlockCache,
+    tops: &[TOp],
+    fpu: bool,
+    start: usize,
+) -> TraceSlot {
+    let n = code.len();
+    let pc_of = |i: usize| base.wrapping_add((i as u32) * 4);
+    let mut ops: Vec<TOp> = Vec::new();
+    let mut meta: Vec<(u32, u32)> = Vec::new();
+    let mut cats: Vec<Category> = Vec::new();
+    let mut chained = 0usize;
+    let mut visited: HashSet<usize> = HashSet::new();
+    visited.insert(start);
+    let mut cur = start;
+    let end_pc;
+    'build: loop {
+        let run_end = blocks.run_end(cur);
+        for i in cur..run_end {
+            if ops.len() >= MAX_TRACE_OPS {
+                end_pc = pc_of(i);
+                break 'build;
+            }
+            ops.push(tops[i]);
+            meta.push((pc_of(i), pc_of(i).wrapping_add(4)));
+            cats.push(code[i].1);
+        }
+        if run_end >= n {
+            // Ran off the image end; continuation is sequential.
+            end_pc = pc_of(run_end);
+            break;
+        }
+        let e = run_end;
+        let epc = pc_of(e);
+        if ops.len() + 2 > MAX_TRACE_OPS {
+            end_pc = epc;
+            break;
+        }
+        let ecat = code[e].1;
+        // A taken chain inlines the delay slot, which must exist and
+        // be linear (a CTI in a delay slot is left to the step path).
+        let delay_ok = e + 1 < n && !code[e + 1].0.ends_block();
+        let mut push = |t: TOp, m: (u32, u32), c: Category| {
+            ops.push(t);
+            meta.push(m);
+            cats.push(c);
+        };
+        let next = match code[e].0 {
+            Instr::Branch {
+                cond,
+                annul,
+                disp22,
+            } => {
+                let target = epc.wrapping_add((disp22 as u32).wrapping_mul(4));
+                let t = target.wrapping_sub(base) as usize / 4;
+                let t_ok = target.is_multiple_of(4) && target >= base && t < n;
+                if cond == ICond::A {
+                    if !t_ok || (!annul && !delay_ok) {
+                        end_pc = epc;
+                        break;
+                    }
+                    push(
+                        TOp {
+                            exec: exec_retire,
+                            op: DecodedOp {
+                                kind: OpKind::Nop,
+                                ..DecodedOp::at(epc)
+                            },
+                        },
+                        (epc, epc.wrapping_add(4)),
+                        ecat,
+                    );
+                    if !annul {
+                        // `ba` executes its delay slot; `ba,a` annuls
+                        // it (never retires, so never emitted).
+                        push(tops[e + 1], (pc_of(e + 1), target), code[e + 1].1);
+                    }
+                    chained += 1;
+                    t
+                } else if cond != ICond::N && target <= epc {
+                    // Backward conditional: predict taken (BTFN).
+                    if !t_ok || !delay_ok {
+                        end_pc = epc;
+                        break;
+                    }
+                    let mut gop = DecodedOp::at(epc);
+                    gop.mask = icc_mask(cond);
+                    let g: ExecFn = if annul {
+                        gop.kind = OpKind::GuardTakenAnnul;
+                        guard_taken::<true>
+                    } else {
+                        gop.kind = OpKind::GuardTaken;
+                        guard_taken::<false>
+                    };
+                    push(TOp { exec: g, op: gop }, (epc, epc.wrapping_add(4)), ecat);
+                    push(tops[e + 1], (pc_of(e + 1), target), code[e + 1].1);
+                    chained += 1;
+                    t
+                } else {
+                    // Forward (or never-taken) conditional: predict not
+                    // taken. The guard's taken-exit only writes
+                    // pc/npc, so an out-of-image target is fine.
+                    if !annul && !delay_ok {
+                        end_pc = epc;
+                        break;
+                    }
+                    let mut gop = DecodedOp::at(epc);
+                    gop.mask = icc_mask(cond);
+                    gop.imm = target;
+                    gop.kind = OpKind::GuardUntaken;
+                    push(
+                        TOp {
+                            exec: guard_untaken,
+                            op: gop,
+                        },
+                        (epc, epc.wrapping_add(4)),
+                        ecat,
+                    );
+                    if !annul {
+                        // Untaken non-annulling branch still executes
+                        // its delay slot.
+                        push(tops[e + 1], (pc_of(e + 1), pc_of(e + 2)), code[e + 1].1);
+                    }
+                    chained += 1;
+                    e + 2
+                }
+            }
+            Instr::FBranch {
+                cond,
+                annul,
+                disp22,
+            } if fpu => {
+                let target = epc.wrapping_add((disp22 as u32).wrapping_mul(4));
+                let t = target.wrapping_sub(base) as usize / 4;
+                let t_ok = target.is_multiple_of(4) && target >= base && t < n;
+                if cond == FCond::A {
+                    if !t_ok || (!annul && !delay_ok) {
+                        end_pc = epc;
+                        break;
+                    }
+                    push(
+                        TOp {
+                            exec: exec_retire,
+                            op: DecodedOp {
+                                kind: OpKind::Nop,
+                                ..DecodedOp::at(epc)
+                            },
+                        },
+                        (epc, epc.wrapping_add(4)),
+                        ecat,
+                    );
+                    if !annul {
+                        push(tops[e + 1], (pc_of(e + 1), target), code[e + 1].1);
+                    }
+                    chained += 1;
+                    t
+                } else if cond != FCond::N && target <= epc {
+                    if !t_ok || !delay_ok {
+                        end_pc = epc;
+                        break;
+                    }
+                    let mut gop = DecodedOp::at(epc);
+                    gop.mask = fcc_mask(cond);
+                    let g: ExecFn = if annul {
+                        gop.kind = OpKind::GuardFTakenAnnul;
+                        guard_ftaken::<true>
+                    } else {
+                        gop.kind = OpKind::GuardFTaken;
+                        guard_ftaken::<false>
+                    };
+                    push(TOp { exec: g, op: gop }, (epc, epc.wrapping_add(4)), ecat);
+                    push(tops[e + 1], (pc_of(e + 1), target), code[e + 1].1);
+                    chained += 1;
+                    t
+                } else {
+                    if !annul && !delay_ok {
+                        end_pc = epc;
+                        break;
+                    }
+                    let mut gop = DecodedOp::at(epc);
+                    gop.mask = fcc_mask(cond);
+                    gop.imm = target;
+                    gop.kind = OpKind::GuardFUntaken;
+                    push(
+                        TOp {
+                            exec: guard_funtaken,
+                            op: gop,
+                        },
+                        (epc, epc.wrapping_add(4)),
+                        ecat,
+                    );
+                    if !annul {
+                        push(tops[e + 1], (pc_of(e + 1), pc_of(e + 2)), code[e + 1].1);
+                    }
+                    chained += 1;
+                    e + 2
+                }
+            }
+            Instr::Call { disp30 } => {
+                let target = epc.wrapping_add((disp30 as u32).wrapping_mul(4));
+                let t = target.wrapping_sub(base) as usize / 4;
+                let t_ok = target.is_multiple_of(4) && target >= base && t < n;
+                if !t_ok || !delay_ok {
+                    end_pc = epc;
+                    break;
+                }
+                push(
+                    TOp {
+                        exec: exec_call_link,
+                        op: DecodedOp {
+                            kind: OpKind::CallLink,
+                            ..DecodedOp::at(epc)
+                        },
+                    },
+                    (epc, epc.wrapping_add(4)),
+                    ecat,
+                );
+                push(tops[e + 1], (pc_of(e + 1), target), code[e + 1].1);
+                chained += 1;
+                t
+            }
+            // Dynamic targets (`jmpl`), software traps (`t<cond>`),
+            // and FPU branches on a no-FPU machine (which trap): the
+            // trace ends at the block boundary.
+            _ => {
+                end_pc = epc;
+                break;
+            }
+        };
+        if next >= n || visited.contains(&next) {
+            // Off-image continuation or loop closure: the trace ends
+            // in a sequential state at the next block's entry.
+            end_pc = pc_of(next);
+            break;
+        }
+        visited.insert(next);
+        cur = next;
+    }
+    if chained == 0 {
+        return TraceSlot::Absent;
+    }
+    let mut prefix = Vec::with_capacity(ops.len() + 1);
+    let mut acc = CategoryCounts::new();
+    prefix.push(acc);
+    for &c in &cats {
+        acc.bump(c);
+        prefix.push(acc);
+    }
+    TraceSlot::Present(Box::new(Trace {
+        ops,
+        meta,
+        prefix,
+        end_pc,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfp_sparc::asm::Assembler;
+    use nfp_sparc::{decode, AluOp};
+
+    fn predecode(words: &[u32]) -> Vec<(Instr, Category)> {
+        words
+            .iter()
+            .map(|&w| {
+                let i = decode(w);
+                (i, i.category())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn icc_masks_match_cond_eval() {
+        for bits in 0..16u8 {
+            let cond = ICond::from_bits(bits);
+            let mask = icc_mask(cond);
+            for i in 0..16u16 {
+                let want = cond.eval(i & 8 != 0, i & 4 != 0, i & 2 != 0, i & 1 != 0);
+                assert_eq!((mask >> i) & 1 != 0, want, "{cond:?} state {i}");
+            }
+        }
+        assert_eq!(icc_mask(ICond::A), 0xffff);
+        assert_eq!(icc_mask(ICond::N), 0);
+    }
+
+    #[test]
+    fn fcc_masks_match_cond_eval() {
+        let fccs = [
+            FccValue::Equal,
+            FccValue::Less,
+            FccValue::Greater,
+            FccValue::Unordered,
+        ];
+        for bits in 0..16u8 {
+            let cond = FCond::from_bits(bits);
+            let mask = fcc_mask(cond);
+            for (i, &fcc) in fccs.iter().enumerate() {
+                assert_eq!((mask >> i) & 1 != 0, cond.eval(fcc), "{cond:?} {fcc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_loop_forms_a_single_trace_per_iteration() {
+        // mov 10, %l0; loop: subcc; bne loop; nop (delay); mov; ta 0
+        let mut a = Assembler::new(0x4000_0000);
+        a.mov(10, nfp_sparc::Reg::l(0));
+        a.label("loop");
+        a.alu(AluOp::SubCc, nfp_sparc::Reg::l(0), 1, nfp_sparc::Reg::l(0));
+        a.b(ICond::Ne, "loop");
+        a.nop();
+        a.mov(0, nfp_sparc::Reg::o(0));
+        a.ta(0);
+        let code = predecode(&a.finish().unwrap());
+        let blocks = BlockCache::build(&code);
+        let tc = ThreadedCache::build(&code, 0x4000_0000, true);
+        // Head at the loop body (index 1, the backward target).
+        let slot = build_trace(&code, 0x4000_0000, &blocks, tc.ops(), true, 1);
+        let TraceSlot::Present(trace) = slot else {
+            panic!("backward loop must form a trace, got {slot:?}");
+        };
+        // subcc, guard(bne), delay nop — one full loop iteration.
+        assert_eq!(trace.len(), 3);
+        // Loop closure: continuation is the loop head itself.
+        assert_eq!(trace.end_pc(), 0x4000_0004);
+        // Guard meta points at the branch with sequential npc.
+        assert_eq!(trace.meta(1), (0x4000_0008, 0x4000_000c));
+        // Delay-slot meta carries the taken-branch npc (the target).
+        assert_eq!(trace.meta(2), (0x4000_000c, 0x4000_0004));
+    }
+
+    #[test]
+    fn straight_line_block_yields_no_trace() {
+        let mut a = Assembler::new(0x4000_0000);
+        a.mov(1, nfp_sparc::Reg::o(0));
+        a.ta(0);
+        let code = predecode(&a.finish().unwrap());
+        let blocks = BlockCache::build(&code);
+        let tc = ThreadedCache::build(&code, 0x4000_0000, true);
+        let slot = build_trace(&code, 0x4000_0000, &blocks, tc.ops(), true, 0);
+        assert!(matches!(slot, TraceSlot::Absent), "got {slot:?}");
+    }
+
+    #[test]
+    fn trace_formation_terminates_on_self_loop_and_caps() {
+        // ba,a . — an annulled self-loop: one retire op, closed at once.
+        let mut a = Assembler::new(0x4000_0000);
+        a.label("spin");
+        a.b_a(ICond::A, "spin");
+        let code = predecode(&a.finish().unwrap());
+        let blocks = BlockCache::build(&code);
+        let tc = ThreadedCache::build(&code, 0x4000_0000, true);
+        let slot = build_trace(&code, 0x4000_0000, &blocks, tc.ops(), true, 0);
+        let TraceSlot::Present(trace) = slot else {
+            panic!("self-loop must form a trace");
+        };
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.end_pc(), 0x4000_0000);
+        assert!(trace.len() <= MAX_TRACE_OPS);
+    }
+}

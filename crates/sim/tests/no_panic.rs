@@ -12,17 +12,22 @@
 
 use nfp_sim::fault::{inject, plan, undo, FaultSpace};
 use nfp_sim::machine::TrapPolicy;
-use nfp_sim::{Machine, MachineConfig, SimError, Watchdog, RAM_BASE};
+use nfp_sim::{Dispatch, Machine, MachineConfig, SimError, Watchdog, RAM_BASE};
 use proptest::prelude::*;
 use std::time::Duration;
 
+/// Uniform choice over every dispatch mode.
+fn any_dispatch() -> impl Strategy<Value = Dispatch> {
+    (0usize..Dispatch::ALL.len()).prop_map(|i| Dispatch::ALL[i])
+}
+
 /// A machine with a small RAM (fast per-case allocation) in the given
 /// execution/trap/FPU configuration.
-fn small_machine(block: bool, recover: bool, fpu: bool) -> Machine {
+fn small_machine(dispatch: Dispatch, recover: bool, fpu: bool) -> Machine {
     Machine::new(MachineConfig {
         ram_size: 1 << 20,
         fpu_enabled: fpu,
-        block_mode: block,
+        dispatch,
         trap_policy: if recover {
             TrapPolicy::Recover
         } else {
@@ -44,38 +49,69 @@ fn drive(m: &mut Machine) {
 
 proptest! {
     // Arbitrary instruction words through the full run loop: every
-    // combination of step/block mode, abort/recover policy, and
-    // FPU presence. This is the harness that originally surfaced the
+    // combination of dispatch mode, abort/recover policy, and FPU
+    // presence. This is the harness that originally surfaced the
     // ragged-RAM-edge slicing panics fixed in `bus.rs`.
     #[test]
     fn arbitrary_instruction_words_never_panic(
         words in prop::collection::vec(any::<u32>(), 1..96),
-        block in any::<bool>(),
+        dispatch in any_dispatch(),
         recover in any::<bool>(),
         fpu in any::<bool>(),
     ) {
-        let mut m = small_machine(block, recover, fpu);
+        let mut m = small_machine(dispatch, recover, fpu);
         m.load_image(RAM_BASE, &words).expect("aligned in-RAM image loads");
         drive(&mut m);
     }
 
-    // The same arbitrary stream must behave identically under batched
-    // and stepped accounting even when it is garbage: block mode is an
-    // optimisation, not a semantic switch, and corrupted code is
-    // exactly what fault campaigns execute in block mode.
+    // The same arbitrary stream must behave identically under every
+    // dispatch mode even when it is garbage: block batching, threaded
+    // dispatch, and superblock traces are optimisations, not semantic
+    // switches, and corrupted code is exactly what fault campaigns
+    // execute through them.
     #[test]
     fn arbitrary_words_agree_across_modes(
         words in prop::collection::vec(any::<u32>(), 1..64),
         recover in any::<bool>(),
     ) {
-        let observe = |block: bool| {
-            let mut m = small_machine(block, recover, true);
+        let observe = |dispatch: Dispatch| {
+            let mut m = small_machine(dispatch, recover, true);
             m.load_image(RAM_BASE, &words).expect("image loads");
             let wd = Watchdog { max_instrs: 5_000, wall: None };
             let res = m.run_watchdog(&wd);
             (format!("{res:?}"), m.instret(), *m.counts())
         };
-        prop_assert_eq!(observe(false), observe(true));
+        let stepped = observe(Dispatch::Step);
+        for d in [Dispatch::Block, Dispatch::Threaded, Dispatch::Traced] {
+            prop_assert_eq!(&stepped, &observe(d), "{} diverged from step", d);
+        }
+    }
+
+    // A corrupted threaded dispatch-table entry (a linear instruction
+    // whose entry claims it is a block ender) must surface as the
+    // typed `SimError::DispatchViolation` — never a panic and never a
+    // silently wrong run — whether it is hit through the flat
+    // threaded path or mid-superblock through a trace.
+    #[test]
+    fn corrupted_dispatch_entries_never_panic(
+        words in prop::collection::vec(any::<u32>(), 4..64),
+        index in 0usize..64,
+        dispatch in any::<bool>().prop_map(|t| if t { Dispatch::Traced } else { Dispatch::Threaded }),
+        recover in any::<bool>(),
+    ) {
+        let mut m = small_machine(dispatch, recover, true);
+        m.load_image(RAM_BASE, &words).expect("image loads");
+        let corrupted = m.test_corrupt_dispatch(index % words.len());
+        let wd = Watchdog { max_instrs: 5_000, wall: Some(Duration::from_secs(5)) };
+        match m.run_watchdog(&wd) {
+            Err(SimError::DispatchViolation { pc }) => {
+                // Only a corrupted entry may report a routing
+                // violation, and it carries the entry's own pc.
+                prop_assert!(corrupted, "violation without corruption");
+                prop_assert_eq!(pc, RAM_BASE + ((index % words.len()) as u32) * 4);
+            }
+            other => { let _ = format!("{other:?}"); }
+        }
     }
 
     // Truncated and out-of-bounds images: random RAM geometry (sizes
@@ -88,11 +124,11 @@ proptest! {
         ram_size in 4096u32..(1 << 16),
         base_off in 0u32..(1 << 17),
         words in prop::collection::vec(any::<u32>(), 0..64),
-        block in any::<bool>(),
+        dispatch in any_dispatch(),
     ) {
         let mut m = Machine::new(MachineConfig {
             ram_size,
-            block_mode: block,
+            dispatch,
             ..MachineConfig::default()
         });
         // Unaligned bases must be rejected, never aliased.
@@ -112,7 +148,7 @@ proptest! {
         second_off in 0u32..256,
         second in prop::collection::vec(any::<u32>(), 1..32),
     ) {
-        let mut m = small_machine(true, true, true);
+        let mut m = small_machine(Dispatch::Traced, true, true);
         m.load_image(RAM_BASE, &words).expect("image loads");
         let mut bytes = Vec::new();
         for w in &second {
@@ -131,9 +167,9 @@ proptest! {
     fn fault_replay_cycle_never_panics(
         words in prop::collection::vec(any::<u32>(), 4..48),
         seed in any::<u64>(),
-        block in any::<bool>(),
+        dispatch in any_dispatch(),
     ) {
-        let mut m = small_machine(block, true, true);
+        let mut m = small_machine(dispatch, true, true);
         m.load_image(RAM_BASE, &words).expect("image loads");
         let cp = m.checkpoint();
         let space = FaultSpace {
@@ -151,15 +187,15 @@ proptest! {
     }
 
     // run_until must stop exactly at its target or report HaltedEarly,
-    // never panic, even when the target lands mid-block of corrupted
-    // code.
+    // never panic, even when the target lands mid-block (or
+    // mid-superblock) of corrupted code.
     #[test]
     fn run_until_on_garbage_never_panics(
         words in prop::collection::vec(any::<u32>(), 1..48),
         target in 0u64..256,
-        block in any::<bool>(),
+        dispatch in any_dispatch(),
     ) {
-        let mut m = small_machine(block, true, true);
+        let mut m = small_machine(dispatch, true, true);
         m.load_image(RAM_BASE, &words).expect("image loads");
         match m.run_until(target) {
             Ok(()) => prop_assert_eq!(m.instret(), target),

@@ -56,6 +56,7 @@ impl Category {
     ];
 
     /// Counter index of this category.
+    #[inline(always)]
     pub const fn index(self) -> usize {
         self as usize
     }
@@ -140,7 +141,7 @@ impl CategoryCounts {
     }
 
     /// Increments the counter of `cat` by one.
-    #[inline]
+    #[inline(always)]
     pub fn bump(&mut self, cat: Category) {
         self.counts[cat.index()] += 1;
     }

@@ -44,6 +44,7 @@ pub enum ICond {
 
 impl ICond {
     /// Decodes the 4-bit `cond` field.
+    #[inline(always)]
     pub fn from_bits(bits: u8) -> Self {
         use ICond::*;
         match bits & 0xf {
@@ -67,11 +68,13 @@ impl ICond {
     }
 
     /// The 4-bit encoding of this condition.
+    #[inline(always)]
     pub fn bits(self) -> u8 {
         self as u8
     }
 
     /// Evaluates the condition against the integer condition-code flags.
+    #[inline(always)]
     pub fn eval(self, n: bool, z: bool, v: bool, c: bool) -> bool {
         use ICond::*;
         match self {
@@ -179,6 +182,7 @@ pub enum FCond {
 
 impl FCond {
     /// Decodes the 4-bit `cond` field.
+    #[inline(always)]
     pub fn from_bits(bits: u8) -> Self {
         use FCond::*;
         match bits & 0xf {
@@ -202,11 +206,13 @@ impl FCond {
     }
 
     /// The 4-bit encoding of this condition.
+    #[inline(always)]
     pub fn bits(self) -> u8 {
         self as u8
     }
 
     /// Evaluates the condition against an `fcc` relation.
+    #[inline(always)]
     pub fn eval(self, fcc: FccValue) -> bool {
         use FccValue::*;
         let (e, l, g, u) = match fcc {

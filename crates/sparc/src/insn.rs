@@ -502,6 +502,22 @@ impl Instr {
         self.is_cti() || matches!(self, Instr::Ticc { .. })
     }
 
+    /// Fall-through distance of a block-ending instruction, in
+    /// instruction words: 2 for CTIs (the fall-through block starts
+    /// past the delay slot) but 1 for `t<cond>`, which has *no* delay
+    /// slot on SPARC V8 — an untaken soft trap continues at the very
+    /// next word. Returns `None` for instructions that do not end a
+    /// block.
+    pub fn fall_through_words(&self) -> Option<usize> {
+        if self.has_delay_slot() {
+            Some(2)
+        } else if matches!(self, Instr::Ticc { .. }) {
+            Some(1)
+        } else {
+            None
+        }
+    }
+
     /// Statically known control-transfer target of a CTI at `pc`:
     /// `Some(target)` for pc-relative branches and calls, `None` for
     /// indirect jumps (`jmpl`) and for non-CTIs. The fall-through

@@ -18,40 +18,47 @@ impl Reg {
     ///
     /// # Panics
     /// Panics if `n >= 32`.
+    #[inline(always)]
     pub const fn new(n: u8) -> Self {
         assert!(n < 32, "integer register number out of range");
         Reg(n)
     }
 
     /// The architectural register number (`0..32`).
+    #[inline(always)]
     pub const fn num(self) -> u8 {
         self.0
     }
 
     /// True for `%g0`, the hard-wired zero register.
+    #[inline(always)]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// Global register `%gN` (`n < 8`).
+    #[inline(always)]
     pub const fn g(n: u8) -> Self {
         assert!(n < 8);
         Reg(n)
     }
 
     /// Output register `%oN` (`n < 8`).
+    #[inline(always)]
     pub const fn o(n: u8) -> Self {
         assert!(n < 8);
         Reg(8 + n)
     }
 
     /// Local register `%lN` (`n < 8`).
+    #[inline(always)]
     pub const fn l(n: u8) -> Self {
         assert!(n < 8);
         Reg(16 + n)
     }
 
     /// Input register `%iN` (`n < 8`).
+    #[inline(always)]
     pub const fn i(n: u8) -> Self {
         assert!(n < 8);
         Reg(24 + n)
@@ -91,17 +98,20 @@ impl FReg {
     ///
     /// # Panics
     /// Panics if `n >= 32`.
+    #[inline(always)]
     pub const fn new(n: u8) -> Self {
         assert!(n < 32, "FP register number out of range");
         FReg(n)
     }
 
     /// The architectural register number (`0..32`).
+    #[inline(always)]
     pub const fn num(self) -> u8 {
         self.0
     }
 
     /// True if this register can hold the upper half of a double.
+    #[inline(always)]
     pub const fn is_even(self) -> bool {
         self.0.is_multiple_of(2)
     }

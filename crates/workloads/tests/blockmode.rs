@@ -1,22 +1,28 @@
-//! Differential validation of block-batched NFP accounting: on real
-//! workload kernels and on randomly generated SPARC programs, the
-//! simulator's block mode must be bit-identical to per-instruction
-//! stepping — category counters, dynamic instruction count, exit
+//! Differential validation of batched NFP accounting: on real
+//! workload kernels and on randomly generated SPARC programs, every
+//! accelerated dispatch mode — block batching, threaded code, and
+//! superblock traces — must be bit-identical to per-instruction
+//! stepping: category counters, dynamic instruction count, exit
 //! status, CPU registers, and RAM contents.
 
 use nfp_cc::FloatMode;
+use nfp_sim::fault::{inject, plan, undo, FaultSpace};
 use nfp_sim::machine::TrapPolicy;
-use nfp_sim::{Machine, RAM_BASE};
+use nfp_sim::{Dispatch, Machine, RAM_BASE};
 use nfp_workloads::synth::{random_program, ProgramShape};
 use nfp_workloads::{fse_kernels, hevc_kernels, machine_for, Preset, KERNEL_BUDGET};
 use proptest::prelude::*;
 
 /// Runs `m` under `budget` and folds everything observable about the
 /// final machine state into a comparable tuple. Errors (traps, budget
-/// exhaustion) are part of the observation: both modes must fail the
+/// exhaustion) are part of the observation: all modes must fail the
 /// same way at the same instant.
-fn observe(mut m: Machine, block: bool, budget: u64) -> (String, u64, String, String, String) {
-    m.set_block_mode(block);
+fn observe(
+    mut m: Machine,
+    dispatch: Dispatch,
+    budget: u64,
+) -> (String, u64, String, String, String) {
+    m.set_dispatch(dispatch);
     let res = m.run(budget);
     (
         format!("{res:?}"),
@@ -30,39 +36,41 @@ fn observe(mut m: Machine, block: bool, budget: u64) -> (String, u64, String, St
 fn assert_kernel_modes_agree(kernel: &nfp_workloads::Kernel, mode: FloatMode) {
     let stepped = observe(
         machine_for(kernel, mode).expect("machine"),
-        false,
+        Dispatch::Step,
         KERNEL_BUDGET,
     );
-    let batched = observe(
-        machine_for(kernel, mode).expect("machine"),
-        true,
-        KERNEL_BUDGET,
-    );
-    assert_eq!(
-        stepped.0, batched.0,
-        "{} [{mode:?}]: run result diverged",
-        kernel.name
-    );
-    assert_eq!(
-        stepped.1, batched.1,
-        "{} [{mode:?}]: instret diverged",
-        kernel.name
-    );
-    assert_eq!(
-        stepped.2, batched.2,
-        "{} [{mode:?}]: category counts diverged",
-        kernel.name
-    );
-    assert_eq!(
-        stepped.3, batched.3,
-        "{} [{mode:?}]: CPU state diverged",
-        kernel.name
-    );
-    assert_eq!(
-        stepped.4, batched.4,
-        "{} [{mode:?}]: RAM diverged",
-        kernel.name
-    );
+    for dispatch in [Dispatch::Block, Dispatch::Threaded, Dispatch::Traced] {
+        let batched = observe(
+            machine_for(kernel, mode).expect("machine"),
+            dispatch,
+            KERNEL_BUDGET,
+        );
+        assert_eq!(
+            stepped.0, batched.0,
+            "{} [{mode:?}] {dispatch}: run result diverged",
+            kernel.name
+        );
+        assert_eq!(
+            stepped.1, batched.1,
+            "{} [{mode:?}] {dispatch}: instret diverged",
+            kernel.name
+        );
+        assert_eq!(
+            stepped.2, batched.2,
+            "{} [{mode:?}] {dispatch}: category counts diverged",
+            kernel.name
+        );
+        assert_eq!(
+            stepped.3, batched.3,
+            "{} [{mode:?}] {dispatch}: CPU state diverged",
+            kernel.name
+        );
+        assert_eq!(
+            stepped.4, batched.4,
+            "{} [{mode:?}] {dispatch}: RAM diverged",
+            kernel.name
+        );
+    }
 }
 
 #[test]
@@ -85,30 +93,41 @@ fn boot_synthetic(words: &[u32], policy: TrapPolicy) -> Machine {
     m
 }
 
+/// Asserts all accelerated modes match stepping on `words`.
+fn assert_synthetic_agrees(
+    words: &[u32],
+    policy: TrapPolicy,
+    budget: u64,
+) -> Result<(), TestCaseError> {
+    let stepped = observe(boot_synthetic(words, policy), Dispatch::Step, budget);
+    for dispatch in [Dispatch::Block, Dispatch::Threaded, Dispatch::Traced] {
+        let batched = observe(boot_synthetic(words, policy), dispatch, budget);
+        prop_assert_eq!(&stepped, &batched, "{} diverged from step", dispatch);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Random straight-line programs: every instruction is batchable,
-    /// so this pins the pure block-accounting path (including the
-    /// doubleword memory traffic the generator emits).
+    /// so this pins the pure block/threaded accounting paths
+    /// (including the doubleword memory traffic the generator emits).
     #[test]
     fn straight_line_programs_agree(body in 4usize..120, seed in 0u64..10_000) {
         let words = random_program(body, seed, ProgramShape::StraightLine).expect("program");
-        let a = observe(boot_synthetic(&words, TrapPolicy::Abort), false, 5_000);
-        let b = observe(boot_synthetic(&words, TrapPolicy::Abort), true, 5_000);
-        prop_assert_eq!(a, b);
+        assert_synthetic_agrees(&words, TrapPolicy::Abort, 5_000)?;
     }
 
     /// Random branchy programs under both trap policies: annulled
-    /// delay slots, loops that exhaust the budget mid-block, and falls
-    /// off the image edge must all replay identically.
+    /// delay slots, loops that exhaust the budget mid-block (or
+    /// mid-superblock), and falls off the image edge must all replay
+    /// identically.
     #[test]
     fn branchy_programs_agree(body in 4usize..120, seed in 0u64..10_000, recover in 0u32..2) {
         let policy = if recover == 1 { TrapPolicy::Recover } else { TrapPolicy::Abort };
         let words = random_program(body, seed, ProgramShape::Branchy).expect("program");
-        let a = observe(boot_synthetic(&words, policy), false, 5_000);
-        let b = observe(boot_synthetic(&words, policy), true, 5_000);
-        prop_assert_eq!(a, b);
+        assert_synthetic_agrees(&words, policy, 5_000)?;
     }
 
     /// Programs whose final image word is the delay slot of a CTI: the
@@ -117,9 +136,58 @@ proptest! {
     #[test]
     fn cti_tail_programs_agree(body in 2usize..60, seed in 0u64..10_000) {
         let words = random_program(body, seed, ProgramShape::CtiTail).expect("program");
-        let a = observe(boot_synthetic(&words, TrapPolicy::Abort), false, 5_000);
-        let b = observe(boot_synthetic(&words, TrapPolicy::Abort), true, 5_000);
-        prop_assert_eq!(a, b);
+        assert_synthetic_agrees(&words, TrapPolicy::Abort, 5_000)?;
+    }
+
+    /// SEU flips landing mid-superblock: split the run at an arbitrary
+    /// instret (which in traced mode lands inside a formed trace of a
+    /// branchy loop), inject a planned fault at the split point, and
+    /// finish the run. Campaign replays must be bit-identical no
+    /// matter which dispatch mode executes either half.
+    #[test]
+    fn faults_mid_superblock_agree(
+        body in 8usize..80,
+        seed in 0u64..10_000,
+        split in 1u64..2_000,
+        fault_seed in 0u64..10_000,
+    ) {
+        let words = random_program(body, seed, ProgramShape::Branchy).expect("program");
+        let space = FaultSpace {
+            max_instret: split,
+            code_len: words.len() as u32,
+            ram_ranges: vec![(RAM_BASE, 4096)],
+            fp: true,
+        };
+        let faults = plan(&space, 1, fault_seed);
+        let observe_faulted = |dispatch: Dispatch| {
+            let mut m = boot_synthetic(&words, TrapPolicy::Recover);
+            m.set_dispatch(dispatch);
+            // First half: stop exactly at the flip instant, even if it
+            // lands inside a superblock.
+            let pre = format!("{:?}", m.run_until(split));
+            let mut armed = Vec::new();
+            if pre == "Ok(())" {
+                for f in &faults {
+                    armed.push(inject(&mut m, f).expect("in-bounds injection"));
+                }
+            }
+            let res = m.run(5_000);
+            for a in &armed {
+                undo(&mut m, a).expect("undo patches back");
+            }
+            (
+                pre,
+                format!("{res:?}"),
+                m.instret(),
+                format!("{:?}", m.counts()),
+                format!("{:?}", m.cpu),
+                format!("{:?}", m.bus.snapshot_ram()),
+            )
+        };
+        let stepped = observe_faulted(Dispatch::Step);
+        for dispatch in [Dispatch::Block, Dispatch::Threaded, Dispatch::Traced] {
+            prop_assert_eq!(&stepped, &observe_faulted(dispatch), "{} diverged", dispatch);
+        }
     }
 }
 
