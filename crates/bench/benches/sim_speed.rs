@@ -15,8 +15,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nfp_bench::{
-    merge_journals, run_sharded, run_supervised, shard_journal_path, CampaignConfig, Mode,
-    ShardConfig, SupervisorConfig, WorkerIsolation,
+    merge_journals, run_sharded, run_supervised, run_worker_connect, shard_journal_path,
+    submit_campaign, CampaignConfig, CampaignRequest, Mode, ServeConfig, Server, ShardConfig,
+    SupervisorConfig, WorkerIsolation, WorkerPreset,
 };
 use nfp_cc::FloatMode;
 use nfp_sim::{Dispatch, Machine, MachineConfig};
@@ -188,6 +189,54 @@ fn time_sharded(kernel: &Kernel, base: &std::path::Path, shards: u32, reps: usiz
     (totals[reps / 2], merges[reps / 2])
 }
 
+/// Median-of-N wall time of the same 200-injection campaign dispatched
+/// over loopback TCP: an in-process coordinator, two connected workers,
+/// and a framed submit/report round trip — the full price of remote
+/// dispatch (framing, CRCs, digests, heartbeats) with zero real network
+/// latency under it.
+fn time_remote(kernel: &Kernel, reps: usize) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let server = Server::bind(ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            preset: WorkerPreset::Quick,
+            campaigns: Some(1),
+            peer_grace: std::time::Duration::from_secs(120),
+            ..ServeConfig::default()
+        })
+        .expect("bind loopback coordinator");
+        let addr = server.local_addr().expect("local addr").to_string();
+        let server = std::thread::spawn(move || server.run().expect("server run"));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || run_worker_connect(&addr, 50))
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let req = CampaignRequest {
+            client: "bench".to_string(),
+            kernel: kernel.name.clone(),
+            mode: Mode::Float,
+            campaign: CampaignConfig {
+                injections: 200,
+                ..CampaignConfig::default()
+            },
+            shards: 4,
+            allow_partial: false,
+        };
+        let start = Instant::now();
+        submit_campaign(&addr, &req).expect("remote campaign");
+        times.push(start.elapsed().as_secs_f64());
+        server.join().expect("server thread");
+        for w in workers {
+            assert_eq!(w.join().expect("worker thread"), 0);
+        }
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[reps / 2]
+}
+
 /// Step-vs-block measurement plus supervisor journal overhead on the
 /// FSE kernel; prints the rates and writes `BENCH_sim.json` for the CI
 /// artifact.
@@ -282,6 +331,21 @@ fn bench_block_batching(_c: &mut Criterion) {
         kernel.name
     );
 
+    // Remote dispatch overhead: the same campaign over loopback TCP
+    // with two connected workers — framing, CRC re-validation, digests,
+    // and heartbeats, minus any real network latency.
+    let remote_s = time_remote(&kernel, 3);
+    let remote_overhead = remote_s / nojournal_s;
+    println!(
+        "{:<40} {:>12.3} ms/iter",
+        "supervisor/remote_tcp_x2",
+        remote_s * 1e3
+    );
+    println!(
+        "remote dispatch overhead: {remote_overhead:.3}x of a local run on {}",
+        kernel.name
+    );
+
     // Hand-rolled JSON: the workspace has no serde, and the schema is
     // a handful of scalars.
     let json = format!(
@@ -300,7 +364,9 @@ fn bench_block_batching(_c: &mut Criterion) {
          \"process_overhead\": {:.3},\n  \
          \"sharded_4_seconds\": {:.6},\n  \
          \"shard_merge_seconds\": {:.6},\n  \
-         \"shard_merge_overhead\": {:.3}\n}}\n",
+         \"shard_merge_overhead\": {:.3},\n  \
+         \"remote_tcp_seconds\": {:.6},\n  \
+         \"remote_dispatch_overhead\": {:.3}\n}}\n",
         kernel.name,
         instret,
         step_s,
@@ -321,7 +387,9 @@ fn bench_block_batching(_c: &mut Criterion) {
         process_overhead,
         sharded_s,
         merge_s,
-        shard_merge_overhead
+        shard_merge_overhead,
+        remote_s,
+        remote_overhead
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     std::fs::write(path, json).expect("write BENCH_sim.json");

@@ -39,9 +39,27 @@
 //! repro merge-journals [--allow-partial] <j...>     # merge shard journals into one report
 //! ```
 //!
+//! Remote dispatch (networked shard campaigns — DESIGN.md §14):
+//!
+//! ```text
+//! repro serve --listen 127.0.0.1:7447 --quick      # coordinator: accept workers + submissions
+//! repro serve ... --campaigns 1                    # shut down after N campaigns (CI)
+//! repro serve ... --max-inflight 2 --max-queue 2   # admission control limits
+//! repro serve ... --peer-grace-ms 2000             # local-pool fallback deadline
+//! repro serve ... --lease-ms 120000                # hard per-lease deadline
+//! repro serve ... --straggler-ms 5000              # speculative duplicate leases
+//! repro worker --connect 127.0.0.1:7447            # remote worker (reconnects with backoff)
+//! repro worker --connect ... --max-retries 8       # consecutive-failure budget
+//! repro submit --connect 127.0.0.1:7447 \
+//!              --kernel fse --injections 400       # submit a campaign, print the report
+//! repro submit ... --shards 0                      # 0 = one shard per live worker
+//! repro submit ... --allow-partial                 # partial report instead of shard-loss error
+//! ```
+//!
 //! There is also a hidden `repro worker` subcommand: the supervisor
 //! spawns it for `--isolation process` and drives it over stdin/stdout.
-//! It is not for interactive use.
+//! With `--connect` it instead dials a `repro serve` coordinator over
+//! TCP. It is not for interactive use.
 //!
 //! Every failure exits nonzero with a message naming the stage that
 //! failed; a panic in this binary is a bug.
@@ -49,8 +67,9 @@
 use nfp_bench::{
     merge_journals, peek_campaign, report_ablation_calibration, report_ablation_categories,
     report_campaign, report_campaign_footer, report_fig1, report_fig4, report_table1,
-    report_table3, report_table4, run_sharded, run_supervised, shard_journal_path, CampaignConfig,
-    CampaignFooter, Evaluation, KernelResult, Mode, ShardConfig, ShardSpec, SupervisorConfig,
+    report_table3, report_table4, run_sharded, run_supervised, shard_journal_path,
+    submit_campaign_with, CampaignConfig, CampaignFooter, CampaignRequest, Evaluation,
+    KernelResult, Mode, ServeConfig, Server, ShardConfig, ShardSpec, SupervisorConfig,
     WorkerIsolation, WorkerPreset,
 };
 use nfp_sim::Dispatch;
@@ -294,12 +313,10 @@ fn run_campaign_command(args: &[String], preset: &Preset) {
                 outcome.completed - outcome.resumed
             );
         }
-        if outcome.process_isolation {
-            eprint!(
-                "{}",
-                report_campaign_footer(&CampaignFooter::from_supervisor(&outcome))
-            );
-        }
+        eprint!(
+            "{}",
+            report_campaign_footer(&CampaignFooter::from_supervisor(&outcome))
+        );
         for q in &outcome.quarantined {
             eprintln!(
                 "  quarantined injection {} ({}) — {}: {}",
@@ -348,14 +365,193 @@ fn run_merge_command(args: &[String], preset: &Preset) {
     println!("{}", report_campaign(&outcome.result));
 }
 
+/// The `serve` subcommand: a remote dispatch coordinator. Workers dial
+/// in with `repro worker --connect`, clients with `repro submit`.
+fn run_serve_command(args: &[String]) {
+    let ms_flag = |name: &str| {
+        flag_value(args, name).map(|v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                fail(
+                    "argument parsing",
+                    format!("{name} wants milliseconds, got '{v}'"),
+                )
+            })
+        })
+    };
+    let count_flag = |name: &str| {
+        flag_value(args, name).map(|v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                fail(
+                    "argument parsing",
+                    format!("{name} wants a count, got '{v}'"),
+                )
+            })
+        })
+    };
+    let mut cfg = ServeConfig::default();
+    if let Some(addr) = flag_value(args, "--listen") {
+        cfg.listen = addr.to_string();
+    }
+    cfg.preset = if args.iter().any(|a| a == "--quick") {
+        WorkerPreset::Quick
+    } else {
+        WorkerPreset::Paper
+    };
+    if let Some(n) = count_flag("--max-inflight") {
+        cfg.max_inflight = n;
+    }
+    if let Some(n) = count_flag("--max-queue") {
+        cfg.max_queued_per_client = n;
+    }
+    if let Some(ms) = ms_flag("--peer-grace-ms") {
+        cfg.peer_grace = Duration::from_millis(ms);
+    }
+    if let Some(ms) = ms_flag("--lease-ms") {
+        cfg.lease_timeout = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = ms_flag("--heartbeat-ms") {
+        cfg.heartbeat = Duration::from_millis(ms.max(1));
+    }
+    cfg.straggler = ms_flag("--straggler-ms").map(|ms| Duration::from_millis(ms.max(1)));
+    if let Some(n) = flag_value(args, "--shard-retries") {
+        cfg.shard_retries = n.parse().unwrap_or_else(|_| {
+            fail(
+                "argument parsing",
+                format!("--shard-retries wants a count, got '{n}'"),
+            )
+        });
+    }
+    cfg.campaigns = count_flag("--campaigns");
+    if let Some(mode) = flag_value(args, "--isolation") {
+        cfg.isolation = match mode {
+            "thread" => WorkerIsolation::Thread,
+            "process" => WorkerIsolation::Process,
+            other => fail(
+                "argument parsing",
+                format!("--isolation wants 'thread' or 'process', got '{other}'"),
+            ),
+        };
+    }
+    let server = Server::bind(cfg).unwrap_or_else(|e| fail("serve bind", e));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| fail("serve bind", e));
+    eprintln!("serve: listening on {addr}");
+    let summary = server.run().unwrap_or_else(|e| fail("serve", e));
+    eprintln!(
+        "serve: done — {} campaigns, {} peers seen, {} reconnects, {} frames rejected, \
+         {} peers retired",
+        summary.campaigns,
+        summary.peers_seen,
+        summary.reconnects,
+        summary.frames_rejected,
+        summary.peers_retired
+    );
+}
+
+/// The `submit` subcommand: sends a campaign to a coordinator and
+/// prints the returned report on stdout (notes go to stderr), so
+/// `repro submit ... > report.txt` is byte-comparable with a local
+/// `repro campaign` run.
+fn run_submit_command(args: &[String]) {
+    let Some(addr) = flag_value(args, "--connect") else {
+        fail("argument parsing", "submit wants --connect HOST:PORT");
+    };
+    let mut campaign = CampaignConfig::default();
+    if let Some(n) = flag_value(args, "--injections") {
+        campaign.injections = n.parse().unwrap_or_else(|_| {
+            fail(
+                "argument parsing",
+                format!("--injections wants a count, got '{n}'"),
+            )
+        });
+    }
+    if let Some(n) = flag_value(args, "--seed") {
+        campaign.seed = n
+            .parse()
+            .unwrap_or_else(|_| fail("argument parsing", format!("--seed wants a u64, got '{n}'")));
+    }
+    if let Some(d) = flag_value(args, "--dispatch") {
+        campaign.dispatch = Dispatch::parse(d).unwrap_or_else(|| {
+            fail(
+                "argument parsing",
+                format!("--dispatch wants step|block|threaded|traced, got '{d}'"),
+            )
+        });
+    }
+    // The submitted kernel must resolve inside the *coordinator's*
+    // preset; `--quick` here only picks which showcase registry the
+    // name is resolved against for the error message locality.
+    let preset = preset_from_args(args);
+    let kernels = showcase_kernels(&preset);
+    let filter = flag_value(args, "--kernel").unwrap_or("");
+    let Some(kernel) = kernels.iter().find(|k| k.name.contains(filter)) else {
+        fail(
+            "kernel selection",
+            format!("no showcase kernel matches '{filter}'"),
+        );
+    };
+    let req = CampaignRequest {
+        client: flag_value(args, "--client").unwrap_or("cli").to_string(),
+        kernel: kernel.name.clone(),
+        mode: Mode::Float,
+        campaign,
+        shards: flag_value(args, "--shards")
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    fail(
+                        "argument parsing",
+                        format!("--shards wants a count (0 = auto), got '{v}'"),
+                    )
+                })
+            })
+            .unwrap_or(0),
+        allow_partial: args.iter().any(|a| a == "--allow-partial"),
+    };
+    eprintln!(
+        "  submitting {} ({} injections) to {addr}...",
+        req.kernel, req.campaign.injections
+    );
+    let outcome = submit_campaign_with(addr, &req, |note| eprintln!("{note}"))
+        .unwrap_or_else(|e| fail("remote campaign", e));
+    // `println!`, exactly like the local campaign path: the report is
+    // byte-comparable with `repro campaign` output, trailing newline
+    // included.
+    println!("{}", outcome.report);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
 
     // The hidden worker subcommand speaks the supervisor protocol on
-    // stdin/stdout and must never run any of the reporting machinery.
+    // stdin/stdout (or, with --connect, the TCP lease protocol) and
+    // must never run any of the reporting machinery.
     if command == "worker" {
+        if let Some(addr) = flag_value(&args, "--connect") {
+            let max_retries = flag_value(&args, "--max-retries")
+                .map(|v| {
+                    v.parse::<u32>().unwrap_or_else(|_| {
+                        fail(
+                            "argument parsing",
+                            format!("--max-retries wants a count, got '{v}'"),
+                        )
+                    })
+                })
+                .unwrap_or(8);
+            std::process::exit(nfp_bench::run_worker_connect(addr, max_retries));
+        }
         std::process::exit(nfp_bench::run_worker());
+    }
+
+    if command == "serve" {
+        run_serve_command(&args);
+        return;
+    }
+
+    if command == "submit" {
+        run_submit_command(&args);
+        return;
     }
 
     let preset = preset_from_args(&args);
@@ -465,7 +661,7 @@ fn main() {
     }
     if !ran_any {
         eprintln!(
-            "unknown command `{command}`; expected table1|fig4|table3|table4|fig1|ablation-categories|ablation-calibration|cache|campaign|merge-journals|all"
+            "unknown command `{command}`; expected table1|fig4|table3|table4|fig1|ablation-categories|ablation-calibration|cache|campaign|merge-journals|serve|submit|all"
         );
         std::process::exit(2);
     }

@@ -69,6 +69,21 @@ mod tests {
     }
 
     #[test]
+    fn known_answer_vectors_pin_the_table() {
+        // Fixed vectors cross-checked against zlib's crc32: any silent
+        // regression in the hand-rolled table (wrong polynomial,
+        // reflection, init, or final xor) breaks at least one of these.
+        for (bytes, expect) in [
+            (vec![0xFFu8; 4], 0xFFFF_FFFFu32),
+            (vec![0xFF; 9], 0xEB20_1890),
+            (vec![0xFF; 32], 0xFF6C_AB0B),
+            (vec![0x00; 32], 0x190A_55AD),
+        ] {
+            assert_eq!(crc32(&bytes), expect, "vector {bytes:02x?}");
+        }
+    }
+
+    #[test]
     fn incremental_updates_equal_one_shot() {
         let whole = crc32(b"journal record line");
         let mut state = CRC_INIT;

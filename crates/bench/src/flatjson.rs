@@ -143,7 +143,6 @@ impl Obj {
             _ => None,
         }
     }
-    #[cfg(test)]
     pub(crate) fn bool(&self, key: &str) -> Option<bool> {
         match self.get(key)? {
             Jv::B(b) => Some(*b),

@@ -18,11 +18,14 @@
 //! classifies each replay as masked/SDC/trap/hang into a
 //! per-instruction-category vulnerability report.
 
+mod backoff;
 pub mod campaign;
 mod crc;
 pub mod evaluation;
 mod flatjson;
+mod net;
 pub mod reports;
+pub mod serve;
 pub mod shards;
 pub mod supervisor;
 pub mod worker;
@@ -33,6 +36,10 @@ pub use campaign::{
 };
 pub use evaluation::{Evaluation, KernelResult, Mode};
 pub use reports::*;
+pub use serve::{
+    submit_campaign, submit_campaign_with, CampaignRequest, RemoteOutcome, ServeConfig,
+    ServeSummary, Server,
+};
 pub use shards::{
     merge_journals, peek_campaign, run_sharded, shard_journal_path, MergeOutcome, ShardConfig,
     ShardOutcome, ShardSpec,
@@ -40,4 +47,4 @@ pub use shards::{
 pub use supervisor::{
     run_supervised, QuarantineEntry, SupervisorConfig, SupervisorOutcome, WorkerIsolation,
 };
-pub use worker::{run_worker, WorkerPreset};
+pub use worker::{run_worker, run_worker_connect, WorkerPreset};

@@ -482,6 +482,18 @@ pub struct CampaignFooter {
     /// Injection ranges absent from the merged result (non-empty only
     /// for `--allow-partial` runs).
     pub missing_ranges: Vec<(u64, u64)>,
+    /// Worker reconnections the coordinator observed during a remote
+    /// campaign (joins carrying a nonzero reconnect ordinal).
+    pub reconnects: usize,
+    /// Shard leases revoked from silent or overrunning remote peers.
+    pub leases_revoked: usize,
+    /// Frames rejected as corrupt, out-of-protocol, or checksum-failed.
+    pub frames_rejected: usize,
+    /// Remote peers retired after a violation, silence, or death.
+    pub peers_retired: usize,
+    /// Golden-run dispatch-path counters, when the campaign rig is in
+    /// hand (remote campaigns and future local plumbing).
+    pub dispatch: Option<nfp_sim::DispatchStats>,
 }
 
 impl CampaignFooter {
@@ -490,6 +502,7 @@ impl CampaignFooter {
         CampaignFooter {
             kills: outcome.kills,
             respawns: outcome.respawns,
+            dispatch: Some(outcome.dispatch),
             ..CampaignFooter::default()
         }
     }
@@ -503,6 +516,8 @@ impl CampaignFooter {
             shard_retries: outcome.shard_retries,
             speculated: outcome.speculated,
             missing_ranges: outcome.missing_ranges.clone(),
+            dispatch: Some(outcome.dispatch),
+            ..CampaignFooter::default()
         }
     }
 
@@ -511,6 +526,7 @@ impl CampaignFooter {
         CampaignFooter {
             shards: outcome.shards,
             missing_ranges: outcome.missing_ranges.clone(),
+            dispatch: Some(outcome.dispatch),
             ..CampaignFooter::default()
         }
     }
@@ -541,6 +557,18 @@ pub fn report_campaign_footer(footer: &CampaignFooter) -> String {
         )
         .unwrap();
     }
+    if footer.reconnects > 0
+        || footer.leases_revoked > 0
+        || footer.frames_rejected > 0
+        || footer.peers_retired > 0
+    {
+        writeln!(
+            out,
+            "  net: {} reconnects, {} leases revoked, {} frames rejected, {} peers retired",
+            footer.reconnects, footer.leases_revoked, footer.frames_rejected, footer.peers_retired
+        )
+        .unwrap();
+    }
     if !footer.missing_ranges.is_empty() {
         let uncovered: u64 = footer.missing_ranges.iter().map(|&(s, e)| e - s).sum();
         let ranges = footer
@@ -554,6 +582,16 @@ pub fn report_campaign_footer(footer: &CampaignFooter) -> String {
             "  missing ranges: {ranges} ({uncovered} injections uncovered)"
         )
         .unwrap();
+    }
+    if let Some(d) = footer.dispatch {
+        if d.traced + d.batched + d.stepped > 0 {
+            writeln!(
+                out,
+                "  golden dispatch: {} traced, {} batched, {} stepped",
+                d.traced, d.batched, d.stepped
+            )
+            .unwrap();
+        }
     }
     out
 }
@@ -590,6 +628,7 @@ mod footer_tests {
             shard_retries: 3,
             speculated: 1,
             missing_ranges: vec![(0, 25), (75, 100)],
+            ..CampaignFooter::default()
         };
         assert_eq!(
             report_campaign_footer(&footer),
@@ -597,6 +636,39 @@ mod footer_tests {
              \x20 shards: 4 merged, 3 re-dispatched, 1 speculated\n\
              \x20 missing ranges: 0..25, 75..100 (50 injections uncovered)\n"
         );
+    }
+
+    #[test]
+    fn remote_run_renders_net_and_dispatch_lines() {
+        let footer = CampaignFooter {
+            shards: 4,
+            shard_retries: 1,
+            reconnects: 2,
+            leases_revoked: 1,
+            frames_rejected: 3,
+            peers_retired: 2,
+            dispatch: Some(nfp_sim::DispatchStats {
+                traced: 900,
+                batched: 80,
+                stepped: 20,
+            }),
+            ..CampaignFooter::default()
+        };
+        assert_eq!(
+            report_campaign_footer(&footer),
+            "  shards: 4 merged, 1 re-dispatched, 0 speculated\n\
+             \x20 net: 2 reconnects, 1 leases revoked, 3 frames rejected, 2 peers retired\n\
+             \x20 golden dispatch: 900 traced, 80 batched, 20 stepped\n"
+        );
+    }
+
+    #[test]
+    fn all_zero_dispatch_stats_render_nothing() {
+        let footer = CampaignFooter {
+            dispatch: Some(nfp_sim::DispatchStats::default()),
+            ..CampaignFooter::default()
+        };
+        assert_eq!(report_campaign_footer(&footer), "");
     }
 
     #[test]

@@ -1,0 +1,1790 @@
+//! The remote dispatch coordinator (`repro serve`) and its client.
+//!
+//! [`Server`] listens on TCP and speaks the framed protocol of
+//! [`crate::net`] with two kinds of peers: **workers** (`repro worker
+//! --connect`) that join, receive shard leases, and stream back
+//! journal-identical record lines, and **clients** (`repro submit`)
+//! that submit a campaign and receive the report. The coordinator
+//! trusts no peer: every record line re-verifies its CRC and its
+//! fault-plan binding, every shard must close with a plan-order digest
+//! that the coordinator recomputes, and a peer that violates the
+//! protocol is retired, never argued with.
+//!
+//! Robustness model (DESIGN.md §14):
+//!
+//! * **Every wait is bounded.** Sockets carry read/write deadlines, a
+//!   silent peer loses its lease after an idle deadline, a slow peer
+//!   loses it at the lease timeout, admission waits poll a shutdown
+//!   flag, and the accept loop is non-blocking.
+//! * **Leases, not assignments.** A shard lease is revocable: when the
+//!   holder goes silent or dies the shard re-enters the queue after a
+//!   capped jittered backoff ([`crate::backoff`]), and an optional
+//!   straggler deadline dispatches a speculative duplicate —
+//!   first-valid-wins, which is safe because campaigns are
+//!   deterministic.
+//! * **Admission control.** A bounded number of campaigns run
+//!   concurrently; each client may queue a bounded number more;
+//!   everything beyond that is refused with a typed
+//!   [`NfpError::Admission`] instead of an unbounded backlog.
+//! * **Graceful degradation.** With no live workers past a grace
+//!   period the coordinator runs the remaining shards on its own
+//!   local pool ([`crate::supervisor`]), so a campaign never depends
+//!   on the network being healthy — only faster.
+
+use crate::backoff::{backoff_delay, TICK};
+use crate::campaign::{assemble, report_campaign, CampaignConfig, CampaignRig, InjectionRecord};
+use crate::evaluation::Mode;
+use crate::flatjson::{esc, parse_flat, Obj};
+use crate::net::{
+    parse_join, render_note, render_reject, render_report_chunk, send_err, write_frame,
+    FrameReader, JoinFrame, Recv, BYE_FRAME, END_FRAME, HB_FRAME, NET_VERSION,
+};
+use crate::reports::{report_campaign_footer, CampaignFooter};
+use crate::shards::{missing_ranges_of, ShardSpec};
+use crate::supervisor::{
+    parse_fin, parse_record, range_digest, run_supervised, FinRecord, JournalHeader,
+    SupervisorConfig, WorkerIsolation,
+};
+use crate::worker::{
+    parse_reply, render_error, render_hello, tcp_connect, Reply, WorkerHello, WorkerPreset,
+};
+use nfp_core::NfpError;
+use nfp_sim::fault::plan;
+use nfp_sim::Fault;
+use nfp_workloads::all_kernels;
+use std::collections::{HashMap, VecDeque};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Socket read deadline per poll: the coordinator's event-loop tick.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Socket write deadline: a peer that cannot drain a few hundred bytes
+/// in this long is as good as gone.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long a fresh connection may dawdle before its first frame
+/// (join or submit) before the coordinator drops it.
+const FIRST_FRAME_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Heartbeat interval towards a waiting client.
+const CLIENT_BEAT: Duration = Duration::from_secs(1);
+
+/// How long the submit client tolerates total coordinator silence.
+/// The coordinator heartbeats clients every [`CLIENT_BEAT`], so this
+/// is more than an order of magnitude of slack.
+const CLIENT_SILENCE: Duration = Duration::from_secs(60);
+
+/// Report chunk size towards the client. Escaping can at worst double
+/// a chunk (quotes, backslashes, newlines), so this stays far from
+/// [`crate::net::MAX_FRAME`].
+const REPORT_CHUNK: usize = 8 * 1024;
+
+fn violation(detail: impl Into<String>) -> NfpError {
+    NfpError::ProtocolViolation {
+        detail: detail.into(),
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One leased-record slot table, indexed by plan position.
+type Slots = Vec<Option<(InjectionRecord, u32)>>;
+
+/// Validated records of one completed lease: plan index, record, and
+/// the attempt count the worker reported.
+type LeaseRecords = Vec<(usize, InjectionRecord, u32)>;
+
+// ---------------------------------------------------------------------
+// Configuration and summary.
+// ---------------------------------------------------------------------
+
+/// Coordinator configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7447` (`:0` picks a free port).
+    pub listen: String,
+    /// Workload preset leases name; workers rebuild kernels from it
+    /// and the golden-count handshake catches any skew.
+    pub preset: WorkerPreset,
+    /// Campaigns allowed to run concurrently. `0` refuses every
+    /// submission (useful only for testing admission itself).
+    pub max_inflight: usize,
+    /// Submissions one client may keep queued beyond the in-flight
+    /// limit before further ones are refused.
+    pub max_queued_per_client: usize,
+    /// How long a campaign waits for a live worker before degrading to
+    /// the coordinator's local worker pool.
+    pub peer_grace: Duration,
+    /// Hard per-lease deadline: a shard lease still open after this
+    /// long is revoked and re-queued regardless of heartbeats.
+    pub lease_timeout: Duration,
+    /// Heartbeat interval towards (and expected from) workers. A peer
+    /// silent for ten intervals (min 2 s) loses its lease.
+    pub heartbeat: Duration,
+    /// Re-dispatch budget per shard after failed or revoked leases.
+    pub shard_retries: u32,
+    /// Straggler deadline: a lease still open after this long gets a
+    /// speculative duplicate dispatched (first valid result wins).
+    /// `None` disables speculation.
+    pub straggler: Option<Duration>,
+    /// Worker isolation for the local-fallback pool.
+    pub isolation: WorkerIsolation,
+    /// Worker executable for a process-isolated local fallback.
+    pub worker_bin: Option<PathBuf>,
+    /// Stop accepting connections and shut down after this many
+    /// completed campaigns. `None` serves until the process dies.
+    pub campaigns: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:7447".to_string(),
+            preset: WorkerPreset::Quick,
+            max_inflight: 2,
+            max_queued_per_client: 2,
+            peer_grace: Duration::from_secs(2),
+            lease_timeout: Duration::from_secs(120),
+            heartbeat: Duration::from_millis(200),
+            shard_retries: 2,
+            straggler: None,
+            isolation: WorkerIsolation::Thread,
+            worker_bin: None,
+            campaigns: None,
+        }
+    }
+}
+
+/// What a coordinator served before shutting down.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Campaigns completed (reports delivered or degraded).
+    pub campaigns: usize,
+    /// Worker connections accepted over the server's lifetime.
+    pub peers_seen: usize,
+    /// Worker reconnections observed (joins carrying a nonzero
+    /// reconnect ordinal).
+    pub reconnects: usize,
+    /// Frames rejected as corrupt, out-of-protocol, or checksum-failed.
+    pub frames_rejected: usize,
+    /// Peers retired after a violation, silence, or death.
+    pub peers_retired: usize,
+}
+
+// ---------------------------------------------------------------------
+// The hub: state shared between the accept loop, peers, and campaigns.
+// ---------------------------------------------------------------------
+
+/// One revocable shard assignment waiting for (or held by) a peer.
+struct Lease {
+    hello: WorkerHello,
+    faults: Arc<Vec<Fault>>,
+    shard: u32,
+    attempt: u32,
+    events: mpsc::Sender<LeaseEvent>,
+    /// Set by the owning campaign when the shard no longer needs this
+    /// lease (completed elsewhere, campaign over): peers skip it.
+    abandoned: Arc<AtomicBool>,
+}
+
+/// What a peer reports back to the owning campaign about a lease.
+enum LeaseEvent {
+    /// A peer picked the lease up.
+    Started { shard: u32 },
+    /// The leased range completed and validated (CRCs, plan binding,
+    /// fin digest). First valid result wins.
+    Done { shard: u32, records: LeaseRecords },
+    /// The lease failed; `revoked` marks deadline revocations (silent
+    /// or overrunning peers) as opposed to deaths and violations.
+    Failed {
+        shard: u32,
+        detail: String,
+        revoked: bool,
+    },
+}
+
+/// Shared coordinator state.
+struct Hub {
+    queue: Mutex<VecDeque<Lease>>,
+    shutdown: AtomicBool,
+    live_peers: AtomicUsize,
+    peers_seen: AtomicUsize,
+    reconnects: AtomicUsize,
+    frames_rejected: AtomicUsize,
+    peers_retired: AtomicUsize,
+    next_peer: AtomicU64,
+}
+
+impl Hub {
+    fn new() -> Self {
+        Hub {
+            queue: Mutex::new(VecDeque::new()),
+            shutdown: AtomicBool::new(false),
+            live_peers: AtomicUsize::new(0),
+            peers_seen: AtomicUsize::new(0),
+            reconnects: AtomicUsize::new(0),
+            frames_rejected: AtomicUsize::new(0),
+            peers_retired: AtomicUsize::new(0),
+            next_peer: AtomicU64::new(0),
+        }
+    }
+
+    /// Pops the next live lease, discarding abandoned ones.
+    fn pop_lease(&self) -> Option<Lease> {
+        let mut q = lock(&self.queue);
+        while let Some(lease) = q.pop_front() {
+            if !lease.abandoned.load(Ordering::SeqCst) {
+                return Some(lease);
+            }
+        }
+        None
+    }
+
+    /// Queues a lease, compacting abandoned entries while it holds the
+    /// lock so the queue never accumulates dead weight.
+    fn push_lease(&self, lease: Lease) {
+        let mut q = lock(&self.queue);
+        q.retain(|l| !l.abandoned.load(Ordering::SeqCst));
+        q.push_back(lease);
+    }
+
+    fn reject_frame(&self) {
+        self.frames_rejected.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Marks a peer retired — unless the server is shutting down, in
+    /// which case departures are the plan, not a failure.
+    fn retire(&self, label: &str, why: &str) {
+        if !self.shutdown.load(Ordering::SeqCst) {
+            self.peers_retired.fetch_add(1, Ordering::SeqCst);
+            eprintln!("serve: {label} retired: {why}");
+        }
+    }
+}
+
+/// Everything a connection thread needs.
+struct Ctx {
+    cfg: ServeConfig,
+    hub: Hub,
+    admission: Admission,
+    served: AtomicUsize,
+}
+
+// ---------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------
+
+struct AdmissionState {
+    inflight: usize,
+    queued: HashMap<String, usize>,
+}
+
+/// Bounded-concurrency gate for campaign submissions: `max_inflight`
+/// campaigns run at once, each client may wait with at most
+/// `max_queue` more, and everything beyond that is refused with a
+/// typed [`NfpError::Admission`]. All waits are caller-paced
+/// ([`Admission::wait`] with a timeout), so a waiting submission can
+/// keep heartbeating its client and abandon the queue when the client
+/// disappears — no unbounded block anywhere.
+pub(crate) struct Admission {
+    max_inflight: usize,
+    max_queue: usize,
+    state: Mutex<AdmissionState>,
+    cv: Condvar,
+}
+
+/// Outcome of [`Admission::try_enter`].
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Gate {
+    /// A slot was free; the campaign may run now.
+    Admitted,
+    /// The campaign holds a queue place; poll [`Admission::wait`].
+    Queued,
+}
+
+impl Admission {
+    pub(crate) fn new(max_inflight: usize, max_queue: usize) -> Self {
+        Admission {
+            max_inflight,
+            max_queue,
+            state: Mutex::new(AdmissionState {
+                inflight: 0,
+                queued: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Takes a slot, takes a queue place, or refuses — never blocks.
+    pub(crate) fn try_enter(&self, client: &str) -> Result<Gate, NfpError> {
+        let refuse = |reason: String| {
+            Err(NfpError::Admission {
+                client: client.to_string(),
+                reason,
+            })
+        };
+        if self.max_inflight == 0 {
+            return refuse("server admits no campaigns".to_string());
+        }
+        let mut s = lock(&self.state);
+        if s.inflight < self.max_inflight {
+            s.inflight += 1;
+            return Ok(Gate::Admitted);
+        }
+        let q = s.queued.entry(client.to_string()).or_insert(0);
+        if *q >= self.max_queue {
+            let held = *q;
+            return refuse(format!(
+                "{held} campaigns already queued (per-client cap {})",
+                self.max_queue
+            ));
+        }
+        *q += 1;
+        Ok(Gate::Queued)
+    }
+
+    /// Waits up to `patience` for a slot; returns true when admitted
+    /// (the queue place converts into the slot).
+    pub(crate) fn wait(&self, client: &str, patience: Duration) -> bool {
+        let s = lock(&self.state);
+        let (mut s, _) = self
+            .cv
+            .wait_timeout(s, patience)
+            .unwrap_or_else(PoisonError::into_inner);
+        if s.inflight < self.max_inflight {
+            s.inflight += 1;
+            Self::dequeue(&mut s, client);
+            return true;
+        }
+        false
+    }
+
+    /// Gives a queue place back (the queued client went away).
+    pub(crate) fn abandon_queue(&self, client: &str) {
+        Self::dequeue(&mut lock(&self.state), client);
+    }
+
+    /// Releases an in-flight slot and wakes every waiter.
+    pub(crate) fn finish(&self) {
+        lock(&self.state).inflight -= 1;
+        self.cv.notify_all();
+    }
+
+    fn dequeue(s: &mut AdmissionState, client: &str) {
+        if let Some(q) = s.queued.get_mut(client) {
+            *q -= 1;
+            if *q == 0 {
+                s.queued.remove(client);
+            }
+        }
+    }
+}
+
+/// Releases the admission slot on every campaign exit path.
+struct AdmissionGuard<'a>(&'a Admission);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.finish();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Submit frames.
+// ---------------------------------------------------------------------
+
+/// A campaign submission, sent by [`submit_campaign`] and executed by
+/// a [`Server`].
+#[derive(Debug, Clone)]
+pub struct CampaignRequest {
+    /// Client label for admission accounting and error messages.
+    pub client: String,
+    /// Kernel name within the server's preset registry.
+    pub kernel: String,
+    /// Float or fixed variant.
+    pub mode: Mode,
+    /// The campaign parameters (plan size, seed, dispatch, ...).
+    pub campaign: CampaignConfig,
+    /// Shards to split the plan into; `0` lets the coordinator pick
+    /// one shard per live worker.
+    pub shards: u32,
+    /// Degrade to a partial report (with explicit missing ranges)
+    /// instead of failing when a shard exhausts its retry budget.
+    pub allow_partial: bool,
+}
+
+pub(crate) fn render_submit(req: &CampaignRequest) -> String {
+    format!(
+        concat!(
+            "{{\"v\":{},\"kind\":\"submit\",\"client\":\"{}\",\"kernel\":\"{}\",",
+            "\"mode\":\"{}\",\"injections\":{},\"seed\":{},\"checkpoints\":{},",
+            "\"dispatch\":\"{}\",\"escalation\":{},\"wall_ms\":{},\"shards\":{},",
+            "\"allow_partial\":{}}}"
+        ),
+        NET_VERSION,
+        esc(&req.client),
+        esc(&req.kernel),
+        req.mode.suffix(),
+        req.campaign.injections,
+        req.campaign.seed,
+        req.campaign.checkpoints,
+        req.campaign.dispatch.as_str(),
+        req.campaign.escalation,
+        req.campaign.wall.map_or_else(
+            || "null".to_string(),
+            |d| (d.as_millis() as u64).to_string()
+        ),
+        req.shards,
+        req.allow_partial,
+    )
+}
+
+pub(crate) fn parse_submit(line: &str) -> Result<CampaignRequest, NfpError> {
+    let obj = Obj(parse_flat(line).ok_or_else(|| violation("unparseable submit frame"))?);
+    match obj.u64("v") {
+        Some(NET_VERSION) => {}
+        got => {
+            return Err(violation(format!(
+                "submit version mismatch: client speaks {got:?}, this coordinator speaks \
+                 v{NET_VERSION}"
+            )))
+        }
+    }
+    if obj.str("kind") != Some("submit") {
+        return Err(violation("frame is not a submit"));
+    }
+    let field = |k: &str| violation(format!("submit lacks \"{k}\""));
+    Ok(CampaignRequest {
+        client: obj
+            .str("client")
+            .ok_or_else(|| field("client"))?
+            .to_string(),
+        kernel: obj
+            .str("kernel")
+            .ok_or_else(|| field("kernel"))?
+            .to_string(),
+        mode: obj
+            .str("mode")
+            .and_then(Mode::from_suffix)
+            .ok_or_else(|| violation("submit names an unknown mode"))?,
+        campaign: CampaignConfig {
+            injections: usize::try_from(obj.u64("injections").ok_or_else(|| field("injections"))?)
+                .map_err(|_| violation("submit injection count overflows usize"))?,
+            seed: obj.u64("seed").ok_or_else(|| field("seed"))?,
+            checkpoints: usize::try_from(
+                obj.u64("checkpoints").ok_or_else(|| field("checkpoints"))?,
+            )
+            .map_err(|_| violation("submit checkpoint count overflows usize"))?,
+            wall: obj
+                .opt_u64("wall_ms")
+                .ok_or_else(|| field("wall_ms"))?
+                .map(Duration::from_millis),
+            dispatch: obj
+                .str("dispatch")
+                .and_then(nfp_sim::Dispatch::parse)
+                .ok_or_else(|| violation("submit names an unknown dispatch"))?,
+            escalation: u32::try_from(obj.u64("escalation").ok_or_else(|| field("escalation"))?)
+                .map_err(|_| violation("submit escalation overflows u32"))?,
+        },
+        shards: u32::try_from(obj.u64("shards").ok_or_else(|| field("shards"))?)
+            .map_err(|_| violation("submit shard count overflows u32"))?,
+        allow_partial: obj
+            .bool("allow_partial")
+            .ok_or_else(|| field("allow_partial"))?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The server.
+// ---------------------------------------------------------------------
+
+/// A bound (but not yet serving) coordinator. [`Server::run`] consumes
+/// it and blocks until the configured campaign budget is served.
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<Ctx>,
+}
+
+impl Server {
+    /// Binds the listen address and prepares the shared state. The
+    /// socket is non-blocking; nothing is served until [`Server::run`].
+    pub fn bind(cfg: ServeConfig) -> Result<Server, NfpError> {
+        let net_err = |detail: String| NfpError::Net {
+            addr: cfg.listen.clone(),
+            detail,
+        };
+        let listener =
+            TcpListener::bind(&cfg.listen).map_err(|e| net_err(format!("bind failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| net_err(format!("set nonblocking failed: {e}")))?;
+        let admission = Admission::new(cfg.max_inflight, cfg.max_queued_per_client);
+        Ok(Server {
+            listener,
+            ctx: Arc::new(Ctx {
+                cfg,
+                hub: Hub::new(),
+                admission,
+                served: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// The bound address — the way tests (and `--listen 127.0.0.1:0`
+    /// users) learn the picked port.
+    pub fn local_addr(&self) -> Result<SocketAddr, NfpError> {
+        self.listener.local_addr().map_err(|e| NfpError::Net {
+            addr: self.ctx.cfg.listen.clone(),
+            detail: format!("local_addr failed: {e}"),
+        })
+    }
+
+    /// Serves until [`ServeConfig::campaigns`] campaigns completed
+    /// (forever when `None`), then says goodbye to every peer and
+    /// returns the tallies.
+    pub fn run(self) -> Result<ServeSummary, NfpError> {
+        let Server { listener, ctx } = self;
+        let mut handles = Vec::new();
+        loop {
+            if let Some(limit) = ctx.cfg.campaigns {
+                if ctx.served.load(Ordering::SeqCst) >= limit {
+                    ctx.hub.shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+            match listener.accept() {
+                Ok((stream, addr)) => {
+                    let ctx = Arc::clone(&ctx);
+                    handles.push(std::thread::spawn(move || {
+                        handle_connection(stream, addr, &ctx);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(TICK),
+                Err(e) => {
+                    ctx.hub.shutdown.store(true, Ordering::SeqCst);
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(NfpError::Net {
+                        addr: ctx.cfg.listen.clone(),
+                        detail: format!("accept failed: {e}"),
+                    });
+                }
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(ServeSummary {
+            campaigns: ctx.served.load(Ordering::SeqCst),
+            peers_seen: ctx.hub.peers_seen.load(Ordering::SeqCst),
+            reconnects: ctx.hub.reconnects.load(Ordering::SeqCst),
+            frames_rejected: ctx.hub.frames_rejected.load(Ordering::SeqCst),
+            peers_retired: ctx.hub.peers_retired.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Classifies a fresh connection by its first frame — a worker join or
+/// a client submit — and hands it to the matching driver. Anything
+/// else (silence, garbage, a torn frame) costs the connection and
+/// nothing more.
+fn handle_connection(mut stream: TcpStream, addr: SocketAddr, ctx: &Ctx) {
+    let label = addr.to_string();
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TICK)).is_err()
+        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let mut reader = FrameReader::new(label.clone());
+    let opened = Instant::now();
+    let first = loop {
+        match reader.recv(&mut stream) {
+            Ok(Recv::Frame(line)) => break line,
+            Ok(Recv::Idle) => {
+                if opened.elapsed() > FIRST_FRAME_DEADLINE {
+                    ctx.hub.reject_frame();
+                    eprintln!("serve: dropped {label}: no frame within the handshake deadline");
+                    return;
+                }
+            }
+            Ok(Recv::Eof) => return,
+            Err(e) => {
+                ctx.hub.reject_frame();
+                eprintln!("serve: dropped {label}: {e}");
+                return;
+            }
+        }
+    };
+    let kind = parse_flat(&first)
+        .map(Obj)
+        .and_then(|o| o.str("kind").map(str::to_string));
+    match kind.as_deref() {
+        Some("join") => match parse_join(&first) {
+            Ok(join) => drive_peer(stream, reader, join, ctx),
+            Err(e) => {
+                ctx.hub.reject_frame();
+                let _ = write_frame(&mut stream, &render_error(&e.to_string()));
+                eprintln!("serve: dropped {label}: {e}");
+            }
+        },
+        Some("submit") => match parse_submit(&first) {
+            Ok(req) => run_remote_campaign(stream, reader, req, ctx),
+            Err(e) => {
+                ctx.hub.reject_frame();
+                let _ = write_frame(&mut stream, &render_error(&e.to_string()));
+                eprintln!("serve: dropped {label}: {e}");
+            }
+        },
+        _ => {
+            ctx.hub.reject_frame();
+            let _ = write_frame(
+                &mut stream,
+                &render_error("first frame must be a join or a submit"),
+            );
+            eprintln!("serve: dropped {label}: first frame is neither join nor submit");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The peer side: one thread per joined worker.
+// ---------------------------------------------------------------------
+
+/// Keeps the live-peer census exact on every exit path.
+struct PeerGuard<'a>(&'a Hub);
+
+impl Drop for PeerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.live_peers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Drives one joined worker: heartbeats both ways, an idle deadline,
+/// and one lease at a time popped from the hub queue. Any violation,
+/// silence, or death retires the peer — its shard (if any) re-enters
+/// the queue via the lease's `Failed` event, and the worker's own
+/// reconnect backoff brings it back for a clean slate.
+fn drive_peer(mut stream: TcpStream, mut reader: FrameReader, join: JoinFrame, ctx: &Ctx) {
+    let hub = &ctx.hub;
+    let id = hub.next_peer.fetch_add(1, Ordering::SeqCst) + 1;
+    let label = format!("peer {id}");
+    hub.peers_seen.fetch_add(1, Ordering::SeqCst);
+    if join.reconnects > 0 {
+        hub.reconnects.fetch_add(1, Ordering::SeqCst);
+    }
+    hub.live_peers.fetch_add(1, Ordering::SeqCst);
+    let _census = PeerGuard(hub);
+    eprintln!(
+        "serve: {label} joined ({} reconnects so far)",
+        join.reconnects
+    );
+
+    let idle_limit = idle_limit(ctx.cfg.heartbeat);
+    let mut last_heard = Instant::now();
+    let mut last_beat = Instant::now();
+    loop {
+        if hub.shutdown.load(Ordering::SeqCst) {
+            let _ = write_frame(&mut stream, BYE_FRAME);
+            return;
+        }
+        if last_beat.elapsed() >= ctx.cfg.heartbeat {
+            if let Err(e) = write_frame(&mut stream, HB_FRAME) {
+                hub.retire(&label, &format!("heartbeat write failed: {e}"));
+                return;
+            }
+            last_beat = Instant::now();
+        }
+        match reader.recv(&mut stream) {
+            Ok(Recv::Idle) => {
+                if last_heard.elapsed() > idle_limit {
+                    hub.retire(
+                        &label,
+                        &format!(
+                            "silent for {}ms while idle",
+                            last_heard.elapsed().as_millis()
+                        ),
+                    );
+                    return;
+                }
+            }
+            Ok(Recv::Frame(line)) => {
+                last_heard = Instant::now();
+                let kind = parse_flat(&line)
+                    .map(Obj)
+                    .and_then(|o| o.str("kind").map(str::to_string));
+                if kind.as_deref() != Some("hb") {
+                    hub.reject_frame();
+                    hub.retire(&label, &format!("unexpected idle frame {kind:?}"));
+                    return;
+                }
+            }
+            Ok(Recv::Eof) => {
+                hub.retire(&label, "disconnected");
+                return;
+            }
+            Err(e) => {
+                if matches!(e, NfpError::ProtocolViolation { .. }) {
+                    hub.reject_frame();
+                }
+                hub.retire(&label, &e.to_string());
+                return;
+            }
+        }
+        let Some(lease) = hub.pop_lease() else {
+            continue;
+        };
+        let _ = lease
+            .events
+            .send(LeaseEvent::Started { shard: lease.shard });
+        eprintln!(
+            "serve: shard {} leased to {label} (attempt {})",
+            lease.shard, lease.attempt
+        );
+        match run_lease(&mut stream, &mut reader, &lease, ctx) {
+            Ok(Some(records)) => {
+                let _ = lease.events.send(LeaseEvent::Done {
+                    shard: lease.shard,
+                    records,
+                });
+                last_heard = Instant::now();
+                last_beat = Instant::now();
+            }
+            Ok(None) => {
+                // Shutdown mid-lease: hand the shard back and bow out.
+                let _ = lease.events.send(LeaseEvent::Failed {
+                    shard: lease.shard,
+                    detail: "coordinator shutting down".to_string(),
+                    revoked: false,
+                });
+                let _ = write_frame(&mut stream, BYE_FRAME);
+                return;
+            }
+            Err(fail) => {
+                let _ = lease.events.send(LeaseEvent::Failed {
+                    shard: lease.shard,
+                    detail: fail.detail.clone(),
+                    revoked: fail.revoked,
+                });
+                hub.retire(&label, &fail.detail);
+                return;
+            }
+        }
+    }
+}
+
+/// A peer silent for ten heartbeat intervals (but at least two
+/// seconds) has lost its claim to liveness.
+fn idle_limit(heartbeat: Duration) -> Duration {
+    (heartbeat * 10).max(Duration::from_secs(2))
+}
+
+/// Why a lease failed on this peer.
+struct LeaseFail {
+    detail: String,
+    /// True for deadline revocations (the peer may be alive but too
+    /// silent or too slow); false for deaths and violations.
+    revoked: bool,
+}
+
+/// Runs one lease on a connected peer: send the shard hello, verify
+/// the golden-count echo, accept CRC-checked in-range records, and
+/// demand a digest-valid fin. `Ok(None)` means the coordinator began
+/// shutting down mid-lease. Every wait inside is bounded by the idle
+/// deadline and the overall lease timeout.
+fn run_lease(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    lease: &Lease,
+    ctx: &Ctx,
+) -> Result<Option<LeaseRecords>, LeaseFail> {
+    let hub = &ctx.hub;
+    let fail = |detail: String, revoked: bool| Err(LeaseFail { detail, revoked });
+    if let Err(e) = write_frame(stream, &render_hello(&lease.hello)) {
+        return fail(format!("lease write failed: {e}"), false);
+    }
+    let range = lease.hello.header.range();
+    let idle_limit = idle_limit(ctx.cfg.heartbeat);
+    let deadline = Instant::now() + ctx.cfg.lease_timeout;
+    let mut last_heard = Instant::now();
+    let mut last_beat = Instant::now();
+    let mut got_ready = false;
+    let mut slots: Slots = vec![None; lease.faults.len()];
+    loop {
+        if hub.shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        if Instant::now() >= deadline {
+            return fail(
+                format!(
+                    "lease revoked: shard {} still open after the {}s lease deadline",
+                    lease.shard,
+                    ctx.cfg.lease_timeout.as_secs()
+                ),
+                true,
+            );
+        }
+        if last_beat.elapsed() >= ctx.cfg.heartbeat {
+            if let Err(e) = write_frame(stream, HB_FRAME) {
+                return fail(format!("heartbeat write failed mid-lease: {e}"), false);
+            }
+            last_beat = Instant::now();
+        }
+        let line = match reader.recv(stream) {
+            Ok(Recv::Idle) => {
+                if last_heard.elapsed() > idle_limit {
+                    return fail(
+                        format!(
+                            "lease revoked: peer silent for {}ms mid-lease",
+                            last_heard.elapsed().as_millis()
+                        ),
+                        true,
+                    );
+                }
+                continue;
+            }
+            Ok(Recv::Eof) => {
+                return fail("peer closed the connection mid-lease".to_string(), false)
+            }
+            Err(e) => {
+                if matches!(e, NfpError::ProtocolViolation { .. }) {
+                    hub.reject_frame();
+                }
+                return fail(e.to_string(), false);
+            }
+            Ok(Recv::Frame(line)) => line,
+        };
+        last_heard = Instant::now();
+        let Some(obj) = parse_flat(&line).map(Obj) else {
+            hub.reject_frame();
+            return fail("unparseable frame mid-lease".to_string(), false);
+        };
+        if obj.get("fin").is_some() {
+            if !got_ready {
+                hub.reject_frame();
+                return fail("fin before the ready handshake".to_string(), false);
+            }
+            let Some(fin) = parse_fin(&line) else {
+                hub.reject_frame();
+                return fail("corrupt or checksum-failed fin".to_string(), false);
+            };
+            return match check_fin(&fin, range, &slots) {
+                Ok(()) => Ok(Some(collect_range(slots, range))),
+                Err(e) => {
+                    hub.reject_frame();
+                    fail(e.to_string(), false)
+                }
+            };
+        } else if obj.get("crc").is_some() {
+            if !got_ready {
+                hub.reject_frame();
+                return fail("record before the ready handshake".to_string(), false);
+            }
+            if let Err(e) = accept_record(&line, range, &lease.faults, &mut slots) {
+                hub.reject_frame();
+                return fail(e.to_string(), false);
+            }
+        } else {
+            match parse_reply(&line) {
+                Ok(Reply::Hb) => {}
+                Ok(Reply::Ready { golden_instret }) => {
+                    if got_ready {
+                        hub.reject_frame();
+                        return fail("duplicate ready".to_string(), false);
+                    }
+                    if golden_instret != lease.hello.header.golden_instret {
+                        return fail(
+                            format!(
+                                "golden instruction count mismatch: coordinator expects {}, \
+                                 peer's rig ran {golden_instret}",
+                                lease.hello.header.golden_instret
+                            ),
+                            false,
+                        );
+                    }
+                    got_ready = true;
+                }
+                Ok(Reply::Error { detail }) => {
+                    return fail(format!("peer reported: {detail}"), false)
+                }
+                Ok(Reply::Done { .. }) => {
+                    hub.reject_frame();
+                    return fail(
+                        "stdin-protocol done frame on the TCP transport".to_string(),
+                        false,
+                    );
+                }
+                Err(e) => {
+                    hub.reject_frame();
+                    return fail(e.to_string(), false);
+                }
+            }
+        }
+    }
+}
+
+/// Validates one streamed record line against the lease: CRC (inside
+/// [`parse_record`]), leased range, no duplicates, and the exact fault
+/// the deterministic plan holds at that index. Distrust is the default:
+/// a remote peer's bytes prove themselves or the lease dies.
+fn accept_record(
+    line: &str,
+    range: (usize, usize),
+    faults: &[Fault],
+    slots: &mut Slots,
+) -> Result<usize, NfpError> {
+    let (index, rec, attempts) =
+        parse_record(line).ok_or_else(|| violation("corrupt or checksum-failed record line"))?;
+    if index < range.0 || index >= range.1 {
+        return Err(violation(format!(
+            "record {index} is outside the leased range {}..{}",
+            range.0, range.1
+        )));
+    }
+    if slots[index].is_some() {
+        return Err(violation(format!("duplicate record for injection {index}")));
+    }
+    if rec.fault != faults[index] {
+        return Err(violation(format!(
+            "record {index} does not match the deterministic fault plan"
+        )));
+    }
+    slots[index] = Some((rec, attempts));
+    Ok(index)
+}
+
+/// Validates a shard fin against what actually arrived: the claimed
+/// range, the record count, full coverage, and the plan-order digest.
+fn check_fin(fin: &FinRecord, range: (usize, usize), slots: &Slots) -> Result<(), NfpError> {
+    let (start, end) = range;
+    if (fin.range_start, fin.range_end) != (start as u64, end as u64) {
+        return Err(violation(format!(
+            "fin claims range {}..{} but the lease covers {start}..{end}",
+            fin.range_start, fin.range_end
+        )));
+    }
+    if fin.records != (end - start) as u64 {
+        return Err(violation(format!(
+            "fin claims {} records but the lease covers {}",
+            fin.records,
+            end - start
+        )));
+    }
+    if let Some(missing) = (start..end).find(|&i| slots[i].is_none()) {
+        return Err(violation(format!(
+            "fin arrived before record {missing} of the leased range"
+        )));
+    }
+    if fin.digest != range_digest(slots, range) {
+        return Err(violation(
+            "fin digest disagrees with the records it claims to cover",
+        ));
+    }
+    Ok(())
+}
+
+fn collect_range(slots: Slots, range: (usize, usize)) -> LeaseRecords {
+    slots
+        .into_iter()
+        .enumerate()
+        .skip(range.0)
+        .take(range.1 - range.0)
+        .filter_map(|(i, s)| s.map(|(rec, attempts)| (i, rec, attempts)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The campaign side: one thread per admitted submission.
+// ---------------------------------------------------------------------
+
+/// Per-shard dispatch state inside one campaign.
+struct Track {
+    done: bool,
+    lost: bool,
+    retries: u32,
+    attempts: u32,
+    in_flight: usize,
+    leased_at: Option<Instant>,
+    speculated: bool,
+    retry_at: Option<Instant>,
+    abandoned: Arc<AtomicBool>,
+}
+
+/// Executes one admitted submission end to end: plan the campaign,
+/// split it into shard leases, ride the lease events (retry with
+/// backoff, revoke, speculate, degrade to the local pool), and stream
+/// the merged report back to the client. Exits abandon every
+/// outstanding lease so peers never work for a dead campaign.
+fn run_remote_campaign(
+    mut client: TcpStream,
+    mut creader: FrameReader,
+    req: CampaignRequest,
+    ctx: &Ctx,
+) {
+    let label = format!("client '{}'", req.client);
+    // Admission first: nothing is planned, no memory is committed, for
+    // a submission the server will not run.
+    match ctx.admission.try_enter(&req.client) {
+        Err(e) => {
+            let reason = match &e {
+                NfpError::Admission { reason, .. } => reason.clone(),
+                other => other.to_string(),
+            };
+            let _ = write_frame(&mut client, &render_reject(&req.client, &reason));
+            eprintln!("serve: refused {label}: {reason}");
+            return;
+        }
+        Ok(Gate::Admitted) => {}
+        Ok(Gate::Queued) => {
+            eprintln!("serve: queued {label} behind the in-flight limit");
+            let mut last_beat = Instant::now();
+            loop {
+                if ctx.admission.wait(&req.client, Duration::from_millis(100)) {
+                    break;
+                }
+                if ctx.hub.shutdown.load(Ordering::SeqCst) {
+                    ctx.admission.abandon_queue(&req.client);
+                    let _ = write_frame(&mut client, &render_error("coordinator shutting down"));
+                    return;
+                }
+                if last_beat.elapsed() >= CLIENT_BEAT {
+                    if write_frame(&mut client, HB_FRAME).is_err() {
+                        ctx.admission.abandon_queue(&req.client);
+                        return;
+                    }
+                    last_beat = Instant::now();
+                }
+                match creader.recv(&mut client) {
+                    Ok(Recv::Idle) => {}
+                    Ok(Recv::Frame(line)) if is_hb(&line) => {}
+                    _ => {
+                        // The queued client died or babbled: its place
+                        // goes back to the pool.
+                        ctx.admission.abandon_queue(&req.client);
+                        eprintln!("serve: {label} left the queue");
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    let _slot = AdmissionGuard(&ctx.admission);
+    eprintln!(
+        "serve: campaign '{}' ({} injections, {} mode) admitted for {label}",
+        req.kernel,
+        req.campaign.injections,
+        req.mode.suffix()
+    );
+
+    // Plan the campaign. The golden run here is the trust anchor every
+    // remote result must re-derive (golden handshake, CRCs, digests).
+    let fail_client = |client: &mut TcpStream, detail: &str| {
+        let _ = write_frame(client, &render_error(detail));
+        eprintln!("serve: campaign for {label} failed: {detail}");
+    };
+    let kernels = match all_kernels(&ctx.cfg.preset.build()) {
+        Ok(k) => k,
+        Err(e) => return fail_client(&mut client, &e.to_string()),
+    };
+    let Some(kernel) = kernels.iter().find(|k| k.name == req.kernel) else {
+        return fail_client(
+            &mut client,
+            &format!(
+                "kernel '{}' is not in the {} preset",
+                req.kernel,
+                ctx.cfg.preset.name()
+            ),
+        );
+    };
+    let campaign = req.campaign.clone();
+    let (rig, space) = match CampaignRig::prepare(kernel, req.mode, &campaign) {
+        Ok(r) => r,
+        Err(e) => return fail_client(&mut client, &e.to_string()),
+    };
+    let faults = Arc::new(plan(&space, campaign.injections, campaign.seed));
+    let live_now = ctx.hub.live_peers.load(Ordering::SeqCst) as u32;
+    let count = if req.shards == 0 {
+        live_now.max(1)
+    } else {
+        req.shards
+    }
+    .min(campaign.injections.max(1) as u32)
+    .max(1);
+
+    let (ev_tx, ev_rx) = mpsc::channel::<LeaseEvent>();
+    let mut tracks: Vec<Track> = (0..count)
+        .map(|_| Track {
+            done: false,
+            lost: false,
+            retries: 0,
+            attempts: 0,
+            in_flight: 0,
+            leased_at: None,
+            speculated: false,
+            retry_at: None,
+            abandoned: Arc::new(AtomicBool::new(false)),
+        })
+        .collect();
+    let hello_for = |shard: u32| WorkerHello {
+        header: JournalHeader::bind(
+            kernel,
+            req.mode,
+            &campaign,
+            rig.golden_instret,
+            Some(ShardSpec {
+                index: shard,
+                count,
+            }),
+        ),
+        preset: ctx.cfg.preset,
+        heartbeat_ms: ctx.cfg.heartbeat.as_millis() as u64,
+        spin_at: None,
+        abort_at: None,
+    };
+    let dispatch = |t: &mut Track, shard: u32| {
+        t.attempts += 1;
+        t.in_flight += 1;
+        t.leased_at = None;
+        ctx.hub.push_lease(Lease {
+            hello: hello_for(shard),
+            faults: Arc::clone(&faults),
+            shard,
+            attempt: t.attempts,
+            events: ev_tx.clone(),
+            abandoned: Arc::clone(&t.abandoned),
+        });
+    };
+    let abandon_all = |tracks: &[Track]| {
+        for t in tracks {
+            t.abandoned.store(true, Ordering::SeqCst);
+        }
+    };
+    for (shard, t) in tracks.iter_mut().enumerate() {
+        dispatch(t, shard as u32);
+    }
+
+    // Ride the lease events. Counters snapshot the hub so the footer
+    // reports this campaign's share of the network churn.
+    let started = Instant::now();
+    let mut last_beat = Instant::now();
+    let reconnects0 = ctx.hub.reconnects.load(Ordering::SeqCst);
+    let rejected0 = ctx.hub.frames_rejected.load(Ordering::SeqCst);
+    let retired0 = ctx.hub.peers_retired.load(Ordering::SeqCst);
+    let mut slots: Slots = vec![None; faults.len()];
+    let mut kills = 0usize;
+    let mut respawns = 0usize;
+    let mut revoked_n = 0usize;
+    let mut fallback_note: Option<String> = None;
+    loop {
+        match ev_rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(LeaseEvent::Started { shard }) => {
+                tracks[shard as usize].leased_at = Some(Instant::now());
+            }
+            Ok(LeaseEvent::Done { shard, records }) => {
+                let t = &mut tracks[shard as usize];
+                t.in_flight = t.in_flight.saturating_sub(1);
+                if !t.done && !t.lost {
+                    t.done = true;
+                    t.abandoned.store(true, Ordering::SeqCst);
+                    for (i, rec, attempts) in records {
+                        slots[i] = Some((rec, attempts));
+                    }
+                    eprintln!("serve: shard {shard} of {label} complete");
+                }
+            }
+            Ok(LeaseEvent::Failed {
+                shard,
+                detail,
+                revoked,
+            }) => {
+                let t = &mut tracks[shard as usize];
+                t.in_flight = t.in_flight.saturating_sub(1);
+                if revoked {
+                    revoked_n += 1;
+                }
+                if !t.done && !t.lost {
+                    eprintln!("serve: shard {shard} lease failed ({detail})");
+                    if t.in_flight == 0 {
+                        t.retries += 1;
+                        if t.retries > ctx.cfg.shard_retries {
+                            let (s, e) = ShardSpec {
+                                index: shard,
+                                count,
+                            }
+                            .range(campaign.injections);
+                            if req.allow_partial {
+                                t.lost = true;
+                                eprintln!(
+                                    "serve: shard {shard} lost after exhausting its \
+                                     re-dispatch budget"
+                                );
+                            } else {
+                                abandon_all(&tracks);
+                                return fail_client(
+                                    &mut client,
+                                    &NfpError::ShardLost {
+                                        shard,
+                                        start: s as u64,
+                                        end: e as u64,
+                                        detail,
+                                    }
+                                    .to_string(),
+                                );
+                            }
+                        } else {
+                            t.retry_at = Some(
+                                Instant::now()
+                                    + backoff_delay(campaign.seed, shard as usize, t.retries),
+                            );
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            // Unreachable: this function holds `ev_tx` until it returns.
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+
+        let now = Instant::now();
+        // Re-dispatch shards whose backoff expired.
+        for shard in 0..count {
+            let t = &mut tracks[shard as usize];
+            if t.done || t.lost || t.in_flight > 0 {
+                continue;
+            }
+            if t.retry_at.is_some_and(|at| now >= at) {
+                t.retry_at = None;
+                dispatch(t, shard);
+            }
+        }
+        // Straggler speculation: duplicate a lease that has been held
+        // too long. Determinism makes first-valid-wins safe.
+        if let Some(limit) = ctx.cfg.straggler {
+            for shard in 0..count {
+                let t = &mut tracks[shard as usize];
+                if t.done || t.lost || t.speculated || t.in_flight == 0 {
+                    continue;
+                }
+                if t.leased_at.is_some_and(|at| at.elapsed() > limit) {
+                    t.speculated = true;
+                    eprintln!(
+                        "serve: shard {shard} straggling; dispatching a speculative duplicate"
+                    );
+                    dispatch(t, shard);
+                }
+            }
+        }
+        // Graceful degradation: no live peers past the grace period
+        // means the network is not coming to help — run what remains
+        // on the local pool, byte-identically.
+        if ctx.hub.live_peers.load(Ordering::SeqCst) == 0 && started.elapsed() >= ctx.cfg.peer_grace
+        {
+            let pending: Vec<u32> = (0..count)
+                .filter(|&s| {
+                    let t = &tracks[s as usize];
+                    !t.done && !t.lost
+                })
+                .collect();
+            if !pending.is_empty() {
+                let note = format!(
+                    "no live peers after {}ms; falling back to the local worker pool for \
+                     {} shards",
+                    ctx.cfg.peer_grace.as_millis(),
+                    pending.len()
+                );
+                eprintln!("serve: {note}");
+                let _ = write_frame(&mut client, &render_note(&note));
+                fallback_note = Some(note);
+                abandon_all(&tracks);
+                for shard in pending {
+                    let mut sup = SupervisorConfig::new(campaign.clone());
+                    sup.isolation = ctx.cfg.isolation;
+                    sup.preset = ctx.cfg.preset;
+                    sup.worker_bin = ctx.cfg.worker_bin.clone();
+                    if sup.isolation == WorkerIsolation::Process {
+                        sup.deadline = Some(Duration::from_secs(300));
+                    }
+                    sup.shard = Some(ShardSpec {
+                        index: shard,
+                        count,
+                    });
+                    match run_supervised(kernel, req.mode, &sup) {
+                        Ok(out) => {
+                            kills += out.kills;
+                            respawns += out.respawns;
+                            let (start, _) = ShardSpec {
+                                index: shard,
+                                count,
+                            }
+                            .range(campaign.injections);
+                            for (k, rec) in out.result.records.into_iter().enumerate() {
+                                slots[start + k] = Some((rec, 1));
+                            }
+                            tracks[shard as usize].done = true;
+                        }
+                        Err(e) => {
+                            if req.allow_partial {
+                                tracks[shard as usize].lost = true;
+                                eprintln!("serve: local fallback of shard {shard} failed: {e}");
+                            } else {
+                                return fail_client(&mut client, &e.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Client liveness: a dead client frees the workers immediately.
+        if last_beat.elapsed() >= CLIENT_BEAT {
+            if write_frame(&mut client, HB_FRAME).is_err() {
+                eprintln!("serve: {label} unreachable; abandoning the campaign");
+                abandon_all(&tracks);
+                return;
+            }
+            last_beat = Instant::now();
+        }
+        match creader.recv(&mut client) {
+            Ok(Recv::Idle) => {}
+            Ok(Recv::Frame(line)) => {
+                if !is_hb(&line) {
+                    ctx.hub.reject_frame();
+                }
+            }
+            Ok(Recv::Eof) | Err(_) => {
+                eprintln!("serve: {label} disconnected; abandoning the campaign");
+                abandon_all(&tracks);
+                return;
+            }
+        }
+        if ctx.hub.shutdown.load(Ordering::SeqCst) {
+            abandon_all(&tracks);
+            return fail_client(&mut client, "coordinator shutting down");
+        }
+        if tracks.iter().all(|t| t.done || t.lost) {
+            break;
+        }
+    }
+    // Stale speculative leases must not outlive the campaign.
+    abandon_all(&tracks);
+
+    let missing = missing_ranges_of(&slots);
+    let records: Vec<InjectionRecord> = slots.into_iter().flatten().map(|(rec, _)| rec).collect();
+    let footer = CampaignFooter {
+        kills,
+        respawns,
+        shards: count,
+        shard_retries: tracks.iter().map(|t| t.retries as usize).sum(),
+        speculated: tracks.iter().filter(|t| t.speculated).count(),
+        missing_ranges: missing,
+        reconnects: ctx.hub.reconnects.load(Ordering::SeqCst) - reconnects0,
+        leases_revoked: revoked_n,
+        frames_rejected: ctx.hub.frames_rejected.load(Ordering::SeqCst) - rejected0,
+        peers_retired: ctx.hub.peers_retired.load(Ordering::SeqCst) - retired0,
+        dispatch: Some(rig.machine.dispatch_stats()),
+    };
+    let result = assemble(kernel, req.mode, &rig, records);
+    let _ = fallback_note; // delivered above; kept for symmetry with notes
+    for line in report_campaign_footer(&footer).lines() {
+        if write_frame(&mut client, &render_note(line)).is_err() {
+            eprintln!("serve: {label} unreachable during the footer; result discarded");
+            return;
+        }
+    }
+    let report = report_campaign(&result);
+    let mut rest = report.as_str();
+    while !rest.is_empty() {
+        let mut cut = rest.len().min(REPORT_CHUNK);
+        while !rest.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let (head, tail) = rest.split_at(cut);
+        if write_frame(&mut client, &render_report_chunk(head)).is_err() {
+            eprintln!("serve: {label} unreachable during the report; result discarded");
+            return;
+        }
+        rest = tail;
+    }
+    let _ = write_frame(&mut client, END_FRAME);
+    ctx.served.fetch_add(1, Ordering::SeqCst);
+    eprintln!("serve: campaign '{}' for {label} complete", result.name);
+}
+
+fn is_hb(line: &str) -> bool {
+    parse_flat(line)
+        .map(Obj)
+        .is_some_and(|o| o.str("kind") == Some("hb"))
+}
+
+// ---------------------------------------------------------------------
+// The submit client.
+// ---------------------------------------------------------------------
+
+/// What a remote campaign submission returned.
+#[derive(Debug, Clone)]
+pub struct RemoteOutcome {
+    /// The campaign report, byte-identical to a local same-seed run.
+    pub report: String,
+    /// Progress/footer notes the coordinator sent along the way
+    /// (stderr material; the report stays byte-stable).
+    pub notes: Vec<String>,
+}
+
+/// Submits a campaign to a coordinator and blocks until the report
+/// (or a typed refusal/failure) comes back. [`submit_campaign_with`]
+/// with a note sink.
+pub fn submit_campaign(addr: &str, req: &CampaignRequest) -> Result<RemoteOutcome, NfpError> {
+    submit_campaign_with(addr, req, |_| {})
+}
+
+/// Submits a campaign, invoking `on_note` for every progress note as
+/// it arrives. Admission refusals come back as [`NfpError::Admission`],
+/// transport failures as [`NfpError::Net`]; total coordinator silence
+/// beyond an internal deadline is a typed error, never a hang.
+pub fn submit_campaign_with(
+    addr: &str,
+    req: &CampaignRequest,
+    mut on_note: impl FnMut(&str),
+) -> Result<RemoteOutcome, NfpError> {
+    let net = |detail: String| NfpError::Net {
+        addr: addr.to_string(),
+        detail,
+    };
+    let mut stream = tcp_connect(addr).map_err(net)?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(READ_TICK))
+        .map_err(|e| net(format!("set read timeout: {e}")))?;
+    stream
+        .set_write_timeout(Some(WRITE_TIMEOUT))
+        .map_err(|e| net(format!("set write timeout: {e}")))?;
+    write_frame(&mut stream, &render_submit(req)).map_err(|e| send_err(addr, e))?;
+    let mut reader = FrameReader::new(addr);
+    let mut report = String::new();
+    let mut notes = Vec::new();
+    let mut last_heard = Instant::now();
+    loop {
+        let line = match reader.recv(&mut stream)? {
+            Recv::Idle => {
+                if last_heard.elapsed() > CLIENT_SILENCE {
+                    return Err(net(format!(
+                        "coordinator silent for {}s",
+                        CLIENT_SILENCE.as_secs()
+                    )));
+                }
+                continue;
+            }
+            Recv::Eof => {
+                return Err(net(
+                    "coordinator closed the connection before the report completed".to_string(),
+                ))
+            }
+            Recv::Frame(line) => line,
+        };
+        last_heard = Instant::now();
+        let obj = Obj(parse_flat(&line)
+            .ok_or_else(|| violation(format!("unparseable frame from coordinator: {line:?}")))?);
+        match obj.str("kind") {
+            Some("hb") => {}
+            Some("note") => {
+                let text = obj
+                    .str("text")
+                    .ok_or_else(|| violation("note frame lacks text"))?
+                    .to_string();
+                on_note(&text);
+                notes.push(text);
+            }
+            Some("report") => {
+                report.push_str(
+                    obj.str("chunk")
+                        .ok_or_else(|| violation("report frame lacks a chunk"))?,
+                );
+            }
+            Some("end") => return Ok(RemoteOutcome { report, notes }),
+            Some("reject") => {
+                return Err(NfpError::Admission {
+                    client: obj.str("client").unwrap_or(&req.client).to_string(),
+                    reason: obj.str("reason").unwrap_or("(no reason given)").to_string(),
+                })
+            }
+            Some("error") => {
+                return Err(net(format!(
+                    "coordinator reported: {}",
+                    obj.str("detail").unwrap_or("(no detail)")
+                )))
+            }
+            Some("bye") => return Err(net("coordinator is shutting down".to_string())),
+            other => return Err(violation(format!("unknown frame kind {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::{fin_line, record_line};
+    use nfp_core::Outcome;
+    use nfp_sim::FaultTarget;
+
+    fn fault(i: u64) -> Fault {
+        Fault {
+            at: 100 + i,
+            target: FaultTarget::IntReg {
+                index: (i % 8) as u8,
+                bit: (i % 32) as u8,
+            },
+        }
+    }
+
+    fn record(i: u64) -> InjectionRecord {
+        InjectionRecord {
+            fault: fault(i),
+            category: None,
+            outcome: Outcome::Masked,
+        }
+    }
+
+    // -- admission ----------------------------------------------------
+
+    #[test]
+    fn zero_inflight_refuses_immediately_and_typed() {
+        let adm = Admission::new(0, 4);
+        match adm.try_enter("tenant-a") {
+            Err(NfpError::Admission { client, reason }) => {
+                assert_eq!(client, "tenant-a");
+                assert!(reason.contains("admits no campaigns"), "{reason}");
+            }
+            other => panic!("expected an admission refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_cap_refuses_the_overflowing_client() {
+        let adm = Admission::new(1, 1);
+        assert_eq!(adm.try_enter("a").unwrap(), Gate::Admitted);
+        assert_eq!(adm.try_enter("a").unwrap(), Gate::Queued);
+        match adm.try_enter("a") {
+            Err(NfpError::Admission { reason, .. }) => {
+                assert!(reason.contains("per-client cap"), "{reason}");
+            }
+            other => panic!("expected an admission refusal, got {other:?}"),
+        }
+        // The cap is per client: another tenant can still queue.
+        assert_eq!(adm.try_enter("b").unwrap(), Gate::Queued);
+    }
+
+    #[test]
+    fn queued_submission_admits_once_a_slot_frees() {
+        let adm = Arc::new(Admission::new(1, 1));
+        assert_eq!(adm.try_enter("a").unwrap(), Gate::Admitted);
+        assert_eq!(adm.try_enter("b").unwrap(), Gate::Queued);
+        // Nothing freed yet: the bounded wait comes back empty-handed.
+        assert!(!adm.wait("b", Duration::from_millis(10)));
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while Instant::now() < deadline {
+                    if adm.wait("b", Duration::from_millis(50)) {
+                        return true;
+                    }
+                }
+                false
+            })
+        };
+        adm.finish();
+        assert!(waiter.join().unwrap(), "queued waiter was never admitted");
+        // The queue place converted; abandoning it now is a no-op.
+        adm.abandon_queue("b");
+        adm.finish();
+    }
+
+    // -- record acceptance (the distrust boundary) --------------------
+
+    #[test]
+    fn corrupt_or_checksum_failed_records_are_refused() {
+        let faults: Vec<Fault> = (0..4).map(fault).collect();
+        let mut slots: Slots = vec![None; 4];
+        let good = record_line(1, &record(1), 1);
+        let tampered = good.replace("\"at\":101", "\"at\":102");
+        for bad in ["not json", "{\"i\":1}", tampered.as_str()] {
+            let err = accept_record(bad, (0, 4), &faults, &mut slots).unwrap_err();
+            assert!(
+                matches!(&err, NfpError::ProtocolViolation { detail }
+                    if detail.contains("corrupt or checksum-failed")),
+                "{bad:?} → {err}"
+            );
+        }
+        assert!(slots.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn out_of_range_and_interleaved_records_are_refused() {
+        let faults: Vec<Fault> = (0..8).map(fault).collect();
+        let mut slots: Slots = vec![None; 8];
+        // The lease covers 2..4; a record for 5 belongs to another
+        // shard — out-of-order/interleaved shard output is a violation.
+        let err =
+            accept_record(&record_line(5, &record(5), 1), (2, 4), &faults, &mut slots).unwrap_err();
+        assert!(
+            matches!(&err, NfpError::ProtocolViolation { detail }
+                if detail.contains("outside the leased range")),
+            "{err}"
+        );
+        // In-range is fine, in either order within the range.
+        accept_record(&record_line(3, &record(3), 1), (2, 4), &faults, &mut slots).unwrap();
+        accept_record(&record_line(2, &record(2), 1), (2, 4), &faults, &mut slots).unwrap();
+    }
+
+    #[test]
+    fn duplicate_records_are_refused() {
+        let faults: Vec<Fault> = (0..4).map(fault).collect();
+        let mut slots: Slots = vec![None; 4];
+        let line = record_line(1, &record(1), 1);
+        accept_record(&line, (0, 4), &faults, &mut slots).unwrap();
+        let err = accept_record(&line, (0, 4), &faults, &mut slots).unwrap_err();
+        assert!(
+            matches!(&err, NfpError::ProtocolViolation { detail } if detail.contains("duplicate")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn plan_binding_mismatches_are_refused() {
+        let faults: Vec<Fault> = (0..4).map(fault).collect();
+        let mut slots: Slots = vec![None; 4];
+        // A record whose CRC is fine but whose fault is not what the
+        // deterministic plan holds at that index: a confused (or
+        // malicious) worker answering some other campaign.
+        let line = record_line(1, &record(2), 1);
+        let err = accept_record(&line, (0, 4), &faults, &mut slots).unwrap_err();
+        assert!(
+            matches!(&err, NfpError::ProtocolViolation { detail }
+                if detail.contains("deterministic fault plan")),
+            "{err}"
+        );
+    }
+
+    // -- fin validation -----------------------------------------------
+
+    fn filled_slots(range: (usize, usize), len: usize) -> Slots {
+        let mut slots: Slots = vec![None; len];
+        for (i, slot) in slots.iter_mut().enumerate().take(range.1).skip(range.0) {
+            *slot = Some((record(i as u64), 1));
+        }
+        slots
+    }
+
+    #[test]
+    fn fin_validation_demands_range_count_coverage_and_digest() {
+        let range = (2, 6);
+        let slots = filled_slots(range, 8);
+        let good = FinRecord {
+            records: 4,
+            range_start: 2,
+            range_end: 6,
+            digest: range_digest(&slots, range),
+        };
+        check_fin(&good, range, &slots).unwrap();
+        // Wrong range.
+        let bad = FinRecord {
+            range_start: 0,
+            ..good
+        };
+        assert!(check_fin(&bad, range, &slots).is_err());
+        // Wrong count.
+        let bad = FinRecord { records: 3, ..good };
+        assert!(check_fin(&bad, range, &slots).is_err());
+        // Wrong digest.
+        let bad = FinRecord {
+            digest: good.digest ^ 1,
+            ..good
+        };
+        assert!(check_fin(&bad, range, &slots).is_err());
+        // A gap in coverage (fin before every record arrived).
+        let mut torn = filled_slots(range, 8);
+        torn[4] = None;
+        let err = check_fin(&good, range, &torn).unwrap_err();
+        assert!(
+            matches!(&err, NfpError::ProtocolViolation { detail } if detail.contains("record 4")),
+            "{err}"
+        );
+        // And the round-tripped wire rendering still parses and checks.
+        let fin = parse_fin(&fin_line(&good)).unwrap();
+        check_fin(&fin, range, &slots).unwrap();
+    }
+
+    // -- submit frames ------------------------------------------------
+
+    #[test]
+    fn submit_frames_roundtrip() {
+        let req = CampaignRequest {
+            client: "tenant \"a\"".to_string(),
+            kernel: "fse_img00".to_string(),
+            mode: Mode::Float,
+            campaign: CampaignConfig {
+                injections: 400,
+                seed: 0xfeed_5eed,
+                checkpoints: 8,
+                wall: Some(Duration::from_millis(750)),
+                dispatch: nfp_sim::Dispatch::Traced,
+                escalation: 2,
+            },
+            shards: 4,
+            allow_partial: true,
+        };
+        let parsed = parse_submit(&render_submit(&req)).unwrap();
+        assert_eq!(parsed.client, req.client);
+        assert_eq!(parsed.kernel, req.kernel);
+        assert_eq!(parsed.mode, req.mode);
+        assert_eq!(parsed.campaign.injections, req.campaign.injections);
+        assert_eq!(parsed.campaign.seed, req.campaign.seed);
+        assert_eq!(parsed.campaign.checkpoints, req.campaign.checkpoints);
+        assert_eq!(parsed.campaign.wall, req.campaign.wall);
+        assert_eq!(parsed.campaign.dispatch, req.campaign.dispatch);
+        assert_eq!(parsed.campaign.escalation, req.campaign.escalation);
+        assert_eq!(parsed.shards, req.shards);
+        assert_eq!(parsed.allow_partial, req.allow_partial);
+        // No wall deadline survives as None, not 0.
+        let req = CampaignRequest {
+            campaign: CampaignConfig {
+                wall: None,
+                ..req.campaign
+            },
+            ..req
+        };
+        assert_eq!(
+            parse_submit(&render_submit(&req)).unwrap().campaign.wall,
+            None
+        );
+    }
+
+    #[test]
+    fn submit_version_mismatch_is_typed() {
+        let req = CampaignRequest {
+            client: "cli".to_string(),
+            kernel: "fse_img00".to_string(),
+            mode: Mode::Float,
+            campaign: CampaignConfig::default(),
+            shards: 0,
+            allow_partial: false,
+        };
+        let v99 = render_submit(&req).replacen("\"v\":1", "\"v\":99", 1);
+        let err = parse_submit(&v99).unwrap_err();
+        assert!(
+            matches!(&err, NfpError::ProtocolViolation { detail }
+                if detail.contains("version mismatch")),
+            "{err}"
+        );
+        assert!(parse_submit("garbage").is_err());
+        assert!(parse_submit(HB_FRAME).is_err());
+    }
+}

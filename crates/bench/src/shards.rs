@@ -28,11 +28,11 @@
 //! degrades the report to explicit missing ranges instead of failing
 //! the campaign.
 
+use crate::backoff::backoff_sleep;
 use crate::campaign::{assemble, CampaignConfig, CampaignResult, CampaignRig, InjectionRecord};
 use crate::evaluation::Mode;
 use crate::supervisor::{
-    backoff_sleep, load_journal, parse_header, run_supervised, JournalHeader, SupervisorConfig,
-    SupervisorOutcome,
+    load_journal, parse_header, run_supervised, JournalHeader, SupervisorConfig, SupervisorOutcome,
 };
 use nfp_core::NfpError;
 use nfp_sim::fault::plan;
@@ -146,6 +146,8 @@ pub struct ShardOutcome {
     /// Injection ranges absent from the merged result (only ever
     /// non-empty with [`ShardConfig::allow_partial`]).
     pub missing_ranges: Vec<(u64, u64)>,
+    /// Simulator dispatch counters from the merge's golden run.
+    pub dispatch: nfp_sim::DispatchStats,
 }
 
 /// What [`merge_journals`] produced.
@@ -158,6 +160,8 @@ pub struct MergeOutcome {
     /// Uncovered injection ranges (only ever non-empty when merging
     /// with `allow_partial`).
     pub missing_ranges: Vec<(u64, u64)>,
+    /// Simulator dispatch counters from the merge's golden run.
+    pub dispatch: nfp_sim::DispatchStats,
 }
 
 /// The canonical journal path for shard `index` of `count` derived from
@@ -434,6 +438,7 @@ pub fn run_sharded(
         shard_retries: total_retries,
         speculated,
         missing_ranges: merged.missing_ranges,
+        dispatch: merged.dispatch,
     })
 }
 
@@ -472,7 +477,7 @@ pub fn peek_campaign(path: &Path) -> Result<(String, Mode, CampaignConfig), NfpE
 }
 
 /// Coalesces the `None` runs of a slot table into `(start, end)` ranges.
-fn missing_ranges_of(slots: &[Option<(InjectionRecord, u32)>]) -> Vec<(u64, u64)> {
+pub(crate) fn missing_ranges_of(slots: &[Option<(InjectionRecord, u32)>]) -> Vec<(u64, u64)> {
     let mut out: Vec<(u64, u64)> = Vec::new();
     for (i, slot) in slots.iter().enumerate() {
         if slot.is_some() {
@@ -599,6 +604,7 @@ pub fn merge_journals(
     }
     let records: Vec<InjectionRecord> = slots.into_iter().flatten().map(|(r, _)| r).collect();
     Ok(MergeOutcome {
+        dispatch: rig.machine.dispatch_stats(),
         result: assemble(kernel, mode, &rig, records),
         shards: shard_count.unwrap_or(0),
         missing_ranges: missing,

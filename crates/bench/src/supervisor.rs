@@ -55,6 +55,7 @@
 //! {"i":1,"at":90211,"target":"Ram","a":1090523136,"b":30,"cat":0,"outcome":"SDC","attempts":1}
 //! ```
 
+use crate::backoff::{backoff_sleep, TICK};
 use crate::campaign::{assemble, CampaignConfig, CampaignResult, CampaignRig, InjectionRecord};
 use crate::crc::{crc32, crc32_finish, crc32_update, CRC_INIT};
 use crate::evaluation::Mode;
@@ -66,7 +67,7 @@ use crate::worker::{
 };
 use nfp_core::{HarnessCause, NfpError, Outcome};
 use nfp_sim::fault::plan;
-use nfp_sim::{Dispatch, Fault, FaultTarget, SimError};
+use nfp_sim::{Dispatch, DispatchStats, Fault, FaultTarget, SimError};
 use nfp_sparc::Category;
 use nfp_workloads::Kernel;
 use std::io::{BufRead, Seek, Write};
@@ -224,6 +225,10 @@ pub struct SupervisorOutcome {
     /// Worker processes respawned after a kill, death, or failed
     /// spawn.
     pub respawns: usize,
+    /// Simulator dispatch counters from the golden run (the replay
+    /// workers run on their own rigs; the golden run is the
+    /// deterministic reference every mode shares).
+    pub dispatch: DispatchStats,
 }
 
 // ---------------------------------------------------------------------
@@ -283,6 +288,22 @@ impl JournalHeader {
     /// The plan slice this journal is bound to.
     pub(crate) fn range(&self) -> (usize, usize) {
         (self.range_start as usize, self.range_end as usize)
+    }
+
+    /// True when `other` binds the same campaign — every field except
+    /// the shard slice. A connected worker keys its rig cache on this:
+    /// two leases of different shards of one campaign share the rig
+    /// and the fault plan, costing one golden run instead of two.
+    pub(crate) fn same_campaign(&self, other: &JournalHeader) -> bool {
+        self.kernel == other.kernel
+            && self.mode == other.mode
+            && self.injections == other.injections
+            && self.seed == other.seed
+            && self.checkpoints == other.checkpoints
+            && self.dispatch == other.dispatch
+            && self.escalation == other.escalation
+            && self.wall_ms == other.wall_ms
+            && self.golden_instret == other.golden_instret
     }
 
     pub(crate) fn render(&self) -> String {
@@ -723,7 +744,7 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 /// The quarantine record for an injection whose replay panicked twice.
 /// Category attribution comes from the replay that panicked, so it is
 /// untrusted and left empty.
-fn quarantine_record(fault: Fault) -> InjectionRecord {
+pub(crate) fn quarantine_record(fault: Fault) -> InjectionRecord {
     InjectionRecord {
         fault,
         category: None,
@@ -767,10 +788,6 @@ pub(crate) fn replay_spinning(
 // ---------------------------------------------------------------------
 // The process-isolated worker pool.
 // ---------------------------------------------------------------------
-
-/// Poll cadence for slot drivers waiting on worker lines, deadlines,
-/// and the stop flag.
-const TICK: Duration = Duration::from_millis(20);
 
 /// A live worker subprocess: the child handle, its stdin, and a channel
 /// fed by a detached reader thread framing the child's stdout (blocking
@@ -846,32 +863,6 @@ fn shutdown(mut w: WorkerProc) {
     }
     let _ = w.child.kill();
     let _ = w.child.wait();
-}
-
-/// SplitMix64, the jitter PRNG for respawn backoff: deterministic in
-/// (campaign seed, slot, respawn ordinal) so backoff timing never
-/// involves wall clocks or global RNG state — campaign results must
-/// not depend on either.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// Capped exponential backoff before respawn `n` (1-based) of `slot`:
-/// 50·2ⁿ⁻¹ ms capped at 2 s, plus up to 50 ms of seeded jitter so a
-/// pool of crash-looping slots does not respawn in lockstep.
-/// Interruptible — polls the stop flag every tick.
-pub(crate) fn backoff_sleep(seed: u64, slot: usize, n: u32, stop: &AtomicBool) {
-    let base = 50u64.saturating_mul(1 << (n - 1).min(10)).min(2_000);
-    let jitter = splitmix64(seed ^ ((slot as u64) << 32) ^ u64::from(n)) % 50;
-    let mut left = Duration::from_millis(base + jitter);
-    while !left.is_zero() && !stop.load(Ordering::Relaxed) {
-        let nap = left.min(TICK);
-        std::thread::sleep(nap);
-        left -= nap;
-    }
 }
 
 /// Probes that worker subprocesses can be spawned at all. The probe
@@ -1631,6 +1622,7 @@ pub fn run_supervised(
             .collect::<Result<_, _>>()?
     };
     Ok(SupervisorOutcome {
+        dispatch: rig.machine.dispatch_stats(),
         result: assemble(kernel, mode, &rig, records),
         quarantined,
         resumed,
@@ -1711,20 +1703,6 @@ mod tests {
         ] {
             assert!(parse_record(bad).is_none(), "accepted: {bad:?}");
         }
-    }
-
-    #[test]
-    fn backoff_is_capped_deterministic_and_interruptible() {
-        // Same (seed, slot, ordinal) → same jitter, different slot →
-        // (almost surely) different jitter; the sequence never consults
-        // a clock.
-        assert_eq!(splitmix64(42), splitmix64(42));
-        assert_ne!(splitmix64(1), splitmix64(1 ^ (1u64 << 32)));
-        // A raised stop flag turns any backoff into (at most) one tick.
-        let stop = AtomicBool::new(true);
-        let begun = Instant::now();
-        backoff_sleep(7, 3, 30, &stop); // ordinal 30 would be 2s+ uncapped
-        assert!(begun.elapsed() < Duration::from_millis(500));
     }
 
     fn test_header() -> JournalHeader {

@@ -30,19 +30,26 @@
 //!
 //! [`WorkerIsolation::Process`]: crate::supervisor::WorkerIsolation::Process
 
+use crate::backoff::backoff_sleep;
 use crate::campaign::{CampaignConfig, CampaignRig, InjectionRecord};
 use crate::evaluation::Mode;
 use crate::flatjson::{esc, parse_flat, Obj};
-use crate::supervisor::{replay_spinning, target_fields, target_from_fields, JournalHeader};
+use crate::net::{render_join, write_frame, FrameReader, JoinFrame, Recv};
+use crate::supervisor::{
+    fin_line, quarantine_record, range_digest, record_line, replay_spinning, target_fields,
+    target_from_fields, FinRecord, JournalHeader,
+};
 use nfp_core::{NfpError, Outcome};
 use nfp_sim::fault::plan;
 use nfp_sim::{Dispatch, Fault};
 use nfp_sparc::Category;
 use nfp_workloads::Preset;
 use std::io::{BufRead, Read, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Workload preset a worker process rebuilds its kernel registry from.
 /// Carried by name in the hello frame ([`Preset`] itself is a bag of
@@ -413,17 +420,7 @@ fn worker_main() -> Result<(), NfpError> {
         return Ok(());
     };
     let hello = parse_hello(&line)?;
-    let campaign = CampaignConfig {
-        injections: usize::try_from(hello.header.injections)
-            .map_err(|_| violation("hello injection count overflows usize"))?,
-        seed: hello.header.seed,
-        checkpoints: usize::try_from(hello.header.checkpoints)
-            .map_err(|_| violation("hello checkpoint count overflows usize"))?,
-        wall: hello.header.wall_ms.map(Duration::from_millis),
-        dispatch: hello.header.dispatch,
-        escalation: u32::try_from(hello.header.escalation)
-            .map_err(|_| violation("hello escalation overflows u32"))?,
-    };
+    let campaign = campaign_of(&hello.header)?;
     let kernels = nfp_workloads::all_kernels(&hello.preset.build())?;
     let kernel = kernels
         .iter()
@@ -492,6 +489,406 @@ fn worker_main() -> Result<(), NfpError> {
         busy.store(false, Ordering::Relaxed);
         emit(&render_done(index, &replayed?));
     }
+}
+
+/// Reconstructs the [`CampaignConfig`] a hello's binding fields name.
+fn campaign_of(header: &JournalHeader) -> Result<CampaignConfig, NfpError> {
+    Ok(CampaignConfig {
+        injections: usize::try_from(header.injections)
+            .map_err(|_| violation("hello injection count overflows usize"))?,
+        seed: header.seed,
+        checkpoints: usize::try_from(header.checkpoints)
+            .map_err(|_| violation("hello checkpoint count overflows usize"))?,
+        wall: header.wall_ms.map(Duration::from_millis),
+        dispatch: header.dispatch,
+        escalation: u32::try_from(header.escalation)
+            .map_err(|_| violation("hello escalation overflows u32"))?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The remote (TCP) worker side: `repro worker --connect <addr>`.
+// ---------------------------------------------------------------------
+
+/// How long a connect attempt may block before it counts as a failed
+/// attempt (and backs off).
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Socket write deadline: a coordinator that cannot drain a few
+/// hundred bytes in this long is as good as gone.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Socket read deadline per poll — the worker's idle-loop tick.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// How long the worker tolerates total coordinator silence while idle
+/// before it drops the connection and reconnects. The coordinator
+/// heartbeats idle peers every few hundred milliseconds, so this is an
+/// order of magnitude of slack.
+const COORD_SILENCE: Duration = Duration::from_secs(10);
+
+/// Heartbeat interval before the first lease names one.
+const DEFAULT_HEARTBEAT_MS: u64 = 200;
+
+/// Writes one frame to the shared TCP write side. Whole frames go out
+/// under the lock so the heartbeat thread can never interleave bytes
+/// into a record.
+fn send(writer: &Mutex<TcpStream>, frame: &str) -> std::io::Result<()> {
+    let mut w = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    write_frame(&mut *w, frame)
+}
+
+/// Clears the heartbeat thread's liveness flag on every session exit
+/// path, so a stale thread never keeps writing into a dead socket.
+struct Alive(Arc<AtomicBool>);
+
+impl Drop for Alive {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+}
+
+/// The deterministic campaign state a connected worker keeps between
+/// leases: rebuilding rig and plan costs a golden run, so consecutive
+/// leases of the same campaign reuse them.
+struct ConnectRig {
+    header: JournalHeader,
+    preset: WorkerPreset,
+    campaign: CampaignConfig,
+    rig: CampaignRig,
+    faults: Vec<Fault>,
+}
+
+fn build_rig(hello: &WorkerHello) -> Result<ConnectRig, NfpError> {
+    let campaign = campaign_of(&hello.header)?;
+    let kernels = nfp_workloads::all_kernels(&hello.preset.build())?;
+    let kernel = kernels
+        .iter()
+        .find(|k| k.name == hello.header.kernel)
+        .ok_or_else(|| {
+            violation(format!(
+                "lease names kernel {:?}, which the {} preset does not contain",
+                hello.header.kernel,
+                hello.preset.name()
+            ))
+        })?;
+    let mode = Mode::from_suffix(hello.header.mode).ok_or_else(|| violation("bad mode"))?;
+    let (rig, space) = CampaignRig::prepare(kernel, mode, &campaign)?;
+    let faults = plan(&space, campaign.injections, campaign.seed);
+    Ok(ConnectRig {
+        header: hello.header.clone(),
+        preset: hello.preset,
+        campaign,
+        rig,
+        faults,
+    })
+}
+
+/// How one TCP session with the coordinator ended.
+enum SessionEnd {
+    /// The coordinator said goodbye: clean exit, no reconnect.
+    Bye,
+    /// The connection (or the coordinator) failed; reconnect with
+    /// backoff. `leases` counts leases completed this session — any
+    /// progress resets the consecutive-failure budget.
+    Lost { leases: u64, detail: String },
+}
+
+/// Why a lease could not be completed.
+enum LeaseFail {
+    /// The transport failed mid-lease: reconnect and let the
+    /// coordinator re-dispatch the shard.
+    Send(String),
+    /// A deterministic error (unknown kernel, golden mismatch, replay
+    /// error): reconnecting would hit it again, so the worker reports
+    /// it and exits.
+    Fatal(NfpError),
+}
+
+/// The `repro worker --connect <addr>` entry point: joins a
+/// coordinator over TCP, executes shard leases until told goodbye, and
+/// survives coordinator restarts with capped jittered backoff. Returns
+/// the process exit code — 0 after a `bye`, 1 on a fatal error or an
+/// exhausted reconnect budget.
+pub fn run_worker_connect(addr: &str, max_retries: u32) -> i32 {
+    // Jitter key: no campaign seed exists before a lease arrives, and
+    // reconnect timing never influences results — the pid decorrelates
+    // a fleet of workers launched together.
+    let seed = u64::from(std::process::id());
+    let mut reconnects = 0u64;
+    let mut failures = 0u32;
+    let mut cache: Option<ConnectRig> = None;
+    loop {
+        match connect_session(addr, reconnects, &mut cache) {
+            Ok(SessionEnd::Bye) => {
+                eprintln!("worker: coordinator said goodbye; exiting");
+                return 0;
+            }
+            Ok(SessionEnd::Lost { leases, detail }) => {
+                if leases > 0 {
+                    failures = 0;
+                }
+                failures += 1;
+                if failures > max_retries {
+                    let e = NfpError::Net {
+                        addr: addr.to_string(),
+                        detail: format!(
+                            "gave up after {max_retries} consecutive failed connections: {detail}"
+                        ),
+                    };
+                    eprintln!("worker: {e}");
+                    return 1;
+                }
+                eprintln!(
+                    "worker: connection lost ({detail}); reconnect attempt \
+                     {failures}/{max_retries} after backoff"
+                );
+                backoff_sleep(seed, 0, failures, &AtomicBool::new(false));
+                reconnects += 1;
+            }
+            Err(e) => {
+                eprintln!("worker: fatal: {e}");
+                return 1;
+            }
+        }
+    }
+}
+
+pub(crate) fn tcp_connect(addr: &str) -> Result<TcpStream, String> {
+    let addrs = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve '{addr}': {e}"))?;
+    let mut last = format!("'{addr}' resolved to no addresses");
+    for sa in addrs {
+        match TcpStream::connect_timeout(&sa, CONNECT_TIMEOUT) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = format!("connect to {sa} failed: {e}"),
+        }
+    }
+    Err(last)
+}
+
+/// One TCP session: connect, join, then serve leases until the stream
+/// dies or the coordinator says goodbye. `Err` is fatal; everything
+/// transport-shaped comes back as [`SessionEnd::Lost`].
+fn connect_session(
+    addr: &str,
+    reconnects: u64,
+    cache: &mut Option<ConnectRig>,
+) -> Result<SessionEnd, NfpError> {
+    let lost = |leases: u64, detail: String| Ok(SessionEnd::Lost { leases, detail });
+    let mut stream = match tcp_connect(addr) {
+        Ok(s) => s,
+        Err(detail) => return lost(0, detail),
+    };
+    let _ = stream.set_nodelay(true);
+    let io_lost = |what: &str, e: std::io::Error| format!("{what}: {e}");
+    if let Err(e) = stream.set_read_timeout(Some(READ_TICK)) {
+        return lost(0, io_lost("set read timeout", e));
+    }
+    if let Err(e) = stream.set_write_timeout(Some(WRITE_TIMEOUT)) {
+        return lost(0, io_lost("set write timeout", e));
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(e) => return lost(0, io_lost("clone stream", e)),
+    };
+    let join = JoinFrame {
+        preset: cache.as_ref().map_or(WorkerPreset::Quick, |c| c.preset),
+        reconnects,
+    };
+    if let Err(e) = send(&writer, &render_join(&join)) {
+        return lost(0, io_lost("send join", e));
+    }
+
+    // Unlike the stdin worker's busy-gated heartbeat, this one keeps
+    // beating *through* replays: over TCP the coordinator revokes
+    // silent leases, so only a real freeze (SIGSTOP, death, scheduler
+    // starvation) may silence the worker — a slow replay must not.
+    let alive = Arc::new(AtomicBool::new(true));
+    let hb_ms = Arc::new(AtomicU64::new(DEFAULT_HEARTBEAT_MS));
+    {
+        let (alive, hb_ms, writer) = (Arc::clone(&alive), Arc::clone(&hb_ms), Arc::clone(&writer));
+        std::thread::spawn(move || {
+            while alive.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(hb_ms.load(Ordering::Relaxed).max(1)));
+                if !alive.load(Ordering::Relaxed) || send(&writer, HB_FRAME).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+    let _alive = Alive(Arc::clone(&alive));
+
+    let mut reader = FrameReader::new(addr);
+    let mut leases = 0u64;
+    let mut idle = Instant::now();
+    loop {
+        match reader.recv(&mut stream) {
+            Err(e) => return lost(leases, e.to_string()),
+            Ok(Recv::Eof) => return lost(leases, "coordinator closed the connection".to_string()),
+            Ok(Recv::Idle) => {
+                if idle.elapsed() > COORD_SILENCE {
+                    return lost(
+                        leases,
+                        format!(
+                            "coordinator silent for {}s while idle",
+                            COORD_SILENCE.as_secs()
+                        ),
+                    );
+                }
+            }
+            Ok(Recv::Frame(line)) => {
+                idle = Instant::now();
+                let Some(obj) = parse_flat(&line).map(Obj) else {
+                    return lost(
+                        leases,
+                        format!("unparseable frame from coordinator: {line:?}"),
+                    );
+                };
+                match obj.str("kind") {
+                    Some("hb") => {}
+                    Some("bye") => return Ok(SessionEnd::Bye),
+                    Some("hello") => {
+                        let hello = match parse_hello(&line) {
+                            Ok(h) => h,
+                            Err(e) => {
+                                let _ = send(&writer, &render_error(&e.to_string()));
+                                return Err(e);
+                            }
+                        };
+                        hb_ms.store(hello.heartbeat_ms.max(1), Ordering::Relaxed);
+                        match execute_lease(&hello, cache, &writer) {
+                            Ok(()) => {
+                                leases += 1;
+                                idle = Instant::now();
+                            }
+                            Err(LeaseFail::Send(detail)) => return lost(leases, detail),
+                            Err(LeaseFail::Fatal(e)) => {
+                                let _ = send(&writer, &render_error(&e.to_string()));
+                                return Err(e);
+                            }
+                        }
+                    }
+                    other => {
+                        return lost(
+                            leases,
+                            format!("unknown frame kind {other:?} from coordinator"),
+                        )
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Executes one shard lease: (re)build the deterministic rig if the
+/// campaign binding changed, cross-check the golden count, replay the
+/// leased range in plan order, and stream journal-identical record
+/// lines followed by a digest-carrying fin.
+fn execute_lease(
+    hello: &WorkerHello,
+    cache: &mut Option<ConnectRig>,
+    writer: &Mutex<TcpStream>,
+) -> Result<(), LeaseFail> {
+    let stale = !cache
+        .as_ref()
+        .is_some_and(|c| c.header.same_campaign(&hello.header) && c.preset == hello.preset);
+    if stale {
+        // Drop the old rig before building its replacement: two full
+        // rigs of different campaigns never need to coexist.
+        *cache = None;
+        eprintln!(
+            "worker: building rig for '{}' ({} injections, seed {:#x})",
+            hello.header.kernel, hello.header.injections, hello.header.seed
+        );
+        *cache = Some(build_rig(hello).map_err(LeaseFail::Fatal)?);
+    }
+    let c = cache.as_mut().expect("rig built above");
+    if c.rig.golden_instret != hello.header.golden_instret {
+        return Err(LeaseFail::Fatal(violation(format!(
+            "golden instruction count mismatch: coordinator expects {}, this worker's rig ran {} \
+             — preset or kernel registry skew between the two binaries",
+            hello.header.golden_instret, c.rig.golden_instret
+        ))));
+    }
+    let (start, end) = hello.header.range();
+    if start > end || end > c.faults.len() {
+        return Err(LeaseFail::Fatal(violation(format!(
+            "lease range {start}..{end} does not fit the {}-injection plan",
+            c.faults.len()
+        ))));
+    }
+    let send_or = |frame: &str, what: &str| {
+        send(writer, frame).map_err(|e| LeaseFail::Send(format!("{what}: {e}")))
+    };
+    send_or(&render_ready(c.rig.golden_instret), "send ready")?;
+    eprintln!(
+        "worker: leased shard {} of {} (injections {start}..{end})",
+        hello.header.shard_index, hello.header.shard_count
+    );
+
+    let mut slots: Vec<Option<(InjectionRecord, u32)>> = vec![None; c.faults.len()];
+    // An index loop, not an iterator: the body rebuilds `c` (and with
+    // it `c.faults`) when a replay panics mid-range.
+    #[allow(clippy::needless_range_loop)]
+    for index in start..end {
+        let fault = c.faults[index];
+        if hello.abort_at == Some(index as u64) {
+            // Test hook: die the way a heap-corrupting harness bug
+            // would — no unwinding, no goodbye frame.
+            std::process::abort();
+        }
+        let mut attempts = 0u32;
+        let record = loop {
+            attempts += 1;
+            let wall = c.campaign.wall;
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                if hello.spin_at == Some(index as u64) {
+                    replay_spinning(&mut c.rig, &fault, wall)
+                } else {
+                    c.rig.run_one(&fault, wall)
+                }
+            }));
+            match run {
+                Ok(Ok(rec)) => break rec,
+                Ok(Err(e)) => return Err(LeaseFail::Fatal(e)),
+                Err(_) => {
+                    // The panicked rig may hold a half-armed fault:
+                    // replace it before judging whether to retry —
+                    // exactly the supervisor's thread-worker policy,
+                    // so quarantine decisions stay byte-identical.
+                    match catch_unwind(AssertUnwindSafe(|| build_rig(hello))) {
+                        Ok(Ok(fresh)) => *c = fresh,
+                        _ => {
+                            return Err(LeaseFail::Fatal(violation(format!(
+                                "replay of injection {index} panicked and the rig could not \
+                                 be rebuilt"
+                            ))))
+                        }
+                    }
+                    if attempts >= 2 {
+                        eprintln!(
+                            "worker: quarantined injection {index} after {attempts} attempts"
+                        );
+                        break quarantine_record(fault);
+                    }
+                }
+            }
+        };
+        send_or(&record_line(index, &record, attempts), "send record")?;
+        slots[index] = Some((record, attempts));
+    }
+    let fin = FinRecord {
+        records: (end - start) as u64,
+        range_start: start as u64,
+        range_end: end as u64,
+        digest: range_digest(&slots, (start, end)),
+    };
+    send_or(&fin_line(&fin), "send fin")?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,314 @@
+//! End-to-end chaos suite for the remote dispatch layer (DESIGN.md §14).
+//!
+//! Every test drives a real [`Server`] over real TCP sockets and holds
+//! it to the same bar as the local machinery: the merged remote report
+//! must be **byte-identical** to a sequential same-seed run, no matter
+//! what the network or the workers do — SIGKILLed peers, SIGSTOPped
+//! peers, garbage first frames, torn frames, or no peers at all.
+
+use nfp_bench::{
+    report_campaign, run_supervised, run_worker_connect, submit_campaign, submit_campaign_with,
+    CampaignConfig, CampaignRequest, Mode, ServeConfig, ServeSummary, Server, SupervisorConfig,
+    WorkerPreset,
+};
+use nfp_core::NfpError;
+use nfp_workloads::{all_kernels, Kernel, Preset};
+use std::io::Write;
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn quick_kernel() -> Kernel {
+    all_kernels(&Preset::quick())
+        .expect("quick kernel registry")
+        .into_iter()
+        .find(|k| k.name.contains("fse"))
+        .expect("quick preset has an FSE kernel")
+}
+
+fn campaign(injections: usize) -> CampaignConfig {
+    CampaignConfig {
+        injections,
+        ..CampaignConfig::default()
+    }
+}
+
+/// The sequential same-seed report every remote run must reproduce.
+fn reference_report(injections: usize) -> String {
+    let kernel = quick_kernel();
+    let outcome = run_supervised(
+        &kernel,
+        Mode::Float,
+        &SupervisorConfig::new(campaign(injections)),
+    )
+    .expect("sequential reference campaign");
+    report_campaign(&outcome.result)
+}
+
+fn request(injections: usize, shards: u32) -> CampaignRequest {
+    CampaignRequest {
+        client: "chaos-test".to_string(),
+        kernel: quick_kernel().name,
+        mode: Mode::Float,
+        campaign: campaign(injections),
+        shards,
+        allow_partial: false,
+    }
+}
+
+fn serve_config(heartbeat_ms: u64) -> ServeConfig {
+    ServeConfig {
+        listen: "127.0.0.1:0".to_string(),
+        preset: WorkerPreset::Quick,
+        heartbeat: Duration::from_millis(heartbeat_ms),
+        // Worker tests must exercise reassignment, not the local
+        // fallback: keep the grace period out of the picture.
+        peer_grace: Duration::from_secs(120),
+        lease_timeout: Duration::from_secs(60),
+        campaigns: Some(1),
+        ..ServeConfig::default()
+    }
+}
+
+/// Binds a one-campaign server and returns its address plus the
+/// summary-producing join handle.
+fn spawn_server(cfg: ServeConfig) -> (String, JoinHandle<ServeSummary>) {
+    let server = Server::bind(cfg).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+/// An in-process worker riding the public reconnect loop.
+fn spawn_worker_thread(addr: &str) -> JoinHandle<i32> {
+    let addr = addr.to_string();
+    std::thread::spawn(move || run_worker_connect(&addr, 50))
+}
+
+/// A real `repro worker --connect` subprocess, for signal chaos.
+fn spawn_worker_process(addr: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["worker", "--connect", addr, "--max-retries", "50"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn repro worker --connect")
+}
+
+fn signal(child: &Child, sig: &str) {
+    let ok = Command::new("kill")
+        .args([sig, &child.id().to_string()])
+        .status()
+        .expect("run kill")
+        .success();
+    assert!(ok, "kill {sig} {} failed", child.id());
+}
+
+#[test]
+fn remote_report_is_byte_identical_to_local() {
+    let reference = reference_report(120);
+    let (addr, server) = spawn_server(serve_config(200));
+    let w1 = spawn_worker_thread(&addr);
+    let w2 = spawn_worker_thread(&addr);
+    std::thread::sleep(Duration::from_millis(300));
+    let outcome = submit_campaign(&addr, &request(120, 4)).expect("remote campaign");
+    assert_eq!(outcome.report, reference, "remote report diverged");
+    let summary = server.join().expect("server thread");
+    assert_eq!(summary.campaigns, 1);
+    assert!(summary.peers_seen >= 2, "{summary:?}");
+    // Both workers got a goodbye and exited cleanly.
+    assert_eq!(w1.join().expect("worker 1"), 0);
+    assert_eq!(w2.join().expect("worker 2"), 0);
+}
+
+#[test]
+#[cfg(unix)]
+fn sigkilled_worker_loses_its_lease_and_the_report_survives() {
+    let reference = reference_report(400);
+    let (addr, server) = spawn_server(serve_config(100));
+    let victim = spawn_worker_process(&addr);
+    let survivor = spawn_worker_thread(&addr);
+    std::thread::sleep(Duration::from_millis(500));
+    let submit = {
+        let addr = addr.clone();
+        std::thread::spawn(move || submit_campaign(&addr, &request(400, 4)))
+    };
+    // Let the victim pick up work, then kill it the hard way.
+    std::thread::sleep(Duration::from_millis(1500));
+    let mut victim = victim;
+    signal(&victim, "-KILL");
+    let _ = victim.wait();
+    let outcome = submit
+        .join()
+        .expect("submit thread")
+        .expect("remote campaign under SIGKILL");
+    assert_eq!(outcome.report, reference, "report diverged after SIGKILL");
+    let summary = server.join().expect("server thread");
+    assert_eq!(summary.campaigns, 1);
+    assert_eq!(survivor.join().expect("survivor"), 0);
+}
+
+#[test]
+#[cfg(unix)]
+fn sigstopped_worker_is_revoked_and_the_report_survives() {
+    let reference = reference_report(400);
+    // 100 ms heartbeats put the idle revocation deadline at its 2 s
+    // floor, so the wedged peer loses its lease quickly.
+    let (addr, server) = spawn_server(serve_config(100));
+    let wedged = spawn_worker_process(&addr);
+    let survivor = spawn_worker_thread(&addr);
+    std::thread::sleep(Duration::from_millis(500));
+    let submit = {
+        let addr = addr.clone();
+        std::thread::spawn(move || submit_campaign(&addr, &request(400, 4)))
+    };
+    std::thread::sleep(Duration::from_millis(1500));
+    signal(&wedged, "-STOP");
+    let outcome = submit
+        .join()
+        .expect("submit thread")
+        .expect("remote campaign under SIGSTOP");
+    assert_eq!(outcome.report, reference, "report diverged after SIGSTOP");
+    let summary = server.join().expect("server thread");
+    assert_eq!(summary.campaigns, 1);
+    assert_eq!(survivor.join().expect("survivor"), 0);
+    let mut wedged = wedged;
+    signal(&wedged, "-CONT");
+    signal(&wedged, "-KILL");
+    let _ = wedged.wait();
+}
+
+#[test]
+fn garbage_peers_are_rejected_while_honest_workers_complete() {
+    let reference = reference_report(120);
+    let (addr, server) = spawn_server(serve_config(200));
+    let honest = spawn_worker_thread(&addr);
+    // A peer whose first frame is valid framing around nonsense.
+    let mut babbler = TcpStream::connect(&addr).expect("connect babbler");
+    let payload = b"{\"kind\":\"gossip\"}";
+    babbler
+        .write_all(&(payload.len() as u32).to_be_bytes())
+        .and_then(|()| babbler.write_all(payload))
+        .expect("send garbage frame");
+    // And a peer that tears its frame mid-payload: it declares 64
+    // bytes, delivers 7, and hangs up.
+    let mut torn = TcpStream::connect(&addr).expect("connect torn peer");
+    torn.write_all(&64u32.to_be_bytes())
+        .and_then(|()| torn.write_all(b"{\"kind\""))
+        .expect("send torn frame");
+    drop(torn);
+    std::thread::sleep(Duration::from_millis(300));
+    let outcome = submit_campaign(&addr, &request(120, 2)).expect("remote campaign");
+    assert_eq!(outcome.report, reference, "report diverged amid garbage");
+    drop(babbler);
+    let summary = server.join().expect("server thread");
+    assert!(summary.frames_rejected >= 2, "{summary:?}");
+    assert_eq!(honest.join().expect("honest worker"), 0);
+}
+
+#[test]
+fn fake_worker_that_tears_its_lease_costs_nothing_but_a_retry() {
+    let reference = reference_report(120);
+    let (addr, server) = spawn_server(serve_config(200));
+    // The saboteur joins correctly, waits for a lease hello, then
+    // sends a torn frame and dies — after the lease was assigned.
+    let saboteur = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut s = TcpStream::connect(&addr).expect("connect saboteur");
+            s.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+            let join = b"{\"v\":1,\"kind\":\"join\",\"preset\":\"quick\",\"reconnects\":0}";
+            s.write_all(&(join.len() as u32).to_be_bytes())
+                .and_then(|()| s.write_all(join))
+                .expect("send join");
+            // Heartbeat dutifully while scanning the raw byte stream
+            // for a lease hello (heartbeat frames alone would also
+            // accumulate bytes, so match on content).
+            let hb = b"{\"kind\":\"hb\"}";
+            let mut seen = Vec::new();
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            let mut buf = [0u8; 4096];
+            let mut leased = false;
+            while std::time::Instant::now() < deadline && !leased {
+                let _ = s
+                    .write_all(&(hb.len() as u32).to_be_bytes())
+                    .and_then(|()| s.write_all(hb));
+                match std::io::Read::read(&mut s, &mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        seen.extend_from_slice(&buf[..n]);
+                        leased = seen
+                            .windows(b"\"kind\":\"hello\"".len())
+                            .any(|w| w == b"\"kind\":\"hello\"");
+                    }
+                    Err(_) => {}
+                }
+            }
+            assert!(leased, "saboteur never received a lease hello");
+            // Declare a big frame, deliver a sliver, vanish.
+            let _ = s.write_all(&1024u32.to_be_bytes());
+            let _ = s.write_all(b"{\"i\":0");
+        })
+    };
+    std::thread::sleep(Duration::from_millis(300));
+    let submit = {
+        let addr = addr.clone();
+        std::thread::spawn(move || submit_campaign(&addr, &request(120, 2)))
+    };
+    // The saboteur holds its lease until it tears; the honest worker
+    // arrives afterwards and sweeps up everything, retries included.
+    saboteur.join().expect("saboteur thread");
+    let honest = spawn_worker_thread(&addr);
+    let outcome = submit
+        .join()
+        .expect("submit thread")
+        .expect("remote campaign despite sabotage");
+    assert_eq!(outcome.report, reference, "report diverged after sabotage");
+    let summary = server.join().expect("server thread");
+    assert!(summary.peers_retired >= 1, "{summary:?}");
+    assert_eq!(honest.join().expect("honest worker"), 0);
+}
+
+#[test]
+fn no_peers_degrades_to_the_local_pool_byte_identically() {
+    let reference = reference_report(60);
+    let cfg = ServeConfig {
+        peer_grace: Duration::from_millis(200),
+        ..serve_config(200)
+    };
+    let (addr, server) = spawn_server(cfg);
+    let mut notes = Vec::new();
+    let outcome = submit_campaign_with(&addr, &request(60, 2), |note| {
+        notes.push(note.to_string());
+    })
+    .expect("degraded campaign");
+    assert_eq!(outcome.report, reference, "local fallback diverged");
+    assert!(
+        notes.iter().any(|n| n.contains("falling back")),
+        "no fallback note in {notes:?}"
+    );
+    let summary = server.join().expect("server thread");
+    assert_eq!(summary.campaigns, 1);
+}
+
+#[test]
+fn admission_refusal_is_typed_not_a_hang() {
+    let cfg = ServeConfig {
+        max_inflight: 0,
+        ..serve_config(200)
+    };
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    // This server never completes a campaign, so run() never returns;
+    // the thread leaks and dies with the test process.
+    std::thread::spawn(move || server.run());
+    match submit_campaign(&addr, &request(10, 1)) {
+        Err(NfpError::Admission { client, reason }) => {
+            assert_eq!(client, "chaos-test");
+            assert!(reason.contains("admits no campaigns"), "{reason}");
+        }
+        other => panic!("expected a typed admission refusal, got {other:?}"),
+    }
+}

@@ -150,6 +150,23 @@ pub enum NfpError {
         /// What killed the final attempt.
         detail: String,
     },
+    /// A network operation in the remote dispatch layer failed:
+    /// connect, resolve, a framed read/write, or a peer deadline.
+    Net {
+        /// The remote address (or peer label) involved.
+        addr: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A campaign submission was refused by the coordinator's
+    /// admission control: the in-flight limit was reached and the
+    /// client's queue allowance was already full.
+    Admission {
+        /// The client whose submission was refused.
+        client: String,
+        /// Why it was refused.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NfpError {
@@ -209,6 +226,12 @@ impl fmt::Display for NfpError {
                     "shard {shard} (injections {start}..{end}) lost after exhausting its \
                      re-dispatch budget: {detail}"
                 )
+            }
+            NfpError::Net { addr, detail } => {
+                write!(f, "network dispatch via '{addr}' failed: {detail}")
+            }
+            NfpError::Admission { client, reason } => {
+                write!(f, "campaign submission from '{client}' refused: {reason}")
             }
         }
     }
@@ -320,5 +343,24 @@ mod tests {
         assert!(shown.contains("shard 2"), "{shown}");
         assert!(shown.contains("200..300"), "{shown}");
         assert!(shown.contains("re-dispatch budget"), "{shown}");
+    }
+
+    #[test]
+    fn net_and_admission_errors_display() {
+        let shown = NfpError::Net {
+            addr: "10.0.0.7:7447".to_string(),
+            detail: "connect timed out".to_string(),
+        }
+        .to_string();
+        assert!(shown.contains("10.0.0.7:7447"), "{shown}");
+        assert!(shown.contains("connect timed out"), "{shown}");
+        let shown = NfpError::Admission {
+            client: "tenant-a".to_string(),
+            reason: "2 campaigns already queued (per-client cap 2)".to_string(),
+        }
+        .to_string();
+        assert!(shown.contains("tenant-a"), "{shown}");
+        assert!(shown.contains("refused"), "{shown}");
+        assert!(shown.contains("per-client cap"), "{shown}");
     }
 }
