@@ -80,6 +80,29 @@ mod tests {
     }
 
     #[test]
+    fn every_delay_stays_inside_cap_and_jitter_bounds() {
+        // Sweep seeds × slots × ordinals: every delay sits in
+        // [base, base + 50) with base ≤ 2000 ms, so no retry loop —
+        // submit reconnects included — can ever wait unbounded or
+        // strip its jitter.
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for slot in [0usize, 1, 7, 4096] {
+                for n in 1..=16u32 {
+                    let base = 50u64
+                        .saturating_mul(1 << n.saturating_sub(1).min(10))
+                        .min(2_000);
+                    let got = backoff_delay(seed, slot, n).as_millis() as u64;
+                    assert!(
+                        (base..base + 50).contains(&got),
+                        "seed {seed} slot {slot} retry {n}: {got}ms outside [{base}, {})",
+                        base + 50
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn zero_ordinal_never_panics_or_overflows() {
         // Retry 0 is out of contract (ordinals are 1-based) but must
         // degrade to a finite delay, not a shift overflow.

@@ -56,6 +56,16 @@
 //! repro submit ... --allow-partial                 # partial report instead of shard-loss error
 //! ```
 //!
+//! Crash-safe coordinator (service journal + idempotent submits — DESIGN.md §15):
+//!
+//! ```text
+//! repro serve ... --journal s.jsonl                # write-ahead service journal
+//! repro serve ... --journal s.jsonl --resume       # rebuild hub state after a crash
+//! repro serve ... --drain /tmp/drain.flag          # graceful shutdown sentinel
+//! repro serve ... --cache-cap-bytes 67108864       # LRU result-cache byte budget
+//! repro submit ... --retry 100                     # reconnect through coordinator restarts
+//! ```
+//!
 //! There is also a hidden `repro worker` subcommand: the supervisor
 //! spawns it for `--isolation process` and drives it over stdin/stdout.
 //! With `--connect` it instead dials a `repro serve` coordinator over
@@ -68,7 +78,7 @@ use nfp_bench::{
     merge_journals, peek_campaign, report_ablation_calibration, report_ablation_categories,
     report_campaign, report_campaign_footer, report_fig1, report_fig4, report_table1,
     report_table3, report_table4, run_sharded, run_supervised, shard_journal_path,
-    submit_campaign_with, CampaignConfig, CampaignFooter, CampaignRequest, Evaluation,
+    submit_campaign_retry, CampaignConfig, CampaignFooter, CampaignRequest, Evaluation,
     KernelResult, Mode, ServeConfig, Server, ShardConfig, ShardSpec, SupervisorConfig,
     WorkerIsolation, WorkerPreset,
 };
@@ -422,6 +432,18 @@ fn run_serve_command(args: &[String]) {
         });
     }
     cfg.campaigns = count_flag("--campaigns");
+    cfg.journal = flag_value(args, "--journal").map(PathBuf::from);
+    cfg.resume = args.iter().any(|a| a == "--resume");
+    if cfg.resume && cfg.journal.is_none() {
+        fail(
+            "argument parsing",
+            "--resume wants --journal PATH (the service journal to resume from)",
+        );
+    }
+    cfg.drain = flag_value(args, "--drain").map(PathBuf::from);
+    if let Some(n) = count_flag("--cache-cap-bytes") {
+        cfg.cache_cap_bytes = n;
+    }
     if let Some(mode) = flag_value(args, "--isolation") {
         cfg.isolation = match mode {
             "thread" => WorkerIsolation::Thread,
@@ -446,6 +468,16 @@ fn run_serve_command(args: &[String]) {
         summary.reconnects,
         summary.frames_rejected,
         summary.peers_retired
+    );
+    eprintln!(
+        "serve: cache — {} hits, {} misses, {} evictions; {} submits deduplicated, \
+         {} sessions resumed, {} coordinator restarts",
+        summary.cache_hits,
+        summary.cache_misses,
+        summary.cache_evictions,
+        summary.submits_deduped,
+        summary.sessions_resumed,
+        summary.restarts
     );
 }
 
@@ -508,11 +540,21 @@ fn run_submit_command(args: &[String]) {
             .unwrap_or(0),
         allow_partial: args.iter().any(|a| a == "--allow-partial"),
     };
+    let retries: u32 = flag_value(args, "--retry")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                fail(
+                    "argument parsing",
+                    format!("--retry wants a reconnect count, got '{v}'"),
+                )
+            })
+        })
+        .unwrap_or(0);
     eprintln!(
         "  submitting {} ({} injections) to {addr}...",
         req.kernel, req.campaign.injections
     );
-    let outcome = submit_campaign_with(addr, &req, |note| eprintln!("{note}"))
+    let outcome = submit_campaign_retry(addr, &req, retries, |note| eprintln!("{note}"))
         .unwrap_or_else(|e| fail("remote campaign", e));
     // `println!`, exactly like the local campaign path: the report is
     // byte-comparable with `repro campaign` output, trailing newline

@@ -1,0 +1,141 @@
+//! Content-addressed **result cache** for the serve coordinator.
+//!
+//! Campaigns are deterministic — the report is a pure function of the
+//! campaign key (kernel/mode/plan config/seed), so a repeat submit can
+//! be answered with the cached bytes instead of a re-simulation. The
+//! cache is LRU by *byte budget* (`--cache-cap-bytes`), not entry
+//! count: one million-injection report must not pin a thousand small
+//! ones out, and the footprint stays bounded no matter the mix.
+//!
+//! Eviction decisions are returned to the caller (key + byte size) so
+//! the coordinator can journal and count them; the cache itself stays
+//! a pure data structure with no I/O.
+
+use std::collections::HashMap;
+
+/// LRU-by-bytes map from campaign key to rendered report.
+pub(crate) struct ResultCache {
+    cap_bytes: usize,
+    used_bytes: usize,
+    /// Key → (report, recency stamp). Stamps are a monotonically
+    /// increasing counter, not a clock — determinism over wall time.
+    entries: HashMap<String, (String, u64)>,
+    tick: u64,
+}
+
+impl ResultCache {
+    pub(crate) fn new(cap_bytes: usize) -> ResultCache {
+        ResultCache {
+            cap_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Bytes currently held (reports only; key overhead is ignored,
+    /// which keeps accounting byte-exact against the journaled
+    /// eviction sizes).
+    #[cfg(test)]
+    pub(crate) fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up a cached report, refreshing its recency on a hit.
+    pub(crate) fn get(&mut self, key: &str) -> Option<String> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(report, stamp)| {
+            *stamp = tick;
+            report.clone()
+        })
+    }
+
+    /// Inserts a report, evicting least-recently-used entries until the
+    /// byte budget holds. Returns the evicted `(key, bytes)` pairs so
+    /// the caller can journal and count them. An entry larger than the
+    /// whole budget is admitted and immediately evicted (still
+    /// returned), so a pathological report cannot wedge the cache.
+    pub(crate) fn put(&mut self, key: &str, report: &str) -> Vec<(String, usize)> {
+        self.tick += 1;
+        if let Some((old, stamp)) = self.entries.get_mut(key) {
+            self.used_bytes -= old.len();
+            self.used_bytes += report.len();
+            *old = report.to_string();
+            *stamp = self.tick;
+        } else {
+            self.used_bytes += report.len();
+            self.entries
+                .insert(key.to_string(), (report.to_string(), self.tick));
+        }
+        let mut evicted = Vec::new();
+        while self.used_bytes > self.cap_bytes && !self.entries.is_empty() {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty cache has an oldest entry");
+            let (report, _) = self.entries.remove(&oldest).expect("key came from the map");
+            self.used_bytes -= report.len();
+            evicted.push((oldest, report.len()));
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_by_byte_budget() {
+        let mut cache = ResultCache::new(10);
+        assert!(cache.put("a", "aaaa").is_empty());
+        assert!(cache.put("b", "bbbb").is_empty());
+        // Touch `a` so `b` is the LRU victim when `c` overflows.
+        assert_eq!(cache.get("a").as_deref(), Some("aaaa"));
+        let evicted = cache.put("c", "cccc");
+        assert_eq!(evicted, vec![("b".to_string(), 4)]);
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("a").as_deref(), Some("aaaa"));
+        assert_eq!(cache.get("c").as_deref(), Some("cccc"));
+        assert_eq!(cache.used_bytes(), 8);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn oversized_entry_is_admitted_then_immediately_evicted() {
+        let mut cache = ResultCache::new(4);
+        let evicted = cache.put("huge", "0123456789");
+        assert_eq!(evicted, vec![("huge".to_string(), 10)]);
+        assert_eq!(cache.get("huge"), None);
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn overwriting_a_key_replaces_bytes_without_double_counting() {
+        let mut cache = ResultCache::new(10);
+        cache.put("k", "xxxxxxxx");
+        cache.put("k", "yy");
+        assert_eq!(cache.used_bytes(), 2);
+        assert_eq!(cache.get("k").as_deref(), Some("yy"));
+        // Freed budget admits new entries without evicting `k`.
+        assert!(cache.put("other", "zzzzzz").is_empty());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing_but_never_panics() {
+        let mut cache = ResultCache::new(0);
+        let evicted = cache.put("k", "data");
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get("k"), None);
+    }
+}

@@ -19,6 +19,7 @@
 //! per-instruction-category vulnerability report.
 
 mod backoff;
+mod cache;
 pub mod campaign;
 mod crc;
 pub mod evaluation;
@@ -26,6 +27,7 @@ mod flatjson;
 mod net;
 pub mod reports;
 pub mod serve;
+mod servejournal;
 pub mod shards;
 pub mod supervisor;
 pub mod worker;
@@ -37,8 +39,8 @@ pub use campaign::{
 pub use evaluation::{Evaluation, KernelResult, Mode};
 pub use reports::*;
 pub use serve::{
-    submit_campaign, submit_campaign_with, CampaignRequest, RemoteOutcome, ServeConfig,
-    ServeSummary, Server,
+    submit_campaign, submit_campaign_retry, submit_campaign_with, CampaignRequest, RemoteOutcome,
+    ServeConfig, ServeSummary, Server,
 };
 pub use shards::{
     merge_journals, peek_campaign, run_sharded, shard_journal_path, MergeOutcome, ShardConfig,

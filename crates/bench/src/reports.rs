@@ -494,6 +494,18 @@ pub struct CampaignFooter {
     /// Golden-run dispatch-path counters, when the campaign rig is in
     /// hand (remote campaigns and future local plumbing).
     pub dispatch: Option<nfp_sim::DispatchStats>,
+    /// Result-cache hits over the coordinator's lifetime so far
+    /// (coordinator-served campaigns only; zero elsewhere).
+    pub cache_hits: usize,
+    /// Result-cache misses over the coordinator's lifetime so far.
+    pub cache_misses: usize,
+    /// Identical in-flight submissions deduplicated into one live
+    /// campaign instead of being re-simulated.
+    pub submits_deduped: usize,
+    /// Clients that re-attached to a journal-resumed campaign.
+    pub sessions_resumed: usize,
+    /// Times the coordinator restarted over its service journal.
+    pub restarts: usize,
 }
 
 impl CampaignFooter {
@@ -569,6 +581,24 @@ pub fn report_campaign_footer(footer: &CampaignFooter) -> String {
         )
         .unwrap();
     }
+    if footer.cache_hits > 0
+        || footer.cache_misses > 0
+        || footer.submits_deduped > 0
+        || footer.sessions_resumed > 0
+        || footer.restarts > 0
+    {
+        writeln!(
+            out,
+            "  coordinator: {} cache hits, {} misses, {} submits deduplicated, {} sessions \
+             resumed, {} restarts",
+            footer.cache_hits,
+            footer.cache_misses,
+            footer.submits_deduped,
+            footer.sessions_resumed,
+            footer.restarts
+        )
+        .unwrap();
+    }
     if !footer.missing_ranges.is_empty() {
         let uncovered: u64 = footer.missing_ranges.iter().map(|&(s, e)| e - s).sum();
         let ranges = footer
@@ -635,6 +665,35 @@ mod footer_tests {
             "  worker pool: 1 SIGKILLed, 2 respawned\n\
              \x20 shards: 4 merged, 3 re-dispatched, 1 speculated\n\
              \x20 missing ranges: 0..25, 75..100 (50 injections uncovered)\n"
+        );
+    }
+
+    #[test]
+    fn coordinator_counters_render_on_their_own_line() {
+        let footer = CampaignFooter {
+            cache_hits: 2,
+            cache_misses: 5,
+            submits_deduped: 1,
+            sessions_resumed: 3,
+            restarts: 2,
+            ..CampaignFooter::default()
+        };
+        // The chaos CI job greps this line (`restarts`) to prove the
+        // coordinator actually died and resumed mid-campaign.
+        assert_eq!(
+            report_campaign_footer(&footer),
+            "  coordinator: 2 cache hits, 5 misses, 1 submits deduplicated, 3 sessions \
+             resumed, 2 restarts\n"
+        );
+        // A coordinator that never cached, deduplicated, or restarted
+        // stays silent — local campaigns keep their footer unchanged.
+        assert_eq!(
+            report_campaign_footer(&CampaignFooter {
+                restarts: 1,
+                ..CampaignFooter::default()
+            }),
+            "  coordinator: 0 cache hits, 0 misses, 0 submits deduplicated, 0 sessions \
+             resumed, 1 restarts\n"
         );
     }
 

@@ -32,6 +32,7 @@
 //!   on the network being healthy — only faster.
 
 use crate::backoff::{backoff_delay, TICK};
+use crate::cache::ResultCache;
 use crate::campaign::{assemble, report_campaign, CampaignConfig, CampaignRig, InjectionRecord};
 use crate::evaluation::Mode;
 use crate::flatjson::{esc, parse_flat, Obj};
@@ -40,10 +41,11 @@ use crate::net::{
     FrameReader, JoinFrame, Recv, BYE_FRAME, END_FRAME, HB_FRAME, NET_VERSION,
 };
 use crate::reports::{report_campaign_footer, CampaignFooter};
-use crate::shards::{missing_ranges_of, ShardSpec};
+use crate::servejournal::{load_service_journal, records_path, OpenCampaign, ServiceJournal};
+use crate::shards::{missing_ranges_of, quarantined_path, ShardSpec};
 use crate::supervisor::{
-    parse_fin, parse_record, range_digest, run_supervised, FinRecord, JournalHeader,
-    SupervisorConfig, WorkerIsolation,
+    fin_line, load_journal, parse_fin, parse_record, range_digest, record_line, run_supervised,
+    FinRecord, JournalHeader, SupervisorConfig, WorkerIsolation,
 };
 use crate::worker::{
     parse_reply, render_error, render_hello, tcp_connect, Reply, WorkerHello, WorkerPreset,
@@ -53,9 +55,10 @@ use nfp_sim::fault::plan;
 use nfp_sim::Fault;
 use nfp_workloads::all_kernels;
 use std::collections::{HashMap, VecDeque};
-use std::io::ErrorKind;
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -142,6 +145,20 @@ pub struct ServeConfig {
     /// Stop accepting connections and shut down after this many
     /// completed campaigns. `None` serves until the process dies.
     pub campaigns: Option<usize>,
+    /// Write-ahead service journal path (DESIGN.md §15). `None` runs
+    /// the coordinator volatile, exactly as before PR 8.
+    pub journal: Option<PathBuf>,
+    /// Rebuild hub state from an existing journal at [`Self::journal`]
+    /// before serving (a missing journal is a fresh start, so `--resume`
+    /// is safe to pass unconditionally). Without `resume`, an existing
+    /// journal is truncated.
+    pub resume: bool,
+    /// Drain sentinel path: once this file exists the coordinator
+    /// stops admitting submissions, finishes the campaigns in flight,
+    /// journals a clean drain, and exits.
+    pub drain: Option<PathBuf>,
+    /// Byte budget for the content-addressed result cache (LRU).
+    pub cache_cap_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -159,6 +176,10 @@ impl Default for ServeConfig {
             isolation: WorkerIsolation::Thread,
             worker_bin: None,
             campaigns: None,
+            journal: None,
+            resume: false,
+            drain: None,
+            cache_cap_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -177,6 +198,18 @@ pub struct ServeSummary {
     pub frames_rejected: usize,
     /// Peers retired after a violation, silence, or death.
     pub peers_retired: usize,
+    /// Submissions answered from the result cache, no re-simulation.
+    pub cache_hits: usize,
+    /// Submissions that had to run (or join) a live campaign.
+    pub cache_misses: usize,
+    /// Concurrent identical submissions folded into one live campaign.
+    pub submits_deduped: usize,
+    /// Clients that re-attached to a crash-resumed campaign.
+    pub sessions_resumed: usize,
+    /// Cache entries evicted under the byte budget.
+    pub cache_evictions: usize,
+    /// Coordinator starts recorded in the journal before this one.
+    pub restarts: usize,
 }
 
 // ---------------------------------------------------------------------
@@ -276,6 +309,88 @@ struct Ctx {
     hub: Hub,
     admission: Admission,
     served: AtomicUsize,
+    /// Content-addressed result cache: identical submits cost one
+    /// simulation, the rest are byte-identical replays.
+    cache: Mutex<ResultCache>,
+    /// Live campaigns by [`campaign_key`]: concurrent identical
+    /// submits subscribe to the one in flight instead of racing it.
+    live: Mutex<HashMap<String, Arc<LiveEntry>>>,
+    /// Write-ahead service journal, when durability is configured.
+    journal: Option<ServiceJournal>,
+    /// Next durable campaign id (continues past resumed ids).
+    next_cid: AtomicU64,
+    /// True once the drain sentinel appeared: admit nothing new,
+    /// finish what is in flight, journal a clean drain, exit.
+    draining: AtomicBool,
+    /// Coordinator starts recorded in the journal before this one.
+    restarts: usize,
+    cache_hits: AtomicUsize,
+    cache_misses: AtomicUsize,
+    submits_deduped: AtomicUsize,
+    sessions_resumed: AtomicUsize,
+    cache_evictions: AtomicUsize,
+}
+
+/// One campaign in flight, shared between its leader thread and any
+/// follower clients that submitted the same key while it ran.
+struct LiveEntry {
+    state: Mutex<LiveState>,
+    cv: Condvar,
+    /// True for campaigns rebuilt from the service journal: a client
+    /// re-presenting this key is a resumed session, not a dedup.
+    resumed: bool,
+    /// Follower clients currently subscribed. A leader whose own
+    /// client dies keeps running while anyone is still watching (or
+    /// while the campaign is journaled).
+    subscribers: AtomicUsize,
+}
+
+enum LiveState {
+    Running,
+    Done { notes: Vec<String>, report: String },
+    Failed(String),
+}
+
+impl LiveEntry {
+    fn new(resumed: bool) -> Self {
+        LiveEntry {
+            state: Mutex::new(LiveState::Running),
+            cv: Condvar::new(),
+            resumed,
+            subscribers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publishes the terminal state and wakes every follower.
+    fn publish(&self, state: LiveState) {
+        *lock(&self.state) = state;
+        self.cv.notify_all();
+    }
+}
+
+/// The idempotency key a submission is cached and deduplicated under:
+/// every binding field of the campaign except the client label and the
+/// shard count (campaign reports are shard-invariant by the merge
+/// discipline, and the golden instruction length is itself a
+/// deterministic function of these fields — recomputing it is the very
+/// simulation the cache exists to avoid, and the records-file header
+/// still enforces the full golden binding on every durable run).
+pub(crate) fn campaign_key(req: &CampaignRequest) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        esc(&req.kernel),
+        req.mode.suffix(),
+        req.campaign.injections,
+        req.campaign.seed,
+        req.campaign.checkpoints,
+        req.campaign.dispatch.as_str(),
+        req.campaign.escalation,
+        req.campaign.wall.map_or_else(
+            || "none".to_string(),
+            |d| (d.as_millis() as u64).to_string()
+        ),
+        req.allow_partial,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -511,11 +626,21 @@ pub(crate) fn parse_submit(line: &str) -> Result<CampaignRequest, NfpError> {
 pub struct Server {
     listener: TcpListener,
     ctx: Arc<Ctx>,
+    /// Campaigns the service journal recorded as submitted but never
+    /// finished: [`Server::run`] re-runs them headless, re-dispatching
+    /// only the shards their records files do not already cover.
+    resumed: Vec<OpenCampaign>,
 }
 
 impl Server {
     /// Binds the listen address and prepares the shared state. The
     /// socket is non-blocking; nothing is served until [`Server::run`].
+    ///
+    /// With [`ServeConfig::journal`] set this opens (or, under
+    /// [`ServeConfig::resume`], replays) the service journal: torn
+    /// tails are truncated, a corrupt journal is renamed aside to
+    /// `*.quarantined` and a fresh one started, and every campaign
+    /// recorded as open is queued for headless resumption.
     pub fn bind(cfg: ServeConfig) -> Result<Server, NfpError> {
         let net_err = |detail: String| NfpError::Net {
             addr: cfg.listen.clone(),
@@ -527,14 +652,67 @@ impl Server {
             .set_nonblocking(true)
             .map_err(|e| net_err(format!("set nonblocking failed: {e}")))?;
         let admission = Admission::new(cfg.max_inflight, cfg.max_queued_per_client);
+        let mut restarts = 0usize;
+        let mut resumed: Vec<OpenCampaign> = Vec::new();
+        let mut next_cid = 0u64;
+        let journal = match &cfg.journal {
+            None => None,
+            Some(path) => {
+                let journal = if cfg.resume && path.exists() {
+                    match load_service_journal(path) {
+                        Ok(state) => {
+                            restarts = state.starts;
+                            next_cid = state.next_cid;
+                            resumed = state.open;
+                            ServiceJournal::resume(path, state.intact_len)?
+                        }
+                        Err(e) => {
+                            // The journal is evidence, not an oracle:
+                            // set it aside and start clean rather than
+                            // trusting a corrupt record.
+                            let q = quarantined_path(path);
+                            std::fs::rename(path, &q).map_err(|io| NfpError::Journal {
+                                path: path.display().to_string(),
+                                reason: format!("cannot quarantine corrupt journal: {io}"),
+                            })?;
+                            eprintln!("serve: service journal quarantined to {}: {e}", q.display());
+                            ServiceJournal::create(path)?
+                        }
+                    }
+                } else {
+                    ServiceJournal::create(path)?
+                };
+                journal.start()?;
+                Some(journal)
+            }
+        };
+        if !resumed.is_empty() {
+            eprintln!(
+                "serve: resuming {} interrupted campaign(s) from the service journal \
+                 (coordinator restart {restarts})",
+                resumed.len()
+            );
+        }
         Ok(Server {
             listener,
             ctx: Arc::new(Ctx {
+                cache: Mutex::new(ResultCache::new(cfg.cache_cap_bytes)),
                 cfg,
                 hub: Hub::new(),
                 admission,
                 served: AtomicUsize::new(0),
+                live: Mutex::new(HashMap::new()),
+                journal,
+                next_cid: AtomicU64::new(next_cid),
+                draining: AtomicBool::new(false),
+                restarts,
+                cache_hits: AtomicUsize::new(0),
+                cache_misses: AtomicUsize::new(0),
+                submits_deduped: AtomicUsize::new(0),
+                sessions_resumed: AtomicUsize::new(0),
+                cache_evictions: AtomicUsize::new(0),
             }),
+            resumed,
         })
     }
 
@@ -551,14 +729,51 @@ impl Server {
     /// (forever when `None`), then says goodbye to every peer and
     /// returns the tallies.
     pub fn run(self) -> Result<ServeSummary, NfpError> {
-        let Server { listener, ctx } = self;
+        let Server {
+            listener,
+            ctx,
+            resumed,
+        } = self;
         let mut handles = Vec::new();
+        // Resumed campaigns run headless (they were admitted before
+        // the crash); registering them in the live map *before* the
+        // accept loop means a client re-presenting the key attaches to
+        // the resumed run instead of racing it with a duplicate.
+        for open in resumed {
+            let key = campaign_key(&open.req);
+            let entry = Arc::new(LiveEntry::new(true));
+            lock(&ctx.live).insert(key.clone(), Arc::clone(&entry));
+            let ctx = Arc::clone(&ctx);
+            handles.push(std::thread::spawn(move || {
+                resume_campaign(open, entry, key, &ctx);
+            }));
+        }
         loop {
             if let Some(limit) = ctx.cfg.campaigns {
                 if ctx.served.load(Ordering::SeqCst) >= limit {
                     ctx.hub.shutdown.store(true, Ordering::SeqCst);
                     break;
                 }
+            }
+            if !ctx.draining.load(Ordering::SeqCst) {
+                if let Some(sentinel) = &ctx.cfg.drain {
+                    if sentinel.exists() {
+                        ctx.draining.store(true, Ordering::SeqCst);
+                        eprintln!(
+                            "serve: drain requested; refusing new submissions, finishing {} \
+                             in flight",
+                            lock(&ctx.live).len()
+                        );
+                    }
+                }
+            }
+            if ctx.draining.load(Ordering::SeqCst) && lock(&ctx.live).is_empty() {
+                if let Some(journal) = &ctx.journal {
+                    let _ = journal.drain();
+                }
+                eprintln!("serve: drained cleanly");
+                ctx.hub.shutdown.store(true, Ordering::SeqCst);
+                break;
             }
             match listener.accept() {
                 Ok((stream, addr)) => {
@@ -589,6 +804,12 @@ impl Server {
             reconnects: ctx.hub.reconnects.load(Ordering::SeqCst),
             frames_rejected: ctx.hub.frames_rejected.load(Ordering::SeqCst),
             peers_retired: ctx.hub.peers_retired.load(Ordering::SeqCst),
+            cache_hits: ctx.cache_hits.load(Ordering::SeqCst),
+            cache_misses: ctx.cache_misses.load(Ordering::SeqCst),
+            submits_deduped: ctx.submits_deduped.load(Ordering::SeqCst),
+            sessions_resumed: ctx.sessions_resumed.load(Ordering::SeqCst),
+            cache_evictions: ctx.cache_evictions.load(Ordering::SeqCst),
+            restarts: ctx.restarts,
         })
     }
 }
@@ -1019,11 +1240,10 @@ struct Track {
     abandoned: Arc<AtomicBool>,
 }
 
-/// Executes one admitted submission end to end: plan the campaign,
-/// split it into shard leases, ride the lease events (retry with
-/// backoff, revoke, speculate, degrade to the local pool), and stream
-/// the merged report back to the client. Exits abandon every
-/// outstanding lease so peers never work for a dead campaign.
+/// Handles one client submission end to end: drain gate, result-cache
+/// fast path, live-campaign deduplication, admission, then the
+/// dispatch loop ([`drive_campaign`]) and result publication
+/// ([`finish_campaign`]).
 fn run_remote_campaign(
     mut client: TcpStream,
     mut creader: FrameReader,
@@ -1031,8 +1251,66 @@ fn run_remote_campaign(
     ctx: &Ctx,
 ) {
     let label = format!("client '{}'", req.client);
-    // Admission first: nothing is planned, no memory is committed, for
-    // a submission the server will not run.
+    if ctx.draining.load(Ordering::SeqCst) {
+        let reason = "coordinator is draining; no new campaigns are admitted";
+        let _ = write_frame(&mut client, &render_reject(&req.client, reason));
+        eprintln!("serve: refused {label}: {reason}");
+        return;
+    }
+    // Idempotent fast path: a finished identical campaign is answered
+    // from the cache, byte-identical and without any simulation.
+    let key = campaign_key(&req);
+    if let Some(report) = lock(&ctx.cache).get(&key) {
+        ctx.cache_hits.fetch_add(1, Ordering::SeqCst);
+        eprintln!(
+            "serve: campaign '{}' for {label} served from the result cache",
+            req.kernel
+        );
+        let note = format!(
+            "result cache hit for campaign '{}' — returning the stored report",
+            req.kernel
+        );
+        if deliver(&mut client, std::slice::from_ref(&note), &report).is_ok() {
+            ctx.served.fetch_add(1, Ordering::SeqCst);
+        }
+        return;
+    }
+    ctx.cache_misses.fetch_add(1, Ordering::SeqCst);
+    // Concurrent deduplication: an identical campaign already in
+    // flight gains a follower instead of a duplicate simulation.
+    let (entry, leader) = {
+        let mut live = lock(&ctx.live);
+        match live.get(&key) {
+            Some(entry) => (Arc::clone(entry), false),
+            None => {
+                let entry = Arc::new(LiveEntry::new(false));
+                live.insert(key.clone(), Arc::clone(&entry));
+                (entry, true)
+            }
+        }
+    };
+    if !leader {
+        ctx.submits_deduped.fetch_add(1, Ordering::SeqCst);
+        if entry.resumed {
+            ctx.sessions_resumed.fetch_add(1, Ordering::SeqCst);
+            eprintln!(
+                "serve: {label} re-attached to the resumed campaign for '{}'",
+                req.kernel
+            );
+        } else {
+            eprintln!(
+                "serve: {label} deduplicated into the live campaign for '{}'",
+                req.kernel
+            );
+        }
+        entry.subscribers.fetch_add(1, Ordering::SeqCst);
+        follow_live(client, creader, &entry, ctx, &label);
+        entry.subscribers.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    // Admission next: nothing is planned, no memory is committed, for
+    // a submission the server will not run. Every bail-out must also
+    // unblock any follower that subscribed in the meantime.
     match ctx.admission.try_enter(&req.client) {
         Err(e) => {
             let reason = match &e {
@@ -1041,6 +1319,7 @@ fn run_remote_campaign(
             };
             let _ = write_frame(&mut client, &render_reject(&req.client, &reason));
             eprintln!("serve: refused {label}: {reason}");
+            abort_entry(&key, &entry, &format!("admission refused: {reason}"), ctx);
             return;
         }
         Ok(Gate::Admitted) => {}
@@ -1054,11 +1333,13 @@ fn run_remote_campaign(
                 if ctx.hub.shutdown.load(Ordering::SeqCst) {
                     ctx.admission.abandon_queue(&req.client);
                     let _ = write_frame(&mut client, &render_error("coordinator shutting down"));
+                    abort_entry(&key, &entry, "coordinator shutting down", ctx);
                     return;
                 }
                 if last_beat.elapsed() >= CLIENT_BEAT {
                     if write_frame(&mut client, HB_FRAME).is_err() {
                         ctx.admission.abandon_queue(&req.client);
+                        abort_entry(&key, &entry, "client left the admission queue", ctx);
                         return;
                     }
                     last_beat = Instant::now();
@@ -1071,6 +1352,7 @@ fn run_remote_campaign(
                         // goes back to the pool.
                         ctx.admission.abandon_queue(&req.client);
                         eprintln!("serve: {label} left the queue");
+                        abort_entry(&key, &entry, "client left the admission queue", ctx);
                         return;
                     }
                 }
@@ -1084,54 +1366,471 @@ fn run_remote_campaign(
         req.campaign.injections,
         req.mode.suffix()
     );
+    let durable = if ctx.journal.is_some() {
+        Durable::Fresh
+    } else {
+        Durable::No
+    };
+    let mut link = Some(ClientLink {
+        stream: client,
+        reader: creader,
+    });
+    let outcome = drive_campaign(&mut link, &req, &entry, durable, ctx);
+    finish_campaign(outcome, link, &key, &entry, &label, ctx);
+}
 
+/// Unregisters a live campaign that never produced a result, waking
+/// any followers with the failure.
+fn abort_entry(key: &str, entry: &LiveEntry, detail: &str, ctx: &Ctx) {
+    entry.publish(LiveState::Failed(detail.to_string()));
+    lock(&ctx.live).remove(key);
+}
+
+/// Rides an existing live campaign on behalf of a second client with
+/// the same key: heartbeat both ways until the leader publishes, then
+/// deliver the same notes and report (or the same failure).
+fn follow_live(
+    mut client: TcpStream,
+    mut creader: FrameReader,
+    entry: &LiveEntry,
+    ctx: &Ctx,
+    label: &str,
+) {
+    let mut last_beat = Instant::now();
+    loop {
+        let published = {
+            let guard = lock(&entry.state);
+            let (guard, _) = entry
+                .cv
+                .wait_timeout(guard, Duration::from_millis(100))
+                .unwrap_or_else(PoisonError::into_inner);
+            match &*guard {
+                LiveState::Running => None,
+                LiveState::Done { notes, report } => Some(Ok((notes.clone(), report.clone()))),
+                LiveState::Failed(detail) => Some(Err(detail.clone())),
+            }
+        };
+        match published {
+            Some(Ok((notes, report))) => {
+                if deliver(&mut client, &notes, &report).is_err() {
+                    eprintln!("serve: {label} unreachable during the shared report");
+                }
+                return;
+            }
+            Some(Err(detail)) => {
+                let _ = write_frame(&mut client, &render_error(&detail));
+                return;
+            }
+            None => {}
+        }
+        if ctx.hub.shutdown.load(Ordering::SeqCst) {
+            let _ = write_frame(&mut client, &render_error("coordinator shutting down"));
+            return;
+        }
+        if last_beat.elapsed() >= CLIENT_BEAT {
+            if write_frame(&mut client, HB_FRAME).is_err() {
+                eprintln!("serve: {label} stopped following; the campaign continues");
+                return;
+            }
+            last_beat = Instant::now();
+        }
+        match creader.recv(&mut client) {
+            Ok(Recv::Idle) => {}
+            Ok(Recv::Frame(line)) if is_hb(&line) => {}
+            _ => {
+                eprintln!("serve: {label} stopped following; the campaign continues");
+                return;
+            }
+        }
+    }
+}
+
+/// Streams notes, the chunked report, and the end frame to a client.
+fn deliver(stream: &mut TcpStream, notes: &[String], report: &str) -> std::io::Result<()> {
+    for note in notes {
+        write_frame(stream, &render_note(note))?;
+    }
+    let mut rest = report;
+    while !rest.is_empty() {
+        let mut cut = rest.len().min(REPORT_CHUNK);
+        while !rest.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let (head, tail) = rest.split_at(cut);
+        write_frame(stream, &render_report_chunk(head))?;
+        rest = tail;
+    }
+    write_frame(stream, END_FRAME)
+}
+
+/// Re-runs a campaign the service journal recorded as open, headless:
+/// the original client is gone (it re-attaches as a follower if it is
+/// still interested), and only the shards missing from the records
+/// file are re-dispatched.
+fn resume_campaign(open: OpenCampaign, entry: Arc<LiveEntry>, key: String, ctx: &Ctx) {
+    let label = format!("resumed campaign {} ('{}')", open.cid, open.req.kernel);
+    eprintln!("serve: {label} re-dispatching from the service journal");
+    let mut link = None;
+    let durable = Durable::Resumed {
+        cid: open.cid,
+        golden_instret: open.golden_instret,
+    };
+    let outcome = drive_campaign(&mut link, &open.req, &entry, durable, ctx);
+    finish_campaign(outcome, link, &key, &entry, &label, ctx);
+}
+
+/// Durability posture of one campaign run.
+enum Durable {
+    /// No journal configured: volatile, exactly the pre-journal
+    /// behavior.
+    No,
+    /// Fresh submit on a journaled coordinator: allocate a campaign id
+    /// and journal the submit once the golden run has bound it.
+    Fresh,
+    /// Rebuilt from the journal after a coordinator restart.
+    Resumed { cid: u64, golden_instret: u64 },
+}
+
+/// How a campaign run ended when it did not produce a report.
+enum DriveFail {
+    /// The campaign itself is unrunnable or lost: its journal entry is
+    /// closed so a restart does not retry it forever.
+    Fatal(String),
+    /// The coordinator is going down or nobody is listening: the
+    /// journal entry stays open so a resume picks the campaign up.
+    Interrupted(String),
+}
+
+impl DriveFail {
+    fn detail(&self) -> &str {
+        match self {
+            DriveFail::Fatal(d) | DriveFail::Interrupted(d) => d,
+        }
+    }
+}
+
+/// What a completed dispatch loop hands back for publication.
+struct DriveOutcome {
+    /// Notes already streamed to the attached client mid-run (the
+    /// local-fallback notice); stored for followers, not re-sent.
+    live_notes: Vec<String>,
+    /// Footer lines to send ahead of the report.
+    footer_notes: Vec<String>,
+    report: String,
+    /// No missing ranges: the report is cacheable.
+    complete: bool,
+}
+
+/// A submit client attached to a campaign run.
+struct ClientLink {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+/// The per-campaign durable record store: a supervisor-format journal
+/// (binding header + CRC'd records + fin) next to the service journal,
+/// appended in bulk at each shard completion and deleted once the
+/// campaign's fin lands in the service journal — so disk stays
+/// O(campaigns in flight), not O(history).
+struct RecordsFile {
+    path: PathBuf,
+    file: File,
+    /// Plan indices already persisted (the supervisor loader rejects
+    /// duplicates, so appends must be exactly-once).
+    journaled: Vec<bool>,
+    /// True when the loaded file already carried its fin record.
+    sealed: bool,
+}
+
+fn records_err(path: &Path, reason: String) -> NfpError {
+    NfpError::Journal {
+        path: path.display().to_string(),
+        reason,
+    }
+}
+
+impl RecordsFile {
+    /// Opens (resuming) or creates the records file, prefilling
+    /// `slots` from every intact record. A corrupt file is quarantined
+    /// aside and restarted empty — re-simulation over trust.
+    fn open(
+        path: PathBuf,
+        header: &JournalHeader,
+        faults: &[Fault],
+        slots: &mut Slots,
+    ) -> Result<RecordsFile, NfpError> {
+        let mut journaled = vec![false; slots.len()];
+        if path.exists() {
+            match load_journal(&path, header, faults, slots) {
+                Ok(loaded) => {
+                    let mut file = OpenOptions::new()
+                        .read(true)
+                        .write(true)
+                        .open(&path)
+                        .map_err(|e| records_err(&path, format!("cannot reopen: {e}")))?;
+                    file.set_len(loaded.intact_len)
+                        .and_then(|_| file.seek(SeekFrom::End(0)))
+                        .map_err(|e| {
+                            records_err(&path, format!("cannot truncate torn tail: {e}"))
+                        })?;
+                    for (flag, slot) in journaled.iter_mut().zip(slots.iter()) {
+                        *flag = slot.is_some();
+                    }
+                    return Ok(RecordsFile {
+                        path,
+                        file,
+                        journaled,
+                        sealed: loaded.fin.is_some(),
+                    });
+                }
+                Err(e) => {
+                    let quarantine = quarantined_path(&path);
+                    let _ = std::fs::rename(&path, &quarantine);
+                    eprintln!(
+                        "serve: records journal quarantined to {}: {e}",
+                        quarantine.display()
+                    );
+                    slots.iter_mut().for_each(|s| *s = None);
+                }
+            }
+        }
+        let mut file =
+            File::create(&path).map_err(|e| records_err(&path, format!("cannot create: {e}")))?;
+        writeln!(file, "{}", header.render())
+            .and_then(|()| file.flush())
+            .map_err(|e| records_err(&path, format!("cannot write header: {e}")))?;
+        Ok(RecordsFile {
+            path,
+            file,
+            journaled,
+            sealed: false,
+        })
+    }
+
+    /// Appends (and flushes) every not-yet-persisted record in `range`.
+    fn persist_range(&mut self, slots: &Slots, range: (usize, usize)) -> Result<(), NfpError> {
+        for (index, slot) in slots.iter().enumerate().take(range.1).skip(range.0) {
+            if self.journaled[index] {
+                continue;
+            }
+            if let Some((rec, attempts)) = slot {
+                writeln!(self.file, "{}", record_line(index, rec, *attempts))
+                    .map_err(|e| records_err(&self.path, format!("append failed: {e}")))?;
+                self.journaled[index] = true;
+            }
+        }
+        self.file
+            .flush()
+            .map_err(|e| records_err(&self.path, format!("flush failed: {e}")))
+    }
+
+    /// Seals a complete run with the whole-range fin record.
+    fn seal(&mut self, slots: &Slots) -> Result<(), NfpError> {
+        if self.sealed {
+            return Ok(());
+        }
+        let n = slots.len();
+        let fin = FinRecord {
+            records: n as u64,
+            range_start: 0,
+            range_end: n as u64,
+            digest: range_digest(slots, (0, n)),
+        };
+        writeln!(self.file, "{}", fin_line(&fin))
+            .and_then(|()| self.file.flush())
+            .map_err(|e| records_err(&self.path, format!("cannot write fin: {e}")))?;
+        self.sealed = true;
+        Ok(())
+    }
+}
+
+/// Durable bookkeeping of one journaled campaign run.
+struct DurableRun {
+    cid: u64,
+    records: RecordsFile,
+}
+
+/// Closes out the durable state of a finished (or terminally failed)
+/// campaign: seal the records file when the run is complete, journal
+/// the service fin, and delete the records file.
+fn close_durable(run: Option<DurableRun>, complete_slots: Option<&Slots>, ctx: &Ctx) {
+    let Some(mut run) = run else { return };
+    if let Some(slots) = complete_slots {
+        let _ = run.records.seal(slots);
+    }
+    if let Some(journal) = &ctx.journal {
+        let _ = journal.fin(run.cid);
+    }
+    let path = run.records.path.clone();
+    drop(run);
+    let _ = std::fs::remove_file(path);
+}
+
+/// Persists a completed shard's records and journals the completion.
+/// On a write failure the durable state is closed out (best-effort)
+/// and the campaign dies — durability was promised.
+fn persist_shard(
+    durable_run: &mut Option<DurableRun>,
+    slots: &Slots,
+    range: (usize, usize),
+    shard: u32,
+    ctx: &Ctx,
+) -> Result<(), DriveFail> {
+    let Some(run) = durable_run.as_mut() else {
+        return Ok(());
+    };
+    match run.records.persist_range(slots, range) {
+        Ok(()) => {
+            if let Some(journal) = &ctx.journal {
+                let _ = journal.shard_done(run.cid, shard);
+            }
+            Ok(())
+        }
+        Err(e) => {
+            close_durable(durable_run.take(), None, ctx);
+            Err(DriveFail::Fatal(e.to_string()))
+        }
+    }
+}
+
+/// Executes one campaign end to end: plan it, split it into shard
+/// leases, ride the lease events (retry with backoff, revoke,
+/// speculate, degrade to the local pool), journaling every durable
+/// transition along the way. `link` carries the attached submit client
+/// when there is one; a journaled (or followed) campaign survives its
+/// client and keeps running headless so the result still lands in the
+/// cache. Exits abandon every outstanding lease so peers never work
+/// for a dead campaign.
+fn drive_campaign(
+    link: &mut Option<ClientLink>,
+    req: &CampaignRequest,
+    entry: &LiveEntry,
+    durable: Durable,
+    ctx: &Ctx,
+) -> Result<DriveOutcome, DriveFail> {
+    let label = format!("client '{}'", req.client);
+    let fatal = |detail: String| Err(DriveFail::Fatal(detail));
     // Plan the campaign. The golden run here is the trust anchor every
     // remote result must re-derive (golden handshake, CRCs, digests).
-    let fail_client = |client: &mut TcpStream, detail: &str| {
-        let _ = write_frame(client, &render_error(detail));
-        eprintln!("serve: campaign for {label} failed: {detail}");
-    };
     let kernels = match all_kernels(&ctx.cfg.preset.build()) {
         Ok(k) => k,
-        Err(e) => return fail_client(&mut client, &e.to_string()),
+        Err(e) => return fatal(e.to_string()),
     };
     let Some(kernel) = kernels.iter().find(|k| k.name == req.kernel) else {
-        return fail_client(
-            &mut client,
-            &format!(
-                "kernel '{}' is not in the {} preset",
-                req.kernel,
-                ctx.cfg.preset.name()
-            ),
-        );
+        return fatal(format!(
+            "kernel '{}' is not in the {} preset",
+            req.kernel,
+            ctx.cfg.preset.name()
+        ));
     };
     let campaign = req.campaign.clone();
     let (rig, space) = match CampaignRig::prepare(kernel, req.mode, &campaign) {
         Ok(r) => r,
-        Err(e) => return fail_client(&mut client, &e.to_string()),
+        Err(e) => return fatal(e.to_string()),
     };
     let faults = Arc::new(plan(&space, campaign.injections, campaign.seed));
-    let live_now = ctx.hub.live_peers.load(Ordering::SeqCst) as u32;
-    let count = if req.shards == 0 {
-        live_now.max(1)
-    } else {
-        req.shards
+    let count = match &durable {
+        // A resumed submit already carries the resolved shard count.
+        Durable::Resumed { .. } => req.shards.max(1),
+        _ => {
+            let live_now = ctx.hub.live_peers.load(Ordering::SeqCst) as u32;
+            if req.shards == 0 {
+                live_now.max(1)
+            } else {
+                req.shards
+            }
+            .min(campaign.injections.max(1) as u32)
+            .max(1)
+        }
+    };
+
+    let mut slots: Slots = vec![None; faults.len()];
+    let header = JournalHeader::bind(kernel, req.mode, &campaign, rig.golden_instret, None);
+    let mut durable_run: Option<DurableRun> = match (&ctx.journal, &durable) {
+        (None, _) | (_, Durable::No) => None,
+        (Some(journal), Durable::Fresh) => {
+            let cid = ctx.next_cid.fetch_add(1, Ordering::SeqCst);
+            let mut resolved = req.clone();
+            resolved.shards = count;
+            if let Err(e) = journal.submit(cid, &resolved, rig.golden_instret) {
+                return fatal(e.to_string());
+            }
+            match RecordsFile::open(
+                records_path(journal.path(), cid),
+                &header,
+                &faults,
+                &mut slots,
+            ) {
+                Ok(records) => Some(DurableRun { cid, records }),
+                Err(e) => {
+                    let _ = journal.fin(cid);
+                    return fatal(e.to_string());
+                }
+            }
+        }
+        (
+            Some(journal),
+            Durable::Resumed {
+                cid,
+                golden_instret,
+            },
+        ) => {
+            if rig.golden_instret != *golden_instret {
+                let _ = journal.fin(*cid);
+                return fatal(format!(
+                    "resumed campaign {cid} bound golden instret {golden_instret} but this \
+                     coordinator's rig ran {} — stale journal",
+                    rig.golden_instret
+                ));
+            }
+            match RecordsFile::open(
+                records_path(journal.path(), *cid),
+                &header,
+                &faults,
+                &mut slots,
+            ) {
+                Ok(records) => Some(DurableRun { cid: *cid, records }),
+                Err(e) => {
+                    let _ = journal.fin(*cid);
+                    return fatal(e.to_string());
+                }
+            }
+        }
+    };
+    let durable_cid = durable_run.as_ref().map(|r| r.cid);
+    let restored = slots.iter().filter(|s| s.is_some()).count();
+    if restored > 0 {
+        eprintln!(
+            "serve: campaign for {label}: {restored}/{} records restored from the records \
+             journal",
+            slots.len()
+        );
     }
-    .min(campaign.injections.max(1) as u32)
-    .max(1);
 
     let (ev_tx, ev_rx) = mpsc::channel::<LeaseEvent>();
+    let shard_range = |shard: u32| {
+        ShardSpec {
+            index: shard,
+            count,
+        }
+        .range(campaign.injections)
+    };
     let mut tracks: Vec<Track> = (0..count)
-        .map(|_| Track {
-            done: false,
-            lost: false,
-            retries: 0,
-            attempts: 0,
-            in_flight: 0,
-            leased_at: None,
-            speculated: false,
-            retry_at: None,
-            abandoned: Arc::new(AtomicBool::new(false)),
+        .map(|shard| {
+            let (start, end) = shard_range(shard);
+            Track {
+                // A shard whose whole range was restored from the
+                // records file never re-dispatches.
+                done: (start..end).all(|i| slots[i].is_some()),
+                lost: false,
+                retries: 0,
+                attempts: 0,
+                in_flight: 0,
+                leased_at: None,
+                speculated: false,
+                retry_at: None,
+                abandoned: Arc::new(AtomicBool::new(false)),
+            }
         })
         .collect();
     let hello_for = |shard: u32| WorkerHello {
@@ -1154,6 +1853,9 @@ fn run_remote_campaign(
         t.attempts += 1;
         t.in_flight += 1;
         t.leased_at = None;
+        if let (Some(cid), Some(journal)) = (durable_cid, &ctx.journal) {
+            let _ = journal.lease(cid, shard, t.attempts);
+        }
         ctx.hub.push_lease(Lease {
             hello: hello_for(shard),
             faults: Arc::clone(&faults),
@@ -1169,7 +1871,9 @@ fn run_remote_campaign(
         }
     };
     for (shard, t) in tracks.iter_mut().enumerate() {
-        dispatch(t, shard as u32);
+        if !t.done {
+            dispatch(t, shard as u32);
+        }
     }
 
     // Ride the lease events. Counters snapshot the hub so the footer
@@ -1179,12 +1883,11 @@ fn run_remote_campaign(
     let reconnects0 = ctx.hub.reconnects.load(Ordering::SeqCst);
     let rejected0 = ctx.hub.frames_rejected.load(Ordering::SeqCst);
     let retired0 = ctx.hub.peers_retired.load(Ordering::SeqCst);
-    let mut slots: Slots = vec![None; faults.len()];
     let mut kills = 0usize;
     let mut respawns = 0usize;
     let mut revoked_n = 0usize;
-    let mut fallback_note: Option<String> = None;
-    loop {
+    let mut live_notes: Vec<String> = Vec::new();
+    while !tracks.iter().all(|t| t.done || t.lost) {
         match ev_rx.recv_timeout(Duration::from_millis(25)) {
             Ok(LeaseEvent::Started { shard }) => {
                 tracks[shard as usize].leased_at = Some(Instant::now());
@@ -1192,6 +1895,9 @@ fn run_remote_campaign(
             Ok(LeaseEvent::Done { shard, records }) => {
                 let t = &mut tracks[shard as usize];
                 t.in_flight = t.in_flight.saturating_sub(1);
+                if let (Some(cid), Some(journal)) = (durable_cid, &ctx.journal) {
+                    let _ = journal.lease_return(cid, shard, true);
+                }
                 if !t.done && !t.lost {
                     t.done = true;
                     t.abandoned.store(true, Ordering::SeqCst);
@@ -1199,6 +1905,12 @@ fn run_remote_campaign(
                         slots[i] = Some((rec, attempts));
                     }
                     eprintln!("serve: shard {shard} of {label} complete");
+                    if let Err(fail) =
+                        persist_shard(&mut durable_run, &slots, shard_range(shard), shard, ctx)
+                    {
+                        abandon_all(&tracks);
+                        return Err(fail);
+                    }
                 }
             }
             Ok(LeaseEvent::Failed {
@@ -1211,16 +1923,15 @@ fn run_remote_campaign(
                 if revoked {
                     revoked_n += 1;
                 }
+                if let (Some(cid), Some(journal)) = (durable_cid, &ctx.journal) {
+                    let _ = journal.lease_return(cid, shard, false);
+                }
                 if !t.done && !t.lost {
                     eprintln!("serve: shard {shard} lease failed ({detail})");
                     if t.in_flight == 0 {
                         t.retries += 1;
                         if t.retries > ctx.cfg.shard_retries {
-                            let (s, e) = ShardSpec {
-                                index: shard,
-                                count,
-                            }
-                            .range(campaign.injections);
+                            let (start, end) = shard_range(shard);
                             if req.allow_partial {
                                 t.lost = true;
                                 eprintln!(
@@ -1229,12 +1940,12 @@ fn run_remote_campaign(
                                 );
                             } else {
                                 abandon_all(&tracks);
-                                return fail_client(
-                                    &mut client,
-                                    &NfpError::ShardLost {
+                                close_durable(durable_run.take(), None, ctx);
+                                return fatal(
+                                    NfpError::ShardLost {
                                         shard,
-                                        start: s as u64,
-                                        end: e as u64,
+                                        start: start as u64,
+                                        end: end as u64,
                                         detail,
                                     }
                                     .to_string(),
@@ -1302,8 +2013,10 @@ fn run_remote_campaign(
                     pending.len()
                 );
                 eprintln!("serve: {note}");
-                let _ = write_frame(&mut client, &render_note(&note));
-                fallback_note = Some(note);
+                if let Some(l) = link.as_mut() {
+                    let _ = write_frame(&mut l.stream, &render_note(&note));
+                }
+                live_notes.push(note);
                 abandon_all(&tracks);
                 for shard in pending {
                     let mut sup = SupervisorConfig::new(campaign.clone());
@@ -1321,63 +2034,85 @@ fn run_remote_campaign(
                         Ok(out) => {
                             kills += out.kills;
                             respawns += out.respawns;
-                            let (start, _) = ShardSpec {
-                                index: shard,
-                                count,
-                            }
-                            .range(campaign.injections);
+                            let (start, _) = shard_range(shard);
                             for (k, rec) in out.result.records.into_iter().enumerate() {
                                 slots[start + k] = Some((rec, 1));
                             }
                             tracks[shard as usize].done = true;
+                            if let Err(fail) = persist_shard(
+                                &mut durable_run,
+                                &slots,
+                                shard_range(shard),
+                                shard,
+                                ctx,
+                            ) {
+                                abandon_all(&tracks);
+                                return Err(fail);
+                            }
                         }
                         Err(e) => {
                             if req.allow_partial {
                                 tracks[shard as usize].lost = true;
                                 eprintln!("serve: local fallback of shard {shard} failed: {e}");
                             } else {
-                                return fail_client(&mut client, &e.to_string());
+                                close_durable(durable_run.take(), None, ctx);
+                                return fatal(e.to_string());
                             }
                         }
                     }
                 }
             }
         }
-        // Client liveness: a dead client frees the workers immediately.
-        if last_beat.elapsed() >= CLIENT_BEAT {
-            if write_frame(&mut client, HB_FRAME).is_err() {
-                eprintln!("serve: {label} unreachable; abandoning the campaign");
-                abandon_all(&tracks);
-                return;
-            }
-            last_beat = Instant::now();
-        }
-        match creader.recv(&mut client) {
-            Ok(Recv::Idle) => {}
-            Ok(Recv::Frame(line)) => {
-                if !is_hb(&line) {
-                    ctx.hub.reject_frame();
+        // Client liveness. A journaled campaign — or one with
+        // followers — outlives its client: detach and keep running
+        // headless so the result lands in the cache for the session
+        // to resume. Otherwise a dead client frees the workers.
+        let mut client_gone = false;
+        if let Some(l) = link.as_mut() {
+            if last_beat.elapsed() >= CLIENT_BEAT {
+                if write_frame(&mut l.stream, HB_FRAME).is_err() {
+                    client_gone = true;
+                } else {
+                    last_beat = Instant::now();
                 }
             }
-            Ok(Recv::Eof) | Err(_) => {
+            if !client_gone {
+                match l.reader.recv(&mut l.stream) {
+                    Ok(Recv::Idle) => {}
+                    Ok(Recv::Frame(line)) => {
+                        if !is_hb(&line) {
+                            ctx.hub.reject_frame();
+                        }
+                    }
+                    Ok(Recv::Eof) | Err(_) => client_gone = true,
+                }
+            }
+        }
+        if client_gone {
+            *link = None;
+            if durable_cid.is_some() || entry.subscribers.load(Ordering::SeqCst) > 0 {
+                eprintln!("serve: {label} disconnected; the campaign continues headless");
+            } else {
                 eprintln!("serve: {label} disconnected; abandoning the campaign");
                 abandon_all(&tracks);
-                return;
+                return Err(DriveFail::Interrupted(
+                    "client disconnected mid-campaign".to_string(),
+                ));
             }
         }
         if ctx.hub.shutdown.load(Ordering::SeqCst) {
             abandon_all(&tracks);
-            return fail_client(&mut client, "coordinator shutting down");
-        }
-        if tracks.iter().all(|t| t.done || t.lost) {
-            break;
+            return Err(DriveFail::Interrupted(
+                "coordinator shutting down".to_string(),
+            ));
         }
     }
     // Stale speculative leases must not outlive the campaign.
     abandon_all(&tracks);
 
     let missing = missing_ranges_of(&slots);
-    let records: Vec<InjectionRecord> = slots.into_iter().flatten().map(|(rec, _)| rec).collect();
+    let complete = missing.is_empty();
+    close_durable(durable_run.take(), complete.then_some(&slots), ctx);
     let footer = CampaignFooter {
         kills,
         respawns,
@@ -1390,32 +2125,77 @@ fn run_remote_campaign(
         frames_rejected: ctx.hub.frames_rejected.load(Ordering::SeqCst) - rejected0,
         peers_retired: ctx.hub.peers_retired.load(Ordering::SeqCst) - retired0,
         dispatch: Some(rig.machine.dispatch_stats()),
+        cache_hits: ctx.cache_hits.load(Ordering::SeqCst),
+        cache_misses: ctx.cache_misses.load(Ordering::SeqCst),
+        submits_deduped: ctx.submits_deduped.load(Ordering::SeqCst),
+        sessions_resumed: ctx.sessions_resumed.load(Ordering::SeqCst),
+        restarts: ctx.restarts,
     };
+    let records: Vec<InjectionRecord> = slots.into_iter().flatten().map(|(rec, _)| rec).collect();
     let result = assemble(kernel, req.mode, &rig, records);
-    let _ = fallback_note; // delivered above; kept for symmetry with notes
-    for line in report_campaign_footer(&footer).lines() {
-        if write_frame(&mut client, &render_note(line)).is_err() {
-            eprintln!("serve: {label} unreachable during the footer; result discarded");
-            return;
+    eprintln!("serve: campaign '{}' for {label} assembled", result.name);
+    Ok(DriveOutcome {
+        live_notes,
+        footer_notes: report_campaign_footer(&footer)
+            .lines()
+            .map(str::to_string)
+            .collect(),
+        report: report_campaign(&result),
+        complete,
+    })
+}
+
+/// Publishes a finished campaign run: cache the report (journaling any
+/// evictions), wake the followers, unregister the live entry, and
+/// deliver to the attached client when one is still there.
+fn finish_campaign(
+    outcome: Result<DriveOutcome, DriveFail>,
+    mut link: Option<ClientLink>,
+    key: &str,
+    entry: &LiveEntry,
+    label: &str,
+    ctx: &Ctx,
+) {
+    match outcome {
+        Ok(out) => {
+            // Cache first, then publish, then unregister: a submission
+            // arriving at any instant finds the result through exactly
+            // one of the cache, the live entry, or a fresh run.
+            if out.complete {
+                let evicted = lock(&ctx.cache).put(key, &out.report);
+                for (evicted_key, bytes) in evicted {
+                    ctx.cache_evictions.fetch_add(1, Ordering::SeqCst);
+                    if let Some(journal) = &ctx.journal {
+                        let _ = journal.evict(&evicted_key, bytes);
+                    }
+                    eprintln!("serve: result cache evicted '{evicted_key}' ({bytes} bytes)");
+                }
+            }
+            let mut notes = out.live_notes.clone();
+            notes.extend(out.footer_notes.iter().cloned());
+            entry.publish(LiveState::Done {
+                notes,
+                report: out.report.clone(),
+            });
+            lock(&ctx.live).remove(key);
+            ctx.served.fetch_add(1, Ordering::SeqCst);
+            if let Some(l) = link.as_mut() {
+                if deliver(&mut l.stream, &out.footer_notes, &out.report).is_err() {
+                    eprintln!("serve: {label} unreachable during the report; the result is cached");
+                }
+            }
+            eprintln!("serve: campaign for {label} complete");
+        }
+        Err(fail) => {
+            let detail = fail.detail().to_string();
+            entry.publish(LiveState::Failed(detail.clone()));
+            lock(&ctx.live).remove(key);
+            if let Some(l) = link.as_mut() {
+                let _ = write_frame(&mut l.stream, &render_error(&detail));
+            }
+            eprintln!("serve: campaign for {label} failed: {detail}");
         }
     }
-    let report = report_campaign(&result);
-    let mut rest = report.as_str();
-    while !rest.is_empty() {
-        let mut cut = rest.len().min(REPORT_CHUNK);
-        while !rest.is_char_boundary(cut) {
-            cut -= 1;
-        }
-        let (head, tail) = rest.split_at(cut);
-        if write_frame(&mut client, &render_report_chunk(head)).is_err() {
-            eprintln!("serve: {label} unreachable during the report; result discarded");
-            return;
-        }
-        rest = tail;
-    }
-    let _ = write_frame(&mut client, END_FRAME);
-    ctx.served.fetch_add(1, Ordering::SeqCst);
-    eprintln!("serve: campaign '{}' for {label} complete", result.name);
 }
 
 fn is_hb(line: &str) -> bool {
@@ -1523,6 +2303,40 @@ pub fn submit_campaign_with(
             }
             Some("bye") => return Err(net("coordinator is shutting down".to_string())),
             other => return Err(violation(format!("unknown frame kind {other:?}"))),
+        }
+    }
+}
+
+/// [`submit_campaign_with`] wrapped in a capped, deterministically
+/// jittered retry loop (the worker's reconnect discipline, on the
+/// client). Only transport failures ([`NfpError::Net`]) — connection
+/// refused while a coordinator restarts, a crash mid-report — are
+/// retried, up to `retries` times; admission refusals and protocol
+/// violations surface immediately. Because a finished campaign is
+/// cached on the coordinator keyed by its request, a retried submit is
+/// idempotent: the re-presented key returns the byte-identical report
+/// (or re-attaches to the still-running campaign) rather than
+/// re-simulating.
+pub fn submit_campaign_retry(
+    addr: &str,
+    req: &CampaignRequest,
+    retries: u32,
+    mut on_note: impl FnMut(&str),
+) -> Result<RemoteOutcome, NfpError> {
+    let mut attempt = 0u32;
+    loop {
+        match submit_campaign_with(addr, req, &mut on_note) {
+            Ok(outcome) => return Ok(outcome),
+            Err(NfpError::Net { detail, .. }) if attempt < retries => {
+                attempt += 1;
+                let delay = backoff_delay(req.campaign.seed, 0, attempt);
+                on_note(&format!(
+                    "submit attempt {attempt} failed ({detail}); retrying in {}ms",
+                    delay.as_millis()
+                ));
+                std::thread::sleep(delay);
+            }
+            Err(e) => return Err(e),
         }
     }
 }
@@ -1786,5 +2600,48 @@ mod tests {
         );
         assert!(parse_submit("garbage").is_err());
         assert!(parse_submit(HB_FRAME).is_err());
+    }
+
+    // -- the idempotency key ------------------------------------------
+
+    #[test]
+    fn campaign_key_ignores_identity_but_not_the_plan() {
+        let req = CampaignRequest {
+            client: "tenant-a".to_string(),
+            kernel: "fse_img00".to_string(),
+            mode: Mode::Float,
+            campaign: CampaignConfig {
+                injections: 400,
+                seed: 7,
+                checkpoints: 8,
+                wall: None,
+                dispatch: nfp_sim::Dispatch::Traced,
+                escalation: 2,
+            },
+            shards: 4,
+            allow_partial: false,
+        };
+        // Who asks and how the work is split don't change the report
+        // bytes, so they must not change the key.
+        let mut same = req.clone();
+        same.client = "tenant-b".to_string();
+        same.shards = 0;
+        assert_eq!(campaign_key(&req), campaign_key(&same));
+        // Anything the report depends on must change the key.
+        for tweak in [
+            |r: &mut CampaignRequest| r.kernel = "other".to_string(),
+            |r: &mut CampaignRequest| r.mode = Mode::Fixed,
+            |r: &mut CampaignRequest| r.campaign.injections += 1,
+            |r: &mut CampaignRequest| r.campaign.seed += 1,
+            |r: &mut CampaignRequest| r.campaign.checkpoints += 1,
+            |r: &mut CampaignRequest| r.campaign.wall = Some(Duration::from_millis(10)),
+            |r: &mut CampaignRequest| r.campaign.dispatch = nfp_sim::Dispatch::Step,
+            |r: &mut CampaignRequest| r.campaign.escalation += 1,
+            |r: &mut CampaignRequest| r.allow_partial = true,
+        ] {
+            let mut other = req.clone();
+            tweak(&mut other);
+            assert_ne!(campaign_key(&req), campaign_key(&other));
+        }
     }
 }

@@ -1,0 +1,657 @@
+//! Write-ahead **service journal** for the `repro serve` coordinator.
+//!
+//! The supervisor journal (DESIGN.md §10) makes one *campaign*
+//! crash-safe; this module makes the *coordinator* crash-safe. Every
+//! state transition the hub cares about — a start, an accepted submit,
+//! a lease grant/return, a shard completion, a campaign fin, a cache
+//! eviction, a clean drain — is appended as a CRC'd flat-JSON record
+//! before the transition is acted on, so `repro serve --resume` can
+//! rebuild the hub (in-flight campaigns, completed shards, restart
+//! count) from the journal alone.
+//!
+//! The record discipline is the one `supervisor.rs` established: line 1
+//! is a binding header, every event line carries a CRC-32 of its
+//! canonical rendering (so a flipped bit in a value *or* in the CRC
+//! itself is caught), a newline-less final line is the torn tail of a
+//! mid-write kill and is truncated on resume, and corruption anywhere
+//! else is a hard typed [`NfpError::Journal`] naming the line.
+//!
+//! Per-campaign *records* live outside this file: each accepted submit
+//! gets a sibling journal at `<path>.c<cid>` in the exact supervisor
+//! journal format (header + CRC'd records + fin), written in bulk at
+//! each shard completion and deleted once the campaign's fin event
+//! lands here — so the service journal stays O(events), not O(plan).
+
+use crate::campaign::CampaignConfig;
+use crate::crc::crc32;
+use crate::evaluation::Mode;
+use crate::flatjson::{esc, parse_flat, Obj};
+use crate::serve::CampaignRequest;
+use crate::supervisor::with_crc;
+use nfp_core::NfpError;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Journal schema version. Bump on any incompatible rendering change.
+const SERVICE_V: u64 = 1;
+/// The `kind` tag on line 1 that distinguishes a service journal from
+/// the (header-compatible) campaign journals sitting next to it.
+const SERVICE_KIND: &str = "nfp-serve-journal";
+
+fn header_line() -> String {
+    format!("{{\"v\":{SERVICE_V},\"kind\":\"{SERVICE_KIND}\"}}")
+}
+
+// ---------------------------------------------------------------------
+// Canonical event renderings (the bytes each record's CRC covers).
+// ---------------------------------------------------------------------
+
+fn start_base() -> String {
+    "{\"ev\":\"start\"}".to_string()
+}
+
+fn submit_base(cid: u64, req: &CampaignRequest, golden_instret: u64) -> String {
+    format!(
+        concat!(
+            "{{\"ev\":\"submit\",\"cid\":{},\"client\":\"{}\",\"kernel\":\"{}\",",
+            "\"mode\":\"{}\",\"injections\":{},\"seed\":{},\"checkpoints\":{},",
+            "\"dispatch\":\"{}\",\"escalation\":{},\"wall_ms\":{},\"shards\":{},",
+            "\"allow_partial\":{},\"golden_instret\":{}}}"
+        ),
+        cid,
+        esc(&req.client),
+        esc(&req.kernel),
+        req.mode.suffix(),
+        req.campaign.injections,
+        req.campaign.seed,
+        req.campaign.checkpoints,
+        req.campaign.dispatch.as_str(),
+        req.campaign.escalation,
+        req.campaign.wall.map_or_else(
+            || "null".to_string(),
+            |d| (d.as_millis() as u64).to_string()
+        ),
+        req.shards,
+        req.allow_partial,
+        golden_instret,
+    )
+}
+
+fn lease_base(cid: u64, shard: u32, attempt: u32) -> String {
+    format!("{{\"ev\":\"lease\",\"cid\":{cid},\"shard\":{shard},\"attempt\":{attempt}}}")
+}
+
+fn return_base(cid: u64, shard: u32, ok: bool) -> String {
+    format!("{{\"ev\":\"return\",\"cid\":{cid},\"shard\":{shard},\"ok\":{ok}}}")
+}
+
+fn shard_base(cid: u64, shard: u32) -> String {
+    format!("{{\"ev\":\"shard\",\"cid\":{cid},\"shard\":{shard}}}")
+}
+
+fn fin_base(cid: u64) -> String {
+    format!("{{\"ev\":\"fin\",\"cid\":{cid}}}")
+}
+
+fn evict_base(key: &str, bytes: usize) -> String {
+    format!(
+        "{{\"ev\":\"evict\",\"key\":\"{}\",\"bytes\":{bytes}}}",
+        esc(key)
+    )
+}
+
+fn drain_base() -> String {
+    "{\"ev\":\"drain\"}".to_string()
+}
+
+// ---------------------------------------------------------------------
+// The append side.
+// ---------------------------------------------------------------------
+
+/// An open, flushed-per-record service journal. Shared by reference
+/// across the coordinator's connection threads; the mutex serialises
+/// appends so records land whole.
+pub(crate) struct ServiceJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+fn journal_io(path: &Path, detail: String) -> NfpError {
+    NfpError::Journal {
+        path: path.display().to_string(),
+        reason: detail,
+    }
+}
+
+impl ServiceJournal {
+    /// Creates (truncating) a fresh journal with its header line.
+    pub(crate) fn create(path: &Path) -> Result<ServiceJournal, NfpError> {
+        let mut file = File::create(path)
+            .map_err(|e| journal_io(path, format!("cannot create service journal: {e}")))?;
+        writeln!(file, "{}", header_line())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| journal_io(path, format!("cannot write service journal header: {e}")))?;
+        Ok(ServiceJournal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Reopens an existing journal for appending, first truncating the
+    /// torn tail a loader identified (`intact_len` bytes survive).
+    pub(crate) fn resume(path: &Path, intact_len: u64) -> Result<ServiceJournal, NfpError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| journal_io(path, format!("cannot reopen service journal: {e}")))?;
+        file.set_len(intact_len)
+            .and_then(|_| file.seek(SeekFrom::End(0)))
+            .map_err(|e| journal_io(path, format!("cannot truncate torn tail: {e}")))?;
+        Ok(ServiceJournal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal's own path (per-campaign records files derive from
+    /// it via [`records_path`]).
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&self, base: String) -> Result<(), NfpError> {
+        let mut file = self.file.lock().unwrap_or_else(PoisonedLock::recover);
+        writeln!(file, "{}", with_crc(base))
+            .and_then(|()| file.flush())
+            .map_err(|e| journal_io(&self.path, format!("append failed: {e}")))
+    }
+
+    pub(crate) fn start(&self) -> Result<(), NfpError> {
+        self.append(start_base())
+    }
+
+    pub(crate) fn submit(
+        &self,
+        cid: u64,
+        req: &CampaignRequest,
+        golden_instret: u64,
+    ) -> Result<(), NfpError> {
+        self.append(submit_base(cid, req, golden_instret))
+    }
+
+    pub(crate) fn lease(&self, cid: u64, shard: u32, attempt: u32) -> Result<(), NfpError> {
+        self.append(lease_base(cid, shard, attempt))
+    }
+
+    pub(crate) fn lease_return(&self, cid: u64, shard: u32, ok: bool) -> Result<(), NfpError> {
+        self.append(return_base(cid, shard, ok))
+    }
+
+    pub(crate) fn shard_done(&self, cid: u64, shard: u32) -> Result<(), NfpError> {
+        self.append(shard_base(cid, shard))
+    }
+
+    pub(crate) fn fin(&self, cid: u64) -> Result<(), NfpError> {
+        self.append(fin_base(cid))
+    }
+
+    pub(crate) fn evict(&self, key: &str, bytes: usize) -> Result<(), NfpError> {
+        self.append(evict_base(key, bytes))
+    }
+
+    pub(crate) fn drain(&self) -> Result<(), NfpError> {
+        self.append(drain_base())
+    }
+}
+
+/// `PoisonError` recovery shim: journal appends are single `writeln!`
+/// calls, so a panicking peer thread cannot leave the file torn —
+/// recover the guard rather than poisoning every later append.
+struct PoisonedLock;
+impl PoisonedLock {
+    fn recover<T>(e: std::sync::PoisonError<T>) -> T {
+        e.into_inner()
+    }
+}
+
+/// The per-campaign records journal sitting next to a service journal:
+/// `serve.journal` → `serve.journal.c7` for campaign id 7.
+pub(crate) fn records_path(journal: &Path, cid: u64) -> PathBuf {
+    let mut os = journal.as_os_str().to_os_string();
+    os.push(format!(".c{cid}"));
+    PathBuf::from(os)
+}
+
+// ---------------------------------------------------------------------
+// The load side.
+// ---------------------------------------------------------------------
+
+/// A campaign the journal saw submitted but not finished: the resumed
+/// coordinator re-runs it headless, re-dispatching only the shards not
+/// already completed in its records file.
+#[derive(Debug)]
+pub(crate) struct OpenCampaign {
+    pub(crate) cid: u64,
+    /// The submit, with `shards` already resolved to the concrete
+    /// count the first run dispatched (journaled post-resolution, so a
+    /// resume never re-guesses from live-peer census).
+    pub(crate) req: CampaignRequest,
+    /// Golden instruction count the first run bound its leases to.
+    pub(crate) golden_instret: u64,
+    /// Shards whose records landed in the campaign's records file.
+    pub(crate) done_shards: Vec<u32>,
+}
+
+/// Hub state rebuilt from an intact service journal prefix.
+#[derive(Debug)]
+pub(crate) struct ServiceState {
+    /// Byte length of the intact prefix (everything past it is a torn
+    /// mid-write tail, truncated by [`ServiceJournal::resume`]).
+    pub(crate) intact_len: u64,
+    /// Coordinator starts recorded — a resumed run's restart counter.
+    pub(crate) starts: usize,
+    /// Whether the journal ends in a clean drain (no open campaigns
+    /// were abandoned; a fresh start may still follow).
+    pub(crate) drained: bool,
+    /// First campaign id not yet used.
+    pub(crate) next_cid: u64,
+    /// Campaigns submitted but not finished, oldest first.
+    pub(crate) open: Vec<OpenCampaign>,
+    /// Cache evictions journaled across all starts.
+    pub(crate) evictions: usize,
+}
+
+fn verified(obj: &Obj, base: &str) -> bool {
+    obj.u64("crc").and_then(|c| u32::try_from(c).ok()) == Some(crc32(base.as_bytes()))
+}
+
+fn parse_submit_event(obj: &Obj) -> Option<(u64, CampaignRequest, u64)> {
+    let cid = obj.u64("cid")?;
+    let req = CampaignRequest {
+        client: obj.str("client")?.to_string(),
+        kernel: obj.str("kernel")?.to_string(),
+        mode: Mode::from_suffix(obj.str("mode")?)?,
+        campaign: CampaignConfig {
+            injections: usize::try_from(obj.u64("injections")?).ok()?,
+            seed: obj.u64("seed")?,
+            checkpoints: usize::try_from(obj.u64("checkpoints")?).ok()?,
+            wall: obj.opt_u64("wall_ms")?.map(Duration::from_millis),
+            dispatch: nfp_sim::Dispatch::parse(obj.str("dispatch")?)?,
+            escalation: u32::try_from(obj.u64("escalation")?).ok()?,
+        },
+        shards: u32::try_from(obj.u64("shards")?).ok()?,
+        allow_partial: obj.bool("allow_partial")?,
+    };
+    let golden = obj.u64("golden_instret")?;
+    Some((cid, req, golden))
+}
+
+/// Streams a service journal line-by-line, verifying each record's CRC
+/// and event-ordering discipline, and rebuilds the hub state. A torn
+/// newline-less final line is tolerated and excluded from `intact_len`;
+/// corruption anywhere else is a hard [`NfpError::Journal`] naming the
+/// line, so the caller can quarantine the file rather than trust it.
+pub(crate) fn load_service_journal(path: &Path) -> Result<ServiceState, NfpError> {
+    let shown = path.display().to_string();
+    let journal_err = |reason: String| NfpError::Journal {
+        path: shown.clone(),
+        reason,
+    };
+    let file = File::open(path).map_err(|e| journal_err(format!("cannot open for resume: {e}")))?;
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let mut offset = 0u64;
+    let mut lineno = 0usize;
+    let mut state = ServiceState {
+        intact_len: 0,
+        starts: 0,
+        drained: false,
+        next_cid: 0,
+        open: Vec::new(),
+        evictions: 0,
+    };
+    let mut finished: HashSet<u64> = HashSet::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| journal_err(format!("read failed at byte {offset}: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        offset += n as u64;
+        lineno += 1;
+        if !line.ends_with('\n') {
+            // A newline-less final line is the torn tail of a mid-write
+            // kill (events are appended and flushed whole): drop it and
+            // resume from the intact prefix.
+            let at_eof = reader.fill_buf().map_or(true, <[u8]>::is_empty);
+            if at_eof {
+                break;
+            }
+            return Err(journal_err(format!("corrupt record at line {lineno}")));
+        }
+        if lineno == 1 {
+            let ok = parse_flat(&line).map(Obj).is_some_and(|obj| {
+                obj.str("kind") == Some(SERVICE_KIND) && obj.u64("v") == Some(SERVICE_V)
+            });
+            if !ok {
+                return Err(journal_err(
+                    "not a service journal (bad or missing header)".to_string(),
+                ));
+            }
+            state.intact_len = offset;
+            continue;
+        }
+        let corrupt = || journal_err(format!("corrupt record at line {lineno}"));
+        let obj = Obj(parse_flat(&line).ok_or_else(corrupt)?);
+        let ev = obj.str("ev").ok_or_else(corrupt)?.to_string();
+        if state.drained && ev != "start" {
+            return Err(journal_err(format!(
+                "record at line {lineno} appears after a clean drain"
+            )));
+        }
+        // Events that bind a campaign id must name one the journal has
+        // seen submitted and not yet finished.
+        let live_cid = |cid: Option<u64>| -> Result<u64, NfpError> {
+            let cid = cid.ok_or_else(corrupt)?;
+            if finished.contains(&cid) {
+                return Err(journal_err(format!(
+                    "record at line {lineno} appears after campaign {cid} finished"
+                )));
+            }
+            if !state.open.iter().any(|c| c.cid == cid) {
+                return Err(journal_err(format!(
+                    "record at line {lineno} names unknown campaign {cid}"
+                )));
+            }
+            Ok(cid)
+        };
+        match ev.as_str() {
+            "start" => {
+                if !verified(&obj, &start_base()) {
+                    return Err(corrupt());
+                }
+                state.starts += 1;
+                state.drained = false;
+            }
+            "submit" => {
+                let (cid, req, golden) = parse_submit_event(&obj).ok_or_else(corrupt)?;
+                if !verified(&obj, &submit_base(cid, &req, golden)) {
+                    return Err(corrupt());
+                }
+                if finished.contains(&cid) || state.open.iter().any(|c| c.cid == cid) {
+                    return Err(journal_err(format!(
+                        "duplicate submit for campaign {cid} at line {lineno}"
+                    )));
+                }
+                state.next_cid = state.next_cid.max(cid + 1);
+                state.open.push(OpenCampaign {
+                    cid,
+                    req,
+                    golden_instret: golden,
+                    done_shards: Vec::new(),
+                });
+            }
+            "lease" => {
+                let (cid, shard, attempt) = (
+                    obj.u64("cid"),
+                    obj.u64("shard").ok_or_else(corrupt)?,
+                    obj.u64("attempt").ok_or_else(corrupt)?,
+                );
+                let cid = live_cid(cid)?;
+                let (shard, attempt) = (
+                    u32::try_from(shard).map_err(|_| corrupt())?,
+                    u32::try_from(attempt).map_err(|_| corrupt())?,
+                );
+                if !verified(&obj, &lease_base(cid, shard, attempt)) {
+                    return Err(corrupt());
+                }
+            }
+            "return" => {
+                let shard = obj.u64("shard").ok_or_else(corrupt)?;
+                let ok = obj.bool("ok").ok_or_else(corrupt)?;
+                let cid = live_cid(obj.u64("cid"))?;
+                let shard = u32::try_from(shard).map_err(|_| corrupt())?;
+                if !verified(&obj, &return_base(cid, shard, ok)) {
+                    return Err(corrupt());
+                }
+            }
+            "shard" => {
+                let shard = obj.u64("shard").ok_or_else(corrupt)?;
+                let cid = live_cid(obj.u64("cid"))?;
+                let shard = u32::try_from(shard).map_err(|_| corrupt())?;
+                if !verified(&obj, &shard_base(cid, shard)) {
+                    return Err(corrupt());
+                }
+                let open = state
+                    .open
+                    .iter_mut()
+                    .find(|c| c.cid == cid)
+                    .expect("live_cid checked membership");
+                if open.done_shards.contains(&shard) {
+                    return Err(journal_err(format!(
+                        "duplicate shard {shard} completion for campaign {cid} at line {lineno}"
+                    )));
+                }
+                open.done_shards.push(shard);
+            }
+            "fin" => {
+                let cid = live_cid(obj.u64("cid"))?;
+                if !verified(&obj, &fin_base(cid)) {
+                    return Err(corrupt());
+                }
+                state.open.retain(|c| c.cid != cid);
+                finished.insert(cid);
+            }
+            "evict" => {
+                let key = obj.str("key").ok_or_else(corrupt)?;
+                let bytes = usize::try_from(obj.u64("bytes").ok_or_else(corrupt)?)
+                    .map_err(|_| corrupt())?;
+                if !verified(&obj, &evict_base(key, bytes)) {
+                    return Err(corrupt());
+                }
+                state.evictions += 1;
+            }
+            "drain" => {
+                if !verified(&obj, &drain_base()) {
+                    return Err(corrupt());
+                }
+                state.drained = true;
+            }
+            _ => return Err(corrupt()),
+        }
+        state.intact_len = offset;
+    }
+    if lineno == 0 {
+        return Err(journal_err("journal is empty (no header)".to_string()));
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shards::quarantined_path;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "nfp_servejournal_{name}_{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn request() -> CampaignRequest {
+        CampaignRequest {
+            client: "unit \"client\"".to_string(),
+            kernel: "fse".to_string(),
+            mode: Mode::Float,
+            campaign: CampaignConfig {
+                injections: 40,
+                seed: 0xfeed,
+                checkpoints: 4,
+                wall: Some(Duration::from_millis(120_000)),
+                dispatch: nfp_sim::Dispatch::default(),
+                escalation: 2,
+            },
+            shards: 4,
+            allow_partial: false,
+        }
+    }
+
+    fn populated(name: &str) -> PathBuf {
+        let path = tmp(name);
+        let j = ServiceJournal::create(&path).unwrap();
+        j.start().unwrap();
+        j.submit(0, &request(), 777).unwrap();
+        j.lease(0, 0, 1).unwrap();
+        j.lease_return(0, 0, true).unwrap();
+        j.shard_done(0, 0).unwrap();
+        j.shard_done(0, 1).unwrap();
+        path
+    }
+
+    #[test]
+    fn roundtrip_rebuilds_open_campaigns_and_counters() {
+        let path = populated("roundtrip");
+        let state = load_service_journal(&path).unwrap();
+        assert_eq!(state.starts, 1);
+        assert_eq!(state.next_cid, 1);
+        assert!(!state.drained);
+        assert_eq!(state.open.len(), 1);
+        let open = &state.open[0];
+        assert_eq!(open.cid, 0);
+        assert_eq!(open.golden_instret, 777);
+        assert_eq!(open.done_shards, vec![0, 1]);
+        assert_eq!(open.req.client, "unit \"client\"");
+        assert_eq!(open.req.campaign.seed, 0xfeed);
+        assert_eq!(open.req.campaign.wall, Some(Duration::from_millis(120_000)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fin_closes_the_campaign_and_drain_marks_a_clean_end() {
+        let path = populated("fin_drain");
+        let j = ServiceJournal::resume(&path, std::fs::metadata(&path).unwrap().len()).unwrap();
+        j.evict("fse|f32|40", 1234).unwrap();
+        j.fin(0).unwrap();
+        j.drain().unwrap();
+        let state = load_service_journal(&path).unwrap();
+        assert!(state.open.is_empty());
+        assert!(state.drained);
+        assert_eq!(state.evictions, 1);
+        assert_eq!(state.next_cid, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_truncated_on_resume() {
+        let path = populated("torn");
+        let intact = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"ev\":\"shard\",\"cid\":0,\"sha").unwrap();
+        drop(f);
+        let state = load_service_journal(&path).unwrap();
+        assert_eq!(state.intact_len, intact);
+        assert_eq!(state.open[0].done_shards, vec![0, 1]);
+        // Resume truncates the tail; appends land on a clean prefix.
+        let j = ServiceJournal::resume(&path, state.intact_len).unwrap();
+        j.shard_done(0, 2).unwrap();
+        let state = load_service_journal(&path).unwrap();
+        assert_eq!(state.open[0].done_shards, vec![0, 1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_a_typed_journal_error_naming_the_line() {
+        let path = populated("flip");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip one digit inside the submit record (line 3).
+        let flipped = text.replacen("\"injections\":40", "\"injections\":41", 1);
+        assert_ne!(text, flipped);
+        std::fs::write(&path, flipped).unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        match err {
+            NfpError::Journal { reason, .. } => {
+                assert_eq!(reason, "corrupt record at line 3");
+            }
+            other => panic!("expected Journal error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_submit_and_unknown_cid_are_rejected() {
+        let path = tmp("dup");
+        let j = ServiceJournal::create(&path).unwrap();
+        j.submit(3, &request(), 1).unwrap();
+        j.submit(3, &request(), 1).unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate submit for campaign 3"),
+            "{err}"
+        );
+        let j = ServiceJournal::create(&path).unwrap();
+        j.lease(9, 0, 1).unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        assert!(err.to_string().contains("unknown campaign 9"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn records_after_fin_or_drain_are_rejected() {
+        let path = tmp("postfin");
+        let j = ServiceJournal::create(&path).unwrap();
+        j.submit(0, &request(), 1).unwrap();
+        j.fin(0).unwrap();
+        j.shard_done(0, 1).unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("after campaign 0 finished"),
+            "{err}"
+        );
+        let j = ServiceJournal::create(&path).unwrap();
+        j.drain().unwrap();
+        j.submit(0, &request(), 1).unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        assert!(err.to_string().contains("after a clean drain"), "{err}");
+        // A fresh start after a drain is the one legal continuation.
+        let j = ServiceJournal::create(&path).unwrap();
+        j.drain().unwrap();
+        j.start().unwrap();
+        j.submit(0, &request(), 1).unwrap();
+        let state = load_service_journal(&path).unwrap();
+        assert_eq!(state.open.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_journal_and_wrong_kind_are_typed_errors() {
+        let path = tmp("empty");
+        std::fs::write(&path, "").unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        assert!(err.to_string().contains("journal is empty"), "{err}");
+        std::fs::write(&path, "{\"v\":1,\"kind\":\"nfp-campaign-journal\"}\n").unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        assert!(err.to_string().contains("not a service journal"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn records_path_and_quarantine_names_derive_from_the_journal() {
+        let base = PathBuf::from("/tmp/serve.journal");
+        assert_eq!(
+            records_path(&base, 7),
+            PathBuf::from("/tmp/serve.journal.c7")
+        );
+        assert_eq!(
+            quarantined_path(&base),
+            PathBuf::from("/tmp/serve.journal.quarantined")
+        );
+    }
+}

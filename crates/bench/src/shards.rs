@@ -178,7 +178,7 @@ fn spec_journal_path(base: &Path, index: u32, count: u32) -> PathBuf {
 
 /// Where a failed shard journal is moved so a fresh attempt can start
 /// from a clean path without destroying the evidence.
-fn quarantined_path(path: &Path) -> PathBuf {
+pub(crate) fn quarantined_path(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_os_string();
     os.push(".quarantined");
     PathBuf::from(os)

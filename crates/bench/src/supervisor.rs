@@ -480,7 +480,7 @@ pub(crate) fn record_line_base(index: usize, rec: &InjectionRecord, attempts: u3
 
 /// Splices `,"crc":N` into a canonical rendering just before its
 /// closing brace, where `N` checksums the canonical bytes.
-fn with_crc(base: String) -> String {
+pub(crate) fn with_crc(base: String) -> String {
     let crc = crc32(base.as_bytes());
     format!("{},\"crc\":{crc}}}", &base[..base.len() - 1])
 }
