@@ -194,13 +194,18 @@ fn time_sharded(kernel: &Kernel, base: &std::path::Path, shards: u32, reps: usiz
 /// and a framed submit/report round trip — the full price of remote
 /// dispatch (framing, CRCs, digests, heartbeats) with zero real network
 /// latency under it.
-fn time_remote_once(kernel: &Kernel, journal: Option<&std::path::Path>) -> (f64, f64) {
+fn time_remote_once(
+    kernel: &Kernel,
+    journal: Option<&std::path::Path>,
+    audit_rate: f64,
+) -> (f64, f64) {
     let server = Server::bind(ServeConfig {
         listen: "127.0.0.1:0".to_string(),
         preset: WorkerPreset::Quick,
         campaigns: Some(if journal.is_some() { 2 } else { 1 }),
         peer_grace: std::time::Duration::from_secs(120),
         journal: journal.map(std::path::Path::to_path_buf),
+        audit_rate,
         ..ServeConfig::default()
     })
     .expect("bind loopback coordinator");
@@ -251,13 +256,17 @@ fn time_remote_once(kernel: &Kernel, journal: Option<&std::path::Path>) -> (f64,
 /// the variants per rep means machine drift over the bench's runtime
 /// hits all three alike and cancels out of the overhead ratios, same as
 /// the dispatch-mode measurement above. Returns `(local, remote,
-/// journaled_remote, cache_hit)` seconds.
-fn time_remote_suite(kernel: &Kernel, reps: usize) -> (f64, f64, f64, f64) {
+/// journaled_remote, cache_hit, audited_remote)` seconds; the last is
+/// the remote run with `--audit-rate 1` — every range re-executed by a
+/// disjoint worker before it is trusted (DESIGN.md §16), the worst-case
+/// price of the Byzantine audit tier.
+fn time_remote_suite(kernel: &Kernel, reps: usize) -> (f64, f64, f64, f64, f64) {
     let journal_path = std::env::temp_dir().join("nfp_sim_speed_serve.journal");
     let mut locals = Vec::with_capacity(reps);
     let mut remotes = Vec::with_capacity(reps);
     let mut journaled = Vec::with_capacity(reps);
     let mut hits = Vec::with_capacity(reps);
+    let mut audited = Vec::with_capacity(reps);
     for _ in 0..reps {
         let cfg = SupervisorConfig::new(CampaignConfig {
             injections: 200,
@@ -266,12 +275,14 @@ fn time_remote_suite(kernel: &Kernel, reps: usize) -> (f64, f64, f64, f64) {
         let start = Instant::now();
         run_supervised(kernel, Mode::Float, &cfg).expect("local baseline campaign");
         locals.push(start.elapsed().as_secs_f64());
-        let (remote, _) = time_remote_once(kernel, None);
+        let (remote, _) = time_remote_once(kernel, None, 0.0);
         remotes.push(remote);
         let _ = std::fs::remove_file(&journal_path);
-        let (first, hit) = time_remote_once(kernel, Some(&journal_path));
+        let (first, hit) = time_remote_once(kernel, Some(&journal_path), 0.0);
         journaled.push(first);
         hits.push(hit);
+        let (aud, _) = time_remote_once(kernel, None, 1.0);
+        audited.push(aud);
     }
     let _ = std::fs::remove_file(&journal_path);
     let median = |mut t: Vec<f64>| {
@@ -283,6 +294,7 @@ fn time_remote_suite(kernel: &Kernel, reps: usize) -> (f64, f64, f64, f64) {
         median(remotes),
         median(journaled),
         median(hits),
+        median(audited),
     )
 }
 
@@ -387,9 +399,11 @@ fn bench_block_batching(_c: &mut Criterion) {
     // plus the cache-hit round trip a repeat submit costs). All three
     // variants are interleaved per rep against a fresh local baseline
     // so drift cancels out of the overhead ratios.
-    let (remote_base_s, remote_s, serve_journal_s, cache_hit_s) = time_remote_suite(&kernel, 3);
+    let (remote_base_s, remote_s, serve_journal_s, cache_hit_s, audited_s) =
+        time_remote_suite(&kernel, 3);
     let remote_overhead = remote_s / remote_base_s;
     let serve_resume_overhead = serve_journal_s / remote_base_s;
+    let audit_overhead = audited_s / remote_s;
     println!(
         "{:<40} {:>12.3} ms/iter",
         "supervisor/remote_tcp_x2",
@@ -412,6 +426,15 @@ fn bench_block_batching(_c: &mut Criterion) {
     println!(
         "journaled remote overhead: {serve_resume_overhead:.3}x of a local run on {} \
          (unjournaled remote: {remote_overhead:.3}x)",
+        kernel.name
+    );
+    println!(
+        "{:<40} {:>12.3} ms/iter",
+        "supervisor/remote_audited",
+        audited_s * 1e3
+    );
+    println!(
+        "audit-everything overhead: {audit_overhead:.3}x of an unaudited remote run on {}",
         kernel.name
     );
 
@@ -438,7 +461,9 @@ fn bench_block_batching(_c: &mut Criterion) {
          \"remote_dispatch_overhead\": {:.3},\n  \
          \"serve_journal_seconds\": {:.6},\n  \
          \"serve_resume_overhead\": {:.3},\n  \
-         \"cache_hit_seconds\": {:.6}\n}}\n",
+         \"cache_hit_seconds\": {:.6},\n  \
+         \"audited_remote_seconds\": {:.6},\n  \
+         \"audit_overhead\": {:.3}\n}}\n",
         kernel.name,
         instret,
         step_s,
@@ -464,7 +489,9 @@ fn bench_block_batching(_c: &mut Criterion) {
         remote_overhead,
         serve_journal_s,
         serve_resume_overhead,
-        cache_hit_s
+        cache_hit_s,
+        audited_s,
+        audit_overhead
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     std::fs::write(path, json).expect("write BENCH_sim.json");

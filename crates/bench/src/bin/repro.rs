@@ -66,6 +66,15 @@
 //! repro submit ... --retry 100                     # reconnect through coordinator restarts
 //! ```
 //!
+//! Byzantine worker auditing (quorum re-execution — DESIGN.md §16):
+//!
+//! ```text
+//! repro serve ... --audit-rate 0.05                # fraction of ranges re-run on a disjoint
+//!                                                  # worker and compared (default 0.05; 0 off)
+//! repro worker --connect ... --lie-rate 1.0 \
+//!              --lie-seed 9                        # test-only saboteur: falsify outcomes
+//! ```
+//!
 //! There is also a hidden `repro worker` subcommand: the supervisor
 //! spawns it for `--isolation process` and drives it over stdin/stdout.
 //! With `--connect` it instead dials a `repro serve` coordinator over
@@ -454,6 +463,16 @@ fn run_serve_command(args: &[String]) {
             ),
         };
     }
+    if let Some(v) = flag_value(args, "--audit-rate") {
+        let rate = v.parse::<f64>().unwrap_or(-1.0);
+        if !(0.0..=1.0).contains(&rate) {
+            fail(
+                "argument parsing",
+                format!("--audit-rate wants a fraction in 0..=1, got '{v}'"),
+            );
+        }
+        cfg.audit_rate = rate;
+    }
     let server = Server::bind(cfg).unwrap_or_else(|e| fail("serve bind", e));
     let addr = server
         .local_addr()
@@ -462,12 +481,13 @@ fn run_serve_command(args: &[String]) {
     let summary = server.run().unwrap_or_else(|e| fail("serve", e));
     eprintln!(
         "serve: done — {} campaigns, {} peers seen, {} reconnects, {} frames rejected, \
-         {} peers retired",
+         {} peers retired, {} workers convicted",
         summary.campaigns,
         summary.peers_seen,
         summary.reconnects,
         summary.frames_rejected,
-        summary.peers_retired
+        summary.peers_retired,
+        summary.workers_convicted
     );
     eprintln!(
         "serve: cache — {} hits, {} misses, {} evictions; {} submits deduplicated, \
@@ -581,7 +601,32 @@ fn main() {
                     })
                 })
                 .unwrap_or(8);
-            std::process::exit(nfp_bench::run_worker_connect(addr, max_retries));
+            // Test-only saboteur: with --lie-rate the worker returns
+            // plausible, CRC-valid but falsified outcomes for a seeded
+            // fraction of its injections — the adversary the audit
+            // tier exists to convict. Never set this outside chaos
+            // testing.
+            let lies = flag_value(&args, "--lie-rate").map(|v| {
+                let rate = v.parse::<f64>().unwrap_or(-1.0);
+                if !(0.0..=1.0).contains(&rate) {
+                    fail(
+                        "argument parsing",
+                        format!("--lie-rate wants a fraction in 0..=1, got '{v}'"),
+                    );
+                }
+                let seed = flag_value(&args, "--lie-seed")
+                    .map(|s| {
+                        s.parse::<u64>().unwrap_or_else(|_| {
+                            fail(
+                                "argument parsing",
+                                format!("--lie-seed wants an integer, got '{s}'"),
+                            )
+                        })
+                    })
+                    .unwrap_or(0);
+                nfp_bench::LiePlan { rate, seed }
+            });
+            std::process::exit(nfp_bench::run_worker_connect_with(addr, max_retries, lies));
         }
         std::process::exit(nfp_bench::run_worker());
     }

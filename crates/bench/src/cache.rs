@@ -10,6 +10,12 @@
 //! Eviction decisions are returned to the caller (key + byte size) so
 //! the coordinator can journal and count them; the cache itself stays
 //! a pure data structure with no I/O.
+//!
+//! Convicted results never reach this cache: the audit tier
+//! (DESIGN.md §16) holds sampled ranges back until a verdict, discards
+//! anything a blacklisted worker returns, and invalidates a convict's
+//! earlier ranges before the campaign can complete — so the report
+//! bytes cached at completion are always quorum- or locally-verified.
 
 use std::collections::HashMap;
 

@@ -49,4 +49,4 @@ pub use shards::{
 pub use supervisor::{
     run_supervised, QuarantineEntry, SupervisorConfig, SupervisorOutcome, WorkerIsolation,
 };
-pub use worker::{run_worker, run_worker_connect, WorkerPreset};
+pub use worker::{run_worker, run_worker_connect, run_worker_connect_with, LiePlan, WorkerPreset};

@@ -186,13 +186,22 @@ pub(crate) struct JoinFrame {
     /// How many times this worker has reconnected so far (cumulative,
     /// so the coordinator's counter survives coordinator-side drops).
     pub(crate) reconnects: u64,
+    /// Stable worker identity across reconnects (pid + session salt).
+    /// The audit tier keys its blacklist on this, not on the peer
+    /// address: loopback test fleets share one address, and a NAT'd
+    /// fleet shares one address in production too. Zero means "the
+    /// peer sent none" (a pre-audit worker or a hand-crafted frame)
+    /// and is never blacklisted — such a peer just gets no parole
+    /// credit either.
+    pub(crate) wid: u64,
 }
 
 pub(crate) fn render_join(join: &JoinFrame) -> String {
     format!(
-        "{{\"v\":{NET_VERSION},\"kind\":\"join\",\"preset\":\"{}\",\"reconnects\":{}}}",
+        "{{\"v\":{NET_VERSION},\"kind\":\"join\",\"preset\":\"{}\",\"reconnects\":{},\"wid\":{}}}",
         esc(join.preset.name()),
-        join.reconnects
+        join.reconnects,
+        join.wid
     )
 }
 
@@ -217,7 +226,13 @@ pub(crate) fn parse_join(line: &str) -> Result<JoinFrame, NfpError> {
     let reconnects = obj
         .u64("reconnects")
         .ok_or_else(|| violation("join lacks a reconnect count"))?;
-    Ok(JoinFrame { preset, reconnects })
+    // Leniently default: joins predating the audit tier carry no wid.
+    let wid = obj.u64("wid").unwrap_or(0);
+    Ok(JoinFrame {
+        preset,
+        reconnects,
+        wid,
+    })
 }
 
 /// Coordinator → peer/client: "shutting down / lease stream over".
@@ -391,6 +406,7 @@ mod tests {
         let join = JoinFrame {
             preset: WorkerPreset::Quick,
             reconnects: 3,
+            wid: 0x8140_3000_0001,
         };
         assert_eq!(parse_join(&render_join(&join)).unwrap(), join);
         let bad = "{\"v\":2,\"kind\":\"join\",\"preset\":\"quick\",\"reconnects\":0}";
@@ -402,6 +418,16 @@ mod tests {
         // Garbage and wrong-kind frames are violations, not panics.
         assert!(parse_join("not json").is_err());
         assert!(parse_join("{\"v\":1,\"kind\":\"hb\"}").is_err());
+    }
+
+    #[test]
+    fn join_without_a_wid_defaults_to_the_unattributable_zero() {
+        // Hand-crafted and pre-audit joins carry no wid; they parse
+        // fine and land as wid 0 (which the blacklist never targets).
+        let old = "{\"v\":1,\"kind\":\"join\",\"preset\":\"quick\",\"reconnects\":2}";
+        let join = parse_join(old).unwrap();
+        assert_eq!(join.wid, 0);
+        assert_eq!(join.reconnects, 2);
     }
 
     #[test]

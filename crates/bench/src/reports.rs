@@ -491,6 +491,18 @@ pub struct CampaignFooter {
     pub frames_rejected: usize,
     /// Remote peers retired after a violation, silence, or death.
     pub peers_retired: usize,
+    /// Injection ranges sampled for a quorum audit (re-dispatched to a
+    /// disjoint worker and compared stream against stream).
+    pub ranges_audited: usize,
+    /// Audit comparisons that agreed — either two disjoint workers
+    /// matched, or a held-back stream matched the local truth.
+    pub audits_passed: usize,
+    /// Workers convicted of returning falsified records by the trusted
+    /// local tie-breaker, and blacklisted.
+    pub workers_convicted: usize,
+    /// Previously-accepted ranges invalidated and re-dispatched because
+    /// their producer was later convicted.
+    pub ranges_invalidated: usize,
     /// Golden-run dispatch-path counters, when the campaign rig is in
     /// hand (remote campaigns and future local plumbing).
     pub dispatch: Option<nfp_sim::DispatchStats>,
@@ -578,6 +590,17 @@ pub fn report_campaign_footer(footer: &CampaignFooter) -> String {
             out,
             "  net: {} reconnects, {} leases revoked, {} frames rejected, {} peers retired",
             footer.reconnects, footer.leases_revoked, footer.frames_rejected, footer.peers_retired
+        )
+        .unwrap();
+    }
+    if footer.ranges_audited > 0 || footer.workers_convicted > 0 {
+        writeln!(
+            out,
+            "  audit: {} ranges audited, {} passed, {} workers convicted, {} ranges invalidated",
+            footer.ranges_audited,
+            footer.audits_passed,
+            footer.workers_convicted,
+            footer.ranges_invalidated
         )
         .unwrap();
     }
@@ -718,6 +741,45 @@ mod footer_tests {
             "  shards: 4 merged, 1 re-dispatched, 0 speculated\n\
              \x20 net: 2 reconnects, 1 leases revoked, 3 frames rejected, 2 peers retired\n\
              \x20 golden dispatch: 900 traced, 80 batched, 20 stepped\n"
+        );
+    }
+
+    #[test]
+    fn audit_counters_render_between_net_and_coordinator_lines() {
+        let footer = CampaignFooter {
+            reconnects: 1,
+            ranges_audited: 3,
+            audits_passed: 2,
+            workers_convicted: 1,
+            ranges_invalidated: 4,
+            cache_misses: 1,
+            ..CampaignFooter::default()
+        };
+        // CI's liar chaos job greps `workers convicted` on this line.
+        assert_eq!(
+            report_campaign_footer(&footer),
+            "  net: 1 reconnects, 0 leases revoked, 0 frames rejected, 0 peers retired\n\
+             \x20 audit: 3 ranges audited, 2 passed, 1 workers convicted, 4 ranges invalidated\n\
+             \x20 coordinator: 0 cache hits, 1 misses, 0 submits deduplicated, 0 sessions \
+             resumed, 0 restarts\n"
+        );
+        // A conviction renders even when sampling itself never fired
+        // (the convict was caught by a held-back stream at fallback).
+        assert_eq!(
+            report_campaign_footer(&CampaignFooter {
+                workers_convicted: 1,
+                ..CampaignFooter::default()
+            }),
+            "  audit: 0 ranges audited, 0 passed, 1 workers convicted, 0 ranges invalidated\n"
+        );
+        // An unaudited, unconvicted campaign keeps its footer unchanged.
+        assert_eq!(
+            report_campaign_footer(&CampaignFooter {
+                audits_passed: 0,
+                ranges_invalidated: 0,
+                ..CampaignFooter::default()
+            }),
+            ""
         );
     }
 

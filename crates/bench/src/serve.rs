@@ -31,7 +31,7 @@
 //!   local pool ([`crate::supervisor`]), so a campaign never depends
 //!   on the network being healthy — only faster.
 
-use crate::backoff::{backoff_delay, TICK};
+use crate::backoff::{backoff_delay, splitmix64, TICK};
 use crate::cache::ResultCache;
 use crate::campaign::{assemble, report_campaign, CampaignConfig, CampaignRig, InjectionRecord};
 use crate::evaluation::Mode;
@@ -42,7 +42,7 @@ use crate::net::{
 };
 use crate::reports::{report_campaign_footer, CampaignFooter};
 use crate::servejournal::{load_service_journal, records_path, OpenCampaign, ServiceJournal};
-use crate::shards::{missing_ranges_of, quarantined_path, ShardSpec};
+use crate::shards::{clear_range, missing_ranges_of, quarantined_path, ShardSpec};
 use crate::supervisor::{
     fin_line, load_journal, parse_fin, parse_record, range_digest, record_line, run_supervised,
     FinRecord, JournalHeader, SupervisorConfig, WorkerIsolation,
@@ -53,7 +53,7 @@ use crate::worker::{
 use nfp_core::NfpError;
 use nfp_sim::fault::plan;
 use nfp_sim::Fault;
-use nfp_workloads::all_kernels;
+use nfp_workloads::{all_kernels, Kernel};
 use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{ErrorKind, Seek, SeekFrom, Write};
@@ -159,6 +159,17 @@ pub struct ServeConfig {
     pub drain: Option<PathBuf>,
     /// Byte budget for the content-addressed result cache (LRU).
     pub cache_cap_bytes: usize,
+    /// Audit tier (DESIGN.md §16): the fraction of remotely-completed
+    /// shard leases whose ranges are re-dispatched to a *disjoint*
+    /// worker and compared record-for-record. On disagreement the
+    /// coordinator's trusted local pool re-executes the range and
+    /// convicts whichever worker lied: its session is revoked, its id
+    /// is blacklisted with capped-backoff parole, and every unaudited
+    /// range it returned is invalidated and re-dispatched. `0.0`
+    /// disables auditing; `1.0` audits every remote shard. The sampler
+    /// is a pure function of the campaign seed and shard index, so a
+    /// resumed coordinator audits the same shards.
+    pub audit_rate: f64,
 }
 
 impl Default for ServeConfig {
@@ -180,6 +191,7 @@ impl Default for ServeConfig {
             resume: false,
             drain: None,
             cache_cap_bytes: 64 * 1024 * 1024,
+            audit_rate: 0.05,
         }
     }
 }
@@ -210,6 +222,8 @@ pub struct ServeSummary {
     pub cache_evictions: usize,
     /// Coordinator starts recorded in the journal before this one.
     pub restarts: usize,
+    /// Workers convicted by the audit tier and blacklisted.
+    pub workers_convicted: usize,
 }
 
 // ---------------------------------------------------------------------
@@ -226,6 +240,9 @@ struct Lease {
     /// Set by the owning campaign when the shard no longer needs this
     /// lease (completed elsewhere, campaign over): peers skip it.
     abandoned: Arc<AtomicBool>,
+    /// Worker id that must NOT take this lease — an audit re-execution
+    /// is only a second opinion when it comes from a disjoint worker.
+    exclude: Option<u64>,
 }
 
 /// What a peer reports back to the owning campaign about a lease.
@@ -233,8 +250,14 @@ enum LeaseEvent {
     /// A peer picked the lease up.
     Started { shard: u32 },
     /// The leased range completed and validated (CRCs, plan binding,
-    /// fin digest). First valid result wins.
-    Done { shard: u32, records: LeaseRecords },
+    /// fin digest). First valid result wins. `wid` attributes the
+    /// records to the producing worker for the audit tier (0 when the
+    /// peer sent no identity).
+    Done {
+        shard: u32,
+        wid: u64,
+        records: LeaseRecords,
+    },
     /// The lease failed; `revoked` marks deadline revocations (silent
     /// or overrunning peers) as opposed to deaths and violations.
     Failed {
@@ -242,6 +265,22 @@ enum LeaseEvent {
         detail: String,
         revoked: bool,
     },
+}
+
+/// One blacklisted worker: its conviction count and the instant its
+/// capped-backoff parole expires (it may rejoin after that — and earn
+/// a longer parole if it is convicted again).
+struct BanState {
+    strikes: u32,
+    until: Instant,
+}
+
+/// Parole backoff after `strikes` convictions: 500 ms doubling per
+/// strike, capped at 60 s. Deterministic (no jitter): parole gates
+/// admission only, never results.
+fn parole_delay(strikes: u32) -> Duration {
+    let exp = strikes.saturating_sub(1).min(10);
+    Duration::from_millis((500u64 << exp).min(60_000))
 }
 
 /// Shared coordinator state.
@@ -254,6 +293,11 @@ struct Hub {
     frames_rejected: AtomicUsize,
     peers_retired: AtomicUsize,
     next_peer: AtomicU64,
+    /// Audit-tier blacklist by worker id (never wid 0 — a peer that
+    /// sent no identity cannot be attributed, so it is never banned).
+    bans: Mutex<HashMap<u64, BanState>>,
+    /// Convictions over the server's lifetime, for the summary.
+    convicted: AtomicUsize,
 }
 
 impl Hub {
@@ -267,18 +311,68 @@ impl Hub {
             frames_rejected: AtomicUsize::new(0),
             peers_retired: AtomicUsize::new(0),
             next_peer: AtomicU64::new(0),
+            bans: Mutex::new(HashMap::new()),
+            convicted: AtomicUsize::new(0),
         }
     }
 
-    /// Pops the next live lease, discarding abandoned ones.
-    fn pop_lease(&self) -> Option<Lease> {
+    /// Pops the next live lease the worker `wid` may take, discarding
+    /// abandoned ones and skipping (but keeping, in order) leases that
+    /// exclude this worker — an audit lease waits for a disjoint peer.
+    fn pop_lease(&self, wid: u64) -> Option<Lease> {
         let mut q = lock(&self.queue);
+        let mut skipped: Vec<Lease> = Vec::new();
+        let mut found = None;
         while let Some(lease) = q.pop_front() {
-            if !lease.abandoned.load(Ordering::SeqCst) {
-                return Some(lease);
+            if lease.abandoned.load(Ordering::SeqCst) {
+                continue;
             }
+            if lease.exclude.is_some_and(|x| x == wid) {
+                skipped.push(lease);
+                continue;
+            }
+            found = Some(lease);
+            break;
         }
-        None
+        while let Some(lease) = skipped.pop() {
+            q.push_front(lease);
+        }
+        found
+    }
+
+    /// Records a conviction: the strike count increments and the
+    /// parole instant backs off. Returns the new strike count.
+    fn ban(&self, wid: u64) -> u32 {
+        let mut bans = lock(&self.bans);
+        let entry = bans.entry(wid).or_insert(BanState {
+            strikes: 0,
+            until: Instant::now(),
+        });
+        entry.strikes += 1;
+        entry.until = Instant::now() + parole_delay(entry.strikes);
+        self.convicted.fetch_add(1, Ordering::SeqCst);
+        entry.strikes
+    }
+
+    /// Replays a journaled ban on resume. Instants cannot be journaled,
+    /// so parole restarts from the resume instant — strictly the
+    /// distrustful direction.
+    fn restore_ban(&self, wid: u64, strikes: u32) {
+        lock(&self.bans).insert(
+            wid,
+            BanState {
+                strikes,
+                until: Instant::now() + parole_delay(strikes),
+            },
+        );
+    }
+
+    /// Whether `wid` is currently blacklisted (parole not yet up).
+    fn banned(&self, wid: u64) -> bool {
+        wid != 0
+            && lock(&self.bans)
+                .get(&wid)
+                .is_some_and(|b| Instant::now() < b.until)
     }
 
     /// Queues a lease, compacting abandoned entries while it holds the
@@ -655,6 +749,7 @@ impl Server {
         let mut restarts = 0usize;
         let mut resumed: Vec<OpenCampaign> = Vec::new();
         let mut next_cid = 0u64;
+        let mut bans: Vec<(u64, u32)> = Vec::new();
         let journal = match &cfg.journal {
             None => None,
             Some(path) => {
@@ -664,6 +759,7 @@ impl Server {
                             restarts = state.starts;
                             next_cid = state.next_cid;
                             resumed = state.open;
+                            bans = state.bans;
                             ServiceJournal::resume(path, state.intact_len)?
                         }
                         Err(e) => {
@@ -693,12 +789,21 @@ impl Server {
                 resumed.len()
             );
         }
+        let hub = Hub::new();
+        for (wid, strikes) in bans {
+            eprintln!(
+                "serve: resuming blacklist: worker {wid} blacklisted (strike {strikes}, parole \
+                 {}ms)",
+                parole_delay(strikes).as_millis()
+            );
+            hub.restore_ban(wid, strikes);
+        }
         Ok(Server {
             listener,
             ctx: Arc::new(Ctx {
                 cache: Mutex::new(ResultCache::new(cfg.cache_cap_bytes)),
                 cfg,
-                hub: Hub::new(),
+                hub,
                 admission,
                 served: AtomicUsize::new(0),
                 live: Mutex::new(HashMap::new()),
@@ -810,6 +915,7 @@ impl Server {
             sessions_resumed: ctx.sessions_resumed.load(Ordering::SeqCst),
             cache_evictions: ctx.cache_evictions.load(Ordering::SeqCst),
             restarts: ctx.restarts,
+            workers_convicted: ctx.hub.convicted.load(Ordering::SeqCst),
         })
     }
 }
@@ -897,6 +1003,19 @@ impl Drop for PeerGuard<'_> {
 /// reconnect backoff brings it back for a clean slate.
 fn drive_peer(mut stream: TcpStream, mut reader: FrameReader, join: JoinFrame, ctx: &Ctx) {
     let hub = &ctx.hub;
+    // The blacklist gates admission: a convicted worker is turned away
+    // at the door until its parole expires.
+    if hub.banned(join.wid) {
+        eprintln!(
+            "serve: refused worker {}: blacklisted pending parole",
+            join.wid
+        );
+        let _ = write_frame(
+            &mut stream,
+            &render_error(&format!("worker {} is blacklisted", join.wid)),
+        );
+        return;
+    }
     let id = hub.next_peer.fetch_add(1, Ordering::SeqCst) + 1;
     let label = format!("peer {id}");
     hub.peers_seen.fetch_add(1, Ordering::SeqCst);
@@ -906,8 +1025,8 @@ fn drive_peer(mut stream: TcpStream, mut reader: FrameReader, join: JoinFrame, c
     hub.live_peers.fetch_add(1, Ordering::SeqCst);
     let _census = PeerGuard(hub);
     eprintln!(
-        "serve: {label} joined ({} reconnects so far)",
-        join.reconnects
+        "serve: {label} joined ({} reconnects so far, wid {})",
+        join.reconnects, join.wid
     );
 
     let idle_limit = idle_limit(ctx.cfg.heartbeat);
@@ -961,7 +1080,19 @@ fn drive_peer(mut stream: TcpStream, mut reader: FrameReader, join: JoinFrame, c
                 return;
             }
         }
-        let Some(lease) = hub.pop_lease() else {
+        // A conviction can land while the session is open: revoke it.
+        if hub.banned(join.wid) {
+            let _ = write_frame(
+                &mut stream,
+                &render_error(&format!("worker {} is blacklisted", join.wid)),
+            );
+            hub.retire(
+                &label,
+                &format!("wid {} blacklisted after an audit conviction", join.wid),
+            );
+            return;
+        }
+        let Some(lease) = hub.pop_lease(join.wid) else {
             continue;
         };
         let _ = lease
@@ -975,6 +1106,7 @@ fn drive_peer(mut stream: TcpStream, mut reader: FrameReader, join: JoinFrame, c
             Ok(Some(records)) => {
                 let _ = lease.events.send(LeaseEvent::Done {
                     shard: lease.shard,
+                    wid: join.wid,
                     records,
                 });
                 last_heard = Instant::now();
@@ -1227,6 +1359,66 @@ fn collect_range(slots: Slots, range: (usize, usize)) -> LeaseRecords {
 // The campaign side: one thread per admitted submission.
 // ---------------------------------------------------------------------
 
+/// Audit posture of one shard (DESIGN.md §16).
+enum AuditPhase {
+    /// Not sampled (or already arbitrated): the first valid result
+    /// persists immediately.
+    Clear,
+    /// Sampled by the deterministic audit sampler: results are held
+    /// back until two disjoint workers agree — or the trusted local
+    /// pool arbitrates. `streams` holds the (wid, records) pairs that
+    /// arrived so far; `since` marks the first arrival, bounding how
+    /// long the coordinator waits for a second opinion.
+    Sampled {
+        streams: Vec<(u64, LeaseRecords)>,
+        since: Option<Instant>,
+    },
+}
+
+/// Audit-tier tallies of one campaign, for the footer.
+#[derive(Default)]
+struct AuditCounters {
+    ranges_audited: usize,
+    audits_passed: usize,
+    workers_convicted: usize,
+    ranges_invalidated: usize,
+}
+
+/// The deterministic, seed-driven audit sampler: whether `shard` of a
+/// campaign seeded `seed` gets a second opinion. A pure function, so a
+/// resumed coordinator — and every retry of the same shard — samples
+/// identically, and no clock or ambient randomness can influence which
+/// ranges are checked.
+fn audit_sampled(seed: u64, shard: u32, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    let x = splitmix64(seed ^ (u64::from(shard) << 32) ^ 0x00d1_7a5a_3713_e2c5);
+    ((x >> 11) as f64) / ((1u64 << 53) as f64) < rate
+}
+
+/// Whether two validated record streams for the same range agree.
+/// Attempt counts are deliberately ignored: an honest worker that
+/// retried a panicked replay reports `attempts: 2` where another
+/// reports `1`, and nobody gets convicted over retry bookkeeping.
+fn streams_match(a: &LeaseRecords, b: &LeaseRecords) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|((ia, ra, _), (ib, rb, _))| ia == ib && ra == rb)
+}
+
+/// Whether a remote stream agrees with the trusted local re-execution
+/// of `start..start+local.len()`. Same attempt-blindness as
+/// [`streams_match`].
+fn matches_local(stream: &LeaseRecords, start: usize, local: &[InjectionRecord]) -> bool {
+    stream.len() == local.len()
+        && stream
+            .iter()
+            .enumerate()
+            .all(|(k, (i, rec, _))| *i == start + k && rec == &local[k])
+}
+
 /// Per-shard dispatch state inside one campaign.
 struct Track {
     done: bool,
@@ -1238,6 +1430,11 @@ struct Track {
     speculated: bool,
     retry_at: Option<Instant>,
     abandoned: Arc<AtomicBool>,
+    /// Worker id whose records currently fill this shard's range.
+    /// `None` for the trusted local pool and disk-restored records.
+    producer: Option<u64>,
+    /// Audit posture; see [`AuditPhase`].
+    audit: AuditPhase,
 }
 
 /// Handles one client submission end to end: drain gate, result-cache
@@ -1270,8 +1467,16 @@ fn run_remote_campaign(
             "result cache hit for campaign '{}' — returning the stored report",
             req.kernel
         );
-        if deliver(&mut client, std::slice::from_ref(&note), &report).is_ok() {
-            ctx.served.fetch_add(1, Ordering::SeqCst);
+        match deliver(
+            &mut client,
+            &req.client,
+            std::slice::from_ref(&note),
+            &report,
+        ) {
+            Ok(()) => {
+                ctx.served.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(e) => eprintln!("serve: cached report not delivered to {label}: {e}"),
         }
         return;
     }
@@ -1412,8 +1617,8 @@ fn follow_live(
         };
         match published {
             Some(Ok((notes, report))) => {
-                if deliver(&mut client, &notes, &report).is_err() {
-                    eprintln!("serve: {label} unreachable during the shared report");
+                if let Err(e) = deliver(&mut client, label, &notes, &report) {
+                    eprintln!("serve: {label} unreachable during the shared report: {e}");
                 }
                 return;
             }
@@ -1445,10 +1650,60 @@ fn follow_live(
     }
 }
 
-/// Streams notes, the chunked report, and the end frame to a client.
-fn deliver(stream: &mut TcpStream, notes: &[String], report: &str) -> std::io::Result<()> {
+/// Total write budget towards one client for the notes and the chunked
+/// report. Every frame write already carries [`WRITE_TIMEOUT`]; the
+/// budget bounds their *sum*, so a slow-loris client draining a few
+/// bytes per deadline cannot pin a coordinator thread (and the report
+/// buffers it holds) for more than this long.
+const CLIENT_WRITE_BUDGET: Duration = Duration::from_secs(30);
+
+/// Streams notes, the chunked report, and the end frame to a client,
+/// under [`CLIENT_WRITE_BUDGET`].
+fn deliver(
+    stream: &mut TcpStream,
+    client: &str,
+    notes: &[String],
+    report: &str,
+) -> Result<(), NfpError> {
+    deliver_by(
+        stream,
+        client,
+        notes,
+        report,
+        Instant::now() + CLIENT_WRITE_BUDGET,
+    )
+}
+
+/// [`deliver`] against an explicit deadline. Exhausting the budget is a
+/// typed [`NfpError::Admission`] refusal — the client was admitted, but
+/// it has stopped holding up its end of the conversation.
+fn deliver_by(
+    stream: &mut TcpStream,
+    client: &str,
+    notes: &[String],
+    report: &str,
+    deadline: Instant,
+) -> Result<(), NfpError> {
+    let mut sent = 0usize;
+    let mut put = |stream: &mut TcpStream, frame: &str| -> Result<(), NfpError> {
+        if Instant::now() >= deadline {
+            return Err(NfpError::Admission {
+                client: client.to_string(),
+                reason: format!(
+                    "per-report write budget of {}s exhausted after {sent} bytes — slow client",
+                    CLIENT_WRITE_BUDGET.as_secs()
+                ),
+            });
+        }
+        write_frame(stream, frame).map_err(|e| NfpError::Net {
+            addr: client.to_string(),
+            detail: format!("report write failed: {e}"),
+        })?;
+        sent += frame.len();
+        Ok(())
+    };
     for note in notes {
-        write_frame(stream, &render_note(note))?;
+        put(stream, &render_note(note))?;
     }
     let mut rest = report;
     while !rest.is_empty() {
@@ -1457,10 +1712,10 @@ fn deliver(stream: &mut TcpStream, notes: &[String], report: &str) -> std::io::R
             cut -= 1;
         }
         let (head, tail) = rest.split_at(cut);
-        write_frame(stream, &render_report_chunk(head))?;
+        put(stream, &render_report_chunk(head))?;
         rest = tail;
     }
-    write_frame(stream, END_FRAME)
+    put(stream, END_FRAME)
 }
 
 /// Re-runs a campaign the service journal recorded as open, headless:
@@ -1474,6 +1729,7 @@ fn resume_campaign(open: OpenCampaign, entry: Arc<LiveEntry>, key: String, ctx: 
     let durable = Durable::Resumed {
         cid: open.cid,
         golden_instret: open.golden_instret,
+        done_shards: open.done_shards,
     };
     let outcome = drive_campaign(&mut link, &open.req, &entry, durable, ctx);
     finish_campaign(outcome, link, &key, &entry, &label, ctx);
@@ -1488,7 +1744,13 @@ enum Durable {
     /// and journal the submit once the golden run has bound it.
     Fresh,
     /// Rebuilt from the journal after a coordinator restart.
-    Resumed { cid: u64, golden_instret: u64 },
+    /// `done_shards` is the journaled completion set net of
+    /// invalidations: records-file restoration is gated on it.
+    Resumed {
+        cid: u64,
+        golden_instret: u64,
+        done_shards: Vec<u32>,
+    },
 }
 
 /// How a campaign run ended when it did not produce a report.
@@ -1535,6 +1797,8 @@ struct ClientLink {
 struct RecordsFile {
     path: PathBuf,
     file: File,
+    /// The rendered binding header, kept for [`RecordsFile::rewrite`].
+    header_line: String,
     /// Plan indices already persisted (the supervisor loader rejects
     /// duplicates, so appends must be exactly-once).
     journaled: Vec<bool>,
@@ -1559,6 +1823,7 @@ impl RecordsFile {
         faults: &[Fault],
         slots: &mut Slots,
     ) -> Result<RecordsFile, NfpError> {
+        let header_line = header.render();
         let mut journaled = vec![false; slots.len()];
         if path.exists() {
             match load_journal(&path, header, faults, slots) {
@@ -1579,6 +1844,7 @@ impl RecordsFile {
                     return Ok(RecordsFile {
                         path,
                         file,
+                        header_line,
                         journaled,
                         sealed: loaded.fin.is_some(),
                     });
@@ -1596,15 +1862,45 @@ impl RecordsFile {
         }
         let mut file =
             File::create(&path).map_err(|e| records_err(&path, format!("cannot create: {e}")))?;
-        writeln!(file, "{}", header.render())
+        writeln!(file, "{header_line}")
             .and_then(|()| file.flush())
             .map_err(|e| records_err(&path, format!("cannot write header: {e}")))?;
         Ok(RecordsFile {
             path,
             file,
+            header_line,
             journaled,
             sealed: false,
         })
+    }
+
+    /// Rewrites the whole file from the surviving slots: header first,
+    /// then every retained record. The invalidation path must go
+    /// through here — the supervisor loader hard-errors on duplicate
+    /// indices, so a convicted worker's records have to leave the file
+    /// before their ranges are re-persisted. The matching `invalidate`
+    /// service-journal event is written *before* this rewrite, so a
+    /// crash between the two still drops the distrusted records on
+    /// resume (restoration is gated on the journaled shard_done set).
+    fn rewrite(&mut self, slots: &Slots) -> Result<(), NfpError> {
+        self.file
+            .set_len(0)
+            .and_then(|()| self.file.seek(SeekFrom::Start(0)))
+            .map_err(|e| records_err(&self.path, format!("cannot truncate for rewrite: {e}")))?;
+        writeln!(self.file, "{}", self.header_line)
+            .map_err(|e| records_err(&self.path, format!("cannot rewrite header: {e}")))?;
+        self.journaled.iter_mut().for_each(|f| *f = false);
+        self.sealed = false;
+        for (index, slot) in slots.iter().enumerate() {
+            if let Some((rec, attempts)) = slot {
+                writeln!(self.file, "{}", record_line(index, rec, *attempts))
+                    .map_err(|e| records_err(&self.path, format!("rewrite failed: {e}")))?;
+                self.journaled[index] = true;
+            }
+        }
+        self.file
+            .flush()
+            .map_err(|e| records_err(&self.path, format!("rewrite flush failed: {e}")))
     }
 
     /// Appends (and flushes) every not-yet-persisted record in `range`.
@@ -1693,6 +1989,161 @@ fn persist_shard(
     }
 }
 
+/// Everything the audit arbitration needs that stays constant across
+/// one campaign run.
+struct AuditEnv<'a> {
+    kernel: &'a Kernel,
+    req: &'a CampaignRequest,
+    campaign: &'a CampaignConfig,
+    count: u32,
+    label: &'a str,
+    cid: Option<u64>,
+    ctx: &'a Ctx,
+}
+
+/// The trusted tie-breaker: re-executes `shard` on the coordinator's
+/// own pool, journals a verdict for every held-back stream (`pass` for
+/// streams matching the local truth, `convict` for the rest), bans each
+/// convicted worker with capped-backoff parole, invalidates and clears
+/// every other range a convict returned, installs the local records,
+/// and persists the shard. Called with two disagreeing streams (the
+/// audit caught a liar), one stream (the second opinion never came —
+/// the caller journals `inconclusive` first), or none (plain local
+/// fallback). Returns `(kills, respawns, shards to re-dispatch)`.
+#[allow(clippy::too_many_arguments)]
+fn arbitrate_shard(
+    env: &AuditEnv<'_>,
+    shard: u32,
+    streams: Vec<(u64, LeaseRecords)>,
+    tracks: &mut [Track],
+    slots: &mut Slots,
+    durable_run: &mut Option<DurableRun>,
+    counters: &mut AuditCounters,
+) -> Result<(usize, usize, Vec<u32>), NfpError> {
+    let ctx = env.ctx;
+    let count = env.count;
+    let spec = ShardSpec {
+        index: shard,
+        count,
+    };
+    let range = spec.range(env.campaign.injections);
+    let mut sup = SupervisorConfig::new(env.campaign.clone());
+    sup.isolation = ctx.cfg.isolation;
+    sup.preset = ctx.cfg.preset;
+    sup.worker_bin = ctx.cfg.worker_bin.clone();
+    if sup.isolation == WorkerIsolation::Process {
+        sup.deadline = Some(Duration::from_secs(300));
+    }
+    sup.shard = Some(spec);
+    let out = run_supervised(env.kernel, env.req.mode, &sup)?;
+    let local = out.result.records;
+    let mut redispatch: Vec<u32> = Vec::new();
+    let mut rewrite_needed = false;
+    for (wid, stream) in streams {
+        if matches_local(&stream, range.0, &local) {
+            counters.audits_passed += 1;
+            if let (Some(cid), Some(journal)) = (env.cid, &ctx.journal) {
+                let _ = journal.audit(cid, shard, wid, "pass");
+            }
+            eprintln!(
+                "serve: audit of shard {shard} of {}: worker {wid} agrees with the local truth",
+                env.label
+            );
+            continue;
+        }
+        counters.workers_convicted += 1;
+        if let (Some(cid), Some(journal)) = (env.cid, &ctx.journal) {
+            let _ = journal.audit(cid, shard, wid, "convict");
+        }
+        if wid == 0 {
+            eprintln!(
+                "serve: audit of shard {shard} of {}: an unattributable worker (wid 0) returned \
+                 falsified records — discarded, but there is no identity to blacklist",
+                env.label
+            );
+            continue;
+        }
+        let strikes = ctx.hub.ban(wid);
+        if let Some(journal) = &ctx.journal {
+            let _ = journal.ban(wid, strikes);
+        }
+        eprintln!(
+            "serve: worker {wid} convicted of falsifying shard {shard} of {}; blacklisted \
+             (strike {strikes}, parole {}ms)",
+            env.label,
+            parole_delay(strikes).as_millis()
+        );
+        // Every other range the convict returned is now distrusted:
+        // journal the invalidation *first*, then drop the records and
+        // re-dispatch — a crash in between still drops them on resume.
+        for other in 0..count {
+            let t = &mut tracks[other as usize];
+            if other != shard && t.done && t.producer == Some(wid) {
+                if let (Some(cid), Some(journal)) = (env.cid, &ctx.journal) {
+                    let _ = journal.invalidate(cid, other);
+                }
+                clear_range(
+                    slots,
+                    ShardSpec {
+                        index: other,
+                        count,
+                    }
+                    .range(env.campaign.injections),
+                );
+                t.done = false;
+                t.producer = None;
+                t.retries = 0;
+                t.retry_at = None;
+                // The completion set this flag; re-dispatches need a
+                // fresh one or their leases are stillborn.
+                t.abandoned = Arc::new(AtomicBool::new(false));
+                t.audit = if audit_sampled(env.campaign.seed, other, ctx.cfg.audit_rate) {
+                    AuditPhase::Sampled {
+                        streams: Vec::new(),
+                        since: None,
+                    }
+                } else {
+                    AuditPhase::Clear
+                };
+                counters.ranges_invalidated += 1;
+                rewrite_needed = true;
+                redispatch.push(other);
+                eprintln!(
+                    "serve: shard {other} of {} invalidated (returned by convicted worker \
+                     {wid}); re-dispatching",
+                    env.label
+                );
+            }
+            // Held-back streams from the convict are worthless too.
+            if let AuditPhase::Sampled { streams, since } = &mut t.audit {
+                streams.retain(|(w, _)| *w != wid);
+                if streams.is_empty() {
+                    *since = None;
+                }
+            }
+        }
+    }
+    // Install the local truth — the trusted pool needs no audit.
+    for (k, rec) in local.into_iter().enumerate() {
+        slots[range.0 + k] = Some((rec, 1));
+    }
+    let t = &mut tracks[shard as usize];
+    t.done = true;
+    t.producer = None;
+    t.audit = AuditPhase::Clear;
+    t.abandoned.store(true, Ordering::SeqCst);
+    if let Some(run) = durable_run.as_mut() {
+        if rewrite_needed {
+            run.records.rewrite(slots)?;
+        }
+        run.records.persist_range(slots, range)?;
+        if let (Some(cid), Some(journal)) = (env.cid, &ctx.journal) {
+            let _ = journal.shard_done(cid, shard);
+        }
+    }
+    Ok((out.kills, out.respawns, redispatch))
+}
+
 /// Executes one campaign end to end: plan it, split it into shard
 /// leases, ride the lease events (retry with backoff, revoke,
 /// speculate, degrade to the local pool), journaling every durable
@@ -1773,6 +2224,7 @@ fn drive_campaign(
             Durable::Resumed {
                 cid,
                 golden_instret,
+                done_shards,
             },
         ) => {
             if rig.golden_instret != *golden_instret {
@@ -1789,7 +2241,37 @@ fn drive_campaign(
                 &faults,
                 &mut slots,
             ) {
-                Ok(records) => Some(DurableRun { cid: *cid, records }),
+                Ok(mut records) => {
+                    // Restoration is gated on the journaled shard_done
+                    // set (net of `invalidate` events): records of a
+                    // shard never journaled as done — including a
+                    // convicted worker's ranges when the crash landed
+                    // between the invalidate event and the records-file
+                    // rewrite — are distrusted, dropped, and re-run.
+                    let mut dropped = 0usize;
+                    for shard in 0..count {
+                        if done_shards.contains(&shard) {
+                            continue;
+                        }
+                        let range = ShardSpec {
+                            index: shard,
+                            count,
+                        }
+                        .range(campaign.injections);
+                        dropped += clear_range(&mut slots, range);
+                    }
+                    if dropped > 0 {
+                        eprintln!(
+                            "serve: {label}: {dropped} record(s) of never-completed or \
+                             invalidated shards dropped on resume"
+                        );
+                        if let Err(e) = records.rewrite(&slots) {
+                            let _ = journal.fin(*cid);
+                            return fatal(e.to_string());
+                        }
+                    }
+                    Some(DurableRun { cid: *cid, records })
+                }
                 Err(e) => {
                     let _ = journal.fin(*cid);
                     return fatal(e.to_string());
@@ -1818,10 +2300,12 @@ fn drive_campaign(
     let mut tracks: Vec<Track> = (0..count)
         .map(|shard| {
             let (start, end) = shard_range(shard);
+            // A shard whose whole range was restored from the records
+            // file never re-dispatches (and was audited, or unsampled,
+            // before it was allowed to persist).
+            let done = (start..end).all(|i| slots[i].is_some());
             Track {
-                // A shard whose whole range was restored from the
-                // records file never re-dispatches.
-                done: (start..end).all(|i| slots[i].is_some()),
+                done,
                 lost: false,
                 retries: 0,
                 attempts: 0,
@@ -1830,6 +2314,15 @@ fn drive_campaign(
                 speculated: false,
                 retry_at: None,
                 abandoned: Arc::new(AtomicBool::new(false)),
+                producer: None,
+                audit: if !done && audit_sampled(campaign.seed, shard, ctx.cfg.audit_rate) {
+                    AuditPhase::Sampled {
+                        streams: Vec::new(),
+                        since: None,
+                    }
+                } else {
+                    AuditPhase::Clear
+                },
             }
         })
         .collect();
@@ -1849,7 +2342,7 @@ fn drive_campaign(
         spin_at: None,
         abort_at: None,
     };
-    let dispatch = |t: &mut Track, shard: u32| {
+    let dispatch = |t: &mut Track, shard: u32, exclude: Option<u64>| {
         t.attempts += 1;
         t.in_flight += 1;
         t.leased_at = None;
@@ -1863,6 +2356,7 @@ fn drive_campaign(
             attempt: t.attempts,
             events: ev_tx.clone(),
             abandoned: Arc::clone(&t.abandoned),
+            exclude,
         });
     };
     let abandon_all = |tracks: &[Track]| {
@@ -1872,7 +2366,7 @@ fn drive_campaign(
     };
     for (shard, t) in tracks.iter_mut().enumerate() {
         if !t.done {
-            dispatch(t, shard as u32);
+            dispatch(t, shard as u32, None);
         }
     }
 
@@ -1887,29 +2381,161 @@ fn drive_campaign(
     let mut respawns = 0usize;
     let mut revoked_n = 0usize;
     let mut live_notes: Vec<String> = Vec::new();
+    let mut audit = AuditCounters::default();
+    let audit_patience = ctx.cfg.peer_grace.max(Duration::from_secs(2));
+    let env = AuditEnv {
+        kernel,
+        req,
+        campaign: &campaign,
+        count,
+        label: &label,
+        cid: durable_cid,
+        ctx,
+    };
+    // Runs the trusted tie-breaker for one shard and folds its outcome
+    // back into the loop state. A macro rather than a closure because
+    // the fatal path must `return` from `drive_campaign` itself.
+    macro_rules! arbitrate {
+        ($shard:expr, $streams:expr) => {{
+            let shard: u32 = $shard;
+            match arbitrate_shard(
+                &env,
+                shard,
+                $streams,
+                &mut tracks,
+                &mut slots,
+                &mut durable_run,
+                &mut audit,
+            ) {
+                Ok((k, r, again)) => {
+                    kills += k;
+                    respawns += r;
+                    for other in again {
+                        dispatch(&mut tracks[other as usize], other, None);
+                    }
+                }
+                Err(e) => {
+                    if req.allow_partial && !matches!(e, NfpError::Journal { .. }) {
+                        eprintln!("serve: local arbitration of shard {shard} failed: {e}");
+                        tracks[shard as usize].lost = true;
+                    } else {
+                        abandon_all(&tracks);
+                        close_durable(durable_run.take(), None, ctx);
+                        return fatal(e.to_string());
+                    }
+                }
+            }
+        }};
+    }
     while !tracks.iter().all(|t| t.done || t.lost) {
         match ev_rx.recv_timeout(Duration::from_millis(25)) {
             Ok(LeaseEvent::Started { shard }) => {
                 tracks[shard as usize].leased_at = Some(Instant::now());
             }
-            Ok(LeaseEvent::Done { shard, records }) => {
-                let t = &mut tracks[shard as usize];
-                t.in_flight = t.in_flight.saturating_sub(1);
+            Ok(LeaseEvent::Done {
+                shard,
+                wid,
+                records,
+            }) => {
+                let s = shard as usize;
+                tracks[s].in_flight = tracks[s].in_flight.saturating_sub(1);
                 if let (Some(cid), Some(journal)) = (durable_cid, &ctx.journal) {
                     let _ = journal.lease_return(cid, shard, true);
                 }
-                if !t.done && !t.lost {
-                    t.done = true;
-                    t.abandoned.store(true, Ordering::SeqCst);
-                    for (i, rec, attempts) in records {
-                        slots[i] = Some((rec, attempts));
+                if tracks[s].done || tracks[s].lost {
+                    // Stale speculative duplicate: the first valid
+                    // stream won.
+                } else if wid != 0 && ctx.hub.banned(wid) {
+                    // A conviction landed while this lease was running:
+                    // nothing a blacklisted worker returns is accepted.
+                    eprintln!(
+                        "serve: discarding shard {shard} records from blacklisted worker {wid}"
+                    );
+                    if tracks[s].in_flight == 0 {
+                        tracks[s].retry_at = Some(Instant::now());
                     }
-                    eprintln!("serve: shard {shard} of {label} complete");
-                    if let Err(fail) =
-                        persist_shard(&mut durable_run, &slots, shard_range(shard), shard, ctx)
-                    {
-                        abandon_all(&tracks);
-                        return Err(fail);
+                } else {
+                    match std::mem::replace(&mut tracks[s].audit, AuditPhase::Clear) {
+                        AuditPhase::Clear => {
+                            let t = &mut tracks[s];
+                            t.done = true;
+                            t.producer = (wid != 0).then_some(wid);
+                            t.abandoned.store(true, Ordering::SeqCst);
+                            for (i, rec, attempts) in records {
+                                slots[i] = Some((rec, attempts));
+                            }
+                            eprintln!("serve: shard {shard} of {label} complete");
+                            if let Err(fail) = persist_shard(
+                                &mut durable_run,
+                                &slots,
+                                shard_range(shard),
+                                shard,
+                                ctx,
+                            ) {
+                                abandon_all(&tracks);
+                                return Err(fail);
+                            }
+                        }
+                        AuditPhase::Sampled { mut streams, since } => {
+                            if streams.len() == 1 && wid != 0 && streams[0].0 == wid {
+                                // The producer answered again (a
+                                // speculative duplicate landed on the
+                                // same peer): agreement with itself is
+                                // no second opinion — keep waiting.
+                                tracks[s].audit = AuditPhase::Sampled { streams, since };
+                            } else {
+                                streams.push((wid, records));
+                                if streams.len() < 2 {
+                                    audit.ranges_audited += 1;
+                                    eprintln!(
+                                        "serve: shard {shard} of {label} sampled for audit; \
+                                         re-dispatching to a disjoint worker"
+                                    );
+                                    tracks[s].audit = AuditPhase::Sampled {
+                                        streams,
+                                        since: Some(Instant::now()),
+                                    };
+                                    dispatch(&mut tracks[s], shard, (wid != 0).then_some(wid));
+                                } else if streams_match(&streams[0].1, &streams[1].1) {
+                                    let (w1, first) = streams.swap_remove(0);
+                                    let w2 = streams[0].0;
+                                    audit.audits_passed += 1;
+                                    if let (Some(cid), Some(journal)) = (durable_cid, &ctx.journal)
+                                    {
+                                        let _ = journal.audit(cid, shard, w1, "pass");
+                                    }
+                                    eprintln!(
+                                        "serve: audit of shard {shard} of {label} passed \
+                                         (workers {w1} and {w2} agree)"
+                                    );
+                                    let t = &mut tracks[s];
+                                    t.done = true;
+                                    t.producer = (w1 != 0).then_some(w1);
+                                    t.abandoned.store(true, Ordering::SeqCst);
+                                    for (i, rec, attempts) in first {
+                                        slots[i] = Some((rec, attempts));
+                                    }
+                                    if let Err(fail) = persist_shard(
+                                        &mut durable_run,
+                                        &slots,
+                                        shard_range(shard),
+                                        shard,
+                                        ctx,
+                                    ) {
+                                        abandon_all(&tracks);
+                                        return Err(fail);
+                                    }
+                                } else {
+                                    eprintln!(
+                                        "serve: audit of shard {shard} of {label} found \
+                                         disagreeing record streams (workers {} vs {}); \
+                                         re-executing on the trusted local pool",
+                                        streams[0].0, streams[1].0
+                                    );
+                                    arbitrate!(shard, streams);
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -1931,25 +2557,51 @@ fn drive_campaign(
                     if t.in_flight == 0 {
                         t.retries += 1;
                         if t.retries > ctx.cfg.shard_retries {
-                            let (start, end) = shard_range(shard);
-                            if req.allow_partial {
-                                t.lost = true;
+                            let held = matches!(
+                                &t.audit,
+                                AuditPhase::Sampled { streams, .. } if !streams.is_empty()
+                            );
+                            if held {
+                                // The audit re-dispatch burned the
+                                // retry budget without producing a
+                                // second opinion: journal the verdict
+                                // and let the trusted pool arbitrate.
+                                let AuditPhase::Sampled { streams, .. } = std::mem::replace(
+                                    &mut tracks[shard as usize].audit,
+                                    AuditPhase::Clear,
+                                ) else {
+                                    unreachable!()
+                                };
+                                if let (Some(cid), Some(journal)) = (durable_cid, &ctx.journal) {
+                                    let _ = journal.audit(cid, shard, streams[0].0, "inconclusive");
+                                }
                                 eprintln!(
-                                    "serve: shard {shard} lost after exhausting its \
-                                     re-dispatch budget"
+                                    "serve: audit of shard {shard} of {label} inconclusive (no \
+                                     disjoint second opinion); re-executing on the trusted \
+                                     local pool"
                                 );
+                                arbitrate!(shard, streams);
                             } else {
-                                abandon_all(&tracks);
-                                close_durable(durable_run.take(), None, ctx);
-                                return fatal(
-                                    NfpError::ShardLost {
-                                        shard,
-                                        start: start as u64,
-                                        end: end as u64,
-                                        detail,
-                                    }
-                                    .to_string(),
-                                );
+                                let (start, end) = shard_range(shard);
+                                if req.allow_partial {
+                                    tracks[shard as usize].lost = true;
+                                    eprintln!(
+                                        "serve: shard {shard} lost after exhausting its \
+                                         re-dispatch budget"
+                                    );
+                                } else {
+                                    abandon_all(&tracks);
+                                    close_durable(durable_run.take(), None, ctx);
+                                    return fatal(
+                                        NfpError::ShardLost {
+                                            shard,
+                                            start: start as u64,
+                                            end: end as u64,
+                                            detail,
+                                        }
+                                        .to_string(),
+                                    );
+                                }
                             }
                         } else {
                             t.retry_at = Some(
@@ -1974,7 +2626,52 @@ fn drive_campaign(
             }
             if t.retry_at.is_some_and(|at| now >= at) {
                 t.retry_at = None;
-                dispatch(t, shard);
+                dispatch(t, shard, None);
+            }
+        }
+        // A sampled shard whose audit lease no disjoint worker claimed
+        // within the patience window falls to the trusted local pool:
+        // journal the inconclusive verdict and arbitrate. Without this
+        // a fleet where the producer is the only live peer would wait
+        // forever for a second opinion that cannot come.
+        for shard in 0..count {
+            let s = shard as usize;
+            if tracks[s].done || tracks[s].lost {
+                continue;
+            }
+            // A claimed, still-running audit lease gets its full lease
+            // timeout; a lease nobody claimed (`leased_at` never set)
+            // or a shard with nothing in flight at all (the second
+            // opinion was discarded, or came from the producer itself)
+            // is what patience is for.
+            if tracks[s].in_flight > 0 && tracks[s].leased_at.is_some() {
+                continue;
+            }
+            let stalled = matches!(
+                &tracks[s].audit,
+                AuditPhase::Sampled { streams, since: Some(at) }
+                    if !streams.is_empty() && at.elapsed() > audit_patience
+            );
+            if stalled {
+                let AuditPhase::Sampled { streams, .. } =
+                    std::mem::replace(&mut tracks[s].audit, AuditPhase::Clear)
+                else {
+                    unreachable!()
+                };
+                // Cancel the unclaimed audit lease; any later dispatch
+                // of this shard needs a fresh abandonment flag.
+                tracks[s].abandoned.store(true, Ordering::SeqCst);
+                tracks[s].abandoned = Arc::new(AtomicBool::new(false));
+                tracks[s].in_flight = 0;
+                if let (Some(cid), Some(journal)) = (durable_cid, &ctx.journal) {
+                    let _ = journal.audit(cid, shard, streams[0].0, "inconclusive");
+                }
+                eprintln!(
+                    "serve: audit of shard {shard} of {label} inconclusive after {}ms (no \
+                     disjoint worker claimed the re-execution); arbitrating locally",
+                    audit_patience.as_millis()
+                );
+                arbitrate!(shard, streams);
             }
         }
         // Straggler speculation: duplicate a lease that has been held
@@ -1990,7 +2687,7 @@ fn drive_campaign(
                     eprintln!(
                         "serve: shard {shard} straggling; dispatching a speculative duplicate"
                     );
-                    dispatch(t, shard);
+                    dispatch(t, shard, None);
                 }
             }
         }
@@ -1999,18 +2696,17 @@ fn drive_campaign(
         // on the local pool, byte-identically.
         if ctx.hub.live_peers.load(Ordering::SeqCst) == 0 && started.elapsed() >= ctx.cfg.peer_grace
         {
-            let pending: Vec<u32> = (0..count)
+            let pending = (0..count)
                 .filter(|&s| {
                     let t = &tracks[s as usize];
                     !t.done && !t.lost
                 })
-                .collect();
-            if !pending.is_empty() {
+                .count();
+            if pending > 0 {
                 let note = format!(
                     "no live peers after {}ms; falling back to the local worker pool for \
-                     {} shards",
+                     {pending} shards",
                     ctx.cfg.peer_grace.as_millis(),
-                    pending.len()
                 );
                 eprintln!("serve: {note}");
                 if let Some(l) = link.as_mut() {
@@ -2018,48 +2714,31 @@ fn drive_campaign(
                 }
                 live_notes.push(note);
                 abandon_all(&tracks);
-                for shard in pending {
-                    let mut sup = SupervisorConfig::new(campaign.clone());
-                    sup.isolation = ctx.cfg.isolation;
-                    sup.preset = ctx.cfg.preset;
-                    sup.worker_bin = ctx.cfg.worker_bin.clone();
-                    if sup.isolation == WorkerIsolation::Process {
-                        sup.deadline = Some(Duration::from_secs(300));
-                    }
-                    sup.shard = Some(ShardSpec {
-                        index: shard,
-                        count,
-                    });
-                    match run_supervised(kernel, req.mode, &sup) {
-                        Ok(out) => {
-                            kills += out.kills;
-                            respawns += out.respawns;
-                            let (start, _) = shard_range(shard);
-                            for (k, rec) in out.result.records.into_iter().enumerate() {
-                                slots[start + k] = Some((rec, 1));
+                // Arbitration handles both shapes: a shard holding a
+                // lone unaudited stream gets its inconclusive verdict
+                // journaled and the stream judged against the local
+                // truth; a clear shard is a plain local run. The loop
+                // re-scans because a conviction can invalidate shards
+                // that were already done when the scan started.
+                while let Some(shard) = (0..count).find(|&s| {
+                    let t = &tracks[s as usize];
+                    !t.done && !t.lost
+                }) {
+                    let streams = match std::mem::replace(
+                        &mut tracks[shard as usize].audit,
+                        AuditPhase::Clear,
+                    ) {
+                        AuditPhase::Sampled { streams, .. } => {
+                            if let Some((w, _)) = streams.first() {
+                                if let (Some(cid), Some(journal)) = (durable_cid, &ctx.journal) {
+                                    let _ = journal.audit(cid, shard, *w, "inconclusive");
+                                }
                             }
-                            tracks[shard as usize].done = true;
-                            if let Err(fail) = persist_shard(
-                                &mut durable_run,
-                                &slots,
-                                shard_range(shard),
-                                shard,
-                                ctx,
-                            ) {
-                                abandon_all(&tracks);
-                                return Err(fail);
-                            }
+                            streams
                         }
-                        Err(e) => {
-                            if req.allow_partial {
-                                tracks[shard as usize].lost = true;
-                                eprintln!("serve: local fallback of shard {shard} failed: {e}");
-                            } else {
-                                close_durable(durable_run.take(), None, ctx);
-                                return fatal(e.to_string());
-                            }
-                        }
-                    }
+                        AuditPhase::Clear => Vec::new(),
+                    };
+                    arbitrate!(shard, streams);
                 }
             }
         }
@@ -2124,6 +2803,10 @@ fn drive_campaign(
         leases_revoked: revoked_n,
         frames_rejected: ctx.hub.frames_rejected.load(Ordering::SeqCst) - rejected0,
         peers_retired: ctx.hub.peers_retired.load(Ordering::SeqCst) - retired0,
+        ranges_audited: audit.ranges_audited,
+        audits_passed: audit.audits_passed,
+        workers_convicted: audit.workers_convicted,
+        ranges_invalidated: audit.ranges_invalidated,
         dispatch: Some(rig.machine.dispatch_stats()),
         cache_hits: ctx.cache_hits.load(Ordering::SeqCst),
         cache_misses: ctx.cache_misses.load(Ordering::SeqCst),
@@ -2180,8 +2863,10 @@ fn finish_campaign(
             lock(&ctx.live).remove(key);
             ctx.served.fetch_add(1, Ordering::SeqCst);
             if let Some(l) = link.as_mut() {
-                if deliver(&mut l.stream, &out.footer_notes, &out.report).is_err() {
-                    eprintln!("serve: {label} unreachable during the report; the result is cached");
+                if let Err(e) = deliver(&mut l.stream, label, &out.footer_notes, &out.report) {
+                    eprintln!(
+                        "serve: {label} unreachable during the report ({e}); the result is cached"
+                    );
                 }
             }
             eprintln!("serve: campaign for {label} complete");
@@ -2643,5 +3328,171 @@ mod tests {
             tweak(&mut other);
             assert_ne!(campaign_key(&req), campaign_key(&other));
         }
+    }
+
+    // -- the audit tier -----------------------------------------------
+
+    #[test]
+    fn audit_sampler_is_deterministic_and_rate_faithful() {
+        // Resume safety: the sample set is a pure function of
+        // (campaign seed, shard), so a restarted coordinator re-derives
+        // exactly the shards its predecessor had marked for audit.
+        for shard in 0..256 {
+            assert_eq!(
+                audit_sampled(0xfeed, shard, 0.25),
+                audit_sampled(0xfeed, shard, 0.25)
+            );
+        }
+        assert!((0..4096).all(|s| !audit_sampled(7, s, 0.0)));
+        assert!((0..4096).all(|s| audit_sampled(7, s, 1.0)));
+        let hits = (0..4096u32).filter(|&s| audit_sampled(7, s, 0.25)).count();
+        assert!((700..=1350).contains(&hits), "0.25 sampled {hits}/4096");
+        // Different seeds sample different sets.
+        let other = (0..4096u32).filter(|&s| audit_sampled(8, s, 0.25)).count();
+        assert!(
+            (0..4096u32).any(|s| audit_sampled(7, s, 0.25) != audit_sampled(8, s, 0.25)),
+            "seeds 7 and 8 picked identical sets ({hits} vs {other})"
+        );
+    }
+
+    #[test]
+    fn parole_doubles_per_strike_and_caps() {
+        assert_eq!(parole_delay(1), Duration::from_millis(500));
+        assert_eq!(parole_delay(2), Duration::from_millis(1000));
+        assert_eq!(parole_delay(3), Duration::from_millis(2000));
+        assert_eq!(parole_delay(8), Duration::from_millis(60_000));
+        // A career criminal neither overflows nor escapes the cap.
+        assert_eq!(parole_delay(u32::MAX), Duration::from_millis(60_000));
+        // Strike zero (never convicted) still yields a sane floor.
+        assert_eq!(parole_delay(0), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn convictions_escalate_strikes_and_parole_gates_admission() {
+        let hub = Hub::new();
+        assert!(!hub.banned(5));
+        assert_eq!(hub.ban(5), 1);
+        assert_eq!(hub.ban(5), 2);
+        assert_eq!(hub.ban(9), 1);
+        assert!(hub.banned(5));
+        assert!(hub.banned(9));
+        assert_eq!(hub.convicted.load(Ordering::SeqCst), 3);
+        // wid 0 is unattributable and can never be blacklisted, even if
+        // something inserted a ban record for it.
+        assert!(!hub.banned(0));
+        // A journal-restored ban gates admission like a live one, and
+        // an expired parole readmits.
+        hub.restore_ban(11, 4);
+        assert!(hub.banned(11));
+        lock(&hub.bans).get_mut(&11).unwrap().until = Instant::now();
+        assert!(!hub.banned(11));
+    }
+
+    fn lease_to(shard: u32, exclude: Option<u64>, events: &mpsc::Sender<LeaseEvent>) -> Lease {
+        Lease {
+            hello: WorkerHello {
+                header: JournalHeader {
+                    kernel: "k".to_string(),
+                    mode: "float",
+                    injections: 8,
+                    seed: 1,
+                    checkpoints: 2,
+                    dispatch: nfp_sim::Dispatch::Traced,
+                    escalation: 2,
+                    wall_ms: None,
+                    golden_instret: 100,
+                    shard_index: shard,
+                    shard_count: 4,
+                    range_start: 0,
+                    range_end: 2,
+                },
+                preset: WorkerPreset::Quick,
+                heartbeat_ms: 50,
+                spin_at: None,
+                abort_at: None,
+            },
+            faults: Arc::new(Vec::new()),
+            shard,
+            attempt: 1,
+            events: events.clone(),
+            abandoned: Arc::new(AtomicBool::new(false)),
+            exclude,
+        }
+    }
+
+    #[test]
+    fn audit_leases_wait_for_a_disjoint_worker() {
+        let hub = Hub::new();
+        let (tx, _rx) = mpsc::channel::<LeaseEvent>();
+        hub.push_lease(lease_to(0, Some(7), &tx));
+        hub.push_lease(lease_to(1, None, &tx));
+        // The producer itself asks first: it must not be handed its own
+        // audit back — it gets the plain lease behind it instead.
+        let got = hub.pop_lease(7).expect("a non-excluded lease");
+        assert_eq!(got.shard, 1);
+        assert!(got.exclude.is_none());
+        // The skipped audit lease stayed queued, in order, for the next
+        // disjoint worker.
+        let got = hub.pop_lease(8).expect("the audit lease");
+        assert_eq!(got.shard, 0);
+        assert_eq!(got.exclude, Some(7));
+        assert!(hub.pop_lease(8).is_none());
+    }
+
+    #[test]
+    fn slow_clients_get_a_typed_admission_refusal() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let (_peer, _) = listener.accept().unwrap();
+        // An already-expired budget refuses before the first write, no
+        // matter how cooperative the socket is.
+        let err = deliver_by(
+            &mut stream,
+            "tenant-slow",
+            &["one note".to_string()],
+            "report body",
+            Instant::now(),
+        )
+        .unwrap_err();
+        match err {
+            NfpError::Admission { client, reason } => {
+                assert_eq!(client, "tenant-slow");
+                assert!(reason.contains("write budget"), "{reason}");
+            }
+            other => panic!("expected an admission refusal, got {other}"),
+        }
+        // With budget in hand the same delivery goes through.
+        deliver_by(
+            &mut stream,
+            "tenant-slow",
+            &["one note".to_string()],
+            "report body",
+            Instant::now() + Duration::from_secs(5),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn matching_streams_ignore_attempt_counts() {
+        // An honest worker that needed a respawn mid-shard reports
+        // attempts > 1; the audit comparison must not convict it for
+        // that — only (index, record) content counts.
+        let a: LeaseRecords = vec![(0, record(0), 1), (1, record(1), 1)];
+        let b: LeaseRecords = vec![(0, record(0), 3), (1, record(1), 2)];
+        assert!(streams_match(&a, &b));
+        let local = vec![record(0), record(1)];
+        assert!(matches_local(&b, 0, &local));
+        assert!(!matches_local(&b, 1, &local));
+        // A flipped outcome is exactly what it must catch.
+        let mut lie = record(1);
+        lie.outcome = Outcome::Sdc;
+        let c: LeaseRecords = vec![(0, record(0), 1), (1, lie, 1)];
+        assert!(!streams_match(&a, &c));
+        assert!(!matches_local(&c, 0, &local));
+        // As is a silently shortened stream.
+        let d: LeaseRecords = vec![(0, record(0), 1)];
+        assert!(!streams_match(&a, &d));
+        assert!(!matches_local(&d, 0, &local));
     }
 }

@@ -104,6 +104,21 @@ fn evict_base(key: &str, bytes: usize) -> String {
     )
 }
 
+fn audit_base(cid: u64, shard: u32, wid: u64, verdict: &str) -> String {
+    format!(
+        "{{\"ev\":\"audit\",\"cid\":{cid},\"shard\":{shard},\"wid\":{wid},\"verdict\":\"{}\"}}",
+        esc(verdict)
+    )
+}
+
+fn ban_base(wid: u64, strikes: u32) -> String {
+    format!("{{\"ev\":\"ban\",\"wid\":{wid},\"strikes\":{strikes}}}")
+}
+
+fn invalidate_base(cid: u64, shard: u32) -> String {
+    format!("{{\"ev\":\"invalidate\",\"cid\":{cid},\"shard\":{shard}}}")
+}
+
 fn drain_base() -> String {
     "{\"ev\":\"drain\"}".to_string()
 }
@@ -204,6 +219,32 @@ impl ServiceJournal {
         self.append(evict_base(key, bytes))
     }
 
+    /// Journals an audit verdict (`pass`, `convict`, or
+    /// `inconclusive`) for one shard's producing worker.
+    pub(crate) fn audit(
+        &self,
+        cid: u64,
+        shard: u32,
+        wid: u64,
+        verdict: &str,
+    ) -> Result<(), NfpError> {
+        self.append(audit_base(cid, shard, wid, verdict))
+    }
+
+    /// Journals a worker blacklisting, with its cumulative strike
+    /// count, so `--resume` replays the ban (parole restarts from the
+    /// resume instant — wall-clock deadlines don't survive a crash).
+    pub(crate) fn ban(&self, wid: u64, strikes: u32) -> Result<(), NfpError> {
+        self.append(ban_base(wid, strikes))
+    }
+
+    /// Journals the invalidation of a previously completed shard —
+    /// written *before* the records file is rewritten, so a crash
+    /// between the two still drops the distrusted records on resume.
+    pub(crate) fn invalidate(&self, cid: u64, shard: u32) -> Result<(), NfpError> {
+        self.append(invalidate_base(cid, shard))
+    }
+
     pub(crate) fn drain(&self) -> Result<(), NfpError> {
         self.append(drain_base())
     }
@@ -264,6 +305,10 @@ pub(crate) struct ServiceState {
     pub(crate) open: Vec<OpenCampaign>,
     /// Cache evictions journaled across all starts.
     pub(crate) evictions: usize,
+    /// Blacklisted workers as `(wid, strikes)`, last strike count per
+    /// wid — the resumed hub re-arms each ban with a fresh parole
+    /// deadline derived from the strike count.
+    pub(crate) bans: Vec<(u64, u32)>,
 }
 
 fn verified(obj: &Obj, base: &str) -> bool {
@@ -314,6 +359,7 @@ pub(crate) fn load_service_journal(path: &Path) -> Result<ServiceState, NfpError
         next_cid: 0,
         open: Vec::new(),
         evictions: 0,
+        bans: Vec::new(),
     };
     let mut finished: HashSet<u64> = HashSet::new();
     loop {
@@ -458,6 +504,47 @@ pub(crate) fn load_service_journal(path: &Path) -> Result<ServiceState, NfpError
                 }
                 state.evictions += 1;
             }
+            "audit" => {
+                let shard = obj.u64("shard").ok_or_else(corrupt)?;
+                let wid = obj.u64("wid").ok_or_else(corrupt)?;
+                let verdict = obj.str("verdict").ok_or_else(corrupt)?;
+                let cid = live_cid(obj.u64("cid"))?;
+                let shard = u32::try_from(shard).map_err(|_| corrupt())?;
+                if !verified(&obj, &audit_base(cid, shard, wid, verdict)) {
+                    return Err(corrupt());
+                }
+                if !matches!(verdict, "pass" | "convict" | "inconclusive") {
+                    return Err(journal_err(format!(
+                        "record at line {lineno} carries unknown audit verdict '{verdict}'"
+                    )));
+                }
+                // Verdicts are evidence, not state: done/undone shard
+                // state is carried by `shard` and `invalidate` events.
+            }
+            "ban" => {
+                let wid = obj.u64("wid").ok_or_else(corrupt)?;
+                let strikes = u32::try_from(obj.u64("strikes").ok_or_else(corrupt)?)
+                    .map_err(|_| corrupt())?;
+                if !verified(&obj, &ban_base(wid, strikes)) {
+                    return Err(corrupt());
+                }
+                state.bans.retain(|&(w, _)| w != wid);
+                state.bans.push((wid, strikes));
+            }
+            "invalidate" => {
+                let shard = obj.u64("shard").ok_or_else(corrupt)?;
+                let cid = live_cid(obj.u64("cid"))?;
+                let shard = u32::try_from(shard).map_err(|_| corrupt())?;
+                if !verified(&obj, &invalidate_base(cid, shard)) {
+                    return Err(corrupt());
+                }
+                let open = state
+                    .open
+                    .iter_mut()
+                    .find(|c| c.cid == cid)
+                    .expect("live_cid checked membership");
+                open.done_shards.retain(|&s| s != shard);
+            }
             "drain" => {
                 if !verified(&obj, &drain_base()) {
                     return Err(corrupt());
@@ -478,6 +565,7 @@ pub(crate) fn load_service_journal(path: &Path) -> Result<ServiceState, NfpError
 mod tests {
     use super::*;
     use crate::shards::quarantined_path;
+    use proptest::prelude::*;
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!(
@@ -639,6 +727,116 @@ mod tests {
         std::fs::write(&path, "{\"v\":1,\"kind\":\"nfp-campaign-journal\"}\n").unwrap();
         let err = load_service_journal(&path).unwrap_err();
         assert!(err.to_string().contains("not a service journal"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn audit_events_roundtrip_and_rebuild_bans() {
+        let path = populated("audit");
+        let j = ServiceJournal::resume(&path, std::fs::metadata(&path).unwrap().len()).unwrap();
+        j.audit(0, 0, 41, "pass").unwrap();
+        j.audit(0, 1, 97, "inconclusive").unwrap();
+        j.audit(0, 1, 97, "convict").unwrap();
+        j.ban(97, 1).unwrap();
+        j.invalidate(0, 1).unwrap();
+        j.ban(97, 2).unwrap();
+        let state = load_service_journal(&path).unwrap();
+        // Shard 1's completion was invalidated by the conviction; shard
+        // 0 stays done. The ban carries the *latest* strike count.
+        assert_eq!(state.open[0].done_shards, vec![0]);
+        assert_eq!(state.bans, vec![(97, 2)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    proptest! {
+        #[test]
+        fn audit_event_lines_roundtrip(
+            cid in 0u64..4,
+            shard in 0u64..64,
+            wid in 0u64..u64::MAX,
+            strikes in 1u64..1000,
+            verdict in 0u64..3,
+        ) {
+            let path = tmp(&format!("audit_prop_{cid}_{shard}_{wid}_{strikes}_{verdict}"));
+            let j = ServiceJournal::create(&path).unwrap();
+            for c in 0..=cid {
+                j.submit(c, &request(), 1).unwrap();
+            }
+            let shard = shard as u32;
+            let strikes = strikes as u32;
+            let verdict = ["pass", "convict", "inconclusive"][verdict as usize];
+            j.shard_done(cid, shard).unwrap();
+            j.audit(cid, shard, wid, verdict).unwrap();
+            j.ban(wid, strikes).unwrap();
+            j.invalidate(cid, shard).unwrap();
+            let state = load_service_journal(&path).unwrap();
+            let open = state.open.iter().find(|c| c.cid == cid).unwrap();
+            prop_assert!(open.done_shards.is_empty(), "invalidate must undo shard_done");
+            prop_assert_eq!(&state.bans, &vec![(wid, strikes)]);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn torn_audit_tail_is_tolerated_and_truncated() {
+        let path = populated("audit_torn");
+        let j = ServiceJournal::resume(&path, std::fs::metadata(&path).unwrap().len()).unwrap();
+        j.ban(55, 1).unwrap();
+        let intact = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"ev\":\"audit\",\"cid\":0,\"shard\":2,\"wi").unwrap();
+        drop(f);
+        let state = load_service_journal(&path).unwrap();
+        assert_eq!(state.intact_len, intact);
+        assert_eq!(state.bans, vec![(55, 1)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_audit_event_is_typed_and_names_the_line() {
+        let path = tmp("audit_flip");
+        let j = ServiceJournal::create(&path).unwrap();
+        j.submit(0, &request(), 1).unwrap();
+        j.audit(0, 2, 19, "convict").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let flipped = text.replacen("\"wid\":19", "\"wid\":18", 1);
+        assert_ne!(text, flipped);
+        std::fs::write(&path, flipped).unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        match err {
+            NfpError::Journal { reason, .. } => assert_eq!(reason, "corrupt record at line 3"),
+            other => panic!("expected Journal error, got {other:?}"),
+        }
+        // An unknown verdict string is rejected even with a valid CRC.
+        let j = ServiceJournal::create(&path).unwrap();
+        j.submit(0, &request(), 1).unwrap();
+        j.audit(0, 2, 19, "maybe").unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        assert!(err.to_string().contains("unknown audit verdict"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn audit_events_after_fin_are_rejected() {
+        let path = tmp("audit_postfin");
+        let j = ServiceJournal::create(&path).unwrap();
+        j.submit(0, &request(), 1).unwrap();
+        j.fin(0).unwrap();
+        j.audit(0, 0, 7, "pass").unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("after campaign 0 finished"),
+            "{err}"
+        );
+        let j = ServiceJournal::create(&path).unwrap();
+        j.submit(0, &request(), 1).unwrap();
+        j.fin(0).unwrap();
+        j.invalidate(0, 0).unwrap();
+        let err = load_service_journal(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("after campaign 0 finished"),
+            "{err}"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -73,6 +73,17 @@ pub(crate) fn shard_range(injections: usize, index: u32, count: u32) -> (usize, 
     ((n * i / count) as usize, (n * (i + 1) / count) as usize)
 }
 
+/// Empties every filled slot in `range`, returning how many were
+/// dropped. The distrust path of the audit tier: records produced by a
+/// convicted worker leave the in-memory plan (and, rewritten, its
+/// records file) before the range is re-dispatched.
+pub(crate) fn clear_range<T>(slots: &mut [Option<T>], range: (usize, usize)) -> usize {
+    slots[range.0..range.1]
+        .iter_mut()
+        .filter_map(Option::take)
+        .count()
+}
+
 /// Parameters for a sharded campaign.
 #[derive(Debug, Clone)]
 pub struct ShardConfig {

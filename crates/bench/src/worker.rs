@@ -30,7 +30,7 @@
 //!
 //! [`WorkerIsolation::Process`]: crate::supervisor::WorkerIsolation::Process
 
-use crate::backoff::backoff_sleep;
+use crate::backoff::{backoff_sleep, splitmix64};
 use crate::campaign::{CampaignConfig, CampaignRig, InjectionRecord};
 use crate::evaluation::Mode;
 use crate::flatjson::{esc, parse_flat, Obj};
@@ -607,21 +607,74 @@ enum LeaseFail {
     Fatal(NfpError),
 }
 
+/// Test-only saboteur knobs for `repro worker --connect`: lie on a
+/// deterministic `rate` fraction of records, keyed by `seed` and the
+/// plan index. A lying worker flips only the recorded *outcome* — the
+/// fault fields, CRC, and fin digest all cover the falsified record, so
+/// every transport-level integrity check passes and only redundant
+/// re-execution (the audit tier) can catch it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiePlan {
+    /// Fraction of records to falsify, in `[0, 1]`.
+    pub rate: f64,
+    /// Seed decorrelating this liar's choices from the audit sampler.
+    pub seed: u64,
+}
+
+impl LiePlan {
+    /// Whether this plan falsifies the record at `index` — a pure
+    /// function of `(seed, index)` so reconnects and retries lie
+    /// identically, which keeps the liar's fin digests self-consistent.
+    pub(crate) fn lies_at(self, index: usize) -> bool {
+        // Same 53-bit uniform-fraction construction as the coordinator's
+        // audit sampler; the salt keeps seed 0 from degenerating.
+        let x = splitmix64(self.seed ^ (index as u64) ^ 0x5ab0_7a9e_11e5_eed1);
+        ((x >> 11) as f64) / ((1u64 << 53) as f64) < self.rate
+    }
+}
+
+/// A stable per-worker identity sent in the join frame: pid in the high
+/// bits (decorrelates a fleet of processes), a process-global sequence
+/// starting at 1 in the low bits (decorrelates threads sharing a pid —
+/// the in-process chaos tests run several workers per test binary).
+/// Never 0: zero is the wire's "peer sent no identity" sentinel and is
+/// exempt from blacklisting.
+fn fresh_wid() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    (u64::from(std::process::id()) << 20) | (SEQ.fetch_add(1, Ordering::Relaxed) & 0xf_ffff)
+}
+
 /// The `repro worker --connect <addr>` entry point: joins a
 /// coordinator over TCP, executes shard leases until told goodbye, and
 /// survives coordinator restarts with capped jittered backoff. Returns
 /// the process exit code — 0 after a `bye`, 1 on a fatal error or an
 /// exhausted reconnect budget.
 pub fn run_worker_connect(addr: &str, max_retries: u32) -> i32 {
+    run_worker_connect_with(addr, max_retries, None)
+}
+
+/// [`run_worker_connect`] with an optional [`LiePlan`] — the test-only
+/// `--lie-rate`/`--lie-seed` saboteur that returns plausible
+/// wrong-but-CRC-valid outcomes to exercise the coordinator's audit
+/// tier over a live socket.
+pub fn run_worker_connect_with(addr: &str, max_retries: u32, lies: Option<LiePlan>) -> i32 {
     // Jitter key: no campaign seed exists before a lease arrives, and
     // reconnect timing never influences results — the pid decorrelates
     // a fleet of workers launched together.
     let seed = u64::from(std::process::id());
+    let wid = fresh_wid();
+    if let Some(l) = lies {
+        eprintln!(
+            "worker: SABOTEUR enabled — lying on ~{:.0}% of records (seed {:#x}, wid {wid})",
+            l.rate * 100.0,
+            l.seed
+        );
+    }
     let mut reconnects = 0u64;
     let mut failures = 0u32;
     let mut cache: Option<ConnectRig> = None;
     loop {
-        match connect_session(addr, reconnects, &mut cache) {
+        match connect_session(addr, reconnects, wid, lies, &mut cache) {
             Ok(SessionEnd::Bye) => {
                 eprintln!("worker: coordinator said goodbye; exiting");
                 return 0;
@@ -676,6 +729,8 @@ pub(crate) fn tcp_connect(addr: &str) -> Result<TcpStream, String> {
 fn connect_session(
     addr: &str,
     reconnects: u64,
+    wid: u64,
+    lies: Option<LiePlan>,
     cache: &mut Option<ConnectRig>,
 ) -> Result<SessionEnd, NfpError> {
     let lost = |leases: u64, detail: String| Ok(SessionEnd::Lost { leases, detail });
@@ -698,6 +753,7 @@ fn connect_session(
     let join = JoinFrame {
         preset: cache.as_ref().map_or(WorkerPreset::Quick, |c| c.preset),
         reconnects,
+        wid,
     };
     if let Err(e) = send(&writer, &render_join(&join)) {
         return lost(0, io_lost("send join", e));
@@ -760,7 +816,7 @@ fn connect_session(
                             }
                         };
                         hb_ms.store(hello.heartbeat_ms.max(1), Ordering::Relaxed);
-                        match execute_lease(&hello, cache, &writer) {
+                        match execute_lease(&hello, cache, lies, &writer) {
                             Ok(()) => {
                                 leases += 1;
                                 idle = Instant::now();
@@ -791,6 +847,7 @@ fn connect_session(
 fn execute_lease(
     hello: &WorkerHello,
     cache: &mut Option<ConnectRig>,
+    lies: Option<LiePlan>,
     writer: &Mutex<TcpStream>,
 ) -> Result<(), LeaseFail> {
     let stale = !cache
@@ -878,6 +935,14 @@ fn execute_lease(
                 }
             }
         };
+        let record = match lies {
+            // The lie happens *before* the record line, the slot fill,
+            // and therefore the fin digest: the saboteur's CRC, stream,
+            // and digest are all internally consistent — only a second
+            // opinion from a disjoint worker can expose it.
+            Some(l) if l.lies_at(index) => falsify(record),
+            _ => record,
+        };
         send_or(&record_line(index, &record, attempts), "send record")?;
         slots[index] = Some((record, attempts));
     }
@@ -889,6 +954,20 @@ fn execute_lease(
     };
     send_or(&fin_line(&fin), "send fin")?;
     Ok(())
+}
+
+/// Falsifies one record the way a subtly-broken (or malicious) worker
+/// would: the fault fields stay truthful — they are what the
+/// coordinator cross-checks against its own plan — and only the
+/// *outcome* flips to a plausible neighbour. Masked becomes SDC (a
+/// false alarm that inflates the vulnerability factor); everything else
+/// collapses to masked (a cover-up that deflates it).
+fn falsify(mut record: InjectionRecord) -> InjectionRecord {
+    record.outcome = match record.outcome {
+        Outcome::Masked => Outcome::Sdc,
+        _ => Outcome::Masked,
+    };
+    record
 }
 
 #[cfg(test)]
@@ -1040,5 +1119,86 @@ mod tests {
         assert_eq!(parse_run(&render_run(41)).unwrap(), 41);
         assert!(parse_run("{\"kind\":\"hb\"}").is_err());
         assert!(parse_run("{\"kind\":\"run\"}").is_err());
+    }
+
+    #[test]
+    fn lie_plans_are_deterministic_and_hit_the_requested_fraction() {
+        let plan = LiePlan {
+            rate: 0.25,
+            seed: 9,
+        };
+        let first: Vec<bool> = (0..4096).map(|i| plan.lies_at(i)).collect();
+        let second: Vec<bool> = (0..4096).map(|i| plan.lies_at(i)).collect();
+        assert_eq!(first, second, "lie decisions must be pure");
+        let hits = first.iter().filter(|&&b| b).count();
+        assert!(
+            (700..=1350).contains(&hits),
+            "rate 0.25 over 4096 indices hit {hits} times"
+        );
+        let always = LiePlan { rate: 1.0, seed: 9 };
+        assert!((0..256).all(|i| always.lies_at(i)));
+        let never = LiePlan { rate: 0.0, seed: 9 };
+        assert!(!(0..256).any(|i| never.lies_at(i)));
+        // A different seed reshuffles which indices are lied about.
+        let other = LiePlan {
+            rate: 0.25,
+            seed: 10,
+        };
+        assert_ne!(
+            first,
+            (0..4096).map(|i| other.lies_at(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn falsified_records_flip_only_the_outcome() {
+        let truth = InjectionRecord {
+            fault: Fault {
+                at: 8_317,
+                target: FaultTarget::Ram {
+                    addr: 0x4100_0040,
+                    bit: 31,
+                },
+            },
+            category: Some(Category::MemLoad),
+            outcome: Outcome::Masked,
+        };
+        let lie = falsify(truth.clone());
+        assert_eq!(lie.outcome, Outcome::Sdc, "masked inflates to SDC");
+        assert_eq!(lie.fault, truth.fault, "fault fields stay truthful");
+        assert_eq!(lie.category, truth.category);
+        for covered in [
+            Outcome::Sdc,
+            Outcome::Trap,
+            Outcome::Hang,
+            Outcome::HarnessFault,
+        ] {
+            let rec = InjectionRecord {
+                outcome: covered,
+                ..truth.clone()
+            };
+            assert_eq!(
+                falsify(rec).outcome,
+                Outcome::Masked,
+                "{covered:?} covers up"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_wids_are_unique_and_never_the_unattributable_zero() {
+        let a = fresh_wid();
+        let b = fresh_wid();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(
+            a, b,
+            "two workers in one process must be attributable apart"
+        );
+        assert_eq!(
+            a >> 20,
+            u64::from(std::process::id()),
+            "pid in the high bits"
+        );
     }
 }

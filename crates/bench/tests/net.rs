@@ -7,9 +7,9 @@
 //! peers, garbage first frames, torn frames, or no peers at all.
 
 use nfp_bench::{
-    report_campaign, run_supervised, run_worker_connect, submit_campaign, submit_campaign_with,
-    CampaignConfig, CampaignRequest, Mode, ServeConfig, ServeSummary, Server, SupervisorConfig,
-    WorkerPreset,
+    report_campaign, run_supervised, run_worker_connect, run_worker_connect_with, submit_campaign,
+    submit_campaign_with, CampaignConfig, CampaignRequest, LiePlan, Mode, ServeConfig,
+    ServeSummary, Server, SupervisorConfig, WorkerPreset,
 };
 use nfp_core::NfpError;
 use nfp_workloads::{all_kernels, Kernel, Preset};
@@ -36,13 +36,13 @@ fn campaign(injections: usize) -> CampaignConfig {
 
 /// The sequential same-seed report every remote run must reproduce.
 fn reference_report(injections: usize) -> String {
+    reference_report_for(campaign(injections))
+}
+
+fn reference_report_for(cfg: CampaignConfig) -> String {
     let kernel = quick_kernel();
-    let outcome = run_supervised(
-        &kernel,
-        Mode::Float,
-        &SupervisorConfig::new(campaign(injections)),
-    )
-    .expect("sequential reference campaign");
+    let outcome = run_supervised(&kernel, Mode::Float, &SupervisorConfig::new(cfg))
+        .expect("sequential reference campaign");
     report_campaign(&outcome.result)
 }
 
@@ -269,6 +269,83 @@ fn fake_worker_that_tears_its_lease_costs_nothing_but_a_retry() {
     let summary = server.join().expect("server thread");
     assert!(summary.peers_retired >= 1, "{summary:?}");
     assert_eq!(honest.join().expect("honest worker"), 0);
+}
+
+/// A worker that falsifies every outcome it returns.
+fn spawn_liar_thread(addr: &str, seed: u64) -> JoinHandle<i32> {
+    let addr = addr.to_string();
+    std::thread::spawn(move || run_worker_connect_with(&addr, 5, Some(LiePlan { rate: 1.0, seed })))
+}
+
+#[test]
+fn lying_worker_is_convicted_and_the_report_stays_byte_identical() {
+    let reference = reference_report(120);
+    let cfg = ServeConfig {
+        // Audit every range: the liar cannot dodge the sampler, and a
+        // second opinion that cannot come (every disjoint peer banned)
+        // falls to the local tie-breaker after ~2 s of patience.
+        audit_rate: 1.0,
+        peer_grace: Duration::from_secs(1),
+        ..serve_config(200)
+    };
+    let (addr, server) = spawn_server(cfg);
+    // The saboteur returns plausible, CRC-valid, digest-consistent but
+    // falsified outcomes for every injection it touches. Three honest
+    // peers carry the campaign once it is convicted.
+    let liar = spawn_liar_thread(&addr, 9);
+    let honest: Vec<JoinHandle<i32>> = (0..3).map(|_| spawn_worker_thread(&addr)).collect();
+    std::thread::sleep(Duration::from_millis(400));
+    let outcome = submit_campaign(&addr, &request(120, 4)).expect("audited campaign");
+    assert_eq!(outcome.report, reference, "a lie reached the report");
+    let summary = server.join().expect("server thread");
+    assert!(
+        summary.workers_convicted >= 1,
+        "the liar was never convicted: {summary:?}"
+    );
+    for w in honest {
+        assert_eq!(w.join().expect("honest worker"), 0);
+    }
+    // The liar was blacklisted: refusals burn its retry budget, so its
+    // exit code is its own business — it just must terminate.
+    let _ = liar.join().expect("liar thread");
+}
+
+#[test]
+fn conviction_invalidates_the_liars_unaudited_ranges() {
+    // Seed 17 samples shards {0, 2} of 4 at rate 0.5 (a pure function
+    // of the seed, so this test is deterministic): the liar can land
+    // unaudited ranges — whatever it produced for shards 1 and 3 is
+    // accepted at first, then invalidated and re-dispatched the moment
+    // a sampled shard convicts it. The report must still come out
+    // byte-identical to the sequential run.
+    let cfg_campaign = CampaignConfig {
+        injections: 120,
+        seed: 17,
+        ..CampaignConfig::default()
+    };
+    let reference = reference_report_for(cfg_campaign.clone());
+    let cfg = ServeConfig {
+        audit_rate: 0.5,
+        peer_grace: Duration::from_secs(1),
+        ..serve_config(200)
+    };
+    let (addr, server) = spawn_server(cfg);
+    let liar = spawn_liar_thread(&addr, 11);
+    let honest = spawn_worker_thread(&addr);
+    std::thread::sleep(Duration::from_millis(400));
+    let req = CampaignRequest {
+        campaign: cfg_campaign,
+        ..request(120, 4)
+    };
+    let outcome = submit_campaign(&addr, &req).expect("audited campaign");
+    assert_eq!(outcome.report, reference, "an invalidated lie survived");
+    let summary = server.join().expect("server thread");
+    assert!(
+        summary.workers_convicted >= 1,
+        "the liar was never convicted: {summary:?}"
+    );
+    assert_eq!(honest.join().expect("honest worker"), 0);
+    let _ = liar.join().expect("liar thread");
 }
 
 #[test]

@@ -276,6 +276,115 @@ fn sigkilled_coordinator_resumes_and_the_report_is_byte_identical() {
 }
 
 #[test]
+#[cfg(unix)]
+fn sigkilled_coordinator_preserves_the_blacklist_and_the_report() {
+    use std::process::{Command, Stdio};
+
+    let dir = scratch("audit-sigkill");
+    let reference = reference_report(400);
+    let journal = dir.join("serve.journal");
+    let drain_flag = dir.join("drain.flag");
+    let port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe port");
+        probe.local_addr().expect("probe addr").port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let serve_child = |resume: bool, log: &Path| {
+        let mut args = vec![
+            "serve".to_string(),
+            "--listen".to_string(),
+            addr.clone(),
+            "--quick".to_string(),
+            "--heartbeat-ms".to_string(),
+            "100".to_string(),
+            // Audit everything, and let a second opinion that cannot
+            // come (the only disjoint peer is the banned liar) fall to
+            // the local tie-breaker quickly.
+            "--audit-rate".to_string(),
+            "1".to_string(),
+            "--peer-grace-ms".to_string(),
+            "1000".to_string(),
+            "--journal".to_string(),
+            journal.display().to_string(),
+            "--drain".to_string(),
+            drain_flag.display().to_string(),
+        ];
+        if resume {
+            args.push("--resume".to_string());
+        }
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(&args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(std::fs::File::create(log).expect("serve log"))
+            .spawn()
+            .expect("spawn repro serve")
+    };
+
+    let log1 = dir.join("serve1.log");
+    let mut first = serve_child(false, &log1);
+    let honest = spawn_worker_thread(&addr);
+    let liar = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "worker",
+            "--connect",
+            &addr,
+            "--max-retries",
+            "5",
+            "--lie-rate",
+            "1.0",
+            "--lie-seed",
+            "9",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn lying worker");
+    let submit = {
+        let addr = addr.clone();
+        std::thread::spawn(move || submit_campaign_retry(&addr, &request(400, 4), 100, |_| {}))
+    };
+    // SIGKILL the coordinator right after the audit tier convicts the
+    // liar: the ban and any pending invalidations exist only in the
+    // service journal at that instant.
+    wait_for_log(&log1, "convicted", Duration::from_secs(120));
+    Command::new("kill")
+        .args(["-KILL", &first.id().to_string()])
+        .status()
+        .expect("kill -KILL serve");
+    let _ = first.wait();
+
+    let log2 = dir.join("serve2.log");
+    let mut second = serve_child(true, &log2);
+    let outcome = submit
+        .join()
+        .expect("submit thread")
+        .expect("remote campaign across a mid-audit coordinator SIGKILL");
+    assert_eq!(
+        outcome.report, reference,
+        "report diverged across the mid-audit restart"
+    );
+    // The restarted coordinator replayed the journaled conviction: the
+    // blacklist exists before the liar can reconnect and lie again.
+    wait_for_log(&log2, "resuming blacklist", Duration::from_secs(10));
+
+    std::fs::write(&drain_flag, b"").expect("touch drain flag");
+    let status = second.wait().expect("wait for drained serve");
+    assert!(status.success(), "drained serve exited {status:?}");
+    let journal_text = std::fs::read_to_string(&journal).expect("service journal");
+    assert!(
+        journal_text.contains("\"ev\":\"audit\"") && journal_text.contains("\"ev\":\"ban\""),
+        "journal lacks audit/ban records:\n{journal_text}"
+    );
+    assert_eq!(honest.join().expect("honest worker"), 0);
+    let mut liar = liar;
+    let _ = liar.kill();
+    let _ = liar.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupt_service_journal_is_quarantined_not_trusted() {
     let dir = scratch("quarantine");
     let journal = dir.join("serve.journal");

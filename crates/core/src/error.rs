@@ -167,6 +167,23 @@ pub enum NfpError {
         /// Why it was refused.
         reason: String,
     },
+    /// An audit re-execution of a leased injection range reached a
+    /// verdict about a worker: `pass` (the streams agreed), `convict`
+    /// (the trusted tie-breaker proved the worker lied), or
+    /// `inconclusive` (no second opinion could be obtained before the
+    /// re-dispatch budget ran out).
+    Audit {
+        /// The audited worker (peer label or worker id).
+        worker: String,
+        /// The campaign the range belongs to.
+        campaign: String,
+        /// First plan index of the audited injection range.
+        start: u64,
+        /// One past the last plan index of the audited range.
+        end: u64,
+        /// The verdict: `pass`, `convict`, or `inconclusive`.
+        verdict: String,
+    },
 }
 
 impl fmt::Display for NfpError {
@@ -232,6 +249,19 @@ impl fmt::Display for NfpError {
             }
             NfpError::Admission { client, reason } => {
                 write!(f, "campaign submission from '{client}' refused: {reason}")
+            }
+            NfpError::Audit {
+                worker,
+                campaign,
+                start,
+                end,
+                verdict,
+            } => {
+                write!(
+                    f,
+                    "audit of injections {start}..{end} of '{campaign}' returned verdict \
+                     '{verdict}' for worker {worker}"
+                )
             }
         }
     }
@@ -362,5 +392,24 @@ mod tests {
         assert!(shown.contains("tenant-a"), "{shown}");
         assert!(shown.contains("refused"), "{shown}");
         assert!(shown.contains("per-client cap"), "{shown}");
+    }
+
+    #[test]
+    fn audit_errors_display_every_verdict() {
+        for verdict in ["pass", "convict", "inconclusive"] {
+            let shown = NfpError::Audit {
+                worker: "worker 81403".to_string(),
+                campaign: "fse_img00".to_string(),
+                start: 200,
+                end: 250,
+                verdict: verdict.to_string(),
+            }
+            .to_string();
+            assert!(shown.contains("audit"), "{shown}");
+            assert!(shown.contains("worker 81403"), "{shown}");
+            assert!(shown.contains("fse_img00"), "{shown}");
+            assert!(shown.contains("200..250"), "{shown}");
+            assert!(shown.contains(verdict), "{shown}");
+        }
     }
 }

@@ -19,6 +19,7 @@
 
 use crate::machine::{Machine, SimError};
 use nfp_sparc::cond::FccValue;
+use nfp_sparc::{Category, Instr};
 use std::fmt;
 
 /// Deterministic 64-bit generator (splitmix64) used for fault-plan
@@ -254,6 +255,17 @@ pub enum Undo {
         index: usize,
         /// The pre-fault instruction word.
         old_word: u32,
+        /// The pre-fault *predecode* entry, restored verbatim. It is
+        /// captured rather than re-derived from `old_word` because the
+        /// two can disagree: `old_word` is the runtime RAM value, which
+        /// the kernel may have overwritten (data words live inside the
+        /// image too), while the predecode holds the boot decode. An
+        /// undo that re-decoded RAM would leave the entry permanently
+        /// drifted, so replaying the same fault twice on one rig would
+        /// attribute two different categories — breaking the invariant
+        /// that a replay is a pure function of the fault, which the
+        /// serve-layer audit tier relies on to convict lying workers.
+        old_entry: (Instr, Category),
     },
 }
 
@@ -294,12 +306,17 @@ pub fn inject(m: &mut Machine, fault: &Fault) -> Result<Undo, SimError> {
             Ok(Undo::None)
         }
         FaultTarget::Code { index, bit } => {
+            let old_entry = m.code_entry(index as usize).ok_or(SimError::BadCodeIndex {
+                index: index as usize,
+                len: m.code_len(),
+            })?;
             let addr = m.code_base().wrapping_add(index * 4);
             let old = m.bus.load32(addr)?;
             m.patch_code_word(index as usize, old ^ (1 << bit))?;
             Ok(Undo::Code {
                 index: index as usize,
                 old_word: old,
+                old_entry,
             })
         }
     }
@@ -307,8 +324,14 @@ pub fn inject(m: &mut Machine, fault: &Fault) -> Result<Undo, SimError> {
 
 /// Reverts the non-checkpoint-tracked part of an injection.
 pub fn undo(m: &mut Machine, u: &Undo) -> Result<(), SimError> {
-    if let Undo::Code { index, old_word } = u {
+    if let Undo::Code {
+        index,
+        old_word,
+        old_entry,
+    } = u
+    {
         m.patch_code_word(*index, *old_word)?;
+        m.set_code_entry(*index, *old_entry)?;
     }
     Ok(())
 }
@@ -454,6 +477,55 @@ mod tests {
         undo(&mut m, &u).unwrap();
         let again = m.run(100).unwrap();
         assert_eq!(again.exit_code, 1, "undo must restore the program");
+    }
+
+    #[test]
+    fn undoing_a_code_fault_restores_the_predecode_entry_verbatim() {
+        // The boot image carries a word the program overwrites at
+        // runtime — the image region holds data too, and a code fault
+        // can land on it. The undo must put back the *boot* predecode
+        // entry, not decode(runtime word): re-deriving it would drift
+        // the entry, and a rig replaying the same fault twice would
+        // attribute two different categories (the serve audit tier
+        // convicts workers over exactly that comparison).
+        let mut a = Assembler::new(RAM_BASE);
+        a.mov(0, Reg::o(0));
+        a.ta(0);
+        a.nop();
+        let words = a.finish().unwrap();
+        let mut m = Machine::boot(&words);
+        // Index of the `nop` we treat as an overwritable image word.
+        let index = (words.len() - 1) as u32;
+        let boot_entry = m.code_entry(index as usize).unwrap();
+        // The "kernel" overwrites it with a word that decodes to a
+        // different category (a load).
+        let mut asm = Assembler::new(RAM_BASE);
+        asm.ld(nfp_sparc::MemSize::Word, false, Reg::g(1), 0, Reg::g(2));
+        let load_word = asm.finish().unwrap()[0];
+        let addr = m.code_base() + index * 4;
+        m.bus.store32(addr, load_word).unwrap();
+
+        let fault = Fault {
+            at: 0,
+            target: FaultTarget::Code { index, bit: 5 },
+        };
+        let u = inject(&mut m, &fault).unwrap();
+        undo(&mut m, &u).unwrap();
+        assert_eq!(
+            m.bus.load32(addr).unwrap(),
+            load_word,
+            "undo must restore the runtime RAM word"
+        );
+        assert_eq!(
+            m.code_entry(index as usize).unwrap(),
+            boot_entry,
+            "undo must restore the pre-inject predecode entry"
+        );
+        // Replaying the identical fault now captures the same undo
+        // state — the replay is a pure function of the fault.
+        let u2 = inject(&mut m, &fault).unwrap();
+        undo(&mut m, &u2).unwrap();
+        assert_eq!(m.code_entry(index as usize).unwrap(), boot_entry);
     }
 
     #[test]

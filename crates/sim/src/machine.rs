@@ -483,6 +483,42 @@ impl Machine {
         Ok(old)
     }
 
+    /// The predecoded `(instruction, category)` entry at `index` — the
+    /// exact pair [`Machine::fetch`] would serve — or `None` out of
+    /// range. Fault injection captures this before a code patch so the
+    /// undo can restore it verbatim via [`Machine::set_code_entry`].
+    pub fn code_entry(&self, index: usize) -> Option<(Instr, Category)> {
+        self.code.get(index).copied()
+    }
+
+    /// Restores a predecoded entry captured by [`Machine::code_entry`],
+    /// without re-decoding the RAM word. [`Machine::patch_code_word`]
+    /// derives the entry from the word it writes, which is right for a
+    /// fresh patch but wrong for an *undo*: when the patched address
+    /// holds a data word inside the image that the kernel has since
+    /// overwritten, decode(runtime word) need not equal the boot-image
+    /// entry that was there before the patch, and re-deriving it would
+    /// drift the predecode — a rig replaying the same code fault twice
+    /// would then attribute two different categories. Drops the same
+    /// derived caches as a patch.
+    pub fn set_code_entry(
+        &mut self,
+        index: usize,
+        entry: (Instr, Category),
+    ) -> Result<(), SimError> {
+        if index >= self.code.len() {
+            return Err(SimError::BadCodeIndex {
+                index,
+                len: self.code.len(),
+            });
+        }
+        self.code[index] = entry;
+        self.blocks = None;
+        self.threaded = None;
+        self.traces = None;
+        Ok(())
+    }
+
     /// Captures the full machine state for a later [`Machine::restore`].
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
